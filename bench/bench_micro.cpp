@@ -1,0 +1,221 @@
+// E9 — component microbenchmarks (google-benchmark).
+//
+// These characterize the implementation, not the paper's testbed: packet
+// codec throughput, checksums, BMH content matching, DNS wire codec, IDS
+// rule evaluation with and without reassembly, flow-table updates, and
+// raw event-loop throughput.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "ids/engine.hpp"
+#include "netsim/engine.hpp"
+#include "packet/checksum.hpp"
+#include "packet/fragment.hpp"
+#include "packet/packet.hpp"
+#include "proto/dns/message.hpp"
+#include "spamfilter/corpus.hpp"
+#include "spamfilter/scorer.hpp"
+#include "surveillance/rules.hpp"
+
+using namespace sm;
+using common::Ipv4Address;
+using packet::TcpFlags;
+
+namespace {
+
+common::Bytes make_payload(size_t n) {
+  common::Rng rng(1);
+  common::Bytes out(n);
+  for (auto& b : out) b = static_cast<uint8_t>(rng.bounded(256));
+  return out;
+}
+
+void BM_PacketEncodeTcp(benchmark::State& state) {
+  auto payload = make_payload(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto p = packet::make_tcp(Ipv4Address(10, 0, 0, 1),
+                              Ipv4Address(192, 0, 2, 1), 1234, 80,
+                              TcpFlags::kAck, 1, 2, payload);
+    benchmark::DoNotOptimize(p.data().data());
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) *
+                          (int64_t(payload.size()) + 40));
+}
+BENCHMARK(BM_PacketEncodeTcp)->Arg(64)->Arg(512)->Arg(1460);
+
+void BM_PacketDecode(benchmark::State& state) {
+  auto payload = make_payload(static_cast<size_t>(state.range(0)));
+  auto p = packet::make_tcp(Ipv4Address(10, 0, 0, 1),
+                            Ipv4Address(192, 0, 2, 1), 1234, 80,
+                            TcpFlags::kAck, 1, 2, payload);
+  for (auto _ : state) {
+    auto d = packet::decode(p.data());
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) *
+                          int64_t(p.size()));
+}
+BENCHMARK(BM_PacketDecode)->Arg(64)->Arg(1460);
+
+void BM_InternetChecksum(benchmark::State& state) {
+  auto data = make_payload(static_cast<size_t>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(packet::internet_checksum(data));
+  state.SetBytesProcessed(int64_t(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_InternetChecksum)->Arg(64)->Arg(1460)->Arg(65536);
+
+void BM_BmhMatch(benchmark::State& state) {
+  auto hay = make_payload(static_cast<size_t>(state.range(0)));
+  ids::PatternMatcher matcher("needle-not-present", true);
+  for (auto _ : state) benchmark::DoNotOptimize(matcher.find(hay));
+  state.SetBytesProcessed(int64_t(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_BmhMatch)->Arg(256)->Arg(1460)->Arg(16384);
+
+void BM_DnsEncodeDecode(benchmark::State& state) {
+  using namespace proto::dns;
+  Message m = Message::query(1, Name("mail.blocked.example.com"),
+                             RecordType::MX);
+  m.header.qr = true;
+  m.answers.push_back(ResourceRecord::mx(Name("mail.blocked.example.com"),
+                                         10, Name("mx1.example.com")));
+  m.answers.push_back(
+      ResourceRecord::a(Name("mx1.example.com"), Ipv4Address(1, 2, 3, 4)));
+  for (auto _ : state) {
+    auto wire = encode(m);
+    auto back = decode(wire);
+    benchmark::DoNotOptimize(back);
+  }
+}
+BENCHMARK(BM_DnsEncodeDecode);
+
+void BM_IdsEngineCleanTraffic(benchmark::State& state) {
+  ids::Engine engine(surveillance::community_ruleset());
+  auto payload = make_payload(1000);
+  auto p = packet::make_tcp(Ipv4Address(10, 0, 0, 1),
+                            Ipv4Address(192, 0, 2, 1), 1234, 8080,
+                            TcpFlags::kAck, 1, 2, payload);
+  auto d = *packet::decode(p.data());
+  int64_t t = 0;
+  for (auto _ : state) {
+    auto v = engine.process(common::SimTime(t += 1000), d);
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) *
+                          int64_t(p.size()));
+}
+BENCHMARK(BM_IdsEngineCleanTraffic);
+
+void BM_IdsEngineKeywordHit(benchmark::State& state) {
+  ids::Engine engine = ids::Engine::from_text(
+      "reject tcp any any -> any any (content:\"falun\"; nocase; sid:1;)");
+  common::Bytes payload =
+      common::to_bytes("GET /search?q=falun HTTP/1.1\r\n\r\n");
+  auto p = packet::make_tcp(Ipv4Address(10, 0, 0, 1),
+                            Ipv4Address(192, 0, 2, 1), 1234, 80,
+                            TcpFlags::kAck, 1, 2, payload);
+  auto d = *packet::decode(p.data());
+  int64_t t = 0;
+  for (auto _ : state) {
+    auto v = engine.process(common::SimTime(t += 1000), d);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_IdsEngineKeywordHit);
+
+void BM_FlowTableUpdate(benchmark::State& state) {
+  ids::FlowTable table;
+  common::Rng rng(3);
+  std::vector<std::pair<common::Bytes, packet::Decoded>> packets;
+  for (int i = 0; i < 256; ++i) {
+    auto p = packet::make_tcp(
+        Ipv4Address(static_cast<uint32_t>(0x0A000000 + rng.bounded(64))),
+        Ipv4Address(192, 0, 2, 1),
+        static_cast<uint16_t>(1024 + rng.bounded(1024)), 80,
+        TcpFlags::kAck, static_cast<uint32_t>(i) * 100, 1,
+        make_payload(100));
+    auto wire = p.data();
+    auto d = *packet::decode(wire);
+    packets.emplace_back(std::move(wire), d);
+    // Re-decode against the stored buffer so spans stay valid.
+    packets.back().second = *packet::decode(packets.back().first);
+  }
+  int64_t t = 0;
+  size_t i = 0;
+  for (auto _ : state) {
+    auto fc = table.update(common::SimTime(t += 1000),
+                           packets[i++ % packets.size()].second);
+    benchmark::DoNotOptimize(fc);
+  }
+}
+BENCHMARK(BM_FlowTableUpdate);
+
+void BM_EventLoopThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    netsim::Engine engine;
+    int counter = 0;
+    for (int i = 0; i < 1000; ++i) {
+      engine.schedule(common::Duration::micros(i), [&counter] {
+        ++counter;
+      });
+    }
+    engine.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * 1000);
+}
+BENCHMARK(BM_EventLoopThroughput);
+
+void BM_StreamReassembly(benchmark::State& state) {
+  for (auto _ : state) {
+    ids::StreamBuffer sb(64 * 1024);
+    sb.set_base(0);
+    auto chunk = make_payload(1460);
+    // In-order fill followed by an out-of-order tail merge.
+    for (uint32_t seq = 0; seq < 20 * 1460; seq += 1460)
+      sb.add_segment(seq + 1460, chunk);  // gap at 0..1460
+    sb.add_segment(0, chunk);             // fill the gap, merge all
+    benchmark::DoNotOptimize(sb.contiguous().data());
+  }
+}
+BENCHMARK(BM_StreamReassembly);
+
+void BM_FragmentRoundTrip(benchmark::State& state) {
+  auto payload = make_payload(static_cast<size_t>(state.range(0)));
+  packet::IpOptions opt;
+  opt.dont_fragment = false;
+  opt.identification = 9;
+  packet::Packet p = packet::make_udp(Ipv4Address(10, 0, 0, 1),
+                                      Ipv4Address(10, 0, 0, 2), 1, 2,
+                                      payload, opt);
+  for (auto _ : state) {
+    auto frags = packet::fragment(p, 1500);
+    packet::Reassembler reassembler;
+    std::optional<packet::Packet> whole;
+    for (const auto& f : frags)
+      whole = reassembler.add(common::SimTime(0), f.data());
+    benchmark::DoNotOptimize(whole);
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_FragmentRoundTrip)->Arg(4000)->Arg(16000)->Arg(64000);
+
+void BM_SpamScore(benchmark::State& state) {
+  spamfilter::Scorer scorer;
+  common::Rng rng(5);
+  std::string message =
+      spamfilter::make_spam_measurement_email(rng, "blocked.example");
+  for (auto _ : state) {
+    auto report = scorer.score_raw(message);
+    benchmark::DoNotOptimize(report.score);
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) *
+                          int64_t(message.size()));
+}
+BENCHMARK(BM_SpamScore);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// E14 — ablation: scan pacing vs. the surveillance scan detector.
+//
+// Method #1's cover story is that "machines on the Internet are
+// constantly being scanned" (10.8M scans/month against one darknet), so
+// scan alerts are bulk noise. This bench asks a sharper question: at
+// what rate does the measurement scan trip the detector at all? The
+// community scan rule fires at >=100 SYNs from one source in 60 s; a
+// paced scan stays under it entirely — zero alerts of any class — while
+// measuring exactly the same thing.
+#include <cstdio>
+
+#include "analysis/report.hpp"
+#include "common/strings.hpp"
+#include "core/probe.hpp"
+#include "core/risk.hpp"
+#include "core/scan.hpp"
+
+using namespace sm;
+
+int main() {
+  std::printf("E14 — scan pacing vs. detection (scan rule: 100 SYNs / "
+              "60 s per source)\n\n");
+
+  analysis::Table table({"inter-SYN gap", "ports", "duration (sim)",
+                         "verdict", "noise alerts", "targeted alerts"});
+  struct Row {
+    int gap_ms;
+    size_t ports;
+  };
+  bool fast_flagged = false, slow_silent = false, all_accurate = true;
+  for (Row row : {Row{2, 150}, Row{50, 150}, Row{400, 150},
+                  Row{700, 150}}) {
+    core::TestbedConfig cfg;
+    cfg.policy = censor::gfc_profile();
+    cfg.policy.blocked_ips.push_back(core::TestbedAddresses{}.web_blocked);
+    core::Testbed tb(cfg);
+
+    core::ScanOptions opts;
+    opts.target = tb.addr().web_blocked;
+    opts.ports = core::top_tcp_ports(row.ports);
+    opts.expected_open = {80};
+    opts.pace = common::Duration::millis(row.gap_ms);
+    core::ScanProbe probe(tb, opts);
+    core::ProbeReport report =
+        core::run_probe(tb, probe, common::Duration::seconds(300));
+    core::RiskReport risk = core::assess_risk(tb, "scan");
+
+    if (report.verdict != core::Verdict::BlockedTimeout)
+      all_accurate = false;
+    if (row.gap_ms <= 50 && risk.noise_alerts > 0) fast_flagged = true;
+    if (row.gap_ms >= 700 && risk.noise_alerts == 0) slow_silent = true;
+
+    table.add_row({common::format("%d ms", row.gap_ms),
+                   analysis::Table::num(uint64_t(row.ports)),
+                   common::format("%.0f s",
+                                  tb.net.engine().now().to_seconds()),
+                   std::string(core::to_string(report.verdict)),
+                   analysis::Table::num(risk.noise_alerts),
+                   analysis::Table::num(risk.targeted_alerts)});
+  }
+  std::printf("%s\n", table.to_markdown().c_str());
+
+  std::printf("reading: the nmap-speed scan is *detected but discarded* "
+              "(noise class) — the paper's blend-into-the-background "
+              "argument;\nthe paced scan is not detected at all — "
+              "slower, but it never even enters the surveillance "
+              "system's logs.\n");
+  bool shape = fast_flagged && slow_silent && all_accurate;
+  std::printf("\npaper-shape check: %s\n", shape ? "PASS" : "FAIL");
+  return shape ? 0 : 1;
+}

@@ -1,0 +1,97 @@
+// Shared helpers for the experiment benches: run one technique in a fresh
+// testbed and collect both the measurement report and the risk report.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/ddos.hpp"
+#include "core/mimicry.hpp"
+#include "core/overt.hpp"
+#include "core/probe.hpp"
+#include "core/risk.hpp"
+#include "core/scan.hpp"
+#include "core/spam.hpp"
+#include "core/synprobe.hpp"
+
+namespace sm::bench {
+
+struct TechniqueRun {
+  core::ProbeReport report;
+  core::RiskReport risk;
+};
+
+/// Factory signature: builds a probe bound to the given testbed.
+using ProbeFactory =
+    std::function<std::unique_ptr<core::Probe>(core::Testbed&)>;
+
+/// Runs `factory`'s probe in a fresh testbed configured with `config`.
+inline TechniqueRun run_technique(const core::TestbedConfig& config,
+                                  const ProbeFactory& factory,
+                                  const std::string& label) {
+  core::Testbed tb(config);
+  auto probe = factory(tb);
+  TechniqueRun out;
+  out.report = core::run_probe(tb, *probe);
+  tb.run_for(common::Duration::seconds(2));  // drain in-flight traffic
+  out.risk = core::assess_risk(tb, label);
+  return out;
+}
+
+/// The standard technique suite, in presentation order.
+struct NamedFactory {
+  std::string name;
+  ProbeFactory factory;
+};
+
+inline std::vector<NamedFactory> standard_techniques() {
+  std::vector<NamedFactory> out;
+  out.push_back({"overt-dns", [](core::Testbed& tb) {
+                   return std::make_unique<core::OvertDnsProbe>(
+                       tb, core::OvertDnsOptions{.domain = "twitter.com"});
+                 }});
+  out.push_back({"overt-http", [](core::Testbed& tb) {
+                   return std::make_unique<core::OvertHttpProbe>(
+                       tb,
+                       core::OvertHttpOptions{.domain = "blocked.example"});
+                 }});
+  out.push_back({"scan", [](core::Testbed& tb) {
+                   core::ScanOptions opts;
+                   opts.target = tb.addr().web_blocked;
+                   opts.ports = core::top_tcp_ports(100);
+                   opts.expected_open = {80};
+                   return std::make_unique<core::ScanProbe>(tb, opts);
+                 }});
+  out.push_back({"syn-reach", [](core::Testbed& tb) {
+                   return std::make_unique<core::SynReachabilityProbe>(
+                       tb, core::SynReachabilityOptions{
+                               .target = tb.addr().web_blocked,
+                               .port = 80,
+                               .cover_count = 5});
+                 }});
+  out.push_back({"spam", [](core::Testbed& tb) {
+                   return std::make_unique<core::SpamProbe>(
+                       tb, core::SpamOptions{.domain = "blocked.example"});
+                 }});
+  out.push_back({"ddos", [](core::Testbed& tb) {
+                   return std::make_unique<core::DdosProbe>(
+                       tb, core::DdosOptions{.domain = "blocked.example",
+                                             .requests = 15});
+                 }});
+  out.push_back({"mimicry-dns", [](core::Testbed& tb) {
+                   return std::make_unique<core::StatelessDnsMimicryProbe>(
+                       tb, core::StatelessMimicryOptions{
+                               .domain = "twitter.com", .cover_count = 10});
+                 }});
+  out.push_back({"mimicry-stateful", [](core::Testbed& tb) {
+                   return std::make_unique<core::StatefulMimicryProbe>(
+                       tb, core::StatefulMimicryOptions{
+                               .path = "/search?q=falun",
+                               .cover_flows = 10});
+                 }});
+  return out;
+}
+
+}  // namespace sm::bench

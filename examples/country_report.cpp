@@ -1,0 +1,88 @@
+// Country report: run every measurement technique (overt baselines plus
+// the paper's three stealthy methods and both mimicry variants) against a
+// censored and an uncensored target, and print a censorship report plus a
+// per-technique risk assessment — the decision table a measurement
+// platform operator would actually read.
+//
+//   $ ./country_report
+#include <cstdio>
+
+#include "analysis/report.hpp"
+#include "core/background.hpp"
+#include "core/ddos.hpp"
+#include "core/mimicry.hpp"
+#include "core/overt.hpp"
+#include "core/probe.hpp"
+#include "core/risk.hpp"
+#include "core/scan.hpp"
+#include "core/spam.hpp"
+
+using namespace sm;
+
+namespace {
+
+struct Row {
+  core::ProbeReport report;
+  core::RiskReport risk;
+};
+
+/// Runs one probe in a *fresh* testbed (so risk is attributable to that
+/// technique alone) with background population traffic for realism.
+template <typename ProbeT, typename Options>
+Row run_in_fresh_testbed(const core::TestbedConfig& config,
+                         const Options& options) {
+  core::Testbed tb(config);
+  core::BackgroundTraffic bg(tb);
+  bg.schedule(common::Duration::seconds(5));
+  ProbeT probe(tb, options);
+  Row row;
+  row.report = core::run_probe(tb, probe);
+  tb.run_for(common::Duration::seconds(2));  // let background drain
+  row.risk = core::assess_risk(tb, row.report.technique);
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  core::TestbedConfig config;
+  config.policy = censor::gfc_profile();
+  config.policy.blocked_ips.push_back(core::TestbedAddresses{}.mail_blocked);
+
+  std::vector<Row> rows;
+  rows.push_back(run_in_fresh_testbed<core::OvertDnsProbe>(
+      config, core::OvertDnsOptions{.domain = "twitter.com"}));
+  rows.push_back(run_in_fresh_testbed<core::OvertHttpProbe>(
+      config, core::OvertHttpOptions{.domain = "blocked.example"}));
+  {
+    core::ScanOptions scan;
+    scan.target = core::TestbedAddresses{}.web_blocked;
+    scan.ports = core::top_tcp_ports(100);
+    rows.push_back(run_in_fresh_testbed<core::ScanProbe>(config, scan));
+  }
+  rows.push_back(run_in_fresh_testbed<core::SpamProbe>(
+      config, core::SpamOptions{.domain = "blocked.example"}));
+  rows.push_back(run_in_fresh_testbed<core::DdosProbe>(
+      config, core::DdosOptions{.domain = "blocked.example"}));
+  rows.push_back(run_in_fresh_testbed<core::StatelessDnsMimicryProbe>(
+      config, core::StatelessMimicryOptions{.domain = "youtube.com"}));
+  rows.push_back(run_in_fresh_testbed<core::StatefulMimicryProbe>(
+      config, core::StatefulMimicryOptions{.path = "/search?q=falun"}));
+
+  analysis::Table table({"technique", "target", "verdict", "evaded MVR",
+                         "analyst suspicion", "attribution P"});
+  for (const auto& row : rows) {
+    table.add_row({row.report.technique, row.report.target,
+                   std::string(core::to_string(row.report.verdict)),
+                   row.risk.evaded ? "yes" : "NO",
+                   analysis::Table::num(row.risk.suspicion),
+                   analysis::Table::num(row.risk.attribution_probability)});
+  }
+  std::printf("Censorship measurement report (GFC-style censor)\n\n%s\n",
+              table.to_markdown().c_str());
+
+  std::printf("Reading: every stealthy technique should detect its "
+              "mechanism (accuracy)\nwith 'evaded MVR' = yes; the overt "
+              "baselines detect it too but are logged.\n");
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Evasion lab: the arms race around the censor's and the surveillance
+// system's packet-processing limits, in one run.
+//
+//   round 1 — keyword in one segment           -> censor RSTs it
+//   round 2 — keyword split across IP fragments-> fragment-blind censor
+//                                                 misses it (Khattak-style)
+//   round 3 — censor turns on defragmentation  -> caught again
+//   round 4 — TTL-limited cover replies        -> invisible to spoofed
+//                                                 hosts, visible to the tap
+//   round 5 — surveillance adds TTL normalizer -> cover unravels, but
+//                                                 traceroute breaks (the
+//                                                 paper's predicted cost)
+//
+//   $ ./evasion_lab
+#include <cstdio>
+
+#include "core/probe.hpp"
+#include "core/testbed.hpp"
+#include "packet/fragment.hpp"
+#include "spoof/cover.hpp"
+#include "surveillance/normalizer.hpp"
+
+using namespace sm;
+
+namespace {
+
+void send_keyword(core::Testbed& tb, size_t mtu) {
+  std::string req = "GET /search?q=falun HTTP/1.1\r\nHost: x\r\n\r\n";
+  packet::IpOptions opt;
+  opt.dont_fragment = false;
+  opt.identification = 7;
+  packet::Packet p = packet::make_tcp(
+      tb.addr().client, tb.addr().web_blocked, 5555, 80,
+      packet::TcpFlags::kAck, 1000, 1, common::to_bytes(req), opt);
+  for (auto& f : packet::fragment(p, mtu)) tb.client->send(std::move(f));
+  tb.run_for(common::Duration::millis(50));
+}
+
+core::TestbedConfig config(bool defrag) {
+  core::TestbedConfig cfg;
+  cfg.policy = censor::gfc_profile();
+  cfg.policy.reassemble_ip_fragments = defrag;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  {
+    core::Testbed tb(config(false));
+    send_keyword(tb, 1500);
+    std::printf("round 1: keyword in one segment        -> censor RST "
+                "bursts: %llu (detected)\n",
+                (unsigned long long)tb.censor_tap->stats().rst_bursts);
+  }
+  {
+    core::Testbed tb(config(false));
+    send_keyword(tb, 56);
+    std::printf("round 2: keyword split across fragments-> censor RST "
+                "bursts: %llu (evaded!)\n",
+                (unsigned long long)tb.censor_tap->stats().rst_bursts);
+  }
+  {
+    core::Testbed tb(config(true));
+    send_keyword(tb, 56);
+    std::printf("round 3: censor defragments            -> censor RST "
+                "bursts: %llu (caught again)\n",
+                (unsigned long long)tb.censor_tap->stats().rst_bursts);
+  }
+  {
+    core::Testbed tb(config(false));
+    tb.mimicry_server->register_cover_client(tb.neighbors[0]->address(), 1);
+    spoof::StatefulMimicryClient mimic(*tb.client, tb.addr().measurement,
+                                       80, tb.config().mimicry_secret,
+                                       common::Duration::millis(10));
+    mimic.run_flow(tb.neighbors[0]->address(),
+                   "GET / HTTP/1.1\r\nHost: m\r\n\r\n");
+    tb.run_for(common::Duration::seconds(2));
+    std::printf("round 4: TTL-limited cover flow        -> spoofed host "
+                "RSTs: %llu, flow served: %llu (stealthy & complete)\n",
+                (unsigned long long)tb.neighbor_stacks[0]->stats().rst_out,
+                (unsigned long long)tb.measurement_http->requests_served());
+  }
+  {
+    core::Testbed tb(config(false));
+    surveillance::TtlNormalizerStats stats;
+    tb.router->set_transformer(surveillance::make_ttl_normalizer(10,
+                                                                 &stats));
+    tb.mimicry_server->register_cover_client(tb.neighbors[0]->address(), 1);
+    spoof::StatefulMimicryClient mimic(*tb.client, tb.addr().measurement,
+                                       80, tb.config().mimicry_secret,
+                                       common::Duration::millis(10));
+    mimic.run_flow(tb.neighbors[0]->address(),
+                   "GET / HTTP/1.1\r\nHost: m\r\n\r\n");
+    // The broken-diagnostics cost: a traceroute probe that should expire.
+    uint64_t te = 0;
+    tb.client->set_icmp_handler(
+        [&te](const packet::Decoded& d, const common::Bytes&) {
+          if (d.icmp->type == packet::IcmpHeader::kTimeExceeded) ++te;
+        });
+    tb.client->send_udp(tb.addr().web_open, 33434, 33434,
+                        common::to_bytes("traceroute"), /*ttl=*/1);
+    tb.run_for(common::Duration::seconds(2));
+    std::printf("round 5: surveillance normalizes TTLs  -> spoofed host "
+                "RSTs: %llu (cover unraveled), traceroute replies: %llu "
+                "(diagnostics broken)\n",
+                (unsigned long long)tb.neighbor_stacks[0]->stats().rst_out,
+                (unsigned long long)te);
+  }
+  std::printf("\nNo move is free: each measure has a counter, and each "
+              "counter has a cost — §4.2 and §7 of the paper in "
+              "miniature.\n");
+  return 0;
+}

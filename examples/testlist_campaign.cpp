@@ -1,0 +1,65 @@
+// Test-list campaign: the full platform loop — parse a Citizen-Lab-style
+// target list, schedule a stealthy DNS measurement per target with
+// jittered pacing, and emit the results as OONI-style JSON lines plus a
+// per-category summary table.
+//
+//   $ ./testlist_campaign
+#include <cstdio>
+
+#include "analysis/report.hpp"
+#include "core/mimicry.hpp"
+#include "core/probe.hpp"
+#include "core/report_json.hpp"
+#include "core/risk.hpp"
+#include "core/scheduler.hpp"
+#include "core/targets.hpp"
+
+using namespace sm;
+
+int main() {
+  core::TargetList list = core::TargetList::builtin_sample();
+  std::printf("campaign over %zu targets (%zu categories), stateless DNS "
+              "mimicry with 6 cover queries each\n\n",
+              list.size(), list.categories().size());
+
+  core::Testbed tb;
+  core::MeasurementScheduler scheduler(tb);
+  for (const auto& target : list.targets()) {
+    scheduler.enqueue([domain = target.domain](core::Testbed& t) {
+      return std::make_unique<core::StatelessDnsMimicryProbe>(
+          t, core::StatelessMimicryOptions{.domain = domain,
+                                           .cover_count = 6});
+    });
+  }
+  auto reports = scheduler.run_all();
+  tb.run_for(common::Duration::seconds(2));
+
+  // Per-category rollup.
+  analysis::Table table({"category", "targets", "blocked", "verdicts"});
+  for (const auto& category : list.categories()) {
+    auto targets = list.by_category(category);
+    size_t blocked = 0;
+    std::string verdicts;
+    for (const auto& target : targets) {
+      for (const auto& report : reports) {
+        if (report.target != target.domain) continue;
+        if (core::is_blocked(report.verdict)) ++blocked;
+        if (!verdicts.empty()) verdicts += ", ";
+        verdicts += std::string(core::to_string(report.verdict));
+      }
+    }
+    table.add_row({category, analysis::Table::num(uint64_t(targets.size())),
+                   analysis::Table::num(uint64_t(blocked)), verdicts});
+  }
+  std::printf("%s\n", table.to_markdown().c_str());
+
+  // Campaign-level risk, once, for the whole run.
+  core::RiskReport risk = core::assess_risk(tb, "campaign");
+  std::printf("campaign risk: %s\n\n", risk.to_string().c_str());
+
+  // The machine-readable report file (JSON lines).
+  std::vector<std::pair<core::ProbeReport, core::RiskReport>> rows;
+  for (const auto& report : reports) rows.emplace_back(report, risk);
+  std::printf("--- report.jsonl ---\n%s", core::to_jsonl(rows).c_str());
+  return 0;
+}

@@ -1,0 +1,62 @@
+#include "analysis/population.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sm::analysis {
+
+std::vector<Site> make_site_catalog(Rng& rng, size_t total,
+                                    size_t censored_count,
+                                    size_t min_censored_rank) {
+  std::vector<Site> catalog(total);
+  for (size_t i = 0; i < total; ++i) {
+    catalog[i].domain = "site" + std::to_string(i) + ".example";
+  }
+  // Scatter censored sites across ranks [min_censored_rank, total).
+  size_t placed = 0;
+  size_t span = total > min_censored_rank ? total - min_censored_rank : total;
+  while (placed < censored_count && placed < total) {
+    size_t rank = min_censored_rank + rng.bounded(span);
+    if (rank < total && !catalog[rank].censored) {
+      catalog[rank].censored = true;
+      catalog[rank].domain = "blocked" + std::to_string(placed) + ".example";
+      ++placed;
+    }
+  }
+  return catalog;
+}
+
+size_t generate_population_log(
+    const PopulationConfig& config, const std::vector<Site>& catalog,
+    const std::function<void(const LogRecord&)>& sink) {
+  Rng rng(config.seed);
+  common::ZipfSampler zipf(catalog.size(), config.zipf_s);
+  size_t total_records = 0;
+
+  // Log-normal user activity calibrated so the mean request count is
+  // mean_requests_per_user: mean of lognormal(mu, sigma) = e^{mu+s^2/2}.
+  double mu = std::log(config.mean_requests_per_user) -
+              config.activity_sigma * config.activity_sigma / 2.0;
+
+  for (size_t u = 0; u < config.users; ++u) {
+    Ipv4Address user(config.user_base.value() + static_cast<uint32_t>(u));
+    double expected =
+        std::exp(rng.normal(mu, config.activity_sigma));
+    // Poisson-ish: round the log-normal draw, at least 0.
+    auto requests = static_cast<size_t>(std::max(0.0, std::round(expected)));
+    for (size_t i = 0; i < requests; ++i) {
+      LogRecord rec;
+      rec.time = SimTime(static_cast<int64_t>(
+          rng.uniform() * static_cast<double>(config.window.count())));
+      rec.user = user;
+      rec.site_rank = static_cast<uint32_t>(zipf.sample(rng));
+      rec.censored_site = catalog[rec.site_rank].censored;
+      rec.blocked = rec.censored_site;  // faithful censor, no overblocking
+      sink(rec);
+      ++total_records;
+    }
+  }
+  return total_records;
+}
+
+}  // namespace sm::analysis

@@ -1,0 +1,69 @@
+#include "analysis/report.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace sm::analysis {
+
+Table::Table(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v) { return common::format("%g", v); }
+std::string Table::num(uint64_t v) {
+  return std::to_string(v);
+}
+std::string Table::pct(double fraction, int decimals) {
+  return common::format("%.*f%%", decimals, fraction * 100.0);
+}
+
+std::string Table::to_markdown() const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t i = 0; i < columns_.size(); ++i)
+    widths[i] = columns_[i].size();
+  for (const auto& row : rows_)
+    for (size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      std::string cell = i < cells.size() ? cells[i] : "";
+      cell.resize(widths[i], ' ');
+      line += " " + cell + " |";
+    }
+    return line + "\n";
+  };
+
+  std::string out = render_row(columns_);
+  std::string sep = "|";
+  for (size_t i = 0; i < columns_.size(); ++i)
+    sep += " " + std::string(widths[i], '-') + " |";
+  out += sep + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string Table::to_tsv() const {
+  std::string out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i) out += '\t';
+    out += columns_[i];
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) out += '\t';
+      out += row[i];
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace sm::analysis

@@ -1,0 +1,32 @@
+// Table rendering for bench/report output: markdown and TSV.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sm::analysis {
+
+/// Accumulates rows and renders them aligned. Cells are strings; use
+/// cell() helpers for numbers.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// "%g"-formatted numeric cell.
+  static std::string num(double v);
+  static std::string num(uint64_t v);
+  static std::string pct(double fraction, int decimals = 2);
+
+  std::string to_markdown() const;
+  std::string to_tsv() const;
+
+  size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sm::analysis

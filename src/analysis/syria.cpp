@@ -1,0 +1,47 @@
+#include "analysis/syria.hpp"
+
+#include "common/strings.hpp"
+
+namespace sm::analysis {
+
+void LogAnalyzer::add(const LogRecord& record) {
+  ++total_requests_;
+  UserStats& st = per_user_[record.user];
+  ++st.requests;
+  if (record.censored_site) {
+    ++censored_requests_;
+    if (st.censored == 0) ++users_censored_;
+    ++st.censored;
+  }
+}
+
+double LogAnalyzer::censored_user_fraction() const {
+  if (per_user_.empty()) return 0.0;
+  return static_cast<double>(users_censored_) /
+         static_cast<double>(per_user_.size());
+}
+
+double LogAnalyzer::censored_request_fraction() const {
+  if (total_requests_ == 0) return 0.0;
+  return static_cast<double>(censored_requests_) /
+         static_cast<double>(total_requests_);
+}
+
+std::map<uint64_t, size_t> LogAnalyzer::censored_touch_histogram() const {
+  std::map<uint64_t, size_t> hist;
+  for (const auto& [user, st] : per_user_)
+    if (st.censored > 0) ++hist[st.censored];
+  return hist;
+}
+
+std::string LogAnalyzer::summary() const {
+  return common::format(
+      "requests=%llu censored_requests=%llu (%.4f%%) users=%zu "
+      "users_touching_censored=%zu (%.2f%%)",
+      static_cast<unsigned long long>(total_requests_),
+      static_cast<unsigned long long>(censored_requests_),
+      100.0 * censored_request_fraction(), per_user_.size(),
+      users_censored_, 100.0 * censored_user_fraction());
+}
+
+}  // namespace sm::analysis

@@ -1,0 +1,201 @@
+#include "censor/engine.hpp"
+
+#include "common/strings.hpp"
+
+namespace sm::censor {
+
+using netsim::TapContext;
+using netsim::TapDecision;
+using packet::TcpFlags;
+
+CensorTap::CensorTap(CensorPolicy policy)
+    : policy_(std::move(policy)), engine_(policy_.compile_rules()) {}
+
+bool CensorTap::in_blackout(const TapContext& ctx) {
+  if (blackouts_.empty()) return false;
+  BlackoutKey key{ctx.decoded.ip.src, ctx.decoded.ip.dst,
+                  ctx.decoded.src_port(), ctx.decoded.dst_port()};
+  BlackoutKey rkey{ctx.decoded.ip.dst, ctx.decoded.ip.src,
+                   ctx.decoded.dst_port(), ctx.decoded.src_port()};
+  for (const auto& k : {key, rkey}) {
+    auto it = blackouts_.find(k);
+    if (it != blackouts_.end()) {
+      if (ctx.now < it->second) return true;
+      blackouts_.erase(it);
+    }
+  }
+  return false;
+}
+
+void CensorTap::inject_rsts(const TapContext& ctx, netsim::Router& router) {
+  const auto& d = ctx.decoded;
+  if (!d.tcp) return;
+  ++stats_.rst_bursts;
+
+  // Blackout the 5-tuple.
+  BlackoutKey key{d.ip.src, d.ip.dst, d.tcp->src_port, d.tcp->dst_port};
+  blackouts_[key] = ctx.now + policy_.flow_blackout;
+
+  uint32_t payload = static_cast<uint32_t>(d.l4_payload.size());
+  for (int i = 0; i < policy_.rst_burst; ++i) {
+    // Staggered sequence numbers, as the GFC does, so at least one RST
+    // lands in-window even if more data is in flight.
+    uint32_t stagger = static_cast<uint32_t>(i) * 1460;
+    // RST toward the server, forged from the client.
+    router.inject(packet::make_tcp(d.ip.src, d.ip.dst, d.tcp->src_port,
+                                   d.tcp->dst_port, TcpFlags::kRst,
+                                   d.tcp->seq + payload + stagger, 0));
+    ++stats_.rst_packets_injected;
+    // RST toward the client, forged from the server.
+    if (d.tcp->ack_flag()) {
+      router.inject(packet::make_tcp(d.ip.dst, d.ip.src, d.tcp->dst_port,
+                                     d.tcp->src_port, TcpFlags::kRst,
+                                     d.tcp->ack + stagger, 0));
+      ++stats_.rst_packets_injected;
+    }
+  }
+}
+
+bool CensorTap::maybe_forge_dns(const TapContext& ctx,
+                                netsim::Router& router) {
+  const auto& d = ctx.decoded;
+  if (!d.udp || d.udp->dst_port != 53) return false;
+  auto query = proto::dns::decode(d.l4_payload);
+  if (!query || query->header.qr || query->questions.empty()) return false;
+  const auto& q = query->questions.front();
+  const Ipv4Address* forged = policy_.dns_forgery_for(q.name.str());
+  if (!forged) return false;
+
+  // Forge an answer that races the real one. The GFC injects an A record
+  // regardless of qtype (observed for both A and MX in §3.2.3).
+  auto resp = proto::dns::Message::response_to(*query,
+                                               proto::dns::Rcode::NoError);
+  resp.answers.push_back(
+      proto::dns::ResourceRecord::a(q.name, *forged, 300));
+  router.inject(packet::make_udp(d.ip.dst, d.ip.src, 53, d.udp->src_port,
+                                 proto::dns::encode(resp)));
+  ++stats_.dns_responses_forged;
+  return true;
+}
+
+bool CensorTap::dns_query_dropped(const TapContext& ctx) {
+  if (policy_.dns_drop_keywords.empty()) return false;
+  const auto& d = ctx.decoded;
+  if (!d.udp || d.udp->dst_port != 53) return false;
+  auto query = proto::dns::decode(d.l4_payload);
+  if (!query || query->header.qr || query->questions.empty()) return false;
+  const std::string& qname = query->questions.front().name.str();
+  for (const auto& kw : policy_.dns_drop_keywords) {
+    if (common::icontains(qname, kw)) {
+      ++stats_.dns_queries_dropped;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool CensorTap::maybe_inject_blockpage(const TapContext& ctx,
+                                       netsim::Router& router) {
+  if (policy_.blockpage_keywords.empty()) return false;
+  const auto& d = ctx.decoded;
+  if (!d.tcp || d.tcp->dst_port != 80 || d.l4_payload.empty()) return false;
+  std::string_view payload(
+      reinterpret_cast<const char*>(d.l4_payload.data()),
+      d.l4_payload.size());
+  bool hit = false;
+  for (const auto& kw : policy_.blockpage_keywords) {
+    if (common::icontains(payload, kw)) {
+      hit = true;
+      break;
+    }
+  }
+  if (!hit) return false;
+  ++stats_.blockpages_injected;
+
+  // Forge the server's HTTP response carrying the blockpage, then close
+  // the forged connection with FIN, and RST the real server side so the
+  // genuine response never races us.
+  std::string http = "HTTP/1.1 403 Forbidden\r\nContent-Type: text/html\r\n"
+                     "Content-Length: " +
+                     std::to_string(policy_.blockpage_html.size()) +
+                     "\r\nConnection: close\r\n\r\n" +
+                     policy_.blockpage_html;
+  uint32_t server_seq = d.tcp->ack;  // next byte the client expects
+  uint32_t client_next =
+      d.tcp->seq + static_cast<uint32_t>(d.l4_payload.size());
+  router.inject(packet::make_tcp(
+      d.ip.dst, d.ip.src, d.tcp->dst_port, d.tcp->src_port,
+      packet::TcpFlags::kAck | packet::TcpFlags::kPsh, server_seq,
+      client_next, common::to_bytes(http)));
+  router.inject(packet::make_tcp(
+      d.ip.dst, d.ip.src, d.tcp->dst_port, d.tcp->src_port,
+      packet::TcpFlags::kFin | packet::TcpFlags::kAck,
+      server_seq + static_cast<uint32_t>(http.size()), client_next));
+  // RST toward the real server, forged from the client.
+  router.inject(packet::make_tcp(d.ip.src, d.ip.dst, d.tcp->src_port,
+                                 d.tcp->dst_port, packet::TcpFlags::kRst,
+                                 client_next, 0));
+  // Blackout the tuple so retransmissions of the request do not reach
+  // the server either.
+  BlackoutKey key{d.ip.src, d.ip.dst, d.tcp->src_port, d.tcp->dst_port};
+  blackouts_[key] = ctx.now + policy_.flow_blackout;
+  return true;
+}
+
+TapDecision CensorTap::process(const TapContext& ctx,
+                               netsim::Router& router) {
+  ++stats_.packets_seen;
+
+  if (in_blackout(ctx)) {
+    ++stats_.dropped_blackout;
+    return TapDecision::Drop;
+  }
+
+  const auto& ip = ctx.decoded.ip;
+  if ((ip.more_fragments || ip.fragment_offset != 0) &&
+      policy_.reassemble_ip_fragments) {
+    // Virtual defragmentation: inspect the rebuilt datagram when the
+    // last piece arrives; earlier fragments were already forwarded, so
+    // an inline action can only eat this final piece (plus the blackout).
+    auto whole = reassembler_.add(ctx.now, ctx.wire);
+    if (!whole) return TapDecision::Pass;
+    auto decoded = packet::decode(*whole);
+    if (!decoded) return TapDecision::Pass;
+    TapContext rebuilt{ctx.now, *decoded, whole->data(), ctx.in_port,
+                       ctx.out_port};
+    return inspect(rebuilt, router);
+  }
+
+  // A fragment-blind censor still inspects each fragment as a packet:
+  // the first fragment carries the L4 header, so a keyword wholly inside
+  // it is caught; only content *straddling* a fragment boundary evades
+  // (the Khattak et al. [26] window).
+  return inspect(ctx, router);
+}
+
+TapDecision CensorTap::inspect(const TapContext& ctx,
+                               netsim::Router& router) {
+  if (dns_query_dropped(ctx)) return TapDecision::Drop;
+
+  // Blockpage injection replaces the real exchange entirely: the forged
+  // response goes to the client and the request is eaten.
+  if (maybe_inject_blockpage(ctx, router)) return TapDecision::Drop;
+
+  // DNS forgery is off-path: inject the lie, let the query pass.
+  maybe_forge_dns(ctx, router);
+
+  auto verdict = engine_.process(ctx.now, ctx.decoded);
+  if (verdict.reject) {
+    inject_rsts(ctx, router);
+    // The GFC is off-path: the triggering packet itself is usually
+    // delivered; the RSTs and blackout do the damage. Model that.
+    return TapDecision::Pass;
+  }
+  if (verdict.drop) {
+    ++stats_.dropped_inline;
+    return TapDecision::Drop;
+  }
+  return TapDecision::Pass;
+}
+
+}  // namespace sm::censor

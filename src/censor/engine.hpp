@@ -1,0 +1,79 @@
+// Censorship enforcement engine: an inline Tap for the simulated router.
+//
+// Faithful to the paper's model of the GFC (§2.1): "censorship systems
+// are often simply IDSes that perform an action such as injecting a TCP
+// RST if a rule is triggered", transaction-focused, retaining only flow
+// reassembly state. Mechanisms:
+//   - keyword reject rules  -> burst of RSTs to both endpoints + a timed
+//                              5-tuple blackout (observed GFC behaviour)
+//   - DNS forgery           -> race a forged A answer to the querier;
+//                              the real query still passes through
+//   - IP/port drop rules    -> silent inline discard
+#pragma once
+
+#include <map>
+
+#include "censor/policy.hpp"
+#include "ids/engine.hpp"
+#include "netsim/router.hpp"
+#include "packet/fragment.hpp"
+#include "proto/dns/message.hpp"
+
+namespace sm::censor {
+
+class CensorTap : public netsim::Tap {
+ public:
+  explicit CensorTap(CensorPolicy policy);
+
+  netsim::TapDecision process(const netsim::TapContext& ctx,
+                              netsim::Router& router) override;
+
+  struct Stats {
+    uint64_t packets_seen = 0;
+    uint64_t rst_bursts = 0;
+    uint64_t rst_packets_injected = 0;
+    uint64_t dns_responses_forged = 0;
+    uint64_t dns_queries_dropped = 0;
+    uint64_t blockpages_injected = 0;
+    uint64_t dropped_inline = 0;
+    uint64_t dropped_blackout = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  const CensorPolicy& policy() const { return policy_; }
+  const ids::Engine& engine() const { return engine_; }
+
+  /// Storage footprint (bytes of reassembly buffers) — the number the
+  /// paper's storage-requirement comparison cares about.
+  size_t state_bytes() const { return engine_.flows().buffered_bytes(); }
+
+ private:
+  void inject_rsts(const netsim::TapContext& ctx, netsim::Router& router);
+  bool maybe_forge_dns(const netsim::TapContext& ctx,
+                       netsim::Router& router);
+  /// Returns true if the packet is a DNS query whose qname carries a
+  /// drop keyword (caller should drop it).
+  bool dns_query_dropped(const netsim::TapContext& ctx);
+  /// Injects a forged HTTP response + teardown if the packet is an HTTP
+  /// request matching a blockpage keyword. Returns true if it fired.
+  bool maybe_inject_blockpage(const netsim::TapContext& ctx,
+                              netsim::Router& router);
+  bool in_blackout(const netsim::TapContext& ctx);
+  /// The detection+action pipeline, applied to a (possibly virtually
+  /// reassembled) datagram.
+  netsim::TapDecision inspect(const netsim::TapContext& ctx,
+                              netsim::Router& router);
+
+  CensorPolicy policy_;
+  ids::Engine engine_;
+  packet::Reassembler reassembler_;
+  Stats stats_;
+
+  struct BlackoutKey {
+    common::Ipv4Address src, dst;
+    uint16_t src_port = 0, dst_port = 0;
+    auto operator<=>(const BlackoutKey&) const = default;
+  };
+  std::map<BlackoutKey, common::SimTime> blackouts_;  // expiry time
+};
+
+}  // namespace sm::censor

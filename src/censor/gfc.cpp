@@ -1,0 +1,36 @@
+#include "censor/gfc.hpp"
+
+namespace sm::censor {
+
+CensorPolicy gfc_profile(Ipv4Address forged_dns_answer) {
+  CensorPolicy p;
+  // Keywords drawn from the published GFC measurement literature
+  // (ConceptDoppler, Clayton et al.).
+  p.rst_keywords = {
+      "falun",
+      "tiananmen",
+      "ultrasurf",
+      "freegate",
+      "六四",  // "June 4th"
+  };
+  // Domains observed to receive forged A answers for both A and MX
+  // queries (§3.2.3 validated twitter.com and youtube.com).
+  for (const char* domain :
+       {"twitter.com", "youtube.com", "facebook.com", "google.com"}) {
+    p.dns_forgeries[domain] = forged_dns_answer;
+  }
+  p.flow_blackout = common::Duration::seconds(90);
+  p.rst_burst = 3;
+  return p;
+}
+
+CensorPolicy dropping_profile(
+    std::vector<Ipv4Address> blocked_ips,
+    std::vector<std::pair<Ipv4Address, uint16_t>> blocked_ports) {
+  CensorPolicy p;
+  p.blocked_ips = std::move(blocked_ips);
+  p.blocked_ports = std::move(blocked_ports);
+  return p;
+}
+
+}  // namespace sm::censor

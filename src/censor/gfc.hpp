@@ -1,0 +1,20 @@
+// Canned censorship profiles for experiments.
+#pragma once
+
+#include "censor/policy.hpp"
+
+namespace sm::censor {
+
+/// A Great-Firewall-style profile: keyword RST injection (keywords from
+/// the public GFC literature), DNS forgery for well-known blocked
+/// domains, plus any caller-supplied IP blocks. `forged_dns_answer` is
+/// the bogus address injected into DNS replies.
+CensorPolicy gfc_profile(Ipv4Address forged_dns_answer = Ipv4Address(8, 7, 198, 45));
+
+/// A pure packet-dropping censor (no injection): null-routes + port
+/// blocks only. Used to exercise the "silence" detection paths.
+CensorPolicy dropping_profile(std::vector<Ipv4Address> blocked_ips,
+                              std::vector<std::pair<Ipv4Address, uint16_t>>
+                                  blocked_ports = {});
+
+}  // namespace sm::censor

@@ -1,0 +1,83 @@
+#include "censor/policy.hpp"
+
+#include "common/strings.hpp"
+
+namespace sm::censor {
+
+const Ipv4Address* CensorPolicy::dns_forgery_for(
+    const std::string& qname) const {
+  std::string name = common::to_lower(qname);
+  auto it = dns_forgeries.find(name);
+  if (it != dns_forgeries.end()) return &it->second;
+  // Subdomains inherit: check every suffix after a dot.
+  size_t pos = 0;
+  while ((pos = name.find('.', pos)) != std::string::npos) {
+    ++pos;
+    it = dns_forgeries.find(name.substr(pos));
+    if (it != dns_forgeries.end()) return &it->second;
+  }
+  return nullptr;
+}
+
+std::vector<ids::Rule> CensorPolicy::compile_rules(uint32_t base_sid) const {
+  std::vector<ids::Rule> rules;
+  uint32_t sid = base_sid;
+
+  for (const auto& kw : rst_keywords) {
+    ids::Rule r;
+    r.action = ids::RuleAction::Reject;
+    r.proto = ids::RuleProto::Tcp;
+    r.msg = "CENSOR keyword \"" + kw + "\"";
+    r.classtype = "censorship-keyword";
+    r.sid = sid++;
+    ids::ContentMatch c;
+    c.pattern = kw;
+    c.nocase = true;
+    r.contents.push_back(std::move(c));
+    rules.push_back(std::move(r));
+  }
+
+  for (const auto& ip : blocked_ips) {
+    ids::Rule r;
+    r.action = ids::RuleAction::Drop;
+    r.proto = ids::RuleProto::Ip;
+    r.bidirectional = true;
+    r.msg = "CENSOR null-route " + ip.to_string();
+    r.classtype = "censorship-ip";
+    r.sid = sid++;
+    r.dst.any = false;
+    r.dst.cidrs.push_back(common::Cidr(ip, 32));
+    rules.push_back(std::move(r));
+  }
+
+  for (const auto& prefix : blocked_prefixes) {
+    ids::Rule r;
+    r.action = ids::RuleAction::Drop;
+    r.proto = ids::RuleProto::Ip;
+    r.bidirectional = true;
+    r.msg = "CENSOR null-route range " + prefix.to_string();
+    r.classtype = "censorship-ip";
+    r.sid = sid++;
+    r.dst.any = false;
+    r.dst.cidrs.push_back(prefix);
+    rules.push_back(std::move(r));
+  }
+
+  for (const auto& [ip, port] : blocked_ports) {
+    ids::Rule r;
+    r.action = ids::RuleAction::Drop;
+    r.proto = ids::RuleProto::Tcp;
+    r.msg = common::format("CENSOR port block %s:%u",
+                           ip.to_string().c_str(), port);
+    r.classtype = "censorship-port";
+    r.sid = sid++;
+    r.dst.any = false;
+    r.dst.cidrs.push_back(common::Cidr(ip, 32));
+    r.dst_ports = ids::PortSpec::single(port);
+    rules.push_back(std::move(r));
+  }
+
+  return rules;
+}
+
+}  // namespace sm::censor

@@ -1,0 +1,88 @@
+// Censorship policy: the *what* of blocking, independent of the *how*.
+//
+// A policy lists the content a censor wants unreachable; the enforcement
+// engine compiles it into IDS rules plus injection behaviours. The four
+// mechanisms mirror the ones the paper's measurements must detect:
+//   - keyword RST injection   (GFC-style, Clayton et al. [10])
+//   - DNS response forgery    (bad A answers for A and MX queries, §3.2.3)
+//   - IP null-routing         (silent drop of all traffic to an address)
+//   - port blocking           (silent drop of traffic to ip:port)
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/ip.hpp"
+#include "common/time.hpp"
+#include "ids/rule.hpp"
+
+namespace sm::censor {
+
+using common::Duration;
+using common::Ipv4Address;
+
+struct CensorPolicy {
+  /// TCP payload keywords that trigger RST injection (matched nocase,
+  /// across reassembled streams).
+  std::vector<std::string> rst_keywords;
+
+  /// HTTP request keywords that trigger blockpage injection instead of a
+  /// bare RST: the censor forges a complete HTTP response (the
+  /// "explicit" censorship style of e.g. Qatar/UAE filters, in contrast
+  /// to the GFC's deniable RSTs). Applies to requests toward port 80.
+  std::vector<std::string> blockpage_keywords;
+  /// Body of the injected blockpage.
+  std::string blockpage_html =
+      "<html><head><title>Blocked</title></head><body>"
+      "<h1>Access to this site is denied</h1>"
+      "<p>This page has been blocked by order of the authority.</p>"
+      "</body></html>";
+
+  /// Domains whose DNS lookups (any qtype) get a forged A answer.
+  std::map<std::string, Ipv4Address> dns_forgeries;
+
+  /// Keywords that cause DNS *queries* to be silently dropped when they
+  /// appear in the QNAME (the GFC drops keyword-bearing queries outright
+  /// for some zones).
+  std::vector<std::string> dns_drop_keywords;
+
+  /// Null-routed addresses: every packet to or from them is dropped.
+  std::vector<Ipv4Address> blocked_ips;
+
+  /// Null-routed prefixes. Range blocks are the blunt instrument a censor
+  /// reaches for against cloud-hosted targets — and the reason §4.1
+  /// argues cloud co-hosting "evades blocking": the collateral damage of
+  /// blocking a popular provider's range is real content going dark
+  /// (bench E13 quantifies it).
+  std::vector<common::Cidr> blocked_prefixes;
+
+  /// (address, port) pairs: packets toward that service are dropped.
+  std::vector<std::pair<Ipv4Address, uint16_t>> blocked_ports;
+
+  /// After a keyword RST fires, the 5-tuple is blackholed this long
+  /// (the GFC's observed ~90 s flow blackout).
+  Duration flow_blackout = Duration::seconds(90);
+
+  /// RSTs injected per direction per trigger (the GFC sends bursts with
+  /// staggered sequence numbers to beat resequencing).
+  int rst_burst = 3;
+
+  /// Virtual IP defragmentation: when false (the historical default the
+  /// evasion literature exploits, Khattak et al. [26]), keywords split
+  /// across IP fragments slip past the content rules; when true the
+  /// censor reassembles datagrams before inspection.
+  bool reassemble_ip_fragments = false;
+
+  /// Whether a domain is subject to DNS forgery; subdomains inherit.
+  const Ipv4Address* dns_forgery_for(const std::string& qname) const;
+
+  /// Whether a payload keyword list is non-trivial.
+  bool has_keyword_rules() const { return !rst_keywords.empty(); }
+
+  /// Compiles the drop/reject portion into IDS rules (keyword reject
+  /// rules, IP and port drop rules). SIDs are assigned from `base_sid`.
+  std::vector<ids::Rule> compile_rules(uint32_t base_sid = 5000000) const;
+};
+
+}  // namespace sm::censor

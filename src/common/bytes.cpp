@@ -1,0 +1,27 @@
+#include "common/bytes.hpp"
+
+#include <cstdio>
+
+namespace sm::common {
+
+Bytes to_bytes(std::string_view s) { return Bytes(s.begin(), s.end()); }
+
+std::string to_string(std::span<const uint8_t> b) {
+  return std::string(b.begin(), b.end());
+}
+
+std::string hex_dump(std::span<const uint8_t> b, size_t max_bytes) {
+  std::string out;
+  size_t n = std::min(b.size(), max_bytes);
+  out.reserve(n * 3 + 4);
+  char tmp[4];
+  for (size_t i = 0; i < n; ++i) {
+    std::snprintf(tmp, sizeof(tmp), "%02x", b[i]);
+    if (i) out.push_back(' ');
+    out += tmp;
+  }
+  if (b.size() > max_bytes) out += " ...";
+  return out;
+}
+
+}  // namespace sm::common

@@ -1,0 +1,166 @@
+// Endian-safe byte buffer reader/writer.
+//
+// All multi-byte integers are encoded big-endian ("network order") by
+// default, which is what every wire format in this project uses. Readers
+// never throw on overrun; they set an error flag and return zeroes, so
+// protocol decoders can parse optimistically and check `ok()` once.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sm::common {
+
+using Bytes = std::vector<uint8_t>;
+
+/// Appends big-endian integers and raw bytes to a growable buffer.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(size_t reserve) { buffer_.reserve(reserve); }
+
+  void u8(uint8_t v) { buffer_.push_back(v); }
+  void u16(uint16_t v) {
+    buffer_.push_back(static_cast<uint8_t>(v >> 8));
+    buffer_.push_back(static_cast<uint8_t>(v));
+  }
+  void u32(uint32_t v) {
+    u16(static_cast<uint16_t>(v >> 16));
+    u16(static_cast<uint16_t>(v));
+  }
+  void u64(uint64_t v) {
+    u32(static_cast<uint32_t>(v >> 32));
+    u32(static_cast<uint32_t>(v));
+  }
+  /// Little-endian variants (pcap headers use them).
+  void u16le(uint16_t v) {
+    buffer_.push_back(static_cast<uint8_t>(v));
+    buffer_.push_back(static_cast<uint8_t>(v >> 8));
+  }
+  void u32le(uint32_t v) {
+    u16le(static_cast<uint16_t>(v));
+    u16le(static_cast<uint16_t>(v >> 16));
+  }
+
+  void bytes(std::span<const uint8_t> data) {
+    buffer_.insert(buffer_.end(), data.begin(), data.end());
+  }
+  void text(std::string_view s) {
+    buffer_.insert(buffer_.end(), s.begin(), s.end());
+  }
+  void zeros(size_t n) { buffer_.insert(buffer_.end(), n, 0); }
+
+  /// Overwrites a previously written big-endian u16 at `offset` (used to
+  /// back-patch length and checksum fields).
+  void patch_u16(size_t offset, uint16_t v) {
+    buffer_[offset] = static_cast<uint8_t>(v >> 8);
+    buffer_[offset + 1] = static_cast<uint8_t>(v);
+  }
+  void patch_u32(size_t offset, uint32_t v) {
+    patch_u16(offset, static_cast<uint16_t>(v >> 16));
+    patch_u16(offset + 2, static_cast<uint16_t>(v));
+  }
+
+  size_t size() const { return buffer_.size(); }
+  const Bytes& data() const { return buffer_; }
+  Bytes take() { return std::move(buffer_); }
+
+ private:
+  Bytes buffer_;
+};
+
+/// Reads big-endian integers and raw bytes from a fixed buffer.
+///
+/// On overrun, sets a sticky error flag and returns zero values; callers
+/// check `ok()` after a parse instead of guarding every read.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const uint8_t> data) : data_(data) {}
+
+  uint8_t u8() {
+    if (!require(1)) return 0;
+    return data_[pos_++];
+  }
+  uint16_t u16() {
+    if (!require(2)) return 0;
+    uint16_t v = static_cast<uint16_t>(uint16_t{data_[pos_]} << 8 |
+                                       uint16_t{data_[pos_ + 1]});
+    pos_ += 2;
+    return v;
+  }
+  uint32_t u32() {
+    if (!require(4)) return 0;
+    uint32_t hi = u16();
+    uint32_t lo = u16();
+    return hi << 16 | lo;
+  }
+  uint64_t u64() {
+    if (!require(8)) return 0;
+    uint64_t hi = u32();
+    uint64_t lo = u32();
+    return hi << 32 | lo;
+  }
+  uint16_t u16le() {
+    if (!require(2)) return 0;
+    uint16_t v = static_cast<uint16_t>(uint16_t{data_[pos_]} |
+                                       uint16_t{data_[pos_ + 1]} << 8);
+    pos_ += 2;
+    return v;
+  }
+  uint32_t u32le() {
+    uint32_t lo = u16le();
+    uint32_t hi = u16le();
+    return hi << 16 | lo;
+  }
+
+  /// Reads exactly n bytes; returns an empty span and sets the error flag
+  /// if fewer remain.
+  std::span<const uint8_t> bytes(size_t n) {
+    if (!require(n)) return {};
+    auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+  std::string text(size_t n) {
+    auto b = bytes(n);
+    return std::string(b.begin(), b.end());
+  }
+
+  void skip(size_t n) { (void)bytes(n); }
+  bool seek(size_t pos) {
+    if (pos > data_.size()) {
+      error_ = true;
+      return false;
+    }
+    pos_ = pos;
+    return true;
+  }
+
+  size_t position() const { return pos_; }
+  size_t remaining() const { return data_.size() - pos_; }
+  std::span<const uint8_t> rest() { return bytes(remaining()); }
+  bool ok() const { return !error_; }
+
+ private:
+  bool require(size_t n) {
+    if (error_ || data_.size() - pos_ < n) {
+      error_ = true;
+      return false;
+    }
+    return true;
+  }
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+  bool error_ = false;
+};
+
+/// Convenience conversions between strings and byte vectors.
+Bytes to_bytes(std::string_view s);
+std::string to_string(std::span<const uint8_t> b);
+std::string hex_dump(std::span<const uint8_t> b, size_t max_bytes = 64);
+
+}  // namespace sm::common

@@ -1,0 +1,81 @@
+#include "common/ip.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+namespace sm::common {
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) {
+  std::array<uint8_t, 4> octets{};
+  const char* p = text.data();
+  const char* end = text.data() + text.size();
+  for (int i = 0; i < 4; ++i) {
+    unsigned value = 0;
+    auto [next, ec] = std::from_chars(p, end, value);
+    if (ec != std::errc{} || value > 255 || next == p) return std::nullopt;
+    octets[static_cast<size_t>(i)] = static_cast<uint8_t>(value);
+    p = next;
+    if (i < 3) {
+      if (p == end || *p != '.') return std::nullopt;
+      ++p;
+    }
+  }
+  if (p != end) return std::nullopt;
+  return from_bytes(octets);
+}
+
+std::string Ipv4Address::to_string() const {
+  auto b = to_bytes();
+  char buf[16];
+  int n = std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", b[0], b[1], b[2], b[3]);
+  return std::string(buf, static_cast<size_t>(n));
+}
+
+std::optional<MacAddress> MacAddress::parse(std::string_view text) {
+  std::array<uint8_t, 6> octets{};
+  const char* p = text.data();
+  const char* end = text.data() + text.size();
+  for (int i = 0; i < 6; ++i) {
+    unsigned value = 0;
+    auto [next, ec] = std::from_chars(p, end, value, 16);
+    if (ec != std::errc{} || value > 255 || next - p > 2 || next == p)
+      return std::nullopt;
+    octets[static_cast<size_t>(i)] = static_cast<uint8_t>(value);
+    p = next;
+    if (i < 5) {
+      if (p == end || (*p != ':' && *p != '-')) return std::nullopt;
+      ++p;
+    }
+  }
+  if (p != end) return std::nullopt;
+  return MacAddress(octets);
+}
+
+std::string MacAddress::to_string() const {
+  char buf[18];
+  int n = std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x",
+                        octets_[0], octets_[1], octets_[2], octets_[3],
+                        octets_[4], octets_[5]);
+  return std::string(buf, static_cast<size_t>(n));
+}
+
+std::optional<Cidr> Cidr::parse(std::string_view text) {
+  auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  auto addr = Ipv4Address::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  auto len_text = text.substr(slash + 1);
+  unsigned len = 0;
+  auto [next, ec] =
+      std::from_chars(len_text.data(), len_text.data() + len_text.size(), len);
+  if (ec != std::errc{} || len > 32 ||
+      next != len_text.data() + len_text.size() || len_text.empty())
+    return std::nullopt;
+  return Cidr(*addr, static_cast<uint8_t>(len));
+}
+
+std::string Cidr::to_string() const {
+  return network_.to_string() + "/" + std::to_string(prefix_len_);
+}
+
+}  // namespace sm::common

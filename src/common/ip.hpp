@@ -1,0 +1,143 @@
+// IPv4 address, MAC address, and CIDR prefix value types.
+//
+// These are the fundamental identifiers used throughout the simulator and
+// measurement stack. All are small, trivially copyable value types with
+// total ordering so they can key std::map / appear in sorted containers.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace sm::common {
+
+/// An IPv4 address stored in host byte order.
+///
+/// `value()` is the 32-bit host-order integer (e.g. 10.0.0.1 == 0x0A000001);
+/// use `to_bytes()` / `from_bytes()` when serializing to the wire.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  constexpr explicit Ipv4Address(uint32_t host_order) : value_(host_order) {}
+  constexpr Ipv4Address(uint8_t a, uint8_t b, uint8_t c, uint8_t d)
+      : value_((uint32_t{a} << 24) | (uint32_t{b} << 16) | (uint32_t{c} << 8) |
+               uint32_t{d}) {}
+
+  /// Parses dotted-quad notation ("192.0.2.1"). Returns nullopt on any
+  /// syntactic error (wrong number of octets, octet > 255, stray chars).
+  static std::optional<Ipv4Address> parse(std::string_view text);
+
+  constexpr uint32_t value() const { return value_; }
+  constexpr bool is_unspecified() const { return value_ == 0; }
+  constexpr bool is_loopback() const { return (value_ >> 24) == 127; }
+  constexpr bool is_multicast() const { return (value_ >> 28) == 0xE; }
+  constexpr bool is_broadcast() const { return value_ == 0xFFFFFFFF; }
+
+  /// True for RFC1918 private space (10/8, 172.16/12, 192.168/16).
+  constexpr bool is_private() const {
+    return (value_ >> 24) == 10 || (value_ >> 20) == 0xAC1 ||
+           (value_ >> 16) == 0xC0A8;
+  }
+
+  constexpr std::array<uint8_t, 4> to_bytes() const {
+    return {static_cast<uint8_t>(value_ >> 24),
+            static_cast<uint8_t>(value_ >> 16),
+            static_cast<uint8_t>(value_ >> 8), static_cast<uint8_t>(value_)};
+  }
+  static constexpr Ipv4Address from_bytes(const std::array<uint8_t, 4>& b) {
+    return Ipv4Address(b[0], b[1], b[2], b[3]);
+  }
+
+  std::string to_string() const;
+
+  auto operator<=>(const Ipv4Address&) const = default;
+
+ private:
+  uint32_t value_ = 0;
+};
+
+/// A 48-bit Ethernet MAC address.
+class MacAddress {
+ public:
+  constexpr MacAddress() = default;
+  constexpr explicit MacAddress(std::array<uint8_t, 6> octets)
+      : octets_(octets) {}
+
+  /// Derives a locally-administered unicast MAC from a host id. Handy for
+  /// the simulator where MACs only need to be unique, not realistic.
+  static constexpr MacAddress from_host_id(uint32_t id) {
+    return MacAddress({0x02, 0x00, static_cast<uint8_t>(id >> 24),
+                       static_cast<uint8_t>(id >> 16),
+                       static_cast<uint8_t>(id >> 8),
+                       static_cast<uint8_t>(id)});
+  }
+  static std::optional<MacAddress> parse(std::string_view text);
+
+  static constexpr MacAddress broadcast() {
+    return MacAddress({0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF});
+  }
+
+  constexpr const std::array<uint8_t, 6>& octets() const { return octets_; }
+  constexpr bool is_broadcast() const {
+    for (auto o : octets_)
+      if (o != 0xFF) return false;
+    return true;
+  }
+
+  std::string to_string() const;
+
+  auto operator<=>(const MacAddress&) const = default;
+
+ private:
+  std::array<uint8_t, 6> octets_{};
+};
+
+/// An IPv4 CIDR prefix, e.g. 10.1.0.0/16. The stored network address is
+/// always masked (host bits are zero).
+class Cidr {
+ public:
+  constexpr Cidr() = default;
+  constexpr Cidr(Ipv4Address network, uint8_t prefix_len)
+      : network_(Ipv4Address(mask_bits(network.value(), prefix_len))),
+        prefix_len_(prefix_len) {}
+
+  /// Parses "a.b.c.d/len". Returns nullopt on malformed input or len > 32.
+  static std::optional<Cidr> parse(std::string_view text);
+
+  constexpr Ipv4Address network() const { return network_; }
+  constexpr uint8_t prefix_len() const { return prefix_len_; }
+  constexpr uint32_t netmask() const {
+    return prefix_len_ == 0 ? 0 : ~uint32_t{0} << (32 - prefix_len_);
+  }
+
+  constexpr bool contains(Ipv4Address addr) const {
+    return (addr.value() & netmask()) == network_.value();
+  }
+  constexpr bool contains(const Cidr& other) const {
+    return other.prefix_len_ >= prefix_len_ && contains(other.network_);
+  }
+
+  /// Number of addresses covered (2^(32-len)); saturates at 2^32-1 for /0.
+  constexpr uint64_t size() const { return uint64_t{1} << (32 - prefix_len_); }
+
+  /// The i-th address inside the prefix (i < size()).
+  constexpr Ipv4Address address_at(uint64_t i) const {
+    return Ipv4Address(network_.value() + static_cast<uint32_t>(i));
+  }
+
+  std::string to_string() const;
+
+  auto operator<=>(const Cidr&) const = default;
+
+ private:
+  static constexpr uint32_t mask_bits(uint32_t v, uint8_t len) {
+    return len == 0 ? 0 : v & (~uint32_t{0} << (32 - len));
+  }
+  Ipv4Address network_{};
+  uint8_t prefix_len_ = 0;
+};
+
+}  // namespace sm::common

@@ -1,0 +1,35 @@
+// Minimal leveled logger.
+//
+// The simulator is deterministic and mostly silent; logging exists for the
+// examples and for debugging failing scenarios. The global level defaults
+// to Warn so tests and benches stay quiet.
+#pragma once
+
+#include <string>
+
+namespace sm::common {
+
+enum class LogLevel { Debug = 0, Info, Warn, Error, Off };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Writes "[level] component: message" to stderr when `level` is at or
+/// above the global threshold.
+void log(LogLevel level, const std::string& component,
+         const std::string& message);
+
+inline void log_debug(const std::string& c, const std::string& m) {
+  log(LogLevel::Debug, c, m);
+}
+inline void log_info(const std::string& c, const std::string& m) {
+  log(LogLevel::Info, c, m);
+}
+inline void log_warn(const std::string& c, const std::string& m) {
+  log(LogLevel::Warn, c, m);
+}
+inline void log_error(const std::string& c, const std::string& m) {
+  log(LogLevel::Error, c, m);
+}
+
+}  // namespace sm::common

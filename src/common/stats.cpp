@@ -1,0 +1,134 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace sm::common {
+
+void OnlineStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+void EmpiricalCdf::add_all(const std::vector<double>& xs) {
+  samples_.insert(samples_.end(), xs.begin(), xs.end());
+  sorted_ = false;
+}
+
+void EmpiricalCdf::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double EmpiricalCdf::at(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double EmpiricalCdf::quantile(double q) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  q = std::clamp(q, 0.0, 1.0);
+  double idx = q * static_cast<double>(samples_.size() - 1);
+  size_t lo = static_cast<size_t>(idx);
+  size_t hi = std::min(lo + 1, samples_.size() - 1);
+  double frac = idx - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+std::vector<std::pair<double, double>> EmpiricalCdf::points() const {
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty()) return out;
+  ensure_sorted();
+  double n = static_cast<double>(samples_.size());
+  for (size_t i = 0; i < samples_.size(); ++i) {
+    // Collapse runs of equal values to their final (highest) fraction.
+    if (i + 1 < samples_.size() && samples_[i + 1] == samples_[i]) continue;
+    out.emplace_back(samples_[i], static_cast<double>(i + 1) / n);
+  }
+  return out;
+}
+
+std::string EmpiricalCdf::to_table(int max_rows) const {
+  auto pts = points();
+  std::string out = "value\tcdf\n";
+  size_t step = 1;
+  if (max_rows > 0 && pts.size() > static_cast<size_t>(max_rows))
+    step = pts.size() / static_cast<size_t>(max_rows) + 1;
+  char buf[64];
+  for (size_t i = 0; i < pts.size(); i += step) {
+    std::snprintf(buf, sizeof(buf), "%.4g\t%.4f\n", pts[i].first,
+                  pts[i].second);
+    out += buf;
+  }
+  return out;
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {}
+
+void Histogram::add(double x) {
+  double span = hi_ - lo_;
+  auto n = static_cast<double>(counts_.size());
+  long bin = static_cast<long>((x - lo_) / span * n);
+  bin = std::clamp(bin, 0L, static_cast<long>(counts_.size()) - 1);
+  ++counts_[static_cast<size_t>(bin)];
+  ++total_;
+}
+
+double Histogram::bin_low(size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+std::string Histogram::to_ascii(size_t width) const {
+  size_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char buf[64];
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%10.3g | ", bin_low(i));
+    out += buf;
+    size_t bar = counts_[i] * width / peak;
+    out.append(bar, '#');
+    std::snprintf(buf, sizeof(buf), " %zu\n", counts_[i]);
+    out += buf;
+  }
+  return out;
+}
+
+double entropy_bits(const std::vector<size_t>& counts) {
+  size_t total = 0;
+  for (auto c : counts) total += c;
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  for (auto c : counts) {
+    if (c == 0) continue;
+    double p = static_cast<double>(c) / static_cast<double>(total);
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+}  // namespace sm::common

@@ -1,0 +1,95 @@
+// Simulated time.
+//
+// The discrete-event simulator advances a virtual clock; nothing in the
+// library reads wall-clock time. Times are nanoseconds since simulation
+// start, held in a strong type so they cannot be mixed up with counts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sm::common {
+
+/// A duration in simulated nanoseconds.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr explicit Duration(int64_t nanos) : nanos_(nanos) {}
+
+  static constexpr Duration nanos(int64_t n) { return Duration(n); }
+  static constexpr Duration micros(int64_t n) { return Duration(n * 1000); }
+  static constexpr Duration millis(int64_t n) {
+    return Duration(n * 1'000'000);
+  }
+  static constexpr Duration seconds(int64_t n) {
+    return Duration(n * 1'000'000'000);
+  }
+  static constexpr Duration minutes(int64_t n) { return seconds(n * 60); }
+  static constexpr Duration hours(int64_t n) { return seconds(n * 3600); }
+  static constexpr Duration days(int64_t n) { return hours(n * 24); }
+  /// From a floating-point second count (traffic generators work in rates).
+  static constexpr Duration from_seconds(double s) {
+    return Duration(static_cast<int64_t>(s * 1e9));
+  }
+
+  constexpr int64_t count() const { return nanos_; }
+  constexpr double to_seconds() const {
+    return static_cast<double>(nanos_) / 1e9;
+  }
+  constexpr double to_millis() const {
+    return static_cast<double>(nanos_) / 1e6;
+  }
+
+  constexpr Duration operator+(Duration o) const {
+    return Duration(nanos_ + o.nanos_);
+  }
+  constexpr Duration operator-(Duration o) const {
+    return Duration(nanos_ - o.nanos_);
+  }
+  constexpr Duration operator*(int64_t k) const {
+    return Duration(nanos_ * k);
+  }
+  constexpr Duration operator/(int64_t k) const {
+    return Duration(nanos_ / k);
+  }
+  auto operator<=>(const Duration&) const = default;
+
+ private:
+  int64_t nanos_ = 0;
+};
+
+/// An instant on the simulated clock (nanoseconds since simulation start).
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(int64_t nanos) : nanos_(nanos) {}
+
+  constexpr int64_t count() const { return nanos_; }
+  constexpr double to_seconds() const {
+    return static_cast<double>(nanos_) / 1e9;
+  }
+
+  constexpr SimTime operator+(Duration d) const {
+    return SimTime(nanos_ + d.count());
+  }
+  constexpr SimTime operator-(Duration d) const {
+    return SimTime(nanos_ - d.count());
+  }
+  constexpr Duration operator-(SimTime o) const {
+    return Duration(nanos_ - o.nanos_);
+  }
+  auto operator<=>(const SimTime&) const = default;
+
+ private:
+  int64_t nanos_ = 0;
+};
+
+/// "12.345678s"-style rendering for logs and reports.
+inline std::string to_string(SimTime t) {
+  return std::to_string(t.to_seconds()) + "s";
+}
+inline std::string to_string(Duration d) {
+  return std::to_string(d.to_seconds()) + "s";
+}
+
+}  // namespace sm::common

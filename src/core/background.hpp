@@ -1,0 +1,52 @@
+// Background population traffic inside the testbed: neighbors browsing,
+// resolving, mailing, and torrenting, so the MVR has a realistic mix to
+// reduce (bench E4) and the measurement client has a population to blend
+// into (benches E2/E7).
+#pragma once
+
+#include "core/testbed.hpp"
+
+namespace sm::core {
+
+struct BackgroundConfig {
+  /// Mean web fetches per neighbor per simulated second.
+  double web_rate = 0.5;
+  double dns_rate = 0.8;
+  double mail_rate = 0.05;
+  /// Fraction of neighbors that run p2p (bulk volume the MVR discards).
+  double p2p_fraction = 0.3;
+  double p2p_packet_rate = 5.0;   // packets/s per p2p host
+  size_t p2p_payload = 1200;      // bytes per p2p packet
+  uint64_t seed = 1234;
+};
+
+/// Schedules Poisson background activity for every neighbor over the
+/// given window. Call once, then run the engine.
+class BackgroundTraffic {
+ public:
+  BackgroundTraffic(Testbed& tb, BackgroundConfig config = {});
+
+  /// Schedules all events in [now, now + window].
+  void schedule(common::Duration window);
+
+  uint64_t events_scheduled() const { return events_; }
+
+ private:
+  void schedule_web(netsim::Host* host, proto::tcp::Stack* stack,
+                    common::Duration at);
+  void schedule_dns(netsim::Host* host, common::Duration at);
+  void schedule_mail(netsim::Host* host, proto::tcp::Stack* stack,
+                     common::Duration at);
+  void schedule_p2p(netsim::Host* host, common::Duration at);
+
+  Testbed& tb_;
+  BackgroundConfig config_;
+  common::Rng rng_;
+  uint64_t events_ = 0;
+  // Per-neighbor resolvers/clients kept alive for the run.
+  std::vector<std::unique_ptr<proto::dns::Client>> resolvers_;
+  std::vector<std::unique_ptr<proto::http::Client>> http_clients_;
+  std::vector<std::unique_ptr<proto::smtp::Client>> smtp_clients_;
+};
+
+}  // namespace sm::core

@@ -1,0 +1,91 @@
+#include "core/ddos.hpp"
+
+#include "common/strings.hpp"
+
+#include "core/overt.hpp"
+
+namespace sm::core {
+
+DdosProbe::DdosProbe(Testbed& tb, DdosOptions options)
+    : tb_(tb), options_(std::move(options)), forged_ips_(forged_hints(tb)) {
+  report_.technique = "ddos";
+  report_.target = options_.domain + options_.path;
+  report_.samples = options_.requests;
+  http_ = std::make_unique<proto::http::Client>(*tb_.client_stack);
+}
+
+void DdosProbe::start() {
+  ++report_.packets_sent;
+  tb_.resolver->query(
+      proto::dns::Name(options_.domain), proto::dns::RecordType::A,
+      [this](const proto::dns::QueryResult& result) {
+        common::Ipv4Address addr;
+        if (auto blocked = classify_dns(result, forged_ips_, &addr)) {
+          report_.verdict = blocked->first;
+          report_.detail = "dns: " + blocked->second;
+          report_.samples_blocked = report_.samples;
+          done_ = true;
+          return;
+        }
+        launch(addr);
+      });
+}
+
+void DdosProbe::launch(common::Ipv4Address address) {
+  auto& engine = tb_.net.engine();
+  for (size_t i = 0; i < options_.requests; ++i) {
+    engine.schedule(options_.gap * static_cast<int64_t>(i), [this,
+                                                            address]() {
+      proto::http::Request req =
+          proto::http::Request::get(options_.domain, options_.path);
+      for (auto& [k, v] : req.headers)
+        if (common::iequals(k, "User-Agent")) v = options_.user_agent;
+      ++report_.packets_sent;
+      http_->fetch(address, 80, req,
+                   [this](const proto::http::FetchResult& result) {
+                     on_sample(classify_fetch(result).first);
+                   },
+                   common::Duration::seconds(4));
+    });
+  }
+}
+
+void DdosProbe::on_sample(Verdict v) {
+  samples_.push_back(v);
+  ++completed_;
+  if (completed_ >= options_.requests) finalize();
+}
+
+void DdosProbe::finalize() {
+  if (done_) return;
+  size_t ok = 0, rst = 0, timeout = 0, blockpage = 0, other = 0;
+  for (Verdict v : samples_) {
+    switch (v) {
+      case Verdict::Reachable: ++ok; break;
+      case Verdict::BlockedRst: ++rst; break;
+      case Verdict::BlockedTimeout: ++timeout; break;
+      case Verdict::BlockedBlockpage: ++blockpage; break;
+      default: ++other; break;
+    }
+  }
+  size_t blocked = rst + timeout + blockpage;
+  report_.samples_blocked = blocked;
+  report_.detail =
+      common::format("ok=%zu rst=%zu timeout=%zu blockpage=%zu other=%zu",
+                     ok, rst, timeout, blockpage, other);
+  if (blocked * 2 > samples_.size()) {
+    // Majority blocked: report the dominant mechanism.
+    if (blockpage >= rst && blockpage >= timeout)
+      report_.verdict = Verdict::BlockedBlockpage;
+    else
+      report_.verdict =
+          rst >= timeout ? Verdict::BlockedRst : Verdict::BlockedTimeout;
+  } else if (ok * 2 >= samples_.size()) {
+    report_.verdict = Verdict::Reachable;
+  } else {
+    report_.verdict = Verdict::Inconclusive;
+  }
+  done_ = true;
+}
+
+}  // namespace sm::core

@@ -1,0 +1,157 @@
+#include "core/mimicry.hpp"
+
+#include "common/strings.hpp"
+
+#include "core/overt.hpp"
+#include "spoof/ttl.hpp"
+
+namespace sm::core {
+
+// --- StatelessDnsMimicryProbe ---
+
+StatelessDnsMimicryProbe::StatelessDnsMimicryProbe(
+    Testbed& tb, StatelessMimicryOptions options)
+    : tb_(tb), options_(std::move(options)), forged_ips_(forged_hints(tb)) {
+  report_.technique = "mimicry-dns";
+  report_.target = options_.domain;
+  report_.samples = 1;
+  cover_ = std::make_unique<spoof::StatelessDnsCover>(*tb_.client,
+                                                      tb_.addr().dns);
+}
+
+void StatelessDnsMimicryProbe::maybe_finish() {
+  if (verdict_ready_ && cover_sent_ >= cover_target_) done_ = true;
+}
+
+void StatelessDnsMimicryProbe::start() {
+  // Spread the spoofed cover around the real query so ordering does not
+  // give the measurer away.
+  auto neighbors = tb_.neighbor_addresses();
+  if (neighbors.size() > options_.cover_count)
+    neighbors.resize(options_.cover_count);
+  cover_target_ = neighbors.size();
+  auto& engine = tb_.net.engine();
+  for (size_t i = 0; i < neighbors.size(); ++i) {
+    common::Duration at =
+        options_.spread * static_cast<int64_t>(i) /
+        static_cast<int64_t>(std::max<size_t>(neighbors.size(), 1));
+    engine.schedule(at, [this, addr = neighbors[i]]() {
+      cover_sent_ += cover_->emit({addr}, proto::dns::Name(options_.domain),
+                                  options_.type);
+      ++report_.packets_sent;
+      maybe_finish();
+    });
+  }
+  // The real measurement sits in the middle of the spread.
+  engine.schedule(options_.spread / 2, [this]() {
+    ++report_.packets_sent;
+    tb_.resolver->query(
+        proto::dns::Name(options_.domain), options_.type,
+        [this](const proto::dns::QueryResult& result) {
+          common::Ipv4Address addr;
+          if (auto blocked = classify_dns(result, forged_ips_, &addr)) {
+            report_.verdict = blocked->first;
+            report_.detail = blocked->second;
+            report_.samples_blocked = is_blocked(blocked->first) ? 1 : 0;
+          } else {
+            report_.verdict = Verdict::Reachable;
+            report_.detail = "resolved to " + addr.to_string();
+          }
+          verdict_ready_ = true;
+          maybe_finish();
+        });
+  });
+}
+
+// --- StatefulMimicryProbe ---
+
+StatefulMimicryProbe::StatefulMimicryProbe(Testbed& tb,
+                                           StatefulMimicryOptions options)
+    : tb_(tb), options_(std::move(options)) {
+  report_.technique = "mimicry-stateful";
+  report_.target = "measure.example" + options_.path;
+  report_.samples = 1;
+  http_ = std::make_unique<proto::http::Client>(*tb_.client_stack);
+  mimic_ = std::make_unique<spoof::StatefulMimicryClient>(
+      *tb_.client, tb_.addr().measurement, 80,
+      tb_.config().mimicry_secret,
+      common::Duration::millis(12));
+}
+
+size_t StatefulMimicryProbe::cover_flows_started() const {
+  return mimic_->flows_started();
+}
+
+void StatefulMimicryProbe::finish(Verdict v, std::string detail) {
+  if (verdict_ready_) return;
+  report_.verdict = v;
+  report_.detail = std::move(detail);
+  report_.samples_blocked = is_blocked(v) ? 1 : 0;
+  verdict_ready_ = true;
+  maybe_finish();
+}
+
+void StatefulMimicryProbe::maybe_finish() {
+  if (verdict_ready_ && mimic_->flows_started() >= cover_target_)
+    done_ = true;
+}
+
+void StatefulMimicryProbe::start() {
+  auto ttl = spoof::plan_reply_ttl(options_.hops_to_tap,
+                                   options_.hops_to_client);
+  std::string request = "GET " + options_.path +
+                        " HTTP/1.1\r\nHost: measure.example\r\n"
+                        "User-Agent: Mozilla/5.0 (X11; Linux x86_64)\r\n"
+                        "Connection: close\r\n\r\n";
+
+  // Cover flows from neighbors, spread around the real fetch.
+  auto neighbors = tb_.neighbor_addresses();
+  if (neighbors.size() > options_.cover_flows)
+    neighbors.resize(options_.cover_flows);
+  cover_target_ = neighbors.size();
+  auto& engine = tb_.net.engine();
+  for (size_t i = 0; i < neighbors.size(); ++i) {
+    common::Ipv4Address spoofed = neighbors[i];
+    if (ttl) tb_.mimicry_server->register_cover_client(spoofed, *ttl);
+    common::Duration at =
+        options_.spread * static_cast<int64_t>(i) /
+        static_cast<int64_t>(std::max<size_t>(neighbors.size(), 1));
+    engine.schedule(at, [this, spoofed, request]() {
+      mimic_->run_flow(spoofed, request);
+      report_.packets_sent += 4;  // SYN, ACK, data, FIN
+      maybe_finish();
+    });
+  }
+
+  // The real measurement: an ordinary fetch of the keyword URL from the
+  // server we control. A keyword censor RSTs it; otherwise it completes.
+  engine.schedule(options_.spread / 2, [this]() {
+    proto::http::Request req =
+        proto::http::Request::get("measure.example", options_.path);
+    ++report_.packets_sent;
+    http_->fetch(tb_.addr().measurement, 80, req,
+                 [this](const proto::http::FetchResult& result) {
+                   using proto::http::FetchOutcome;
+                   switch (result.outcome) {
+                     case FetchOutcome::Ok:
+                       finish(Verdict::Reachable,
+                              "fetched through; keyword not censored");
+                       break;
+                     case FetchOutcome::ConnectReset:
+                     case FetchOutcome::ResetMidStream:
+                       finish(Verdict::BlockedRst, "keyword triggered RST");
+                       break;
+                     case FetchOutcome::ConnectTimeout:
+                     case FetchOutcome::Timeout:
+                       finish(Verdict::BlockedTimeout,
+                              std::string(to_string(result.outcome)));
+                       break;
+                     default:
+                       finish(Verdict::Inconclusive, "protocol error");
+                       break;
+                   }
+                 });
+  });
+}
+
+}  // namespace sm::core

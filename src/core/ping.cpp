@@ -1,0 +1,58 @@
+#include "core/ping.hpp"
+
+#include "common/strings.hpp"
+
+namespace sm::core {
+
+PingProbe::PingProbe(Testbed& tb, PingOptions options)
+    : tb_(tb), options_(std::move(options)) {
+  report_.technique = "ping";
+  report_.target = options_.target.to_string();
+  report_.samples = options_.count;
+}
+
+void PingProbe::start() {
+  ident_ = tb_.client->alloc_ephemeral_port();
+  tb_.client->set_icmp_handler(
+      [this](const packet::Decoded& d, const common::Bytes&) {
+        if (done_) return;
+        if (d.icmp->type == packet::IcmpHeader::kEchoReply &&
+            d.ip.src == options_.target &&
+            (d.icmp->rest >> 16) == ident_) {
+          ++replies_;
+        }
+      });
+
+  auto& engine = tb_.net.engine();
+  for (size_t i = 0; i < options_.count; ++i) {
+    engine.schedule(options_.interval * static_cast<int64_t>(i),
+                    [this, i]() {
+                      ++report_.packets_sent;
+                      tb_.client->send(packet::make_icmp(
+                          tb_.client->address(), options_.target,
+                          packet::IcmpHeader::kEchoRequest, 0,
+                          (uint32_t{ident_} << 16) |
+                              static_cast<uint32_t>(i)));
+                    });
+  }
+  engine.schedule(options_.interval * static_cast<int64_t>(options_.count) +
+                      options_.reply_timeout,
+                  [this]() { finalize(); });
+}
+
+void PingProbe::finalize() {
+  if (done_) return;
+  report_.samples_blocked = options_.count - replies_;
+  report_.detail = common::format("%zu/%zu replies", replies_,
+                                  options_.count);
+  if (replies_ == options_.count) {
+    report_.verdict = Verdict::Reachable;
+  } else if (replies_ == 0) {
+    report_.verdict = Verdict::BlockedTimeout;
+  } else {
+    report_.verdict = Verdict::Inconclusive;  // partial loss
+  }
+  done_ = true;
+}
+
+}  // namespace sm::core

@@ -1,0 +1,43 @@
+// ICMP echo reachability probe.
+//
+// Not one of the paper's stealth techniques, but the control measurement
+// every platform runs: censors that drop TCP to a host often leave ICMP
+// alone, so ping-reachable + service-unreachable localizes the blocking
+// to the service/port layer rather than the route. (Ping is also what
+// §4.2's normalization cost breaks, which makes this probe a useful
+// canary for that countermeasure.)
+#pragma once
+
+#include "core/probe.hpp"
+
+namespace sm::core {
+
+struct PingOptions {
+  common::Ipv4Address target;
+  size_t count = 3;
+  common::Duration interval = common::Duration::millis(200);
+  common::Duration reply_timeout = common::Duration::millis(800);
+};
+
+class PingProbe : public Probe {
+ public:
+  PingProbe(Testbed& tb, PingOptions options);
+
+  void start() override;
+  bool done() const override { return done_; }
+  ProbeReport report() const override { return report_; }
+
+  size_t replies_received() const { return replies_; }
+
+ private:
+  void finalize();
+
+  Testbed& tb_;
+  PingOptions options_;
+  uint16_t ident_ = 0;
+  size_t replies_ = 0;
+  bool done_ = false;
+  ProbeReport report_;
+};
+
+}  // namespace sm::core

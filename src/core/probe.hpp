@@ -1,0 +1,28 @@
+// Probe interface: every measurement technique is a Probe that runs
+// inside a Testbed's event loop.
+#pragma once
+
+#include "core/testbed.hpp"
+#include "core/verdict.hpp"
+
+namespace sm::core {
+
+class Probe {
+ public:
+  virtual ~Probe() = default;
+
+  /// Kicks the measurement off (schedules its first packets).
+  virtual void start() = 0;
+  /// True once a verdict is available.
+  virtual bool done() const = 0;
+  /// Valid after done().
+  virtual ProbeReport report() const = 0;
+};
+
+/// Starts `probe` and drives the testbed until it finishes (or the
+/// timeout elapses, in which case whatever partial report exists is
+/// returned).
+ProbeReport run_probe(Testbed& tb, Probe& probe,
+                      common::Duration timeout = common::Duration::seconds(60));
+
+}  // namespace sm::core

@@ -1,0 +1,67 @@
+#include "core/report_json.hpp"
+
+#include "common/strings.hpp"
+
+namespace sm::core {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          out += common::format("\\u%04x", c);
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string to_json(const ProbeReport& report) {
+  return common::format(
+      "{\"technique\":\"%s\",\"target\":\"%s\",\"verdict\":\"%s\","
+      "\"detail\":\"%s\",\"packets_sent\":%zu,\"samples\":%zu,"
+      "\"samples_blocked\":%zu,\"blocked\":%s}",
+      json_escape(report.technique).c_str(),
+      json_escape(report.target).c_str(),
+      std::string(to_string(report.verdict)).c_str(),
+      json_escape(report.detail).c_str(), report.packets_sent,
+      report.samples, report.samples_blocked,
+      is_blocked(report.verdict) ? "true" : "false");
+}
+
+std::string to_json(const RiskReport& risk) {
+  return common::format(
+      "{\"technique\":\"%s\",\"evaded\":%s,\"investigated\":%s,"
+      "\"targeted_alerts\":%llu,\"censored_access_alerts\":%llu,"
+      "\"noise_alerts\":%llu,\"suspicion\":%.6g,"
+      "\"attribution_probability\":%.6g}",
+      json_escape(risk.technique).c_str(), risk.evaded ? "true" : "false",
+      risk.investigated ? "true" : "false",
+      static_cast<unsigned long long>(risk.targeted_alerts),
+      static_cast<unsigned long long>(risk.censored_access_alerts),
+      static_cast<unsigned long long>(risk.noise_alerts), risk.suspicion,
+      risk.attribution_probability);
+}
+
+std::string to_jsonl(
+    const std::vector<std::pair<ProbeReport, RiskReport>>& results) {
+  std::string out;
+  for (const auto& [report, risk] : results) {
+    out += "{\"measurement\":" + to_json(report) +
+           ",\"risk\":" + to_json(risk) + "}\n";
+  }
+  return out;
+}
+
+}  // namespace sm::core

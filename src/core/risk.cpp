@@ -1,0 +1,44 @@
+#include "core/risk.hpp"
+
+#include "common/strings.hpp"
+
+namespace sm::core {
+
+std::string RiskReport::to_string() const {
+  return common::format(
+      "%s: evaded=%s investigated=%s alerts(targeted=%llu censored=%llu "
+      "noise=%llu) suspicion=%.2f attribution=%.3f",
+      technique.c_str(), evaded ? "yes" : "no",
+      investigated ? "yes" : "no",
+      static_cast<unsigned long long>(targeted_alerts),
+      static_cast<unsigned long long>(censored_access_alerts),
+      static_cast<unsigned long long>(noise_alerts), suspicion,
+      attribution_probability);
+}
+
+RiskReport assess_risk(const surveillance::MvrTap& mvr,
+                       common::Ipv4Address client,
+                       std::span<const common::Ipv4Address> as_population,
+                       std::string technique) {
+  RiskReport r;
+  r.technique = std::move(technique);
+  r.targeted_alerts = mvr.targeted_alerts_for(client);
+  r.censored_access_alerts = mvr.censored_access_alerts_for(client);
+  r.noise_alerts = mvr.noise_alerts_for(client);
+  r.suspicion = mvr.analyst().suspicion(client);
+  r.evaded = r.targeted_alerts == 0;
+  r.investigated = mvr.would_investigate(client);
+
+  double total = 0.0;
+  for (auto addr : as_population) total += mvr.analyst().suspicion(addr);
+  if (total > 0.0) {
+    r.attribution_probability = r.suspicion / total;
+  } else if (!as_population.empty()) {
+    // No signal at all: the analyst is uniform over the AS.
+    r.attribution_probability =
+        1.0 / static_cast<double>(as_population.size());
+  }
+  return r;
+}
+
+}  // namespace sm::core

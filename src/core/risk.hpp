@@ -1,0 +1,51 @@
+// Risk assessment: what the surveillance system ended up knowing about
+// the measurement client after a technique ran.
+//
+// Quantifies the paper's two evaluation criteria plus attribution:
+//   evaded       — the MVR stored no alert identifying the client as a
+//                  measurement/circumvention actor ("without triggering
+//                  the MVR to log its traffic"). Censored-content-access
+//                  alerts are reported separately: 1.57% of the whole
+//                  population triggers those (§2.2), so they cannot
+//                  single a measurer out.
+//   investigated — the analyst's dossier crossed the action threshold.
+//   attribution  — the analyst's posterior probability that the client
+//                  (vs. anyone else in its AS) originated the activity;
+//                  uniform over the AS when there is no signal at all.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/testbed.hpp"
+
+namespace sm::core {
+
+struct RiskReport {
+  std::string technique;
+  uint64_t targeted_alerts = 0;        // stored: identifies a measurer
+  uint64_t censored_access_alerts = 0; // stored: population-level signal
+  uint64_t noise_alerts = 0;           // seen, discarded pre-analyst
+  double suspicion = 0.0;
+  bool evaded = false;                 // targeted_alerts == 0
+  bool investigated = false;
+  /// P(analyst attributes to the client | observed signal).
+  double attribution_probability = 0.0;
+
+  std::string to_string() const;
+};
+
+/// Assesses risk for `client` among `as_population` (all addresses in the
+/// client's AS, client included).
+RiskReport assess_risk(const surveillance::MvrTap& mvr,
+                       common::Ipv4Address client,
+                       std::span<const common::Ipv4Address> as_population,
+                       std::string technique);
+
+inline RiskReport assess_risk(const Testbed& tb, std::string technique) {
+  auto pop = tb.client_as_addresses();
+  return assess_risk(*tb.mvr, tb.addr().client, pop, std::move(technique));
+}
+
+}  // namespace sm::core

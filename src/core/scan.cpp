@@ -1,0 +1,105 @@
+#include "core/scan.hpp"
+
+#include "common/strings.hpp"
+
+namespace sm::core {
+
+using packet::TcpFlags;
+
+ScanProbe::ScanProbe(Testbed& tb, ScanOptions options)
+    : tb_(tb), options_(std::move(options)) {
+  report_.technique = "scan";
+  report_.target = options_.target.to_string();
+  report_.samples = options_.ports.size();
+}
+
+void ScanProbe::start() {
+  // Watch raw replies from the target.
+  tb_.client->add_promiscuous(
+      [this](const packet::Decoded& d, const common::Bytes&) {
+        on_reply(d);
+      });
+
+  common::Rng rng(options_.randomize_seed);
+  auto& engine = tb_.net.engine();
+  for (size_t i = 0; i < options_.ports.size(); ++i) {
+    uint16_t port = options_.ports[i];
+    uint16_t sport;
+    if (options_.randomize_source_ports) {
+      // Draw from the whole ephemeral range, avoiding collisions.
+      do {
+        sport = static_cast<uint16_t>(20000 + rng.bounded(40000));
+      } while (sport_to_port_.count(sport));
+    } else {
+      sport = static_cast<uint16_t>(kSportBase + i);
+    }
+    uint32_t iss = options_.randomize_source_ports
+                       ? static_cast<uint32_t>(rng.next())
+                       : 0x1000 + port;
+    states_[port] = PortState::Unknown;
+    sport_to_port_[sport] = port;
+    engine.schedule(options_.pace * static_cast<int64_t>(i),
+                    [this, port, sport, iss]() {
+                      ++report_.packets_sent;
+                      tb_.client->send(packet::make_tcp(
+                          tb_.client->address(), options_.target, sport, port,
+                          TcpFlags::kSyn, iss, 0));
+                    });
+  }
+  // Finalize after the last SYN's reply window.
+  engine.schedule(options_.pace * static_cast<int64_t>(options_.ports.size()) +
+                      options_.reply_timeout,
+                  [this]() { finalize(); });
+}
+
+void ScanProbe::on_reply(const packet::Decoded& d) {
+  if (done_ || !d.tcp || d.ip.src != options_.target) return;
+  if (d.ip.dst != tb_.client->address()) return;
+  auto it = sport_to_port_.find(d.tcp->dst_port);
+  if (it == sport_to_port_.end() || it->second != d.tcp->src_port) return;
+  PortState& st = states_[it->second];
+  if (st != PortState::Unknown) return;
+  if (d.tcp->syn() && d.tcp->ack_flag()) {
+    st = PortState::Open;
+  } else if (d.tcp->rst()) {
+    st = PortState::Closed;
+  }
+  ++replies_;
+}
+
+void ScanProbe::finalize() {
+  if (done_) return;
+  size_t open = 0, closed = 0, filtered = 0;
+  for (auto& [port, st] : states_) {
+    if (st == PortState::Unknown) st = PortState::Filtered;
+    switch (st) {
+      case PortState::Open: ++open; break;
+      case PortState::Closed: ++closed; break;
+      default: ++filtered; break;
+    }
+  }
+  // Censorship inference on the expected-open ports.
+  size_t blocked_expected = 0;
+  bool saw_rst_on_expected = false;
+  for (uint16_t port : options_.expected_open) {
+    auto it = states_.find(port);
+    if (it == states_.end()) continue;
+    if (it->second != PortState::Open) {
+      ++blocked_expected;
+      if (it->second == PortState::Closed) saw_rst_on_expected = true;
+    }
+  }
+  report_.samples_blocked = blocked_expected;
+  report_.detail = common::format("open=%zu closed=%zu filtered=%zu",
+                                  open, closed, filtered);
+  if (blocked_expected == 0) {
+    report_.verdict = Verdict::Reachable;
+  } else if (saw_rst_on_expected) {
+    report_.verdict = Verdict::BlockedRst;
+  } else {
+    report_.verdict = Verdict::BlockedTimeout;
+  }
+  done_ = true;
+}
+
+}  // namespace sm::core

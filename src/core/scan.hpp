@@ -1,0 +1,65 @@
+// Method #1 — Scanning traffic (§3.1).
+//
+// "We can stealthily measure TCP/IP censorship by sending scanning and
+// exploit traffic to potentially censored services... we start an nmap
+// SYN scan to the most commonly open 1,000 TCP ports... We conclude that
+// censorship occurs if either (1) the sender does not receive a SYN/ACK;
+// or (2) the sender receives a RST" on a port known to be open.
+//
+// Implemented as a half-open SYN scan: raw SYNs, classify SYN/ACK vs RST
+// vs silence per port. The client's OS stack RSTs the half-open
+// connections, exactly as nmap relies on.
+#pragma once
+
+#include <map>
+
+#include "core/probe.hpp"
+#include "core/top_ports.hpp"
+
+namespace sm::core {
+
+enum class PortState { Unknown, Open, Closed, Filtered };
+
+struct ScanOptions {
+  common::Ipv4Address target;
+  std::vector<uint16_t> ports = top_tcp_ports(100);
+  /// Ports the service is known to require (e.g. 80 for a web site):
+  /// censorship is inferred when one of these is not open.
+  std::vector<uint16_t> expected_open = {80};
+  common::Duration pace = common::Duration::millis(5);
+  common::Duration reply_timeout = common::Duration::millis(800);
+  /// Randomize source ports and ISNs like real nmap. Turning this off
+  /// leaves a deterministic implementation artifact (a contiguous sport
+  /// block) that a fingerprinting surveillance ruleset can key on — the
+  /// §3.2.1 "application fingerprinting" caveat, exercised by E15.
+  bool randomize_source_ports = true;
+  uint64_t randomize_seed = 0x5CA17;
+};
+
+class ScanProbe : public Probe {
+ public:
+  ScanProbe(Testbed& tb, ScanOptions options);
+
+  void start() override;
+  bool done() const override { return done_; }
+  ProbeReport report() const override { return report_; }
+
+  const std::map<uint16_t, PortState>& port_states() const {
+    return states_;
+  }
+
+ private:
+  void on_reply(const packet::Decoded& d);
+  void finalize();
+
+  Testbed& tb_;
+  ScanOptions options_;
+  std::map<uint16_t, PortState> states_;
+  std::map<uint16_t, uint16_t> sport_to_port_;  // our sport -> scanned port
+  size_t replies_ = 0;
+  bool done_ = false;
+  ProbeReport report_;
+  static constexpr uint16_t kSportBase = 40000;
+};
+
+}  // namespace sm::core

@@ -1,0 +1,25 @@
+#include "core/scheduler.hpp"
+
+namespace sm::core {
+
+std::vector<ProbeReport> MeasurementScheduler::run_all() {
+  std::vector<ProbeReport> reports;
+  reports.reserve(queue_.size());
+  for (auto& factory : queue_) {
+    // Jittered inter-probe gap first, so even the first probe does not
+    // land at a predictable instant.
+    double gap_s = rng_.exponential(
+        1.0 / std::max(options_.mean_gap.to_seconds(), 1e-9));
+    tb_.run_for(common::Duration::from_seconds(gap_s));
+
+    auto probe = factory(tb_);
+    probe->start();
+    tb_.run_until([&probe]() { return probe->done(); },
+                  options_.probe_timeout);
+    reports.push_back(probe->report());
+  }
+  queue_.clear();
+  return reports;
+}
+
+}  // namespace sm::core

@@ -1,0 +1,50 @@
+// Measurement scheduler: the "client-based measurement platform" shell
+// (OONI [16], Centinel [24]) the paper assumes as its deployment vehicle.
+//
+// Takes a list of probe factories, runs them sequentially with jittered
+// pacing (bursts of perfectly regular probes are themselves a timing
+// fingerprint), and aggregates the reports. Pacing is part of the threat
+// model, not cosmetics: a platform that fires one probe per target per
+// millisecond looks like nothing else on the network.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/probe.hpp"
+
+namespace sm::core {
+
+struct SchedulerOptions {
+  /// Mean gap between consecutive probes (exponential jitter around it).
+  common::Duration mean_gap = common::Duration::millis(500);
+  /// Per-probe completion timeout.
+  common::Duration probe_timeout = common::Duration::seconds(30);
+  uint64_t jitter_seed = 77;
+};
+
+class MeasurementScheduler {
+ public:
+  using Factory = std::function<std::unique_ptr<Probe>(Testbed&)>;
+
+  MeasurementScheduler(Testbed& tb, SchedulerOptions options = {})
+      : tb_(tb), options_(options), rng_(options.jitter_seed) {}
+
+  /// Enqueues a measurement; factories run in FIFO order.
+  void enqueue(Factory factory) { queue_.push_back(std::move(factory)); }
+
+  /// Runs everything to completion (drives the testbed's event loop).
+  /// Returns one report per enqueued probe, in order.
+  std::vector<ProbeReport> run_all();
+
+  size_t pending() const { return queue_.size(); }
+
+ private:
+  Testbed& tb_;
+  SchedulerOptions options_;
+  common::Rng rng_;
+  std::vector<Factory> queue_;
+};
+
+}  // namespace sm::core

@@ -1,0 +1,99 @@
+#include "core/spam.hpp"
+
+#include "common/strings.hpp"
+
+#include "core/overt.hpp"
+
+namespace sm::core {
+
+SpamProbe::SpamProbe(Testbed& tb, SpamOptions options)
+    : tb_(tb), options_(std::move(options)), forged_ips_(forged_hints(tb)) {
+  report_.technique = "spam";
+  report_.target = options_.domain;
+  report_.samples = 1;
+  smtp_ = std::make_unique<proto::smtp::Client>(*tb_.client_stack);
+  common::Rng rng(options_.corpus_seed);
+  message_ = spamfilter::make_spam_measurement_email(rng, options_.domain);
+}
+
+void SpamProbe::finish(Verdict v, std::string detail) {
+  if (done_) return;
+  report_.verdict = v;
+  report_.detail = std::move(detail);
+  report_.samples_blocked = is_blocked(v) ? 1 : 0;
+  done_ = true;
+}
+
+void SpamProbe::start() {
+  ++report_.packets_sent;
+  tb_.resolver->query(proto::dns::Name(options_.domain),
+                      proto::dns::RecordType::MX,
+                      [this](const proto::dns::QueryResult& r) { on_mx(r); });
+}
+
+void SpamProbe::on_mx(const proto::dns::QueryResult& result) {
+  if (!result.answered()) {
+    finish(Verdict::BlockedTimeout, "mx lookup timed out");
+    return;
+  }
+  const auto& resp = *result.response;
+  // The GFC answers MX queries with a forged *A* record; a bogus A where
+  // MX records belong is itself the censorship signal (§3.2.3).
+  if (auto forged_a = resp.first_a()) {
+    if (forged_ips_.count(forged_a->value()) || forged_a->is_private()) {
+      finish(Verdict::BlockedDnsForgery,
+             "forged A in MX response: " + forged_a->to_string());
+      return;
+    }
+  }
+  auto mxs = resp.mx_records();
+  if (resp.header.rcode == proto::dns::Rcode::NxDomain || mxs.empty()) {
+    finish(Verdict::Inconclusive, "no MX records");
+    return;
+  }
+  ++report_.packets_sent;
+  tb_.resolver->query(
+      mxs.front().exchange, proto::dns::RecordType::A,
+      [this](const proto::dns::QueryResult& r) { on_exchange_a(r); });
+}
+
+void SpamProbe::on_exchange_a(const proto::dns::QueryResult& result) {
+  common::Ipv4Address addr;
+  if (auto blocked = classify_dns(result, forged_ips_, &addr)) {
+    finish(blocked->first, "exchange lookup: " + blocked->second);
+    return;
+  }
+  deliver(addr);
+}
+
+void SpamProbe::deliver(common::Ipv4Address mail_server) {
+  proto::smtp::Envelope env;
+  env.helo_domain = "relay.example.net";
+  env.mail_from = "<promo@deals.example.net>";
+  env.rcpt_to = "<postmaster@" + options_.domain + ">";
+  env.data = message_;
+  smtp_->deliver(
+      mail_server, env,
+      [this](const proto::smtp::DeliveryResult& result) {
+        using proto::smtp::DeliveryStage;
+        switch (result.stage) {
+          case DeliveryStage::Delivered:
+            finish(Verdict::Reachable, "spam delivered (250)");
+            break;
+          case DeliveryStage::ConnectReset:
+            finish(Verdict::BlockedRst, "smtp connect reset");
+            break;
+          case DeliveryStage::ConnectFailed:
+            finish(Verdict::BlockedTimeout, "smtp connect timed out");
+            break;
+          default:
+            finish(Verdict::Inconclusive,
+                   "smtp stopped at stage " +
+                       std::string(to_string(result.stage)) + " code " +
+                       std::to_string(result.last_code));
+            break;
+        }
+      });
+}
+
+}  // namespace sm::core

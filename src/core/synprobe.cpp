@@ -1,0 +1,78 @@
+#include "core/synprobe.hpp"
+
+#include "common/strings.hpp"
+
+namespace sm::core {
+
+using packet::TcpFlags;
+
+SynReachabilityProbe::SynReachabilityProbe(Testbed& tb,
+                                           SynReachabilityOptions options)
+    : tb_(tb), options_(std::move(options)) {
+  report_.technique = "syn-reach";
+  report_.target = common::format("%s:%u",
+                                  options_.target.to_string().c_str(),
+                                  options_.port);
+  report_.samples = 1;
+  cover_ = std::make_unique<spoof::StatelessSynCover>(*tb_.client);
+}
+
+void SynReachabilityProbe::start() {
+  sport_ = tb_.client->alloc_ephemeral_port();
+  iss_ = 0xC0DE0000 | sport_;
+
+  tb_.client->add_promiscuous(
+      [this](const packet::Decoded& d, const common::Bytes&) {
+        on_reply(d);
+      });
+
+  // The real probe plus spoofed cover from neighbors, back to back: the
+  // tap sees the whole /24 probing.
+  ++report_.packets_sent;
+  tb_.client->send(packet::make_tcp(tb_.client->address(), options_.target,
+                                    sport_, options_.port, TcpFlags::kSyn,
+                                    iss_, 0));
+  auto neighbors = tb_.neighbor_addresses();
+  if (neighbors.size() > options_.cover_count)
+    neighbors.resize(options_.cover_count);
+  report_.packets_sent +=
+      cover_->emit(neighbors, options_.target, options_.port);
+
+  tb_.net.engine().schedule(options_.reply_timeout,
+                            [this]() { finalize(); });
+}
+
+void SynReachabilityProbe::on_reply(const packet::Decoded& d) {
+  if (done_ || replied_ || !d.tcp) return;
+  if (d.ip.src != options_.target || d.ip.dst != tb_.client->address())
+    return;
+  if (d.tcp->src_port != options_.port || d.tcp->dst_port != sport_)
+    return;
+  replied_ = true;
+  if (d.tcp->syn() && d.tcp->ack_flag()) {
+    report_.verdict = Verdict::Reachable;
+    report_.detail = "syn/ack received";
+    // "a RST provides cover traffic" — and is what the client's stack
+    // does anyway; make it explicit for stack-less clients.
+    ++report_.packets_sent;
+    tb_.client->send(packet::make_tcp(tb_.client->address(),
+                                      options_.target, sport_,
+                                      options_.port, TcpFlags::kRst,
+                                      d.tcp->ack, 0));
+  } else if (d.tcp->rst()) {
+    report_.verdict = Verdict::BlockedRst;
+    report_.detail = "rst received on a port expected open";
+    report_.samples_blocked = 1;
+  }
+  done_ = true;
+}
+
+void SynReachabilityProbe::finalize() {
+  if (done_) return;
+  report_.verdict = Verdict::BlockedTimeout;
+  report_.detail = "no syn/ack within the timeout";
+  report_.samples_blocked = 1;
+  done_ = true;
+}
+
+}  // namespace sm::core

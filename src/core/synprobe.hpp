@@ -1,0 +1,47 @@
+// Stateless TCP reachability with spoofed cover (§4.1).
+//
+// "We can use similar principles to measure IP reachability by sending
+// TCP SYNs, checking if a SYN/ACK was correctly received, and sending a
+// RST in response. If packets are dropped, the SYN/ACK will never
+// arrive, otherwise, a RST provides cover traffic." The same SYN is also
+// spoofed from neighbor addresses (Fig. 3a applied to TCP), whose
+// stacks' automatic RSTs make every host in the /24 look like the
+// prober.
+#pragma once
+
+#include "core/probe.hpp"
+#include "spoof/cover.hpp"
+
+namespace sm::core {
+
+struct SynReachabilityOptions {
+  common::Ipv4Address target;
+  uint16_t port = 80;
+  /// Spoofed duplicates of the probe from this many neighbors.
+  size_t cover_count = 0;
+  common::Duration reply_timeout = common::Duration::millis(800);
+};
+
+class SynReachabilityProbe : public Probe {
+ public:
+  SynReachabilityProbe(Testbed& tb, SynReachabilityOptions options);
+
+  void start() override;
+  bool done() const override { return done_; }
+  ProbeReport report() const override { return report_; }
+
+ private:
+  void on_reply(const packet::Decoded& d);
+  void finalize();
+
+  Testbed& tb_;
+  SynReachabilityOptions options_;
+  std::unique_ptr<spoof::StatelessSynCover> cover_;
+  uint16_t sport_ = 0;
+  uint32_t iss_ = 0;
+  bool replied_ = false;
+  bool done_ = false;
+  ProbeReport report_;
+};
+
+}  // namespace sm::core

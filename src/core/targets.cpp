@@ -1,0 +1,71 @@
+#include "core/targets.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace sm::core {
+
+using common::split;
+using common::starts_with;
+using common::to_lower;
+using common::trim;
+
+TargetList TargetList::parse_csv(std::string_view csv) {
+  TargetList out;
+  for (auto line : split(csv, '\n')) {
+    auto t = trim(line);
+    if (t.empty() || t[0] == '#') continue;
+    auto fields = split(t, ',');
+    std::string domain(trim(fields[0]));
+    if (domain.empty() || to_lower(domain) == "domain" ||
+        domain.find(' ') != std::string::npos ||
+        domain.find('.') == std::string::npos) {
+      if (to_lower(domain) != "domain") ++out.skipped_;
+      continue;
+    }
+    Target target;
+    target.domain = to_lower(domain);
+    if (fields.size() > 1) target.category = std::string(trim(fields[1]));
+    if (fields.size() > 2) target.note = std::string(trim(fields[2]));
+    out.targets_.push_back(std::move(target));
+  }
+  return out;
+}
+
+std::string TargetList::to_csv() const {
+  std::string out = "domain,category,note\n";
+  for (const auto& t : targets_)
+    out += t.domain + "," + t.category + "," + t.note + "\n";
+  return out;
+}
+
+std::vector<Target> TargetList::by_category(
+    std::string_view category) const {
+  std::vector<Target> out;
+  for (const auto& t : targets_)
+    if (common::iequals(t.category, category)) out.push_back(t);
+  return out;
+}
+
+std::vector<std::string> TargetList::categories() const {
+  std::vector<std::string> out;
+  for (const auto& t : targets_) {
+    if (std::find(out.begin(), out.end(), t.category) == out.end())
+      out.push_back(t.category);
+  }
+  return out;
+}
+
+TargetList TargetList::builtin_sample() {
+  return parse_csv(
+      "domain,category,note\n"
+      "open.example,NEWS,control site expected reachable\n"
+      "blocked.example,POLI,known-blocked political content\n"
+      "twitter.com,SOCI,social network with DNS interference\n"
+      "youtube.com,MMED,video platform with DNS interference\n"
+      "facebook.com,SOCI,social network with DNS interference\n"
+      "measure.example,CTRL,measurement infrastructure\n");
+}
+
+}  // namespace sm::core

@@ -1,0 +1,17 @@
+// nmap-style "top N TCP ports" list (§3.1 Method #1 scans "the most
+// commonly open 1,000 TCP ports").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sm::core {
+
+/// The first `n` (max 1000) most-commonly-open TCP ports, ordered by
+/// frequency like nmap's nmap-services ranking (head is the well-known
+/// published order; the tail is filled deterministically from common
+/// service ranges).
+std::vector<uint16_t> top_tcp_ports(size_t n = 1000);
+
+}  // namespace sm::core

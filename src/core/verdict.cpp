@@ -1,0 +1,27 @@
+#include "core/verdict.hpp"
+
+#include "common/strings.hpp"
+
+namespace sm::core {
+
+std::string_view to_string(Verdict v) {
+  switch (v) {
+    case Verdict::Reachable: return "reachable";
+    case Verdict::BlockedRst: return "blocked-rst";
+    case Verdict::BlockedDnsForgery: return "blocked-dns-forgery";
+    case Verdict::BlockedTimeout: return "blocked-timeout";
+    case Verdict::BlockedBlockpage: return "blocked-blockpage";
+    case Verdict::Inconclusive: return "inconclusive";
+  }
+  return "?";
+}
+
+std::string ProbeReport::to_string() const {
+  return common::format("%s(%s): %s [%s] pkts=%zu samples=%zu/%zu",
+                        technique.c_str(), target.c_str(),
+                        std::string(core::to_string(verdict)).c_str(),
+                        detail.c_str(), packets_sent, samples_blocked,
+                        samples);
+}
+
+}  // namespace sm::core

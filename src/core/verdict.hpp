@@ -1,0 +1,45 @@
+// Measurement verdicts: what a probe concluded about a target.
+//
+// The taxonomy distinguishes censorship *mechanisms*, because the paper's
+// techniques each detect specific ones: RST injection (keyword censors),
+// DNS forgery (bad A answers), and silent dropping (null-routes / port
+// blocks) — plus honest "inconclusive" for confounded observations
+// (§3.1 Method #2 notes e.g. an ISP blackholing mail is a confounder).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace sm::core {
+
+enum class Verdict {
+  Reachable,          // service responded normally
+  BlockedRst,         // connection(s) torn down by injected RSTs
+  BlockedDnsForgery,  // DNS answer is a known-forged/bogus address
+  BlockedTimeout,     // silence where a response was expected (dropping)
+  BlockedBlockpage,   // a forged HTTP blockpage was served instead
+  Inconclusive,       // confounded (e.g. NXDOMAIN, server-side error)
+};
+
+std::string_view to_string(Verdict v);
+
+/// True when the verdict asserts interference of any mechanism.
+inline bool is_blocked(Verdict v) {
+  return v == Verdict::BlockedRst || v == Verdict::BlockedDnsForgery ||
+         v == Verdict::BlockedTimeout || v == Verdict::BlockedBlockpage;
+}
+
+/// A finished measurement.
+struct ProbeReport {
+  std::string technique;  // "overt-http", "scan", "spam", "ddos", ...
+  std::string target;     // domain or address measured
+  Verdict verdict = Verdict::Inconclusive;
+  std::string detail;     // human-readable evidence
+  size_t packets_sent = 0;
+  size_t samples = 0;      // sub-measurements (ports, requests, ...)
+  size_t samples_blocked = 0;
+
+  std::string to_string() const;
+};
+
+}  // namespace sm::core

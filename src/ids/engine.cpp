@@ -1,0 +1,202 @@
+#include "ids/engine.hpp"
+
+#include <stdexcept>
+
+#include "common/strings.hpp"
+
+namespace sm::ids {
+
+std::string Alert::to_string() const {
+  return common::format("[%0.6fs] [sid:%u] %s {%s} %s:%u -> %s:%u",
+                        time.to_seconds(), sid, msg.c_str(),
+                        ids::to_string(action).c_str(),
+                        src.to_string().c_str(), src_port,
+                        dst.to_string().c_str(), dst_port);
+}
+
+Engine::Engine(std::vector<Rule> rules) {
+  rules_.reserve(rules.size());
+  for (auto& r : rules) {
+    CompiledRule cr;
+    cr.matchers.reserve(r.contents.size());
+    for (const auto& c : r.contents)
+      cr.matchers.emplace_back(c.pattern, c.nocase);
+    cr.rule = std::move(r);
+    rules_.push_back(std::move(cr));
+  }
+}
+
+Engine Engine::from_text(std::string_view rules_text, const VarTable& vars) {
+  auto result = parse_rules(rules_text, vars);
+  if (!result.ok()) {
+    std::string msg = "rule parse failed:";
+    for (const auto& e : result.errors)
+      msg += common::format(" line %zu: %s;", e.line, e.message.c_str());
+    throw std::invalid_argument(msg);
+  }
+  return Engine(std::move(result.rules));
+}
+
+bool Engine::header_matches(const CompiledRule& cr,
+                            const packet::Decoded& d) const {
+  const Rule& r = cr.rule;
+  switch (r.proto) {
+    case RuleProto::Tcp:
+      if (!d.tcp) return false;
+      break;
+    case RuleProto::Udp:
+      if (!d.udp) return false;
+      break;
+    case RuleProto::Icmp:
+      if (!d.icmp) return false;
+      break;
+    case RuleProto::Ip:
+      break;
+  }
+  uint16_t sp = d.src_port(), dp = d.dst_port();
+  bool forward = r.src.matches(d.ip.src) && r.src_ports.matches(sp) &&
+                 r.dst.matches(d.ip.dst) && r.dst_ports.matches(dp);
+  if (forward) return true;
+  if (r.bidirectional) {
+    return r.src.matches(d.ip.dst) && r.src_ports.matches(dp) &&
+           r.dst.matches(d.ip.src) && r.dst_ports.matches(sp);
+  }
+  return false;
+}
+
+bool Engine::options_match(const CompiledRule& cr, const packet::Decoded& d,
+                           const FlowContext& fc, bool& used_stream) {
+  const Rule& r = cr.rule;
+  used_stream = false;
+
+  if (r.flags) {
+    if (!d.tcp) return false;
+    uint8_t relevant = d.tcp->flags & static_cast<uint8_t>(~r.flags->ignore_mask);
+    bool match;
+    if (r.flags->exact)
+      match = relevant == r.flags->required;
+    else
+      match = (relevant & r.flags->required) == r.flags->required;
+    if (r.flags->negated) match = !match;
+    if (!match) return false;
+  }
+
+  if (r.dsize && !r.dsize->matches(d.l4_payload.size())) return false;
+
+  if (r.flow) {
+    if (!fc.state) return false;
+    if (r.flow->established && !fc.state->established) return false;
+    if (r.flow->to_server && !fc.to_server) return false;
+    if (r.flow->to_client && fc.to_server) return false;
+  }
+
+  // Content: every (non-negated and negated) content must hold. Try the
+  // packet payload first; if any positive content misses and this is an
+  // established TCP flow, retry all contents against the reassembled
+  // stream for the packet's direction.
+  if (!r.contents.empty()) {
+    bool all_packet = true;
+    for (size_t i = 0; i < r.contents.size(); ++i) {
+      if (!content_matches(r.contents[i], cr.matchers[i], d.l4_payload)) {
+        all_packet = false;
+        break;
+      }
+    }
+    if (all_packet) return true;
+    if (d.tcp && fc.state) {
+      auto stream = fc.to_server ? fc.state->to_server_stream.contiguous()
+                                 : fc.state->to_client_stream.contiguous();
+      if (!stream.empty()) {
+        for (size_t i = 0; i < r.contents.size(); ++i) {
+          if (!content_matches(r.contents[i], cr.matchers[i], stream))
+            return false;
+        }
+        used_stream = true;
+        return true;
+      }
+    }
+    return false;
+  }
+  return true;
+}
+
+bool Engine::threshold_allows(const CompiledRule& cr, SimTime now,
+                              const packet::Decoded& d) {
+  const auto& spec = cr.rule.threshold;
+  if (!spec) return true;
+  Ipv4Address tracked = spec->track == ThresholdSpec::Track::BySrc
+                            ? d.ip.src
+                            : d.ip.dst;
+  ThresholdKey key{cr.rule.sid, tracked};
+  ThresholdState& st = thresholds_[key];
+  Duration window = Duration::seconds(spec->seconds);
+  if (st.count == 0 || now - st.window_start > window) {
+    st.window_start = now;
+    st.count = 0;
+    st.fired_in_window = false;
+  }
+  ++st.count;
+  switch (spec->type) {
+    case ThresholdSpec::Type::Limit:
+      // Alert on the first `count` events per window.
+      return st.count <= spec->count;
+    case ThresholdSpec::Type::Threshold:
+      // Alert on every `count`-th event.
+      return st.count % spec->count == 0;
+    case ThresholdSpec::Type::Both:
+      // Alert once per window, when the count reaches `count`.
+      if (st.count >= spec->count && !st.fired_in_window) {
+        st.fired_in_window = true;
+        return true;
+      }
+      return false;
+  }
+  return true;
+}
+
+Verdict Engine::process(SimTime now, const packet::Decoded& d) {
+  ++stats_.packets;
+  Verdict verdict;
+  FlowContext fc = flows_.update(now, d);
+
+  for (auto& cr : rules_) {
+    const Rule& r = cr.rule;
+    if (!header_matches(cr, d)) continue;
+    bool used_stream = false;
+    if (!options_match(cr, d, fc, used_stream)) continue;
+
+    // Stream-based matches fire once per flow per rule.
+    if (used_stream && fc.state) {
+      if (fc.state->fired_sids.count(r.sid)) continue;
+      fc.state->fired_sids.insert(r.sid);
+    }
+
+    if (r.action == RuleAction::Pass) break;  // whitelisted: stop here
+
+    if (!threshold_allows(cr, now, d)) continue;
+
+    Alert alert;
+    alert.time = now;
+    alert.sid = r.sid;
+    alert.msg = r.msg;
+    alert.classtype = r.classtype;
+    alert.action = r.action;
+    alert.priority = r.priority;
+    alert.src = d.ip.src;
+    alert.dst = d.ip.dst;
+    alert.src_port = d.src_port();
+    alert.dst_port = d.dst_port();
+    verdict.alerts.push_back(std::move(alert));
+    ++stats_.alerts;
+
+    if (r.action == RuleAction::Drop || r.action == RuleAction::Reject) {
+      verdict.drop = true;
+      verdict.reject = r.action == RuleAction::Reject;
+      ++stats_.drops;
+      break;  // inline action terminates evaluation
+    }
+  }
+  return verdict;
+}
+
+}  // namespace sm::ids

@@ -1,0 +1,96 @@
+// Signature IDS engine: evaluates a compiled ruleset against packets,
+// maintaining flow state, stream reassembly, and alert thresholds.
+//
+// Both reference systems in the evaluation are instances of this engine:
+// the censor (inline, with drop/reject rules) and the surveillance MVR
+// (passive, alert rules only). That mirrors the paper's §3.2.1 setup of
+// two Snort instances on the same switch.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "ids/flow.hpp"
+#include "ids/matcher.hpp"
+#include "ids/parser.hpp"
+#include "ids/rule.hpp"
+#include "packet/packet.hpp"
+
+namespace sm::ids {
+
+struct Alert {
+  SimTime time{};
+  uint32_t sid = 0;
+  std::string msg;
+  std::string classtype;
+  RuleAction action = RuleAction::Alert;
+  int priority = 3;
+  Ipv4Address src;
+  Ipv4Address dst;
+  uint16_t src_port = 0;
+  uint16_t dst_port = 0;
+
+  std::string to_string() const;
+};
+
+/// Outcome of running one packet through the engine.
+struct Verdict {
+  bool drop = false;    // a drop/reject rule matched: discard the packet
+  bool reject = false;  // specifically a reject rule: also tear down
+  std::vector<Alert> alerts;
+};
+
+class Engine {
+ public:
+  explicit Engine(std::vector<Rule> rules);
+
+  /// Convenience: parse-and-build; throws std::invalid_argument on parse
+  /// errors (rulesets are programmer input here).
+  static Engine from_text(std::string_view rules_text,
+                          const VarTable& vars = {});
+
+  /// Runs one packet. Flow state advances even when no rule matches.
+  Verdict process(SimTime now, const packet::Decoded& d);
+
+  const FlowTable& flows() const { return flows_; }
+  FlowTable& flows() { return flows_; }
+  size_t rule_count() const { return rules_.size(); }
+
+  struct Stats {
+    uint64_t packets = 0;
+    uint64_t alerts = 0;
+    uint64_t drops = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct CompiledRule {
+    Rule rule;
+    std::vector<PatternMatcher> matchers;  // parallel to rule.contents
+  };
+
+  bool header_matches(const CompiledRule& cr, const packet::Decoded& d) const;
+  bool options_match(const CompiledRule& cr, const packet::Decoded& d,
+                     const FlowContext& fc, bool& used_stream);
+  bool threshold_allows(const CompiledRule& cr, SimTime now,
+                        const packet::Decoded& d);
+
+  std::vector<CompiledRule> rules_;
+  FlowTable flows_;
+  Stats stats_;
+
+  struct ThresholdKey {
+    uint32_t sid;
+    Ipv4Address tracked;
+    auto operator<=>(const ThresholdKey&) const = default;
+  };
+  struct ThresholdState {
+    SimTime window_start{};
+    uint32_t count = 0;
+    bool fired_in_window = false;
+  };
+  std::map<ThresholdKey, ThresholdState> thresholds_;
+};
+
+}  // namespace sm::ids

@@ -1,0 +1,69 @@
+#include "ids/matcher.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace sm::ids {
+
+namespace {
+uint8_t fold(uint8_t c) {
+  return static_cast<uint8_t>(std::tolower(c));
+}
+}  // namespace
+
+PatternMatcher::PatternMatcher(std::string pattern, bool nocase)
+    : pattern_(std::move(pattern)), nocase_(nocase) {
+  if (nocase_) {
+    std::transform(pattern_.begin(), pattern_.end(), pattern_.begin(),
+                   [](char c) {
+                     return static_cast<char>(fold(static_cast<uint8_t>(c)));
+                   });
+  }
+  size_t m = pattern_.size();
+  uint8_t max_shift = static_cast<uint8_t>(std::min<size_t>(m, 255));
+  shift_.fill(max_shift);
+  for (size_t i = 0; i + 1 < m; ++i) {
+    uint8_t c = static_cast<uint8_t>(pattern_[i]);
+    uint8_t s = static_cast<uint8_t>(std::min<size_t>(m - 1 - i, 255));
+    shift_[c] = s;
+    if (nocase_) shift_[std::toupper(c)] = s;
+  }
+}
+
+size_t PatternMatcher::find(std::span<const uint8_t> haystack) const {
+  size_t m = pattern_.size();
+  if (m == 0) return 0;
+  if (haystack.size() < m) return npos;
+  const auto* pat = reinterpret_cast<const uint8_t*>(pattern_.data());
+  size_t i = 0;
+  size_t limit = haystack.size() - m;
+  while (i <= limit) {
+    // Compare from the end, folding haystack bytes when nocase.
+    size_t j = m;
+    while (j > 0) {
+      uint8_t h = haystack[i + j - 1];
+      if (nocase_) h = fold(h);
+      if (h != pat[j - 1]) break;
+      --j;
+    }
+    if (j == 0) return i;
+    i += shift_[haystack[i + m - 1]];
+  }
+  return npos;
+}
+
+bool content_matches(const ContentMatch& cm, const PatternMatcher& matcher,
+                     std::span<const uint8_t> payload) {
+  size_t begin = static_cast<size_t>(std::max(cm.offset, 0));
+  bool found = false;
+  if (begin <= payload.size()) {
+    auto window = payload.subspan(begin);
+    if (cm.depth >= 0)
+      window = window.subspan(0, std::min<size_t>(window.size(),
+                                                  static_cast<size_t>(cm.depth)));
+    found = matcher.find(window) != PatternMatcher::npos;
+  }
+  return cm.negated ? !found : found;
+}
+
+}  // namespace sm::ids

@@ -1,0 +1,38 @@
+// Content matching: Boyer-Moore-Horspool substring search with optional
+// case folding, plus evaluation of a ContentMatch (offset/depth/negation)
+// against a payload.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "ids/rule.hpp"
+
+namespace sm::ids {
+
+/// Precompiled BMH pattern. Build once per rule, match per packet.
+class PatternMatcher {
+ public:
+  PatternMatcher(std::string pattern, bool nocase);
+
+  /// Returns the offset of the first occurrence in `haystack`, or npos.
+  static constexpr size_t npos = static_cast<size_t>(-1);
+  size_t find(std::span<const uint8_t> haystack) const;
+
+  const std::string& pattern() const { return pattern_; }
+  bool nocase() const { return nocase_; }
+
+ private:
+  std::string pattern_;  // case-folded when nocase
+  bool nocase_;
+  std::array<uint8_t, 256> shift_{};
+};
+
+/// Evaluates a full ContentMatch (offset/depth window + negation) against
+/// a payload, using a prebuilt matcher for the pattern.
+bool content_matches(const ContentMatch& cm, const PatternMatcher& matcher,
+                     std::span<const uint8_t> payload);
+
+}  // namespace sm::ids

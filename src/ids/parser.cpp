@@ -1,0 +1,468 @@
+#include "ids/parser.hpp"
+
+#include <cctype>
+
+#include "common/strings.hpp"
+#include "packet/packet.hpp"
+
+namespace sm::ids {
+
+using common::parse_int;
+using common::split;
+using common::to_lower;
+using common::trim;
+
+namespace {
+
+struct LineParser {
+  std::string_view line;
+  const VarTable& vars;
+  std::string error;
+
+  bool fail(std::string message) {
+    if (error.empty()) error = std::move(message);
+    return false;
+  }
+
+  /// Substitutes $VARS in a token.
+  bool resolve(std::string_view token, std::string& out) {
+    if (!token.empty() && token[0] == '$') {
+      auto it = vars.find(std::string(token.substr(1)));
+      if (it == vars.end())
+        return fail("undefined variable " + std::string(token));
+      out = it->second;
+      return true;
+    }
+    if (!token.empty() && token[0] == '!' && token.size() > 1 &&
+        token[1] == '$') {
+      auto it = vars.find(std::string(token.substr(2)));
+      if (it == vars.end())
+        return fail("undefined variable " + std::string(token.substr(1)));
+      out = "!" + it->second;
+      return true;
+    }
+    out = std::string(token);
+    return true;
+  }
+
+  bool parse_address(std::string_view token, AddressSpec& out) {
+    std::string resolved;
+    if (!resolve(token, resolved)) return false;
+    std::string_view t = resolved;
+    out = AddressSpec{};
+    if (!t.empty() && t[0] == '!') {
+      out.negated = true;
+      t.remove_prefix(1);
+    }
+    if (t == "any") {
+      if (out.negated) return fail("!any is not a valid address");
+      out.any = true;
+      return true;
+    }
+    std::string_view inner = t;
+    if (!t.empty() && t.front() == '[') {
+      if (t.back() != ']') return fail("unterminated address list");
+      inner = t.substr(1, t.size() - 2);
+    }
+    for (auto part : split(inner, ',')) {
+      part = trim(part);
+      if (part.empty()) continue;
+      std::optional<Cidr> cidr;
+      if (part.find('/') != std::string_view::npos) {
+        cidr = Cidr::parse(part);
+      } else if (auto addr = Ipv4Address::parse(part)) {
+        cidr = Cidr(*addr, 32);
+      }
+      if (!cidr) return fail("bad address " + std::string(part));
+      out.cidrs.push_back(*cidr);
+    }
+    if (out.cidrs.empty()) return fail("empty address list");
+    return true;
+  }
+
+  bool parse_port_range(std::string_view part,
+                        std::pair<uint16_t, uint16_t>& out) {
+    size_t colon = part.find(':');
+    auto to_port = [&](std::string_view s, uint16_t dflt) -> int {
+      if (s.empty()) return dflt;
+      auto v = parse_int(s);
+      if (!v || *v < 0 || *v > 65535) return -1;
+      return static_cast<int>(*v);
+    };
+    if (colon == std::string_view::npos) {
+      int p = to_port(part, 0);
+      if (p < 0 || part.empty()) return false;
+      out = {static_cast<uint16_t>(p), static_cast<uint16_t>(p)};
+      return true;
+    }
+    int lo = to_port(part.substr(0, colon), 0);
+    int hi = to_port(part.substr(colon + 1), 65535);
+    if (lo < 0 || hi < 0 || lo > hi) return false;
+    out = {static_cast<uint16_t>(lo), static_cast<uint16_t>(hi)};
+    return true;
+  }
+
+  bool parse_ports(std::string_view token, PortSpec& out) {
+    std::string resolved;
+    if (!resolve(token, resolved)) return false;
+    std::string_view t = resolved;
+    out = PortSpec{};
+    if (!t.empty() && t[0] == '!') {
+      out.negated = true;
+      t.remove_prefix(1);
+    }
+    if (t == "any") {
+      if (out.negated) return fail("!any is not a valid port spec");
+      out.any = true;
+      return true;
+    }
+    std::string_view inner = t;
+    if (!t.empty() && t.front() == '[') {
+      if (t.back() != ']') return fail("unterminated port list");
+      inner = t.substr(1, t.size() - 2);
+    }
+    for (auto part : split(inner, ',')) {
+      part = trim(part);
+      if (part.empty()) continue;
+      std::pair<uint16_t, uint16_t> range;
+      if (!parse_port_range(part, range))
+        return fail("bad port " + std::string(part));
+      out.ranges.push_back(range);
+    }
+    if (out.ranges.empty()) return fail("empty port list");
+    return true;
+  }
+
+  /// Decodes a content pattern: text with |xx xx| hex runs.
+  bool decode_pattern(std::string_view raw, std::string& out) {
+    out.clear();
+    bool in_hex = false;
+    std::string hex;
+    for (char c : raw) {
+      if (c == '|') {
+        if (in_hex) {
+          auto digits = common::split_whitespace(hex);
+          for (auto d : digits) {
+            if (d.size() != 2 || !std::isxdigit((unsigned char)d[0]) ||
+                !std::isxdigit((unsigned char)d[1]))
+              return fail("bad hex in content");
+            out.push_back(static_cast<char>(
+                std::stoi(std::string(d), nullptr, 16)));
+          }
+          hex.clear();
+        }
+        in_hex = !in_hex;
+        continue;
+      }
+      if (in_hex)
+        hex.push_back(c);
+      else
+        out.push_back(c);
+    }
+    if (in_hex) return fail("unterminated |hex| in content");
+    return true;
+  }
+
+  bool parse_flags_value(std::string_view value, FlagsMatch& out) {
+    using packet::TcpFlags;
+    out = FlagsMatch{};
+    std::string_view t = trim(value);
+    if (!t.empty() && t[0] == '!') {
+      out.negated = true;
+      t.remove_prefix(1);
+    }
+    // Optional ",mask" part: flags listed after the comma are ignored.
+    size_t comma = t.find(',');
+    std::string_view flag_part = comma == std::string_view::npos
+                                     ? t
+                                     : t.substr(0, comma);
+    std::string_view mask_part = comma == std::string_view::npos
+                                     ? std::string_view{}
+                                     : t.substr(comma + 1);
+    auto bits_of = [&](char c) -> uint8_t {
+      switch (std::toupper(static_cast<unsigned char>(c))) {
+        case 'F': return TcpFlags::kFin;
+        case 'S': return TcpFlags::kSyn;
+        case 'R': return TcpFlags::kRst;
+        case 'P': return TcpFlags::kPsh;
+        case 'A': return TcpFlags::kAck;
+        case 'U': return TcpFlags::kUrg;
+        default: return 0;
+      }
+    };
+    for (char c : flag_part) {
+      if (c == '+') {
+        out.exact = false;
+        continue;
+      }
+      if (c == '*') {  // "any of": approximate as non-exact
+        out.exact = false;
+        continue;
+      }
+      uint8_t b = bits_of(c);
+      if (!b) return fail(std::string("bad flag char '") + c + "'");
+      out.required |= b;
+    }
+    for (char c : mask_part) {
+      uint8_t b = bits_of(c);
+      if (b) out.ignore_mask |= b;
+    }
+    return true;
+  }
+
+  bool parse_dsize(std::string_view value, DsizeMatch& out) {
+    std::string_view t = trim(value);
+    out = DsizeMatch{};
+    size_t range_pos = t.find("<>");
+    if (range_pos != std::string_view::npos) {
+      auto a = parse_int(t.substr(0, range_pos));
+      auto b = parse_int(t.substr(range_pos + 2));
+      if (!a || !b) return fail("bad dsize range");
+      out.op = DsizeMatch::Op::Range;
+      out.a = static_cast<uint32_t>(*a);
+      out.b = static_cast<uint32_t>(*b);
+      return true;
+    }
+    if (!t.empty() && t[0] == '<') {
+      auto a = parse_int(t.substr(1));
+      if (!a) return fail("bad dsize");
+      out.op = DsizeMatch::Op::Lt;
+      out.a = static_cast<uint32_t>(*a);
+      return true;
+    }
+    if (!t.empty() && t[0] == '>') {
+      auto a = parse_int(t.substr(1));
+      if (!a) return fail("bad dsize");
+      out.op = DsizeMatch::Op::Gt;
+      out.a = static_cast<uint32_t>(*a);
+      return true;
+    }
+    auto a = parse_int(t);
+    if (!a) return fail("bad dsize");
+    out.op = DsizeMatch::Op::Eq;
+    out.a = static_cast<uint32_t>(*a);
+    return true;
+  }
+
+  bool parse_flow(std::string_view value, FlowMatch& out) {
+    out = FlowMatch{};
+    for (auto part : split(value, ',')) {
+      auto p = to_lower(trim(part));
+      if (p == "established") out.established = true;
+      else if (p == "to_server" || p == "from_client") out.to_server = true;
+      else if (p == "to_client" || p == "from_server") out.to_client = true;
+      else if (p == "stateless") continue;
+      else return fail("unknown flow keyword " + p);
+    }
+    return true;
+  }
+
+  bool parse_threshold(std::string_view value, ThresholdSpec& out) {
+    out = ThresholdSpec{};
+    for (auto part : split(value, ',')) {
+      auto p = trim(part);
+      auto words = common::split_whitespace(p);
+      if (words.size() != 2) return fail("bad threshold clause");
+      auto key = to_lower(words[0]);
+      auto val = to_lower(words[1]);
+      if (key == "type") {
+        if (val == "limit") out.type = ThresholdSpec::Type::Limit;
+        else if (val == "threshold") out.type = ThresholdSpec::Type::Threshold;
+        else if (val == "both") out.type = ThresholdSpec::Type::Both;
+        else return fail("bad threshold type " + val);
+      } else if (key == "track") {
+        if (val == "by_src") out.track = ThresholdSpec::Track::BySrc;
+        else if (val == "by_dst") out.track = ThresholdSpec::Track::ByDst;
+        else return fail("bad threshold track " + val);
+      } else if (key == "count") {
+        auto n = parse_int(val);
+        if (!n || *n < 1) return fail("bad threshold count");
+        out.count = static_cast<uint32_t>(*n);
+      } else if (key == "seconds") {
+        auto n = parse_int(val);
+        if (!n || *n < 1) return fail("bad threshold seconds");
+        out.seconds = static_cast<uint32_t>(*n);
+      } else {
+        return fail("unknown threshold key " + key);
+      }
+    }
+    return true;
+  }
+
+  /// Splits the options block on ';' outside quotes.
+  std::vector<std::string> split_options(std::string_view body) {
+    std::vector<std::string> out;
+    std::string current;
+    bool in_quotes = false;
+    for (char c : body) {
+      if (c == '"') in_quotes = !in_quotes;
+      if (c == ';' && !in_quotes) {
+        auto t = trim(current);
+        if (!t.empty()) out.emplace_back(t);
+        current.clear();
+        continue;
+      }
+      current.push_back(c);
+    }
+    auto t = trim(current);
+    if (!t.empty()) out.emplace_back(t);
+    return out;
+  }
+
+  bool parse_options(std::string_view body, Rule& rule) {
+    ContentMatch* last_content = nullptr;
+    for (const std::string& opt : split_options(body)) {
+      size_t colon = opt.find(':');
+      std::string key = to_lower(trim(
+          colon == std::string::npos ? opt : opt.substr(0, colon)));
+      std::string_view value =
+          colon == std::string::npos
+              ? std::string_view{}
+              : trim(std::string_view(opt).substr(colon + 1));
+
+      if (key == "msg") {
+        std::string_view v = value;
+        if (v.size() >= 2 && v.front() == '"' && v.back() == '"')
+          v = v.substr(1, v.size() - 2);
+        rule.msg = std::string(v);
+      } else if (key == "sid") {
+        auto n = parse_int(value);
+        if (!n) return fail("bad sid");
+        rule.sid = static_cast<uint32_t>(*n);
+      } else if (key == "rev") {
+        auto n = parse_int(value);
+        if (!n) return fail("bad rev");
+        rule.rev = static_cast<uint32_t>(*n);
+      } else if (key == "classtype") {
+        rule.classtype = std::string(value);
+      } else if (key == "priority") {
+        auto n = parse_int(value);
+        if (!n) return fail("bad priority");
+        rule.priority = static_cast<int>(*n);
+      } else if (key == "content") {
+        ContentMatch c;
+        std::string_view v = value;
+        if (!v.empty() && v[0] == '!') {
+          c.negated = true;
+          v = trim(v.substr(1));
+        }
+        if (v.size() < 2 || v.front() != '"' || v.back() != '"')
+          return fail("content must be quoted");
+        if (!decode_pattern(v.substr(1, v.size() - 2), c.pattern))
+          return false;
+        if (c.pattern.empty()) return fail("empty content");
+        rule.contents.push_back(std::move(c));
+        last_content = &rule.contents.back();
+      } else if (key == "nocase") {
+        if (!last_content) return fail("nocase without content");
+        last_content->nocase = true;
+      } else if (key == "offset") {
+        if (!last_content) return fail("offset without content");
+        auto n = parse_int(value);
+        if (!n || *n < 0) return fail("bad offset");
+        last_content->offset = static_cast<int>(*n);
+      } else if (key == "depth") {
+        if (!last_content) return fail("depth without content");
+        auto n = parse_int(value);
+        if (!n || *n < 1) return fail("bad depth");
+        last_content->depth = static_cast<int>(*n);
+      } else if (key == "flags") {
+        FlagsMatch f;
+        if (!parse_flags_value(value, f)) return false;
+        rule.flags = f;
+      } else if (key == "dsize") {
+        DsizeMatch d;
+        if (!parse_dsize(value, d)) return false;
+        rule.dsize = d;
+      } else if (key == "flow") {
+        FlowMatch f;
+        if (!parse_flow(value, f)) return false;
+        rule.flow = f;
+      } else if (key == "threshold" || key == "detection_filter") {
+        ThresholdSpec t;
+        if (!parse_threshold(value, t)) return false;
+        rule.threshold = t;
+      } else if (key == "reference" || key == "metadata" || key == "gid") {
+        // Accepted and ignored: bookkeeping options with no match effect.
+      } else {
+        return fail("unknown option " + key);
+      }
+    }
+    return true;
+  }
+
+  bool parse(Rule& rule) {
+    std::string_view rest = trim(line);
+    size_t paren = rest.find('(');
+    if (paren == std::string_view::npos)
+      return fail("missing options block");
+    std::string_view header = trim(rest.substr(0, paren));
+    std::string_view options = rest.substr(paren + 1);
+    if (options.empty() || options.back() != ')')
+      return fail("missing closing paren");
+    options.remove_suffix(1);
+
+    auto tokens = common::split_whitespace(header);
+    if (tokens.size() != 7) return fail("header must have 7 fields");
+
+    auto action = to_lower(tokens[0]);
+    if (action == "alert") rule.action = RuleAction::Alert;
+    else if (action == "log") rule.action = RuleAction::Log;
+    else if (action == "pass") rule.action = RuleAction::Pass;
+    else if (action == "drop" || action == "block")
+      rule.action = RuleAction::Drop;
+    else if (action == "reject") rule.action = RuleAction::Reject;
+    else return fail("unknown action " + action);
+
+    auto proto = to_lower(tokens[1]);
+    if (proto == "ip") rule.proto = RuleProto::Ip;
+    else if (proto == "tcp") rule.proto = RuleProto::Tcp;
+    else if (proto == "udp") rule.proto = RuleProto::Udp;
+    else if (proto == "icmp") rule.proto = RuleProto::Icmp;
+    else return fail("unknown proto " + proto);
+
+    if (!parse_address(tokens[2], rule.src)) return false;
+    if (!parse_ports(tokens[3], rule.src_ports)) return false;
+    if (tokens[4] == "->") rule.bidirectional = false;
+    else if (tokens[4] == "<>") rule.bidirectional = true;
+    else return fail("bad direction " + std::string(tokens[4]));
+    if (!parse_address(tokens[5], rule.dst)) return false;
+    if (!parse_ports(tokens[6], rule.dst_ports)) return false;
+
+    return parse_options(options, rule);
+  }
+};
+
+}  // namespace
+
+ParseResult parse_rule_line(std::string_view line, const VarTable& vars) {
+  ParseResult result;
+  LineParser p{line, vars, {}};
+  Rule rule;
+  if (p.parse(rule)) {
+    result.rules.push_back(std::move(rule));
+  } else {
+    result.errors.push_back(ParseError{1, p.error});
+  }
+  return result;
+}
+
+ParseResult parse_rules(std::string_view text, const VarTable& vars) {
+  ParseResult result;
+  size_t line_no = 0;
+  for (auto line : split(text, '\n')) {
+    ++line_no;
+    auto t = trim(line);
+    if (t.empty() || t[0] == '#') continue;
+    LineParser p{t, vars, {}};
+    Rule rule;
+    if (p.parse(rule)) {
+      result.rules.push_back(std::move(rule));
+    } else {
+      result.errors.push_back(ParseError{line_no, p.error});
+    }
+  }
+  return result;
+}
+
+}  // namespace sm::ids

@@ -1,0 +1,40 @@
+// Parser for the Snort-subset rule language.
+//
+// Grammar per line:
+//   <action> <proto> <src> <sports> (-> | <>) <dst> <dports> (<options>)
+// Lines starting with '#' and blank lines are skipped. Variables of the
+// form $NAME may appear in address and port positions and are resolved
+// against the supplied variable table (e.g. $HOME_NET, $EXTERNAL_NET).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ids/rule.hpp"
+
+namespace sm::ids {
+
+struct ParseError {
+  size_t line = 0;  // 1-based line in the input
+  std::string message;
+};
+
+struct ParseResult {
+  std::vector<Rule> rules;
+  std::vector<ParseError> errors;
+
+  bool ok() const { return errors.empty(); }
+};
+
+/// Variable table: name (without '$') -> substitution text, e.g.
+/// {"HOME_NET", "10.1.0.0/16"}. Values may be lists: "[10.0.0.0/8,...]".
+using VarTable = std::map<std::string, std::string>;
+
+/// Parses a whole ruleset (possibly many lines).
+ParseResult parse_rules(std::string_view text, const VarTable& vars = {});
+
+/// Parses a single rule line; error carries line=1.
+ParseResult parse_rule_line(std::string_view line, const VarTable& vars = {});
+
+}  // namespace sm::ids

@@ -1,0 +1,30 @@
+#include "ids/replay.hpp"
+
+namespace sm::ids {
+
+ReplayResult replay(Engine& engine,
+                    const std::vector<packet::PcapRecord>& records) {
+  ReplayResult result;
+  for (const auto& record : records) {
+    ++result.packets;
+    auto decoded = packet::decode(record.data);
+    if (!decoded) {
+      ++result.undecodable;
+      continue;
+    }
+    Verdict verdict = engine.process(record.timestamp, *decoded);
+    if (verdict.drop) ++result.would_drop;
+    for (auto& alert : verdict.alerts)
+      result.alerts.push_back(std::move(alert));
+  }
+  return result;
+}
+
+std::optional<ReplayResult> replay_file(Engine& engine,
+                                        const std::string& path) {
+  auto records = packet::load_pcap(path);
+  if (!records) return std::nullopt;
+  return replay(engine, *records);
+}
+
+}  // namespace sm::ids

@@ -1,0 +1,29 @@
+// Offline pcap replay through the IDS engine — how Snort is actually run
+// over captures, and how a recorded simulator trace can be re-analyzed
+// with a different ruleset after the fact.
+#pragma once
+
+#include <vector>
+
+#include "ids/engine.hpp"
+#include "packet/pcap.hpp"
+
+namespace sm::ids {
+
+struct ReplayResult {
+  std::vector<Alert> alerts;
+  uint64_t packets = 0;
+  uint64_t undecodable = 0;
+  uint64_t would_drop = 0;  // packets an inline deployment would discard
+};
+
+/// Feeds every record through `engine` at its capture timestamp.
+ReplayResult replay(Engine& engine,
+                    const std::vector<packet::PcapRecord>& records);
+
+/// Convenience: load a pcap file and replay it. Returns nullopt if the
+/// file cannot be read or parsed.
+std::optional<ReplayResult> replay_file(Engine& engine,
+                                        const std::string& path);
+
+}  // namespace sm::ids

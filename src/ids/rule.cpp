@@ -1,0 +1,129 @@
+#include "ids/rule.hpp"
+
+#include "common/strings.hpp"
+#include "packet/packet.hpp"
+
+namespace sm::ids {
+
+std::string to_string(RuleAction a) {
+  switch (a) {
+    case RuleAction::Alert: return "alert";
+    case RuleAction::Log: return "log";
+    case RuleAction::Pass: return "pass";
+    case RuleAction::Drop: return "drop";
+    case RuleAction::Reject: return "reject";
+  }
+  return "?";
+}
+
+std::string to_string(RuleProto p) {
+  switch (p) {
+    case RuleProto::Ip: return "ip";
+    case RuleProto::Tcp: return "tcp";
+    case RuleProto::Udp: return "udp";
+    case RuleProto::Icmp: return "icmp";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string address_text(const AddressSpec& a) {
+  if (a.any) return "any";
+  std::string out = a.negated ? "!" : "";
+  if (a.cidrs.size() == 1) return out + a.cidrs[0].to_string();
+  out += "[";
+  for (size_t i = 0; i < a.cidrs.size(); ++i) {
+    if (i) out += ",";
+    out += a.cidrs[i].to_string();
+  }
+  out += "]";
+  return out;
+}
+
+std::string port_text(const PortSpec& p) {
+  if (p.any) return "any";
+  auto one = [](std::pair<uint16_t, uint16_t> r) {
+    if (r.first == r.second) return std::to_string(r.first);
+    return std::to_string(r.first) + ":" + std::to_string(r.second);
+  };
+  std::string out = p.negated ? "!" : "";
+  if (p.ranges.size() == 1) return out + one(p.ranges[0]);
+  out += "[";
+  for (size_t i = 0; i < p.ranges.size(); ++i) {
+    if (i) out += ",";
+    out += one(p.ranges[i]);
+  }
+  out += "]";
+  return out;
+}
+
+std::string flags_text(const FlagsMatch& f) {
+  using packet::TcpFlags;
+  std::string out = f.negated ? "!" : "";
+  if (f.required & TcpFlags::kFin) out += 'F';
+  if (f.required & TcpFlags::kSyn) out += 'S';
+  if (f.required & TcpFlags::kRst) out += 'R';
+  if (f.required & TcpFlags::kPsh) out += 'P';
+  if (f.required & TcpFlags::kAck) out += 'A';
+  if (f.required & TcpFlags::kUrg) out += 'U';
+  if (!f.exact) out += '+';
+  return out;
+}
+
+}  // namespace
+
+std::string Rule::to_string() const {
+  std::string out = ids::to_string(action) + " " + ids::to_string(proto) +
+                    " " + address_text(src) + " " + port_text(src_ports) +
+                    (bidirectional ? " <> " : " -> ") + address_text(dst) +
+                    " " + port_text(dst_ports) + " (";
+  if (!msg.empty()) out += "msg:\"" + msg + "\"; ";
+  for (const auto& c : contents) {
+    out += "content:";
+    if (c.negated) out += "!";
+    out += "\"" + c.pattern + "\"; ";
+    if (c.nocase) out += "nocase; ";
+    if (c.offset) out += "offset:" + std::to_string(c.offset) + "; ";
+    if (c.depth >= 0) out += "depth:" + std::to_string(c.depth) + "; ";
+  }
+  if (flags) out += "flags:" + flags_text(*flags) + "; ";
+  if (dsize) {
+    out += "dsize:";
+    switch (dsize->op) {
+      case DsizeMatch::Op::Eq: out += std::to_string(dsize->a); break;
+      case DsizeMatch::Op::Lt: out += "<" + std::to_string(dsize->a); break;
+      case DsizeMatch::Op::Gt: out += ">" + std::to_string(dsize->a); break;
+      case DsizeMatch::Op::Range:
+        out += std::to_string(dsize->a) + "<>" + std::to_string(dsize->b);
+        break;
+    }
+    out += "; ";
+  }
+  if (flow) {
+    out += "flow:";
+    std::vector<std::string> parts;
+    if (flow->established) parts.push_back("established");
+    if (flow->to_server) parts.push_back("to_server");
+    if (flow->to_client) parts.push_back("to_client");
+    out += common::join(parts, ",") + "; ";
+  }
+  if (threshold) {
+    out += "threshold:type ";
+    switch (threshold->type) {
+      case ThresholdSpec::Type::Limit: out += "limit"; break;
+      case ThresholdSpec::Type::Threshold: out += "threshold"; break;
+      case ThresholdSpec::Type::Both: out += "both"; break;
+    }
+    out += ", track ";
+    out += threshold->track == ThresholdSpec::Track::BySrc ? "by_src"
+                                                           : "by_dst";
+    out += ", count " + std::to_string(threshold->count);
+    out += ", seconds " + std::to_string(threshold->seconds) + "; ";
+  }
+  if (!classtype.empty()) out += "classtype:" + classtype + "; ";
+  out += "sid:" + std::to_string(sid) + "; rev:" + std::to_string(rev) + ";)";
+  return out;
+}
+
+}  // namespace sm::ids

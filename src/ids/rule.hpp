@@ -1,0 +1,153 @@
+// Rule model for the Snort-subset signature language.
+//
+// The paper argues (§3.2.1) that both the GFC and the NSA's systems are
+// functionally off-path signature IDSes "like Snort", and that most
+// deployments subscribe to community rulesets rather than writing their
+// own. This engine implements the subset of the Snort rule language those
+// arguments rely on: header matching (action/proto/addresses/ports/
+// direction), content with nocase/offset/depth, TCP flags, dsize, flow
+// state, and alert thresholding.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ip.hpp"
+
+namespace sm::ids {
+
+using common::Cidr;
+using common::Ipv4Address;
+
+enum class RuleAction {
+  Alert,   // log + alert
+  Log,     // log only
+  Pass,    // whitelist: stop processing this packet
+  Drop,    // inline: discard the packet (censorship "null route")
+  Reject,  // inline: discard and tear down (censorship RST injection)
+};
+
+enum class RuleProto { Ip, Tcp, Udp, Icmp };
+
+std::string to_string(RuleAction a);
+std::string to_string(RuleProto p);
+
+/// Address specification: any, a CIDR list, possibly negated.
+struct AddressSpec {
+  bool any = false;
+  bool negated = false;
+  std::vector<Cidr> cidrs;
+
+  bool matches(Ipv4Address addr) const {
+    if (any) return true;
+    bool in = false;
+    for (const auto& c : cidrs)
+      if (c.contains(addr)) {
+        in = true;
+        break;
+      }
+    return negated ? !in : in;
+  }
+
+  static AddressSpec make_any() { return AddressSpec{true, false, {}}; }
+};
+
+/// Port specification: any, single ports, ranges, possibly negated.
+struct PortSpec {
+  bool any = false;
+  bool negated = false;
+  std::vector<std::pair<uint16_t, uint16_t>> ranges;  // inclusive
+
+  bool matches(uint16_t port) const {
+    if (any) return true;
+    bool in = false;
+    for (auto [lo, hi] : ranges)
+      if (port >= lo && port <= hi) {
+        in = true;
+        break;
+      }
+    return negated ? !in : in;
+  }
+
+  static PortSpec make_any() { return PortSpec{true, false, {}}; }
+  static PortSpec single(uint16_t p) {
+    return PortSpec{false, false, {{p, p}}};
+  }
+};
+
+/// One content option with its modifiers.
+struct ContentMatch {
+  std::string pattern;  // raw bytes (|xx xx| escapes already decoded)
+  bool nocase = false;
+  bool negated = false;
+  int offset = 0;   // start searching at this payload offset
+  int depth = -1;   // search only the first `depth` bytes from offset; -1 = all
+};
+
+/// TCP flags test. `mask` bits are ignored during comparison.
+struct FlagsMatch {
+  uint8_t required = 0;  // flag bits that must be set
+  bool exact = true;     // true: no other (non-masked) bits may be set
+  bool negated = false;
+  uint8_t ignore_mask = 0;
+};
+
+/// dsize: payload size comparison.
+struct DsizeMatch {
+  enum class Op { Eq, Lt, Gt, Range } op = Op::Eq;
+  uint32_t a = 0, b = 0;
+
+  bool matches(size_t size) const {
+    switch (op) {
+      case Op::Eq: return size == a;
+      case Op::Lt: return size < a;
+      case Op::Gt: return size > a;
+      case Op::Range: return size >= a && size <= b;
+    }
+    return false;
+  }
+};
+
+/// flow: direction/state requirements relative to the tracked flow.
+struct FlowMatch {
+  bool established = false;  // require completed three-way handshake
+  bool to_server = false;    // packet travels toward the flow's server
+  bool to_client = false;
+};
+
+/// threshold: alert rate control.
+struct ThresholdSpec {
+  enum class Type { Limit, Threshold, Both } type = Type::Limit;
+  enum class Track { BySrc, ByDst } track = Track::BySrc;
+  uint32_t count = 1;
+  uint32_t seconds = 60;
+};
+
+struct Rule {
+  RuleAction action = RuleAction::Alert;
+  RuleProto proto = RuleProto::Ip;
+  AddressSpec src = AddressSpec::make_any();
+  PortSpec src_ports = PortSpec::make_any();
+  AddressSpec dst = AddressSpec::make_any();
+  PortSpec dst_ports = PortSpec::make_any();
+  bool bidirectional = false;  // "<>" direction
+
+  // Options.
+  std::string msg;
+  uint32_t sid = 0;
+  uint32_t rev = 1;
+  std::string classtype;
+  int priority = 3;
+  std::vector<ContentMatch> contents;
+  std::optional<FlagsMatch> flags;
+  std::optional<DsizeMatch> dsize;
+  std::optional<FlowMatch> flow;
+  std::optional<ThresholdSpec> threshold;
+
+  /// Re-renders the rule in canonical Snort-like text (round-trip aid).
+  std::string to_string() const;
+};
+
+}  // namespace sm::ids

@@ -1,0 +1,45 @@
+#include "netsim/engine.hpp"
+
+#include <utility>
+
+namespace sm::netsim {
+
+void Engine::schedule(Duration delay, Action action) {
+  schedule_at(now_ + delay, std::move(action));
+}
+
+void Engine::schedule_at(SimTime when, Action action) {
+  if (when < now_) when = now_;
+  queue_.push(Event{when, next_seq_++, std::move(action)});
+}
+
+size_t Engine::run(size_t max_events) {
+  size_t n = 0;
+  while (!queue_.empty() && n < max_events) {
+    // priority_queue::top returns const&; move out via const_cast is UB,
+    // so copy the action handle (cheap: std::function) then pop.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.when;
+    ev.action();
+    ++n;
+    ++executed_;
+  }
+  return n;
+}
+
+size_t Engine::run_until(SimTime deadline) {
+  size_t n = 0;
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.when;
+    ev.action();
+    ++n;
+    ++executed_;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+}  // namespace sm::netsim

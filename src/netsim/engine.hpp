@@ -1,0 +1,63 @@
+// Discrete-event simulation engine.
+//
+// A single-threaded event loop over a priority queue keyed by
+// (time, insertion sequence), so simultaneous events run in scheduling
+// order and every run is exactly reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace sm::netsim {
+
+using common::Duration;
+using common::SimTime;
+
+class Engine {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedules `action` to run at now() + delay (delay may be zero; the
+  /// action still runs after the current event completes).
+  void schedule(Duration delay, Action action);
+
+  /// Schedules at an absolute time (must not be in the past).
+  void schedule_at(SimTime when, Action action);
+
+  SimTime now() const { return now_; }
+
+  /// Runs events until the queue is empty or `max_events` have executed.
+  /// Returns the number of events executed.
+  size_t run(size_t max_events = SIZE_MAX);
+
+  /// Runs events with timestamps <= deadline; the clock then advances to
+  /// the deadline even if the queue emptied earlier.
+  size_t run_until(SimTime deadline);
+
+  size_t pending() const { return queue_.size(); }
+  size_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_{};
+  uint64_t next_seq_ = 0;
+  size_t executed_ = 0;
+};
+
+}  // namespace sm::netsim

@@ -1,0 +1,72 @@
+#include "netsim/host.hpp"
+
+#include <utility>
+
+namespace sm::netsim {
+
+Host::Host(Engine& engine, std::string name, Ipv4Address address)
+    : Node(std::move(name)), engine_(engine), address_(address) {}
+
+void Host::send(packet::Packet packet) {
+  ++packets_sent_;
+  transmit(std::move(packet), 0);
+}
+
+void Host::send_udp(Ipv4Address dst, uint16_t src_port, uint16_t dst_port,
+                    std::span<const uint8_t> payload, uint8_t ttl) {
+  packet::IpOptions opt;
+  opt.ttl = ttl;
+  send(packet::make_udp(address_, dst, src_port, dst_port, payload, opt));
+}
+
+void Host::udp_bind(uint16_t port, UdpHandler handler) {
+  udp_handlers_[port] = std::move(handler);
+}
+
+void Host::udp_unbind(uint16_t port) { udp_handlers_.erase(port); }
+
+uint16_t Host::alloc_ephemeral_port() {
+  uint16_t p = next_ephemeral_;
+  next_ephemeral_ = (next_ephemeral_ == 65535) ? 49152 : next_ephemeral_ + 1;
+  return p;
+}
+
+void Host::receive(packet::Packet packet, int /*port*/) {
+  ++packets_received_;
+  auto decoded = packet::decode(packet);
+  if (!decoded) return;
+
+  for (const auto& handler : promiscuous_) handler(*decoded, packet.data());
+  if (decoded->ip.dst != address_) return;  // not ours (no forwarding)
+
+  // End hosts reassemble IP fragments before protocol dispatch.
+  if (decoded->ip.more_fragments || decoded->ip.fragment_offset != 0) {
+    auto whole = reassembler_.add(engine_.now(), packet.data());
+    if (!whole) return;  // still incomplete
+    packet = std::move(*whole);
+    decoded = packet::decode(packet);
+    if (!decoded) return;
+  }
+
+  if (decoded->udp) {
+    auto it = udp_handlers_.find(decoded->udp->dst_port);
+    if (it != udp_handlers_.end()) it->second(*decoded, decoded->l4_payload);
+    return;
+  }
+  if (decoded->tcp) {
+    if (tcp_handler_) tcp_handler_(*decoded, packet.data());
+    return;
+  }
+  if (decoded->icmp) {
+    if (decoded->icmp->type == packet::IcmpHeader::kEchoRequest &&
+        ping_reply_) {
+      send(packet::make_icmp(address_, decoded->ip.src,
+                             packet::IcmpHeader::kEchoReply, 0,
+                             decoded->icmp->rest, decoded->l4_payload));
+    }
+    if (icmp_handler_) icmp_handler_(*decoded, packet.data());
+    return;
+  }
+}
+
+}  // namespace sm::netsim

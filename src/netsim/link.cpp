@@ -1,0 +1,62 @@
+#include "netsim/link.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace sm::netsim {
+
+void Node::transmit(packet::Packet packet, int port) {
+  if (port < 0 || port >= port_count()) return;
+  Link* link = link_at(port);
+  if (link) link->send_from(this, std::move(packet));
+}
+
+Link::Link(Engine& engine, LinkConfig config, uint64_t loss_seed)
+    : engine_(engine), config_(config), rng_(loss_seed) {}
+
+void Link::connect(Node* a, Node* b) {
+  a_.node = a;
+  a_.port = a->attach_link(this);
+  b_.node = b;
+  b_.port = b->attach_link(this);
+}
+
+Link::Endpoint& Link::endpoint_for(Node* n) {
+  assert(n == a_.node || n == b_.node);
+  return n == a_.node ? a_ : b_;
+}
+
+Link::Endpoint& Link::peer_of(Node* n) {
+  assert(n == a_.node || n == b_.node);
+  return n == a_.node ? b_ : a_;
+}
+
+void Link::send_from(Node* from, packet::Packet packet) {
+  Endpoint& tx = endpoint_for(from);
+  Endpoint& rx = peer_of(from);
+  ++packets_sent_;
+  if (config_.loss_rate > 0.0 && rng_.chance(config_.loss_rate)) {
+    ++packets_dropped_;
+    return;
+  }
+  common::SimTime depart = engine_.now();
+  if (config_.bandwidth_bps > 0) {
+    // FIFO: a packet cannot start serializing until the previous one on
+    // this direction finished.
+    if (tx.busy_until > depart) depart = tx.busy_until;
+    auto bits = static_cast<uint64_t>(packet.size()) * 8;
+    auto ser_nanos = static_cast<int64_t>(
+        bits * 1'000'000'000ULL / config_.bandwidth_bps);
+    depart = depart + common::Duration(ser_nanos);
+    tx.busy_until = depart;
+  }
+  common::SimTime arrive = depart + config_.latency;
+  Node* dst_node = rx.node;
+  int dst_port = rx.port;
+  engine_.schedule_at(arrive, [dst_node, dst_port,
+                               p = std::move(packet)]() mutable {
+    dst_node->receive(std::move(p), dst_port);
+  });
+}
+
+}  // namespace sm::netsim

@@ -1,0 +1,58 @@
+// Point-to-point link with latency, optional bandwidth (serialization +
+// FIFO queueing), and optional random loss.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "netsim/engine.hpp"
+#include "netsim/node.hpp"
+#include "packet/packet.hpp"
+
+namespace sm::netsim {
+
+struct LinkConfig {
+  common::Duration latency = common::Duration::micros(100);
+  /// Bits per second; 0 disables serialization-delay/queueing modeling.
+  uint64_t bandwidth_bps = 0;
+  /// Independent per-packet drop probability.
+  double loss_rate = 0.0;
+};
+
+class Link {
+ public:
+  Link(Engine& engine, LinkConfig config, uint64_t loss_seed = 1);
+
+  /// Wires the two endpoints; must be called exactly once.
+  void connect(Node* a, Node* b);
+
+  /// Sends `packet` from endpoint `from` toward the other endpoint.
+  /// Delivery is scheduled on the engine after latency (+ serialization
+  /// and queueing delay when bandwidth is modeled), unless the packet is
+  /// randomly lost.
+  void send_from(Node* from, packet::Packet packet);
+
+  uint64_t packets_sent() const { return packets_sent_; }
+  uint64_t packets_dropped() const { return packets_dropped_; }
+  const LinkConfig& config() const { return config_; }
+
+ private:
+  struct Endpoint {
+    Node* node = nullptr;
+    int port = -1;
+    common::SimTime busy_until{};
+  };
+
+  Endpoint& endpoint_for(Node* n);
+  Endpoint& peer_of(Node* n);
+
+  Engine& engine_;
+  LinkConfig config_;
+  common::Rng rng_;
+  Endpoint a_, b_;
+  uint64_t packets_sent_ = 0;
+  uint64_t packets_dropped_ = 0;
+};
+
+}  // namespace sm::netsim

@@ -1,0 +1,48 @@
+// Node and port abstractions for the L3 simulator.
+//
+// A Node owns numbered ports; a Link joins one port on each of two nodes.
+// Packets travel: node --(port)--> link --(latency, loss)--> peer node.
+#pragma once
+
+#include <string>
+
+#include "packet/packet.hpp"
+
+namespace sm::netsim {
+
+class Link;
+
+/// Anything that can terminate a link: hosts and routers.
+class Node {
+ public:
+  explicit Node(std::string name) : name_(std::move(name)) {}
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Called by a Link when a packet arrives on `port`.
+  virtual void receive(packet::Packet packet, int port) = 0;
+
+  /// Called by topology wiring; associates `link` with a new port index,
+  /// which is returned.
+  int attach_link(Link* link) {
+    links_.push_back(link);
+    return static_cast<int>(links_.size()) - 1;
+  }
+
+  int port_count() const { return static_cast<int>(links_.size()); }
+  Link* link_at(int port) const { return links_[static_cast<size_t>(port)]; }
+
+ protected:
+  /// Transmits out of `port`; no-op if the port is unwired.
+  void transmit(packet::Packet packet, int port);
+
+ private:
+  std::string name_;
+  std::vector<Link*> links_;
+};
+
+}  // namespace sm::netsim

@@ -1,0 +1,94 @@
+#include "netsim/router.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace sm::netsim {
+
+Router::Router(Engine& engine, std::string name)
+    : Node(std::move(name)), engine_(engine) {}
+
+void Router::add_route(Cidr prefix, int port) {
+  routes_.emplace_back(prefix, port);
+  std::stable_sort(routes_.begin(), routes_.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first.prefix_len() > b.first.prefix_len();
+                   });
+}
+
+int Router::route_lookup(Ipv4Address dst) const {
+  for (const auto& [prefix, port] : routes_)
+    if (prefix.contains(dst)) return port;
+  return default_port_;
+}
+
+void Router::set_ingress_filter(int port, IngressFilter filter) {
+  ingress_filters_[port] = std::move(filter);
+}
+
+void Router::inject(packet::Packet packet) {
+  auto decoded = packet::decode(packet);
+  if (!decoded) return;
+  int out = route_lookup(decoded->ip.dst);
+  if (out < 0) return;
+  ++counters_.injected;
+  transmit(std::move(packet), out);
+}
+
+void Router::receive(packet::Packet packet, int port) {
+  auto decoded = packet::decode(packet);
+  if (!decoded) return;
+
+  auto filter_it = ingress_filters_.find(port);
+  if (filter_it != ingress_filters_.end() &&
+      !filter_it->second(decoded->ip.src)) {
+    ++counters_.dropped_ingress;
+    return;
+  }
+  forward(std::move(packet), port);
+}
+
+void Router::forward(packet::Packet packet, int in_port) {
+  auto decoded = packet::decode(packet);
+  if (!decoded) return;
+  int out = route_lookup(decoded->ip.dst);
+
+  // Taps observe at ingress, before TTL processing — like a port mirror.
+  // This is what makes TTL-limited replies (§4.1) work: a reply built to
+  // expire at this router still crosses the surveillance tap.
+  TapContext ctx{engine_.now(), *decoded, packet.data(), in_port, out};
+  for (Tap* tap : taps_) {
+    if (tap->process(ctx, *this) == TapDecision::Drop) {
+      ++counters_.dropped_by_tap;
+      return;
+    }
+  }
+
+  if (transformer_ && !transformer_(packet)) {
+    ++counters_.dropped_by_tap;
+    return;
+  }
+
+  if (!packet::decrement_ttl(packet.data())) return;
+  if (packet.data()[8] == 0) {  // TTL expired here
+    ++counters_.dropped_ttl;
+    ++counters_.icmp_time_exceeded;
+    // ICMP Time Exceeded carries the expired packet's IP header + 8 bytes.
+    size_t quote_len =
+        std::min(packet.size(), decoded->ip.header_length() + 8);
+    std::span<const uint8_t> quote(packet.data().data(), quote_len);
+    inject(packet::make_icmp(router_address_, decoded->ip.src,
+                             packet::IcmpHeader::kTimeExceeded, 0, 0, quote));
+    return;
+  }
+
+  if (out < 0) {
+    ++counters_.dropped_no_route;
+    return;
+  }
+
+  ++counters_.forwarded;
+  transmit(std::move(packet), out);
+}
+
+}  // namespace sm::netsim

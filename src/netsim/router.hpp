@@ -1,0 +1,114 @@
+// L3 router/switch with inline taps.
+//
+// This node plays the role of the Open vSwitch box in the paper's Figure 1
+// testbed: every forwarded packet passes, in order, through a chain of
+// Taps. The censorship engine and the surveillance MVR are both Taps — the
+// censor may drop or inject, the MVR only observes. The router also models
+// TTL handling (decrement, ICMP Time Exceeded) and per-port ingress
+// source-address validation, which is where BCP38 filtering lives.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/ip.hpp"
+#include "netsim/engine.hpp"
+#include "netsim/node.hpp"
+#include "packet/packet.hpp"
+
+namespace sm::netsim {
+
+using common::Cidr;
+using common::Ipv4Address;
+
+class Router;
+
+/// What a tap tells the router to do with the packet it just saw.
+enum class TapDecision {
+  Pass,  // keep forwarding (subsequent taps still run)
+  Drop,  // discard; subsequent taps do not see it
+};
+
+/// Everything a tap gets to look at for one forwarded packet.
+struct TapContext {
+  common::SimTime now;
+  const packet::Decoded& decoded;
+  const common::Bytes& wire;
+  int in_port;
+  int out_port;
+};
+
+/// In-path observer/enforcer. Taps are non-owning: the registering code
+/// must keep the tap alive as long as the router holds it.
+class Tap {
+ public:
+  virtual ~Tap() = default;
+  virtual TapDecision process(const TapContext& ctx, Router& router) = 0;
+};
+
+class Router : public Node {
+ public:
+  Router(Engine& engine, std::string name);
+
+  Engine& engine() { return engine_; }
+
+  /// Adds a route; lookups use longest-prefix match.
+  void add_route(Cidr prefix, int port);
+  void set_default_route(int port) { default_port_ = port; }
+
+  /// Returns the egress port for `dst`, or -1 if unroutable.
+  int route_lookup(Ipv4Address dst) const;
+
+  /// Appends a tap to the inline chain (runs after existing taps).
+  void add_tap(Tap* tap) { taps_.push_back(tap); }
+
+  /// Ingress filter for a port: return false to drop (e.g. spoofed source
+  /// under BCP38). Checked before taps run.
+  using IngressFilter = std::function<bool(Ipv4Address src)>;
+  void set_ingress_filter(int port, IngressFilter filter);
+
+  /// Routes a locally originated packet (used by taps to inject RSTs or
+  /// forged DNS answers). Injected packets do not traverse the tap chain,
+  /// matching an on-path injector whose own packets the IDS does not
+  /// re-inspect.
+  void inject(packet::Packet packet);
+
+  /// In-path packet transformer (a traffic normalizer in the sense of
+  /// Handley et al.): runs after the taps, before TTL processing, and may
+  /// rewrite the packet in place. Return false to drop it instead.
+  using Transformer = std::function<bool(packet::Packet&)>;
+  void set_transformer(Transformer transformer) {
+    transformer_ = std::move(transformer);
+  }
+
+  void receive(packet::Packet packet, int port) override;
+
+  struct Counters {
+    uint64_t forwarded = 0;
+    uint64_t dropped_no_route = 0;
+    uint64_t dropped_ttl = 0;
+    uint64_t dropped_by_tap = 0;
+    uint64_t dropped_ingress = 0;
+    uint64_t injected = 0;
+    uint64_t icmp_time_exceeded = 0;
+  };
+  const Counters& counters() const { return counters_; }
+
+  /// Address used as the source of router-originated ICMP errors.
+  void set_router_address(Ipv4Address addr) { router_address_ = addr; }
+
+ private:
+  void forward(packet::Packet packet, int in_port);
+
+  Engine& engine_;
+  std::vector<std::pair<Cidr, int>> routes_;  // sorted by prefix len desc
+  int default_port_ = -1;
+  std::vector<Tap*> taps_;
+  Transformer transformer_;
+  std::map<int, IngressFilter> ingress_filters_;
+  Ipv4Address router_address_{192, 0, 2, 1};
+  Counters counters_;
+};
+
+}  // namespace sm::netsim

@@ -1,0 +1,50 @@
+#include "netsim/topology.hpp"
+
+namespace sm::netsim {
+
+Host* Network::add_host(const std::string& name, Ipv4Address address) {
+  hosts_.push_back(std::make_unique<Host>(engine_, name, address));
+  return hosts_.back().get();
+}
+
+Router* Network::add_router(const std::string& name) {
+  routers_.push_back(std::make_unique<Router>(engine_, name));
+  return routers_.back().get();
+}
+
+Link* Network::connect(Node* a, Node* b, LinkConfig config) {
+  links_.push_back(std::make_unique<Link>(engine_, config, next_link_seed_++));
+  Link* link = links_.back().get();
+  link->connect(a, b);
+
+  auto wire_route = [link](Node* maybe_router, Node* maybe_host) {
+    auto* r = dynamic_cast<Router*>(maybe_router);
+    auto* h = dynamic_cast<Host*>(maybe_host);
+    if (r && h) {
+      // The port index on the router side is the port the link attached.
+      for (int p = 0; p < r->port_count(); ++p) {
+        if (r->link_at(p) == link) {
+          r->add_route(common::Cidr(h->address(), 32), p);
+          break;
+        }
+      }
+    }
+  };
+  wire_route(a, b);
+  wire_route(b, a);
+  return link;
+}
+
+Host* Network::host(const std::string& name) const {
+  for (const auto& h : hosts_)
+    if (h->name() == name) return h.get();
+  return nullptr;
+}
+
+Router* Network::router(const std::string& name) const {
+  for (const auto& r : routers_)
+    if (r->name() == name) return r.get();
+  return nullptr;
+}
+
+}  // namespace sm::netsim

@@ -1,0 +1,12 @@
+#include "netsim/trace.hpp"
+
+namespace sm::netsim {
+
+TapDecision TraceTap::process(const TapContext& ctx, Router& /*router*/) {
+  if (!filter_ || filter_(ctx.decoded)) {
+    records_.push_back(packet::PcapRecord{ctx.now, ctx.wire});
+  }
+  return TapDecision::Pass;
+}
+
+}  // namespace sm::netsim

@@ -1,0 +1,36 @@
+// Packet capture tap: records every packet that crosses a router, with
+// simulated timestamps, and can export the capture as pcap.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "netsim/router.hpp"
+#include "packet/pcap.hpp"
+
+namespace sm::netsim {
+
+class TraceTap : public Tap {
+ public:
+  /// Optional filter: record only packets for which it returns true.
+  using Filter = std::function<bool(const packet::Decoded&)>;
+
+  TraceTap() = default;
+  explicit TraceTap(Filter filter) : filter_(std::move(filter)) {}
+
+  TapDecision process(const TapContext& ctx, Router& router) override;
+
+  const std::vector<packet::PcapRecord>& records() const { return records_; }
+  size_t size() const { return records_.size(); }
+  void clear() { records_.clear(); }
+
+  bool save(const std::string& path) const {
+    return packet::save_pcap(path, records_);
+  }
+
+ private:
+  Filter filter_;
+  std::vector<packet::PcapRecord> records_;
+};
+
+}  // namespace sm::netsim

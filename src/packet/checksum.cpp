@@ -1,0 +1,37 @@
+#include "packet/checksum.hpp"
+
+namespace sm::packet {
+
+namespace {
+uint32_t sum_words(std::span<const uint8_t> data, uint32_t acc) {
+  size_t i = 0;
+  for (; i + 1 < data.size(); i += 2)
+    acc += static_cast<uint32_t>(data[i]) << 8 | data[i + 1];
+  if (i < data.size()) acc += static_cast<uint32_t>(data[i]) << 8;
+  return acc;
+}
+
+uint16_t fold(uint32_t acc) {
+  while (acc >> 16) acc = (acc & 0xFFFF) + (acc >> 16);
+  return static_cast<uint16_t>(~acc);
+}
+}  // namespace
+
+uint16_t internet_checksum(std::span<const uint8_t> data) {
+  return fold(sum_words(data, 0));
+}
+
+uint16_t pseudo_header_checksum(common::Ipv4Address src,
+                                common::Ipv4Address dst, uint8_t protocol,
+                                std::span<const uint8_t> segment) {
+  uint32_t acc = 0;
+  acc += src.value() >> 16;
+  acc += src.value() & 0xFFFF;
+  acc += dst.value() >> 16;
+  acc += dst.value() & 0xFFFF;
+  acc += protocol;
+  acc += static_cast<uint32_t>(segment.size());
+  return fold(sum_words(segment, acc));
+}
+
+}  // namespace sm::packet

@@ -1,0 +1,22 @@
+// RFC 1071 Internet checksum, including the TCP/UDP pseudo-header form.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/ip.hpp"
+
+namespace sm::packet {
+
+/// One's-complement sum of 16-bit words, folded and inverted. An odd final
+/// byte is padded with zero, per RFC 1071.
+uint16_t internet_checksum(std::span<const uint8_t> data);
+
+/// Checksum of `segment` (the full TCP/UDP header+payload, with its
+/// checksum field zeroed) prepended with the IPv4 pseudo-header
+/// {src, dst, zero, protocol, length}.
+uint16_t pseudo_header_checksum(common::Ipv4Address src,
+                                common::Ipv4Address dst, uint8_t protocol,
+                                std::span<const uint8_t> segment);
+
+}  // namespace sm::packet

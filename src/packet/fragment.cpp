@@ -1,0 +1,107 @@
+#include "packet/fragment.hpp"
+
+namespace sm::packet {
+
+std::vector<Packet> fragment(const Packet& packet, size_t mtu) {
+  auto decoded = decode(packet);
+  if (!decoded || packet.size() <= mtu || decoded->ip.dont_fragment)
+    return {packet};
+
+  size_t header_len = decoded->ip.header_length();
+  size_t payload_len = decoded->ip.total_length - header_len;
+  std::span<const uint8_t> payload(packet.data().data() + header_len,
+                                   payload_len);
+  // Per-fragment payload: multiple of 8, fitting under the MTU.
+  size_t max_chunk = ((mtu - header_len) / 8) * 8;
+  if (max_chunk == 0) return {packet};  // pathological MTU; give up
+
+  std::vector<Packet> out;
+  size_t offset = 0;
+  while (offset < payload_len) {
+    size_t chunk = std::min(max_chunk, payload_len - offset);
+    Ipv4Header h = decoded->ip;
+    h.fragment_offset = static_cast<uint16_t>(offset / 8);
+    h.more_fragments = offset + chunk < payload_len;
+    h.dont_fragment = false;
+    out.push_back(reassemble(h, payload.subspan(offset, chunk)));
+    offset += chunk;
+  }
+  return out;
+}
+
+size_t Reassembler::pending_bytes() const {
+  size_t total = 0;
+  for (const auto& [key, partial] : pending_)
+    for (const auto& [off, bytes] : partial.parts) total += bytes.size();
+  return total;
+}
+
+std::optional<Packet> Reassembler::try_complete(const Key& key,
+                                                Partial& partial) {
+  if (!partial.total_payload || !partial.have_first) return std::nullopt;
+  // Check contiguous coverage of [0, total_payload).
+  size_t covered = 0;
+  for (const auto& [off, bytes] : partial.parts) {
+    if (off > covered) return std::nullopt;  // gap
+    covered = std::max<size_t>(covered, off + bytes.size());
+  }
+  if (covered < *partial.total_payload) return std::nullopt;
+
+  common::Bytes payload(*partial.total_payload);
+  for (const auto& [off, bytes] : partial.parts) {
+    size_t n = std::min(bytes.size(), payload.size() - off);
+    std::copy(bytes.begin(), bytes.begin() + static_cast<long>(n),
+              payload.begin() + off);
+  }
+  Ipv4Header h = partial.first_header;
+  h.fragment_offset = 0;
+  h.more_fragments = false;
+  Packet whole = reassemble(h, payload);
+  pending_.erase(key);
+  return whole;
+}
+
+std::optional<Packet> Reassembler::add(common::SimTime now,
+                                       std::span<const uint8_t> wire) {
+  auto decoded = decode(wire);
+  if (!decoded) return std::nullopt;
+  if (!decoded->ip.more_fragments && decoded->ip.fragment_offset == 0)
+    return Packet(common::Bytes(wire.begin(), wire.end()));
+
+  Key key{decoded->ip.src, decoded->ip.dst, decoded->ip.identification,
+          decoded->ip.protocol};
+  auto [it, inserted] = pending_.try_emplace(key);
+  Partial& partial = it->second;
+  if (inserted) partial.started = now;
+
+  size_t header_len = decoded->ip.header_length();
+  size_t payload_len = decoded->ip.total_length - header_len;
+  uint16_t byte_offset = decoded->ip.fragment_offset * 8;
+  partial.parts[byte_offset] =
+      common::Bytes(wire.begin() + static_cast<long>(header_len),
+                    wire.begin() + static_cast<long>(header_len +
+                                                     payload_len));
+  if (decoded->ip.fragment_offset == 0) {
+    partial.first_header = decoded->ip;
+    partial.have_first = true;
+  }
+  if (!decoded->ip.more_fragments) {
+    partial.total_payload = byte_offset + payload_len;
+  }
+  return try_complete(key, partial);
+}
+
+size_t Reassembler::expire(common::SimTime now) {
+  size_t evicted = 0;
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (now - it->second.started > timeout_) {
+      it = pending_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  return evicted;
+}
+
+}  // namespace sm::packet

@@ -1,0 +1,62 @@
+// IPv4 fragmentation and reassembly (RFC 791).
+//
+// Fragmentation matters here because it is a classic censorship-evasion
+// vector: a monitor that does not reassemble IP fragments cannot match
+// keywords split across them (Khattak et al., FOCI'13 — cited by the
+// paper as [26]). End hosts always reassemble; whether the *censor* does
+// is a policy knob that the evasion tests and benches exercise.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/time.hpp"
+#include "packet/packet.hpp"
+
+namespace sm::packet {
+
+/// Splits a datagram into fragments that fit `mtu` (each fragment's total
+/// IP length <= mtu). Returns the original packet if it already fits or
+/// carries DF. Offsets are 8-byte aligned as the wire format requires.
+std::vector<Packet> fragment(const Packet& packet, size_t mtu);
+
+/// Reassembles fragment streams back into whole datagrams.
+class Reassembler {
+ public:
+  explicit Reassembler(common::Duration timeout = common::Duration::seconds(30))
+      : timeout_(timeout) {}
+
+  /// Feeds one packet. Non-fragments are returned as-is. A fragment that
+  /// completes its datagram returns the rebuilt whole; otherwise nullopt.
+  std::optional<Packet> add(common::SimTime now,
+                            std::span<const uint8_t> wire);
+
+  /// Evicts incomplete datagrams older than the timeout; returns count.
+  size_t expire(common::SimTime now);
+
+  size_t pending_datagrams() const { return pending_.size(); }
+  size_t pending_bytes() const;
+
+ private:
+  struct Key {
+    common::Ipv4Address src, dst;
+    uint16_t id = 0;
+    uint8_t proto = 0;
+    auto operator<=>(const Key&) const = default;
+  };
+  struct Partial {
+    std::map<uint16_t, common::Bytes> parts;  // byte offset -> payload
+    std::optional<size_t> total_payload;      // known once MF=0 arrives
+    Ipv4Header first_header;                  // from the offset-0 fragment
+    bool have_first = false;
+    common::SimTime started{};
+  };
+
+  std::optional<Packet> try_complete(const Key& key, Partial& partial);
+
+  common::Duration timeout_;
+  std::map<Key, Partial> pending_;
+};
+
+}  // namespace sm::packet

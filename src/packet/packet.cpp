@@ -1,0 +1,281 @@
+#include "packet/packet.hpp"
+
+#include "common/bytes.hpp"
+#include "packet/checksum.hpp"
+
+namespace sm::packet {
+
+using common::ByteReader;
+using common::ByteWriter;
+
+namespace {
+
+constexpr uint16_t kFlagDf = 0x4000;
+constexpr uint16_t kFlagMf = 0x2000;
+constexpr uint16_t kFragMask = 0x1FFF;
+
+/// Encodes the IPv4 header with checksum into `w`. `payload_len` is the
+/// number of bytes that will follow the header.
+void encode_ipv4_header(ByteWriter& w, const Ipv4Header& h,
+                        size_t payload_len) {
+  size_t header_len = 20 + h.options.size();
+  size_t start = w.size();
+  uint8_t ihl = static_cast<uint8_t>(header_len / 4);
+  w.u8(static_cast<uint8_t>(0x40 | ihl));
+  w.u8(h.tos);
+  w.u16(static_cast<uint16_t>(header_len + payload_len));
+  w.u16(h.identification);
+  uint16_t ff = static_cast<uint16_t>(h.fragment_offset & kFragMask);
+  if (h.dont_fragment) ff |= kFlagDf;
+  if (h.more_fragments) ff |= kFlagMf;
+  w.u16(ff);
+  w.u8(h.ttl);
+  w.u8(h.protocol);
+  w.u16(0);  // checksum placeholder
+  w.u32(h.src.value());
+  w.u32(h.dst.value());
+  w.bytes(h.options);
+  uint16_t csum = internet_checksum(
+      std::span<const uint8_t>(w.data()).subspan(start, header_len));
+  w.patch_u16(start + 10, csum);
+}
+
+Ipv4Header header_from(Ipv4Address src, Ipv4Address dst, IpProto proto,
+                       const IpOptions& opt) {
+  Ipv4Header h;
+  h.src = src;
+  h.dst = dst;
+  h.protocol = static_cast<uint8_t>(proto);
+  h.ttl = opt.ttl;
+  h.tos = opt.tos;
+  h.identification = opt.identification;
+  h.dont_fragment = opt.dont_fragment;
+  return h;
+}
+
+}  // namespace
+
+std::optional<Decoded> decode(std::span<const uint8_t> wire) {
+  ByteReader r(wire);
+  Decoded d;
+  uint8_t vihl = r.u8();
+  if ((vihl >> 4) != 4) return std::nullopt;
+  size_t ihl = static_cast<size_t>(vihl & 0x0F) * 4;
+  if (ihl < 20) return std::nullopt;
+  d.ip.tos = r.u8();
+  d.ip.total_length = r.u16();
+  d.ip.identification = r.u16();
+  uint16_t ff = r.u16();
+  d.ip.dont_fragment = ff & kFlagDf;
+  d.ip.more_fragments = ff & kFlagMf;
+  d.ip.fragment_offset = ff & kFragMask;
+  d.ip.ttl = r.u8();
+  d.ip.protocol = r.u8();
+  d.ip.checksum = r.u16();
+  d.ip.src = Ipv4Address(r.u32());
+  d.ip.dst = Ipv4Address(r.u32());
+  if (ihl > 20) {
+    auto opts = r.bytes(ihl - 20);
+    d.ip.options.assign(opts.begin(), opts.end());
+  }
+  if (!r.ok()) return std::nullopt;
+  if (d.ip.total_length < ihl || d.ip.total_length > wire.size())
+    return std::nullopt;
+
+  size_t l3_payload_len = d.ip.total_length - ihl;
+  // Fragments other than the first have no parsable L4 header.
+  if (d.ip.fragment_offset != 0) {
+    d.l4_payload = wire.subspan(ihl, l3_payload_len);
+    return d;
+  }
+  // A first fragment carries the L4 header but a truncated payload, and
+  // its UDP length field describes the original whole datagram.
+  bool first_fragment = d.ip.more_fragments;
+
+  ByteReader l4(wire.subspan(ihl, l3_payload_len));
+  switch (d.ip.protocol) {
+    case static_cast<uint8_t>(IpProto::Tcp): {
+      TcpHeader t;
+      t.src_port = l4.u16();
+      t.dst_port = l4.u16();
+      t.seq = l4.u32();
+      t.ack = l4.u32();
+      uint8_t offset_byte = l4.u8();
+      size_t data_offset = static_cast<size_t>(offset_byte >> 4) * 4;
+      t.flags = l4.u8();
+      t.window = l4.u16();
+      t.checksum = l4.u16();
+      t.urgent = l4.u16();
+      if (data_offset < 20 || data_offset > l3_payload_len)
+        return std::nullopt;
+      if (data_offset > 20) {
+        auto opts = l4.bytes(data_offset - 20);
+        t.options.assign(opts.begin(), opts.end());
+      }
+      if (!l4.ok()) return std::nullopt;
+      d.tcp = std::move(t);
+      d.l4_payload = wire.subspan(ihl + data_offset,
+                                  l3_payload_len - data_offset);
+      break;
+    }
+    case static_cast<uint8_t>(IpProto::Udp): {
+      UdpHeader u;
+      u.src_port = l4.u16();
+      u.dst_port = l4.u16();
+      u.length = l4.u16();
+      u.checksum = l4.u16();
+      if (!l4.ok() || u.length < 8 ||
+          (!first_fragment && u.length > l3_payload_len))
+        return std::nullopt;
+      d.udp = u;
+      d.l4_payload = wire.subspan(
+          ihl + 8, std::min<size_t>(u.length - 8, l3_payload_len - 8));
+      break;
+    }
+    case static_cast<uint8_t>(IpProto::Icmp): {
+      IcmpHeader i;
+      i.type = l4.u8();
+      i.code = l4.u8();
+      i.checksum = l4.u16();
+      i.rest = l4.u32();
+      if (!l4.ok()) return std::nullopt;
+      d.icmp = i;
+      d.l4_payload = wire.subspan(ihl + 8, l3_payload_len - 8);
+      break;
+    }
+    default:
+      d.l4_payload = wire.subspan(ihl, l3_payload_len);
+      break;
+  }
+  return d;
+}
+
+bool verify_checksums(std::span<const uint8_t> wire) {
+  auto d = decode(wire);
+  if (!d) return false;
+  size_t ihl = d->ip.header_length();
+  // A correct IPv4 header checksums to zero when summed including the
+  // checksum field itself.
+  if (internet_checksum(wire.subspan(0, ihl)) != 0) return false;
+  size_t l4_len = d->ip.total_length - ihl;
+  auto segment = wire.subspan(ihl, l4_len);
+  if (d->tcp) {
+    return pseudo_header_checksum(d->ip.src, d->ip.dst,
+                                  static_cast<uint8_t>(IpProto::Tcp),
+                                  segment) == 0;
+  }
+  if (d->udp) {
+    if (d->udp->checksum == 0) return true;  // optional in UDP/IPv4
+    return pseudo_header_checksum(d->ip.src, d->ip.dst,
+                                  static_cast<uint8_t>(IpProto::Udp),
+                                  segment) == 0;
+  }
+  if (d->icmp) return internet_checksum(segment) == 0;
+  return true;
+}
+
+Packet make_tcp(Ipv4Address src, Ipv4Address dst, uint16_t src_port,
+                uint16_t dst_port, uint8_t flags, uint32_t seq, uint32_t ack,
+                std::span<const uint8_t> payload, const IpOptions& ip,
+                uint16_t window) {
+  ByteWriter seg(20 + payload.size());
+  seg.u16(src_port);
+  seg.u16(dst_port);
+  seg.u32(seq);
+  seg.u32(ack);
+  seg.u8(5 << 4);  // data offset = 5 words, no options
+  seg.u8(flags);
+  seg.u16(window);
+  seg.u16(0);  // checksum placeholder
+  seg.u16(0);  // urgent
+  seg.bytes(payload);
+  uint16_t csum = pseudo_header_checksum(
+      src, dst, static_cast<uint8_t>(IpProto::Tcp), seg.data());
+  seg.patch_u16(16, csum);
+
+  ByteWriter w(20 + seg.size());
+  encode_ipv4_header(w, header_from(src, dst, IpProto::Tcp, ip), seg.size());
+  w.bytes(seg.data());
+  return Packet(w.take());
+}
+
+Packet make_udp(Ipv4Address src, Ipv4Address dst, uint16_t src_port,
+                uint16_t dst_port, std::span<const uint8_t> payload,
+                const IpOptions& ip) {
+  ByteWriter seg(8 + payload.size());
+  seg.u16(src_port);
+  seg.u16(dst_port);
+  seg.u16(static_cast<uint16_t>(8 + payload.size()));
+  seg.u16(0);
+  seg.bytes(payload);
+  uint16_t csum = pseudo_header_checksum(
+      src, dst, static_cast<uint8_t>(IpProto::Udp), seg.data());
+  if (csum == 0) csum = 0xFFFF;  // RFC 768: transmit all-ones for zero
+  seg.patch_u16(6, csum);
+
+  ByteWriter w(20 + seg.size());
+  encode_ipv4_header(w, header_from(src, dst, IpProto::Udp, ip), seg.size());
+  w.bytes(seg.data());
+  return Packet(w.take());
+}
+
+Packet make_icmp(Ipv4Address src, Ipv4Address dst, uint8_t type, uint8_t code,
+                 uint32_t rest, std::span<const uint8_t> payload,
+                 const IpOptions& ip) {
+  ByteWriter seg(8 + payload.size());
+  seg.u8(type);
+  seg.u8(code);
+  seg.u16(0);
+  seg.u32(rest);
+  seg.bytes(payload);
+  seg.patch_u16(2, internet_checksum(seg.data()));
+
+  ByteWriter w(20 + seg.size());
+  encode_ipv4_header(w, header_from(src, dst, IpProto::Icmp, ip), seg.size());
+  w.bytes(seg.data());
+  return Packet(w.take());
+}
+
+Packet reassemble(const Ipv4Header& ip, std::span<const uint8_t> l4_bytes) {
+  ByteWriter w(ip.header_length() + l4_bytes.size());
+  encode_ipv4_header(w, ip, l4_bytes.size());
+  w.bytes(l4_bytes);
+  return Packet(w.take());
+}
+
+namespace {
+/// RFC 1624 incremental checksum update for a rewrite of the TTL octet.
+void fix_checksum_for_ttl(Bytes& wire, uint8_t old_ttl) {
+  uint16_t old_word =
+      static_cast<uint16_t>(uint16_t{old_ttl} << 8 | wire[9]);
+  uint16_t new_word =
+      static_cast<uint16_t>(uint16_t{wire[8]} << 8 | wire[9]);
+  uint16_t hc = static_cast<uint16_t>(uint16_t{wire[10]} << 8 | wire[11]);
+  uint32_t sum = static_cast<uint16_t>(~hc);
+  sum += static_cast<uint16_t>(~old_word);
+  sum += new_word;
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  uint16_t hc2 = static_cast<uint16_t>(~sum);
+  wire[10] = static_cast<uint8_t>(hc2 >> 8);
+  wire[11] = static_cast<uint8_t>(hc2);
+}
+}  // namespace
+
+bool decrement_ttl(Bytes& wire) {
+  if (wire.size() < 20) return false;
+  uint8_t ttl = wire[8];
+  if (ttl == 0) return false;
+  wire[8] = static_cast<uint8_t>(ttl - 1);
+  fix_checksum_for_ttl(wire, ttl);
+  return true;
+}
+
+bool set_ttl(Bytes& wire, uint8_t ttl) {
+  if (wire.size() < 20) return false;
+  uint8_t old_ttl = wire[8];
+  wire[8] = ttl;
+  fix_checksum_for_ttl(wire, old_ttl);
+  return true;
+}
+
+}  // namespace sm::packet

@@ -1,0 +1,183 @@
+// IPv4 packet model: header structs, wire encode/decode, and builders.
+//
+// The simulator is an L3 network: a Packet is one IPv4 datagram. Builders
+// fill in lengths and checksums; the parser validates them. Decoded views
+// reference the owning packet's buffer, so a view must not outlive it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/ip.hpp"
+
+namespace sm::packet {
+
+using common::Bytes;
+using common::Ipv4Address;
+
+/// IP protocol numbers used in this project.
+enum class IpProto : uint8_t {
+  Icmp = 1,
+  Tcp = 6,
+  Udp = 17,
+};
+
+/// TCP flag bits (matching the wire layout of the flags octet).
+struct TcpFlags {
+  static constexpr uint8_t kFin = 0x01;
+  static constexpr uint8_t kSyn = 0x02;
+  static constexpr uint8_t kRst = 0x04;
+  static constexpr uint8_t kPsh = 0x08;
+  static constexpr uint8_t kAck = 0x10;
+  static constexpr uint8_t kUrg = 0x20;
+};
+
+/// Decoded IPv4 header (options are preserved as raw bytes).
+struct Ipv4Header {
+  uint8_t tos = 0;
+  uint16_t total_length = 0;
+  uint16_t identification = 0;
+  bool dont_fragment = false;
+  bool more_fragments = false;
+  uint16_t fragment_offset = 0;  // in 8-byte units
+  uint8_t ttl = 64;
+  uint8_t protocol = 0;
+  uint16_t checksum = 0;  // as read from the wire; builders compute it
+  Ipv4Address src;
+  Ipv4Address dst;
+  Bytes options;
+
+  size_t header_length() const { return 20 + options.size(); }
+};
+
+/// Decoded TCP header (options preserved as raw bytes).
+struct TcpHeader {
+  uint16_t src_port = 0;
+  uint16_t dst_port = 0;
+  uint32_t seq = 0;
+  uint32_t ack = 0;
+  uint8_t flags = 0;
+  uint16_t window = 65535;
+  uint16_t checksum = 0;
+  uint16_t urgent = 0;
+  Bytes options;
+
+  bool syn() const { return flags & TcpFlags::kSyn; }
+  bool ack_flag() const { return flags & TcpFlags::kAck; }
+  bool rst() const { return flags & TcpFlags::kRst; }
+  bool fin() const { return flags & TcpFlags::kFin; }
+  bool psh() const { return flags & TcpFlags::kPsh; }
+  size_t header_length() const { return 20 + options.size(); }
+};
+
+struct UdpHeader {
+  uint16_t src_port = 0;
+  uint16_t dst_port = 0;
+  uint16_t length = 0;
+  uint16_t checksum = 0;
+};
+
+struct IcmpHeader {
+  uint8_t type = 0;  // 8 = echo request, 0 = echo reply, 11 = time exceeded
+  uint8_t code = 0;
+  uint16_t checksum = 0;
+  uint32_t rest = 0;  // id/seq for echo; unused for time-exceeded
+
+  static constexpr uint8_t kEchoReply = 0;
+  static constexpr uint8_t kEchoRequest = 8;
+  static constexpr uint8_t kTimeExceeded = 11;
+  static constexpr uint8_t kDestUnreachable = 3;
+};
+
+/// An owned IPv4 datagram plus the simulator metadata that rides with it.
+class Packet {
+ public:
+  Packet() = default;
+  explicit Packet(Bytes wire) : data_(std::move(wire)) {}
+
+  const Bytes& data() const { return data_; }
+  Bytes& data() { return data_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  std::string to_string() const;  // one-line summary, see print.cpp
+
+ private:
+  Bytes data_;
+};
+
+/// Fully decoded packet. Produced by `decode()`; spans point into the
+/// buffer passed to decode and share its lifetime.
+struct Decoded {
+  Ipv4Header ip;
+  std::optional<TcpHeader> tcp;
+  std::optional<UdpHeader> udp;
+  std::optional<IcmpHeader> icmp;
+  std::span<const uint8_t> l4_payload;  // bytes after the L4 header
+
+  bool is_tcp() const { return tcp.has_value(); }
+  bool is_udp() const { return udp.has_value(); }
+  bool is_icmp() const { return icmp.has_value(); }
+  uint16_t src_port() const {
+    return tcp ? tcp->src_port : (udp ? udp->src_port : 0);
+  }
+  uint16_t dst_port() const {
+    return tcp ? tcp->dst_port : (udp ? udp->dst_port : 0);
+  }
+};
+
+/// Decodes an IPv4 datagram. Returns nullopt on truncation, bad version,
+/// or inconsistent lengths. Checksums are *not* verified here (the
+/// simulator generates correct ones; use verify_checksums for tests).
+std::optional<Decoded> decode(std::span<const uint8_t> wire);
+inline std::optional<Decoded> decode(const Packet& p) {
+  return decode(std::span<const uint8_t>(p.data()));
+}
+
+/// Verifies the IPv4 header checksum and, if present, the TCP/UDP
+/// pseudo-header checksum. A UDP checksum of zero is accepted (RFC 768).
+bool verify_checksums(std::span<const uint8_t> wire);
+
+/// Builder options common to all packets.
+struct IpOptions {
+  uint8_t ttl = 64;
+  uint8_t tos = 0;
+  uint16_t identification = 0;
+  bool dont_fragment = true;
+};
+
+/// Builds a TCP segment inside an IPv4 datagram, computing both checksums.
+Packet make_tcp(Ipv4Address src, Ipv4Address dst, uint16_t src_port,
+                uint16_t dst_port, uint8_t flags, uint32_t seq, uint32_t ack,
+                std::span<const uint8_t> payload = {},
+                const IpOptions& ip = {}, uint16_t window = 65535);
+
+/// Builds a UDP datagram inside an IPv4 datagram.
+Packet make_udp(Ipv4Address src, Ipv4Address dst, uint16_t src_port,
+                uint16_t dst_port, std::span<const uint8_t> payload,
+                const IpOptions& ip = {});
+
+/// Builds an ICMP message. `rest` is the 4 bytes after type/code/checksum;
+/// for echo it packs id<<16|seq. `payload` follows (for time-exceeded it
+/// should carry the offending IP header + 8 bytes, per RFC 792).
+Packet make_icmp(Ipv4Address src, Ipv4Address dst, uint8_t type, uint8_t code,
+                 uint32_t rest, std::span<const uint8_t> payload = {},
+                 const IpOptions& ip = {});
+
+/// Re-encodes a decoded IP header over `l4_bytes` (already-encoded L4
+/// segment). Used by middleboxes that mutate headers (e.g. TTL rewrite).
+Packet reassemble(const Ipv4Header& ip, std::span<const uint8_t> l4_bytes);
+
+/// Decrements the TTL in place and incrementally fixes the IP checksum
+/// (RFC 1624). Returns false (and leaves the packet untouched) if the TTL
+/// is already zero or the buffer is too short to be an IPv4 header.
+bool decrement_ttl(Bytes& wire);
+
+/// Rewrites the TTL in place (traffic-normalizer style) and fixes the IP
+/// checksum. Returns false on a too-short buffer.
+bool set_ttl(Bytes& wire, uint8_t ttl);
+
+}  // namespace sm::packet

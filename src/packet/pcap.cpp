@@ -1,0 +1,102 @@
+#include "packet/pcap.hpp"
+
+#include <cstdio>
+#include <memory>
+
+#include "common/bytes.hpp"
+
+namespace sm::packet {
+
+using common::ByteReader;
+using common::ByteWriter;
+using common::Bytes;
+
+namespace {
+constexpr uint32_t kMagicLe = 0xA1B2C3D4;  // written little-endian
+constexpr uint16_t kVersionMajor = 2;
+constexpr uint16_t kVersionMinor = 4;
+}  // namespace
+
+Bytes write_pcap(const std::vector<PcapRecord>& records, uint32_t linktype) {
+  ByteWriter w(24 + records.size() * 64);
+  w.u32le(kMagicLe);
+  w.u16le(kVersionMajor);
+  w.u16le(kVersionMinor);
+  w.u32le(0);  // thiszone
+  w.u32le(0);  // sigfigs
+  w.u32le(65535);  // snaplen
+  w.u32le(linktype);
+  for (const auto& rec : records) {
+    int64_t nanos = rec.timestamp.count();
+    w.u32le(static_cast<uint32_t>(nanos / 1'000'000'000));
+    w.u32le(static_cast<uint32_t>((nanos % 1'000'000'000) / 1000));
+    w.u32le(static_cast<uint32_t>(rec.data.size()));
+    w.u32le(static_cast<uint32_t>(rec.data.size()));
+    w.bytes(rec.data);
+  }
+  return w.take();
+}
+
+std::optional<std::vector<PcapRecord>> read_pcap(
+    std::span<const uint8_t> file) {
+  ByteReader r(file);
+  uint32_t magic = r.u32le();
+  bool swapped;
+  if (magic == kMagicLe) {
+    swapped = false;
+  } else if (magic == 0xD4C3B2A1) {
+    swapped = true;
+  } else {
+    return std::nullopt;
+  }
+  auto read32 = [&]() { return swapped ? r.u32() : r.u32le(); };
+  auto read16 = [&]() { return swapped ? r.u16() : r.u16le(); };
+  read16();  // version major
+  read16();  // version minor
+  read32();  // thiszone
+  read32();  // sigfigs
+  read32();  // snaplen
+  read32();  // linktype
+  if (!r.ok()) return std::nullopt;
+
+  std::vector<PcapRecord> out;
+  while (r.remaining() > 0) {
+    if (r.remaining() < 16) return std::nullopt;
+    uint32_t sec = read32();
+    uint32_t usec = read32();
+    uint32_t caplen = read32();
+    uint32_t origlen = read32();
+    (void)origlen;
+    auto data = r.bytes(caplen);
+    if (!r.ok()) return std::nullopt;
+    PcapRecord rec;
+    rec.timestamp = common::SimTime(static_cast<int64_t>(sec) * 1'000'000'000 +
+                                    static_cast<int64_t>(usec) * 1000);
+    rec.data.assign(data.begin(), data.end());
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+bool save_pcap(const std::string& path,
+               const std::vector<PcapRecord>& records) {
+  Bytes bytes = write_pcap(records);
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
+      std::fopen(path.c_str(), "wb"), &std::fclose);
+  if (!f) return false;
+  return std::fwrite(bytes.data(), 1, bytes.size(), f.get()) == bytes.size();
+}
+
+std::optional<std::vector<PcapRecord>> load_pcap(const std::string& path) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
+      std::fopen(path.c_str(), "rb"), &std::fclose);
+  if (!f) return std::nullopt;
+  Bytes bytes;
+  uint8_t buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f.get())) > 0)
+    bytes.insert(bytes.end(), buf, buf + n);
+  return read_pcap(bytes);
+}
+
+}  // namespace sm::packet

@@ -1,0 +1,40 @@
+// Classic pcap (libpcap 2.4) file reader/writer for raw IPv4 datagrams.
+//
+// Captures from the simulator can be written out and inspected with
+// tcpdump/wireshark (`LINKTYPE_RAW` = 101, raw IP with no link header).
+// The reader exists so tests can round-trip and so recorded traces can be
+// replayed through the IDS offline, mirroring how Snort reads pcaps.
+#pragma once
+
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/time.hpp"
+#include "packet/packet.hpp"
+
+namespace sm::packet {
+
+struct PcapRecord {
+  common::SimTime timestamp;
+  common::Bytes data;
+};
+
+/// Serializes records into an in-memory pcap byte stream.
+common::Bytes write_pcap(const std::vector<PcapRecord>& records,
+                         uint32_t linktype = 101 /* LINKTYPE_RAW */);
+
+/// Parses a pcap byte stream. Returns nullopt if the magic or any record
+/// framing is invalid. Handles both byte orders.
+std::optional<std::vector<PcapRecord>> read_pcap(
+    std::span<const uint8_t> file);
+
+/// Writes a pcap file to disk; returns false on I/O failure.
+bool save_pcap(const std::string& path, const std::vector<PcapRecord>& records);
+
+/// Loads a pcap file from disk.
+std::optional<std::vector<PcapRecord>> load_pcap(const std::string& path);
+
+}  // namespace sm::packet

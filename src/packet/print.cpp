@@ -1,0 +1,56 @@
+#include "packet/print.hpp"
+
+#include "common/strings.hpp"
+
+namespace sm::packet {
+
+using common::format;
+
+std::string flags_string(uint8_t f) {
+  std::string s = "[";
+  if (f & TcpFlags::kSyn) s += 'S';
+  if (f & TcpFlags::kFin) s += 'F';
+  if (f & TcpFlags::kRst) s += 'R';
+  if (f & TcpFlags::kPsh) s += 'P';
+  if (f & TcpFlags::kUrg) s += 'U';
+  if ((f & TcpFlags::kAck) && s.size() == 1) s += '.';
+  else if (f & TcpFlags::kAck) s += 'A';
+  s += ']';
+  return s;
+}
+
+std::string summarize(const Decoded& d) {
+  if (d.tcp) {
+    return format("%s:%u > %s:%u TCP %s seq=%u ack=%u len=%zu ttl=%u",
+                  d.ip.src.to_string().c_str(), d.tcp->src_port,
+                  d.ip.dst.to_string().c_str(), d.tcp->dst_port,
+                  flags_string(d.tcp->flags).c_str(), d.tcp->seq, d.tcp->ack,
+                  d.l4_payload.size(), d.ip.ttl);
+  }
+  if (d.udp) {
+    return format("%s:%u > %s:%u UDP len=%zu ttl=%u",
+                  d.ip.src.to_string().c_str(), d.udp->src_port,
+                  d.ip.dst.to_string().c_str(), d.udp->dst_port,
+                  d.l4_payload.size(), d.ip.ttl);
+  }
+  if (d.icmp) {
+    return format("%s > %s ICMP type=%u code=%u len=%zu ttl=%u",
+                  d.ip.src.to_string().c_str(), d.ip.dst.to_string().c_str(),
+                  d.icmp->type, d.icmp->code, d.l4_payload.size(), d.ip.ttl);
+  }
+  return format("%s > %s proto=%u len=%zu ttl=%u",
+                d.ip.src.to_string().c_str(), d.ip.dst.to_string().c_str(),
+                d.ip.protocol, d.l4_payload.size(), d.ip.ttl);
+}
+
+std::string summarize(std::span<const uint8_t> wire) {
+  auto d = decode(wire);
+  if (!d) return "<malformed packet>";
+  return summarize(*d);
+}
+
+std::string Packet::to_string() const {
+  return summarize(std::span<const uint8_t>(data_));
+}
+
+}  // namespace sm::packet

@@ -1,0 +1,17 @@
+// Human-readable one-line packet summaries, tcpdump-style.
+#pragma once
+
+#include <string>
+
+#include "packet/packet.hpp"
+
+namespace sm::packet {
+
+/// "10.0.0.1:4242 > 93.184.216.34:80 TCP [S] seq=1 len=0 ttl=64"
+std::string summarize(const Decoded& d);
+std::string summarize(std::span<const uint8_t> wire);
+
+/// Renders TCP flags like "[SA]", "[R]", "[.]" (bare ACK).
+std::string flags_string(uint8_t tcp_flags);
+
+}  // namespace sm::packet

@@ -1,0 +1,84 @@
+#include "proto/dns/client.hpp"
+
+namespace sm::proto::dns {
+
+namespace {
+constexpr uint16_t kDnsPort = 53;
+}
+
+Client::Client(netsim::Host& host, Ipv4Address server,
+               common::Duration timeout, int retries)
+    : host_(host),
+      server_(server),
+      timeout_(timeout),
+      retries_(retries),
+      local_port_(host.alloc_ephemeral_port()) {
+  host_.udp_bind(local_port_,
+                 [this](const packet::Decoded& d,
+                        std::span<const uint8_t> payload) {
+                   on_response(d, payload);
+                 });
+}
+
+Client::~Client() { host_.udp_unbind(local_port_); }
+
+void Client::transmit(uint16_t id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  ++it->second.attempts;
+  host_.send_udp(server_, local_port_, kDnsPort, it->second.wire);
+}
+
+void Client::arm_timer(uint16_t id) {
+  host_.engine().schedule(timeout_, [this, id]() {
+    auto it = pending_.find(id);
+    if (it == pending_.end() || it->second.done) return;
+    if (it->second.attempts <= retries_) {
+      transmit(id);
+      arm_timer(id);
+      return;
+    }
+    Callback cb = std::move(it->second.callback);
+    pending_.erase(it);
+    cb(QueryResult{QueryOutcome::TimedOut, std::nullopt});
+  });
+}
+
+void Client::query(Name name, RecordType type, Callback callback) {
+  uint16_t id = next_id_++;
+  Message msg = Message::query(id, std::move(name), type);
+  Pending pending;
+  pending.callback = std::move(callback);
+  pending.wire = encode(msg);
+  pending_[id] = std::move(pending);
+  transmit(id);
+  arm_timer(id);
+}
+
+void Client::query_spoofed(Ipv4Address spoofed_src, Name name,
+                           RecordType type) {
+  uint16_t id = next_id_++;
+  Message msg = Message::query(id, std::move(name), type);
+  host_.send(packet::make_udp(spoofed_src, server_, local_port_, kDnsPort,
+                              encode(msg)));
+}
+
+void Client::on_response(const packet::Decoded& d,
+                         std::span<const uint8_t> payload) {
+  // Accept only datagrams from port 53; injected censor responses spoof
+  // the server address, so source-address checks do not help and we
+  // deliberately do not make them (matching real stub resolvers).
+  if (d.udp->src_port != kDnsPort) return;
+  auto msg = decode(payload);
+  if (!msg || !msg->header.qr) return;
+  auto it = pending_.find(msg->header.id);
+  if (it == pending_.end() || it->second.done) return;
+  Callback cb = std::move(it->second.callback);
+  pending_.erase(it);
+  QueryResult result;
+  result.outcome = QueryOutcome::Answered;
+  result.response = std::move(*msg);
+  cb(result);
+}
+
+}  // namespace sm::proto::dns

@@ -1,0 +1,84 @@
+// Stub DNS resolver bound to a simulated host.
+//
+// Sends UDP queries to a configured server, matches responses by
+// transaction id, and times out unanswered queries — a timeout is itself
+// a censorship signal (packet-dropping DNS censorship looks exactly like
+// this), so the outcome enum distinguishes it from an answer.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "netsim/host.hpp"
+#include "proto/dns/message.hpp"
+
+namespace sm::proto::dns {
+
+/// How a query concluded.
+enum class QueryOutcome {
+  Answered,   // a response arrived (could still be forged!)
+  TimedOut,   // no response within the timeout
+};
+
+struct QueryResult {
+  QueryOutcome outcome = QueryOutcome::TimedOut;
+  std::optional<Message> response;  // set when outcome == Answered
+
+  bool answered() const { return outcome == QueryOutcome::Answered; }
+  /// Convenience: the first A record if the query succeeded with NOERROR.
+  std::optional<Ipv4Address> address() const {
+    if (!response || response->header.rcode != Rcode::NoError)
+      return std::nullopt;
+    return response->first_a();
+  }
+};
+
+class Client {
+ public:
+  using Callback = std::function<void(const QueryResult&)>;
+
+  /// `host` must outlive the client. The client owns an ephemeral UDP
+  /// port on the host. Unanswered queries are retransmitted up to
+  /// `retries` times at `timeout` intervals before reporting TimedOut
+  /// (stub-resolver behaviour; matters on lossy paths).
+  Client(netsim::Host& host, Ipv4Address server,
+         common::Duration timeout = common::Duration::millis(2000),
+         int retries = 0);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Issues a query; `callback` fires exactly once.
+  void query(Name name, RecordType type, Callback callback);
+
+  /// Issues a query with a spoofed source address. No response can reach
+  /// us (it goes to the spoofed host), so no callback is registered —
+  /// this is pure cover traffic (§4.1 stateless mimicry).
+  void query_spoofed(Ipv4Address spoofed_src, Name name, RecordType type);
+
+  Ipv4Address server() const { return server_; }
+  uint16_t local_port() const { return local_port_; }
+
+ private:
+  void on_response(const packet::Decoded& d, std::span<const uint8_t> payload);
+  void transmit(uint16_t id);
+  void arm_timer(uint16_t id);
+
+  netsim::Host& host_;
+  Ipv4Address server_;
+  common::Duration timeout_;
+  int retries_;
+  uint16_t local_port_;
+  uint16_t next_id_ = 1;
+  struct Pending {
+    Callback callback;
+    common::Bytes wire;  // encoded query, for retransmission
+    int attempts = 0;
+    bool done = false;
+  };
+  std::map<uint16_t, Pending> pending_;
+};
+
+}  // namespace sm::proto::dns

@@ -1,0 +1,361 @@
+#include "proto/dns/message.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+
+namespace sm::proto::dns {
+
+using common::ByteReader;
+using common::ByteWriter;
+
+std::string to_string(RecordType t) {
+  switch (t) {
+    case RecordType::A: return "A";
+    case RecordType::NS: return "NS";
+    case RecordType::CNAME: return "CNAME";
+    case RecordType::SOA: return "SOA";
+    case RecordType::MX: return "MX";
+    case RecordType::TXT: return "TXT";
+    case RecordType::ANY: return "ANY";
+  }
+  return "TYPE" + std::to_string(static_cast<uint16_t>(t));
+}
+
+std::string to_string(Rcode r) {
+  switch (r) {
+    case Rcode::NoError: return "NOERROR";
+    case Rcode::FormErr: return "FORMERR";
+    case Rcode::ServFail: return "SERVFAIL";
+    case Rcode::NxDomain: return "NXDOMAIN";
+    case Rcode::NotImp: return "NOTIMP";
+    case Rcode::Refused: return "REFUSED";
+  }
+  return "RCODE" + std::to_string(static_cast<uint8_t>(r));
+}
+
+namespace {
+std::string fold(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  // Strip a single trailing dot (absolute-name notation).
+  if (!out.empty() && out.back() == '.') out.pop_back();
+  return out;
+}
+}  // namespace
+
+Name::Name(std::string presentation) : name_(fold(presentation)) {}
+
+std::vector<std::string> Name::labels() const {
+  std::vector<std::string> out;
+  if (name_.empty()) return out;
+  size_t start = 0;
+  while (true) {
+    size_t dot = name_.find('.', start);
+    if (dot == std::string::npos) {
+      out.push_back(name_.substr(start));
+      break;
+    }
+    out.push_back(name_.substr(start, dot - start));
+    start = dot + 1;
+  }
+  return out;
+}
+
+bool Name::is_subdomain_of(const Name& zone) const {
+  if (zone.name_.empty()) return true;  // root
+  if (name_ == zone.name_) return true;
+  return name_.size() > zone.name_.size() &&
+         name_.compare(name_.size() - zone.name_.size(), zone.name_.size(),
+                       zone.name_) == 0 &&
+         name_[name_.size() - zone.name_.size() - 1] == '.';
+}
+
+bool Name::operator==(const Name& o) const { return name_ == o.name_; }
+bool Name::operator<(const Name& o) const { return name_ < o.name_; }
+
+ResourceRecord ResourceRecord::a(Name n, Ipv4Address addr, uint32_t ttl) {
+  return {std::move(n), RecordType::A, 1, ttl, addr};
+}
+ResourceRecord ResourceRecord::mx(Name n, uint16_t pref, Name exchange,
+                                  uint32_t ttl) {
+  return {std::move(n), RecordType::MX, 1, ttl,
+          MxData{pref, std::move(exchange)}};
+}
+ResourceRecord ResourceRecord::cname(Name n, Name target, uint32_t ttl) {
+  return {std::move(n), RecordType::CNAME, 1, ttl, std::move(target)};
+}
+ResourceRecord ResourceRecord::ns(Name n, Name server, uint32_t ttl) {
+  return {std::move(n), RecordType::NS, 1, ttl, std::move(server)};
+}
+ResourceRecord ResourceRecord::txt(Name n, std::string text, uint32_t ttl) {
+  return {std::move(n), RecordType::TXT, 1, ttl, std::move(text)};
+}
+
+Message Message::query(uint16_t id, Name name, RecordType type) {
+  Message m;
+  m.header.id = id;
+  m.header.rd = true;
+  m.questions.push_back(Question{std::move(name), type, 1});
+  return m;
+}
+
+Message Message::response_to(const Message& query, Rcode rcode) {
+  Message m;
+  m.header = query.header;
+  m.header.qr = true;
+  m.header.ra = true;
+  m.header.rcode = rcode;
+  m.questions = query.questions;
+  return m;
+}
+
+std::optional<Ipv4Address> Message::first_a() const {
+  for (const auto& rr : answers) {
+    if (rr.type == RecordType::A) {
+      if (const auto* a = std::get_if<Ipv4Address>(&rr.rdata)) return *a;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<MxData> Message::mx_records() const {
+  std::vector<MxData> out;
+  for (const auto& rr : answers) {
+    if (rr.type == RecordType::MX) {
+      if (const auto* mx = std::get_if<MxData>(&rr.rdata)) out.push_back(*mx);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const MxData& a, const MxData& b) {
+    return a.preference < b.preference;
+  });
+  return out;
+}
+
+namespace {
+
+/// Writes a (possibly compressed) domain name. `offsets` maps the
+/// presentation form of each name suffix to the buffer offset where it was
+/// first written.
+void encode_name(ByteWriter& w, const Name& name,
+                 std::map<std::string, uint16_t>& offsets) {
+  auto labels = name.labels();
+  for (size_t i = 0; i < labels.size(); ++i) {
+    // Presentation form of the suffix starting at label i.
+    std::string suffix;
+    for (size_t j = i; j < labels.size(); ++j) {
+      if (j > i) suffix += '.';
+      suffix += labels[j];
+    }
+    auto it = offsets.find(suffix);
+    if (it != offsets.end()) {
+      w.u16(static_cast<uint16_t>(0xC000 | it->second));
+      return;
+    }
+    if (w.size() < 0x3FFF) {
+      offsets.emplace(suffix, static_cast<uint16_t>(w.size()));
+    }
+    const std::string& label = labels[i];
+    w.u8(static_cast<uint8_t>(std::min<size_t>(label.size(), 63)));
+    w.text(std::string_view(label).substr(0, 63));
+  }
+  w.u8(0);
+}
+
+void encode_rr(ByteWriter& w, const ResourceRecord& rr,
+               std::map<std::string, uint16_t>& offsets) {
+  encode_name(w, rr.name, offsets);
+  w.u16(static_cast<uint16_t>(rr.type));
+  w.u16(rr.rclass);
+  w.u32(rr.ttl);
+  size_t len_pos = w.size();
+  w.u16(0);  // rdlength placeholder
+  size_t rdata_start = w.size();
+  std::visit(
+      [&](const auto& value) {
+        using T = std::decay_t<decltype(value)>;
+        if constexpr (std::is_same_v<T, Ipv4Address>) {
+          w.u32(value.value());
+        } else if constexpr (std::is_same_v<T, Name>) {
+          encode_name(w, value, offsets);
+        } else if constexpr (std::is_same_v<T, MxData>) {
+          w.u16(value.preference);
+          encode_name(w, value.exchange, offsets);
+        } else if constexpr (std::is_same_v<T, std::string>) {
+          // TXT: one character-string per 255-byte chunk.
+          std::string_view rest = value;
+          do {
+            auto chunk = rest.substr(0, 255);
+            w.u8(static_cast<uint8_t>(chunk.size()));
+            w.text(chunk);
+            rest.remove_prefix(chunk.size());
+          } while (!rest.empty());
+        } else {  // raw Bytes
+          w.bytes(value);
+        }
+      },
+      rr.rdata);
+  w.patch_u16(len_pos, static_cast<uint16_t>(w.size() - rdata_start));
+}
+
+/// Reads a domain name, following compression pointers with loop
+/// protection. Returns nullopt on malformed input.
+std::optional<Name> decode_name(ByteReader& r,
+                                std::span<const uint8_t> whole) {
+  std::string out;
+  size_t jumps = 0;
+  std::optional<size_t> resume;  // reader position to restore after jumps
+  size_t pos = r.position();
+  while (true) {
+    if (pos >= whole.size()) return std::nullopt;
+    uint8_t len = whole[pos];
+    if ((len & 0xC0) == 0xC0) {
+      if (pos + 1 >= whole.size()) return std::nullopt;
+      if (++jumps > 64) return std::nullopt;  // pointer loop
+      if (!resume) resume = pos + 2;
+      pos = static_cast<size_t>(len & 0x3F) << 8 | whole[pos + 1];
+      continue;
+    }
+    if (len & 0xC0) return std::nullopt;  // reserved label types
+    ++pos;
+    if (len == 0) break;
+    if (pos + len > whole.size()) return std::nullopt;
+    if (!out.empty()) out += '.';
+    out.append(reinterpret_cast<const char*>(whole.data() + pos), len);
+    pos += len;
+  }
+  r.seek(resume.value_or(pos));
+  return Name(out);
+}
+
+std::optional<ResourceRecord> decode_rr(ByteReader& r,
+                                        std::span<const uint8_t> whole) {
+  ResourceRecord rr;
+  auto name = decode_name(r, whole);
+  if (!name) return std::nullopt;
+  rr.name = std::move(*name);
+  rr.type = static_cast<RecordType>(r.u16());
+  rr.rclass = r.u16();
+  rr.ttl = r.u32();
+  uint16_t rdlength = r.u16();
+  if (!r.ok() || r.remaining() < rdlength) return std::nullopt;
+  size_t rdata_end = r.position() + rdlength;
+  switch (rr.type) {
+    case RecordType::A: {
+      if (rdlength != 4) return std::nullopt;
+      rr.rdata = Ipv4Address(r.u32());
+      break;
+    }
+    case RecordType::NS:
+    case RecordType::CNAME: {
+      auto target = decode_name(r, whole);
+      if (!target) return std::nullopt;
+      rr.rdata = std::move(*target);
+      break;
+    }
+    case RecordType::MX: {
+      MxData mx;
+      mx.preference = r.u16();
+      auto exchange = decode_name(r, whole);
+      if (!exchange) return std::nullopt;
+      mx.exchange = std::move(*exchange);
+      rr.rdata = std::move(mx);
+      break;
+    }
+    case RecordType::TXT: {
+      std::string text;
+      while (r.position() < rdata_end) {
+        uint8_t len = r.u8();
+        text += r.text(len);
+      }
+      if (!r.ok()) return std::nullopt;
+      rr.rdata = std::move(text);
+      break;
+    }
+    default: {
+      auto raw = r.bytes(rdlength);
+      rr.rdata = Bytes(raw.begin(), raw.end());
+      break;
+    }
+  }
+  if (!r.ok() || r.position() != rdata_end) return std::nullopt;
+  return rr;
+}
+
+}  // namespace
+
+Bytes encode(const Message& msg) {
+  ByteWriter w(64);
+  std::map<std::string, uint16_t> offsets;
+  const Header& h = msg.header;
+  w.u16(h.id);
+  uint16_t flags = 0;
+  if (h.qr) flags |= 0x8000;
+  flags |= static_cast<uint16_t>((h.opcode & 0x0F) << 11);
+  if (h.aa) flags |= 0x0400;
+  if (h.tc) flags |= 0x0200;
+  if (h.rd) flags |= 0x0100;
+  if (h.ra) flags |= 0x0080;
+  flags |= static_cast<uint16_t>(h.rcode) & 0x0F;
+  w.u16(flags);
+  w.u16(static_cast<uint16_t>(msg.questions.size()));
+  w.u16(static_cast<uint16_t>(msg.answers.size()));
+  w.u16(static_cast<uint16_t>(msg.authorities.size()));
+  w.u16(static_cast<uint16_t>(msg.additionals.size()));
+  for (const auto& q : msg.questions) {
+    encode_name(w, q.name, offsets);
+    w.u16(static_cast<uint16_t>(q.type));
+    w.u16(q.qclass);
+  }
+  for (const auto& rr : msg.answers) encode_rr(w, rr, offsets);
+  for (const auto& rr : msg.authorities) encode_rr(w, rr, offsets);
+  for (const auto& rr : msg.additionals) encode_rr(w, rr, offsets);
+  return w.take();
+}
+
+std::optional<Message> decode(std::span<const uint8_t> wire) {
+  ByteReader r(wire);
+  Message m;
+  m.header.id = r.u16();
+  uint16_t flags = r.u16();
+  m.header.qr = flags & 0x8000;
+  m.header.opcode = static_cast<uint8_t>((flags >> 11) & 0x0F);
+  m.header.aa = flags & 0x0400;
+  m.header.tc = flags & 0x0200;
+  m.header.rd = flags & 0x0100;
+  m.header.ra = flags & 0x0080;
+  m.header.rcode = static_cast<Rcode>(flags & 0x0F);
+  uint16_t qdcount = r.u16();
+  uint16_t ancount = r.u16();
+  uint16_t nscount = r.u16();
+  uint16_t arcount = r.u16();
+  if (!r.ok()) return std::nullopt;
+
+  for (uint16_t i = 0; i < qdcount; ++i) {
+    Question q;
+    auto name = decode_name(r, wire);
+    if (!name) return std::nullopt;
+    q.name = std::move(*name);
+    q.type = static_cast<RecordType>(r.u16());
+    q.qclass = r.u16();
+    if (!r.ok()) return std::nullopt;
+    m.questions.push_back(std::move(q));
+  }
+  auto read_section = [&](uint16_t count,
+                          std::vector<ResourceRecord>& out) -> bool {
+    for (uint16_t i = 0; i < count; ++i) {
+      auto rr = decode_rr(r, wire);
+      if (!rr) return false;
+      out.push_back(std::move(*rr));
+    }
+    return true;
+  };
+  if (!read_section(ancount, m.answers)) return std::nullopt;
+  if (!read_section(nscount, m.authorities)) return std::nullopt;
+  if (!read_section(arcount, m.additionals)) return std::nullopt;
+  return m;
+}
+
+}  // namespace sm::proto::dns

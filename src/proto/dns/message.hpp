@@ -1,0 +1,133 @@
+// DNS wire-format messages (RFC 1035 subset).
+//
+// Supports the record types the measurement techniques need — A for
+// address lookups, MX for the spam probe's mail-server discovery (§3.1
+// Method #2), plus NS/CNAME/TXT for realism in zones — with full name
+// compression on encode and pointer-safe decompression on decode.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/ip.hpp"
+
+namespace sm::proto::dns {
+
+using common::Bytes;
+using common::Ipv4Address;
+
+enum class RecordType : uint16_t {
+  A = 1,
+  NS = 2,
+  CNAME = 5,
+  SOA = 6,
+  MX = 15,
+  TXT = 16,
+  ANY = 255,
+};
+
+enum class Rcode : uint8_t {
+  NoError = 0,
+  FormErr = 1,
+  ServFail = 2,
+  NxDomain = 3,
+  NotImp = 4,
+  Refused = 5,
+};
+
+std::string to_string(RecordType t);
+std::string to_string(Rcode r);
+
+/// A domain name, held in presentation form ("www.example.com", no
+/// trailing dot), compared case-insensitively per RFC 1035 §2.3.3.
+class Name {
+ public:
+  Name() = default;
+  explicit Name(std::string presentation);
+
+  const std::string& str() const { return name_; }
+  bool empty() const { return name_.empty(); }
+  std::vector<std::string> labels() const;
+
+  /// True if this name equals `zone` or is a subdomain of it.
+  bool is_subdomain_of(const Name& zone) const;
+
+  bool operator==(const Name& o) const;
+  bool operator<(const Name& o) const;  // case-folded ordering for maps
+
+ private:
+  std::string name_;
+};
+
+struct MxData {
+  uint16_t preference = 10;
+  Name exchange;
+};
+
+/// rdata by type: A -> Ipv4Address, NS/CNAME -> Name, MX -> MxData,
+/// TXT -> std::string, anything else -> raw Bytes.
+using Rdata = std::variant<Ipv4Address, Name, MxData, std::string, Bytes>;
+
+struct Question {
+  Name name;
+  RecordType type = RecordType::A;
+  uint16_t qclass = 1;  // IN
+};
+
+struct ResourceRecord {
+  Name name;
+  RecordType type = RecordType::A;
+  uint16_t rclass = 1;
+  uint32_t ttl = 300;
+  Rdata rdata;
+
+  static ResourceRecord a(Name n, Ipv4Address addr, uint32_t ttl = 300);
+  static ResourceRecord mx(Name n, uint16_t pref, Name exchange,
+                           uint32_t ttl = 300);
+  static ResourceRecord cname(Name n, Name target, uint32_t ttl = 300);
+  static ResourceRecord ns(Name n, Name server, uint32_t ttl = 300);
+  static ResourceRecord txt(Name n, std::string text, uint32_t ttl = 300);
+};
+
+struct Header {
+  uint16_t id = 0;
+  bool qr = false;  // response flag
+  uint8_t opcode = 0;
+  bool aa = false;
+  bool tc = false;
+  bool rd = true;
+  bool ra = false;
+  Rcode rcode = Rcode::NoError;
+};
+
+struct Message {
+  Header header;
+  std::vector<Question> questions;
+  std::vector<ResourceRecord> answers;
+  std::vector<ResourceRecord> authorities;
+  std::vector<ResourceRecord> additionals;
+
+  /// Builds a standard recursive query for one (name, type).
+  static Message query(uint16_t id, Name name, RecordType type);
+
+  /// Builds a response skeleton echoing the query's id and question.
+  static Message response_to(const Message& query, Rcode rcode);
+
+  /// First A record in the answer section, if any.
+  std::optional<Ipv4Address> first_a() const;
+  /// All MX records in the answer section, sorted by preference.
+  std::vector<MxData> mx_records() const;
+};
+
+/// Encodes to wire format with name compression.
+Bytes encode(const Message& msg);
+
+/// Decodes from wire format. Returns nullopt on malformed input,
+/// including compression-pointer loops.
+std::optional<Message> decode(std::span<const uint8_t> wire);
+
+}  // namespace sm::proto::dns

@@ -1,0 +1,83 @@
+#include "proto/dns/server.hpp"
+
+namespace sm::proto::dns {
+
+namespace {
+constexpr uint16_t kDnsPort = 53;
+}
+
+void Zone::add(ResourceRecord rr) {
+  records_[rr.name].push_back(std::move(rr));
+  ++count_;
+}
+
+void Zone::add_site(const std::string& name, Ipv4Address addr) {
+  add(ResourceRecord::a(Name(name), addr));
+}
+
+void Zone::add_site_with_mail(const std::string& name, Ipv4Address addr,
+                              Ipv4Address mail_addr) {
+  Name site(name);
+  Name mail("mail." + name);
+  add(ResourceRecord::a(site, addr));
+  add(ResourceRecord::mx(site, 10, mail));
+  add(ResourceRecord::a(mail, mail_addr));
+}
+
+std::vector<ResourceRecord> Zone::lookup(const Name& name,
+                                         RecordType type) const {
+  std::vector<ResourceRecord> out;
+  auto it = records_.find(name);
+  if (it == records_.end()) return out;
+  for (const auto& rr : it->second) {
+    if (type == RecordType::ANY || rr.type == type) out.push_back(rr);
+  }
+  return out;
+}
+
+bool Zone::has_name(const Name& name) const {
+  return records_.count(name) > 0;
+}
+
+Server::Server(netsim::Host& host, Zone zone)
+    : host_(host), zone_(std::move(zone)) {
+  host_.udp_bind(kDnsPort, [this](const packet::Decoded& d,
+                                  std::span<const uint8_t> payload) {
+    on_query(d, payload);
+  });
+}
+
+Server::~Server() { host_.udp_unbind(kDnsPort); }
+
+void Server::on_query(const packet::Decoded& d,
+                      std::span<const uint8_t> payload) {
+  auto query = decode(payload);
+  if (!query || query->header.qr || query->questions.empty()) return;
+  ++queries_served_;
+
+  const Question& q = query->questions.front();
+  Message resp;
+  if (!zone_.has_name(q.name)) {
+    resp = Message::response_to(*query, Rcode::NxDomain);
+  } else {
+    resp = Message::response_to(*query, Rcode::NoError);
+    resp.header.aa = true;
+    resp.answers = zone_.lookup(q.name, q.type);
+    // A name that only has a CNAME answers any qtype with that CNAME.
+    if (resp.answers.empty() && q.type != RecordType::CNAME) {
+      resp.answers = zone_.lookup(q.name, RecordType::CNAME);
+    }
+    // Chase one level of CNAME the way real resolvers expect.
+    for (const auto& rr : resp.answers) {
+      if (rr.type == RecordType::CNAME && q.type == RecordType::A) {
+        if (const auto* target = std::get_if<Name>(&rr.rdata)) {
+          auto extra = zone_.lookup(*target, RecordType::A);
+          resp.answers.insert(resp.answers.end(), extra.begin(), extra.end());
+        }
+      }
+    }
+  }
+  host_.send_udp(d.ip.src, kDnsPort, d.udp->src_port, encode(resp));
+}
+
+}  // namespace sm::proto::dns

@@ -1,0 +1,57 @@
+// Authoritative DNS server bound to a simulated host.
+//
+// Serves records from an in-memory zone. Unknown names get NXDOMAIN;
+// known names queried for an absent type get an empty NOERROR answer,
+// both of which the measurement verdict logic must distinguish from
+// censorship.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "netsim/host.hpp"
+#include "proto/dns/message.hpp"
+
+namespace sm::proto::dns {
+
+/// In-memory zone data: name -> records of all types.
+class Zone {
+ public:
+  void add(ResourceRecord rr);
+  /// Convenience for the common shape: A + MX (mail.<name>) records.
+  void add_site(const std::string& name, Ipv4Address addr);
+  void add_site_with_mail(const std::string& name, Ipv4Address addr,
+                          Ipv4Address mail_addr);
+
+  std::vector<ResourceRecord> lookup(const Name& name, RecordType type) const;
+  bool has_name(const Name& name) const;
+  size_t record_count() const { return count_; }
+
+ private:
+  std::map<Name, std::vector<ResourceRecord>> records_;
+  size_t count_ = 0;
+};
+
+class Server {
+ public:
+  /// Binds UDP port 53 on `host` (which must outlive the server).
+  Server(netsim::Host& host, Zone zone);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  const Zone& zone() const { return zone_; }
+  Zone& zone() { return zone_; }
+
+  uint64_t queries_served() const { return queries_served_; }
+
+ private:
+  void on_query(const packet::Decoded& d, std::span<const uint8_t> payload);
+
+  netsim::Host& host_;
+  Zone zone_;
+  uint64_t queries_served_ = 0;
+};
+
+}  // namespace sm::proto::dns

@@ -1,0 +1,92 @@
+#include "proto/http/client.hpp"
+
+#include <memory>
+
+namespace sm::proto::http {
+
+std::string_view to_string(FetchOutcome o) {
+  switch (o) {
+    case FetchOutcome::Ok: return "ok";
+    case FetchOutcome::ConnectTimeout: return "connect-timeout";
+    case FetchOutcome::ConnectReset: return "connect-reset";
+    case FetchOutcome::ResetMidStream: return "reset-mid-stream";
+    case FetchOutcome::Timeout: return "timeout";
+    case FetchOutcome::ProtocolError: return "protocol-error";
+  }
+  return "?";
+}
+
+namespace {
+/// Per-fetch state shared by the connection callbacks and the timeout.
+struct FetchState {
+  Parser parser;
+  Client::Callback callback;
+  bool connected = false;
+  bool request_sent = false;
+  bool finished = false;
+
+  void finish(const FetchResult& result) {
+    if (finished) return;
+    finished = true;
+    callback(result);
+  }
+};
+}  // namespace
+
+void Client::fetch(common::Ipv4Address dst, uint16_t port,
+                   const Request& request, Callback callback,
+                   common::Duration timeout, tcp::ConnectOptions opts) {
+  auto state = std::make_shared<FetchState>();
+  state->callback = std::move(callback);
+  std::string wire = request.serialize();
+
+  tcp::Connection* conn = stack_.connect(dst, port, opts);
+
+  conn->on_connect = [state, wire](tcp::Connection& c) {
+    state->connected = true;
+    c.send_text(wire);
+    state->request_sent = true;
+  };
+  conn->on_data = [state](tcp::Connection& c,
+                          std::span<const uint8_t> data) {
+    state->parser.feed(data);
+    if (auto resp = state->parser.next_response()) {
+      FetchResult r;
+      r.outcome = FetchOutcome::Ok;
+      r.response = std::move(*resp);
+      state->finish(r);
+      c.close();
+    } else if (state->parser.failed()) {
+      state->finish(FetchResult{FetchOutcome::ProtocolError, std::nullopt});
+      c.abort();
+    }
+  };
+  conn->on_error = [state](tcp::Connection& c) {
+    FetchResult r;
+    switch (c.close_reason()) {
+      case tcp::CloseReason::Reset:
+        r.outcome = state->request_sent ? FetchOutcome::ResetMidStream
+                                        : FetchOutcome::ConnectReset;
+        break;
+      case tcp::CloseReason::ConnectTimeout:
+        r.outcome = FetchOutcome::ConnectTimeout;
+        break;
+      default:
+        r.outcome = FetchOutcome::Timeout;
+        break;
+    }
+    state->finish(r);
+  };
+  conn->on_close = [state](tcp::Connection&) {
+    if (!state->finished)
+      state->finish(FetchResult{FetchOutcome::Timeout, std::nullopt});
+  };
+
+  stack_.engine().schedule(timeout, [state]() {
+    state->finish(FetchResult{state->connected ? FetchOutcome::Timeout
+                                               : FetchOutcome::ConnectTimeout,
+                              std::nullopt});
+  });
+}
+
+}  // namespace sm::proto::http

@@ -1,0 +1,51 @@
+// HTTP/1.1 client over the simulated TCP stack.
+//
+// One call = one connection = one request/response exchange, with an
+// outcome taxonomy rich enough for censorship inference: the caller can
+// tell a connection reset (RST-injecting censor) from a connect timeout
+// (packet-dropping censor) from a served response (possibly a blockpage).
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "proto/http/message.hpp"
+#include "proto/tcp/stack.hpp"
+
+namespace sm::proto::http {
+
+enum class FetchOutcome {
+  Ok,              // full response received
+  ConnectTimeout,  // SYN retries exhausted
+  ConnectReset,    // RST during handshake
+  ResetMidStream,  // RST after the request was sent
+  Timeout,         // connected but response never completed
+  ProtocolError,   // malformed response
+};
+
+std::string_view to_string(FetchOutcome o);
+
+struct FetchResult {
+  FetchOutcome outcome = FetchOutcome::Timeout;
+  std::optional<Response> response;
+
+  bool ok() const { return outcome == FetchOutcome::Ok; }
+};
+
+class Client {
+ public:
+  using Callback = std::function<void(const FetchResult&)>;
+
+  explicit Client(tcp::Stack& stack) : stack_(stack) {}
+
+  /// Fetches `request` from dst:port; the callback fires exactly once.
+  void fetch(common::Ipv4Address dst, uint16_t port, const Request& request,
+             Callback callback,
+             common::Duration timeout = common::Duration::seconds(5),
+             tcp::ConnectOptions opts = {});
+
+ private:
+  tcp::Stack& stack_;
+};
+
+}  // namespace sm::proto::http

@@ -1,0 +1,182 @@
+#include "proto/http/message.hpp"
+
+#include "common/strings.hpp"
+
+namespace sm::proto::http {
+
+using common::iequals;
+using common::trim;
+
+std::optional<std::string> find_header(const HeaderList& headers,
+                                       std::string_view name) {
+  for (const auto& [k, v] : headers)
+    if (iequals(k, name)) return v;
+  return std::nullopt;
+}
+
+Request Request::get(std::string host, std::string target) {
+  Request r;
+  r.method = "GET";
+  r.target = std::move(target);
+  r.headers.emplace_back("Host", std::move(host));
+  r.headers.emplace_back("User-Agent", "Mozilla/5.0 (X11; Linux x86_64)");
+  r.headers.emplace_back("Accept", "*/*");
+  r.headers.emplace_back("Connection", "close");
+  return r;
+}
+
+std::string Request::host() const {
+  return find_header(headers, "Host").value_or("");
+}
+
+std::string Request::serialize() const {
+  std::string out = method + " " + target + " " + version + "\r\n";
+  bool has_length = false;
+  for (const auto& [k, v] : headers) {
+    out += k + ": " + v + "\r\n";
+    if (iequals(k, "Content-Length")) has_length = true;
+  }
+  if (!body.empty() && !has_length)
+    out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+Response Response::ok(std::string body, std::string content_type) {
+  Response r;
+  r.headers.emplace_back("Content-Type", std::move(content_type));
+  r.body = std::move(body);
+  return r;
+}
+
+Response Response::make(int status, std::string reason, std::string body) {
+  Response r;
+  r.status = status;
+  r.reason = std::move(reason);
+  r.body = std::move(body);
+  return r;
+}
+
+std::string Response::serialize() const {
+  std::string out =
+      version + " " + std::to_string(status) + " " + reason + "\r\n";
+  bool has_length = false;
+  for (const auto& [k, v] : headers) {
+    out += k + ": " + v + "\r\n";
+    if (iequals(k, "Content-Length")) has_length = true;
+  }
+  if (!has_length)
+    out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+void Parser::feed(std::span<const uint8_t> data) {
+  buffer_.append(reinterpret_cast<const char*>(data.data()), data.size());
+}
+void Parser::feed(std::string_view text) { buffer_.append(text); }
+
+size_t Parser::find_header_end() const {
+  size_t pos = buffer_.find("\r\n\r\n");
+  return pos == std::string::npos ? 0 : pos + 4;
+}
+
+bool Parser::parse_headers(std::string_view block, std::string& start_line,
+                           HeaderList& headers) {
+  size_t line_end = block.find("\r\n");
+  if (line_end == std::string_view::npos) return false;
+  start_line = std::string(block.substr(0, line_end));
+  size_t pos = line_end + 2;
+  while (pos < block.size()) {
+    size_t next = block.find("\r\n", pos);
+    if (next == std::string_view::npos || next == pos) break;
+    std::string_view line = block.substr(pos, next - pos);
+    size_t colon = line.find(':');
+    if (colon == std::string_view::npos) return false;
+    headers.emplace_back(std::string(trim(line.substr(0, colon))),
+                         std::string(trim(line.substr(colon + 1))));
+    pos = next + 2;
+  }
+  return true;
+}
+
+std::optional<Request> Parser::next_request() {
+  size_t header_len = find_header_end();
+  if (header_len == 0) return std::nullopt;
+  std::string start_line;
+  HeaderList headers;
+  if (!parse_headers(std::string_view(buffer_).substr(0, header_len - 2),
+                     start_line, headers)) {
+    failed_ = true;
+    return std::nullopt;
+  }
+  size_t body_len = 0;
+  if (auto cl = find_header(headers, "Content-Length")) {
+    auto n = common::parse_int(*cl);
+    if (!n || *n < 0) {
+      failed_ = true;
+      return std::nullopt;
+    }
+    body_len = static_cast<size_t>(*n);
+  }
+  if (buffer_.size() < header_len + body_len) return std::nullopt;
+
+  auto parts = common::split_whitespace(start_line);
+  if (parts.size() != 3) {
+    failed_ = true;
+    return std::nullopt;
+  }
+  Request req;
+  req.method = std::string(parts[0]);
+  req.target = std::string(parts[1]);
+  req.version = std::string(parts[2]);
+  req.headers = std::move(headers);
+  req.body = buffer_.substr(header_len, body_len);
+  buffer_.erase(0, header_len + body_len);
+  return req;
+}
+
+std::optional<Response> Parser::next_response() {
+  size_t header_len = find_header_end();
+  if (header_len == 0) return std::nullopt;
+  std::string start_line;
+  HeaderList headers;
+  if (!parse_headers(std::string_view(buffer_).substr(0, header_len - 2),
+                     start_line, headers)) {
+    failed_ = true;
+    return std::nullopt;
+  }
+  size_t body_len = 0;
+  if (auto cl = find_header(headers, "Content-Length")) {
+    auto n = common::parse_int(*cl);
+    if (!n || *n < 0) {
+      failed_ = true;
+      return std::nullopt;
+    }
+    body_len = static_cast<size_t>(*n);
+  }
+  if (buffer_.size() < header_len + body_len) return std::nullopt;
+
+  auto parts = common::split_whitespace(start_line);
+  if (parts.size() < 2) {
+    failed_ = true;
+    return std::nullopt;
+  }
+  Response resp;
+  resp.version = std::string(parts[0]);
+  auto status = common::parse_int(parts[1]);
+  if (!status) {
+    failed_ = true;
+    return std::nullopt;
+  }
+  resp.status = static_cast<int>(*status);
+  resp.reason = parts.size() > 2 ? std::string(parts[2]) : "";
+  resp.headers = std::move(headers);
+  resp.body = buffer_.substr(header_len, body_len);
+  buffer_.erase(0, header_len + body_len);
+  return resp;
+}
+
+}  // namespace sm::proto::http

@@ -1,0 +1,80 @@
+// HTTP/1.1 message codec: request/response types, serializer, and an
+// incremental parser that consumes a TCP byte stream.
+//
+// Scope: what a censorship measurement needs — start line, headers,
+// Content-Length bodies. No chunked encoding, no pipelining.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace sm::proto::http {
+
+using HeaderList = std::vector<std::pair<std::string, std::string>>;
+
+/// Case-insensitive header lookup; returns the first match.
+std::optional<std::string> find_header(const HeaderList& headers,
+                                       std::string_view name);
+
+struct Request {
+  std::string method = "GET";
+  std::string target = "/";
+  std::string version = "HTTP/1.1";
+  HeaderList headers;
+  std::string body;
+
+  /// Builds a plain GET with a Host header, the shape every HTTP
+  /// censorship measurement in the paper sends.
+  static Request get(std::string host, std::string target = "/");
+
+  std::string host() const;
+  std::string serialize() const;
+};
+
+struct Response {
+  int status = 200;
+  std::string reason = "OK";
+  std::string version = "HTTP/1.1";
+  HeaderList headers;
+  std::string body;
+
+  static Response ok(std::string body,
+                     std::string content_type = "text/html");
+  static Response make(int status, std::string reason, std::string body = "");
+
+  std::string serialize() const;
+};
+
+/// Incremental parser: feed() stream bytes, poll for completed messages.
+/// Parses either requests or responses depending on which poll you use.
+class Parser {
+ public:
+  /// Appends stream bytes.
+  void feed(std::span<const uint8_t> data);
+  void feed(std::string_view text);
+
+  /// Returns the next complete request, or nullopt if more bytes are
+  /// needed. Consumes the parsed bytes from the internal buffer.
+  std::optional<Request> next_request();
+  std::optional<Response> next_response();
+
+  /// True once malformed input has been seen; the stream should be closed.
+  bool failed() const { return failed_; }
+  size_t buffered() const { return buffer_.size(); }
+
+ private:
+  /// Returns header-block length (through the blank line) or 0 if
+  /// incomplete.
+  size_t find_header_end() const;
+  bool parse_headers(std::string_view block, std::string& start_line,
+                     HeaderList& headers);
+
+  std::string buffer_;
+  bool failed_ = false;
+};
+
+}  // namespace sm::proto::http

@@ -1,0 +1,46 @@
+#include "proto/http/server.hpp"
+
+#include "common/strings.hpp"
+
+namespace sm::proto::http {
+
+Server::Server(tcp::Stack& stack, uint16_t port) : stack_(stack) {
+  default_handler_ = [](const Request& req) {
+    return Response::ok("<html><body><h1>It works</h1><p>Served " +
+                        req.target + "</p></body></html>");
+  };
+  stack_.listen(port, [this](tcp::Connection& c) { on_connection(c); });
+}
+
+void Server::route(const std::string& path, Handler handler) {
+  routes_[path] = std::move(handler);
+}
+
+void Server::on_connection(tcp::Connection& c) {
+  auto parser = std::make_shared<Parser>();
+  parsers_[&c] = parser;
+
+  c.on_data = [this, parser](tcp::Connection& conn,
+                             std::span<const uint8_t> data) {
+    parser->feed(data);
+    while (auto req = parser->next_request()) {
+      ++requests_served_;
+      auto it = routes_.find(req->target);
+      Response resp = (it != routes_.end()) ? it->second(*req)
+                                            : default_handler_(*req);
+      conn.send_text(resp.serialize());
+      bool close = false;
+      if (auto conn_hdr = find_header(req->headers, "Connection"))
+        close = common::iequals(*conn_hdr, "close");
+      if (close || req->version == "HTTP/1.0") {
+        conn.close();
+        return;
+      }
+    }
+    if (parser->failed()) conn.abort();
+  };
+  c.on_close = [this](tcp::Connection& conn) { parsers_.erase(&conn); };
+  c.on_error = [this](tcp::Connection& conn) { parsers_.erase(&conn); };
+}
+
+}  // namespace sm::proto::http

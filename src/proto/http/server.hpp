@@ -1,0 +1,41 @@
+// Minimal HTTP/1.1 server over the simulated TCP stack.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "proto/http/message.hpp"
+#include "proto/tcp/stack.hpp"
+
+namespace sm::proto::http {
+
+class Server {
+ public:
+  using Handler = std::function<Response(const Request&)>;
+
+  /// Listens on `port` of the given stack. The default handler serves a
+  /// small static page for any path.
+  Server(tcp::Stack& stack, uint16_t port = 80);
+
+  /// Exact-path route ("/index.html"). Falls back to the default handler.
+  void route(const std::string& path, Handler handler);
+  void set_default_handler(Handler handler) {
+    default_handler_ = std::move(handler);
+  }
+
+  uint64_t requests_served() const { return requests_served_; }
+
+ private:
+  void on_connection(tcp::Connection& c);
+
+  tcp::Stack& stack_;
+  std::map<std::string, Handler> routes_;
+  Handler default_handler_;
+  uint64_t requests_served_ = 0;
+  // Per-connection parser state, keyed by connection address; entries are
+  // dropped when the connection errors or closes.
+  std::map<const tcp::Connection*, std::shared_ptr<Parser>> parsers_;
+};
+
+}  // namespace sm::proto::http

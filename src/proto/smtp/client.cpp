@@ -1,0 +1,137 @@
+#include "proto/smtp/client.hpp"
+
+#include <memory>
+
+#include "common/strings.hpp"
+
+namespace sm::proto::smtp {
+
+std::string_view to_string(DeliveryStage s) {
+  switch (s) {
+    case DeliveryStage::ConnectFailed: return "connect-failed";
+    case DeliveryStage::ConnectReset: return "connect-reset";
+    case DeliveryStage::Greeting: return "greeting";
+    case DeliveryStage::Helo: return "helo";
+    case DeliveryStage::MailFrom: return "mail-from";
+    case DeliveryStage::RcptTo: return "rcpt-to";
+    case DeliveryStage::Data: return "data";
+    case DeliveryStage::Delivered: return "delivered";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Dot-stuffs and dot-terminates the DATA payload.
+std::string encode_data(const std::string& data) {
+  std::string out;
+  size_t start = 0;
+  while (start <= data.size()) {
+    size_t end = data.find("\r\n", start);
+    std::string_view line;
+    if (end == std::string::npos) {
+      line = std::string_view(data).substr(start);
+      start = data.size() + 1;
+    } else {
+      line = std::string_view(data).substr(start, end - start);
+      start = end + 2;
+    }
+    if (!line.empty() || start <= data.size()) {
+      if (!line.empty() && line.front() == '.') out += '.';
+      out.append(line);
+      out += "\r\n";
+    }
+  }
+  out += ".\r\n";
+  return out;
+}
+
+struct SessionState {
+  DeliveryStage stage = DeliveryStage::ConnectFailed;
+  int last_code = 0;
+  std::string line_buffer;
+  Envelope envelope;
+  Client::Callback callback;
+  bool finished = false;
+
+  void finish() {
+    if (finished) return;
+    finished = true;
+    callback(DeliveryResult{stage, last_code});
+  }
+};
+
+}  // namespace
+
+void Client::deliver(common::Ipv4Address server, const Envelope& envelope,
+                     Callback callback, uint16_t port,
+                     common::Duration timeout) {
+  auto st = std::make_shared<SessionState>();
+  st->envelope = envelope;
+  st->callback = std::move(callback);
+
+  tcp::Connection* conn = stack_.connect(server, port);
+
+  conn->on_data = [st](tcp::Connection& c, std::span<const uint8_t> data) {
+    st->line_buffer.append(reinterpret_cast<const char*>(data.data()),
+                           data.size());
+    size_t pos;
+    while ((pos = st->line_buffer.find("\r\n")) != std::string::npos) {
+      std::string line = st->line_buffer.substr(0, pos);
+      st->line_buffer.erase(0, pos + 2);
+      auto code = common::parse_int(std::string_view(line).substr(0, 3));
+      if (!code) continue;
+      st->last_code = static_cast<int>(*code);
+      bool positive = *code >= 200 && *code < 400;
+      if (!positive) {
+        st->finish();
+        c.close();
+        return;
+      }
+      // Advance the transaction one step per positive reply.
+      switch (st->stage) {
+        case DeliveryStage::ConnectFailed:
+        case DeliveryStage::ConnectReset:
+          // First server line = greeting.
+          st->stage = DeliveryStage::Greeting;
+          c.send_text("HELO " + st->envelope.helo_domain + "\r\n");
+          break;
+        case DeliveryStage::Greeting:
+          st->stage = DeliveryStage::Helo;
+          c.send_text("MAIL FROM:" + st->envelope.mail_from + "\r\n");
+          break;
+        case DeliveryStage::Helo:
+          st->stage = DeliveryStage::MailFrom;
+          c.send_text("RCPT TO:" + st->envelope.rcpt_to + "\r\n");
+          break;
+        case DeliveryStage::MailFrom:
+          st->stage = DeliveryStage::RcptTo;
+          c.send_text("DATA\r\n");
+          break;
+        case DeliveryStage::RcptTo:
+          st->stage = DeliveryStage::Data;
+          c.send_text(encode_data(st->envelope.data));
+          break;
+        case DeliveryStage::Data:
+          st->stage = DeliveryStage::Delivered;
+          c.send_text("QUIT\r\n");
+          st->finish();
+          c.close();
+          return;
+        case DeliveryStage::Delivered:
+          break;
+      }
+    }
+  };
+  conn->on_error = [st](tcp::Connection& c) {
+    if (st->stage == DeliveryStage::ConnectFailed &&
+        c.close_reason() == tcp::CloseReason::Reset)
+      st->stage = DeliveryStage::ConnectReset;
+    st->finish();
+  };
+  conn->on_close = [st](tcp::Connection&) { st->finish(); };
+
+  stack_.engine().schedule(timeout, [st]() { st->finish(); });
+}
+
+}  // namespace sm::proto::smtp

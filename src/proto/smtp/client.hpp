@@ -1,0 +1,59 @@
+// SMTP client state machine: delivers one message per call and reports
+// exactly how far the transaction got, which is the measurement signal —
+// a censored mail server fails at connect, an uncensored one accepts the
+// message.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "proto/tcp/stack.hpp"
+
+namespace sm::proto::smtp {
+
+/// The furthest stage the delivery reached.
+enum class DeliveryStage {
+  ConnectFailed,
+  ConnectReset,
+  Greeting,
+  Helo,
+  MailFrom,
+  RcptTo,
+  Data,
+  Delivered,  // 250 after the terminating dot
+};
+
+std::string_view to_string(DeliveryStage s);
+
+struct DeliveryResult {
+  DeliveryStage stage = DeliveryStage::ConnectFailed;
+  int last_code = 0;  // last SMTP reply code seen
+
+  bool delivered() const { return stage == DeliveryStage::Delivered; }
+};
+
+struct Envelope {
+  std::string helo_domain = "client.example";
+  std::string mail_from;
+  std::string rcpt_to;
+  std::string data;  // full RFC 822 message (headers + body)
+};
+
+class Client {
+ public:
+  using Callback = std::function<void(const DeliveryResult&)>;
+
+  explicit Client(tcp::Stack& stack) : stack_(stack) {}
+
+  /// Connects to server:25 and runs the full transaction. The callback
+  /// fires exactly once.
+  void deliver(common::Ipv4Address server, const Envelope& envelope,
+               Callback callback, uint16_t port = 25,
+               common::Duration timeout = common::Duration::seconds(10));
+
+ private:
+  tcp::Stack& stack_;
+};
+
+}  // namespace sm::proto::smtp

@@ -1,0 +1,98 @@
+#include "proto/smtp/server.hpp"
+
+#include "common/strings.hpp"
+
+namespace sm::proto::smtp {
+
+using common::iequals;
+using common::starts_with;
+using common::to_lower;
+using common::trim;
+
+Server::Server(tcp::Stack& stack, std::string hostname, uint16_t port)
+    : stack_(stack), hostname_(std::move(hostname)) {
+  stack_.listen(port, [this](tcp::Connection& c) { on_connection(c); });
+}
+
+void Server::on_connection(tcp::Connection& c) {
+  auto session = std::make_shared<Session>();
+  sessions_[&c] = session;
+  c.send_text("220 " + hostname_ + " ESMTP ready\r\n");
+
+  c.on_data = [this, session](tcp::Connection& conn,
+                              std::span<const uint8_t> data) {
+    session->line_buffer.append(reinterpret_cast<const char*>(data.data()),
+                                data.size());
+    size_t pos;
+    while ((pos = session->line_buffer.find("\r\n")) != std::string::npos) {
+      std::string line = session->line_buffer.substr(0, pos);
+      session->line_buffer.erase(0, pos + 2);
+      handle_line(conn, *session, line);
+      if (conn.state() == tcp::State::Closed) return;
+    }
+  };
+  c.on_close = [this](tcp::Connection& conn) { sessions_.erase(&conn); };
+  c.on_error = [this](tcp::Connection& conn) { sessions_.erase(&conn); };
+}
+
+void Server::handle_line(tcp::Connection& c, Session& s,
+                         const std::string& line) {
+  if (s.phase == Session::Phase::Data) {
+    if (line == ".") {
+      messages_.push_back(s.current);
+      s.current = MailMessage{};
+      s.phase = Session::Phase::Command;
+      c.send_text("250 OK: queued\r\n");
+    } else {
+      // Dot-stuffing: a leading ".." encodes a line starting with ".".
+      std::string_view payload = line;
+      if (starts_with(payload, "..")) payload.remove_prefix(1);
+      s.current.data.append(payload);
+      s.current.data.append("\r\n");
+    }
+    return;
+  }
+  handle_command(c, s, line);
+}
+
+void Server::handle_command(tcp::Connection& c, Session& s,
+                            const std::string& line) {
+  std::string lower = to_lower(line);
+  if (starts_with(lower, "helo") || starts_with(lower, "ehlo")) {
+    s.greeted = true;
+    c.send_text("250 " + hostname_ + " Hello\r\n");
+  } else if (starts_with(lower, "mail from:")) {
+    if (!s.greeted) {
+      c.send_text("503 Bad sequence: HELO first\r\n");
+      return;
+    }
+    s.current.mail_from = std::string(trim(line.substr(10)));
+    c.send_text("250 OK\r\n");
+  } else if (starts_with(lower, "rcpt to:")) {
+    if (s.current.mail_from.empty()) {
+      c.send_text("503 Bad sequence: MAIL first\r\n");
+      return;
+    }
+    s.current.rcpt_to.push_back(std::string(trim(line.substr(8))));
+    c.send_text("250 OK\r\n");
+  } else if (iequals(lower, "data")) {
+    if (s.current.rcpt_to.empty()) {
+      c.send_text("503 Bad sequence: RCPT first\r\n");
+      return;
+    }
+    s.phase = Session::Phase::Data;
+    c.send_text("354 End data with <CR><LF>.<CR><LF>\r\n");
+  } else if (iequals(lower, "rset")) {
+    s.current = MailMessage{};
+    c.send_text("250 OK\r\n");
+  } else if (iequals(lower, "noop")) {
+    c.send_text("250 OK\r\n");
+  } else if (iequals(lower, "quit")) {
+    c.send_text("221 Bye\r\n");
+    c.close();
+  } else {
+    c.send_text("500 Command unrecognized\r\n");
+  }
+}
+
+}  // namespace sm::proto::smtp

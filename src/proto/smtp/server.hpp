@@ -1,0 +1,50 @@
+// SMTP server (RFC 5321 subset) over the simulated TCP stack.
+//
+// Accepts HELO/EHLO, MAIL FROM, RCPT TO, DATA (dot-terminated), RSET,
+// NOOP, QUIT, and stores every delivered message. The spam-probe
+// evaluation (§3.2.3 / Figure 2) feeds these stored messages into the
+// Proofpoint-like scorer.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "proto/tcp/stack.hpp"
+
+namespace sm::proto::smtp {
+
+struct MailMessage {
+  std::string mail_from;
+  std::vector<std::string> rcpt_to;
+  std::string data;  // headers + body as transmitted
+};
+
+class Server {
+ public:
+  Server(tcp::Stack& stack, std::string hostname, uint16_t port = 25);
+
+  const std::vector<MailMessage>& messages() const { return messages_; }
+  size_t message_count() const { return messages_.size(); }
+
+ private:
+  struct Session {
+    enum class Phase { Command, Data } phase = Phase::Command;
+    MailMessage current;
+    bool greeted = false;
+    std::string line_buffer;
+  };
+
+  void on_connection(tcp::Connection& c);
+  void handle_line(tcp::Connection& c, Session& s, const std::string& line);
+  void handle_command(tcp::Connection& c, Session& s,
+                      const std::string& line);
+
+  tcp::Stack& stack_;
+  std::string hostname_;
+  std::vector<MailMessage> messages_;
+  std::map<const tcp::Connection*, std::shared_ptr<Session>> sessions_;
+};
+
+}  // namespace sm::proto::smtp

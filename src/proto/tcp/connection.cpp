@@ -1,0 +1,294 @@
+#include "proto/tcp/connection.hpp"
+
+#include <algorithm>
+
+#include "proto/tcp/stack.hpp"
+
+namespace sm::proto::tcp {
+
+namespace {
+constexpr size_t kMss = 1460;
+using packet::TcpFlags;
+}  // namespace
+
+std::string_view to_string(State s) {
+  switch (s) {
+    case State::Closed: return "CLOSED";
+    case State::SynSent: return "SYN_SENT";
+    case State::SynRcvd: return "SYN_RCVD";
+    case State::Established: return "ESTABLISHED";
+    case State::FinWait1: return "FIN_WAIT_1";
+    case State::FinWait2: return "FIN_WAIT_2";
+    case State::CloseWait: return "CLOSE_WAIT";
+    case State::LastAck: return "LAST_ACK";
+    case State::Closing: return "CLOSING";
+    case State::TimeWait: return "TIME_WAIT";
+  }
+  return "?";
+}
+
+Connection::Connection(Stack& stack, Ipv4Address remote, uint16_t remote_port,
+                       uint16_t local_port, ConnectOptions opts)
+    : stack_(stack),
+      remote_(remote),
+      remote_port_(remote_port),
+      local_port_(local_port),
+      opts_(opts) {}
+
+void Connection::start_connect() {
+  snd_iss_ = stack_.next_iss();
+  snd_una_ = snd_iss_;
+  snd_nxt_ = snd_iss_ + 1;
+  state_ = State::SynSent;
+  unacked_.push_back(Unacked{snd_iss_, {}, TcpFlags::kSyn});
+  emit(TcpFlags::kSyn, snd_iss_);
+  arm_retransmit();
+}
+
+void Connection::start_accept(uint32_t remote_iss) {
+  snd_iss_ = stack_.iss_for(remote_, remote_port_);
+  snd_una_ = snd_iss_;
+  snd_nxt_ = snd_iss_ + 1;
+  rcv_nxt_ = remote_iss + 1;
+  state_ = State::SynRcvd;
+  unacked_.push_back(Unacked{snd_iss_, {}, TcpFlags::kSyn | TcpFlags::kAck});
+  emit(TcpFlags::kSyn | TcpFlags::kAck, snd_iss_);
+  arm_retransmit();
+}
+
+void Connection::emit(uint8_t flags, uint32_t seq,
+                      std::span<const uint8_t> payload) {
+  uint32_t ack = (flags & TcpFlags::kAck) ? rcv_nxt_ : 0;
+  stack_.send_segment(*this, flags, seq, ack, payload);
+}
+
+void Connection::send(std::span<const uint8_t> data) {
+  if (state_ != State::Established && state_ != State::SynSent &&
+      state_ != State::SynRcvd && state_ != State::CloseWait)
+    return;
+  send_queue_.insert(send_queue_.end(), data.begin(), data.end());
+  if (state_ == State::Established || state_ == State::CloseWait)
+    flush_send_queue();
+}
+
+void Connection::send_text(std::string_view text) {
+  send(std::span<const uint8_t>(
+      reinterpret_cast<const uint8_t*>(text.data()), text.size()));
+}
+
+void Connection::flush_send_queue() {
+  while (!send_queue_.empty()) {
+    size_t n = std::min(send_queue_.size(), kMss);
+    Bytes chunk(send_queue_.begin(),
+                send_queue_.begin() + static_cast<long>(n));
+    send_queue_.erase(send_queue_.begin(),
+                      send_queue_.begin() + static_cast<long>(n));
+    uint32_t seq = snd_nxt_;
+    snd_nxt_ += static_cast<uint32_t>(n);
+    bytes_sent_ += n;
+    unacked_.push_back(
+        Unacked{seq, chunk, TcpFlags::kAck | TcpFlags::kPsh});
+    emit(TcpFlags::kAck | TcpFlags::kPsh, seq, chunk);
+  }
+  if (fin_queued_ && !fin_sent_ && send_queue_.empty()) {
+    fin_sent_ = true;
+    uint32_t seq = snd_nxt_;
+    snd_nxt_ += 1;
+    unacked_.push_back(Unacked{seq, {}, TcpFlags::kFin | TcpFlags::kAck});
+    emit(TcpFlags::kFin | TcpFlags::kAck, seq);
+  }
+  if (!unacked_.empty()) arm_retransmit();
+}
+
+void Connection::close() {
+  switch (state_) {
+    case State::Established:
+      state_ = State::FinWait1;
+      break;
+    case State::CloseWait:
+      state_ = State::LastAck;
+      break;
+    case State::SynSent:
+      enter_closed(CloseReason::LocalAbort);
+      return;
+    default:
+      return;
+  }
+  fin_queued_ = true;
+  flush_send_queue();
+}
+
+void Connection::abort() {
+  if (state_ == State::Closed) return;
+  emit(TcpFlags::kRst | TcpFlags::kAck, snd_nxt_);
+  enter_closed(CloseReason::LocalAbort);
+}
+
+void Connection::arm_retransmit() {
+  uint64_t epoch = ++timer_epoch_;
+  Duration rto = opts_.rto * (int64_t{1} << std::min(retries_, 6));
+  stack_.engine().schedule(rto,
+                           [this, epoch]() { on_retransmit_timer(epoch); });
+}
+
+void Connection::on_retransmit_timer(uint64_t epoch) {
+  if (epoch != timer_epoch_ || dead_ || unacked_.empty()) return;
+  if (++retries_ > opts_.max_retries) {
+    CloseReason reason = (state_ == State::SynSent || state_ == State::SynRcvd)
+                             ? CloseReason::ConnectTimeout
+                             : CloseReason::DataTimeout;
+    enter_closed(reason);
+    return;
+  }
+  // Go-back-N: retransmit everything outstanding.
+  for (const auto& u : unacked_) emit(u.flags, u.seq, u.data);
+  arm_retransmit();
+}
+
+void Connection::enter_established() {
+  state_ = State::Established;
+  retries_ = 0;
+  if (on_connect) on_connect(*this);
+  // The handler may have queued data or closed.
+  if (state_ == State::Established || state_ == State::CloseWait)
+    flush_send_queue();
+}
+
+void Connection::enter_closed(CloseReason reason) {
+  if (state_ == State::Closed && dead_) return;
+  State prior = state_;
+  state_ = State::Closed;
+  close_reason_ = reason;
+  ++timer_epoch_;  // cancel timers
+  unacked_.clear();
+  send_queue_.clear();
+  if (reason == CloseReason::Graceful) {
+    if (on_close) on_close(*this);
+  } else if (reason != CloseReason::LocalAbort && prior != State::Closed) {
+    if (on_error) on_error(*this);
+  }
+  stack_.schedule_removal(*this);
+}
+
+void Connection::send_ack() { emit(TcpFlags::kAck, snd_nxt_); }
+
+void Connection::deliver_in_order() {
+  while (true) {
+    auto it = out_of_order_.find(rcv_nxt_);
+    if (it == out_of_order_.end()) break;
+    Bytes data = std::move(it->second);
+    out_of_order_.erase(it);
+    rcv_nxt_ += static_cast<uint32_t>(data.size());
+    bytes_received_ += data.size();
+    if (on_data) on_data(*this, data);
+    if (dead_ || state_ == State::Closed) return;
+  }
+  if (fin_received_ && rcv_nxt_ == fin_seq_) {
+    rcv_nxt_ = fin_seq_ + 1;
+    send_ack();
+    switch (state_) {
+      case State::Established:
+        state_ = State::CloseWait;
+        if (on_close) on_close(*this);
+        break;
+      case State::FinWait1:
+        state_ = State::Closing;
+        break;
+      case State::FinWait2:
+        enter_closed(CloseReason::Graceful);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+void Connection::handle_segment(const packet::TcpHeader& tcp,
+                                std::span<const uint8_t> payload) {
+  // --- RST processing (RFC 793 §3.4, simplified window check) ---
+  if (tcp.rst()) {
+    bool acceptable = state_ == State::SynSent
+                          ? (tcp.ack_flag() && tcp.ack == snd_nxt_)
+                          : seq_leq(rcv_nxt_, tcp.seq) ||
+                                tcp.seq == rcv_nxt_ - 1;
+    if (acceptable) enter_closed(CloseReason::Reset);
+    return;
+  }
+
+  // --- SYN_SENT: expect SYN/ACK ---
+  if (state_ == State::SynSent) {
+    if (tcp.syn() && tcp.ack_flag() && tcp.ack == snd_nxt_) {
+      rcv_nxt_ = tcp.seq + 1;
+      snd_una_ = tcp.ack;
+      unacked_.clear();
+      send_ack();
+      enter_established();
+    } else if (tcp.syn() && !tcp.ack_flag()) {
+      // Simultaneous open: not modeled; reset.
+      abort();
+    }
+    return;
+  }
+
+  // --- ACK processing ---
+  if (tcp.ack_flag() && seq_lt(snd_una_, tcp.ack) &&
+      seq_leq(tcp.ack, snd_nxt_)) {
+    snd_una_ = tcp.ack;
+    retries_ = 0;
+    while (!unacked_.empty()) {
+      const auto& u = unacked_.front();
+      uint32_t seg_len = static_cast<uint32_t>(u.data.size());
+      if (u.flags & (TcpFlags::kSyn | TcpFlags::kFin)) seg_len += 1;
+      if (seq_leq(u.seq + seg_len, tcp.ack))
+        unacked_.pop_front();
+      else
+        break;
+    }
+    if (unacked_.empty())
+      ++timer_epoch_;  // all data acked, cancel timer
+    else
+      arm_retransmit();
+
+    if (state_ == State::SynRcvd) {
+      ++timer_epoch_;
+      enter_established();
+      if (dead_ || state_ == State::Closed) return;
+    } else if (state_ == State::FinWait1 && fin_sent_ &&
+               snd_una_ == snd_nxt_) {
+      state_ = State::FinWait2;
+    } else if (state_ == State::LastAck && snd_una_ == snd_nxt_) {
+      enter_closed(CloseReason::Graceful);
+      return;
+    } else if (state_ == State::Closing && snd_una_ == snd_nxt_) {
+      enter_closed(CloseReason::Graceful);
+      return;
+    }
+  }
+
+  // --- Payload ---
+  if (!payload.empty()) {
+    if (seq_leq(rcv_nxt_, tcp.seq)) {
+      out_of_order_.emplace(tcp.seq, Bytes(payload.begin(), payload.end()));
+    } else if (seq_lt(tcp.seq, rcv_nxt_) &&
+               seq_lt(rcv_nxt_, tcp.seq + payload.size())) {
+      // Partial overlap: keep the new tail.
+      size_t skip = rcv_nxt_ - tcp.seq;
+      out_of_order_.emplace(
+          rcv_nxt_, Bytes(payload.begin() + static_cast<long>(skip),
+                          payload.end()));
+    }
+    deliver_in_order();
+    if (dead_ || state_ == State::Closed) return;
+    send_ack();
+  }
+
+  // --- FIN ---
+  if (tcp.fin()) {
+    uint32_t fin_at = tcp.seq + static_cast<uint32_t>(payload.size());
+    fin_received_ = true;
+    fin_seq_ = fin_at;
+    deliver_in_order();
+  }
+}
+
+}  // namespace sm::proto::tcp

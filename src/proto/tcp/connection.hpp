@@ -1,0 +1,167 @@
+// TCP connection state machine over the simulated network.
+//
+// Implements the parts of RFC 793 the measurements depend on: three-way
+// handshake, ordered byte-stream delivery with out-of-order buffering,
+// retransmission with exponential backoff, graceful FIN close, and — most
+// importantly for this paper — faithful RST semantics. A censor that
+// injects a RST must tear the connection down exactly as the GFC does,
+// and a host receiving a segment for a connection it does not know must
+// answer with a RST (this is the "replay" problem of §4.1 that TTL-limited
+// replies exist to avoid).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <span>
+#include <string_view>
+
+#include "common/bytes.hpp"
+#include "common/ip.hpp"
+#include "common/time.hpp"
+#include "packet/packet.hpp"
+
+namespace sm::proto::tcp {
+
+using common::Bytes;
+using common::Duration;
+using common::Ipv4Address;
+
+class Stack;
+
+/// 32-bit sequence-number comparisons with wraparound (RFC 793 §3.3).
+inline bool seq_lt(uint32_t a, uint32_t b) {
+  return static_cast<int32_t>(a - b) < 0;
+}
+inline bool seq_leq(uint32_t a, uint32_t b) {
+  return static_cast<int32_t>(a - b) <= 0;
+}
+
+enum class State {
+  Closed,
+  SynSent,
+  SynRcvd,
+  Established,
+  FinWait1,
+  FinWait2,
+  CloseWait,
+  LastAck,
+  Closing,
+  TimeWait,
+};
+
+std::string_view to_string(State s);
+
+/// Why a connection ended (for the measurement verdict logic: a RST from
+/// the censor and a timeout from a packet-dropping censor must be
+/// distinguishable at the application layer).
+enum class CloseReason {
+  None,
+  Graceful,       // FIN handshake completed
+  Reset,          // RST received
+  ConnectTimeout, // SYN retries exhausted
+  DataTimeout,    // retransmission retries exhausted
+  LocalAbort,     // we sent RST
+};
+
+struct ConnectOptions {
+  uint8_t ttl = 64;
+  uint16_t local_port = 0;  // 0 = allocate ephemeral
+  Duration rto = Duration::millis(200);
+  int max_retries = 4;
+};
+
+class Connection {
+ public:
+  using DataHandler =
+      std::function<void(Connection&, std::span<const uint8_t>)>;
+  using EventHandler = std::function<void(Connection&)>;
+
+  /// App-facing callbacks; any may be left unset.
+  EventHandler on_connect;   // entered Established
+  DataHandler on_data;       // in-order payload bytes
+  EventHandler on_close;     // remote closed gracefully (or fully closed)
+  EventHandler on_error;     // reset or timeout; inspect close_reason()
+
+  State state() const { return state_; }
+  CloseReason close_reason() const { return close_reason_; }
+  Ipv4Address remote() const { return remote_; }
+  uint16_t remote_port() const { return remote_port_; }
+  uint16_t local_port() const { return local_port_; }
+
+  /// Queues bytes for transmission (segmented by MSS, sent immediately).
+  void send(std::span<const uint8_t> data);
+  void send_text(std::string_view text);
+
+  /// Graceful close: FIN after all queued data.
+  void close();
+
+  /// Abortive close: sends RST and drops state.
+  void abort();
+
+  /// Sets the IP TTL for all subsequent outgoing segments. The stateful
+  /// mimicry server (§4.1, Fig. 3b) uses this to make its SYN/ACKs die
+  /// after the surveillance tap but before the spoofed client.
+  void set_ttl(uint8_t ttl) { opts_.ttl = ttl; }
+  uint8_t ttl() const { return opts_.ttl; }
+
+  uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t bytes_received() const { return bytes_received_; }
+
+ private:
+  friend class Stack;
+
+  Connection(Stack& stack, Ipv4Address remote, uint16_t remote_port,
+             uint16_t local_port, ConnectOptions opts);
+
+  void start_connect();
+  void start_accept(uint32_t remote_iss);  // passive open after SYN
+  void handle_segment(const packet::TcpHeader& tcp,
+                      std::span<const uint8_t> payload);
+
+  void emit(uint8_t flags, uint32_t seq, std::span<const uint8_t> payload = {});
+  void flush_send_queue();
+  void deliver_in_order();
+  void arm_retransmit();
+  void on_retransmit_timer(uint64_t epoch);
+  void enter_established();
+  void enter_closed(CloseReason reason);
+  void send_ack();
+
+  Stack& stack_;
+  Ipv4Address remote_;
+  uint16_t remote_port_;
+  uint16_t local_port_;
+  ConnectOptions opts_;
+  State state_ = State::Closed;
+  CloseReason close_reason_ = CloseReason::None;
+
+  // Send side.
+  uint32_t snd_iss_ = 0;
+  uint32_t snd_nxt_ = 0;   // next sequence to send
+  uint32_t snd_una_ = 0;   // oldest unacknowledged
+  std::deque<uint8_t> send_queue_;   // bytes not yet segmented
+  struct Unacked {
+    uint32_t seq;
+    Bytes data;
+    uint8_t flags;
+  };
+  std::deque<Unacked> unacked_;
+  int retries_ = 0;
+  uint64_t timer_epoch_ = 0;  // invalidates stale timer callbacks
+  bool fin_queued_ = false;
+  bool fin_sent_ = false;
+
+  // Receive side.
+  uint32_t rcv_nxt_ = 0;
+  std::map<uint32_t, Bytes> out_of_order_;
+  bool fin_received_ = false;
+  uint32_t fin_seq_ = 0;
+
+  uint64_t bytes_sent_ = 0;
+  uint64_t bytes_received_ = 0;
+  bool dead_ = false;  // scheduled for removal from the stack
+};
+
+}  // namespace sm::proto::tcp

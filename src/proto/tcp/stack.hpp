@@ -1,0 +1,102 @@
+// Host TCP stack: connection demultiplexing, listeners, and the
+// stack-level RST behaviour real OSes exhibit (RST to closed ports, RST
+// to segments that match no connection).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "netsim/host.hpp"
+#include "proto/tcp/connection.hpp"
+
+namespace sm::proto::tcp {
+
+class Stack {
+ public:
+  /// New-connection callback: fires when a passively opened connection
+  /// reaches Established. Attach on_data/on_close inside it.
+  using AcceptHandler = std::function<void(Connection&)>;
+
+  /// Attaches to `host` (replaces any previous TCP handler; host must
+  /// outlive the stack).
+  explicit Stack(netsim::Host& host);
+
+  netsim::Host& host() { return host_; }
+  netsim::Engine& engine() { return host_.engine(); }
+
+  /// Starts listening; connections arriving on `port` are auto-accepted.
+  void listen(uint16_t port, AcceptHandler handler);
+  void close_listener(uint16_t port);
+
+  /// Active open. The returned pointer is owned by the stack and remains
+  /// valid until the connection fully closes *and* control returns to the
+  /// event loop. Set callbacks on it immediately.
+  Connection* connect(Ipv4Address dst, uint16_t dst_port,
+                      ConnectOptions opts = {});
+
+  struct Stats {
+    uint64_t segments_in = 0;
+    uint64_t segments_out = 0;
+    uint64_t rst_in = 0;
+    uint64_t rst_out = 0;
+    uint64_t connections_accepted = 0;
+    uint64_t connections_opened = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// When false, segments to closed ports / unknown connections are
+  /// silently dropped instead of answered with RST (a "stealth" firewall
+  /// posture; the default true matches ordinary OS behaviour, which the
+  /// paper's replay discussion assumes).
+  void set_rst_on_unknown(bool enabled) { rst_on_unknown_ = enabled; }
+
+  /// Per-remote TTL for passively opened connections. The stateful
+  /// mimicry server (§4.1, Fig. 3b) returns a small TTL for spoofed cover
+  /// clients so its replies expire past the surveillance tap but before
+  /// the spoofed host; everyone else gets the default 64.
+  using AcceptTtlPolicy = std::function<uint8_t(Ipv4Address remote)>;
+  void set_accept_ttl_policy(AcceptTtlPolicy policy) {
+    accept_ttl_policy_ = std::move(policy);
+  }
+
+  /// Pluggable initial-sequence-number policy. The mimicry server shares
+  /// a deterministic ISN function with the measurement client, which must
+  /// predict the server's sequence numbers to forge a plausible spoofed
+  /// ACK (it never sees the TTL-limited SYN/ACK).
+  using IsnPolicy =
+      std::function<uint32_t(Ipv4Address remote, uint16_t remote_port)>;
+  void set_isn_policy(IsnPolicy policy) { isn_policy_ = std::move(policy); }
+
+ private:
+  friend class Connection;
+
+  struct ConnKey {
+    uint16_t local_port;
+    Ipv4Address remote;
+    uint16_t remote_port;
+    auto operator<=>(const ConnKey&) const = default;
+  };
+
+  void on_packet(const packet::Decoded& d, const Bytes& wire);
+  void send_segment(Connection& c, uint8_t flags, uint32_t seq, uint32_t ack,
+                    std::span<const uint8_t> payload);
+  void send_raw_rst(const packet::Decoded& offending);
+  void schedule_removal(Connection& c);
+  uint32_t next_iss() { return iss_counter_ += 64000; }
+  /// ISN for a passive open: the pluggable policy if set, else counter.
+  uint32_t iss_for(Ipv4Address remote, uint16_t remote_port) {
+    return isn_policy_ ? isn_policy_(remote, remote_port) : next_iss();
+  }
+
+  netsim::Host& host_;
+  std::map<uint16_t, AcceptHandler> listeners_;
+  std::map<ConnKey, std::unique_ptr<Connection>> connections_;
+  Stats stats_;
+  uint32_t iss_counter_ = 1;
+  bool rst_on_unknown_ = true;
+  AcceptTtlPolicy accept_ttl_policy_;
+  IsnPolicy isn_policy_;
+};
+
+}  // namespace sm::proto::tcp

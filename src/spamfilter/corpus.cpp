@@ -1,0 +1,89 @@
+#include "spamfilter/corpus.hpp"
+
+#include "common/strings.hpp"
+
+namespace sm::spamfilter {
+
+namespace {
+
+const char* kSpamSubjects[] = {
+    "RE: CHEAP MEDS NO PRESCRIPTION NEEDED!!",
+    "You are a WINNER - claim your FREE MONEY now!!",
+    "Make money fast - work from home - ACT NOW!!",
+    "LOTTERY notification: million dollars awaiting wire transfer!!",
+    "100% FREE replica ROLEX - limited time - click here!!",
+    "Enlarge your profits - online pharmacy CASINO bonus!!",
+};
+
+const char* kSpamBodies[] = {
+    "Dear friend,\r\nOur online pharmacy offers viagra and cialis with no "
+    "prescription. Cheap meds shipped overnight. Click here: "
+    "http://pills.example.ru/buy\r\nUnsubscribe anytime.\r\n",
+    "Congratulations WINNER! You have been selected for free money in our "
+    "international lottery. To receive your million dollars, reply with "
+    "your wire transfer details. Act now, limited time!\r\n"
+    "http://claim.example.cn/now\r\n",
+    "Make money fast! Work from home and earn 100% free income. "
+    "Click here http://bit.ly/notascam - act now!\r\nUnsubscribe: reply "
+    "STOP\r\n",
+};
+
+const char* kHamSubjects[] = {
+    "Meeting notes from Tuesday",
+    "Re: draft of the quarterly report",
+    "Lunch on Thursday?",
+    "Build failure on branch release-2.4",
+    "Photos from the weekend",
+};
+
+const char* kHamBodies[] = {
+    "Hi,\r\n\r\nAttached are the notes from Tuesday's meeting. Let me know "
+    "if I missed anything.\r\n\r\nBest,\r\nAlex\r\n",
+    "Hey, the quarterly draft looks good overall. I left a few comments "
+    "on section 3. Can we sync tomorrow morning?\r\n\r\nThanks\r\n",
+    "The CI build on release-2.4 is failing in the integration stage "
+    "since commit 4f2a91. Looks like a flaky network test. I'll take a "
+    "look after standup.\r\n",
+};
+
+}  // namespace
+
+std::string make_spam_measurement_email(common::Rng& rng,
+                                        const std::string& rcpt_domain) {
+  const char* subject =
+      kSpamSubjects[rng.bounded(std::size(kSpamSubjects))];
+  const char* body = kSpamBodies[rng.bounded(std::size(kSpamBodies))];
+  // Spammy randomized sender: digit-soup local part, throwaway domain.
+  std::string from = common::format("%s%04u@%s.example.net",
+                                    rng.alnum_string(3).c_str(),
+                                    static_cast<unsigned>(rng.bounded(9999)),
+                                    rng.alnum_string(8).c_str());
+  // Deliberately omit Message-ID and Date: structural spam signals.
+  return common::format(
+      "From: %s\r\n"
+      "To: postmaster@%s\r\n"
+      "Subject: %s\r\n"
+      "\r\n"
+      "%s",
+      from.c_str(), rcpt_domain.c_str(), subject, body);
+}
+
+std::string make_ham_email(common::Rng& rng,
+                           const std::string& rcpt_domain) {
+  const char* subject = kHamSubjects[rng.bounded(std::size(kHamSubjects))];
+  const char* body = kHamBodies[rng.bounded(std::size(kHamBodies))];
+  std::string user = rng.alnum_string(6);
+  return common::format(
+      "From: %s@colleague.example.org\r\n"
+      "To: team@%s\r\n"
+      "Subject: %s\r\n"
+      "Date: Mon, 16 Nov 2015 10:%02u:00 -0500\r\n"
+      "Message-ID: <%s@colleague.example.org>\r\n"
+      "\r\n"
+      "%s",
+      user.c_str(), rcpt_domain.c_str(), subject,
+      static_cast<unsigned>(rng.bounded(60)), rng.alnum_string(12).c_str(),
+      body);
+}
+
+}  // namespace sm::spamfilter

@@ -1,0 +1,20 @@
+// Message generators: spam-cloaked measurement emails (what the spam
+// probe sends, §3.1 Method #2) and a ham corpus for contrast.
+#pragma once
+
+#include <string>
+
+#include "common/rng.hpp"
+
+namespace sm::spamfilter {
+
+/// Generates the body+headers of one spam-cloaked measurement message,
+/// addressed to `rcpt` at the measured domain. Every message is spammy on
+/// purpose — the goal is to be classified as spam (Figure 2).
+std::string make_spam_measurement_email(common::Rng& rng,
+                                        const std::string& rcpt_domain);
+
+/// Generates a plausible benign (ham) message for the control CDF.
+std::string make_ham_email(common::Rng& rng, const std::string& rcpt_domain);
+
+}  // namespace sm::spamfilter

@@ -1,0 +1,121 @@
+#include "spamfilter/scorer.hpp"
+
+#include <cmath>
+
+#include "common/strings.hpp"
+
+namespace sm::spamfilter {
+
+using common::icontains;
+using common::iequals;
+using common::to_lower;
+using common::trim;
+
+Email Email::parse(std::string_view raw) {
+  Email e;
+  size_t sep = raw.find("\r\n\r\n");
+  size_t sep_len = 4;
+  if (sep == std::string_view::npos) {
+    sep = raw.find("\n\n");
+    sep_len = 2;
+  }
+  std::string_view head = sep == std::string_view::npos ? raw
+                                                        : raw.substr(0, sep);
+  if (sep != std::string_view::npos) e.body = raw.substr(sep + sep_len);
+
+  for (auto line : common::split(head, '\n')) {
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.empty()) continue;
+    size_t colon = line.find(':');
+    if (colon == std::string_view::npos) continue;
+    e.headers.emplace_back(std::string(trim(line.substr(0, colon))),
+                           std::string(trim(line.substr(colon + 1))));
+  }
+  return e;
+}
+
+std::string Email::header(std::string_view name) const {
+  for (const auto& [k, v] : headers)
+    if (iequals(k, name)) return v;
+  return "";
+}
+
+Scorer::Scorer(ScorerConfig config) : config_(config) {
+  // Classic spam vocabulary, weights in the SpamAssassin style.
+  keyword_rules_ = {
+      {"viagra", 2.5, "DRUG_VIAGRA"},
+      {"cialis", 2.5, "DRUG_CIALIS"},
+      {"pharmacy", 1.5, "ONLINE_PHARMACY"},
+      {"free money", 2.0, "FREE_MONEY"},
+      {"make money fast", 2.5, "MMF"},
+      {"work from home", 1.5, "WORK_FROM_HOME"},
+      {"lottery", 1.8, "LOTTERY"},
+      {"winner", 1.0, "WINNER"},
+      {"click here", 1.2, "CLICK_HERE"},
+      {"act now", 1.2, "ACT_NOW"},
+      {"limited time", 1.0, "LIMITED_TIME"},
+      {"100% free", 2.0, "HUNDRED_PCT_FREE"},
+      {"no prescription", 2.2, "NO_PRESCRIPTION"},
+      {"cheap meds", 2.2, "CHEAP_MEDS"},
+      {"enlarge", 2.0, "ENLARGE"},
+      {"million dollars", 2.0, "MILLIONS"},
+      {"nigerian prince", 3.0, "419_PRINCE"},
+      {"wire transfer", 1.5, "WIRE_TRANSFER"},
+      {"unsubscribe", 0.5, "UNSUBSCRIBE_LINK"},
+      {"casino", 1.8, "CASINO"},
+      {"weight loss", 1.5, "WEIGHT_LOSS"},
+      {"rolex", 1.8, "REPLICA_WATCH"},
+  };
+}
+
+ScoreReport Scorer::score(const Email& email) const {
+  ScoreReport report;
+  auto add = [&](std::string name, double points) {
+    report.raw += points;
+    report.components.push_back({std::move(name), points});
+  };
+
+  std::string subject = email.subject();
+  std::string searchable = subject + "\n" + email.body;
+
+  for (const auto& rule : keyword_rules_) {
+    if (icontains(searchable, rule.needle)) add(rule.name, rule.points);
+  }
+
+  // Structural heuristics.
+  if (!subject.empty()) {
+    size_t upper = 0, letters = 0;
+    for (char c : subject) {
+      if (std::isalpha(static_cast<unsigned char>(c))) {
+        ++letters;
+        if (std::isupper(static_cast<unsigned char>(c))) ++upper;
+      }
+    }
+    if (letters >= 8 && upper * 10 >= letters * 8)
+      add("SUBJECT_ALL_CAPS", 1.5);
+    if (subject.find('!') != std::string::npos &&
+        subject.find("!!") != std::string::npos)
+      add("SUBJECT_EXCESS_BANG", 1.0);
+  } else {
+    add("MISSING_SUBJECT", 1.0);
+  }
+  if (email.header("Message-ID").empty()) add("MISSING_MID", 0.8);
+  if (email.header("Date").empty()) add("MISSING_DATE", 0.5);
+  if (icontains(email.body, "http://") &&
+      (icontains(email.body, ".ru/") || icontains(email.body, ".cn/") ||
+       icontains(email.body, "bit.ly")))
+    add("SUSPICIOUS_URL", 1.5);
+  // Numeric-soup sender ("a1b2c3@...").
+  std::string from = to_lower(email.header("From"));
+  size_t digits = 0;
+  for (char c : from)
+    if (std::isdigit(static_cast<unsigned char>(c))) ++digits;
+  if (from.size() > 0 && digits * 3 >= from.size()) add("RANDOM_FROM", 1.2);
+
+  // Logistic squash onto 0..100, midpoint at config_.midpoint raw points.
+  double z = config_.slope * (report.raw - config_.midpoint);
+  report.score = 100.0 / (1.0 + std::exp(-z));
+  return report;
+}
+
+}  // namespace sm::spamfilter

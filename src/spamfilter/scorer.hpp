@@ -1,0 +1,71 @@
+// Proofpoint-like spam scorer.
+//
+// §3.2.3 / Figure 2: the authors sent measurement traffic "cloaked as
+// spam" through their university's Proofpoint deployment and plotted the
+// CDF of scores (0 = not spam, 100 = spam); nearly all measurements
+// scored as spam, validating evasion-by-blending. Proofpoint itself is
+// closed; we substitute a transparent heuristic scorer in the
+// SpamAssassin tradition: weighted keyword/phrase hits, structural
+// checks (shouting subject, suspicious URLs, missing headers), combined
+// through a logistic squash onto the same 0-100 scale.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/strings.hpp"
+
+namespace sm::spamfilter {
+
+/// A parsed RFC-822-ish message (headers + body).
+struct Email {
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// Splits raw "Header: v\r\n...\r\n\r\nbody" text.
+  static Email parse(std::string_view raw);
+  std::string header(std::string_view name) const;  // "" if absent
+  std::string subject() const { return header("Subject"); }
+};
+
+/// One fired heuristic, for explainability.
+struct ScoreComponent {
+  std::string name;
+  double points;
+};
+
+struct ScoreReport {
+  double raw = 0.0;        // summed rule points
+  double score = 0.0;      // squashed to [0, 100]
+  std::vector<ScoreComponent> components;
+
+  bool is_spam(double threshold = 50.0) const { return score >= threshold; }
+};
+
+struct ScorerConfig {
+  /// Raw-points value that maps to score 50 (the logistic midpoint).
+  double midpoint = 5.0;
+  /// Logistic steepness.
+  double slope = 0.9;
+};
+
+class Scorer {
+ public:
+  explicit Scorer(ScorerConfig config = {});
+
+  ScoreReport score(const Email& email) const;
+  ScoreReport score_raw(std::string_view raw_message) const {
+    return score(Email::parse(raw_message));
+  }
+
+ private:
+  struct KeywordRule {
+    std::string needle;  // matched case-insensitively in subject+body
+    double points;
+    std::string name;
+  };
+  ScorerConfig config_;
+  std::vector<KeywordRule> keyword_rules_;
+};
+
+}  // namespace sm::spamfilter

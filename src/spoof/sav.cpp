@@ -1,0 +1,50 @@
+#include "spoof/sav.hpp"
+
+namespace sm::spoof {
+
+std::string to_string(SpoofScope s) {
+  switch (s) {
+    case SpoofScope::None: return "none";
+    case SpoofScope::Slash24: return "/24";
+    case SpoofScope::Slash16: return "/16";
+    case SpoofScope::Any: return "any";
+  }
+  return "?";
+}
+
+SpoofScope SavModel::scope_for(Ipv4Address client) const {
+  // One deterministic uniform draw per client address.
+  common::Rng rng(seed_ ^ (uint64_t{client.value()} * 0x9E3779B97F4A7C15ULL));
+  double u = rng.uniform();
+  // Nested scopes: [0, p_any) -> Any, [p_any, p_16) -> /16,
+  // [p_16, p_24) -> /24, rest -> None.
+  if (u < dist_.p_any) return SpoofScope::Any;
+  if (u < dist_.p_at_least_16) return SpoofScope::Slash16;
+  if (u < dist_.p_at_least_24) return SpoofScope::Slash24;
+  return SpoofScope::None;
+}
+
+bool SavModel::allows(Ipv4Address actual_sender,
+                      Ipv4Address claimed_src) const {
+  if (claimed_src == actual_sender) return true;
+  switch (scope_for(actual_sender)) {
+    case SpoofScope::None:
+      return false;
+    case SpoofScope::Slash24:
+      return Cidr(actual_sender, 24).contains(claimed_src);
+    case SpoofScope::Slash16:
+      return Cidr(actual_sender, 16).contains(claimed_src);
+    case SpoofScope::Any:
+      return true;
+  }
+  return false;
+}
+
+netsim::Router::IngressFilter SavModel::filter_for(
+    Ipv4Address client) const {
+  return [model = *this, client](Ipv4Address src) {
+    return model.allows(client, src);
+  };
+}
+
+}  // namespace sm::spoof

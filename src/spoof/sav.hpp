@@ -1,0 +1,63 @@
+// Source-address-validation (BCP38) deployment model.
+//
+// §4.2 rests on Beverly et al. [7]: 77% of clients can spoof addresses
+// within their own /24 and 11% within their own /16, consistently across
+// regions. We model each client as drawing a spoofing *scope* from that
+// distribution (scopes are nested: a /16 spoofer can also spoof inside
+// its /24). The model supplies router ingress filters so the capability
+// is enforced at the network, not assumed by the measurement code.
+#pragma once
+
+#include <functional>
+
+#include "common/ip.hpp"
+#include "common/rng.hpp"
+#include "netsim/router.hpp"
+
+namespace sm::spoof {
+
+using common::Cidr;
+using common::Ipv4Address;
+
+/// The widest range a client can successfully spoof within.
+enum class SpoofScope {
+  None,     // strict SAV: only its own address
+  Slash24,  // can spoof within its /24
+  Slash16,  // can spoof within its /16
+  Any,      // no filtering at all
+};
+
+std::string to_string(SpoofScope s);
+
+/// Probabilities that a client's scope is *at least* the given width.
+/// Defaults reproduce Beverly et al.: P(>=/24)=0.77, P(>=/16)=0.11.
+struct SavDistribution {
+  double p_at_least_24 = 0.77;
+  double p_at_least_16 = 0.11;
+  double p_any = 0.03;
+};
+
+class SavModel {
+ public:
+  explicit SavModel(SavDistribution dist = {}, uint64_t seed = 42)
+      : dist_(dist), seed_(seed) {}
+
+  /// Deterministic per-client scope (same client always gets the same
+  /// draw, independent of query order).
+  SpoofScope scope_for(Ipv4Address client) const;
+
+  /// Whether a packet claiming `claimed_src` sent by `actual_sender`
+  /// passes the sender's network filter.
+  bool allows(Ipv4Address actual_sender, Ipv4Address claimed_src) const;
+
+  /// Ingress filter for the router port that `client` hangs off.
+  netsim::Router::IngressFilter filter_for(Ipv4Address client) const;
+
+  const SavDistribution& distribution() const { return dist_; }
+
+ private:
+  SavDistribution dist_;
+  uint64_t seed_;
+};
+
+}  // namespace sm::spoof

@@ -1,0 +1,40 @@
+#include "spoof/ttl.hpp"
+
+#include <algorithm>
+
+namespace sm::spoof {
+
+std::optional<int> estimate_hops(uint8_t observed_ttl) {
+  if (observed_ttl == 0) return std::nullopt;
+  for (uint8_t initial : kCommonInitialTtls) {
+    if (observed_ttl <= initial) return initial - observed_ttl;
+  }
+  return std::nullopt;
+}
+
+// TTL semantics in this simulator (and in real routers with ingress port
+// mirrors): a packet sent with TTL=t reaches routers 1..t on the path —
+// taps there see it at ingress — and expires at router t, so it is
+// delivered to a host behind h routers only when t > h. Crossing the
+// tap's router (the hops_to_tap-th from the server) therefore requires
+// t >= hops_to_tap; dying before a client behind hops_to_client routers
+// requires t <= hops_to_client.
+std::optional<uint8_t> plan_reply_ttl(int hops_to_tap, int hops_to_client) {
+  int lo = hops_to_tap;
+  int hi = hops_to_client;
+  if (lo > hi || lo < 1 || hi > 255) return std::nullopt;
+  return static_cast<uint8_t>(lo);
+}
+
+std::optional<uint8_t> plan_reply_ttl_with_margin(int hops_to_tap,
+                                                  int hops_to_client,
+                                                  int margin) {
+  int lo = hops_to_tap + margin;
+  int hi = hops_to_client - margin;
+  if (lo <= hi && lo >= 1 && hi <= 255) {
+    return static_cast<uint8_t>(lo + (hi - lo) / 2);
+  }
+  return plan_reply_ttl(hops_to_tap, hops_to_client);
+}
+
+}  // namespace sm::spoof

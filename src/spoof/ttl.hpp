@@ -1,0 +1,40 @@
+// TTL planning for TTL-limited replies (§4.1, Fig. 3b).
+//
+// The mimicry server's replies to a spoofed client must cross the
+// surveillance tap (so the cover flow looks complete there) but expire
+// before reaching the spoofed client (so its real stack never sends the
+// RST that would unravel the mimicry). "Scanning the network from the
+// server could yield the number of hops between the network boundary and
+// each host" — we implement that: estimate hop counts from observed TTLs
+// and plan a reply TTL strictly between the two.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/ip.hpp"
+
+namespace sm::spoof {
+
+/// Initial TTLs that real stacks use; hop estimation assumes the nearest
+/// one at or above the observed TTL.
+constexpr uint8_t kCommonInitialTtls[] = {64, 128, 255};
+
+/// Estimated hops = initial - observed, using the smallest common initial
+/// TTL >= observed. Returns nullopt for impossible observations (0).
+std::optional<int> estimate_hops(uint8_t observed_ttl);
+
+/// Plans the reply TTL: the reply must survive `hops_to_tap` (arriving at
+/// the tap with TTL >= 1 *after* decrement, i.e. cross it) and die before
+/// completing `hops_to_client`. Returns nullopt when no TTL separates
+/// them (tap adjacent to client).
+std::optional<uint8_t> plan_reply_ttl(int hops_to_tap, int hops_to_client);
+
+/// Planner with safety margin: prefers the midpoint of the feasible
+/// window to tolerate estimation error of +-`margin` hops; falls back to
+/// any feasible value.
+std::optional<uint8_t> plan_reply_ttl_with_margin(int hops_to_tap,
+                                                  int hops_to_client,
+                                                  int margin);
+
+}  // namespace sm::spoof

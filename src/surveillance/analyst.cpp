@@ -1,0 +1,82 @@
+#include "surveillance/analyst.hpp"
+
+#include <algorithm>
+
+namespace sm::surveillance {
+
+Dossier& Analyst::touch(SimTime now, Ipv4Address user) {
+  auto [it, inserted] = dossiers_.try_emplace(user);
+  Dossier& d = it->second;
+  if (inserted) {
+    d.user = user;
+    d.first_activity = now;
+  }
+  d.last_activity = now;
+  return d;
+}
+
+void Analyst::record_interesting_alert(SimTime now, Ipv4Address user,
+                                       int priority) {
+  Dossier& d = touch(now, user);
+  ++d.interesting_alerts;
+  // Priority 1 is most severe; scale weight inversely.
+  double severity = 1.0 / std::max(priority, 1);
+  d.suspicion += config_.weight_interesting * severity;
+}
+
+void Analyst::record_noise_alert(SimTime now, Ipv4Address user) {
+  Dossier& d = touch(now, user);
+  ++d.noise_alerts;  // counted, not scored: discarded before the analyst
+}
+
+void Analyst::record_censored_touch(SimTime now, Ipv4Address user) {
+  Dossier& d = touch(now, user);
+  ++d.censored_touches;
+  d.suspicion += config_.weight_censored_touch;
+}
+
+void Analyst::record_retained_content(SimTime now, Ipv4Address user,
+                                      uint64_t bytes) {
+  Dossier& d = touch(now, user);
+  d.retained_content_bytes += bytes;
+  d.suspicion += config_.weight_content_mb *
+                 (static_cast<double>(bytes) / (1024.0 * 1024.0));
+}
+
+bool Analyst::would_investigate(Ipv4Address user) const {
+  return suspicion(user) >= config_.investigation_threshold;
+}
+
+double Analyst::suspicion(Ipv4Address user) const {
+  auto it = dossiers_.find(user);
+  return it == dossiers_.end() ? 0.0 : it->second.suspicion;
+}
+
+const Dossier* Analyst::dossier(Ipv4Address user) const {
+  auto it = dossiers_.find(user);
+  return it == dossiers_.end() ? nullptr : &it->second;
+}
+
+std::vector<Dossier> Analyst::investigation_list() const {
+  std::vector<Dossier> out;
+  for (const auto& [user, d] : dossiers_)
+    if (d.suspicion >= config_.investigation_threshold) out.push_back(d);
+  std::sort(out.begin(), out.end(), [](const Dossier& a, const Dossier& b) {
+    return a.suspicion > b.suspicion;
+  });
+  return out;
+}
+
+std::vector<Dossier> Analyst::top_suspects(size_t n) const {
+  std::vector<Dossier> out;
+  out.reserve(dossiers_.size());
+  for (const auto& [user, d] : dossiers_) out.push_back(d);
+  std::sort(out.begin(), out.end(), [](const Dossier& a, const Dossier& b) {
+    if (a.suspicion != b.suspicion) return a.suspicion > b.suspicion;
+    return a.user < b.user;
+  });
+  if (out.size() > n) out.resize(n);
+  return out;
+}
+
+}  // namespace sm::surveillance

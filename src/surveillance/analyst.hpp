@@ -1,0 +1,78 @@
+// The analyst stage: per-user dossiers and escalation.
+//
+// §2.1: after volume reduction, "surveillance systems pass the data to a
+// human analyst" whose actions (sending the police) are expensive, so
+// false positives are costly and the analyst "must winnow down the data
+// significantly before action is possible". We model the analyst as a
+// suspicion scorer over per-user dossiers with an investigation
+// threshold; the Syria-log observation (1.57% of the population touched
+// censored content — far too many to pursue) is why raw censored-access
+// alerts carry low weight.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/ip.hpp"
+#include "common/time.hpp"
+#include "ids/engine.hpp"
+
+namespace sm::surveillance {
+
+using common::Ipv4Address;
+using common::SimTime;
+
+struct Dossier {
+  Ipv4Address user;
+  double suspicion = 0.0;
+  uint64_t interesting_alerts = 0;
+  uint64_t noise_alerts = 0;       // seen but discarded pre-analyst
+  uint64_t censored_touches = 0;   // accessed censored content (common!)
+  uint64_t retained_content_bytes = 0;
+  SimTime first_activity{};
+  SimTime last_activity{};
+};
+
+struct AnalystConfig {
+  /// Score added per interesting (stored) alert, scaled by priority
+  /// (priority 1 = most severe).
+  double weight_interesting = 10.0;
+  /// Score per censored-content touch: deliberately tiny, because 1.57%
+  /// of the whole population does this (Chaabane et al.).
+  double weight_censored_touch = 0.1;
+  /// Score per retained content megabyte attributed to the user.
+  double weight_content_mb = 0.5;
+  /// Dossiers at or above this score are investigated.
+  double investigation_threshold = 10.0;
+};
+
+class Analyst {
+ public:
+  explicit Analyst(AnalystConfig config = {}) : config_(config) {}
+
+  void record_interesting_alert(SimTime now, Ipv4Address user, int priority);
+  void record_noise_alert(SimTime now, Ipv4Address user);
+  void record_censored_touch(SimTime now, Ipv4Address user);
+  void record_retained_content(SimTime now, Ipv4Address user,
+                               uint64_t bytes);
+
+  bool would_investigate(Ipv4Address user) const;
+  double suspicion(Ipv4Address user) const;
+  const Dossier* dossier(Ipv4Address user) const;
+
+  /// Users at or above the investigation threshold, highest first.
+  std::vector<Dossier> investigation_list() const;
+  /// The `n` highest-suspicion users regardless of threshold.
+  std::vector<Dossier> top_suspects(size_t n) const;
+
+  size_t dossier_count() const { return dossiers_.size(); }
+  const AnalystConfig& config() const { return config_; }
+
+ private:
+  Dossier& touch(SimTime now, Ipv4Address user);
+
+  AnalystConfig config_;
+  std::map<Ipv4Address, Dossier> dossiers_;
+};
+
+}  // namespace sm::surveillance

@@ -1,0 +1,77 @@
+// Traffic classification for Massive Volume Reduction.
+//
+// The first stage of a surveillance system (§2.1) discards the bulk of
+// traffic. The NSA's TEMPORA cut ~30% of volume "in part by throwing away
+// all peer-to-peer traffic"; scanning is so ubiquitous (Durumeric et al.:
+// 10.8M scans/month against one darknet) that it is also low-value noise.
+// This classifier implements the cheap per-packet/per-source heuristics
+// such a discard stage uses.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/ip.hpp"
+#include "common/time.hpp"
+#include "packet/packet.hpp"
+
+namespace sm::surveillance {
+
+using common::Duration;
+using common::Ipv4Address;
+using common::SimTime;
+
+enum class TrafficClass {
+  Web,       // 80/443/8080
+  Dns,       // 53
+  Mail,      // 25/465/587: spam-like by volume heuristics
+  P2p,       // bittorrent/emule ports or protocol signatures
+  Scanning,  // many distinct (dst,port) SYNs from one source
+  DdosLike,  // high request rate to one destination
+  Other,
+};
+
+std::string to_string(TrafficClass c);
+
+struct ClassifierConfig {
+  /// A source touching more than this many distinct (dst, port) pairs
+  /// with SYNs inside the window is a scanner.
+  size_t scan_fanout_threshold = 25;
+  Duration scan_window = Duration::seconds(10);
+  /// More than this many requests to one destination inside the window
+  /// from one source looks like (one bot of) a DDoS.
+  size_t ddos_rate_threshold = 50;
+  Duration ddos_window = Duration::seconds(10);
+};
+
+/// Stateful per-source classifier. All state is bounded sliding windows.
+class Classifier {
+ public:
+  explicit Classifier(ClassifierConfig config = {}) : config_(config) {}
+
+  TrafficClass classify(SimTime now, const packet::Decoded& d);
+
+  /// Number of sources currently tracked (for memory accounting).
+  size_t tracked_sources() const { return sources_.size(); }
+
+ private:
+  struct SourceState {
+    std::deque<std::pair<SimTime, uint64_t>> syn_targets;  // (time, dst|port)
+    std::set<uint64_t> distinct_targets;
+    std::deque<std::pair<SimTime, uint32_t>> requests;  // (time, dst ip)
+    std::map<uint32_t, size_t> per_dst_count;
+    void advance(SimTime now, const ClassifierConfig& cfg);
+  };
+
+  ClassifierConfig config_;
+  std::map<Ipv4Address, SourceState> sources_;
+};
+
+/// Pure port/payload heuristics (stateless part), exposed for tests.
+bool looks_p2p(const packet::Decoded& d);
+TrafficClass port_class(const packet::Decoded& d);
+
+}  // namespace sm::surveillance

@@ -1,0 +1,54 @@
+#include "surveillance/flowrecords.hpp"
+
+namespace sm::surveillance {
+
+void FlowRecordAggregator::add(common::SimTime now,
+                               const packet::Decoded& d,
+                               uint64_t wire_bytes) {
+  Key key{d.ip.src, d.ip.dst, d.src_port(), d.dst_port(), d.ip.protocol};
+  auto [it, inserted] = active_.try_emplace(key);
+  FlowRecord& rec = it->second;
+  if (inserted) {
+    rec.src = key.src;
+    rec.dst = key.dst;
+    rec.src_port = key.src_port;
+    rec.dst_port = key.dst_port;
+    rec.proto = key.proto;
+    rec.first_seen = now;
+  }
+  rec.last_seen = now;
+  ++rec.packets;
+  rec.bytes += wire_bytes;
+}
+
+size_t FlowRecordAggregator::flush_idle(common::SimTime now) {
+  size_t flushed = 0;
+  for (auto it = active_.begin(); it != active_.end();) {
+    if (now - it->second.last_seen >= idle_timeout_) {
+      finished_.push_back(it->second);
+      it = active_.erase(it);
+      ++flushed;
+    } else {
+      ++it;
+    }
+  }
+  return flushed;
+}
+
+size_t FlowRecordAggregator::flush_all() {
+  size_t flushed = active_.size();
+  for (auto& [key, rec] : active_) finished_.push_back(rec);
+  active_.clear();
+  return flushed;
+}
+
+uint64_t FlowRecordAggregator::bytes_from(common::Ipv4Address src) const {
+  uint64_t total = 0;
+  for (const auto& rec : finished_)
+    if (rec.src == src) total += rec.bytes;
+  for (const auto& [key, rec] : active_)
+    if (rec.src == src) total += rec.bytes;
+  return total;
+}
+
+}  // namespace sm::surveillance

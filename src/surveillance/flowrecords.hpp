@@ -1,0 +1,66 @@
+// Flow-record aggregation: the "connection metadata" a surveillance
+// system actually retains is per-flow, CDR-like (§2.1: "traffic flow
+// records, similar to call-data records in a phone network"), not
+// per-packet. This aggregator rolls packets up into flow records that
+// flush on idle timeout, giving the metadata store realistic cardinality
+// and giving analysts the who-talked-to-whom ledger.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/ip.hpp"
+#include "common/time.hpp"
+#include "packet/packet.hpp"
+
+namespace sm::surveillance {
+
+/// One finished flow record.
+struct FlowRecord {
+  common::Ipv4Address src, dst;
+  uint16_t src_port = 0, dst_port = 0;
+  uint8_t proto = 0;
+  common::SimTime first_seen{};
+  common::SimTime last_seen{};
+  uint64_t packets = 0;
+  uint64_t bytes = 0;
+};
+
+class FlowRecordAggregator {
+ public:
+  explicit FlowRecordAggregator(
+      common::Duration idle_timeout = common::Duration::seconds(60))
+      : idle_timeout_(idle_timeout) {}
+
+  /// Accounts one packet into its (directional) flow.
+  void add(common::SimTime now, const packet::Decoded& d,
+           uint64_t wire_bytes);
+
+  /// Flushes flows idle past the timeout into the finished list.
+  /// Returns how many flushed.
+  size_t flush_idle(common::SimTime now);
+
+  /// Force-flushes everything (end of capture).
+  size_t flush_all();
+
+  const std::vector<FlowRecord>& finished() const { return finished_; }
+  size_t active_flows() const { return active_.size(); }
+
+  /// Total bytes attributed to `src` across finished + active records —
+  /// the per-user ledger an analyst queries.
+  uint64_t bytes_from(common::Ipv4Address src) const;
+
+ private:
+  struct Key {
+    common::Ipv4Address src, dst;
+    uint16_t src_port = 0, dst_port = 0;
+    uint8_t proto = 0;
+    auto operator<=>(const Key&) const = default;
+  };
+
+  common::Duration idle_timeout_;
+  std::map<Key, FlowRecord> active_;
+  std::vector<FlowRecord> finished_;
+};
+
+}  // namespace sm::surveillance

@@ -1,0 +1,126 @@
+#include "surveillance/mvr.hpp"
+
+namespace sm::surveillance {
+
+namespace {
+std::vector<ids::Rule> build_ruleset(const MvrConfig& config) {
+  auto rules = community_ruleset(config.ruleset);
+  if (config.enable_fingerprint_rules) {
+    auto extra = fingerprint_ruleset();
+    rules.insert(rules.end(), extra.begin(), extra.end());
+  }
+  return rules;
+}
+}  // namespace
+
+MvrTap::MvrTap(MvrConfig config)
+    : config_(config),
+      engine_(build_ruleset(config)),
+      classifier_(config.classifier),
+      analyst_(config.analyst),
+      content_(config.content_retention),
+      metadata_(config.metadata_retention),
+      alerts_(config.alert_retention),
+      sampler_(config.sampling_seed) {}
+
+netsim::TapDecision MvrTap::process(const netsim::TapContext& ctx,
+                                    netsim::Router& /*router*/) {
+  const auto& d = ctx.decoded;
+  uint64_t wire_bytes = ctx.wire.size();
+  ++stats_.packets_seen;
+  stats_.bytes_seen += wire_bytes;
+
+  // Connection metadata is always recorded: per-flow (CDR-like) and as
+  // raw per-packet store items for retention accounting.
+  flows_.add(ctx.now, d, wire_bytes);
+  flows_.flush_idle(ctx.now);
+  MetadataItem meta;
+  meta.time = ctx.now;
+  meta.src = d.ip.src;
+  meta.dst = d.ip.dst;
+  meta.src_port = d.src_port();
+  meta.dst_port = d.dst_port();
+  meta.proto = d.ip.protocol;
+  meta.bytes = static_cast<uint32_t>(wire_bytes);
+  metadata_.add(ctx.now, meta, sizeof(MetadataItem));
+
+  TrafficClass cls = classifier_.classify(ctx.now, d);
+  stats_.bytes_by_class[cls] += wire_bytes;
+
+  // Signature pass.
+  auto verdict = engine_.process(ctx.now, d);
+  for (const auto& alert : verdict.alerts) {
+    if (noise_classtypes().count(alert.classtype)) {
+      ++stats_.noise_alerts;
+      ++noise_by_user_[alert.src];
+      analyst_.record_noise_alert(ctx.now, alert.src);
+      continue;
+    }
+    ++stats_.interesting_alerts;
+    ++interesting_by_user_[alert.src];
+    AlertItem item;
+    item.time = ctx.now;
+    item.sid = alert.sid;
+    item.src = alert.src;
+    item.dst = alert.dst;
+    item.classtype = alert.classtype;
+    item.priority = alert.priority;
+    alerts_.add(ctx.now, item, 128);
+    if (alert.classtype == "policy-violation") {
+      ++censored_by_user_[alert.src];
+      analyst_.record_censored_touch(ctx.now, alert.src);
+    } else {
+      ++targeted_by_user_[alert.src];
+      analyst_.record_interesting_alert(ctx.now, alert.src, alert.priority);
+    }
+  }
+
+  // Volume reduction.
+  if (config_.discard_classes.count(cls)) {
+    stats_.bytes_discarded += wire_bytes;
+  } else if (sampler_.chance(config_.content_retention_fraction)) {
+    ContentItem item;
+    item.time = ctx.now;
+    item.src = d.ip.src;
+    item.dst = d.ip.dst;
+    item.bytes = static_cast<uint32_t>(wire_bytes);
+    content_.add(ctx.now, item, wire_bytes);
+    stats_.bytes_content_retained += wire_bytes;
+    analyst_.record_retained_content(ctx.now, d.ip.src, wire_bytes);
+  }
+
+  // Keep the stores' windows current.
+  content_.evict(ctx.now);
+  metadata_.evict(ctx.now);
+  alerts_.evict(ctx.now);
+
+  return netsim::TapDecision::Pass;
+}
+
+uint64_t MvrTap::interesting_alerts_for(Ipv4Address user) const {
+  auto it = interesting_by_user_.find(user);
+  return it == interesting_by_user_.end() ? 0 : it->second;
+}
+
+uint64_t MvrTap::targeted_alerts_for(Ipv4Address user) const {
+  auto it = targeted_by_user_.find(user);
+  return it == targeted_by_user_.end() ? 0 : it->second;
+}
+
+uint64_t MvrTap::censored_access_alerts_for(Ipv4Address user) const {
+  auto it = censored_by_user_.find(user);
+  return it == censored_by_user_.end() ? 0 : it->second;
+}
+
+uint64_t MvrTap::noise_alerts_for(Ipv4Address user) const {
+  auto it = noise_by_user_.find(user);
+  return it == noise_by_user_.end() ? 0 : it->second;
+}
+
+double MvrTap::retained_fraction() const {
+  if (stats_.bytes_seen == 0) return 0.0;
+  return static_cast<double>(stats_.bytes_content_retained) /
+         static_cast<double>(stats_.bytes_seen);
+}
+
+}  // namespace sm::surveillance

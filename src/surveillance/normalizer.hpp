@@ -1,0 +1,41 @@
+// Traffic normalization (Handley, Paxson & Kreibich [21]) as a
+// surveillance countermeasure against TTL games.
+//
+// §4.2 anticipates it: "Traffic normalization may be able to identify odd
+// TTL values in our packets, but these approaches come at a high cost;
+// for example, they may require disabling traceroute and ping." A TTL
+// normalizer raises suspiciously small TTLs to a floor, so TTL-limited
+// replies (Fig. 3b) survive to the spoofed client — whose RST then
+// unravels the mimicry. The collateral damage is exactly what the paper
+// predicts: packets that *should* expire in the network no longer do, so
+// traceroute-style diagnostics break. bench_normalizer quantifies both
+// sides of that trade.
+#pragma once
+
+#include <cstdint>
+
+#include "netsim/router.hpp"
+#include "packet/packet.hpp"
+
+namespace sm::surveillance {
+
+struct TtlNormalizerStats {
+  uint64_t packets_seen = 0;
+  uint64_t ttls_raised = 0;
+};
+
+/// Builds a router Transformer that raises any TTL below `floor_ttl` to
+/// `floor_ttl`. `stats` (if non-null) must outlive the router.
+inline netsim::Router::Transformer make_ttl_normalizer(
+    uint8_t floor_ttl, TtlNormalizerStats* stats = nullptr) {
+  return [floor_ttl, stats](packet::Packet& p) {
+    if (stats) ++stats->packets_seen;
+    if (p.size() >= 20 && p.data()[8] < floor_ttl) {
+      packet::set_ttl(p.data(), floor_ttl);
+      if (stats) ++stats->ttls_raised;
+    }
+    return true;
+  };
+}
+
+}  // namespace sm::surveillance

@@ -1,0 +1,165 @@
+#include "surveillance/rules.hpp"
+
+#include "packet/packet.hpp"
+
+namespace sm::surveillance {
+
+const std::set<std::string>& noise_classtypes() {
+  static const std::set<std::string> kNoise = {
+      "attempted-recon",      // scanning
+      "misc-activity",        // generic noise
+      "spam",                 // bulk mail
+      "ddos",                 // denial of service floods
+      "p2p",                  // file sharing
+  };
+  return kNoise;
+}
+
+std::vector<ids::Rule> community_ruleset(const RulesetConfig& config) {
+  std::vector<ids::Rule> rules;
+  uint32_t noise_sid = 1000000;
+  uint32_t targeted_sid = 2000000;
+
+  // --- Noise detectors (ubiquitous internet background) ---
+  {
+    // nmap-style SYN scan: many SYNs from one source.
+    ids::Rule r;
+    r.proto = ids::RuleProto::Tcp;
+    r.msg = "SCAN high-rate SYN sweep (nmap-like)";
+    r.classtype = "attempted-recon";
+    r.priority = 3;
+    r.sid = noise_sid++;
+    ids::FlagsMatch f;
+    f.required = sm::packet::TcpFlags::kSyn;
+    f.exact = true;
+    r.flags = f;
+    ids::ThresholdSpec t;
+    t.type = ids::ThresholdSpec::Type::Both;
+    t.track = ids::ThresholdSpec::Track::BySrc;
+    t.count = config.scan_count;
+    t.seconds = config.scan_seconds;
+    r.threshold = t;
+    rules.push_back(std::move(r));
+  }
+  {
+    // SMTP spam delivery attempts.
+    ids::Rule r;
+    r.proto = ids::RuleProto::Tcp;
+    r.dst_ports = ids::PortSpec::single(25);
+    r.msg = "SPAM bulk SMTP delivery";
+    r.classtype = "spam";
+    r.priority = 3;
+    r.sid = noise_sid++;
+    ids::ContentMatch c;
+    c.pattern = "MAIL FROM:";
+    c.nocase = true;
+    r.contents.push_back(std::move(c));
+    rules.push_back(std::move(r));
+  }
+  {
+    // HTTP request flood toward one destination.
+    ids::Rule r;
+    r.proto = ids::RuleProto::Tcp;
+    r.dst_ports = ids::PortSpec::single(80);
+    r.msg = "DDOS HTTP request flood";
+    r.classtype = "ddos";
+    r.priority = 3;
+    r.sid = noise_sid++;
+    ids::ContentMatch c;
+    c.pattern = "GET ";
+    r.contents.push_back(std::move(c));
+    ids::ThresholdSpec t;
+    t.type = ids::ThresholdSpec::Type::Both;
+    t.track = ids::ThresholdSpec::Track::ByDst;
+    t.count = config.ddos_count;
+    t.seconds = config.ddos_seconds;
+    r.threshold = t;
+    rules.push_back(std::move(r));
+  }
+  {
+    // BitTorrent handshake.
+    ids::Rule r;
+    r.proto = ids::RuleProto::Tcp;
+    r.msg = "P2P BitTorrent handshake";
+    r.classtype = "p2p";
+    r.priority = 3;
+    r.sid = noise_sid++;
+    ids::ContentMatch c;
+    c.pattern = "BitTorrent protocol";
+    r.contents.push_back(std::move(c));
+    rules.push_back(std::move(r));
+  }
+
+  // --- Targeted detectors (what the analyst actually reads) ---
+  for (const auto& sig : config.measurement_signatures) {
+    ids::Rule r;
+    r.proto = ids::RuleProto::Tcp;
+    r.msg = "SURVEIL measurement platform signature \"" + sig + "\"";
+    r.classtype = "measurement-tool";
+    r.priority = 1;
+    r.sid = targeted_sid++;
+    ids::ContentMatch c;
+    c.pattern = sig;
+    c.nocase = true;
+    r.contents.push_back(std::move(c));
+    rules.push_back(std::move(r));
+  }
+  for (const auto& sig : config.circumvention_signatures) {
+    ids::Rule r;
+    r.proto = ids::RuleProto::Tcp;
+    r.msg = "SURVEIL circumvention tool signature \"" + sig + "\"";
+    r.classtype = "circumvention-tool";
+    r.priority = 1;
+    r.sid = targeted_sid++;
+    ids::ContentMatch c;
+    c.pattern = sig;
+    c.nocase = true;
+    r.contents.push_back(std::move(c));
+    rules.push_back(std::move(r));
+  }
+  for (const auto& kw : config.censored_keywords) {
+    // Direct access to censored content: interesting in principle, but
+    // 1.57% of the population does it — the analyst weights it near zero.
+    ids::Rule r;
+    r.proto = ids::RuleProto::Tcp;
+    r.msg = "SURVEIL censored content access \"" + kw + "\"";
+    r.classtype = "policy-violation";
+    r.priority = 4;
+    r.sid = targeted_sid++;
+    ids::ContentMatch c;
+    c.pattern = kw;
+    c.nocase = true;
+    r.contents.push_back(std::move(c));
+    rules.push_back(std::move(r));
+  }
+
+  return rules;
+}
+
+std::vector<ids::Rule> fingerprint_ruleset(uint32_t base_sid) {
+  std::vector<ids::Rule> rules;
+  // A SYN sweep whose source ports sit in one narrow contiguous block is
+  // an implementation artifact, not botnet behaviour: flag the source
+  // after a handful of such SYNs.
+  ids::Rule r;
+  r.proto = ids::RuleProto::Tcp;
+  r.src_ports = ids::PortSpec{false, false, {{40000, 40999}}};
+  r.msg = "FINGERPRINT deterministic-sport SYN sweep (measurement tool)";
+  r.classtype = "measurement-tool";
+  r.priority = 1;
+  r.sid = base_sid;
+  ids::FlagsMatch f;
+  f.required = sm::packet::TcpFlags::kSyn;
+  f.exact = true;
+  r.flags = f;
+  ids::ThresholdSpec t;
+  t.type = ids::ThresholdSpec::Type::Both;
+  t.track = ids::ThresholdSpec::Track::BySrc;
+  t.count = 20;
+  t.seconds = 60;
+  r.threshold = t;
+  rules.push_back(std::move(r));
+  return rules;
+}
+
+}  // namespace sm::surveillance

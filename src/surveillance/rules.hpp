@@ -1,0 +1,53 @@
+// Community-style surveillance ruleset.
+//
+// §3.2.1 argues a surveillance system's ruleset will resemble the Snort
+// community rules because "most organizations just subscribe to rulesets
+// rather than writing their own". This factory builds that ruleset:
+// noise detectors (scan / spam / DDoS / p2p — ubiquitous, discarded by
+// the MVR) and targeted detectors (circumvention tools, measurement
+// platforms, direct censored-content access — stored and scored).
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ids/rule.hpp"
+
+namespace sm::surveillance {
+
+struct RulesetConfig {
+  /// Keywords whose direct access is policy-interesting (typically the
+  /// same list the censor blocks).
+  std::vector<std::string> censored_keywords = {"falun", "tiananmen"};
+  /// Signatures of known measurement platforms (overt tools announce
+  /// themselves; that is exactly what the paper's techniques avoid).
+  std::vector<std::string> measurement_signatures = {"OONI", "Centinel",
+                                                     "censorship-probe"};
+  /// Signatures of circumvention tools.
+  std::vector<std::string> circumvention_signatures = {"ultrasurf",
+                                                       "obfs4", "meek"};
+  /// Scan detector: SYNs to this many distinct targets in `seconds`.
+  uint32_t scan_count = 100;
+  uint32_t scan_seconds = 60;
+  /// DDoS detector: this many requests to one dst in `seconds`.
+  uint32_t ddos_count = 200;
+  uint32_t ddos_seconds = 10;
+};
+
+/// Classtypes the MVR treats as bulk noise (discarded before storage).
+const std::set<std::string>& noise_classtypes();
+
+/// Builds the ruleset. SIDs 1000000+ are noise, 2000000+ targeted.
+std::vector<ids::Rule> community_ruleset(const RulesetConfig& config = {});
+
+/// Bespoke application-fingerprinting rules (§3.2.1's caveat: "it is
+/// possible, at least in principle, to design application fingerprinting
+/// rules that can differentiate between our measurements and real
+/// botnets" [19, 22]). This one keys on a naive scanner's deterministic
+/// contiguous source-port block — an artifact real nmap does not have.
+/// Appended to the community ruleset by a surveillance operator willing
+/// to pay for custom rules (the expense the paper argues most will not).
+std::vector<ids::Rule> fingerprint_ruleset(uint32_t base_sid = 3000000);
+
+}  // namespace sm::surveillance

@@ -1,0 +1,11 @@
+// RetentionStore is header-only (template); this TU exists to anchor the
+// library and to instantiate the three concrete stores for faster builds.
+#include "surveillance/store.hpp"
+
+namespace sm::surveillance {
+
+template class RetentionStore<ContentItem>;
+template class RetentionStore<MetadataItem>;
+template class RetentionStore<AlertItem>;
+
+}  // namespace sm::surveillance

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include "censor/engine.hpp"
+#include "censor/gfc.hpp"
+#include "netsim/topology.hpp"
+#include "proto/dns/client.hpp"
+#include "proto/dns/server.hpp"
+#include "proto/http/client.hpp"
+#include "proto/http/server.hpp"
+
+namespace sm::censor {
+namespace {
+
+using common::Duration;
+using common::Ipv4Address;
+
+TEST(Policy, DnsForgeryLookupIncludesSubdomains) {
+  CensorPolicy p = gfc_profile(Ipv4Address(8, 7, 198, 45));
+  EXPECT_NE(p.dns_forgery_for("twitter.com"), nullptr);
+  EXPECT_NE(p.dns_forgery_for("api.twitter.com"), nullptr);
+  EXPECT_NE(p.dns_forgery_for("WWW.TWITTER.COM"), nullptr);
+  EXPECT_EQ(p.dns_forgery_for("nottwitter.com"), nullptr);
+  EXPECT_EQ(p.dns_forgery_for("twitter.com.evil.example"), nullptr);
+}
+
+TEST(Policy, CompileRulesCoversAllMechanisms) {
+  CensorPolicy p;
+  p.rst_keywords = {"kw1", "kw2"};
+  p.blocked_ips = {Ipv4Address(1, 2, 3, 4)};
+  p.blocked_ports = {{Ipv4Address(5, 6, 7, 8), 25}};
+  auto rules = p.compile_rules();
+  ASSERT_EQ(rules.size(), 4u);
+  EXPECT_EQ(rules[0].action, ids::RuleAction::Reject);
+  EXPECT_TRUE(rules[0].contents[0].nocase);
+  EXPECT_EQ(rules[2].action, ids::RuleAction::Drop);
+  EXPECT_TRUE(rules[2].bidirectional);
+  EXPECT_EQ(rules[3].action, ids::RuleAction::Drop);
+  EXPECT_TRUE(rules[3].dst_ports.matches(25));
+}
+
+class CensorNetTest : public ::testing::Test {
+ protected:
+  CensorNetTest() {
+    client_host_ = net_.add_host("c", Ipv4Address(10, 1, 1, 10));
+    web_host_ = net_.add_host("web", Ipv4Address(198, 18, 0, 80));
+    dns_host_ = net_.add_host("dns", Ipv4Address(198, 18, 0, 53));
+    router_ = net_.add_router("r");
+    net_.connect(client_host_, router_);
+    net_.connect(web_host_, router_);
+    net_.connect(dns_host_, router_);
+
+    client_stack_ = std::make_unique<proto::tcp::Stack>(*client_host_);
+    web_stack_ = std::make_unique<proto::tcp::Stack>(*web_host_);
+    http_server_ = std::make_unique<proto::http::Server>(*web_stack_, 80);
+    http_server_->set_default_handler([](const proto::http::Request& r) {
+      return proto::http::Response::ok("content about falun gong: " +
+                                       r.target);
+    });
+    proto::dns::Zone zone;
+    zone.add_site("twitter.com", Ipv4Address(198, 18, 0, 80));
+    zone.add_site("open.example", Ipv4Address(198, 18, 0, 80));
+    dns_server_ = std::make_unique<proto::dns::Server>(*dns_host_,
+                                                       std::move(zone));
+    resolver_ = std::make_unique<proto::dns::Client>(
+        *client_host_, dns_host_->address(), Duration::millis(500));
+  }
+
+  void install(CensorPolicy policy) {
+    tap_ = std::make_unique<CensorTap>(std::move(policy));
+    router_->add_tap(tap_.get());
+  }
+
+  netsim::Network net_;
+  netsim::Host* client_host_;
+  netsim::Host* web_host_;
+  netsim::Host* dns_host_;
+  netsim::Router* router_;
+  std::unique_ptr<proto::tcp::Stack> client_stack_;
+  std::unique_ptr<proto::tcp::Stack> web_stack_;
+  std::unique_ptr<proto::http::Server> http_server_;
+  std::unique_ptr<proto::dns::Server> dns_server_;
+  std::unique_ptr<proto::dns::Client> resolver_;
+  std::unique_ptr<CensorTap> tap_;
+};
+
+TEST_F(CensorNetTest, KeywordInResponseTriggersRstBothWays) {
+  install(gfc_profile());
+  proto::http::Client http(*client_stack_);
+  std::optional<proto::http::FetchResult> result;
+  http.fetch(web_host_->address(), 80,
+             proto::http::Request::get("web", "/innocent-url"),
+             [&](const proto::http::FetchResult& r) { result = r; });
+  net_.run_for(Duration::seconds(5));
+  ASSERT_TRUE(result);
+  // The response body contains "falun" -> censor injects RSTs.
+  EXPECT_EQ(result->outcome, proto::http::FetchOutcome::ResetMidStream);
+  EXPECT_GT(tap_->stats().rst_packets_injected, 0u);
+  EXPECT_EQ(tap_->stats().rst_bursts, 1u);
+}
+
+TEST_F(CensorNetTest, KeywordInRequestAlsoTriggers) {
+  install(gfc_profile());
+  proto::http::Client http(*client_stack_);
+  std::optional<proto::http::FetchResult> result;
+  http.fetch(web_host_->address(), 80,
+             proto::http::Request::get("web", "/search?q=tiananmen"),
+             [&](const proto::http::FetchResult& r) { result = r; });
+  net_.run_for(Duration::seconds(5));
+  ASSERT_TRUE(result);
+  EXPECT_EQ(result->outcome, proto::http::FetchOutcome::ResetMidStream);
+}
+
+TEST_F(CensorNetTest, BlackoutDropsSubsequentFlowPackets) {
+  install(gfc_profile());
+  proto::http::Client http(*client_stack_);
+  http.fetch(web_host_->address(), 80,
+             proto::http::Request::get("web", "/search?q=falun"),
+             [](const proto::http::FetchResult&) {});
+  net_.run_for(Duration::seconds(5));
+  EXPECT_GT(tap_->stats().dropped_blackout, 0u);
+}
+
+TEST_F(CensorNetTest, DnsForgeryRacesRealAnswer) {
+  install(gfc_profile(Ipv4Address(8, 7, 198, 45)));
+  std::optional<proto::dns::QueryResult> result;
+  resolver_->query(proto::dns::Name("twitter.com"),
+                   proto::dns::RecordType::A,
+                   [&](const proto::dns::QueryResult& r) { result = r; });
+  net_.run_for(Duration::seconds(1));
+  ASSERT_TRUE(result && result->answered());
+  // The forged answer wins the race (injected at the router).
+  EXPECT_EQ(result->address(), Ipv4Address(8, 7, 198, 45));
+  EXPECT_EQ(tap_->stats().dns_responses_forged, 1u);
+}
+
+TEST_F(CensorNetTest, DnsForgeryAppliesToMxQueries) {
+  install(gfc_profile(Ipv4Address(8, 7, 198, 45)));
+  std::optional<proto::dns::QueryResult> result;
+  resolver_->query(proto::dns::Name("twitter.com"),
+                   proto::dns::RecordType::MX,
+                   [&](const proto::dns::QueryResult& r) { result = r; });
+  net_.run_for(Duration::seconds(1));
+  ASSERT_TRUE(result && result->answered());
+  // §3.2.3: the GFC injects a bad *A* answer even for MX queries.
+  EXPECT_EQ(result->response->first_a(), Ipv4Address(8, 7, 198, 45));
+}
+
+TEST_F(CensorNetTest, UnblockedDnsPassesThrough) {
+  install(gfc_profile());
+  std::optional<proto::dns::QueryResult> result;
+  resolver_->query(proto::dns::Name("open.example"),
+                   proto::dns::RecordType::A,
+                   [&](const proto::dns::QueryResult& r) { result = r; });
+  net_.run_for(Duration::seconds(1));
+  ASSERT_TRUE(result && result->answered());
+  EXPECT_EQ(result->address(), Ipv4Address(198, 18, 0, 80));
+  EXPECT_EQ(tap_->stats().dns_responses_forged, 0u);
+}
+
+TEST_F(CensorNetTest, NullRouteDropsSilently) {
+  install(dropping_profile({web_host_->address()}));
+  proto::http::Client http(*client_stack_);
+  std::optional<proto::http::FetchResult> result;
+  proto::tcp::ConnectOptions opts;
+  opts.rto = Duration::millis(100);
+  opts.max_retries = 2;
+  http.fetch(web_host_->address(), 80,
+             proto::http::Request::get("web", "/"),
+             [&](const proto::http::FetchResult& r) { result = r; },
+             Duration::seconds(3), opts);
+  net_.run_for(Duration::seconds(5));
+  ASSERT_TRUE(result);
+  EXPECT_EQ(result->outcome, proto::http::FetchOutcome::ConnectTimeout);
+  EXPECT_GT(tap_->stats().dropped_inline, 0u);
+  EXPECT_EQ(tap_->stats().rst_packets_injected, 0u);
+}
+
+TEST_F(CensorNetTest, PortBlockOnlyAffectsThatPort) {
+  install(dropping_profile({}, {{web_host_->address(), 81}}));
+  proto::http::Client http(*client_stack_);
+  std::optional<proto::http::FetchResult> ok_result;
+  http.fetch(web_host_->address(), 80,
+             proto::http::Request::get("web", "/plain"),
+             [&](const proto::http::FetchResult& r) { ok_result = r; });
+  net_.run_for(Duration::seconds(3));
+  ASSERT_TRUE(ok_result);
+  EXPECT_EQ(ok_result->outcome, proto::http::FetchOutcome::Ok);
+
+  // Port 81 is blocked: SYNs vanish (no RST from the server's closed
+  // port, because the censor eats the packet first).
+  bool error = false;
+  proto::tcp::ConnectOptions opts;
+  opts.rto = Duration::millis(100);
+  opts.max_retries = 1;
+  auto* c = client_stack_->connect(web_host_->address(), 81, opts);
+  c->on_error = [&](proto::tcp::Connection& conn) {
+    error = true;
+    EXPECT_EQ(conn.close_reason(), proto::tcp::CloseReason::ConnectTimeout);
+  };
+  net_.run_for(Duration::seconds(3));
+  EXPECT_TRUE(error);
+}
+
+TEST_F(CensorNetTest, StateStaysBounded) {
+  install(gfc_profile());
+  EXPECT_EQ(tap_->state_bytes(), 0u);
+  proto::http::Client http(*client_stack_);
+  http.fetch(web_host_->address(), 80,
+             proto::http::Request::get("web", "/a"),
+             [](const proto::http::FetchResult&) {});
+  net_.run_for(Duration::seconds(2));
+  EXPECT_GT(tap_->stats().packets_seen, 0u);
+  // One flow's worth of reassembly state at most.
+  EXPECT_LE(tap_->state_bytes(), 2u * 16 * 1024);
+}
+
+}  // namespace
+}  // namespace sm::censor

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+
+namespace sm::common {
+namespace {
+
+TEST(ByteWriter, BigEndianLayout) {
+  ByteWriter w;
+  w.u8(0x01);
+  w.u16(0x0203);
+  w.u32(0x04050607);
+  w.u64(0x08090A0B0C0D0E0FULL);
+  ASSERT_EQ(w.size(), 15u);
+  const Bytes& b = w.data();
+  EXPECT_EQ(b[0], 0x01);
+  EXPECT_EQ(b[1], 0x02);
+  EXPECT_EQ(b[2], 0x03);
+  EXPECT_EQ(b[3], 0x04);
+  EXPECT_EQ(b[6], 0x07);
+  EXPECT_EQ(b[7], 0x08);
+  EXPECT_EQ(b[14], 0x0F);
+}
+
+TEST(ByteWriter, LittleEndianLayout) {
+  ByteWriter w;
+  w.u16le(0x0102);
+  w.u32le(0x03040506);
+  const Bytes& b = w.data();
+  EXPECT_EQ(b[0], 0x02);
+  EXPECT_EQ(b[1], 0x01);
+  EXPECT_EQ(b[2], 0x06);
+  EXPECT_EQ(b[5], 0x03);
+}
+
+TEST(ByteWriter, PatchU16) {
+  ByteWriter w;
+  w.u16(0);
+  w.u16(0xBEEF);
+  w.patch_u16(0, 0xDEAD);
+  EXPECT_EQ(w.data()[0], 0xDE);
+  EXPECT_EQ(w.data()[1], 0xAD);
+  EXPECT_EQ(w.data()[2], 0xBE);
+}
+
+TEST(ByteWriter, TextAndZeros) {
+  ByteWriter w;
+  w.text("hi");
+  w.zeros(3);
+  EXPECT_EQ(w.size(), 5u);
+  EXPECT_EQ(w.data()[0], 'h');
+  EXPECT_EQ(w.data()[4], 0);
+}
+
+TEST(ByteReader, RoundTrip) {
+  ByteWriter w;
+  w.u8(7);
+  w.u16(300);
+  w.u32(70000);
+  w.u64(1ULL << 40);
+  w.text("abc");
+  Bytes data = w.take();
+
+  ByteReader r(data);
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_EQ(r.u16(), 300);
+  EXPECT_EQ(r.u32(), 70000u);
+  EXPECT_EQ(r.u64(), 1ULL << 40);
+  EXPECT_EQ(r.text(3), "abc");
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ByteReader, LittleEndianRoundTrip) {
+  ByteWriter w;
+  w.u16le(0xABCD);
+  w.u32le(0x12345678);
+  Bytes data = w.take();
+  ByteReader r(data);
+  EXPECT_EQ(r.u16le(), 0xABCD);
+  EXPECT_EQ(r.u32le(), 0x12345678u);
+}
+
+TEST(ByteReader, OverrunSetsStickyError) {
+  Bytes data{1, 2};
+  ByteReader r(data);
+  EXPECT_EQ(r.u32(), 0u);  // needs 4, only 2 available
+  EXPECT_FALSE(r.ok());
+  // Still failed after more reads; returns zeroes.
+  EXPECT_EQ(r.u8(), 0);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ByteReader, EmptyBytesRequestOk) {
+  Bytes data{};
+  ByteReader r(data);
+  EXPECT_TRUE(r.bytes(0).empty());
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(ByteReader, SeekValidAndInvalid) {
+  Bytes data{1, 2, 3, 4};
+  ByteReader r(data);
+  EXPECT_TRUE(r.seek(2));
+  EXPECT_EQ(r.u8(), 3);
+  EXPECT_FALSE(r.seek(10));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ByteReader, SkipAndRest) {
+  Bytes data{1, 2, 3, 4, 5};
+  ByteReader r(data);
+  r.skip(2);
+  auto rest = r.rest();
+  ASSERT_EQ(rest.size(), 3u);
+  EXPECT_EQ(rest[0], 3);
+}
+
+TEST(Bytes, StringConversions) {
+  Bytes b = to_bytes("hello");
+  EXPECT_EQ(b.size(), 5u);
+  EXPECT_EQ(to_string(b), "hello");
+}
+
+TEST(Bytes, HexDump) {
+  Bytes b{0xDE, 0xAD, 0xBE, 0xEF};
+  EXPECT_EQ(hex_dump(b), "de ad be ef");
+  EXPECT_EQ(hex_dump(b, 2), "de ad ...");
+}
+
+}  // namespace
+}  // namespace sm::common

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "common/ip.hpp"
+
+namespace sm::common {
+namespace {
+
+TEST(Ipv4Address, ParseValid) {
+  auto a = Ipv4Address::parse("192.0.2.1");
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->value(), 0xC0000201u);
+  EXPECT_EQ(a->to_string(), "192.0.2.1");
+}
+
+TEST(Ipv4Address, ParseBoundaries) {
+  EXPECT_TRUE(Ipv4Address::parse("0.0.0.0"));
+  EXPECT_TRUE(Ipv4Address::parse("255.255.255.255"));
+  EXPECT_EQ(Ipv4Address::parse("255.255.255.255")->value(), 0xFFFFFFFFu);
+}
+
+TEST(Ipv4Address, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4Address::parse(""));
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3"));
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4.5"));
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.256"));
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4x"));
+  EXPECT_FALSE(Ipv4Address::parse("a.b.c.d"));
+  EXPECT_FALSE(Ipv4Address::parse("1..2.3"));
+  EXPECT_FALSE(Ipv4Address::parse(" 1.2.3.4"));
+}
+
+TEST(Ipv4Address, ByteRoundTrip) {
+  Ipv4Address a(10, 20, 30, 40);
+  auto bytes = a.to_bytes();
+  EXPECT_EQ(bytes[0], 10);
+  EXPECT_EQ(bytes[3], 40);
+  EXPECT_EQ(Ipv4Address::from_bytes(bytes), a);
+}
+
+TEST(Ipv4Address, Classification) {
+  EXPECT_TRUE(Ipv4Address(10, 0, 0, 1).is_private());
+  EXPECT_TRUE(Ipv4Address(172, 16, 0, 1).is_private());
+  EXPECT_TRUE(Ipv4Address(172, 31, 255, 255).is_private());
+  EXPECT_FALSE(Ipv4Address(172, 32, 0, 1).is_private());
+  EXPECT_TRUE(Ipv4Address(192, 168, 1, 1).is_private());
+  EXPECT_FALSE(Ipv4Address(192, 0, 2, 1).is_private());
+  EXPECT_TRUE(Ipv4Address(127, 0, 0, 1).is_loopback());
+  EXPECT_TRUE(Ipv4Address(224, 0, 0, 1).is_multicast());
+  EXPECT_TRUE(Ipv4Address(255, 255, 255, 255).is_broadcast());
+  EXPECT_TRUE(Ipv4Address().is_unspecified());
+}
+
+TEST(Ipv4Address, Ordering) {
+  EXPECT_LT(Ipv4Address(1, 0, 0, 0), Ipv4Address(2, 0, 0, 0));
+  EXPECT_EQ(Ipv4Address(1, 2, 3, 4), Ipv4Address(1, 2, 3, 4));
+}
+
+TEST(MacAddress, ParseAndFormat) {
+  auto m = MacAddress::parse("02:00:aa:bb:cc:dd");
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m->to_string(), "02:00:aa:bb:cc:dd");
+  EXPECT_TRUE(MacAddress::parse("02-00-AA-BB-CC-DD"));
+  EXPECT_FALSE(MacAddress::parse("02:00:aa:bb:cc"));
+  EXPECT_FALSE(MacAddress::parse("02:00:aa:bb:cc:zz"));
+}
+
+TEST(MacAddress, Broadcast) {
+  EXPECT_TRUE(MacAddress::broadcast().is_broadcast());
+  EXPECT_FALSE(MacAddress::from_host_id(7).is_broadcast());
+}
+
+TEST(MacAddress, FromHostIdUnique) {
+  EXPECT_NE(MacAddress::from_host_id(1), MacAddress::from_host_id(2));
+}
+
+TEST(Cidr, ParseAndContains) {
+  auto c = Cidr::parse("10.1.0.0/16");
+  ASSERT_TRUE(c);
+  EXPECT_TRUE(c->contains(Ipv4Address(10, 1, 2, 3)));
+  EXPECT_FALSE(c->contains(Ipv4Address(10, 2, 0, 0)));
+  EXPECT_EQ(c->to_string(), "10.1.0.0/16");
+}
+
+TEST(Cidr, MasksHostBits) {
+  Cidr c(Ipv4Address(10, 1, 2, 3), 16);
+  EXPECT_EQ(c.network(), Ipv4Address(10, 1, 0, 0));
+}
+
+TEST(Cidr, SlashZeroContainsEverything) {
+  Cidr c(Ipv4Address(), 0);
+  EXPECT_TRUE(c.contains(Ipv4Address(255, 255, 255, 255)));
+  EXPECT_TRUE(c.contains(Ipv4Address(0, 0, 0, 1)));
+}
+
+TEST(Cidr, Slash32IsExact) {
+  Cidr c(Ipv4Address(198, 18, 0, 80), 32);
+  EXPECT_TRUE(c.contains(Ipv4Address(198, 18, 0, 80)));
+  EXPECT_FALSE(c.contains(Ipv4Address(198, 18, 0, 81)));
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(Cidr, SizeAndAddressAt) {
+  Cidr c(Ipv4Address(10, 0, 0, 0), 24);
+  EXPECT_EQ(c.size(), 256u);
+  EXPECT_EQ(c.address_at(0), Ipv4Address(10, 0, 0, 0));
+  EXPECT_EQ(c.address_at(255), Ipv4Address(10, 0, 0, 255));
+}
+
+TEST(Cidr, NestedContains) {
+  Cidr outer(Ipv4Address(10, 0, 0, 0), 8);
+  Cidr inner(Ipv4Address(10, 5, 0, 0), 16);
+  EXPECT_TRUE(outer.contains(inner));
+  EXPECT_FALSE(inner.contains(outer));
+}
+
+TEST(Cidr, ParseRejectsMalformed) {
+  EXPECT_FALSE(Cidr::parse("10.0.0.0"));
+  EXPECT_FALSE(Cidr::parse("10.0.0.0/33"));
+  EXPECT_FALSE(Cidr::parse("10.0.0.0/"));
+  EXPECT_FALSE(Cidr::parse("10.0.0/8"));
+}
+
+// Property sweep: netmask and size are consistent for every prefix length.
+class CidrPrefixSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CidrPrefixSweep, MaskAndSizeConsistent) {
+  int len = GetParam();
+  Cidr c(Ipv4Address(203, 0, 113, 7), static_cast<uint8_t>(len));
+  if (len > 0) {
+    // Network address is inside; the last address is inside; one past is
+    // not (unless /0 covers everything).
+    EXPECT_TRUE(c.contains(c.network()));
+    EXPECT_TRUE(c.contains(c.address_at(c.size() - 1)));
+  }
+  // popcount(netmask) == prefix length.
+  EXPECT_EQ(__builtin_popcount(c.netmask()), len);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrefixLengths, CidrPrefixSweep,
+                         ::testing::Range(0, 33));
+
+}  // namespace
+}  // namespace sm::common

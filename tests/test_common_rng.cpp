@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.hpp"
+
+namespace sm::common {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BoundedInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.bounded(17), 17u);
+}
+
+TEST(Rng, BoundedZeroIsZero) {
+  Rng rng(7);
+  EXPECT_EQ(rng.bounded(0), 0u);
+}
+
+TEST(Rng, BoundedCoversRange) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.bounded(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    int64_t v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(15);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    if (rng.chance(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(19);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.03);  // mean = 1/lambda
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(21);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.normal(10.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.15);
+  EXPECT_NEAR(var, 9.0, 0.6);
+}
+
+TEST(Rng, AlnumString) {
+  Rng rng(23);
+  std::string s = rng.alnum_string(32);
+  EXPECT_EQ(s.size(), 32u);
+  for (char c : s)
+    EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')) << c;
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(25);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ForkIndependent) {
+  Rng parent(27);
+  Rng child = parent.fork();
+  // The fork and the parent produce different streams.
+  int same = 0;
+  for (int i = 0; i < 50; ++i)
+    if (parent.next() == child.next()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(ZipfSampler, HeadHeavier) {
+  Rng rng(29);
+  ZipfSampler zipf(1000, 1.0);
+  std::vector<size_t> counts(1000, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.sample(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], counts[100] * 5);
+}
+
+TEST(ZipfSampler, InRange) {
+  Rng rng(31);
+  ZipfSampler zipf(10, 0.8);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf.sample(rng), 10u);
+}
+
+// Parameterized: Zipf rank-frequency slope roughly matches the exponent.
+class ZipfExponentSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfExponentSweep, RatioMatchesTheory) {
+  double s = GetParam();
+  Rng rng(33);
+  ZipfSampler zipf(10000, s);
+  size_t c1 = 0, c10 = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    size_t rank = zipf.sample(rng);
+    if (rank == 0) ++c1;
+    if (rank == 9) ++c10;
+  }
+  // Expected ratio c1/c10 = 10^s.
+  ASSERT_GT(c10, 0u);
+  double ratio = static_cast<double>(c1) / static_cast<double>(c10);
+  double expected = std::pow(10.0, s);
+  EXPECT_NEAR(ratio / expected, 1.0, 0.35) << "s=" << s;
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfExponentSweep,
+                         ::testing::Values(0.7, 0.9, 1.1));
+
+}  // namespace
+}  // namespace sm::common

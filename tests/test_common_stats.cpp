@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+
+namespace sm::common {
+namespace {
+
+TEST(OnlineStats, Empty) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats s;
+  s.add(42.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 42.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 42.0);
+  EXPECT_EQ(s.max(), 42.0);
+}
+
+TEST(OnlineStats, KnownMoments) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-9);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, NegativeValues) {
+  OnlineStats s;
+  s.add(-5.0);
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), -5.0);
+}
+
+TEST(EmpiricalCdf, AtAndQuantile) {
+  EmpiricalCdf cdf;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) cdf.add(x);
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 2.5);
+}
+
+TEST(EmpiricalCdf, EmptySafe) {
+  EmpiricalCdf cdf;
+  EXPECT_EQ(cdf.at(1.0), 0.0);
+  EXPECT_EQ(cdf.quantile(0.5), 0.0);
+  EXPECT_TRUE(cdf.points().empty());
+}
+
+TEST(EmpiricalCdf, DuplicatesCollapseInPoints) {
+  EmpiricalCdf cdf;
+  cdf.add_all({5.0, 5.0, 5.0, 7.0});
+  auto pts = cdf.points();
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_EQ(pts[0].first, 5.0);
+  EXPECT_DOUBLE_EQ(pts[0].second, 0.75);
+  EXPECT_EQ(pts[1].first, 7.0);
+  EXPECT_DOUBLE_EQ(pts[1].second, 1.0);
+}
+
+TEST(EmpiricalCdf, PointsMonotonic) {
+  EmpiricalCdf cdf;
+  for (int i = 100; i > 0; --i) cdf.add(static_cast<double>(i % 17));
+  auto pts = cdf.points();
+  for (size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_LT(pts[i - 1].first, pts[i].first);
+    EXPECT_LT(pts[i - 1].second, pts[i].second);
+  }
+  EXPECT_DOUBLE_EQ(pts.back().second, 1.0);
+}
+
+TEST(EmpiricalCdf, TableRendering) {
+  EmpiricalCdf cdf;
+  cdf.add(1.0);
+  cdf.add(2.0);
+  std::string table = cdf.to_table();
+  EXPECT_NE(table.find("value\tcdf"), std::string::npos);
+  EXPECT_NE(table.find("0.5"), std::string::npos);
+}
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(5.5);
+  h.add(-3.0);   // clamps to bin 0
+  h.add(100.0);  // clamps to last bin
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.bins()[0], 2u);
+  EXPECT_EQ(h.bins()[5], 1u);
+  EXPECT_EQ(h.bins()[9], 1u);
+}
+
+TEST(Histogram, BinLow) {
+  Histogram h(0.0, 100.0, 10);
+  EXPECT_DOUBLE_EQ(h.bin_low(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_low(5), 50.0);
+}
+
+TEST(Histogram, AsciiRendering) {
+  Histogram h(0.0, 10.0, 2);
+  h.add(1.0);
+  h.add(1.0);
+  h.add(6.0);
+  std::string art = h.to_ascii(10);
+  EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+TEST(EntropyBits, Uniform) {
+  EXPECT_NEAR(entropy_bits({1, 1, 1, 1}), 2.0, 1e-9);
+  EXPECT_NEAR(entropy_bits({5, 5}), 1.0, 1e-9);
+}
+
+TEST(EntropyBits, Degenerate) {
+  EXPECT_EQ(entropy_bits({}), 0.0);
+  EXPECT_EQ(entropy_bits({0, 0}), 0.0);
+  EXPECT_EQ(entropy_bits({7}), 0.0);
+  EXPECT_EQ(entropy_bits({7, 0, 0}), 0.0);
+}
+
+TEST(EntropyBits, SkewLowersEntropy) {
+  EXPECT_LT(entropy_bits({9, 1}), entropy_bits({5, 5}));
+}
+
+}  // namespace
+}  // namespace sm::common

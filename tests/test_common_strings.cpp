@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "common/strings.hpp"
+
+namespace sm::common {
+namespace {
+
+TEST(Split, Basic) {
+  auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, KeepsEmptyFields) {
+  auto parts = split("a,,c,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Split, NoSeparator) {
+  auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(SplitWhitespace, DropsEmpty) {
+  auto parts = split_whitespace("  foo \t bar\nbaz  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "foo");
+  EXPECT_EQ(parts[1], "bar");
+  EXPECT_EQ(parts[2], "baz");
+}
+
+TEST(SplitWhitespace, Empty) {
+  EXPECT_TRUE(split_whitespace("").empty());
+  EXPECT_TRUE(split_whitespace("   ").empty());
+}
+
+TEST(Trim, Variants) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t\r\n "), "");
+}
+
+TEST(ToLower, Basic) {
+  EXPECT_EQ(to_lower("AbC123"), "abc123");
+}
+
+TEST(Iequals, CaseInsensitive) {
+  EXPECT_TRUE(iequals("Content-Length", "content-length"));
+  EXPECT_FALSE(iequals("abc", "abcd"));
+  EXPECT_FALSE(iequals("abc", "abd"));
+  EXPECT_TRUE(iequals("", ""));
+}
+
+TEST(StartsEndsWith, Basic) {
+  EXPECT_TRUE(starts_with("foobar", "foo"));
+  EXPECT_FALSE(starts_with("foobar", "bar"));
+  EXPECT_TRUE(ends_with("foobar", "bar"));
+  EXPECT_FALSE(ends_with("foobar", "foo"));
+  EXPECT_TRUE(starts_with("x", ""));
+  EXPECT_FALSE(starts_with("", "x"));
+}
+
+TEST(Ifind, FindsCaseInsensitive) {
+  EXPECT_EQ(ifind("Hello World", "world"), 6u);
+  EXPECT_EQ(ifind("abc", "ABC"), 0u);
+  EXPECT_EQ(ifind("abc", "zzz"), std::string_view::npos);
+  EXPECT_EQ(ifind("abc", ""), 0u);
+  EXPECT_EQ(ifind("ab", "abc"), std::string_view::npos);
+}
+
+TEST(Icontains, Basic) {
+  EXPECT_TRUE(icontains("the FALUN movement", "falun"));
+  EXPECT_FALSE(icontains("nothing here", "falun"));
+}
+
+TEST(ParseInt, ValidAndInvalid) {
+  EXPECT_EQ(parse_int("42"), 42);
+  EXPECT_EQ(parse_int("-17"), -17);
+  EXPECT_EQ(parse_int(" 42 "), 42);
+  EXPECT_FALSE(parse_int(""));
+  EXPECT_FALSE(parse_int("4x"));
+  EXPECT_FALSE(parse_int("x4"));
+}
+
+TEST(Join, Basic) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"only"}, ","), "only");
+}
+
+TEST(Format, PrintfStyle) {
+  EXPECT_EQ(format("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(format("%05.1f", 2.25), "002.2");
+  EXPECT_EQ(format("no args"), "no args");
+}
+
+}  // namespace
+}  // namespace sm::common

@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include "netsim/topology.hpp"
+#include "proto/dns/client.hpp"
+#include "proto/dns/message.hpp"
+#include "proto/dns/server.hpp"
+
+namespace sm::proto::dns {
+namespace {
+
+using common::Duration;
+using common::Ipv4Address;
+
+TEST(Name, NormalizesCaseAndTrailingDot) {
+  EXPECT_EQ(Name("WWW.Example.COM").str(), "www.example.com");
+  EXPECT_EQ(Name("example.com.").str(), "example.com");
+  EXPECT_TRUE(Name("A.B") == Name("a.b"));
+}
+
+TEST(Name, Labels) {
+  auto labels = Name("www.example.com").labels();
+  ASSERT_EQ(labels.size(), 3u);
+  EXPECT_EQ(labels[0], "www");
+  EXPECT_EQ(labels[2], "com");
+  EXPECT_TRUE(Name("").labels().empty());
+}
+
+TEST(Name, Subdomain) {
+  EXPECT_TRUE(Name("mail.example.com").is_subdomain_of(Name("example.com")));
+  EXPECT_TRUE(Name("example.com").is_subdomain_of(Name("example.com")));
+  EXPECT_FALSE(Name("example.com").is_subdomain_of(Name("mail.example.com")));
+  EXPECT_FALSE(Name("badexample.com").is_subdomain_of(Name("example.com")));
+  EXPECT_TRUE(Name("anything.net").is_subdomain_of(Name("")));
+}
+
+TEST(Codec, QueryRoundTrip) {
+  Message q = Message::query(0x1234, Name("www.example.com"), RecordType::A);
+  auto wire = encode(q);
+  auto decoded = decode(wire);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->header.id, 0x1234);
+  EXPECT_FALSE(decoded->header.qr);
+  EXPECT_TRUE(decoded->header.rd);
+  ASSERT_EQ(decoded->questions.size(), 1u);
+  EXPECT_EQ(decoded->questions[0].name.str(), "www.example.com");
+  EXPECT_EQ(decoded->questions[0].type, RecordType::A);
+}
+
+TEST(Codec, ResponseWithAllRecordTypes) {
+  Message q = Message::query(7, Name("example.com"), RecordType::ANY);
+  Message r = Message::response_to(q, Rcode::NoError);
+  r.answers.push_back(
+      ResourceRecord::a(Name("example.com"), Ipv4Address(1, 2, 3, 4), 60));
+  r.answers.push_back(
+      ResourceRecord::mx(Name("example.com"), 10, Name("mail.example.com")));
+  r.answers.push_back(
+      ResourceRecord::cname(Name("www.example.com"), Name("example.com")));
+  r.answers.push_back(
+      ResourceRecord::ns(Name("example.com"), Name("ns1.example.com")));
+  r.answers.push_back(
+      ResourceRecord::txt(Name("example.com"), "v=spf1 -all"));
+  auto wire = encode(r);
+  auto d = decode(wire);
+  ASSERT_TRUE(d);
+  ASSERT_EQ(d->answers.size(), 5u);
+  EXPECT_EQ(std::get<Ipv4Address>(d->answers[0].rdata),
+            Ipv4Address(1, 2, 3, 4));
+  EXPECT_EQ(d->answers[0].ttl, 60u);
+  auto mx = std::get<MxData>(d->answers[1].rdata);
+  EXPECT_EQ(mx.preference, 10);
+  EXPECT_EQ(mx.exchange.str(), "mail.example.com");
+  EXPECT_EQ(std::get<Name>(d->answers[2].rdata).str(), "example.com");
+  EXPECT_EQ(std::get<Name>(d->answers[3].rdata).str(), "ns1.example.com");
+  EXPECT_EQ(std::get<std::string>(d->answers[4].rdata), "v=spf1 -all");
+}
+
+TEST(Codec, CompressionShrinksRepeatedNames) {
+  Message r;
+  r.header.qr = true;
+  r.questions.push_back(Question{Name("mail.example.com"), RecordType::A, 1});
+  for (int i = 0; i < 4; ++i) {
+    r.answers.push_back(ResourceRecord::a(Name("mail.example.com"),
+                                          Ipv4Address(1, 2, 3, 4)));
+  }
+  auto wire = encode(r);
+  // With compression, repeats cost 2 bytes (pointer) instead of 18.
+  // 12 header + question (18+4) + 4 * (2 + 10 + 4) = ~98.
+  EXPECT_LT(wire.size(), 110u);
+  auto d = decode(wire);
+  ASSERT_TRUE(d);
+  ASSERT_EQ(d->answers.size(), 4u);
+  for (const auto& rr : d->answers)
+    EXPECT_EQ(rr.name.str(), "mail.example.com");
+}
+
+TEST(Codec, CompressionSharedSuffix) {
+  Message r;
+  r.header.qr = true;
+  r.answers.push_back(
+      ResourceRecord::a(Name("a.example.com"), Ipv4Address(1, 1, 1, 1)));
+  r.answers.push_back(
+      ResourceRecord::a(Name("b.example.com"), Ipv4Address(2, 2, 2, 2)));
+  auto wire = encode(r);
+  auto d = decode(wire);
+  ASSERT_TRUE(d);
+  EXPECT_EQ(d->answers[0].name.str(), "a.example.com");
+  EXPECT_EQ(d->answers[1].name.str(), "b.example.com");
+}
+
+TEST(Codec, RejectsPointerLoop) {
+  // Hand-craft a message whose name is a self-pointing pointer.
+  common::ByteWriter w;
+  w.u16(1);      // id
+  w.u16(0);      // flags
+  w.u16(1);      // qdcount
+  w.u16(0);
+  w.u16(0);
+  w.u16(0);
+  w.u16(0xC00C);  // name: pointer to itself (offset 12)
+  w.u16(1);       // qtype
+  w.u16(1);       // qclass
+  EXPECT_FALSE(decode(w.data()));
+}
+
+TEST(Codec, RejectsTruncated) {
+  Message q = Message::query(1, Name("example.com"), RecordType::A);
+  auto wire = encode(q);
+  wire.resize(wire.size() - 4);
+  EXPECT_FALSE(decode(wire));
+}
+
+TEST(Codec, TxtChunking) {
+  std::string long_text(300, 'x');
+  Message r;
+  r.header.qr = true;
+  r.answers.push_back(ResourceRecord::txt(Name("t.example"), long_text));
+  auto d = decode(encode(r));
+  ASSERT_TRUE(d);
+  EXPECT_EQ(std::get<std::string>(d->answers[0].rdata), long_text);
+}
+
+TEST(MessageHelpers, FirstAAndMxSort) {
+  Message m;
+  m.answers.push_back(
+      ResourceRecord::mx(Name("e.com"), 20, Name("mx2.e.com")));
+  m.answers.push_back(
+      ResourceRecord::mx(Name("e.com"), 10, Name("mx1.e.com")));
+  m.answers.push_back(
+      ResourceRecord::a(Name("e.com"), Ipv4Address(9, 9, 9, 9)));
+  EXPECT_EQ(m.first_a(), Ipv4Address(9, 9, 9, 9));
+  auto mx = m.mx_records();
+  ASSERT_EQ(mx.size(), 2u);
+  EXPECT_EQ(mx[0].exchange.str(), "mx1.e.com");
+}
+
+TEST(Zone, LookupAndTypes) {
+  Zone z;
+  z.add_site_with_mail("example.com", Ipv4Address(1, 1, 1, 1),
+                       Ipv4Address(2, 2, 2, 2));
+  EXPECT_TRUE(z.has_name(Name("example.com")));
+  EXPECT_TRUE(z.has_name(Name("mail.example.com")));
+  EXPECT_FALSE(z.has_name(Name("other.com")));
+  EXPECT_EQ(z.lookup(Name("example.com"), RecordType::A).size(), 1u);
+  EXPECT_EQ(z.lookup(Name("example.com"), RecordType::MX).size(), 1u);
+  EXPECT_EQ(z.lookup(Name("example.com"), RecordType::TXT).size(), 0u);
+  EXPECT_EQ(z.lookup(Name("example.com"), RecordType::ANY).size(), 2u);
+}
+
+// --- Client/server over the simulated network ---
+
+class DnsNetTest : public ::testing::Test {
+ protected:
+  DnsNetTest() {
+    client_host_ = net_.add_host("c", Ipv4Address(10, 0, 0, 1));
+    server_host_ = net_.add_host("s", Ipv4Address(10, 0, 0, 53));
+    router_ = net_.add_router("r");
+    net_.connect(client_host_, router_);
+    net_.connect(server_host_, router_);
+    Zone zone;
+    zone.add_site_with_mail("example.com", Ipv4Address(93, 184, 216, 34),
+                            Ipv4Address(93, 184, 216, 35));
+    server_ = std::make_unique<Server>(*server_host_, std::move(zone));
+    client_ = std::make_unique<Client>(*client_host_,
+                                       server_host_->address(),
+                                       Duration::millis(500));
+  }
+  netsim::Network net_;
+  netsim::Host* client_host_;
+  netsim::Host* server_host_;
+  netsim::Router* router_;
+  std::unique_ptr<Server> server_;
+  std::unique_ptr<Client> client_;
+};
+
+TEST_F(DnsNetTest, ResolvesA) {
+  std::optional<QueryResult> result;
+  client_->query(Name("example.com"), RecordType::A,
+                 [&](const QueryResult& r) { result = r; });
+  net_.run_for(Duration::millis(100));
+  ASSERT_TRUE(result);
+  EXPECT_TRUE(result->answered());
+  EXPECT_EQ(result->address(), Ipv4Address(93, 184, 216, 34));
+}
+
+TEST_F(DnsNetTest, ResolvesMxThenA) {
+  std::optional<QueryResult> result;
+  client_->query(Name("example.com"), RecordType::MX,
+                 [&](const QueryResult& r) { result = r; });
+  net_.run_for(Duration::millis(100));
+  ASSERT_TRUE(result);
+  auto mx = result->response->mx_records();
+  ASSERT_EQ(mx.size(), 1u);
+  EXPECT_EQ(mx[0].exchange.str(), "mail.example.com");
+}
+
+TEST_F(DnsNetTest, NxDomain) {
+  std::optional<QueryResult> result;
+  client_->query(Name("missing.com"), RecordType::A,
+                 [&](const QueryResult& r) { result = r; });
+  net_.run_for(Duration::millis(100));
+  ASSERT_TRUE(result);
+  EXPECT_TRUE(result->answered());
+  EXPECT_EQ(result->response->header.rcode, Rcode::NxDomain);
+  EXPECT_FALSE(result->address());
+}
+
+TEST_F(DnsNetTest, TimeoutWhenServerUnreachable) {
+  Client lost(*client_host_, Ipv4Address(203, 0, 113, 9),
+              Duration::millis(200));
+  std::optional<QueryResult> result;
+  lost.query(Name("example.com"), RecordType::A,
+             [&](const QueryResult& r) { result = r; });
+  net_.run_for(Duration::seconds(1));
+  ASSERT_TRUE(result);
+  EXPECT_EQ(result->outcome, QueryOutcome::TimedOut);
+}
+
+TEST_F(DnsNetTest, ConcurrentQueriesMatchedById) {
+  std::optional<QueryResult> r1, r2;
+  client_->query(Name("example.com"), RecordType::A,
+                 [&](const QueryResult& r) { r1 = r; });
+  client_->query(Name("mail.example.com"), RecordType::A,
+                 [&](const QueryResult& r) { r2 = r; });
+  net_.run_for(Duration::millis(200));
+  ASSERT_TRUE(r1 && r2);
+  EXPECT_EQ(r1->address(), Ipv4Address(93, 184, 216, 34));
+  EXPECT_EQ(r2->address(), Ipv4Address(93, 184, 216, 35));
+}
+
+TEST_F(DnsNetTest, SpoofedQueryGetsNoCallback) {
+  // Spoofed cover queries are fire-and-forget; the response goes to the
+  // spoofed host. The server must still see and answer the query.
+  client_->query_spoofed(Ipv4Address(10, 0, 0, 200), Name("example.com"),
+                         RecordType::A);
+  net_.run_for(Duration::millis(100));
+  EXPECT_EQ(server_->queries_served(), 1u);
+}
+
+TEST_F(DnsNetTest, CallbackFiresExactlyOnceOnLateResponse) {
+  int calls = 0;
+  client_->query(Name("example.com"), RecordType::A,
+                 [&](const QueryResult&) { ++calls; });
+  net_.run_for(Duration::seconds(2));  // past the timeout too
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace sm::proto::dns

@@ -1,0 +1,214 @@
+// IP fragmentation/reassembly unit tests plus the Khattak-style censor
+// evasion scenario: keywords split across fragments evade a
+// fragment-blind censor and are caught again under virtual
+// defragmentation.
+#include <gtest/gtest.h>
+
+#include "censor/gfc.hpp"
+#include "core/probe.hpp"
+#include "netsim/topology.hpp"
+#include "packet/checksum.hpp"
+#include "packet/fragment.hpp"
+
+namespace sm::packet {
+namespace {
+
+using common::Duration;
+using common::Ipv4Address;
+using common::SimTime;
+
+const Ipv4Address kSrc(10, 0, 0, 1);
+const Ipv4Address kDst(192, 0, 2, 80);
+
+Packet big_udp(size_t payload_len, uint16_t id = 77) {
+  common::Bytes payload(payload_len);
+  for (size_t i = 0; i < payload_len; ++i)
+    payload[i] = static_cast<uint8_t>('a' + i % 26);
+  IpOptions opt;
+  opt.dont_fragment = false;
+  opt.identification = id;
+  return make_udp(kSrc, kDst, 1111, 2222, payload, opt);
+}
+
+TEST(Fragment, SmallPacketUntouched) {
+  Packet p = big_udp(100);
+  auto frags = fragment(p, 1500);
+  ASSERT_EQ(frags.size(), 1u);
+  EXPECT_EQ(frags[0].data(), p.data());
+}
+
+TEST(Fragment, DfPacketNotFragmented) {
+  common::Bytes payload(3000, 'x');
+  Packet p = make_udp(kSrc, kDst, 1, 2, payload);  // DF set by default
+  auto frags = fragment(p, 1500);
+  ASSERT_EQ(frags.size(), 1u);
+}
+
+TEST(Fragment, SplitsWithAlignedOffsets) {
+  Packet p = big_udp(3000);
+  auto frags = fragment(p, 1500);
+  ASSERT_GE(frags.size(), 3u);
+  size_t covered = 0;
+  for (size_t i = 0; i < frags.size(); ++i) {
+    auto d = decode(frags[i]);
+    ASSERT_TRUE(d);
+    EXPECT_LE(frags[i].size(), 1500u);
+    EXPECT_EQ(d->ip.fragment_offset * 8u, covered);
+    EXPECT_EQ(d->ip.more_fragments, i + 1 < frags.size());
+    EXPECT_EQ(d->ip.identification, 77);
+    covered += d->ip.total_length - d->ip.header_length();
+    // Every fragment's own IP checksum is valid.
+    EXPECT_EQ(internet_checksum(std::span<const uint8_t>(
+                  frags[i].data().data(), d->ip.header_length())),
+              0);
+  }
+  EXPECT_EQ(covered, 3000u + 8u);  // UDP header rides in fragment 0
+}
+
+TEST(Reassembler, RoundTripInOrder) {
+  Packet p = big_udp(5000);
+  auto frags = fragment(p, 1500);
+  Reassembler r;
+  std::optional<Packet> whole;
+  for (const auto& f : frags) {
+    whole = r.add(SimTime(0), f.data());
+    if (&f != &frags.back()) { EXPECT_FALSE(whole); }
+  }
+  ASSERT_TRUE(whole);
+  EXPECT_EQ(whole->data(), p.data());
+  EXPECT_TRUE(verify_checksums(whole->data()));
+  EXPECT_EQ(r.pending_datagrams(), 0u);
+}
+
+TEST(Reassembler, RoundTripReversedOrder) {
+  Packet p = big_udp(4000);
+  auto frags = fragment(p, 1000);
+  Reassembler r;
+  std::optional<Packet> whole;
+  for (auto it = frags.rbegin(); it != frags.rend(); ++it)
+    whole = r.add(SimTime(0), it->data());
+  ASSERT_TRUE(whole);
+  EXPECT_EQ(whole->data(), p.data());
+}
+
+TEST(Reassembler, NonFragmentPassesThrough) {
+  Packet p = big_udp(100);
+  Reassembler r;
+  auto out = r.add(SimTime(0), p.data());
+  ASSERT_TRUE(out);
+  EXPECT_EQ(out->data(), p.data());
+}
+
+TEST(Reassembler, InterleavedDatagramsKeptApart) {
+  Packet a = big_udp(3000, 1);
+  Packet b = big_udp(3000, 2);
+  auto fa = fragment(a, 1500);
+  auto fb = fragment(b, 1500);
+  Reassembler r;
+  EXPECT_FALSE(r.add(SimTime(0), fa[0].data()));
+  EXPECT_FALSE(r.add(SimTime(0), fb[0].data()));
+  EXPECT_FALSE(r.add(SimTime(0), fa[1].data()));
+  auto whole_a = r.add(SimTime(0), fa[2].data());
+  ASSERT_TRUE(whole_a);
+  EXPECT_EQ(whole_a->data(), a.data());
+  EXPECT_EQ(r.pending_datagrams(), 1u);  // b still incomplete
+}
+
+TEST(Reassembler, MissingFragmentNeverCompletes) {
+  Packet p = big_udp(3000);
+  auto frags = fragment(p, 1500);
+  ASSERT_GE(frags.size(), 3u);
+  Reassembler r;
+  EXPECT_FALSE(r.add(SimTime(0), frags[0].data()));
+  EXPECT_FALSE(r.add(SimTime(0), frags[2].data()));  // skip the middle
+  EXPECT_EQ(r.pending_datagrams(), 1u);
+  EXPECT_GT(r.pending_bytes(), 0u);
+}
+
+TEST(Reassembler, ExpiryEvictsStale) {
+  Packet p = big_udp(3000);
+  auto frags = fragment(p, 1500);
+  Reassembler r(Duration::seconds(5));
+  r.add(SimTime(0), frags[0].data());
+  EXPECT_EQ(r.expire(SimTime(Duration::seconds(10).count())), 1u);
+  EXPECT_EQ(r.pending_datagrams(), 0u);
+}
+
+TEST(Reassembler, HostDeliversReassembledDatagram) {
+  netsim::Network net;
+  auto* a = net.add_host("a", kSrc);
+  auto* b = net.add_host("b", kDst);
+  auto* router = net.add_router("r");
+  net.connect(a, router);
+  net.connect(b, router);
+  std::string received;
+  b->udp_bind(2222, [&](const Decoded&, std::span<const uint8_t> payload) {
+    received = common::to_string(payload);
+  });
+  Packet p = big_udp(3000);
+  for (auto& f : fragment(p, 1000)) a->send(std::move(f));
+  net.run_for(Duration::millis(50));
+  EXPECT_EQ(received.size(), 3000u);
+  EXPECT_EQ(received.substr(0, 4), "abcd");
+}
+
+}  // namespace
+}  // namespace sm::packet
+
+namespace sm::core {
+namespace {
+
+// --- The evasion scenario ---
+
+/// Sends a keyword-bearing TCP segment from the client, fragmented at
+/// the IP layer so no single fragment contains the whole keyword.
+void send_fragmented_keyword(Testbed& tb) {
+  std::string req = "GET /search?q=falun HTTP/1.1\r\nHost: x\r\n\r\n";
+  // Pad so the keyword straddles the first fragment boundary (fragment
+  // payloads are 8-byte multiples; IP header 20 + TCP header 20).
+  packet::IpOptions opt;
+  opt.dont_fragment = false;
+  opt.identification = 99;
+  packet::Packet p = packet::make_tcp(
+      tb.addr().client, tb.addr().web_blocked, 5555, 80,
+      packet::TcpFlags::kAck, 1000, 1, common::to_bytes(req), opt);
+  // MTU 56: IP(20) + 36 payload bytes per fragment; "falun" sits at
+  // payload offset 31..36 of the TCP segment -> split across fragments.
+  for (auto& f : packet::fragment(p, 56)) tb.client->send(std::move(f));
+}
+
+TEST(FragmentEvasion, FragmentBlindCensorMissesSplitKeyword) {
+  TestbedConfig cfg;
+  cfg.policy = censor::gfc_profile();
+  cfg.policy.reassemble_ip_fragments = false;  // historical GFC posture
+  Testbed tb(cfg);
+  send_fragmented_keyword(tb);
+  tb.run_for(common::Duration::millis(100));
+  EXPECT_EQ(tb.censor_tap->stats().rst_bursts, 0u);
+}
+
+TEST(FragmentEvasion, VirtualDefragmentationCatchesIt) {
+  TestbedConfig cfg;
+  cfg.policy = censor::gfc_profile();
+  cfg.policy.reassemble_ip_fragments = true;
+  Testbed tb(cfg);
+  send_fragmented_keyword(tb);
+  tb.run_for(common::Duration::millis(100));
+  EXPECT_GE(tb.censor_tap->stats().rst_bursts, 1u);
+}
+
+TEST(FragmentEvasion, UnfragmentedKeywordCaughtEitherWay) {
+  TestbedConfig cfg;
+  cfg.policy = censor::gfc_profile();
+  Testbed tb(cfg);
+  std::string req = "GET /search?q=falun HTTP/1.1\r\n\r\n";
+  tb.client->send(packet::make_tcp(tb.addr().client,
+                                   tb.addr().web_blocked, 5555, 80,
+                                   packet::TcpFlags::kAck, 1000, 1,
+                                   common::to_bytes(req)));
+  tb.run_for(common::Duration::millis(100));
+  EXPECT_GE(tb.censor_tap->stats().rst_bursts, 1u);
+}
+
+}  // namespace
+}  // namespace sm::core

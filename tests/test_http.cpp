@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "netsim/topology.hpp"
+#include "proto/http/client.hpp"
+#include "proto/http/message.hpp"
+#include "proto/http/server.hpp"
+
+namespace sm::proto::http {
+namespace {
+
+using common::Duration;
+using common::Ipv4Address;
+
+TEST(Message, RequestSerializeHasHostAndBlankLine) {
+  Request r = Request::get("example.com", "/index.html");
+  std::string wire = r.serialize();
+  EXPECT_NE(wire.find("GET /index.html HTTP/1.1\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Host: example.com\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("\r\n\r\n"), std::string::npos);
+}
+
+TEST(Message, ResponseSerializeAddsContentLength) {
+  Response r = Response::ok("hello");
+  std::string wire = r.serialize();
+  EXPECT_NE(wire.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 5\r\n"), std::string::npos);
+  EXPECT_TRUE(wire.ends_with("hello"));
+}
+
+TEST(Message, FindHeaderCaseInsensitive) {
+  HeaderList h{{"Content-Type", "text/html"}, {"X-Thing", "1"}};
+  EXPECT_EQ(find_header(h, "content-type"), "text/html");
+  EXPECT_FALSE(find_header(h, "missing"));
+}
+
+TEST(Parser, ParsesRequestWithBody) {
+  Parser p;
+  p.feed("POST /submit HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd");
+  auto req = p.next_request();
+  ASSERT_TRUE(req);
+  EXPECT_EQ(req->method, "POST");
+  EXPECT_EQ(req->target, "/submit");
+  EXPECT_EQ(req->body, "abcd");
+  EXPECT_EQ(p.buffered(), 0u);
+}
+
+TEST(Parser, IncrementalFeeding) {
+  Parser p;
+  p.feed("GET / HT");
+  EXPECT_FALSE(p.next_request());
+  p.feed("TP/1.1\r\nHost: a");
+  EXPECT_FALSE(p.next_request());
+  p.feed("\r\n\r\n");
+  auto req = p.next_request();
+  ASSERT_TRUE(req);
+  EXPECT_EQ(req->host(), "a");
+}
+
+TEST(Parser, PipelinedRequests) {
+  Parser p;
+  p.feed("GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n");
+  auto r1 = p.next_request();
+  auto r2 = p.next_request();
+  ASSERT_TRUE(r1 && r2);
+  EXPECT_EQ(r1->target, "/a");
+  EXPECT_EQ(r2->target, "/b");
+  EXPECT_FALSE(p.next_request());
+}
+
+TEST(Parser, BodyWaitsForAllBytes) {
+  Parser p;
+  p.feed("HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\n12345");
+  EXPECT_FALSE(p.next_response());
+  p.feed("67890");
+  auto resp = p.next_response();
+  ASSERT_TRUE(resp);
+  EXPECT_EQ(resp->body, "1234567890");
+}
+
+TEST(Parser, ParsesResponseStatus) {
+  Parser p;
+  p.feed("HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n");
+  auto resp = p.next_response();
+  ASSERT_TRUE(resp);
+  EXPECT_EQ(resp->status, 404);
+  EXPECT_EQ(resp->reason, "Not");  // first word only, by design
+}
+
+TEST(Parser, MalformedStartLineFails) {
+  Parser p;
+  p.feed("NONSENSE\r\n\r\n");
+  EXPECT_FALSE(p.next_request());
+  EXPECT_TRUE(p.failed());
+}
+
+TEST(Parser, BadContentLengthFails) {
+  Parser p;
+  p.feed("GET / HTTP/1.1\r\nContent-Length: abc\r\n\r\n");
+  EXPECT_FALSE(p.next_request());
+  EXPECT_TRUE(p.failed());
+}
+
+TEST(Parser, RoundTripSerializedRequest) {
+  Request orig = Request::get("example.com", "/path?q=1");
+  orig.headers.emplace_back("X-Custom", "value with spaces");
+  Parser p;
+  p.feed(orig.serialize());
+  auto parsed = p.next_request();
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->method, orig.method);
+  EXPECT_EQ(parsed->target, orig.target);
+  EXPECT_EQ(find_header(parsed->headers, "X-Custom"), "value with spaces");
+}
+
+// --- Client/server over the simulated network ---
+
+class HttpNetTest : public ::testing::Test {
+ protected:
+  HttpNetTest() {
+    client_host_ = net_.add_host("c", Ipv4Address(10, 0, 0, 1));
+    server_host_ = net_.add_host("s", Ipv4Address(10, 0, 0, 2));
+    router_ = net_.add_router("r");
+    net_.connect(client_host_, router_);
+    net_.connect(server_host_, router_);
+    client_stack_ = std::make_unique<tcp::Stack>(*client_host_);
+    server_stack_ = std::make_unique<tcp::Stack>(*server_host_);
+    server_ = std::make_unique<Server>(*server_stack_, 80);
+    client_ = std::make_unique<Client>(*client_stack_);
+  }
+  netsim::Network net_;
+  netsim::Host* client_host_;
+  netsim::Host* server_host_;
+  netsim::Router* router_;
+  std::unique_ptr<tcp::Stack> client_stack_;
+  std::unique_ptr<tcp::Stack> server_stack_;
+  std::unique_ptr<Server> server_;
+  std::unique_ptr<Client> client_;
+};
+
+TEST_F(HttpNetTest, FetchDefaultPage) {
+  std::optional<FetchResult> result;
+  client_->fetch(server_host_->address(), 80, Request::get("s", "/"),
+                 [&](const FetchResult& r) { result = r; });
+  net_.run_for(Duration::seconds(2));
+  ASSERT_TRUE(result);
+  EXPECT_EQ(result->outcome, FetchOutcome::Ok);
+  EXPECT_EQ(result->response->status, 200);
+  EXPECT_NE(result->response->body.find("It works"), std::string::npos);
+  EXPECT_EQ(server_->requests_served(), 1u);
+}
+
+TEST_F(HttpNetTest, RouteDispatch) {
+  server_->route("/special", [](const Request&) {
+    return Response::make(418, "Teapot", "short and stout");
+  });
+  std::optional<FetchResult> result;
+  client_->fetch(server_host_->address(), 80, Request::get("s", "/special"),
+                 [&](const FetchResult& r) { result = r; });
+  net_.run_for(Duration::seconds(2));
+  ASSERT_TRUE(result);
+  EXPECT_EQ(result->response->status, 418);
+  EXPECT_EQ(result->response->body, "short and stout");
+}
+
+TEST_F(HttpNetTest, ConnectTimeoutOutcome) {
+  std::optional<FetchResult> result;
+  tcp::ConnectOptions opts;
+  opts.rto = Duration::millis(50);
+  opts.max_retries = 1;
+  client_->fetch(Ipv4Address(203, 0, 113, 77), 80, Request::get("x", "/"),
+                 [&](const FetchResult& r) { result = r; },
+                 Duration::seconds(3), opts);
+  net_.run_for(Duration::seconds(5));
+  ASSERT_TRUE(result);
+  EXPECT_EQ(result->outcome, FetchOutcome::ConnectTimeout);
+}
+
+TEST_F(HttpNetTest, ConnectResetOutcome) {
+  std::optional<FetchResult> result;
+  client_->fetch(server_host_->address(), 8080,  // closed port -> RST
+                 Request::get("s", "/"),
+                 [&](const FetchResult& r) { result = r; });
+  net_.run_for(Duration::seconds(2));
+  ASSERT_TRUE(result);
+  EXPECT_EQ(result->outcome, FetchOutcome::ConnectReset);
+}
+
+TEST_F(HttpNetTest, CallbackExactlyOnce) {
+  int calls = 0;
+  client_->fetch(server_host_->address(), 80, Request::get("s", "/"),
+                 [&](const FetchResult&) { ++calls; },
+                 Duration::millis(500));
+  net_.run_for(Duration::seconds(5));  // run past the timeout
+  EXPECT_EQ(calls, 1);
+}
+
+TEST_F(HttpNetTest, LargeBodyTransfers) {
+  std::string big(60'000, 'q');
+  server_->route("/big", [&](const Request&) { return Response::ok(big); });
+  std::optional<FetchResult> result;
+  client_->fetch(server_host_->address(), 80, Request::get("s", "/big"),
+                 [&](const FetchResult& r) { result = r; },
+                 Duration::seconds(30));
+  net_.run_for(Duration::seconds(30));
+  ASSERT_TRUE(result);
+  ASSERT_EQ(result->outcome, FetchOutcome::Ok);
+  EXPECT_EQ(result->response->body.size(), big.size());
+}
+
+}  // namespace
+}  // namespace sm::proto::http

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "ids/matcher.hpp"
+
+namespace sm::ids {
+namespace {
+
+using common::Bytes;
+using common::to_bytes;
+
+TEST(PatternMatcher, FindsSubstring) {
+  PatternMatcher m("needle", false);
+  Bytes hay = to_bytes("hay needle stack");
+  EXPECT_EQ(m.find(hay), 4u);
+}
+
+TEST(PatternMatcher, MissReturnsNpos) {
+  PatternMatcher m("needle", false);
+  Bytes hay = to_bytes("hay stack only");
+  EXPECT_EQ(m.find(hay), PatternMatcher::npos);
+}
+
+TEST(PatternMatcher, CaseSensitivityRespected) {
+  PatternMatcher cs("Falun", false);
+  PatternMatcher ci("Falun", true);
+  Bytes hay = to_bytes("about FALUN gong");
+  EXPECT_EQ(cs.find(hay), PatternMatcher::npos);
+  EXPECT_EQ(ci.find(hay), 6u);
+}
+
+TEST(PatternMatcher, MatchAtStartAndEnd) {
+  PatternMatcher m("ab", false);
+  EXPECT_EQ(m.find(to_bytes("abxx")), 0u);
+  EXPECT_EQ(m.find(to_bytes("xxab")), 2u);
+  EXPECT_EQ(m.find(to_bytes("ab")), 0u);
+}
+
+TEST(PatternMatcher, SingleByte) {
+  PatternMatcher m("x", false);
+  EXPECT_EQ(m.find(to_bytes("aaxa")), 2u);
+  EXPECT_EQ(m.find(to_bytes("aaaa")), PatternMatcher::npos);
+}
+
+TEST(PatternMatcher, EmptyPatternMatchesAtZero) {
+  PatternMatcher m("", false);
+  EXPECT_EQ(m.find(to_bytes("anything")), 0u);
+}
+
+TEST(PatternMatcher, HaystackShorterThanPattern) {
+  PatternMatcher m("longpattern", false);
+  EXPECT_EQ(m.find(to_bytes("short")), PatternMatcher::npos);
+}
+
+TEST(PatternMatcher, BinaryBytes) {
+  std::string pattern("\x00\xFF\x7F", 3);
+  PatternMatcher m(pattern, false);
+  Bytes hay{0x01, 0x00, 0xFF, 0x7F, 0x02};
+  EXPECT_EQ(m.find(hay), 1u);
+}
+
+TEST(PatternMatcher, RepeatedPrefixPattern) {
+  PatternMatcher m("aaab", false);
+  EXPECT_EQ(m.find(to_bytes("aaaaaab")), 3u);
+}
+
+TEST(ContentMatches, OffsetRestrictsStart) {
+  ContentMatch cm;
+  cm.pattern = "abc";
+  cm.offset = 5;
+  PatternMatcher m(cm.pattern, false);
+  EXPECT_FALSE(content_matches(cm, m, to_bytes("abcxxxxx")));
+  EXPECT_TRUE(content_matches(cm, m, to_bytes("xxxxxabc")));
+}
+
+TEST(ContentMatches, DepthRestrictsWindow) {
+  ContentMatch cm;
+  cm.pattern = "abc";
+  cm.depth = 5;
+  PatternMatcher m(cm.pattern, false);
+  EXPECT_TRUE(content_matches(cm, m, to_bytes("xxabczz")));
+  EXPECT_FALSE(content_matches(cm, m, to_bytes("xxxxxabc")));
+}
+
+TEST(ContentMatches, OffsetPlusDepth) {
+  ContentMatch cm;
+  cm.pattern = "abc";
+  cm.offset = 2;
+  cm.depth = 3;
+  PatternMatcher m(cm.pattern, false);
+  EXPECT_TRUE(content_matches(cm, m, to_bytes("xxabcyy")));
+  EXPECT_FALSE(content_matches(cm, m, to_bytes("abcxxyy")));
+  EXPECT_FALSE(content_matches(cm, m, to_bytes("xxxabcy")));
+}
+
+TEST(ContentMatches, NegationInverts) {
+  ContentMatch cm;
+  cm.pattern = "bad";
+  cm.negated = true;
+  PatternMatcher m(cm.pattern, false);
+  EXPECT_TRUE(content_matches(cm, m, to_bytes("all good")));
+  EXPECT_FALSE(content_matches(cm, m, to_bytes("bad stuff")));
+}
+
+TEST(ContentMatches, OffsetBeyondPayload) {
+  ContentMatch cm;
+  cm.pattern = "x";
+  cm.offset = 100;
+  PatternMatcher m(cm.pattern, false);
+  EXPECT_FALSE(content_matches(cm, m, to_bytes("short")));
+  // Negated: no match found => true.
+  cm.negated = true;
+  EXPECT_TRUE(content_matches(cm, m, to_bytes("short")));
+}
+
+// Property sweep: BMH agrees with std::string::find on random inputs.
+class BmhVsStdFind : public ::testing::TestWithParam<int> {};
+
+TEST_P(BmhVsStdFind, AgreesOnRandomInputs) {
+  common::Rng rng(static_cast<uint64_t>(GetParam()));
+  for (int iter = 0; iter < 200; ++iter) {
+    size_t hay_len = 1 + rng.bounded(64);
+    size_t pat_len = 1 + rng.bounded(6);
+    std::string hay, pat;
+    for (size_t i = 0; i < hay_len; ++i)
+      hay.push_back(static_cast<char>('a' + rng.bounded(3)));
+    for (size_t i = 0; i < pat_len; ++i)
+      pat.push_back(static_cast<char>('a' + rng.bounded(3)));
+    PatternMatcher m(pat, false);
+    size_t expected = hay.find(pat);
+    size_t actual = m.find(std::span<const uint8_t>(
+        reinterpret_cast<const uint8_t*>(hay.data()), hay.size()));
+    if (expected == std::string::npos) {
+      EXPECT_EQ(actual, PatternMatcher::npos) << hay << " / " << pat;
+    } else {
+      EXPECT_EQ(actual, expected) << hay << " / " << pat;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BmhVsStdFind, ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace sm::ids

@@ -1,0 +1,285 @@
+#include <gtest/gtest.h>
+
+#include "ids/parser.hpp"
+#include "packet/packet.hpp"
+
+namespace sm::ids {
+namespace {
+
+Rule parse_one(std::string_view text, const VarTable& vars = {}) {
+  auto result = parse_rule_line(text, vars);
+  EXPECT_TRUE(result.ok()) << (result.errors.empty()
+                                   ? ""
+                                   : result.errors[0].message);
+  if (!result.ok() || result.rules.empty()) return Rule{};
+  return result.rules[0];
+}
+
+TEST(Parser, MinimalAlertRule) {
+  Rule r = parse_one("alert tcp any any -> any 80 (msg:\"web\"; sid:1;)");
+  EXPECT_EQ(r.action, RuleAction::Alert);
+  EXPECT_EQ(r.proto, RuleProto::Tcp);
+  EXPECT_TRUE(r.src.any);
+  EXPECT_TRUE(r.src_ports.any);
+  EXPECT_FALSE(r.dst_ports.any);
+  EXPECT_TRUE(r.dst_ports.matches(80));
+  EXPECT_FALSE(r.dst_ports.matches(81));
+  EXPECT_EQ(r.msg, "web");
+  EXPECT_EQ(r.sid, 1u);
+}
+
+TEST(Parser, AllActions) {
+  EXPECT_EQ(parse_one("alert ip any any -> any any (sid:1;)").action,
+            RuleAction::Alert);
+  EXPECT_EQ(parse_one("log ip any any -> any any (sid:2;)").action,
+            RuleAction::Log);
+  EXPECT_EQ(parse_one("pass ip any any -> any any (sid:3;)").action,
+            RuleAction::Pass);
+  EXPECT_EQ(parse_one("drop ip any any -> any any (sid:4;)").action,
+            RuleAction::Drop);
+  EXPECT_EQ(parse_one("reject ip any any -> any any (sid:5;)").action,
+            RuleAction::Reject);
+}
+
+TEST(Parser, CidrAndSingleAddresses) {
+  Rule r = parse_one(
+      "alert tcp 10.0.0.0/8 any -> 192.0.2.1 any (sid:1;)");
+  EXPECT_TRUE(r.src.matches(common::Ipv4Address(10, 1, 2, 3)));
+  EXPECT_FALSE(r.src.matches(common::Ipv4Address(11, 0, 0, 1)));
+  EXPECT_TRUE(r.dst.matches(common::Ipv4Address(192, 0, 2, 1)));
+  EXPECT_FALSE(r.dst.matches(common::Ipv4Address(192, 0, 2, 2)));
+}
+
+TEST(Parser, AddressLists) {
+  Rule r = parse_one(
+      "alert tcp [10.0.0.0/8,172.16.0.0/12] any -> any any (sid:1;)");
+  EXPECT_TRUE(r.src.matches(common::Ipv4Address(10, 0, 0, 1)));
+  EXPECT_TRUE(r.src.matches(common::Ipv4Address(172, 20, 0, 1)));
+  EXPECT_FALSE(r.src.matches(common::Ipv4Address(192, 168, 1, 1)));
+}
+
+TEST(Parser, NegatedAddress) {
+  Rule r = parse_one("alert tcp !10.0.0.0/8 any -> any any (sid:1;)");
+  EXPECT_FALSE(r.src.matches(common::Ipv4Address(10, 0, 0, 1)));
+  EXPECT_TRUE(r.src.matches(common::Ipv4Address(11, 0, 0, 1)));
+}
+
+TEST(Parser, PortRangesAndLists) {
+  Rule r = parse_one("alert tcp any any -> any [80,443,8000:8100] (sid:1;)");
+  EXPECT_TRUE(r.dst_ports.matches(80));
+  EXPECT_TRUE(r.dst_ports.matches(443));
+  EXPECT_TRUE(r.dst_ports.matches(8050));
+  EXPECT_FALSE(r.dst_ports.matches(8101));
+  EXPECT_FALSE(r.dst_ports.matches(22));
+}
+
+TEST(Parser, OpenEndedPortRanges) {
+  Rule low = parse_one("alert tcp any any -> any :1024 (sid:1;)");
+  EXPECT_TRUE(low.dst_ports.matches(0));
+  EXPECT_TRUE(low.dst_ports.matches(1024));
+  EXPECT_FALSE(low.dst_ports.matches(1025));
+  Rule high = parse_one("alert tcp any any -> any 49152: (sid:2;)");
+  EXPECT_TRUE(high.dst_ports.matches(65535));
+  EXPECT_FALSE(high.dst_ports.matches(1000));
+}
+
+TEST(Parser, NegatedPorts) {
+  Rule r = parse_one("alert tcp any any -> any !80 (sid:1;)");
+  EXPECT_FALSE(r.dst_ports.matches(80));
+  EXPECT_TRUE(r.dst_ports.matches(81));
+}
+
+TEST(Parser, Bidirectional) {
+  Rule r = parse_one("alert tcp 10.0.0.1 any <> any 80 (sid:1;)");
+  EXPECT_TRUE(r.bidirectional);
+}
+
+TEST(Parser, VariablesResolve) {
+  VarTable vars{{"HOME_NET", "10.1.0.0/16"}, {"HTTP_PORTS", "[80,8080]"}};
+  Rule r = parse_one("alert tcp $HOME_NET any -> any $HTTP_PORTS (sid:1;)",
+                     vars);
+  EXPECT_TRUE(r.src.matches(common::Ipv4Address(10, 1, 5, 5)));
+  EXPECT_TRUE(r.dst_ports.matches(8080));
+}
+
+TEST(Parser, NegatedVariable) {
+  VarTable vars{{"HOME_NET", "10.1.0.0/16"}};
+  Rule r = parse_one("alert tcp !$HOME_NET any -> any any (sid:1;)", vars);
+  EXPECT_FALSE(r.src.matches(common::Ipv4Address(10, 1, 0, 1)));
+  EXPECT_TRUE(r.src.matches(common::Ipv4Address(8, 8, 8, 8)));
+}
+
+TEST(Parser, UndefinedVariableErrors) {
+  auto result = parse_rule_line("alert tcp $NOPE any -> any any (sid:1;)");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(Parser, ContentWithModifiers) {
+  Rule r = parse_one(
+      "alert tcp any any -> any any (content:\"falun\"; nocase; offset:4; "
+      "depth:100; sid:1;)");
+  ASSERT_EQ(r.contents.size(), 1u);
+  EXPECT_EQ(r.contents[0].pattern, "falun");
+  EXPECT_TRUE(r.contents[0].nocase);
+  EXPECT_EQ(r.contents[0].offset, 4);
+  EXPECT_EQ(r.contents[0].depth, 100);
+}
+
+TEST(Parser, MultipleContents) {
+  Rule r = parse_one(
+      "alert tcp any any -> any any (content:\"GET\"; content:\"Host\"; "
+      "sid:1;)");
+  ASSERT_EQ(r.contents.size(), 2u);
+}
+
+TEST(Parser, NegatedContent) {
+  Rule r = parse_one(
+      "alert tcp any any -> any any (content:!\"normal\"; sid:1;)");
+  ASSERT_EQ(r.contents.size(), 1u);
+  EXPECT_TRUE(r.contents[0].negated);
+}
+
+TEST(Parser, HexContent) {
+  Rule r = parse_one(
+      "alert tcp any any -> any any (content:\"|de ad be ef|tail\"; sid:1;)");
+  ASSERT_EQ(r.contents.size(), 1u);
+  ASSERT_EQ(r.contents[0].pattern.size(), 8u);
+  EXPECT_EQ(static_cast<uint8_t>(r.contents[0].pattern[0]), 0xDE);
+  EXPECT_EQ(r.contents[0].pattern.substr(4), "tail");
+}
+
+TEST(Parser, BadHexErrors) {
+  auto r = parse_rule_line(
+      "alert tcp any any -> any any (content:\"|zz|\"; sid:1;)");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Parser, FlagsVariants) {
+  Rule exact = parse_one("alert tcp any any -> any any (flags:S; sid:1;)");
+  ASSERT_TRUE(exact.flags);
+  EXPECT_EQ(exact.flags->required, packet::TcpFlags::kSyn);
+  EXPECT_TRUE(exact.flags->exact);
+
+  Rule plus = parse_one("alert tcp any any -> any any (flags:SA+; sid:2;)");
+  ASSERT_TRUE(plus.flags);
+  EXPECT_FALSE(plus.flags->exact);
+
+  Rule neg = parse_one("alert tcp any any -> any any (flags:!R; sid:3;)");
+  ASSERT_TRUE(neg.flags);
+  EXPECT_TRUE(neg.flags->negated);
+}
+
+TEST(Parser, DsizeVariants) {
+  Rule eq = parse_one("alert udp any any -> any any (dsize:100; sid:1;)");
+  EXPECT_TRUE(eq.dsize->matches(100));
+  EXPECT_FALSE(eq.dsize->matches(99));
+  Rule gt = parse_one("alert udp any any -> any any (dsize:>100; sid:2;)");
+  EXPECT_TRUE(gt.dsize->matches(101));
+  EXPECT_FALSE(gt.dsize->matches(100));
+  Rule lt = parse_one("alert udp any any -> any any (dsize:<100; sid:3;)");
+  EXPECT_TRUE(lt.dsize->matches(99));
+  Rule range =
+      parse_one("alert udp any any -> any any (dsize:50<>60; sid:4;)");
+  EXPECT_TRUE(range.dsize->matches(55));
+  EXPECT_FALSE(range.dsize->matches(61));
+}
+
+TEST(Parser, FlowKeywords) {
+  Rule r = parse_one(
+      "alert tcp any any -> any any (flow:established,to_server; sid:1;)");
+  ASSERT_TRUE(r.flow);
+  EXPECT_TRUE(r.flow->established);
+  EXPECT_TRUE(r.flow->to_server);
+  EXPECT_FALSE(r.flow->to_client);
+}
+
+TEST(Parser, Threshold) {
+  Rule r = parse_one(
+      "alert tcp any any -> any any (threshold:type both, track by_src, "
+      "count 5, seconds 60; sid:1;)");
+  ASSERT_TRUE(r.threshold);
+  EXPECT_EQ(r.threshold->type, ThresholdSpec::Type::Both);
+  EXPECT_EQ(r.threshold->track, ThresholdSpec::Track::BySrc);
+  EXPECT_EQ(r.threshold->count, 5u);
+  EXPECT_EQ(r.threshold->seconds, 60u);
+}
+
+TEST(Parser, ClasstypePriorityRev) {
+  Rule r = parse_one(
+      "alert tcp any any -> any any (msg:\"x\"; classtype:attempted-recon; "
+      "priority:2; sid:9; rev:3;)");
+  EXPECT_EQ(r.classtype, "attempted-recon");
+  EXPECT_EQ(r.priority, 2);
+  EXPECT_EQ(r.rev, 3u);
+}
+
+TEST(Parser, SemicolonInsideQuotedMsg) {
+  Rule r = parse_one(
+      "alert tcp any any -> any any (msg:\"a;b\"; sid:1;)");
+  EXPECT_EQ(r.msg, "a;b");
+}
+
+TEST(Parser, MultiLineRulesetSkipsCommentsAndBlanks) {
+  auto result = parse_rules(
+      "# comment line\n"
+      "\n"
+      "alert tcp any any -> any 80 (sid:1;)\n"
+      "   # indented comment\n"
+      "alert udp any any -> any 53 (sid:2;)\n");
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.rules.size(), 2u);
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  auto result = parse_rules(
+      "alert tcp any any -> any 80 (sid:1;)\n"
+      "bogus nonsense\n"
+      "alert udp any any -> any 53 (sid:2;)\n");
+  ASSERT_EQ(result.errors.size(), 1u);
+  EXPECT_EQ(result.errors[0].line, 2u);
+  EXPECT_EQ(result.rules.size(), 2u);  // good lines still parse
+}
+
+TEST(Parser, RejectsMalformedHeaders) {
+  EXPECT_FALSE(parse_rule_line("alert tcp any any -> any (sid:1;)").ok());
+  EXPECT_FALSE(parse_rule_line("alert tcp any any any 80 (sid:1;)").ok());
+  EXPECT_FALSE(
+      parse_rule_line("alert quic any any -> any 80 (sid:1;)").ok());
+  EXPECT_FALSE(
+      parse_rule_line("ignore tcp any any -> any 80 (sid:1;)").ok());
+  EXPECT_FALSE(parse_rule_line("alert tcp any any -> any 80 (sid:1;").ok());
+  EXPECT_FALSE(parse_rule_line("alert tcp any any -> any 80").ok());
+}
+
+TEST(Parser, RejectsBadOptionValues) {
+  EXPECT_FALSE(
+      parse_rule_line("alert tcp any any -> any any (nocase; sid:1;)").ok());
+  EXPECT_FALSE(
+      parse_rule_line("alert tcp any any -> any any (sid:abc;)").ok());
+  EXPECT_FALSE(parse_rule_line(
+                   "alert tcp any any -> any any (content:\"\"; sid:1;)")
+                   .ok());
+  EXPECT_FALSE(parse_rule_line(
+                   "alert tcp any any -> any any (dsize:xyz; sid:1;)")
+                   .ok());
+  EXPECT_FALSE(
+      parse_rule_line("alert tcp any any -> any 70000 (sid:1;)").ok());
+}
+
+TEST(Parser, RoundTripThroughToString) {
+  const char* text =
+      "alert tcp 10.0.0.0/8 any -> any 80 (msg:\"roundtrip\"; "
+      "content:\"abc\"; nocase; flags:S; dsize:>10; "
+      "flow:established,to_server; sid:42; rev:1;)";
+  Rule r1 = parse_one(text);
+  Rule r2 = parse_one(r1.to_string());
+  EXPECT_EQ(r2.msg, r1.msg);
+  EXPECT_EQ(r2.sid, r1.sid);
+  EXPECT_EQ(r2.contents.size(), r1.contents.size());
+  EXPECT_EQ(r2.flags->required, r1.flags->required);
+  EXPECT_EQ(r2.dsize->op, r1.dsize->op);
+  EXPECT_EQ(r2.flow->established, r1.flow->established);
+}
+
+}  // namespace
+}  // namespace sm::ids

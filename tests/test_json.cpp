@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "core/report_json.hpp"
+
+namespace sm::core {
+namespace {
+
+TEST(JsonEscape, PassesPlainText) {
+  EXPECT_EQ(json_escape("hello world"), "hello world");
+}
+
+TEST(JsonEscape, EscapesSpecials) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonEscape, PreservesUtf8Bytes) {
+  std::string s = "六四";  // multibyte UTF-8 passes through
+  EXPECT_EQ(json_escape(s), s);
+}
+
+TEST(ToJson, ProbeReportFields) {
+  ProbeReport r;
+  r.technique = "scan";
+  r.target = "198.18.0.90:80";
+  r.verdict = Verdict::BlockedTimeout;
+  r.detail = "said \"nothing\"";
+  r.packets_sent = 100;
+  r.samples = 100;
+  r.samples_blocked = 1;
+  std::string json = to_json(r);
+  EXPECT_NE(json.find("\"technique\":\"scan\""), std::string::npos);
+  EXPECT_NE(json.find("\"verdict\":\"blocked-timeout\""), std::string::npos);
+  EXPECT_NE(json.find("\"blocked\":true"), std::string::npos);
+  EXPECT_NE(json.find("said \\\"nothing\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"packets_sent\":100"), std::string::npos);
+}
+
+TEST(ToJson, RiskReportFields) {
+  RiskReport r;
+  r.technique = "spam";
+  r.evaded = true;
+  r.noise_alerts = 2;
+  r.suspicion = 0.25;
+  r.attribution_probability = 0.05;
+  std::string json = to_json(r);
+  EXPECT_NE(json.find("\"evaded\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"noise_alerts\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"suspicion\":0.25"), std::string::npos);
+}
+
+TEST(ToJsonl, OneObjectPerLine) {
+  ProbeReport p;
+  p.technique = "x";
+  RiskReport r;
+  r.technique = "x";
+  auto jsonl = to_jsonl({{p, r}, {p, r}});
+  size_t newlines = 0;
+  for (char c : jsonl)
+    if (c == '\n') ++newlines;
+  EXPECT_EQ(newlines, 2u);
+  EXPECT_NE(jsonl.find("{\"measurement\":{"), std::string::npos);
+  EXPECT_NE(jsonl.find(",\"risk\":{"), std::string::npos);
+}
+
+TEST(ToJson, BalancedBracesAndQuotes) {
+  // Structural sanity: every emitted object has balanced braces and an
+  // even number of unescaped quotes.
+  ProbeReport p;
+  p.technique = "q\"uo\\te";
+  p.detail = "newline\nhere";
+  std::string json = to_json(p);
+  int depth = 0;
+  size_t quotes = 0;
+  for (size_t i = 0; i < json.size(); ++i) {
+    char c = json[i];
+    bool escaped = i > 0 && json[i - 1] == '\\' &&
+                   (i < 2 || json[i - 2] != '\\');
+    if (c == '{' && !escaped) ++depth;
+    if (c == '}' && !escaped) --depth;
+    if (c == '"' && !escaped) ++quotes;
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_EQ(quotes % 2, 0u);
+}
+
+}  // namespace
+}  // namespace sm::core

@@ -1,0 +1,289 @@
+#include <gtest/gtest.h>
+
+#include "netsim/topology.hpp"
+#include "netsim/trace.hpp"
+#include "packet/packet.hpp"
+
+namespace sm::netsim {
+namespace {
+
+using common::Duration;
+using common::Ipv4Address;
+using common::SimTime;
+
+TEST(Engine, RunsInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule(Duration::millis(30), [&] { order.push_back(3); });
+  e.schedule(Duration::millis(10), [&] { order.push_back(1); });
+  e.schedule(Duration::millis(20), [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), SimTime(30'000'000));
+}
+
+TEST(Engine, SimultaneousEventsRunInScheduleOrder) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    e.schedule(Duration::millis(5), [&order, i] { order.push_back(i); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, NestedScheduling) {
+  Engine e;
+  int fired = 0;
+  e.schedule(Duration::millis(1), [&] {
+    e.schedule(Duration::millis(1), [&] { ++fired; });
+  });
+  e.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(e.now(), SimTime(2'000'000));
+}
+
+TEST(Engine, RunUntilAdvancesClockToDeadline) {
+  Engine e;
+  int fired = 0;
+  e.schedule(Duration::seconds(100), [&] { ++fired; });
+  e.run_until(SimTime(1'000'000'000));  // 1s
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(e.now(), SimTime(1'000'000'000));
+  EXPECT_EQ(e.pending(), 1u);
+}
+
+TEST(Engine, MaxEventsBound) {
+  Engine e;
+  for (int i = 0; i < 10; ++i) e.schedule(Duration::millis(i), [] {});
+  EXPECT_EQ(e.run(4), 4u);
+  EXPECT_EQ(e.pending(), 6u);
+}
+
+TEST(Engine, PastScheduleClampsToNow) {
+  Engine e;
+  e.schedule(Duration::millis(10), [] {});
+  e.run();
+  int fired = 0;
+  e.schedule_at(SimTime(0), [&] { ++fired; });  // in the past
+  e.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(e.now(), SimTime(10'000'000));  // clock did not go backward
+}
+
+class TwoHosts : public ::testing::Test {
+ protected:
+  TwoHosts() {
+    a_ = net_.add_host("a", Ipv4Address(10, 0, 0, 1));
+    b_ = net_.add_host("b", Ipv4Address(10, 0, 0, 2));
+    r_ = net_.add_router("r");
+    net_.connect(a_, r_, LinkConfig{Duration::millis(1), 0, 0.0});
+    net_.connect(b_, r_, LinkConfig{Duration::millis(1), 0, 0.0});
+  }
+  Network net_;
+  Host* a_;
+  Host* b_;
+  Router* r_;
+};
+
+TEST_F(TwoHosts, UdpDelivery) {
+  std::string received;
+  b_->udp_bind(9000, [&](const packet::Decoded&,
+                         std::span<const uint8_t> payload) {
+    received = common::to_string(payload);
+  });
+  a_->send_udp(b_->address(), 1234, 9000, common::to_bytes("ping"));
+  net_.run_for(Duration::millis(10));
+  EXPECT_EQ(received, "ping");
+  EXPECT_EQ(r_->counters().forwarded, 1u);
+}
+
+TEST_F(TwoHosts, LatencyIsModeled) {
+  SimTime arrival{};
+  b_->udp_bind(9000, [&](const packet::Decoded&, std::span<const uint8_t>) {
+    arrival = net_.engine().now();
+  });
+  a_->send_udp(b_->address(), 1, 9000, common::to_bytes("x"));
+  net_.run_for(Duration::millis(10));
+  // Two 1ms links.
+  EXPECT_EQ(arrival, SimTime(2'000'000));
+}
+
+TEST_F(TwoHosts, TtlExpiryGeneratesIcmpTimeExceeded) {
+  bool got_ttl_exceeded = false;
+  a_->set_icmp_handler([&](const packet::Decoded& d, const common::Bytes&) {
+    if (d.icmp->type == packet::IcmpHeader::kTimeExceeded)
+      got_ttl_exceeded = true;
+  });
+  a_->send_udp(b_->address(), 1, 9000, common::to_bytes("x"), /*ttl=*/1);
+  net_.run_for(Duration::millis(10));
+  EXPECT_TRUE(got_ttl_exceeded);
+  EXPECT_EQ(r_->counters().dropped_ttl, 1u);
+  EXPECT_EQ(r_->counters().forwarded, 0u);
+}
+
+TEST_F(TwoHosts, PingReply) {
+  bool got_reply = false;
+  a_->set_icmp_handler([&](const packet::Decoded& d, const common::Bytes&) {
+    if (d.icmp->type == packet::IcmpHeader::kEchoReply) got_reply = true;
+  });
+  a_->send(packet::make_icmp(a_->address(), b_->address(),
+                             packet::IcmpHeader::kEchoRequest, 0, 1));
+  net_.run_for(Duration::millis(10));
+  EXPECT_TRUE(got_reply);
+}
+
+TEST_F(TwoHosts, NoRouteDropsPacket) {
+  a_->send_udp(Ipv4Address(203, 0, 113, 99), 1, 2, common::to_bytes("x"));
+  net_.run_for(Duration::millis(10));
+  EXPECT_EQ(r_->counters().dropped_no_route, 1u);
+}
+
+TEST_F(TwoHosts, IngressFilterDropsSpoofed) {
+  // Port 0 is host a's port; forbid any src that is not a's address.
+  r_->set_ingress_filter(0, [addr = a_->address()](Ipv4Address src) {
+    return src == addr;
+  });
+  // Spoofed packet from a claiming to be 10.0.0.77.
+  a_->send(packet::make_udp(Ipv4Address(10, 0, 0, 77), b_->address(), 1,
+                            9000, common::to_bytes("spoof")));
+  net_.run_for(Duration::millis(10));
+  EXPECT_EQ(r_->counters().dropped_ingress, 1u);
+  // Legit packet passes.
+  a_->send_udp(b_->address(), 1, 9000, common::to_bytes("ok"));
+  net_.run_for(Duration::millis(10));
+  EXPECT_EQ(r_->counters().forwarded, 1u);
+}
+
+TEST_F(TwoHosts, TapSeesAndCanDrop) {
+  struct DropUdpTap : Tap {
+    int seen = 0;
+    TapDecision process(const TapContext& ctx, Router&) override {
+      ++seen;
+      return ctx.decoded.udp ? TapDecision::Drop : TapDecision::Pass;
+    }
+  } tap;
+  r_->add_tap(&tap);
+  bool received = false;
+  b_->udp_bind(9000, [&](const packet::Decoded&, std::span<const uint8_t>) {
+    received = true;
+  });
+  a_->send_udp(b_->address(), 1, 9000, common::to_bytes("x"));
+  net_.run_for(Duration::millis(10));
+  EXPECT_EQ(tap.seen, 1);
+  EXPECT_FALSE(received);
+  EXPECT_EQ(r_->counters().dropped_by_tap, 1u);
+}
+
+TEST_F(TwoHosts, TapSeesPacketBeforeTtlExpiry) {
+  // The ingress-mirror semantics: a TTL=1 packet is still observed.
+  struct CountTap : Tap {
+    int seen = 0;
+    TapDecision process(const TapContext&, Router&) override {
+      ++seen;
+      return TapDecision::Pass;
+    }
+  } tap;
+  r_->add_tap(&tap);
+  a_->send_udp(b_->address(), 1, 9000, common::to_bytes("x"), /*ttl=*/1);
+  net_.run_for(Duration::millis(10));
+  EXPECT_EQ(tap.seen, 1);
+  EXPECT_EQ(r_->counters().dropped_ttl, 1u);
+}
+
+TEST_F(TwoHosts, InjectedPacketBypassesTaps) {
+  struct CountTap : Tap {
+    int seen = 0;
+    TapDecision process(const TapContext&, Router&) override {
+      ++seen;
+      return TapDecision::Pass;
+    }
+  } tap;
+  r_->add_tap(&tap);
+  r_->inject(packet::make_udp(Ipv4Address(1, 1, 1, 1), b_->address(), 1,
+                              9000, common::to_bytes("inj")));
+  net_.run_for(Duration::millis(10));
+  EXPECT_EQ(tap.seen, 0);
+  EXPECT_EQ(r_->counters().injected, 1u);
+}
+
+TEST_F(TwoHosts, TraceTapRecords) {
+  TraceTap trace;
+  r_->add_tap(&trace);
+  a_->send_udp(b_->address(), 1, 9000, common::to_bytes("x"));
+  a_->send_udp(b_->address(), 1, 9000, common::to_bytes("y"));
+  net_.run_for(Duration::millis(10));
+  EXPECT_EQ(trace.size(), 2u);
+}
+
+TEST_F(TwoHosts, TraceTapFilter) {
+  TraceTap trace([](const packet::Decoded& d) {
+    return d.udp && d.udp->dst_port == 53;
+  });
+  r_->add_tap(&trace);
+  a_->send_udp(b_->address(), 1, 9000, common::to_bytes("x"));
+  a_->send_udp(b_->address(), 1, 53, common::to_bytes("y"));
+  net_.run_for(Duration::millis(10));
+  EXPECT_EQ(trace.size(), 1u);
+}
+
+TEST(Link, LossDropsPackets) {
+  Network net;
+  Host* a = net.add_host("a", Ipv4Address(10, 0, 0, 1));
+  Host* b = net.add_host("b", Ipv4Address(10, 0, 0, 2));
+  // Direct host-to-host lossy link.
+  Link* link = net.connect(a, b, LinkConfig{Duration::millis(1), 0, 0.5});
+  int received = 0;
+  b->udp_bind(1, [&](const packet::Decoded&, std::span<const uint8_t>) {
+    ++received;
+  });
+  for (int i = 0; i < 200; ++i)
+    a->send_udp(b->address(), 1, 1, common::to_bytes("x"));
+  net.run_for(Duration::seconds(1));
+  EXPECT_GT(received, 50);
+  EXPECT_LT(received, 150);
+  EXPECT_EQ(link->packets_dropped() + static_cast<uint64_t>(received), 200u);
+}
+
+TEST(Link, BandwidthAddsSerializationDelay) {
+  Network net;
+  Host* a = net.add_host("a", Ipv4Address(10, 0, 0, 1));
+  Host* b = net.add_host("b", Ipv4Address(10, 0, 0, 2));
+  // 8 kbit/s: a 1000-byte packet takes 1 s to serialize.
+  net.connect(a, b, LinkConfig{Duration::millis(0), 8000, 0.0});
+  SimTime arrival{};
+  b->udp_bind(1, [&](const packet::Decoded&, std::span<const uint8_t>) {
+    arrival = net.engine().now();
+  });
+  common::Bytes big(1000 - 28, 'x');  // IP+UDP headers make 1000 total
+  a->send_udp(b->address(), 1, 1, big);
+  net.run_for(Duration::seconds(3));
+  EXPECT_NEAR(arrival.to_seconds(), 1.0, 0.01);
+}
+
+TEST(Network, HostAndRouterLookupByName) {
+  Network net;
+  net.add_host("alpha", Ipv4Address(10, 0, 0, 1));
+  net.add_router("core");
+  EXPECT_NE(net.host("alpha"), nullptr);
+  EXPECT_EQ(net.host("beta"), nullptr);
+  EXPECT_NE(net.router("core"), nullptr);
+  EXPECT_EQ(net.router("edge"), nullptr);
+}
+
+TEST(Router, LongestPrefixMatchWins) {
+  Network net;
+  Router* r = net.add_router("r");
+  Host* a = net.add_host("a", Ipv4Address(10, 0, 0, 1));
+  Host* b = net.add_host("b", Ipv4Address(10, 1, 0, 1));
+  net.connect(a, r);
+  net.connect(b, r);
+  // Manual routes: /8 to port 0, /16 to port 1 — /16 must win for 10.1.
+  r->add_route(common::Cidr(Ipv4Address(10, 0, 0, 0), 8), 0);
+  r->add_route(common::Cidr(Ipv4Address(10, 1, 0, 0), 16), 1);
+  EXPECT_EQ(r->route_lookup(Ipv4Address(10, 1, 2, 3)), 1);
+  EXPECT_EQ(r->route_lookup(Ipv4Address(10, 2, 0, 1)), 0);
+  EXPECT_EQ(r->route_lookup(Ipv4Address(11, 0, 0, 1)), -1);
+}
+
+}  // namespace
+}  // namespace sm::netsim

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "packet/packet.hpp"
+#include "packet/pcap.hpp"
+
+namespace sm::packet {
+namespace {
+
+using common::Ipv4Address;
+using common::SimTime;
+
+std::vector<PcapRecord> sample_records() {
+  std::vector<PcapRecord> records;
+  for (int i = 0; i < 5; ++i) {
+    Packet p = make_tcp(Ipv4Address(10, 0, 0, 1), Ipv4Address(10, 0, 0, 2),
+                        1000 + i, 80, TcpFlags::kSyn, i, 0);
+    records.push_back(PcapRecord{
+        SimTime(static_cast<int64_t>(i) * 1'000'000'000), p.data()});
+  }
+  return records;
+}
+
+TEST(Pcap, RoundTrip) {
+  auto records = sample_records();
+  auto bytes = write_pcap(records);
+  auto loaded = read_pcap(bytes);
+  ASSERT_TRUE(loaded);
+  ASSERT_EQ(loaded->size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].data, records[i].data) << i;
+    // Timestamps survive at microsecond resolution.
+    EXPECT_EQ((*loaded)[i].timestamp.count() / 1000,
+              records[i].timestamp.count() / 1000);
+  }
+}
+
+TEST(Pcap, HeaderMagicAndLinktype) {
+  auto bytes = write_pcap({}, 101);
+  ASSERT_GE(bytes.size(), 24u);
+  EXPECT_EQ(bytes[0], 0xD4);  // little-endian magic
+  EXPECT_EQ(bytes[3], 0xA1);
+  EXPECT_EQ(bytes[20], 101);  // linktype LSB
+}
+
+TEST(Pcap, RejectsBadMagic) {
+  common::Bytes junk(32, 0x42);
+  EXPECT_FALSE(read_pcap(junk));
+}
+
+TEST(Pcap, RejectsTruncatedRecord) {
+  auto bytes = write_pcap(sample_records());
+  bytes.resize(bytes.size() - 3);
+  EXPECT_FALSE(read_pcap(bytes));
+}
+
+TEST(Pcap, EmptyCapture) {
+  auto bytes = write_pcap({});
+  auto loaded = read_pcap(bytes);
+  ASSERT_TRUE(loaded);
+  EXPECT_TRUE(loaded->empty());
+}
+
+TEST(Pcap, FileRoundTrip) {
+  std::string path = testing::TempDir() + "/sm_test.pcap";
+  auto records = sample_records();
+  ASSERT_TRUE(save_pcap(path, records));
+  auto loaded = load_pcap(path);
+  ASSERT_TRUE(loaded);
+  EXPECT_EQ(loaded->size(), records.size());
+  std::remove(path.c_str());
+}
+
+TEST(Pcap, LoadMissingFile) {
+  EXPECT_FALSE(load_pcap("/nonexistent/definitely/missing.pcap"));
+}
+
+TEST(Pcap, DecodableAfterRoundTrip) {
+  auto bytes = write_pcap(sample_records());
+  auto loaded = read_pcap(bytes);
+  ASSERT_TRUE(loaded);
+  for (const auto& rec : *loaded) {
+    auto d = decode(rec.data);
+    ASSERT_TRUE(d);
+    EXPECT_TRUE(d->tcp);
+  }
+}
+
+}  // namespace
+}  // namespace sm::packet

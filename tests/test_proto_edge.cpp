@@ -1,0 +1,191 @@
+// Protocol edge cases: HTTP POST round trips, keep-alive reuse, DNS
+// CNAME chasing and multi-record answers, SMTP size/ordering corners.
+#include <gtest/gtest.h>
+
+#include "netsim/topology.hpp"
+#include "proto/dns/client.hpp"
+#include "proto/dns/server.hpp"
+#include "proto/http/client.hpp"
+#include "proto/http/server.hpp"
+#include "proto/smtp/client.hpp"
+#include "proto/smtp/server.hpp"
+
+namespace sm::proto {
+namespace {
+
+using common::Duration;
+using common::Ipv4Address;
+
+class ProtoEdgeTest : public ::testing::Test {
+ protected:
+  ProtoEdgeTest() {
+    client_host_ = net_.add_host("c", Ipv4Address(10, 0, 0, 1));
+    server_host_ = net_.add_host("s", Ipv4Address(10, 0, 0, 2));
+    router_ = net_.add_router("r");
+    net_.connect(client_host_, router_);
+    net_.connect(server_host_, router_);
+    client_stack_ = std::make_unique<tcp::Stack>(*client_host_);
+    server_stack_ = std::make_unique<tcp::Stack>(*server_host_);
+  }
+  netsim::Network net_;
+  netsim::Host* client_host_;
+  netsim::Host* server_host_;
+  netsim::Router* router_;
+  std::unique_ptr<tcp::Stack> client_stack_;
+  std::unique_ptr<tcp::Stack> server_stack_;
+};
+
+TEST_F(ProtoEdgeTest, HttpPostBodyReachesHandler) {
+  http::Server server(*server_stack_, 80);
+  std::string seen_body;
+  server.route("/submit", [&](const http::Request& req) {
+    seen_body = req.body;
+    return http::Response::ok("accepted");
+  });
+  http::Client client(*client_stack_);
+  http::Request req;
+  req.method = "POST";
+  req.target = "/submit";
+  req.headers.emplace_back("Host", "s");
+  req.headers.emplace_back("Connection", "close");
+  req.body = "key=value&other=1";
+  std::optional<http::FetchResult> result;
+  client.fetch(server_host_->address(), 80, req,
+               [&](const http::FetchResult& r) { result = r; });
+  net_.run_for(Duration::seconds(2));
+  ASSERT_TRUE(result && result->ok());
+  EXPECT_EQ(seen_body, "key=value&other=1");
+  EXPECT_EQ(result->response->body, "accepted");
+}
+
+TEST_F(ProtoEdgeTest, HttpKeepAliveServesSecondRequestOnSameConnection) {
+  http::Server server(*server_stack_, 80);
+  server.route("/a", [](const http::Request&) {
+    return http::Response::ok("first");
+  });
+  server.route("/b", [](const http::Request&) {
+    return http::Response::ok("second");
+  });
+  // Drive the connection by hand: two pipelined keep-alive requests.
+  std::string received;
+  tcp::Connection* c = client_stack_->connect(server_host_->address(), 80);
+  c->on_connect = [](tcp::Connection& conn) {
+    conn.send_text("GET /a HTTP/1.1\r\nHost: s\r\n\r\n"
+                   "GET /b HTTP/1.1\r\nHost: s\r\nConnection: close\r\n"
+                   "\r\n");
+  };
+  c->on_data = [&](tcp::Connection&, std::span<const uint8_t> d) {
+    received += common::to_string(d);
+  };
+  net_.run_for(Duration::seconds(2));
+  EXPECT_NE(received.find("first"), std::string::npos);
+  EXPECT_NE(received.find("second"), std::string::npos);
+  EXPECT_EQ(server.requests_served(), 2u);
+}
+
+TEST_F(ProtoEdgeTest, DnsCnameChaseReturnsARecord) {
+  dns::Zone zone;
+  zone.add(dns::ResourceRecord::cname(dns::Name("www.example.com"),
+                                      dns::Name("example.com")));
+  zone.add(dns::ResourceRecord::a(dns::Name("example.com"),
+                                  Ipv4Address(93, 184, 216, 34)));
+  dns::Server server(*server_host_, std::move(zone));
+  dns::Client client(*client_host_, server_host_->address());
+  std::optional<dns::QueryResult> result;
+  client.query(dns::Name("www.example.com"), dns::RecordType::A,
+               [&](const dns::QueryResult& r) { result = r; });
+  net_.run_for(Duration::millis(200));
+  ASSERT_TRUE(result && result->answered());
+  // The chased A record is present alongside the CNAME.
+  EXPECT_EQ(result->response->first_a(), Ipv4Address(93, 184, 216, 34));
+  EXPECT_EQ(result->response->answers.size(), 2u);
+}
+
+TEST_F(ProtoEdgeTest, DnsMultipleARecordsAllReturned) {
+  dns::Zone zone;
+  zone.add(dns::ResourceRecord::a(dns::Name("multi.example"),
+                                  Ipv4Address(1, 1, 1, 1)));
+  zone.add(dns::ResourceRecord::a(dns::Name("multi.example"),
+                                  Ipv4Address(2, 2, 2, 2)));
+  dns::Server server(*server_host_, std::move(zone));
+  dns::Client client(*client_host_, server_host_->address());
+  std::optional<dns::QueryResult> result;
+  client.query(dns::Name("multi.example"), dns::RecordType::A,
+               [&](const dns::QueryResult& r) { result = r; });
+  net_.run_for(Duration::millis(200));
+  ASSERT_TRUE(result && result->answered());
+  EXPECT_EQ(result->response->answers.size(), 2u);
+}
+
+TEST_F(ProtoEdgeTest, DnsEmptyAnswerForExistingNameWrongType) {
+  dns::Zone zone;
+  zone.add(dns::ResourceRecord::a(dns::Name("a-only.example"),
+                                  Ipv4Address(1, 1, 1, 1)));
+  dns::Server server(*server_host_, std::move(zone));
+  dns::Client client(*client_host_, server_host_->address());
+  std::optional<dns::QueryResult> result;
+  client.query(dns::Name("a-only.example"), dns::RecordType::MX,
+               [&](const dns::QueryResult& r) { result = r; });
+  net_.run_for(Duration::millis(200));
+  ASSERT_TRUE(result && result->answered());
+  // NOERROR with zero answers — distinct from NXDOMAIN.
+  EXPECT_EQ(result->response->header.rcode, dns::Rcode::NoError);
+  EXPECT_TRUE(result->response->answers.empty());
+}
+
+TEST_F(ProtoEdgeTest, SmtpLargeMessageBody) {
+  smtp::Server server(*server_stack_, "mx.example");
+  smtp::Client client(*client_stack_);
+  std::string body = "Subject: big\r\n\r\n";
+  for (int i = 0; i < 500; ++i)
+    body += "line " + std::to_string(i) + " of a long message\r\n";
+  smtp::Envelope env;
+  env.mail_from = "<a@b>";
+  env.rcpt_to = "<c@d>";
+  env.data = body;
+  std::optional<smtp::DeliveryResult> result;
+  client.deliver(server_host_->address(), env,
+                 [&](const smtp::DeliveryResult& r) { result = r; });
+  net_.run_for(Duration::seconds(10));
+  ASSERT_TRUE(result && result->delivered());
+  ASSERT_EQ(server.message_count(), 1u);
+  EXPECT_NE(server.messages()[0].data.find("line 499"), std::string::npos);
+}
+
+TEST_F(ProtoEdgeTest, SmtpMultipleRecipients) {
+  smtp::Server server(*server_stack_, "mx.example");
+  // Manual session: two RCPT TO commands.
+  std::vector<std::string> script{
+      "HELO x\r\n", "MAIL FROM:<a@b>\r\n", "RCPT TO:<one@d>\r\n",
+      "RCPT TO:<two@d>\r\n", "DATA\r\n", "Subject: hi\r\n\r\nbody\r\n.\r\n",
+      "QUIT\r\n"};
+  size_t next = 0;
+  tcp::Connection* c = client_stack_->connect(server_host_->address(), 25);
+  c->on_data = [&](tcp::Connection& conn, std::span<const uint8_t>) {
+    if (next < script.size()) conn.send_text(script[next++]);
+  };
+  net_.run_for(Duration::seconds(3));
+  ASSERT_EQ(server.message_count(), 1u);
+  EXPECT_EQ(server.messages()[0].rcpt_to.size(), 2u);
+}
+
+TEST_F(ProtoEdgeTest, HttpParserHeaderCaseAndWhitespace) {
+  http::Parser p;
+  p.feed("GET / HTTP/1.1\r\ncOnTeNt-LeNgTh:   3  \r\n\r\nabc");
+  auto req = p.next_request();
+  ASSERT_TRUE(req);
+  EXPECT_EQ(req->body, "abc");
+  EXPECT_EQ(http::find_header(req->headers, "Content-Length"), "3");
+}
+
+TEST_F(ProtoEdgeTest, HttpZeroLengthBody) {
+  http::Parser p;
+  p.feed("HTTP/1.1 204 No-Content\r\nContent-Length: 0\r\n\r\n");
+  auto resp = p.next_response();
+  ASSERT_TRUE(resp);
+  EXPECT_EQ(resp->status, 204);
+  EXPECT_TRUE(resp->body.empty());
+}
+
+}  // namespace
+}  // namespace sm::proto

@@ -1,0 +1,219 @@
+// Failure injection and property sweeps: probes over lossy paths, DNS
+// retransmission, ping localization, and random-input round-trip
+// properties for the fragmenter and the rule language.
+#include <gtest/gtest.h>
+
+#include "core/overt.hpp"
+#include "core/ping.hpp"
+#include "core/probe.hpp"
+#include "core/spam.hpp"
+#include "ids/parser.hpp"
+#include "packet/fragment.hpp"
+
+namespace sm::core {
+namespace {
+
+using common::Duration;
+using common::Ipv4Address;
+
+TEST(DnsRetry, SurvivesLossyLink) {
+  // 30% loss on the client link: without retransmission many queries
+  // die; with 4 retries virtually all succeed.
+  netsim::Network net;
+  auto* ch = net.add_host("c", Ipv4Address(10, 0, 0, 1));
+  auto* sh = net.add_host("s", Ipv4Address(10, 0, 0, 53));
+  auto* r = net.add_router("r");
+  net.connect(ch, r, netsim::LinkConfig{Duration::millis(1), 0, 0.3});
+  net.connect(sh, r);
+  proto::dns::Zone zone;
+  zone.add_site("example.com", Ipv4Address(1, 2, 3, 4));
+  proto::dns::Server server(*sh, std::move(zone));
+  proto::dns::Client client(*ch, sh->address(), Duration::millis(200),
+                            /*retries=*/4);
+  int answered = 0, total = 30;
+  for (int i = 0; i < total; ++i) {
+    client.query(proto::dns::Name("example.com"),
+                 proto::dns::RecordType::A,
+                 [&](const proto::dns::QueryResult& result) {
+                   if (result.answered()) ++answered;
+                 });
+  }
+  net.run_for(Duration::seconds(10));
+  // P(all 5 transmissions of one query lose a packet) ~ (1-0.49)^5 small;
+  // expect at least 28/30.
+  EXPECT_GE(answered, 28) << answered;
+}
+
+TEST(DnsRetry, NoRetriesTimesOutFaster) {
+  netsim::Network net;
+  auto* ch = net.add_host("c", Ipv4Address(10, 0, 0, 1));
+  auto* r = net.add_router("r");
+  net.connect(ch, r);
+  proto::dns::Client client(*ch, Ipv4Address(203, 0, 113, 1),
+                            Duration::millis(100), /*retries=*/0);
+  bool fired = false;
+  client.query(proto::dns::Name("x.example"), proto::dns::RecordType::A,
+               [&](const proto::dns::QueryResult& result) {
+                 fired = true;
+                 EXPECT_FALSE(result.answered());
+               });
+  net.run_for(Duration::millis(150));
+  EXPECT_TRUE(fired);
+}
+
+TEST(Ping, ReachableHostAnswersAll) {
+  Testbed tb;
+  PingProbe probe(tb, {.target = tb.addr().web_open});
+  ProbeReport report = run_probe(tb, probe);
+  EXPECT_EQ(report.verdict, Verdict::Reachable) << report.to_string();
+  EXPECT_EQ(probe.replies_received(), 3u);
+}
+
+TEST(Ping, NullRoutedHostSilent) {
+  TestbedConfig cfg;
+  cfg.policy = censor::dropping_profile({TestbedAddresses{}.web_blocked});
+  Testbed tb(cfg);
+  PingProbe probe(tb, {.target = tb.addr().web_blocked});
+  ProbeReport report = run_probe(tb, probe);
+  EXPECT_EQ(report.verdict, Verdict::BlockedTimeout) << report.to_string();
+}
+
+TEST(Ping, LocalizesPortBlockToServiceLayer) {
+  // Port 80 blocked but the host pings: the combination distinguishes
+  // service blocking from route blackholing.
+  TestbedConfig cfg;
+  cfg.policy = censor::dropping_profile(
+      {}, {{TestbedAddresses{}.web_blocked, 80}});
+  Testbed tb(cfg);
+  PingProbe ping(tb, {.target = tb.addr().web_blocked});
+  EXPECT_EQ(run_probe(tb, ping).verdict, Verdict::Reachable);
+  OvertHttpProbe http(tb, {.domain = "blocked.example"});
+  EXPECT_EQ(run_probe(tb, http).verdict, Verdict::BlockedTimeout);
+}
+
+TEST(LossyPath, SpamProbeStillDeliversWithTcpRetransmission) {
+  TestbedConfig cfg;
+  cfg.client_link.loss_rate = 0.15;
+  Testbed tb(cfg);
+  SpamProbe probe(tb, {.domain = "open.example"});
+  ProbeReport report = run_probe(tb, probe, Duration::seconds(60));
+  // TCP retransmission carries SMTP through; only the UDP DNS lookups
+  // are fragile, and the spam probe treats their loss as a (correctly
+  // labeled) timeout — but with 15% loss a single query usually lands.
+  EXPECT_TRUE(report.verdict == Verdict::Reachable ||
+              report.verdict == Verdict::BlockedTimeout)
+      << report.to_string();
+}
+
+// Property sweep: fragment() then Reassembler::add() is the identity for
+// random payload sizes and MTUs.
+struct FragCase {
+  size_t payload;
+  size_t mtu;
+};
+class FragmentRoundTrip : public ::testing::TestWithParam<FragCase> {};
+
+TEST_P(FragmentRoundTrip, Identity) {
+  auto [payload_len, mtu] = GetParam();
+  common::Rng rng(payload_len * 31 + mtu);
+  common::Bytes payload(payload_len);
+  for (auto& b : payload) b = static_cast<uint8_t>(rng.bounded(256));
+  packet::IpOptions opt;
+  opt.dont_fragment = false;
+  opt.identification = static_cast<uint16_t>(payload_len);
+  packet::Packet p = packet::make_udp(Ipv4Address(10, 0, 0, 1),
+                                      Ipv4Address(10, 0, 0, 2), 1, 2,
+                                      payload, opt);
+  auto frags = packet::fragment(p, mtu);
+  // Shuffle delivery order.
+  rng.shuffle(frags);
+  packet::Reassembler reassembler;
+  std::optional<packet::Packet> whole;
+  for (const auto& f : frags) {
+    auto out = reassembler.add(common::SimTime(0), f.data());
+    if (out) whole = out;
+  }
+  ASSERT_TRUE(whole);
+  EXPECT_EQ(whole->data(), p.data());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, FragmentRoundTrip,
+    ::testing::Values(FragCase{100, 68}, FragCase{1000, 200},
+                      FragCase{1473, 1500}, FragCase{5000, 576},
+                      FragCase{9000, 1500}, FragCase{64, 68},
+                      FragCase{2000, 100}));
+
+// Property sweep: every rule in the shipped rulesets survives a
+// to_string -> parse round trip with matching semantics fields.
+// Behavioural equivalence: an engine built from the community ruleset
+// and an engine built from its to_string() serialization produce the
+// same alerts on the same traffic.
+TEST(RuleRoundTrip, SerializedEngineBehavesIdentically) {
+  auto rules = surveillance::community_ruleset();
+  std::string text;
+  for (const auto& r : rules) text += r.to_string() + "\n";
+  ids::Engine original(surveillance::community_ruleset());
+  ids::Engine reparsed = ids::Engine::from_text(text);
+  ASSERT_EQ(reparsed.rule_count(), original.rule_count());
+
+  // Drive both with a mixed traffic sample.
+  common::Rng rng(17);
+  std::vector<common::Bytes> wires;
+  for (int i = 0; i < 300; ++i) {
+    Ipv4Address src(static_cast<uint32_t>(0x0A000001 + rng.bounded(5)));
+    Ipv4Address dst(198, 18, 0, 80);
+    uint16_t dport = rng.chance(0.3) ? 25 : 80;
+    std::string payload;
+    switch (rng.bounded(5)) {
+      case 0: payload = "GET / HTTP/1.1\r\nUser-Agent: OONI\r\n"; break;
+      case 1: payload = "MAIL FROM:<x@y>\r\n"; break;
+      case 2: payload = "BitTorrent protocol"; break;
+      case 3: payload = "nothing interesting"; break;
+      case 4: payload = "ultrasurf handshake"; break;
+    }
+    uint8_t flags = rng.chance(0.3)
+                        ? packet::TcpFlags::kSyn
+                        : static_cast<uint8_t>(packet::TcpFlags::kAck);
+    wires.push_back(packet::make_tcp(src, dst,
+                                     static_cast<uint16_t>(
+                                         1024 + rng.bounded(100)),
+                                     dport, flags, i, 1,
+                                     common::to_bytes(payload))
+                        .data());
+  }
+  for (size_t i = 0; i < wires.size(); ++i) {
+    auto d = *packet::decode(wires[i]);
+    common::SimTime t(static_cast<int64_t>(i) * 1'000'000);
+    auto v1 = original.process(t, d);
+    auto v2 = reparsed.process(t, d);
+    ASSERT_EQ(v1.alerts.size(), v2.alerts.size()) << i;
+    for (size_t a = 0; a < v1.alerts.size(); ++a) {
+      EXPECT_EQ(v1.alerts[a].sid, v2.alerts[a].sid);
+      EXPECT_EQ(v1.alerts[a].classtype, v2.alerts[a].classtype);
+    }
+  }
+}
+
+TEST(RuleRoundTrip, ShippedRulesetsSurvive) {
+  auto check = [](const std::vector<ids::Rule>& rules) {
+    for (const auto& rule : rules) {
+      auto reparsed = ids::parse_rule_line(rule.to_string());
+      ASSERT_TRUE(reparsed.ok()) << rule.to_string();
+      const ids::Rule& r2 = reparsed.rules[0];
+      EXPECT_EQ(r2.action, rule.action) << rule.to_string();
+      EXPECT_EQ(r2.sid, rule.sid);
+      EXPECT_EQ(r2.contents.size(), rule.contents.size());
+      EXPECT_EQ(r2.flags.has_value(), rule.flags.has_value());
+      EXPECT_EQ(r2.threshold.has_value(), rule.threshold.has_value());
+    }
+  };
+  check(surveillance::community_ruleset());
+  censor::CensorPolicy policy = censor::gfc_profile();
+  policy.blocked_ips.push_back(Ipv4Address(1, 2, 3, 4));
+  policy.blocked_ports.push_back({Ipv4Address(5, 6, 7, 8), 25});
+  check(policy.compile_rules());
+}
+
+}  // namespace
+}  // namespace sm::core

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "netsim/topology.hpp"
+#include "proto/smtp/client.hpp"
+#include "proto/smtp/server.hpp"
+
+namespace sm::proto::smtp {
+namespace {
+
+using common::Duration;
+using common::Ipv4Address;
+
+class SmtpTest : public ::testing::Test {
+ protected:
+  SmtpTest() {
+    client_host_ = net_.add_host("c", Ipv4Address(10, 0, 0, 1));
+    server_host_ = net_.add_host("s", Ipv4Address(10, 0, 0, 25));
+    router_ = net_.add_router("r");
+    net_.connect(client_host_, router_);
+    net_.connect(server_host_, router_);
+    client_stack_ = std::make_unique<tcp::Stack>(*client_host_);
+    server_stack_ = std::make_unique<tcp::Stack>(*server_host_);
+    server_ = std::make_unique<Server>(*server_stack_, "mx.example.com");
+    client_ = std::make_unique<Client>(*client_stack_);
+  }
+
+  Envelope envelope() {
+    Envelope e;
+    e.helo_domain = "sender.example";
+    e.mail_from = "<alice@sender.example>";
+    e.rcpt_to = "<bob@example.com>";
+    e.data = "Subject: test\r\n\r\nBody line 1\r\nBody line 2\r\n";
+    return e;
+  }
+
+  netsim::Network net_;
+  netsim::Host* client_host_;
+  netsim::Host* server_host_;
+  netsim::Router* router_;
+  std::unique_ptr<tcp::Stack> client_stack_;
+  std::unique_ptr<tcp::Stack> server_stack_;
+  std::unique_ptr<Server> server_;
+  std::unique_ptr<Client> client_;
+};
+
+TEST_F(SmtpTest, FullTransactionDelivers) {
+  std::optional<DeliveryResult> result;
+  client_->deliver(server_host_->address(), envelope(),
+                   [&](const DeliveryResult& r) { result = r; });
+  net_.run_for(Duration::seconds(5));
+  ASSERT_TRUE(result);
+  EXPECT_TRUE(result->delivered()) << to_string(result->stage);
+  ASSERT_EQ(server_->message_count(), 1u);
+  const MailMessage& m = server_->messages()[0];
+  EXPECT_EQ(m.mail_from, "<alice@sender.example>");
+  ASSERT_EQ(m.rcpt_to.size(), 1u);
+  EXPECT_EQ(m.rcpt_to[0], "<bob@example.com>");
+  EXPECT_NE(m.data.find("Body line 1"), std::string::npos);
+}
+
+TEST_F(SmtpTest, DotStuffingRoundTrip) {
+  Envelope e = envelope();
+  e.data = "Line\r\n.starts.with.dot\r\n..double\r\n";
+  std::optional<DeliveryResult> result;
+  client_->deliver(server_host_->address(), e,
+                   [&](const DeliveryResult& r) { result = r; });
+  net_.run_for(Duration::seconds(5));
+  ASSERT_TRUE(result && result->delivered());
+  ASSERT_EQ(server_->message_count(), 1u);
+  const std::string& data = server_->messages()[0].data;
+  EXPECT_NE(data.find(".starts.with.dot"), std::string::npos);
+  EXPECT_NE(data.find("..double"), std::string::npos);
+  // No spurious dot-termination mid-message.
+  EXPECT_EQ(server_->message_count(), 1u);
+}
+
+TEST_F(SmtpTest, ConnectFailureReported) {
+  std::optional<DeliveryResult> result;
+  client_->deliver(Ipv4Address(203, 0, 113, 25), envelope(),
+                   [&](const DeliveryResult& r) { result = r; }, 25,
+                   Duration::seconds(8));
+  net_.run_for(Duration::seconds(10));
+  ASSERT_TRUE(result);
+  EXPECT_EQ(result->stage, DeliveryStage::ConnectFailed);
+}
+
+TEST_F(SmtpTest, ConnectResetReported) {
+  std::optional<DeliveryResult> result;
+  client_->deliver(server_host_->address(), envelope(),
+                   [&](const DeliveryResult& r) { result = r; },
+                   /*port=*/26);  // closed port -> RST
+  net_.run_for(Duration::seconds(5));
+  ASSERT_TRUE(result);
+  EXPECT_EQ(result->stage, DeliveryStage::ConnectReset);
+}
+
+TEST_F(SmtpTest, ServerEnforcesCommandOrder) {
+  // Drive the server manually over TCP: RCPT before MAIL must 503.
+  std::string reply_log;
+  tcp::Connection* c = client_stack_->connect(server_host_->address(), 25);
+  c->on_data = [&](tcp::Connection& conn, std::span<const uint8_t> data) {
+    reply_log += common::to_string(data);
+    if (reply_log.find("220 ") != std::string::npos &&
+        reply_log.find("rcpt-sent") == std::string::npos) {
+      reply_log += "rcpt-sent";
+      conn.send_text("RCPT TO:<x@y>\r\n");
+    }
+  };
+  net_.run_for(Duration::seconds(2));
+  EXPECT_NE(reply_log.find("503"), std::string::npos);
+}
+
+TEST_F(SmtpTest, ServerHandlesRsetAndNoop) {
+  std::vector<std::string> script{"HELO x\r\n", "NOOP\r\n",
+                                  "MAIL FROM:<a@b>\r\n", "RSET\r\n",
+                                  "QUIT\r\n"};
+  std::string replies;
+  size_t next = 0;
+  tcp::Connection* c = client_stack_->connect(server_host_->address(), 25);
+  c->on_data = [&](tcp::Connection& conn, std::span<const uint8_t> data) {
+    replies += common::to_string(data);
+    if (next < script.size()) conn.send_text(script[next++]);
+  };
+  net_.run_for(Duration::seconds(2));
+  EXPECT_NE(replies.find("221"), std::string::npos);  // QUIT acknowledged
+  // Every scripted command got a positive reply.
+  EXPECT_EQ(server_->message_count(), 0u);
+}
+
+TEST_F(SmtpTest, UnknownCommandGets500) {
+  std::string replies;
+  bool sent = false;
+  tcp::Connection* c = client_stack_->connect(server_host_->address(), 25);
+  c->on_data = [&](tcp::Connection& conn, std::span<const uint8_t> data) {
+    replies += common::to_string(data);
+    if (!sent) {
+      sent = true;
+      conn.send_text("FROBNICATE\r\n");
+    }
+  };
+  net_.run_for(Duration::seconds(2));
+  EXPECT_NE(replies.find("500"), std::string::npos);
+}
+
+TEST_F(SmtpTest, MultipleMessagesOneServer) {
+  int delivered = 0;
+  for (int i = 0; i < 3; ++i) {
+    client_->deliver(server_host_->address(), envelope(),
+                     [&](const DeliveryResult& r) {
+                       if (r.delivered()) ++delivered;
+                     });
+  }
+  net_.run_for(Duration::seconds(10));
+  EXPECT_EQ(delivered, 3);
+  EXPECT_EQ(server_->message_count(), 3u);
+}
+
+}  // namespace
+}  // namespace sm::proto::smtp

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "spamfilter/corpus.hpp"
+#include "spamfilter/scorer.hpp"
+
+namespace sm::spamfilter {
+namespace {
+
+TEST(Email, ParsesHeadersAndBody) {
+  Email e = Email::parse(
+      "From: a@b\r\nSubject: Hi there\r\nDate: today\r\n\r\nbody text");
+  EXPECT_EQ(e.header("From"), "a@b");
+  EXPECT_EQ(e.subject(), "Hi there");
+  EXPECT_EQ(e.body, "body text");
+}
+
+TEST(Email, HeaderLookupCaseInsensitive) {
+  Email e = Email::parse("SUBJECT: x\r\n\r\n");
+  EXPECT_EQ(e.header("subject"), "x");
+  EXPECT_EQ(e.header("missing"), "");
+}
+
+TEST(Email, HandlesLfOnlySeparator) {
+  Email e = Email::parse("Subject: x\n\nbody");
+  EXPECT_EQ(e.subject(), "x");
+  EXPECT_EQ(e.body, "body");
+}
+
+TEST(Email, NoBody) {
+  Email e = Email::parse("Subject: only headers");
+  EXPECT_EQ(e.subject(), "only headers");
+  EXPECT_TRUE(e.body.empty());
+}
+
+TEST(Scorer, SpamVocabularyScoresHigh) {
+  Scorer scorer;
+  auto report = scorer.score_raw(
+      "From: x9@spam.example\r\n"
+      "Subject: FREE MONEY - CHEAP MEDS NO PRESCRIPTION!!\r\n"
+      "\r\n"
+      "Buy viagra and cialis at our online pharmacy. Click here "
+      "http://pills.example.ru/ now! Act now, limited time!\r\n");
+  EXPECT_GT(report.score, 80.0);
+  EXPECT_TRUE(report.is_spam());
+  EXPECT_FALSE(report.components.empty());
+}
+
+TEST(Scorer, HamScoresLow) {
+  Scorer scorer;
+  auto report = scorer.score_raw(
+      "From: colleague@work.example\r\n"
+      "Subject: Meeting notes\r\n"
+      "Date: Mon, 16 Nov 2015 10:00:00 -0500\r\n"
+      "Message-ID: <abc@work.example>\r\n"
+      "\r\n"
+      "Hi, attached are the notes from today's sync. Best, Alex\r\n");
+  EXPECT_LT(report.score, 20.0);
+  EXPECT_FALSE(report.is_spam());
+}
+
+TEST(Scorer, MissingHeadersAddPoints) {
+  Scorer scorer;
+  auto with = scorer.score_raw(
+      "From: a@b\r\nSubject: x\r\nDate: d\r\nMessage-ID: <m@b>\r\n\r\nhi");
+  auto without = scorer.score_raw("From: a@b\r\nSubject: x\r\n\r\nhi");
+  EXPECT_GT(without.raw, with.raw);
+}
+
+TEST(Scorer, AllCapsSubjectFlagged) {
+  Scorer scorer;
+  auto caps = scorer.score_raw("Subject: BUY THIS PRODUCT TODAY\r\n\r\nx");
+  bool found = false;
+  for (const auto& c : caps.components)
+    if (c.name == "SUBJECT_ALL_CAPS") found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(Scorer, ScoreWithinScale) {
+  Scorer scorer;
+  auto low = scorer.score_raw("Subject: hi\r\nDate: d\r\nMessage-ID: <m>"
+                              "\r\n\r\nshort note");
+  auto high = scorer.score_raw(
+      "Subject: FREE MONEY LOTTERY WINNER!!\r\n\r\n"
+      "viagra cialis pharmacy casino rolex nigerian prince wire transfer "
+      "make money fast work from home no prescription cheap meds "
+      "100% free click here act now limited time weight loss enlarge");
+  EXPECT_GE(low.score, 0.0);
+  EXPECT_LE(high.score, 100.0);
+  EXPECT_GT(high.score, 95.0);
+}
+
+TEST(Corpus, SpamMeasurementEmailsScoreAsSpam) {
+  // Figure 2's premise: every spam-cloaked measurement should classify
+  // as spam.
+  Scorer scorer;
+  common::Rng rng(42);
+  for (int i = 0; i < 50; ++i) {
+    std::string raw = make_spam_measurement_email(rng, "blocked.example");
+    auto report = scorer.score_raw(raw);
+    EXPECT_GT(report.score, 50.0) << raw;
+  }
+}
+
+TEST(Corpus, HamEmailsScoreAsHam) {
+  Scorer scorer;
+  common::Rng rng(43);
+  for (int i = 0; i < 50; ++i) {
+    std::string raw = make_ham_email(rng, "open.example");
+    auto report = scorer.score_raw(raw);
+    EXPECT_LT(report.score, 50.0) << raw;
+  }
+}
+
+TEST(Corpus, MessagesAddressTheMeasuredDomain) {
+  common::Rng rng(44);
+  std::string raw = make_spam_measurement_email(rng, "target.example");
+  EXPECT_NE(raw.find("postmaster@target.example"), std::string::npos);
+}
+
+TEST(Corpus, GeneratedMessagesVary) {
+  common::Rng rng(45);
+  std::string a = make_spam_measurement_email(rng, "d.example");
+  std::string b = make_spam_measurement_email(rng, "d.example");
+  EXPECT_NE(a, b);
+}
+
+// Parameterized: separation holds across corpus seeds.
+class SeparationSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SeparationSweep, SpamAlwaysAboveHam) {
+  Scorer scorer;
+  common::Rng rng(GetParam());
+  double min_spam = 100.0, max_ham = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    min_spam = std::min(
+        min_spam,
+        scorer.score_raw(make_spam_measurement_email(rng, "x.example"))
+            .score);
+    max_ham = std::max(
+        max_ham, scorer.score_raw(make_ham_email(rng, "x.example")).score);
+  }
+  EXPECT_GT(min_spam, max_ham);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeparationSweep,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace sm::spamfilter

@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include "netsim/topology.hpp"
+#include "netsim/trace.hpp"
+#include "proto/http/server.hpp"
+#include "spoof/cover.hpp"
+#include "spoof/sav.hpp"
+#include "spoof/ttl.hpp"
+
+namespace sm::spoof {
+namespace {
+
+using common::Cidr;
+using common::Duration;
+using common::Ipv4Address;
+
+TEST(SavModel, ScopeIsDeterministicPerClient) {
+  SavModel model({}, 7);
+  Ipv4Address client(10, 1, 1, 50);
+  EXPECT_EQ(model.scope_for(client), model.scope_for(client));
+}
+
+TEST(SavModel, FractionsMatchBeverly) {
+  // §4.2: 77% can spoof within their /24, 11% within their /16.
+  SavModel model({}, 99);
+  size_t at_least_24 = 0, at_least_16 = 0, total = 0;
+  for (uint32_t net = 0; net < 40; ++net) {
+    for (uint32_t h = 1; h < 250; ++h) {
+      Ipv4Address client(10, 0, static_cast<uint8_t>(net),
+                         static_cast<uint8_t>(h));
+      SpoofScope s = model.scope_for(client);
+      if (s != SpoofScope::None) ++at_least_24;
+      if (s == SpoofScope::Slash16 || s == SpoofScope::Any) ++at_least_16;
+      ++total;
+    }
+  }
+  double f24 = static_cast<double>(at_least_24) / total;
+  double f16 = static_cast<double>(at_least_16) / total;
+  EXPECT_NEAR(f24, 0.77, 0.02);
+  EXPECT_NEAR(f16, 0.11, 0.02);
+}
+
+TEST(SavModel, AllowsOwnAddressAlways) {
+  SavModel model(SavDistribution{0.0, 0.0, 0.0}, 1);  // strict SAV for all
+  Ipv4Address client(10, 1, 1, 50);
+  EXPECT_TRUE(model.allows(client, client));
+  EXPECT_FALSE(model.allows(client, Ipv4Address(10, 1, 1, 51)));
+}
+
+TEST(SavModel, ScopeBoundsEnforced) {
+  // Force /24 scope for everyone.
+  SavModel model(SavDistribution{1.0, 0.0, 0.0}, 1);
+  Ipv4Address client(10, 1, 1, 50);
+  EXPECT_EQ(model.scope_for(client), SpoofScope::Slash24);
+  EXPECT_TRUE(model.allows(client, Ipv4Address(10, 1, 1, 99)));
+  EXPECT_FALSE(model.allows(client, Ipv4Address(10, 1, 2, 99)));
+
+  SavModel wide(SavDistribution{1.0, 1.0, 0.0}, 1);
+  EXPECT_EQ(wide.scope_for(client), SpoofScope::Slash16);
+  EXPECT_TRUE(wide.allows(client, Ipv4Address(10, 1, 2, 99)));
+  EXPECT_FALSE(wide.allows(client, Ipv4Address(10, 2, 0, 1)));
+}
+
+TEST(SavModel, FilterForIntegratesWithRouter) {
+  netsim::Network net;
+  auto* a = net.add_host("a", Ipv4Address(10, 1, 1, 50));
+  auto* b = net.add_host("b", Ipv4Address(198, 18, 0, 1));
+  auto* r = net.add_router("r");
+  net.connect(a, r);
+  net.connect(b, r);
+  SavModel strict(SavDistribution{0.0, 0.0, 0.0}, 1);
+  r->set_ingress_filter(0, strict.filter_for(a->address()));
+  a->send(packet::make_udp(Ipv4Address(10, 1, 1, 51), b->address(), 1, 2,
+                           common::to_bytes("spoofed")));
+  a->send_udp(b->address(), 1, 2, common::to_bytes("legit"));
+  net.run_for(Duration::millis(10));
+  EXPECT_EQ(r->counters().dropped_ingress, 1u);
+  EXPECT_EQ(r->counters().forwarded, 1u);
+}
+
+TEST(TtlPlanning, EstimateHops) {
+  EXPECT_EQ(estimate_hops(64), 0);
+  EXPECT_EQ(estimate_hops(60), 4);
+  EXPECT_EQ(estimate_hops(128), 0);
+  EXPECT_EQ(estimate_hops(120), 8);
+  EXPECT_EQ(estimate_hops(250), 5);
+  EXPECT_FALSE(estimate_hops(0));
+}
+
+TEST(TtlPlanning, PlanReplyTtlWindow) {
+  // Tap at router 1, client behind 3 routers: any TTL in [1,3].
+  auto ttl = plan_reply_ttl(1, 3);
+  ASSERT_TRUE(ttl);
+  EXPECT_GE(*ttl, 1);
+  EXPECT_LE(*ttl, 3);
+  // Single router serving both roles: TTL 1 works.
+  EXPECT_EQ(plan_reply_ttl(1, 1), uint8_t{1});
+  // Impossible: tap beyond the client.
+  EXPECT_FALSE(plan_reply_ttl(3, 2));
+}
+
+TEST(TtlPlanning, MarginPrefersMidpoint) {
+  auto ttl = plan_reply_ttl_with_margin(2, 10, 2);
+  ASSERT_TRUE(ttl);
+  EXPECT_GE(*ttl, 4);
+  EXPECT_LE(*ttl, 8);
+  // Margin infeasible -> falls back to the tight window.
+  auto tight = plan_reply_ttl_with_margin(2, 3, 5);
+  ASSERT_TRUE(tight);
+  EXPECT_EQ(*tight, 2);
+}
+
+TEST(PredictableIsn, DeterministicAndSpread) {
+  uint32_t a = predictable_isn(1, Ipv4Address(10, 0, 0, 1), 1000,
+                               Ipv4Address(203, 0, 113, 50), 80);
+  uint32_t b = predictable_isn(1, Ipv4Address(10, 0, 0, 1), 1000,
+                               Ipv4Address(203, 0, 113, 50), 80);
+  EXPECT_EQ(a, b);
+  uint32_t c = predictable_isn(1, Ipv4Address(10, 0, 0, 1), 1001,
+                               Ipv4Address(203, 0, 113, 50), 80);
+  uint32_t d = predictable_isn(2, Ipv4Address(10, 0, 0, 1), 1000,
+                               Ipv4Address(203, 0, 113, 50), 80);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+}
+
+// --- Cover traffic over a network ---
+
+class CoverNetTest : public ::testing::Test {
+ protected:
+  CoverNetTest() {
+    client_ = net_.add_host("client", Ipv4Address(10, 1, 1, 10));
+    spoofee_ = net_.add_host("spoofee", Ipv4Address(10, 1, 1, 11));
+    server_ = net_.add_host("server", Ipv4Address(203, 0, 113, 50));
+    router_ = net_.add_router("r");
+    net_.connect(client_, router_);
+    net_.connect(spoofee_, router_);
+    net_.connect(server_, router_);
+    server_stack_ = std::make_unique<proto::tcp::Stack>(*server_);
+    spoofee_stack_ = std::make_unique<proto::tcp::Stack>(*spoofee_);
+    http_ = std::make_unique<proto::http::Server>(*server_stack_, 80);
+  }
+  netsim::Network net_;
+  netsim::Host* client_;
+  netsim::Host* spoofee_;
+  netsim::Host* server_;
+  netsim::Router* router_;
+  std::unique_ptr<proto::tcp::Stack> server_stack_;
+  std::unique_ptr<proto::tcp::Stack> spoofee_stack_;
+  std::unique_ptr<proto::http::Server> http_;
+};
+
+TEST_F(CoverNetTest, StatelessDnsCoverSendsFromAllSources) {
+  StatelessDnsCover cover(*client_, Ipv4Address(198, 18, 0, 53));
+  size_t sent = cover.emit({Ipv4Address(10, 1, 1, 11),
+                            Ipv4Address(10, 1, 1, 12)},
+                           proto::dns::Name("blocked.example"));
+  EXPECT_EQ(sent, 2u);
+}
+
+TEST_F(CoverNetTest, WithoutTtlLimitingSpoofeeRstsKillCoverFlow) {
+  // The §4.1 replay problem: the spoofed host's real stack answers the
+  // unexpected SYN/ACK with a RST, tearing down the server-side state.
+  MimicryServer mimicry(*server_stack_, 0x5EC7E7, 80);
+  // NOTE: no register_cover_client -> replies use default TTL and reach
+  // the spoofed host.
+  StatefulMimicryClient mimic(*client_, server_->address(), 80, 0x5EC7E7,
+                              Duration::millis(5));
+  mimic.run_flow(spoofee_->address(), "GET / HTTP/1.1\r\n\r\n");
+  net_.run_for(Duration::seconds(2));
+  EXPECT_GT(spoofee_stack_->stats().rst_out, 0u);
+}
+
+TEST_F(CoverNetTest, TtlLimitedRepliesNeverReachSpoofee) {
+  MimicryServer mimicry(*server_stack_, 0x5EC7E7, 80);
+  mimicry.register_cover_client(spoofee_->address(), /*reply_ttl=*/1);
+  StatefulMimicryClient mimic(*client_, server_->address(), 80, 0x5EC7E7,
+                              Duration::millis(5));
+  mimic.run_flow(spoofee_->address(), "GET / HTTP/1.1\r\n\r\n");
+  net_.run_for(Duration::seconds(2));
+  // The spoofed host never saw the SYN/ACK, so it never RSTed.
+  EXPECT_EQ(spoofee_stack_->stats().rst_out, 0u);
+  EXPECT_EQ(spoofee_stack_->stats().segments_in, 0u);
+  // The replies died at the router.
+  EXPECT_GT(router_->counters().dropped_ttl, 0u);
+}
+
+TEST_F(CoverNetTest, ForgedHandshakeEstablishesOnServer) {
+  // With the predictable ISN, the forged ACK is exactly right and the
+  // server-side connection reaches Established and serves the request.
+  MimicryServer mimicry(*server_stack_, 0x5EC7E7, 80);
+  mimicry.register_cover_client(spoofee_->address(), 1);
+  StatefulMimicryClient mimic(*client_, server_->address(), 80, 0x5EC7E7,
+                              Duration::millis(5));
+  mimic.run_flow(spoofee_->address(),
+                 "GET /cover HTTP/1.1\r\nHost: measure.example\r\n\r\n");
+  net_.run_for(Duration::seconds(2));
+  EXPECT_EQ(server_stack_->stats().connections_accepted, 1u);
+  EXPECT_EQ(http_->requests_served(), 1u);
+}
+
+TEST_F(CoverNetTest, CoverFlowVisibleAtTapAsCompleteFlow) {
+  // The surveillance tap must see SYN, SYN/ACK, ACK, and data — a
+  // plausible complete flow attributed to the spoofed host.
+  netsim::TraceTap trace;
+  router_->add_tap(&trace);
+  MimicryServer mimicry(*server_stack_, 0x5EC7E7, 80);
+  mimicry.register_cover_client(spoofee_->address(), 1);
+  StatefulMimicryClient mimic(*client_, server_->address(), 80, 0x5EC7E7,
+                              Duration::millis(5));
+  mimic.run_flow(spoofee_->address(),
+                 "GET /x HTTP/1.1\r\nHost: m\r\n\r\n");
+  net_.run_for(Duration::seconds(2));
+
+  bool saw_syn = false, saw_synack = false, saw_ack_data = false;
+  for (const auto& rec : trace.records()) {
+    auto d = packet::decode(rec.data);
+    if (!d || !d->tcp) continue;
+    if (d->ip.src == spoofee_->address() && d->tcp->syn() &&
+        !d->tcp->ack_flag())
+      saw_syn = true;
+    if (d->ip.dst == spoofee_->address() && d->tcp->syn() &&
+        d->tcp->ack_flag())
+      saw_synack = true;
+    if (d->ip.src == spoofee_->address() && !d->l4_payload.empty())
+      saw_ack_data = true;
+  }
+  EXPECT_TRUE(saw_syn);
+  EXPECT_TRUE(saw_synack);  // crossed the tap despite TTL 1
+  EXPECT_TRUE(saw_ack_data);
+}
+
+TEST_F(CoverNetTest, StatelessSynCoverElicitsRepliesToSpoofee) {
+  StatelessSynCover cover(*client_);
+  cover.emit({spoofee_->address()}, server_->address(), 80);
+  net_.run_for(Duration::seconds(1));
+  // The server's SYN/ACK went to the spoofed host, which RSTed it:
+  // exactly the cover shape the paper describes for stateless probes.
+  EXPECT_GT(spoofee_stack_->stats().segments_in, 0u);
+  EXPECT_GT(spoofee_stack_->stats().rst_out, 0u);
+}
+
+}  // namespace
+}  // namespace sm::spoof

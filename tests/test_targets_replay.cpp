@@ -1,0 +1,155 @@
+// Target lists (test-list CSV) and offline pcap replay through the IDS.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/overt.hpp"
+#include "core/probe.hpp"
+#include "core/scheduler.hpp"
+#include "core/targets.hpp"
+#include "ids/replay.hpp"
+#include "surveillance/rules.hpp"
+
+namespace sm::core {
+namespace {
+
+TEST(TargetList, ParsesCsvWithHeaderAndComments) {
+  auto list = TargetList::parse_csv(
+      "domain,category,note\n"
+      "# a comment\n"
+      "example.com,NEWS,a news site\n"
+      "other.org,POLI\n"
+      "\n"
+      "bare.example\n");
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list.targets()[0].domain, "example.com");
+  EXPECT_EQ(list.targets()[0].category, "NEWS");
+  EXPECT_EQ(list.targets()[0].note, "a news site");
+  EXPECT_EQ(list.targets()[1].category, "POLI");
+  EXPECT_TRUE(list.targets()[2].category.empty());
+}
+
+TEST(TargetList, SkipsMalformedLines) {
+  auto list = TargetList::parse_csv(
+      "notadomain,X\n"       // no dot
+      "has space.com,X\n"    // space in domain
+      "good.example,X\n");
+  EXPECT_EQ(list.size(), 1u);
+  EXPECT_EQ(list.skipped_lines(), 2u);
+}
+
+TEST(TargetList, NormalizesDomainCase) {
+  auto list = TargetList::parse_csv("WWW.Example.COM,NEWS\n");
+  ASSERT_EQ(list.size(), 1u);
+  EXPECT_EQ(list.targets()[0].domain, "www.example.com");
+}
+
+TEST(TargetList, CsvRoundTrip) {
+  TargetList list = TargetList::builtin_sample();
+  auto reparsed = TargetList::parse_csv(list.to_csv());
+  ASSERT_EQ(reparsed.size(), list.size());
+  for (size_t i = 0; i < list.size(); ++i) {
+    EXPECT_EQ(reparsed.targets()[i].domain, list.targets()[i].domain);
+    EXPECT_EQ(reparsed.targets()[i].category, list.targets()[i].category);
+  }
+}
+
+TEST(TargetList, CategoryQueries) {
+  TargetList list = TargetList::builtin_sample();
+  auto soci = list.by_category("SOCI");
+  EXPECT_EQ(soci.size(), 2u);
+  auto cats = list.categories();
+  EXPECT_GE(cats.size(), 4u);
+}
+
+TEST(TargetList, DrivesSchedulerCampaign) {
+  Testbed tb;
+  MeasurementScheduler scheduler(tb);
+  TargetList list = TargetList::builtin_sample();
+  for (const auto& target : list.by_category("SOCI")) {
+    scheduler.enqueue([domain = target.domain](Testbed& t) {
+      return std::make_unique<OvertDnsProbe>(
+          t, OvertDnsOptions{.domain = domain});
+    });
+  }
+  auto reports = scheduler.run_all();
+  ASSERT_EQ(reports.size(), 2u);
+  for (const auto& r : reports)
+    EXPECT_EQ(r.verdict, Verdict::BlockedDnsForgery) << r.to_string();
+}
+
+TEST(Replay, RecordedTraceReproducesAlertsOffline) {
+  // Run an overt probe online, capture the trace, then replay it through
+  // a fresh IDS with the community ruleset: the measurement-tool alert
+  // must reappear offline.
+  Testbed tb;
+  OvertHttpProbe probe(tb, {.domain = "open.example",
+                            .user_agent = "OONI-Probe/2.0"});
+  run_probe(tb, probe);
+
+  ids::Engine offline(surveillance::community_ruleset());
+  auto result = ids::replay(offline, tb.trace->records());
+  EXPECT_GT(result.packets, 5u);
+  EXPECT_EQ(result.undecodable, 0u);
+  bool found_measurement_alert = false;
+  for (const auto& alert : result.alerts)
+    if (alert.classtype == "measurement-tool") found_measurement_alert = true;
+  EXPECT_TRUE(found_measurement_alert);
+}
+
+TEST(Replay, DifferentRulesetOverSameTrace) {
+  // The point of offline replay: re-ask questions of old captures. A
+  // ruleset looking only for the spam signature finds nothing in a web
+  // fetch trace.
+  Testbed tb;
+  OvertHttpProbe probe(tb, {.domain = "open.example"});
+  run_probe(tb, probe);
+  ids::Engine offline = ids::Engine::from_text(
+      "alert tcp any any -> any 25 (msg:\"spam\"; content:\"MAIL FROM\"; "
+      "sid:1;)");
+  auto result = ids::replay(offline, tb.trace->records());
+  EXPECT_TRUE(result.alerts.empty());
+  EXPECT_GT(result.packets, 0u);
+}
+
+TEST(Replay, FileRoundTrip) {
+  Testbed tb;
+  OvertHttpProbe probe(tb, {.domain = "open.example",
+                            .user_agent = "OONI-Probe/2.0"});
+  run_probe(tb, probe);
+  std::string path = testing::TempDir() + "/sm_replay_test.pcap";
+  ASSERT_TRUE(tb.trace->save(path));
+
+  ids::Engine offline(surveillance::community_ruleset());
+  auto result = ids::replay_file(offline, path);
+  ASSERT_TRUE(result);
+  EXPECT_FALSE(result->alerts.empty());
+  std::remove(path.c_str());
+}
+
+TEST(Replay, MissingFile) {
+  ids::Engine offline(surveillance::community_ruleset());
+  EXPECT_FALSE(ids::replay_file(offline, "/no/such/file.pcap"));
+}
+
+TEST(PrefixBlocking, RangeNullRouteDropsWholePrefix) {
+  TestbedConfig cfg;
+  cfg.policy = censor::CensorPolicy{};
+  cfg.policy.blocked_prefixes.push_back(
+      common::Cidr(common::Ipv4Address(198, 18, 0, 0), 24));
+  Testbed tb(cfg);
+  // Both web servers live inside 198.18.0.0/24 -> both unreachable.
+  OvertHttpProbe p1(tb, {.domain = "open.example"});
+  EXPECT_EQ(run_probe(tb, p1).verdict, Verdict::BlockedTimeout);
+  // The measurement server at 203.0.113.50 is outside the prefix.
+  proto::http::Client http(*tb.client_stack);
+  bool ok = false;
+  http.fetch(tb.addr().measurement, 80,
+             proto::http::Request::get("measure.example", "/"),
+             [&ok](const proto::http::FetchResult& r) { ok = r.ok(); });
+  tb.run_for(common::Duration::seconds(3));
+  EXPECT_TRUE(ok);
+}
+
+}  // namespace
+}  // namespace sm::core

@@ -1,0 +1,346 @@
+#include <gtest/gtest.h>
+
+#include "netsim/topology.hpp"
+#include "proto/tcp/stack.hpp"
+#include "spoof/cover.hpp"
+
+namespace sm::proto::tcp {
+namespace {
+
+using common::Duration;
+using common::Ipv4Address;
+
+class TcpTest : public ::testing::Test {
+ protected:
+  TcpTest() {
+    client_host_ = net_.add_host("c", Ipv4Address(10, 0, 0, 1));
+    server_host_ = net_.add_host("s", Ipv4Address(10, 0, 0, 2));
+    router_ = net_.add_router("r");
+    net_.connect(client_host_, router_,
+                 netsim::LinkConfig{Duration::millis(1), 0, 0.0});
+    net_.connect(server_host_, router_,
+                 netsim::LinkConfig{Duration::millis(1), 0, 0.0});
+    client_ = std::make_unique<Stack>(*client_host_);
+    server_ = std::make_unique<Stack>(*server_host_);
+  }
+
+  void run(Duration d = Duration::seconds(2)) { net_.run_for(d); }
+
+  netsim::Network net_;
+  netsim::Host* client_host_;
+  netsim::Host* server_host_;
+  netsim::Router* router_;
+  std::unique_ptr<Stack> client_;
+  std::unique_ptr<Stack> server_;
+};
+
+TEST_F(TcpTest, HandshakeEstablishes) {
+  bool server_accepted = false, client_connected = false;
+  server_->listen(80, [&](Connection&) { server_accepted = true; });
+  Connection* c = client_->connect(server_host_->address(), 80);
+  c->on_connect = [&](Connection&) { client_connected = true; };
+  run();
+  EXPECT_TRUE(client_connected);
+  EXPECT_TRUE(server_accepted);
+  EXPECT_EQ(c->state(), State::Established);
+  EXPECT_EQ(client_->stats().connections_opened, 1u);
+  EXPECT_EQ(server_->stats().connections_accepted, 1u);
+}
+
+TEST_F(TcpTest, DataBothDirections) {
+  std::string server_got, client_got;
+  server_->listen(80, [&](Connection& c) {
+    c.on_data = [&](Connection& conn, std::span<const uint8_t> data) {
+      server_got += common::to_string(data);
+      conn.send_text("pong");
+    };
+  });
+  Connection* c = client_->connect(server_host_->address(), 80);
+  c->on_connect = [](Connection& conn) { conn.send_text("ping"); };
+  c->on_data = [&](Connection&, std::span<const uint8_t> data) {
+    client_got += common::to_string(data);
+  };
+  run();
+  EXPECT_EQ(server_got, "ping");
+  EXPECT_EQ(client_got, "pong");
+}
+
+TEST_F(TcpTest, LargeTransferSegmentsAndReassembles) {
+  std::string blob(100'000, 'a');
+  for (size_t i = 0; i < blob.size(); i += 997) blob[i] = 'b';
+  std::string received;
+  server_->listen(80, [&](Connection& c) {
+    c.on_data = [&](Connection&, std::span<const uint8_t> data) {
+      received += common::to_string(data);
+    };
+  });
+  Connection* c = client_->connect(server_host_->address(), 80);
+  c->on_connect = [&blob](Connection& conn) { conn.send_text(blob); };
+  run(Duration::seconds(10));
+  EXPECT_EQ(received.size(), blob.size());
+  EXPECT_EQ(received, blob);
+}
+
+TEST_F(TcpTest, SynToClosedPortGetsRst) {
+  bool error = false;
+  Connection* c = client_->connect(server_host_->address(), 81);
+  c->on_error = [&](Connection& conn) {
+    error = true;
+    EXPECT_EQ(conn.close_reason(), CloseReason::Reset);
+  };
+  run();
+  EXPECT_TRUE(error);
+  EXPECT_GT(server_->stats().rst_out, 0u);
+}
+
+TEST_F(TcpTest, StealthModeSilentlyDropsInsteadOfRst) {
+  server_->set_rst_on_unknown(false);
+  bool error = false;
+  Connection* c = client_->connect(server_host_->address(), 81);
+  c->on_error = [&](Connection& conn) {
+    error = true;
+    EXPECT_EQ(conn.close_reason(), CloseReason::ConnectTimeout);
+  };
+  run(Duration::seconds(20));
+  EXPECT_TRUE(error);
+  EXPECT_EQ(server_->stats().rst_out, 0u);
+}
+
+TEST_F(TcpTest, ConnectTimeoutWhenServerUnreachable) {
+  bool error = false;
+  ConnectOptions opts;
+  opts.rto = Duration::millis(50);
+  opts.max_retries = 2;
+  Connection* c = client_->connect(Ipv4Address(203, 0, 113, 1), 80, opts);
+  c->on_error = [&](Connection& conn) {
+    error = true;
+    EXPECT_EQ(conn.close_reason(), CloseReason::ConnectTimeout);
+  };
+  run(Duration::seconds(5));
+  EXPECT_TRUE(error);
+}
+
+TEST_F(TcpTest, GracefulCloseBothSides) {
+  bool server_closed = false, client_closed = false;
+  server_->listen(80, [&](Connection& c) {
+    c.on_close = [&](Connection& conn) {
+      server_closed = true;
+      conn.close();  // close our half too
+    };
+  });
+  Connection* c = client_->connect(server_host_->address(), 80);
+  c->on_connect = [](Connection& conn) { conn.close(); };
+  c->on_close = [&](Connection&) { client_closed = true; };
+  run();
+  EXPECT_TRUE(server_closed);
+  EXPECT_TRUE(client_closed);
+}
+
+TEST_F(TcpTest, DataThenCloseDeliversEverything) {
+  std::string received;
+  bool closed = false;
+  server_->listen(80, [&](Connection& c) {
+    c.on_data = [&](Connection&, std::span<const uint8_t> data) {
+      received += common::to_string(data);
+    };
+    c.on_close = [&](Connection&) { closed = true; };
+  });
+  Connection* c = client_->connect(server_host_->address(), 80);
+  c->on_connect = [](Connection& conn) {
+    conn.send_text("last words");
+    conn.close();
+  };
+  run();
+  EXPECT_EQ(received, "last words");
+  EXPECT_TRUE(closed);
+}
+
+TEST_F(TcpTest, AbortSendsRst) {
+  bool server_error = false;
+  server_->listen(80, [&](Connection& c) {
+    c.on_error = [&](Connection& conn) {
+      server_error = true;
+      EXPECT_EQ(conn.close_reason(), CloseReason::Reset);
+    };
+  });
+  Connection* c = client_->connect(server_host_->address(), 80);
+  c->on_connect = [](Connection& conn) { conn.abort(); };
+  run();
+  EXPECT_TRUE(server_error);
+}
+
+TEST_F(TcpTest, InjectedRstKillsEstablishedConnection) {
+  // This is the GFC's mechanism: a RST forged from the server's address
+  // with the right sequence number tears the client connection down.
+  bool client_error = false;
+  uint32_t server_seq = 0;
+  server_->listen(80, [&](Connection&) {});
+  Connection* c = client_->connect(server_host_->address(), 80);
+  c->on_connect = [&](Connection&) {};
+  c->on_error = [&](Connection& conn) {
+    client_error = true;
+    EXPECT_EQ(conn.close_reason(), CloseReason::Reset);
+  };
+  run();
+  ASSERT_EQ(c->state(), State::Established);
+  // Forge a RST as the censor would: sniff nothing, just use the next
+  // expected sequence (rcv_nxt on the client = server ISS + 1, which we
+  // can't see here, so send via the router injection with seq from the
+  // client's last ACK segment — emulate by sending a RST with every
+  // plausible seq in a small window, as real censors do).
+  (void)server_seq;
+  for (uint32_t off = 0; off < 3; ++off) {
+    // Client's rcv_nxt is unknown to the test; use an in-window spray
+    // around the server stack's ISS (deterministic: first ISS is 64001).
+    router_->inject(packet::make_tcp(server_host_->address(),
+                                     client_host_->address(), 80,
+                                     c->local_port(), packet::TcpFlags::kRst,
+                                     128001 + 1 + off * 1460, 0));
+  }
+  run();
+  EXPECT_TRUE(client_error);
+  EXPECT_EQ(c->state(), State::Closed);
+}
+
+TEST_F(TcpTest, PredictableIsnPolicyIsUsed) {
+  uint64_t secret = 0xABCD;
+  spoof::MimicryServer mimicry(*server_, secret, 80);
+  server_->listen(80, [&](Connection&) {});
+
+  uint32_t observed_isn = 0;
+  client_host_->add_promiscuous(
+      [&](const packet::Decoded& d, const common::Bytes&) {
+        if (d.tcp && d.tcp->syn() && d.tcp->ack_flag())
+          observed_isn = d.tcp->seq;
+      });
+  Connection* c = client_->connect(server_host_->address(), 80);
+  run();
+  ASSERT_EQ(c->state(), State::Established);
+  uint32_t predicted = spoof::predictable_isn(
+      secret, client_host_->address(), c->local_port(),
+      server_host_->address(), 80);
+  EXPECT_EQ(observed_isn, predicted);
+}
+
+TEST_F(TcpTest, AcceptTtlPolicyControlsReplyTtl) {
+  server_->set_accept_ttl_policy([](Ipv4Address) { return uint8_t{7}; });
+  server_->listen(80, [&](Connection&) {});
+  uint8_t synack_ttl = 0;
+  client_host_->add_promiscuous(
+      [&](const packet::Decoded& d, const common::Bytes&) {
+        if (d.tcp && d.tcp->syn() && d.tcp->ack_flag())
+          synack_ttl = d.ip.ttl;
+      });
+  client_->connect(server_host_->address(), 80);
+  run();
+  // Sent with TTL 7, one router hop decrements to 6.
+  EXPECT_EQ(synack_ttl, 6);
+}
+
+TEST_F(TcpTest, RetransmissionRecoversFromLoss) {
+  // Rebuild with a lossy client link.
+  netsim::Network lossy_net;
+  auto* ch = lossy_net.add_host("c", Ipv4Address(10, 0, 0, 1));
+  auto* sh = lossy_net.add_host("s", Ipv4Address(10, 0, 0, 2));
+  auto* r = lossy_net.add_router("r");
+  lossy_net.connect(ch, r, netsim::LinkConfig{Duration::millis(1), 0, 0.2});
+  lossy_net.connect(sh, r, netsim::LinkConfig{Duration::millis(1), 0, 0.0});
+  Stack cs(*ch), ss(*sh);
+  std::string received;
+  ss.listen(80, [&](Connection& c) {
+    c.on_data = [&](Connection&, std::span<const uint8_t> data) {
+      received += common::to_string(data);
+    };
+  });
+  std::string blob(20'000, 'z');
+  ConnectOptions opts;
+  opts.rto = Duration::millis(100);
+  opts.max_retries = 10;
+  Connection* c = cs.connect(sh->address(), 80, opts);
+  c->on_connect = [&blob](Connection& conn) { conn.send_text(blob); };
+  lossy_net.run_for(Duration::seconds(60));
+  EXPECT_EQ(received.size(), blob.size());
+}
+
+TEST_F(TcpTest, SequenceArithmeticWrapsCorrectly) {
+  EXPECT_TRUE(seq_lt(0xFFFFFFF0u, 0x00000010u));  // across the wrap
+  EXPECT_FALSE(seq_lt(0x00000010u, 0xFFFFFFF0u));
+  EXPECT_TRUE(seq_leq(5u, 5u));
+  EXPECT_TRUE(seq_lt(5u, 6u));
+}
+
+TEST_F(TcpTest, TwoSimultaneousConnections) {
+  int accepted = 0;
+  server_->listen(80, [&](Connection& c) {
+    ++accepted;
+    c.on_data = [](Connection& conn, std::span<const uint8_t> data) {
+      conn.send(data);  // echo
+    };
+  });
+  std::string got1, got2;
+  Connection* c1 = client_->connect(server_host_->address(), 80);
+  Connection* c2 = client_->connect(server_host_->address(), 80);
+  c1->on_connect = [](Connection& c) { c.send_text("one"); };
+  c2->on_connect = [](Connection& c) { c.send_text("two"); };
+  c1->on_data = [&](Connection&, std::span<const uint8_t> d) {
+    got1 += common::to_string(d);
+  };
+  c2->on_data = [&](Connection&, std::span<const uint8_t> d) {
+    got2 += common::to_string(d);
+  };
+  run();
+  EXPECT_EQ(accepted, 2);
+  EXPECT_EQ(got1, "one");
+  EXPECT_EQ(got2, "two");
+}
+
+TEST_F(TcpTest, ListenerClosedAbortsNewConnections) {
+  server_->listen(80, [&](Connection&) {});
+  server_->close_listener(80);
+  bool error = false;
+  Connection* c = client_->connect(server_host_->address(), 80);
+  c->on_error = [&](Connection&) { error = true; };
+  run();
+  EXPECT_TRUE(error);
+}
+
+TEST_F(TcpTest, OutOfOrderSegmentsReassemble) {
+  // Craft segments by hand toward the listening server from a host
+  // WITHOUT a TCP stack (a stack would RST the unexpected SYN/ACK — the
+  // exact replay hazard of §4.1, tested elsewhere).
+  netsim::Host* raw = net_.add_host("raw", Ipv4Address(10, 0, 0, 3));
+  net_.connect(raw, router_);
+  std::string received;
+  server_->listen(80, [&](Connection& c) {
+    c.on_data = [&](Connection&, std::span<const uint8_t> data) {
+      received += common::to_string(data);
+    };
+  });
+  Ipv4Address src = raw->address();
+  Ipv4Address dst = server_host_->address();
+  uint32_t iss = 5000;
+  // Learn the server's ISS from its SYN/ACK.
+  uint32_t server_iss = 0;
+  raw->add_promiscuous([&](const packet::Decoded& d, const common::Bytes&) {
+    if (d.tcp && d.tcp->syn() && d.tcp->ack_flag()) server_iss = d.tcp->seq;
+  });
+  raw->send(packet::make_tcp(src, dst, 10000, 80, packet::TcpFlags::kSyn,
+                             iss, 0));
+  run(Duration::millis(50));
+  ASSERT_NE(server_iss, 0u);
+  raw->send(packet::make_tcp(src, dst, 10000, 80, packet::TcpFlags::kAck,
+                             iss + 1, server_iss + 1));
+  run(Duration::millis(50));
+  // Send "world" (seq +7) before "hello " (seq +1).
+  auto world = common::to_bytes("world");
+  auto hello = common::to_bytes("hello ");
+  raw->send(packet::make_tcp(src, dst, 10000, 80, packet::TcpFlags::kAck,
+                             iss + 7, server_iss + 1, world));
+  raw->send(packet::make_tcp(src, dst, 10000, 80, packet::TcpFlags::kAck,
+                             iss + 1, server_iss + 1, hello));
+  run(Duration::millis(100));
+  EXPECT_EQ(received, "hello world");
+}
+
+}  // namespace
+}  // namespace sm::proto::tcp

@@ -1,0 +1,245 @@
+// TCP state-machine edge cases beyond the basic suite: close variants,
+// TTL propagation, ISN behaviour, zero-window-free bulk flow under
+// bandwidth constraints, and RST acceptance rules.
+#include <gtest/gtest.h>
+
+#include "netsim/topology.hpp"
+#include "proto/tcp/stack.hpp"
+
+namespace sm::proto::tcp {
+namespace {
+
+using common::Duration;
+using common::Ipv4Address;
+
+class TcpEdgeTest : public ::testing::Test {
+ protected:
+  TcpEdgeTest() {
+    client_host_ = net_.add_host("c", Ipv4Address(10, 0, 0, 1));
+    server_host_ = net_.add_host("s", Ipv4Address(10, 0, 0, 2));
+    router_ = net_.add_router("r");
+    net_.connect(client_host_, router_);
+    net_.connect(server_host_, router_);
+    client_ = std::make_unique<Stack>(*client_host_);
+    server_ = std::make_unique<Stack>(*server_host_);
+  }
+  void run(Duration d = Duration::seconds(3)) { net_.run_for(d); }
+
+  netsim::Network net_;
+  netsim::Host* client_host_;
+  netsim::Host* server_host_;
+  netsim::Router* router_;
+  std::unique_ptr<Stack> client_;
+  std::unique_ptr<Stack> server_;
+};
+
+TEST_F(TcpEdgeTest, CloseWithQueuedDataDeliversFirst) {
+  std::string received;
+  bool closed = false;
+  server_->listen(80, [&](Connection& c) {
+    c.on_data = [&](Connection&, std::span<const uint8_t> d) {
+      received += common::to_string(d);
+    };
+    c.on_close = [&](Connection&) { closed = true; };
+  });
+  std::string blob(5000, 'k');
+  Connection* c = client_->connect(server_host_->address(), 80);
+  c->on_connect = [&blob](Connection& conn) {
+    conn.send_text(blob);
+    conn.close();  // FIN must trail the queued data
+  };
+  run();
+  EXPECT_EQ(received.size(), blob.size());
+  EXPECT_TRUE(closed);
+}
+
+TEST_F(TcpEdgeTest, HalfCloseServerKeepsSending) {
+  // Client closes its write side; server can still deliver data before
+  // closing its own half.
+  std::string client_got;
+  bool client_fully_closed = false;
+  server_->listen(80, [&](Connection& c) {
+    c.on_close = [](Connection& conn) {
+      // Remote FIN received: send a farewell, then close.
+      conn.send_text("goodbye");
+      conn.close();
+    };
+  });
+  Connection* c = client_->connect(server_host_->address(), 80);
+  c->on_connect = [](Connection& conn) { conn.close(); };
+  c->on_data = [&](Connection&, std::span<const uint8_t> d) {
+    client_got += common::to_string(d);
+  };
+  c->on_close = [&](Connection&) { client_fully_closed = true; };
+  run();
+  EXPECT_EQ(client_got, "goodbye");
+  EXPECT_TRUE(client_fully_closed);
+}
+
+TEST_F(TcpEdgeTest, ConnectionTtlAppliesToAllSegments) {
+  server_->listen(80, [](Connection& c) {
+    c.set_ttl(5);
+    c.send_text("low ttl data");
+  });
+  std::vector<uint8_t> seen_ttls;
+  client_host_->add_promiscuous(
+      [&](const packet::Decoded& d, const common::Bytes&) {
+        if (d.tcp && d.ip.src == Ipv4Address(10, 0, 0, 2) &&
+            !d.tcp->syn())
+          seen_ttls.push_back(d.ip.ttl);
+      });
+  Connection* c = client_->connect(server_host_->address(), 80);
+  (void)c;
+  run();
+  ASSERT_FALSE(seen_ttls.empty());
+  for (uint8_t ttl : seen_ttls) EXPECT_EQ(ttl, 4);  // 5 minus one hop
+}
+
+TEST_F(TcpEdgeTest, DistinctConnectionsGetDistinctIsns) {
+  server_->listen(80, [](Connection&) {});
+  std::vector<uint32_t> synack_isns;
+  client_host_->add_promiscuous(
+      [&](const packet::Decoded& d, const common::Bytes&) {
+        if (d.tcp && d.tcp->syn() && d.tcp->ack_flag())
+          synack_isns.push_back(d.tcp->seq);
+      });
+  client_->connect(server_host_->address(), 80);
+  client_->connect(server_host_->address(), 80);
+  run();
+  ASSERT_EQ(synack_isns.size(), 2u);
+  EXPECT_NE(synack_isns[0], synack_isns[1]);
+}
+
+TEST_F(TcpEdgeTest, RstWithStaleSequenceIgnored) {
+  server_->listen(80, [](Connection&) {});
+  bool errored = false;
+  Connection* c = client_->connect(server_host_->address(), 80);
+  c->on_error = [&](Connection&) { errored = true; };
+  run();
+  ASSERT_EQ(c->state(), State::Established);
+  // A RST far *behind* the receive window must be ignored.
+  router_->inject(packet::make_tcp(server_host_->address(),
+                                   client_host_->address(), 80,
+                                   c->local_port(), packet::TcpFlags::kRst,
+                                   1 /* ancient seq */, 0));
+  run(Duration::millis(500));
+  EXPECT_FALSE(errored);
+  EXPECT_EQ(c->state(), State::Established);
+}
+
+TEST_F(TcpEdgeTest, BulkTransferOverConstrainedLink) {
+  // 2 Mbps bottleneck toward the server: the transfer must still
+  // complete intact, just slower.
+  netsim::Network slow_net;
+  auto* ch = slow_net.add_host("c", Ipv4Address(10, 0, 0, 1));
+  auto* sh = slow_net.add_host("s", Ipv4Address(10, 0, 0, 2));
+  auto* r = slow_net.add_router("r");
+  slow_net.connect(ch, r,
+                   netsim::LinkConfig{Duration::millis(1), 2'000'000, 0.0});
+  slow_net.connect(sh, r, netsim::LinkConfig{Duration::millis(1), 0, 0.0});
+  Stack cs(*ch), ss(*sh);
+  std::string received;
+  ss.listen(80, [&](Connection& c) {
+    c.on_data = [&](Connection&, std::span<const uint8_t> d) {
+      received += common::to_string(d);
+    };
+  });
+  std::string blob(50'000, 'b');
+  ConnectOptions opts;
+  opts.rto = Duration::millis(400);
+  opts.max_retries = 8;
+  Connection* c = cs.connect(sh->address(), 80, opts);
+  c->on_connect = [&blob](Connection& conn) { conn.send_text(blob); };
+  slow_net.run_for(Duration::seconds(30));
+  EXPECT_EQ(received.size(), blob.size());
+  // 50 KB over 2 Mbps needs at least ~0.2 s of simulated time.
+  EXPECT_GT(slow_net.engine().now().to_seconds(), 0.2);
+}
+
+TEST_F(TcpEdgeTest, ManyConcurrentConnectionsIndependentStreams) {
+  constexpr int kConns = 20;
+  std::map<uint16_t, std::string> received;  // keyed by remote port
+  server_->listen(80, [&](Connection& c) {
+    c.on_data = [&](Connection& conn, std::span<const uint8_t> d) {
+      received[conn.remote_port()] += common::to_string(d);
+    };
+  });
+  for (int i = 0; i < kConns; ++i) {
+    Connection* c = client_->connect(server_host_->address(), 80);
+    std::string payload = "conn-" + std::to_string(i);
+    c->on_connect = [payload](Connection& conn) {
+      conn.send_text(payload);
+    };
+  }
+  run(Duration::seconds(5));
+  ASSERT_EQ(received.size(), static_cast<size_t>(kConns));
+  std::set<std::string> bodies;
+  for (auto& [port, body] : received) bodies.insert(body);
+  EXPECT_EQ(bodies.size(), static_cast<size_t>(kConns));
+}
+
+TEST_F(TcpEdgeTest, AbortBeforeConnectCompletesIsQuiet) {
+  // close() during SYN_SENT abandons the attempt without callbacks.
+  bool any_event = false;
+  ConnectOptions opts;
+  opts.rto = Duration::millis(100);
+  Connection* c = client_->connect(Ipv4Address(203, 0, 113, 5), 80, opts);
+  c->on_error = [&](Connection&) { any_event = true; };
+  c->on_connect = [&](Connection&) { any_event = true; };
+  c->close();
+  run(Duration::seconds(2));
+  EXPECT_FALSE(any_event);
+}
+
+TEST_F(TcpEdgeTest, StatsCountersTrackActivity) {
+  server_->listen(80, [](Connection& c) {
+    c.on_data = [](Connection& conn, std::span<const uint8_t> d) {
+      conn.send(d);
+    };
+  });
+  Connection* c = client_->connect(server_host_->address(), 80);
+  c->on_connect = [](Connection& conn) { conn.send_text("ping"); };
+  run();
+  EXPECT_GT(client_->stats().segments_out, 2u);
+  EXPECT_GT(server_->stats().segments_in, 2u);
+  EXPECT_EQ(client_->stats().connections_opened, 1u);
+  EXPECT_EQ(server_->stats().connections_accepted, 1u);
+  EXPECT_EQ(c->bytes_sent(), 4u);
+  EXPECT_EQ(c->bytes_received(), 4u);
+}
+
+// Parameterized sweep: payload sizes across segmentation boundaries all
+// arrive intact (property: byte-stream transparency).
+class PayloadSizeSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PayloadSizeSweep, StreamTransparency) {
+  netsim::Network net;
+  auto* ch = net.add_host("c", Ipv4Address(10, 0, 0, 1));
+  auto* sh = net.add_host("s", Ipv4Address(10, 0, 0, 2));
+  auto* r = net.add_router("r");
+  net.connect(ch, r);
+  net.connect(sh, r);
+  Stack cs(*ch), ss(*sh);
+  std::string received;
+  ss.listen(80, [&](Connection& c) {
+    c.on_data = [&](Connection&, std::span<const uint8_t> d) {
+      received += common::to_string(d);
+    };
+  });
+  size_t n = GetParam();
+  std::string blob;
+  blob.reserve(n);
+  for (size_t i = 0; i < n; ++i)
+    blob.push_back(static_cast<char>('A' + i % 53));
+  Connection* c = cs.connect(sh->address(), 80);
+  c->on_connect = [&blob](Connection& conn) { conn.send_text(blob); };
+  net.run_for(Duration::seconds(20));
+  EXPECT_EQ(received, blob);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PayloadSizeSweep,
+                         ::testing::Values(1, 1459, 1460, 1461, 2920,
+                                           10000, 65536));
+
+}  // namespace
+}  // namespace sm::proto::tcp
