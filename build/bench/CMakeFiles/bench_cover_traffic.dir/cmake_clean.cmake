@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cover_traffic.dir/bench_cover_traffic.cpp.o"
+  "CMakeFiles/bench_cover_traffic.dir/bench_cover_traffic.cpp.o.d"
+  "bench_cover_traffic"
+  "bench_cover_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cover_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

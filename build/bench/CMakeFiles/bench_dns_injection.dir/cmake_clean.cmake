@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dns_injection.dir/bench_dns_injection.cpp.o"
+  "CMakeFiles/bench_dns_injection.dir/bench_dns_injection.cpp.o.d"
+  "bench_dns_injection"
+  "bench_dns_injection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dns_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

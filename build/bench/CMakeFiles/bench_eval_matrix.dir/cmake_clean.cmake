@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eval_matrix.dir/bench_eval_matrix.cpp.o"
+  "CMakeFiles/bench_eval_matrix.dir/bench_eval_matrix.cpp.o.d"
+  "bench_eval_matrix"
+  "bench_eval_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eval_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

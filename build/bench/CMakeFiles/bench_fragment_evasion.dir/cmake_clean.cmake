@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fragment_evasion.dir/bench_fragment_evasion.cpp.o"
+  "CMakeFiles/bench_fragment_evasion.dir/bench_fragment_evasion.cpp.o.d"
+  "bench_fragment_evasion"
+  "bench_fragment_evasion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fragment_evasion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mvr_pipeline.dir/bench_mvr_pipeline.cpp.o"
+  "CMakeFiles/bench_mvr_pipeline.dir/bench_mvr_pipeline.cpp.o.d"
+  "bench_mvr_pipeline"
+  "bench_mvr_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mvr_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

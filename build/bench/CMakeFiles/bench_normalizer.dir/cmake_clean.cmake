@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_normalizer.dir/bench_normalizer.cpp.o"
+  "CMakeFiles/bench_normalizer.dir/bench_normalizer.cpp.o.d"
+  "bench_normalizer"
+  "bench_normalizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_normalizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_risk_ablation.dir/bench_risk_ablation.cpp.o"
+  "CMakeFiles/bench_risk_ablation.dir/bench_risk_ablation.cpp.o.d"
+  "bench_risk_ablation"
+  "bench_risk_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_risk_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scan_pacing.dir/bench_scan_pacing.cpp.o"
+  "CMakeFiles/bench_scan_pacing.dir/bench_scan_pacing.cpp.o.d"
+  "bench_scan_pacing"
+  "bench_scan_pacing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scan_pacing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

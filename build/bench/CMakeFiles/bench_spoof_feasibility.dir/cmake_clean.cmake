@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spoof_feasibility.dir/bench_spoof_feasibility.cpp.o"
+  "CMakeFiles/bench_spoof_feasibility.dir/bench_spoof_feasibility.cpp.o.d"
+  "bench_spoof_feasibility"
+  "bench_spoof_feasibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spoof_feasibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_syria_logs.dir/bench_syria_logs.cpp.o"
+  "CMakeFiles/bench_syria_logs.dir/bench_syria_logs.cpp.o.d"
+  "bench_syria_logs"
+  "bench_syria_logs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_syria_logs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

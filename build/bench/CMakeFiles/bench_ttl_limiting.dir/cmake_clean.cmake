@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ttl_limiting.dir/bench_ttl_limiting.cpp.o"
+  "CMakeFiles/bench_ttl_limiting.dir/bench_ttl_limiting.cpp.o.d"
+  "bench_ttl_limiting"
+  "bench_ttl_limiting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ttl_limiting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cover_traffic_campaign.dir/cover_traffic_campaign.cpp.o"
+  "CMakeFiles/cover_traffic_campaign.dir/cover_traffic_campaign.cpp.o.d"
+  "cover_traffic_campaign"
+  "cover_traffic_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cover_traffic_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

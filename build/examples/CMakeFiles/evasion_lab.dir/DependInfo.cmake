@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/evasion_lab.cpp" "examples/CMakeFiles/evasion_lab.dir/evasion_lab.cpp.o" "gcc" "examples/CMakeFiles/evasion_lab.dir/evasion_lab.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/censor/CMakeFiles/sm_censor.dir/DependInfo.cmake"
+  "/root/repo/build/src/surveillance/CMakeFiles/sm_surveillance.dir/DependInfo.cmake"
+  "/root/repo/build/src/ids/CMakeFiles/sm_ids.dir/DependInfo.cmake"
+  "/root/repo/build/src/spoof/CMakeFiles/sm_spoof.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/sm_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/sm_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/sm_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/spamfilter/CMakeFiles/sm_spamfilter.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/sm_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evasion_lab.dir/evasion_lab.cpp.o"
+  "CMakeFiles/evasion_lab.dir/evasion_lab.cpp.o.d"
+  "evasion_lab"
+  "evasion_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evasion_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

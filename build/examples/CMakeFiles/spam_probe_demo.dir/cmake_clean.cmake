@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spam_probe_demo.dir/spam_probe_demo.cpp.o"
+  "CMakeFiles/spam_probe_demo.dir/spam_probe_demo.cpp.o.d"
+  "spam_probe_demo"
+  "spam_probe_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spam_probe_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/testlist_campaign.dir/testlist_campaign.cpp.o"
+  "CMakeFiles/testlist_campaign.dir/testlist_campaign.cpp.o.d"
+  "testlist_campaign"
+  "testlist_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testlist_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/population.cpp" "src/analysis/CMakeFiles/sm_analysis.dir/population.cpp.o" "gcc" "src/analysis/CMakeFiles/sm_analysis.dir/population.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/analysis/CMakeFiles/sm_analysis.dir/report.cpp.o" "gcc" "src/analysis/CMakeFiles/sm_analysis.dir/report.cpp.o.d"
+  "/root/repo/src/analysis/syria.cpp" "src/analysis/CMakeFiles/sm_analysis.dir/syria.cpp.o" "gcc" "src/analysis/CMakeFiles/sm_analysis.dir/syria.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_analysis.dir/population.cpp.o"
+  "CMakeFiles/sm_analysis.dir/population.cpp.o.d"
+  "CMakeFiles/sm_analysis.dir/report.cpp.o"
+  "CMakeFiles/sm_analysis.dir/report.cpp.o.d"
+  "CMakeFiles/sm_analysis.dir/syria.cpp.o"
+  "CMakeFiles/sm_analysis.dir/syria.cpp.o.d"
+  "libsm_analysis.a"
+  "libsm_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

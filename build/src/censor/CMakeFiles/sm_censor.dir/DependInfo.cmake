@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/censor/engine.cpp" "src/censor/CMakeFiles/sm_censor.dir/engine.cpp.o" "gcc" "src/censor/CMakeFiles/sm_censor.dir/engine.cpp.o.d"
+  "/root/repo/src/censor/gfc.cpp" "src/censor/CMakeFiles/sm_censor.dir/gfc.cpp.o" "gcc" "src/censor/CMakeFiles/sm_censor.dir/gfc.cpp.o.d"
+  "/root/repo/src/censor/policy.cpp" "src/censor/CMakeFiles/sm_censor.dir/policy.cpp.o" "gcc" "src/censor/CMakeFiles/sm_censor.dir/policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ids/CMakeFiles/sm_ids.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/sm_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/sm_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/sm_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_censor.dir/engine.cpp.o"
+  "CMakeFiles/sm_censor.dir/engine.cpp.o.d"
+  "CMakeFiles/sm_censor.dir/gfc.cpp.o"
+  "CMakeFiles/sm_censor.dir/gfc.cpp.o.d"
+  "CMakeFiles/sm_censor.dir/policy.cpp.o"
+  "CMakeFiles/sm_censor.dir/policy.cpp.o.d"
+  "libsm_censor.a"
+  "libsm_censor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_censor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

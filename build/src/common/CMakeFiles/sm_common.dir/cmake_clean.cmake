@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_common.dir/bytes.cpp.o"
+  "CMakeFiles/sm_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/sm_common.dir/ip.cpp.o"
+  "CMakeFiles/sm_common.dir/ip.cpp.o.d"
+  "CMakeFiles/sm_common.dir/logging.cpp.o"
+  "CMakeFiles/sm_common.dir/logging.cpp.o.d"
+  "CMakeFiles/sm_common.dir/rng.cpp.o"
+  "CMakeFiles/sm_common.dir/rng.cpp.o.d"
+  "CMakeFiles/sm_common.dir/stats.cpp.o"
+  "CMakeFiles/sm_common.dir/stats.cpp.o.d"
+  "CMakeFiles/sm_common.dir/strings.cpp.o"
+  "CMakeFiles/sm_common.dir/strings.cpp.o.d"
+  "libsm_common.a"
+  "libsm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

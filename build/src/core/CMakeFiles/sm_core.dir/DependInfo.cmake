@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/background.cpp" "src/core/CMakeFiles/sm_core.dir/background.cpp.o" "gcc" "src/core/CMakeFiles/sm_core.dir/background.cpp.o.d"
+  "/root/repo/src/core/ddos.cpp" "src/core/CMakeFiles/sm_core.dir/ddos.cpp.o" "gcc" "src/core/CMakeFiles/sm_core.dir/ddos.cpp.o.d"
+  "/root/repo/src/core/mimicry.cpp" "src/core/CMakeFiles/sm_core.dir/mimicry.cpp.o" "gcc" "src/core/CMakeFiles/sm_core.dir/mimicry.cpp.o.d"
+  "/root/repo/src/core/overt.cpp" "src/core/CMakeFiles/sm_core.dir/overt.cpp.o" "gcc" "src/core/CMakeFiles/sm_core.dir/overt.cpp.o.d"
+  "/root/repo/src/core/ping.cpp" "src/core/CMakeFiles/sm_core.dir/ping.cpp.o" "gcc" "src/core/CMakeFiles/sm_core.dir/ping.cpp.o.d"
+  "/root/repo/src/core/report_json.cpp" "src/core/CMakeFiles/sm_core.dir/report_json.cpp.o" "gcc" "src/core/CMakeFiles/sm_core.dir/report_json.cpp.o.d"
+  "/root/repo/src/core/risk.cpp" "src/core/CMakeFiles/sm_core.dir/risk.cpp.o" "gcc" "src/core/CMakeFiles/sm_core.dir/risk.cpp.o.d"
+  "/root/repo/src/core/scan.cpp" "src/core/CMakeFiles/sm_core.dir/scan.cpp.o" "gcc" "src/core/CMakeFiles/sm_core.dir/scan.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/core/CMakeFiles/sm_core.dir/scheduler.cpp.o" "gcc" "src/core/CMakeFiles/sm_core.dir/scheduler.cpp.o.d"
+  "/root/repo/src/core/spam.cpp" "src/core/CMakeFiles/sm_core.dir/spam.cpp.o" "gcc" "src/core/CMakeFiles/sm_core.dir/spam.cpp.o.d"
+  "/root/repo/src/core/synprobe.cpp" "src/core/CMakeFiles/sm_core.dir/synprobe.cpp.o" "gcc" "src/core/CMakeFiles/sm_core.dir/synprobe.cpp.o.d"
+  "/root/repo/src/core/targets.cpp" "src/core/CMakeFiles/sm_core.dir/targets.cpp.o" "gcc" "src/core/CMakeFiles/sm_core.dir/targets.cpp.o.d"
+  "/root/repo/src/core/testbed.cpp" "src/core/CMakeFiles/sm_core.dir/testbed.cpp.o" "gcc" "src/core/CMakeFiles/sm_core.dir/testbed.cpp.o.d"
+  "/root/repo/src/core/top_ports.cpp" "src/core/CMakeFiles/sm_core.dir/top_ports.cpp.o" "gcc" "src/core/CMakeFiles/sm_core.dir/top_ports.cpp.o.d"
+  "/root/repo/src/core/verdict.cpp" "src/core/CMakeFiles/sm_core.dir/verdict.cpp.o" "gcc" "src/core/CMakeFiles/sm_core.dir/verdict.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/sm_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/sm_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/sm_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/ids/CMakeFiles/sm_ids.dir/DependInfo.cmake"
+  "/root/repo/build/src/censor/CMakeFiles/sm_censor.dir/DependInfo.cmake"
+  "/root/repo/build/src/surveillance/CMakeFiles/sm_surveillance.dir/DependInfo.cmake"
+  "/root/repo/build/src/spoof/CMakeFiles/sm_spoof.dir/DependInfo.cmake"
+  "/root/repo/build/src/spamfilter/CMakeFiles/sm_spamfilter.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/sm_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_core.dir/background.cpp.o"
+  "CMakeFiles/sm_core.dir/background.cpp.o.d"
+  "CMakeFiles/sm_core.dir/ddos.cpp.o"
+  "CMakeFiles/sm_core.dir/ddos.cpp.o.d"
+  "CMakeFiles/sm_core.dir/mimicry.cpp.o"
+  "CMakeFiles/sm_core.dir/mimicry.cpp.o.d"
+  "CMakeFiles/sm_core.dir/overt.cpp.o"
+  "CMakeFiles/sm_core.dir/overt.cpp.o.d"
+  "CMakeFiles/sm_core.dir/ping.cpp.o"
+  "CMakeFiles/sm_core.dir/ping.cpp.o.d"
+  "CMakeFiles/sm_core.dir/report_json.cpp.o"
+  "CMakeFiles/sm_core.dir/report_json.cpp.o.d"
+  "CMakeFiles/sm_core.dir/risk.cpp.o"
+  "CMakeFiles/sm_core.dir/risk.cpp.o.d"
+  "CMakeFiles/sm_core.dir/scan.cpp.o"
+  "CMakeFiles/sm_core.dir/scan.cpp.o.d"
+  "CMakeFiles/sm_core.dir/scheduler.cpp.o"
+  "CMakeFiles/sm_core.dir/scheduler.cpp.o.d"
+  "CMakeFiles/sm_core.dir/spam.cpp.o"
+  "CMakeFiles/sm_core.dir/spam.cpp.o.d"
+  "CMakeFiles/sm_core.dir/synprobe.cpp.o"
+  "CMakeFiles/sm_core.dir/synprobe.cpp.o.d"
+  "CMakeFiles/sm_core.dir/targets.cpp.o"
+  "CMakeFiles/sm_core.dir/targets.cpp.o.d"
+  "CMakeFiles/sm_core.dir/testbed.cpp.o"
+  "CMakeFiles/sm_core.dir/testbed.cpp.o.d"
+  "CMakeFiles/sm_core.dir/top_ports.cpp.o"
+  "CMakeFiles/sm_core.dir/top_ports.cpp.o.d"
+  "CMakeFiles/sm_core.dir/verdict.cpp.o"
+  "CMakeFiles/sm_core.dir/verdict.cpp.o.d"
+  "libsm_core.a"
+  "libsm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

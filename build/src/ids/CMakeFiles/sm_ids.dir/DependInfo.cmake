@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ids/engine.cpp" "src/ids/CMakeFiles/sm_ids.dir/engine.cpp.o" "gcc" "src/ids/CMakeFiles/sm_ids.dir/engine.cpp.o.d"
+  "/root/repo/src/ids/flow.cpp" "src/ids/CMakeFiles/sm_ids.dir/flow.cpp.o" "gcc" "src/ids/CMakeFiles/sm_ids.dir/flow.cpp.o.d"
+  "/root/repo/src/ids/matcher.cpp" "src/ids/CMakeFiles/sm_ids.dir/matcher.cpp.o" "gcc" "src/ids/CMakeFiles/sm_ids.dir/matcher.cpp.o.d"
+  "/root/repo/src/ids/parser.cpp" "src/ids/CMakeFiles/sm_ids.dir/parser.cpp.o" "gcc" "src/ids/CMakeFiles/sm_ids.dir/parser.cpp.o.d"
+  "/root/repo/src/ids/replay.cpp" "src/ids/CMakeFiles/sm_ids.dir/replay.cpp.o" "gcc" "src/ids/CMakeFiles/sm_ids.dir/replay.cpp.o.d"
+  "/root/repo/src/ids/rule.cpp" "src/ids/CMakeFiles/sm_ids.dir/rule.cpp.o" "gcc" "src/ids/CMakeFiles/sm_ids.dir/rule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/sm_packet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_ids.dir/engine.cpp.o"
+  "CMakeFiles/sm_ids.dir/engine.cpp.o.d"
+  "CMakeFiles/sm_ids.dir/flow.cpp.o"
+  "CMakeFiles/sm_ids.dir/flow.cpp.o.d"
+  "CMakeFiles/sm_ids.dir/matcher.cpp.o"
+  "CMakeFiles/sm_ids.dir/matcher.cpp.o.d"
+  "CMakeFiles/sm_ids.dir/parser.cpp.o"
+  "CMakeFiles/sm_ids.dir/parser.cpp.o.d"
+  "CMakeFiles/sm_ids.dir/replay.cpp.o"
+  "CMakeFiles/sm_ids.dir/replay.cpp.o.d"
+  "CMakeFiles/sm_ids.dir/rule.cpp.o"
+  "CMakeFiles/sm_ids.dir/rule.cpp.o.d"
+  "libsm_ids.a"
+  "libsm_ids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_ids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/engine.cpp" "src/netsim/CMakeFiles/sm_netsim.dir/engine.cpp.o" "gcc" "src/netsim/CMakeFiles/sm_netsim.dir/engine.cpp.o.d"
+  "/root/repo/src/netsim/host.cpp" "src/netsim/CMakeFiles/sm_netsim.dir/host.cpp.o" "gcc" "src/netsim/CMakeFiles/sm_netsim.dir/host.cpp.o.d"
+  "/root/repo/src/netsim/link.cpp" "src/netsim/CMakeFiles/sm_netsim.dir/link.cpp.o" "gcc" "src/netsim/CMakeFiles/sm_netsim.dir/link.cpp.o.d"
+  "/root/repo/src/netsim/router.cpp" "src/netsim/CMakeFiles/sm_netsim.dir/router.cpp.o" "gcc" "src/netsim/CMakeFiles/sm_netsim.dir/router.cpp.o.d"
+  "/root/repo/src/netsim/topology.cpp" "src/netsim/CMakeFiles/sm_netsim.dir/topology.cpp.o" "gcc" "src/netsim/CMakeFiles/sm_netsim.dir/topology.cpp.o.d"
+  "/root/repo/src/netsim/trace.cpp" "src/netsim/CMakeFiles/sm_netsim.dir/trace.cpp.o" "gcc" "src/netsim/CMakeFiles/sm_netsim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/sm_packet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

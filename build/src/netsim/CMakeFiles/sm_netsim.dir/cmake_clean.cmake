@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_netsim.dir/engine.cpp.o"
+  "CMakeFiles/sm_netsim.dir/engine.cpp.o.d"
+  "CMakeFiles/sm_netsim.dir/host.cpp.o"
+  "CMakeFiles/sm_netsim.dir/host.cpp.o.d"
+  "CMakeFiles/sm_netsim.dir/link.cpp.o"
+  "CMakeFiles/sm_netsim.dir/link.cpp.o.d"
+  "CMakeFiles/sm_netsim.dir/router.cpp.o"
+  "CMakeFiles/sm_netsim.dir/router.cpp.o.d"
+  "CMakeFiles/sm_netsim.dir/topology.cpp.o"
+  "CMakeFiles/sm_netsim.dir/topology.cpp.o.d"
+  "CMakeFiles/sm_netsim.dir/trace.cpp.o"
+  "CMakeFiles/sm_netsim.dir/trace.cpp.o.d"
+  "libsm_netsim.a"
+  "libsm_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_packet.dir/checksum.cpp.o"
+  "CMakeFiles/sm_packet.dir/checksum.cpp.o.d"
+  "CMakeFiles/sm_packet.dir/fragment.cpp.o"
+  "CMakeFiles/sm_packet.dir/fragment.cpp.o.d"
+  "CMakeFiles/sm_packet.dir/packet.cpp.o"
+  "CMakeFiles/sm_packet.dir/packet.cpp.o.d"
+  "CMakeFiles/sm_packet.dir/pcap.cpp.o"
+  "CMakeFiles/sm_packet.dir/pcap.cpp.o.d"
+  "CMakeFiles/sm_packet.dir/print.cpp.o"
+  "CMakeFiles/sm_packet.dir/print.cpp.o.d"
+  "libsm_packet.a"
+  "libsm_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/dns/client.cpp" "src/proto/CMakeFiles/sm_proto.dir/dns/client.cpp.o" "gcc" "src/proto/CMakeFiles/sm_proto.dir/dns/client.cpp.o.d"
+  "/root/repo/src/proto/dns/message.cpp" "src/proto/CMakeFiles/sm_proto.dir/dns/message.cpp.o" "gcc" "src/proto/CMakeFiles/sm_proto.dir/dns/message.cpp.o.d"
+  "/root/repo/src/proto/dns/server.cpp" "src/proto/CMakeFiles/sm_proto.dir/dns/server.cpp.o" "gcc" "src/proto/CMakeFiles/sm_proto.dir/dns/server.cpp.o.d"
+  "/root/repo/src/proto/http/client.cpp" "src/proto/CMakeFiles/sm_proto.dir/http/client.cpp.o" "gcc" "src/proto/CMakeFiles/sm_proto.dir/http/client.cpp.o.d"
+  "/root/repo/src/proto/http/message.cpp" "src/proto/CMakeFiles/sm_proto.dir/http/message.cpp.o" "gcc" "src/proto/CMakeFiles/sm_proto.dir/http/message.cpp.o.d"
+  "/root/repo/src/proto/http/server.cpp" "src/proto/CMakeFiles/sm_proto.dir/http/server.cpp.o" "gcc" "src/proto/CMakeFiles/sm_proto.dir/http/server.cpp.o.d"
+  "/root/repo/src/proto/smtp/client.cpp" "src/proto/CMakeFiles/sm_proto.dir/smtp/client.cpp.o" "gcc" "src/proto/CMakeFiles/sm_proto.dir/smtp/client.cpp.o.d"
+  "/root/repo/src/proto/smtp/server.cpp" "src/proto/CMakeFiles/sm_proto.dir/smtp/server.cpp.o" "gcc" "src/proto/CMakeFiles/sm_proto.dir/smtp/server.cpp.o.d"
+  "/root/repo/src/proto/tcp/connection.cpp" "src/proto/CMakeFiles/sm_proto.dir/tcp/connection.cpp.o" "gcc" "src/proto/CMakeFiles/sm_proto.dir/tcp/connection.cpp.o.d"
+  "/root/repo/src/proto/tcp/stack.cpp" "src/proto/CMakeFiles/sm_proto.dir/tcp/stack.cpp.o" "gcc" "src/proto/CMakeFiles/sm_proto.dir/tcp/stack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/sm_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/sm_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

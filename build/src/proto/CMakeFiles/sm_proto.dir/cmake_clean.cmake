@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_proto.dir/dns/client.cpp.o"
+  "CMakeFiles/sm_proto.dir/dns/client.cpp.o.d"
+  "CMakeFiles/sm_proto.dir/dns/message.cpp.o"
+  "CMakeFiles/sm_proto.dir/dns/message.cpp.o.d"
+  "CMakeFiles/sm_proto.dir/dns/server.cpp.o"
+  "CMakeFiles/sm_proto.dir/dns/server.cpp.o.d"
+  "CMakeFiles/sm_proto.dir/http/client.cpp.o"
+  "CMakeFiles/sm_proto.dir/http/client.cpp.o.d"
+  "CMakeFiles/sm_proto.dir/http/message.cpp.o"
+  "CMakeFiles/sm_proto.dir/http/message.cpp.o.d"
+  "CMakeFiles/sm_proto.dir/http/server.cpp.o"
+  "CMakeFiles/sm_proto.dir/http/server.cpp.o.d"
+  "CMakeFiles/sm_proto.dir/smtp/client.cpp.o"
+  "CMakeFiles/sm_proto.dir/smtp/client.cpp.o.d"
+  "CMakeFiles/sm_proto.dir/smtp/server.cpp.o"
+  "CMakeFiles/sm_proto.dir/smtp/server.cpp.o.d"
+  "CMakeFiles/sm_proto.dir/tcp/connection.cpp.o"
+  "CMakeFiles/sm_proto.dir/tcp/connection.cpp.o.d"
+  "CMakeFiles/sm_proto.dir/tcp/stack.cpp.o"
+  "CMakeFiles/sm_proto.dir/tcp/stack.cpp.o.d"
+  "libsm_proto.a"
+  "libsm_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_spamfilter.dir/corpus.cpp.o"
+  "CMakeFiles/sm_spamfilter.dir/corpus.cpp.o.d"
+  "CMakeFiles/sm_spamfilter.dir/scorer.cpp.o"
+  "CMakeFiles/sm_spamfilter.dir/scorer.cpp.o.d"
+  "libsm_spamfilter.a"
+  "libsm_spamfilter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_spamfilter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

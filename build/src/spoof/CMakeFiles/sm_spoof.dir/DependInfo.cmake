@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spoof/cover.cpp" "src/spoof/CMakeFiles/sm_spoof.dir/cover.cpp.o" "gcc" "src/spoof/CMakeFiles/sm_spoof.dir/cover.cpp.o.d"
+  "/root/repo/src/spoof/sav.cpp" "src/spoof/CMakeFiles/sm_spoof.dir/sav.cpp.o" "gcc" "src/spoof/CMakeFiles/sm_spoof.dir/sav.cpp.o.d"
+  "/root/repo/src/spoof/ttl.cpp" "src/spoof/CMakeFiles/sm_spoof.dir/ttl.cpp.o" "gcc" "src/spoof/CMakeFiles/sm_spoof.dir/ttl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/sm_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/sm_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/sm_packet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

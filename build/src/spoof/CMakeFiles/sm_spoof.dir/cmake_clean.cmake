@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_spoof.dir/cover.cpp.o"
+  "CMakeFiles/sm_spoof.dir/cover.cpp.o.d"
+  "CMakeFiles/sm_spoof.dir/sav.cpp.o"
+  "CMakeFiles/sm_spoof.dir/sav.cpp.o.d"
+  "CMakeFiles/sm_spoof.dir/ttl.cpp.o"
+  "CMakeFiles/sm_spoof.dir/ttl.cpp.o.d"
+  "libsm_spoof.a"
+  "libsm_spoof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_spoof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

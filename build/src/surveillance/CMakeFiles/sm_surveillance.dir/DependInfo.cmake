@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/surveillance/analyst.cpp" "src/surveillance/CMakeFiles/sm_surveillance.dir/analyst.cpp.o" "gcc" "src/surveillance/CMakeFiles/sm_surveillance.dir/analyst.cpp.o.d"
+  "/root/repo/src/surveillance/classify.cpp" "src/surveillance/CMakeFiles/sm_surveillance.dir/classify.cpp.o" "gcc" "src/surveillance/CMakeFiles/sm_surveillance.dir/classify.cpp.o.d"
+  "/root/repo/src/surveillance/flowrecords.cpp" "src/surveillance/CMakeFiles/sm_surveillance.dir/flowrecords.cpp.o" "gcc" "src/surveillance/CMakeFiles/sm_surveillance.dir/flowrecords.cpp.o.d"
+  "/root/repo/src/surveillance/mvr.cpp" "src/surveillance/CMakeFiles/sm_surveillance.dir/mvr.cpp.o" "gcc" "src/surveillance/CMakeFiles/sm_surveillance.dir/mvr.cpp.o.d"
+  "/root/repo/src/surveillance/rules.cpp" "src/surveillance/CMakeFiles/sm_surveillance.dir/rules.cpp.o" "gcc" "src/surveillance/CMakeFiles/sm_surveillance.dir/rules.cpp.o.d"
+  "/root/repo/src/surveillance/store.cpp" "src/surveillance/CMakeFiles/sm_surveillance.dir/store.cpp.o" "gcc" "src/surveillance/CMakeFiles/sm_surveillance.dir/store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ids/CMakeFiles/sm_ids.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/sm_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/sm_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

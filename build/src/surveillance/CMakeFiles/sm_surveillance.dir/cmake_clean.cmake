@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_surveillance.dir/analyst.cpp.o"
+  "CMakeFiles/sm_surveillance.dir/analyst.cpp.o.d"
+  "CMakeFiles/sm_surveillance.dir/classify.cpp.o"
+  "CMakeFiles/sm_surveillance.dir/classify.cpp.o.d"
+  "CMakeFiles/sm_surveillance.dir/flowrecords.cpp.o"
+  "CMakeFiles/sm_surveillance.dir/flowrecords.cpp.o.d"
+  "CMakeFiles/sm_surveillance.dir/mvr.cpp.o"
+  "CMakeFiles/sm_surveillance.dir/mvr.cpp.o.d"
+  "CMakeFiles/sm_surveillance.dir/rules.cpp.o"
+  "CMakeFiles/sm_surveillance.dir/rules.cpp.o.d"
+  "CMakeFiles/sm_surveillance.dir/store.cpp.o"
+  "CMakeFiles/sm_surveillance.dir/store.cpp.o.d"
+  "libsm_surveillance.a"
+  "libsm_surveillance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_surveillance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_censor.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common_ip.dir/test_common_ip.cpp.o"
+  "CMakeFiles/test_common_ip.dir/test_common_ip.cpp.o.d"
+  "test_common_ip"
+  "test_common_ip.pdb"
+  "test_common_ip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common_ip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_final_gaps.dir/test_final_gaps.cpp.o"
+  "CMakeFiles/test_final_gaps.dir/test_final_gaps.cpp.o.d"
+  "test_final_gaps"
+  "test_final_gaps.pdb"
+  "test_final_gaps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_final_gaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flowrecords.dir/test_flowrecords.cpp.o"
+  "CMakeFiles/test_flowrecords.dir/test_flowrecords.cpp.o.d"
+  "test_flowrecords"
+  "test_flowrecords.pdb"
+  "test_flowrecords[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flowrecords.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ids_engine.dir/test_ids_engine.cpp.o"
+  "CMakeFiles/test_ids_engine.dir/test_ids_engine.cpp.o.d"
+  "test_ids_engine"
+  "test_ids_engine.pdb"
+  "test_ids_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ids_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ids_flow.dir/test_ids_flow.cpp.o"
+  "CMakeFiles/test_ids_flow.dir/test_ids_flow.cpp.o.d"
+  "test_ids_flow"
+  "test_ids_flow.pdb"
+  "test_ids_flow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ids_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

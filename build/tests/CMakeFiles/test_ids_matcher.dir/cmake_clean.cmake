@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ids_matcher.dir/test_ids_matcher.cpp.o"
+  "CMakeFiles/test_ids_matcher.dir/test_ids_matcher.cpp.o.d"
+  "test_ids_matcher"
+  "test_ids_matcher.pdb"
+  "test_ids_matcher[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ids_matcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

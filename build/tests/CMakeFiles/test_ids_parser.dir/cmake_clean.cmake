@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ids_parser.dir/test_ids_parser.cpp.o"
+  "CMakeFiles/test_ids_parser.dir/test_ids_parser.cpp.o.d"
+  "test_ids_parser"
+  "test_ids_parser.pdb"
+  "test_ids_parser[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ids_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_probes.dir/test_probes.cpp.o"
+  "CMakeFiles/test_probes.dir/test_probes.cpp.o.d"
+  "test_probes"
+  "test_probes.pdb"
+  "test_probes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_probes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

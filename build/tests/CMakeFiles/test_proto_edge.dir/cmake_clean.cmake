@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_proto_edge.dir/test_proto_edge.cpp.o"
+  "CMakeFiles/test_proto_edge.dir/test_proto_edge.cpp.o.d"
+  "test_proto_edge"
+  "test_proto_edge.pdb"
+  "test_proto_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_proto_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

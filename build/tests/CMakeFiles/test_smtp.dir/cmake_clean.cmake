@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smtp.dir/test_smtp.cpp.o"
+  "CMakeFiles/test_smtp.dir/test_smtp.cpp.o.d"
+  "test_smtp"
+  "test_smtp.pdb"
+  "test_smtp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smtp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spamfilter.dir/test_spamfilter.cpp.o"
+  "CMakeFiles/test_spamfilter.dir/test_spamfilter.cpp.o.d"
+  "test_spamfilter"
+  "test_spamfilter.pdb"
+  "test_spamfilter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spamfilter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

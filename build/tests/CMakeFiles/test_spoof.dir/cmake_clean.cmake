@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spoof.dir/test_spoof.cpp.o"
+  "CMakeFiles/test_spoof.dir/test_spoof.cpp.o.d"
+  "test_spoof"
+  "test_spoof.pdb"
+  "test_spoof[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spoof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_surveillance.dir/test_surveillance.cpp.o"
+  "CMakeFiles/test_surveillance.dir/test_surveillance.cpp.o.d"
+  "test_surveillance"
+  "test_surveillance.pdb"
+  "test_surveillance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_surveillance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
