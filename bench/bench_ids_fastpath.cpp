@@ -1,0 +1,223 @@
+// Fast-path IDS matching bench: packets/sec through sm::ids::Engine with
+// the legacy linear rule scan versus the rule-group index + Aho-Corasick
+// fast-pattern prefilter, at 10/100/1000-rule ruleset sizes.
+//
+// Emits a human-readable table on stdout and a JSON report (default
+// BENCH_ids_fastpath.json, or argv[1]) so the perf trajectory is tracked
+// across PRs.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "ids/engine.hpp"
+#include "packet/packet.hpp"
+
+using namespace sm;
+using common::Ipv4Address;
+using common::Rng;
+using common::SimTime;
+using packet::TcpFlags;
+
+namespace {
+
+struct PacketBox {
+  common::Bytes storage;
+  packet::Decoded decoded;
+};
+
+/// Keyword pool: rules draw patterns from here; payloads occasionally
+/// embed one so the prefilter sees a realistic (low) hit rate.
+const std::vector<std::string>& keywords() {
+  static const std::vector<std::string> kw = [] {
+    std::vector<std::string> out;
+    const char* stems[] = {"falun",  "ultrasurf", "freegate", "beacon",
+                           "tor",    "obfs4",     "vpn",      "proxy",
+                           "tunnel", "psiphon",   "lantern",  "shadows"};
+    for (int i = 0; i < 1024; ++i) {
+      out.push_back(std::string(stems[i % 12]) + "-sig" + std::to_string(i));
+    }
+    return out;
+  }();
+  return kw;
+}
+
+/// A Snort-shaped ruleset: ~70% single-dst-port content rules (hash
+/// buckets), ~20% any-port content rules (fallback + prefilter), ~10%
+/// port-only rules without content.
+std::vector<ids::Rule> make_ruleset(size_t n, Rng& rng) {
+  std::string text;
+  const auto& kw = keywords();
+  for (size_t i = 0; i < n; ++i) {
+    uint16_t port = static_cast<uint16_t>(1024 + (i * 7) % 4096);
+    const std::string& pat = kw[i % kw.size()];
+    double shape = rng.uniform();
+    if (shape < 0.70) {
+      text += "alert tcp any any -> any " + std::to_string(port) +
+              " (msg:\"p" + std::to_string(i) + "\"; content:\"" + pat +
+              "\"; nocase; sid:" + std::to_string(100000 + i) + ";)\n";
+    } else if (shape < 0.90) {
+      text += "alert tcp any any -> any any (msg:\"a" + std::to_string(i) +
+              "\"; content:\"" + pat + "\"; sid:" +
+              std::to_string(100000 + i) + ";)\n";
+    } else {
+      text += "drop tcp any any -> any " + std::to_string(port) +
+              " (msg:\"b" + std::to_string(i) + "\"; dsize:>1400; sid:" +
+              std::to_string(100000 + i) + ";)\n";
+    }
+  }
+  auto parsed = ids::parse_rules(text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "ruleset generation bug: %s\n",
+                 parsed.errors[0].message.c_str());
+    std::exit(1);
+  }
+  return std::move(parsed.rules);
+}
+
+/// Mixed traffic: mostly clean HTTP-ish payloads across the rule port
+/// space, a few percent carrying a rule keyword.
+std::vector<PacketBox> make_packets(size_t n, Rng& rng) {
+  std::vector<PacketBox> out;
+  out.reserve(n);
+  const auto& kw = keywords();
+  for (size_t i = 0; i < n; ++i) {
+    std::string payload = "GET /index.html?session=";
+    size_t filler = 200 + rng.bounded(400);
+    for (size_t j = 0; j < filler; ++j)
+      payload += static_cast<char>('a' + rng.bounded(26));
+    if (rng.chance(0.03)) payload += " " + kw[rng.bounded(kw.size())];
+    uint16_t dp = static_cast<uint16_t>(1024 + rng.bounded(4096));
+    PacketBox box;
+    packet::Packet p = packet::make_tcp(
+        Ipv4Address(10, 0, static_cast<uint8_t>(rng.bounded(8)),
+                    static_cast<uint8_t>(1 + rng.bounded(250))),
+        Ipv4Address(192, 0, 2, 80),
+        static_cast<uint16_t>(1024 + rng.bounded(60000)), dp, TcpFlags::kAck,
+        static_cast<uint32_t>(i * 1000), 1, common::to_bytes(payload));
+    box.storage = p.data();
+    box.decoded = *packet::decode(box.storage);
+    out.push_back(std::move(box));
+  }
+  return out;
+}
+
+struct RunResult {
+  double pps = 0;
+  uint64_t alerts = 0;
+  ids::Engine::Stats stats;
+};
+
+/// Processes the packet set repeatedly until ~min_seconds elapsed.
+RunResult run_engine(ids::Engine& engine,
+                     const std::vector<PacketBox>& packets,
+                     double min_seconds) {
+  using clock = std::chrono::steady_clock;
+  RunResult r;
+  uint64_t processed = 0;
+  int64_t t = 0;
+  auto start = clock::now();
+  double elapsed = 0;
+  do {
+    for (const auto& box : packets) {
+      auto v = engine.process(SimTime(t += 1000), box.decoded);
+      processed += 1;
+    }
+    elapsed = std::chrono::duration<double>(clock::now() - start).count();
+  } while (elapsed < min_seconds);
+  r.pps = static_cast<double>(processed) / elapsed;
+  r.stats = engine.stats();
+  r.alerts = engine.stats().alerts;
+  return r;
+}
+
+struct SizeResult {
+  size_t rules;
+  RunResult linear;
+  RunResult fast;
+  double speedup;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_ids_fastpath.json";
+  const double min_seconds = 0.4;
+  const size_t sizes[] = {10, 100, 1000};
+
+  std::printf("IDS fast-path bench: linear scan vs port-group index + "
+              "Aho-Corasick prefilter\n\n");
+  std::printf("%8s %16s %16s %9s %14s %14s\n", "rules", "linear pps",
+              "fastpath pps", "speedup", "prefilter hit", "prefilter skip");
+
+  std::vector<SizeResult> results;
+  for (size_t n : sizes) {
+    Rng rule_rng(42);
+    Rng pkt_rng(1337);
+    auto rules = make_ruleset(n, rule_rng);
+    auto packets = make_packets(512, pkt_rng);
+
+    ids::Engine linear(rules, ids::EngineOptions{.use_fastpath = false});
+    ids::Engine fast(rules, ids::EngineOptions{.use_fastpath = true});
+
+    SizeResult sr;
+    sr.rules = n;
+    sr.linear = run_engine(linear, packets, min_seconds);
+    sr.fast = run_engine(fast, packets, min_seconds);
+    sr.speedup = sr.fast.pps / sr.linear.pps;
+
+    // Verdict sanity: both engines must alert at the same per-packet
+    // rate (stats are cumulative over different iteration counts).
+    double lin_rate = static_cast<double>(sr.linear.stats.alerts) /
+                      static_cast<double>(sr.linear.stats.packets);
+    double fast_rate = static_cast<double>(sr.fast.stats.alerts) /
+                       static_cast<double>(sr.fast.stats.packets);
+    if (lin_rate != fast_rate) {
+      std::fprintf(stderr,
+                   "FAIL: alert rate diverged at %zu rules "
+                   "(linear %.6f vs fastpath %.6f)\n",
+                   n, lin_rate, fast_rate);
+      return 1;
+    }
+
+    std::printf("%8zu %16.0f %16.0f %8.1fx %14llu %14llu\n", n,
+                sr.linear.pps, sr.fast.pps, sr.speedup,
+                static_cast<unsigned long long>(sr.fast.stats.prefilter_hits),
+                static_cast<unsigned long long>(
+                    sr.fast.stats.prefilter_skips));
+    results.push_back(sr);
+  }
+
+  bool pass = results.back().speedup >= 5.0;
+  std::printf("\n1000-rule speedup %.1fx (target >= 5x): %s\n",
+              results.back().speedup, pass ? "PASS" : "FAIL");
+
+  FILE* f = std::fopen(out_path, "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(f, "{\"bench\":\"ids_fastpath\",\"packet_count\":512,"
+                  "\"results\":[");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const auto& sr = results[i];
+    std::fprintf(
+        f,
+        "%s{\"rules\":%zu,\"linear_pps\":%.0f,\"fastpath_pps\":%.0f,"
+        "\"speedup\":%.2f,\"fastpath_candidates\":%llu,"
+        "\"prefilter_hits\":%llu,\"prefilter_skips\":%llu,"
+        "\"payload_scans\":%llu,\"stream_scans\":%llu}",
+        i ? "," : "", sr.rules, sr.linear.pps, sr.fast.pps, sr.speedup,
+        static_cast<unsigned long long>(sr.fast.stats.fastpath_candidates),
+        static_cast<unsigned long long>(sr.fast.stats.prefilter_hits),
+        static_cast<unsigned long long>(sr.fast.stats.prefilter_skips),
+        static_cast<unsigned long long>(sr.fast.stats.payload_scans),
+        static_cast<unsigned long long>(sr.fast.stats.stream_scans));
+  }
+  std::fprintf(f, "],\"pass\":%s}\n", pass ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path);
+  return pass ? 0 : 1;
+}

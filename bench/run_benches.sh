@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Builds Release and runs the perf-tracked benches, writing their JSON
+# reports at the repo root (BENCH_*.json) so the trajectory is visible
+# across PRs. Usage: bench/run_benches.sh [build-dir]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build-release}"
+
+cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD" -j --target bench_ids_fastpath
+
+"$BUILD/bench/bench_ids_fastpath" "$ROOT/BENCH_ids_fastpath.json"

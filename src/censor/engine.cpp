@@ -9,7 +9,8 @@ using netsim::TapDecision;
 using packet::TcpFlags;
 
 CensorTap::CensorTap(CensorPolicy policy)
-    : policy_(std::move(policy)), engine_(policy_.compile_rules()) {}
+    : policy_(std::move(policy)),
+      engine_(policy_.compile_rules(), policy_.ids_options) {}
 
 bool CensorTap::in_blackout(const TapContext& ctx) {
   if (blackouts_.empty()) return false;

@@ -15,6 +15,7 @@
 
 #include "common/ip.hpp"
 #include "common/time.hpp"
+#include "ids/engine.hpp"
 #include "ids/rule.hpp"
 
 namespace sm::censor {
@@ -73,6 +74,10 @@ struct CensorPolicy {
   /// across IP fragments slip past the content rules; when true the
   /// censor reassembles datagrams before inspection.
   bool reassemble_ip_fragments = false;
+
+  /// Knobs for the compiled IDS engine (rule-group index + fast-pattern
+  /// prefilter on by default; flip off to force the legacy linear scan).
+  ids::EngineOptions ids_options{};
 
   /// Whether a domain is subject to DNS forgery; subdomains inherit.
   const Ipv4Address* dns_forgery_for(const std::string& qname) const;

@@ -1,5 +1,6 @@
 #include "ids/engine.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "common/strings.hpp"
@@ -14,7 +15,8 @@ std::string Alert::to_string() const {
                         dst.to_string().c_str(), dst_port);
 }
 
-Engine::Engine(std::vector<Rule> rules) {
+Engine::Engine(std::vector<Rule> rules, EngineOptions options)
+    : options_(options) {
   rules_.reserve(rules.size());
   for (auto& r : rules) {
     CompiledRule cr;
@@ -24,9 +26,11 @@ Engine::Engine(std::vector<Rule> rules) {
     cr.rule = std::move(r);
     rules_.push_back(std::move(cr));
   }
+  if (options_.use_fastpath) build_fastpath();
 }
 
-Engine Engine::from_text(std::string_view rules_text, const VarTable& vars) {
+Engine Engine::from_text(std::string_view rules_text, const VarTable& vars,
+                         EngineOptions options) {
   auto result = parse_rules(rules_text, vars);
   if (!result.ok()) {
     std::string msg = "rule parse failed:";
@@ -34,7 +38,85 @@ Engine Engine::from_text(std::string_view rules_text, const VarTable& vars) {
       msg += common::format(" line %zu: %s;", e.line, e.message.c_str());
     throw std::invalid_argument(msg);
   }
-  return Engine(std::move(result.rules));
+  return Engine(std::move(result.rules), options);
+}
+
+namespace {
+/// True iff the spec admits exactly one port (the indexable case).
+bool single_port(const PortSpec& ps, uint16_t& out) {
+  if (ps.any || ps.negated || ps.ranges.size() != 1) return false;
+  if (ps.ranges[0].first != ps.ranges[0].second) return false;
+  out = ps.ranges[0].first;
+  return true;
+}
+}  // namespace
+
+void Engine::build_fastpath() {
+  for (uint32_t i = 0; i < rules_.size(); ++i) {
+    CompiledRule& cr = rules_[i];
+    const Rule& r = cr.rule;
+    PortGroup& g = groups_[static_cast<size_t>(r.proto)];
+
+    // A rule keyed on a single dst (or src) port can only header-match
+    // packets carrying that port — bidirectional rules may also match
+    // with the tuple swapped, so they index under both directions.
+    uint16_t p = 0;
+    if (single_port(r.dst_ports, p)) {
+      g.by_dst[p].push_back(i);
+      if (r.bidirectional) g.by_src[p].push_back(i);
+    } else if (single_port(r.src_ports, p)) {
+      g.by_src[p].push_back(i);
+      if (r.bidirectional) g.by_dst[p].push_back(i);
+    } else {
+      g.fallback.push_back(i);
+    }
+
+    // Fast pattern: the longest positive content. Rules with only
+    // negated (or no) contents bypass the prefilter entirely — absence
+    // of a pattern can be what makes them match.
+    const ContentMatch* best = nullptr;
+    for (const auto& c : r.contents) {
+      if (c.negated || c.pattern.empty()) continue;
+      if (!best || c.pattern.size() > best->pattern.size()) best = &c;
+    }
+    if (best) cr.fast_pattern = prefilter_.add(best->pattern);
+  }
+  prefilter_.build();
+}
+
+void Engine::collect_candidates(const packet::Decoded& d) {
+  candidates_.clear();
+  uint16_t sp = d.src_port(), dp = d.dst_port();
+  int lists = 0;  // bucket lists that contributed candidates
+  auto add_list = [&](const std::vector<uint32_t>& v) {
+    if (v.empty()) return;
+    candidates_.insert(candidates_.end(), v.begin(), v.end());
+    ++lists;
+  };
+  auto add_group = [&](const PortGroup& g) {
+    if (auto it = g.by_src.find(sp); it != g.by_src.end())
+      add_list(it->second);
+    if (auto it = g.by_dst.find(dp); it != g.by_dst.end())
+      add_list(it->second);
+    add_list(g.fallback);
+  };
+  add_group(groups_[static_cast<size_t>(RuleProto::Ip)]);
+  if (d.tcp)
+    add_group(groups_[static_cast<size_t>(RuleProto::Tcp)]);
+  else if (d.udp)
+    add_group(groups_[static_cast<size_t>(RuleProto::Udp)]);
+  else if (d.icmp)
+    add_group(groups_[static_cast<size_t>(RuleProto::Icmp)]);
+
+  // Rule order is match order (pass/drop short-circuit), so candidates
+  // must be evaluated in ruleset order; a bidirectional rule indexed
+  // both ways may appear twice. Each bucket list is already in ruleset
+  // order, so a single contributing list needs no merge.
+  if (lists > 1) {
+    std::sort(candidates_.begin(), candidates_.end());
+    candidates_.erase(std::unique(candidates_.begin(), candidates_.end()),
+                      candidates_.end());
+  }
 }
 
 bool Engine::header_matches(const CompiledRule& cr,
@@ -154,47 +236,101 @@ bool Engine::threshold_allows(const CompiledRule& cr, SimTime now,
   return true;
 }
 
+bool Engine::eval_rule(uint32_t idx, SimTime now, const packet::Decoded& d,
+                       const FlowContext& fc, Verdict& verdict) {
+  CompiledRule& cr = rules_[idx];
+  const Rule& r = cr.rule;
+  if (!header_matches(cr, d)) return true;
+  bool used_stream = false;
+  if (!options_match(cr, d, fc, used_stream)) return true;
+
+  // Stream-based matches fire once per flow per rule.
+  if (used_stream && fc.state) {
+    if (fc.state->fired_sids.count(r.sid)) return true;
+    fc.state->fired_sids.insert(r.sid);
+  }
+
+  if (r.action == RuleAction::Pass) return false;  // whitelisted: stop here
+
+  if (!threshold_allows(cr, now, d)) return true;
+
+  Alert alert;
+  alert.time = now;
+  alert.sid = r.sid;
+  alert.msg = r.msg;
+  alert.classtype = r.classtype;
+  alert.action = r.action;
+  alert.priority = r.priority;
+  alert.src = d.ip.src;
+  alert.dst = d.ip.dst;
+  alert.src_port = d.src_port();
+  alert.dst_port = d.dst_port();
+  verdict.alerts.push_back(std::move(alert));
+  ++stats_.alerts;
+
+  if (r.action == RuleAction::Drop || r.action == RuleAction::Reject) {
+    verdict.drop = true;
+    verdict.reject = r.action == RuleAction::Reject;
+    ++stats_.drops;
+    return false;  // inline action terminates evaluation
+  }
+  return true;
+}
+
 Verdict Engine::process(SimTime now, const packet::Decoded& d) {
   ++stats_.packets;
   Verdict verdict;
   FlowContext fc = flows_.update(now, d);
 
-  for (auto& cr : rules_) {
-    const Rule& r = cr.rule;
-    if (!header_matches(cr, d)) continue;
-    bool used_stream = false;
-    if (!options_match(cr, d, fc, used_stream)) continue;
+  if (!options_.use_fastpath) {
+    for (uint32_t i = 0; i < rules_.size(); ++i)
+      if (!eval_rule(i, now, d, fc, verdict)) break;
+    return verdict;
+  }
 
-    // Stream-based matches fire once per flow per rule.
-    if (used_stream && fc.state) {
-      if (fc.state->fired_sids.count(r.sid)) continue;
-      fc.state->fired_sids.insert(r.sid);
+  collect_candidates(d);
+  stats_.fastpath_candidates += candidates_.size();
+
+  // Below the crossover, a shared payload scan costs more than letting
+  // the few surviving content rules run their own sublinear BMH search.
+  size_t content_candidates = 0;
+  for (uint32_t idx : candidates_)
+    if (rules_[idx].fast_pattern != FastPatternIndex::kNoPattern)
+      ++content_candidates;
+  bool use_prefilter =
+      content_candidates >= options_.prefilter_min_candidates;
+
+  // Prefilter scans are lazy: the payload is scanned once when the first
+  // content candidate comes up, and the reassembled stream slice once
+  // when a candidate's fast pattern was absent from the payload (a
+  // stream retry inside options_match is still possible for it).
+  bool scanned_payload = false;
+  bool scanned_stream = false;
+  for (uint32_t idx : candidates_) {
+    uint32_t pid = rules_[idx].fast_pattern;
+    if (use_prefilter && pid != FastPatternIndex::kNoPattern) {
+      if (!scanned_payload) {
+        prefilter_.begin_scan();
+        prefilter_.scan(d.l4_payload);
+        ++stats_.payload_scans;
+        scanned_payload = true;
+      }
+      if (!prefilter_.hit(pid) && !scanned_stream && d.tcp && fc.state) {
+        auto stream = fc.to_server ? fc.state->to_server_stream.contiguous()
+                                   : fc.state->to_client_stream.contiguous();
+        if (!stream.empty()) {
+          prefilter_.scan(stream);
+          ++stats_.stream_scans;
+        }
+        scanned_stream = true;  // at most one stream pass per packet
+      }
+      if (!prefilter_.hit(pid)) {
+        ++stats_.prefilter_skips;
+        continue;
+      }
+      ++stats_.prefilter_hits;
     }
-
-    if (r.action == RuleAction::Pass) break;  // whitelisted: stop here
-
-    if (!threshold_allows(cr, now, d)) continue;
-
-    Alert alert;
-    alert.time = now;
-    alert.sid = r.sid;
-    alert.msg = r.msg;
-    alert.classtype = r.classtype;
-    alert.action = r.action;
-    alert.priority = r.priority;
-    alert.src = d.ip.src;
-    alert.dst = d.ip.dst;
-    alert.src_port = d.src_port();
-    alert.dst_port = d.dst_port();
-    verdict.alerts.push_back(std::move(alert));
-    ++stats_.alerts;
-
-    if (r.action == RuleAction::Drop || r.action == RuleAction::Reject) {
-      verdict.drop = true;
-      verdict.reject = r.action == RuleAction::Reject;
-      ++stats_.drops;
-      break;  // inline action terminates evaluation
-    }
+    if (!eval_rule(idx, now, d, fc, verdict)) break;
   }
   return verdict;
 }

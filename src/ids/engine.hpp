@@ -5,12 +5,23 @@
 // the censor (inline, with drop/reject rules) and the surveillance MVR
 // (passive, alert rules only). That mirrors the paper's §3.2.1 setup of
 // two Snort instances on the same switch.
+//
+// Matching has two modes. The legacy linear mode scans every compiled
+// rule per packet. The default fast path mirrors real Snort's design:
+// a rule-group index (protocol x src/dst-port buckets) narrows the
+// ruleset to the candidates for the packet's 5-tuple, and an
+// Aho-Corasick fast-pattern prefilter (ids/fastpattern.hpp) scans the
+// payload once and eliminates content rules whose longest pattern is
+// absent before any per-rule Boyer-Moore work runs. Both modes produce
+// byte-identical verdicts (tests/test_ids_fastpath.cpp asserts this).
 #pragma once
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/time.hpp"
+#include "ids/fastpattern.hpp"
 #include "ids/flow.hpp"
 #include "ids/matcher.hpp"
 #include "ids/parser.hpp"
@@ -41,14 +52,27 @@ struct Verdict {
   std::vector<Alert> alerts;
 };
 
+/// Construction-time knobs. `use_fastpath` selects the rule-group index +
+/// fast-pattern prefilter; turning it off restores the legacy linear scan
+/// (same verdicts, used by equivalence tests and as a debugging aid).
+struct EngineOptions {
+  bool use_fastpath = true;
+  /// The Aho-Corasick scan costs one pass over the payload, while direct
+  /// BMH evaluation of a handful of candidates skips sublinearly — so the
+  /// prefilter only engages when at least this many content-rule
+  /// candidates survive the port-group index. 0 forces it always on.
+  size_t prefilter_min_candidates = 8;
+};
+
 class Engine {
  public:
-  explicit Engine(std::vector<Rule> rules);
+  explicit Engine(std::vector<Rule> rules, EngineOptions options = {});
 
   /// Convenience: parse-and-build; throws std::invalid_argument on parse
   /// errors (rulesets are programmer input here).
   static Engine from_text(std::string_view rules_text,
-                          const VarTable& vars = {});
+                          const VarTable& vars = {},
+                          EngineOptions options = {});
 
   /// Runs one packet. Flow state advances even when no rule matches.
   Verdict process(SimTime now, const packet::Decoded& d);
@@ -56,11 +80,18 @@ class Engine {
   const FlowTable& flows() const { return flows_; }
   FlowTable& flows() { return flows_; }
   size_t rule_count() const { return rules_.size(); }
+  const EngineOptions& options() const { return options_; }
 
   struct Stats {
     uint64_t packets = 0;
     uint64_t alerts = 0;
     uint64_t drops = 0;
+    // Fast-path instrumentation (all zero when use_fastpath is off).
+    uint64_t fastpath_candidates = 0;  // rules surviving the group index
+    uint64_t prefilter_hits = 0;       // content rules whose fast pattern hit
+    uint64_t prefilter_skips = 0;      // content rules skipped, no full match
+    uint64_t payload_scans = 0;        // Aho-Corasick passes over payloads
+    uint64_t stream_scans = 0;         // lazy passes over reassembled streams
   };
   const Stats& stats() const { return stats_; }
 
@@ -68,7 +99,25 @@ class Engine {
   struct CompiledRule {
     Rule rule;
     std::vector<PatternMatcher> matchers;  // parallel to rule.contents
+    uint32_t fast_pattern = FastPatternIndex::kNoPattern;
   };
+
+  /// Port-bucketed index for one protocol's rules. Single-port specs hash
+  /// into buckets; any/range/negated specs land in `fallback`. A
+  /// bidirectional rule with a single port is indexed under both
+  /// directions so candidates cover the swapped header match.
+  struct PortGroup {
+    std::unordered_map<uint16_t, std::vector<uint32_t>> by_src;
+    std::unordered_map<uint16_t, std::vector<uint32_t>> by_dst;
+    std::vector<uint32_t> fallback;
+  };
+
+  void build_fastpath();
+  void collect_candidates(const packet::Decoded& d);
+  /// Evaluates rule `idx` against the packet; returns false when rule
+  /// processing for this packet must stop (pass matched or inline drop).
+  bool eval_rule(uint32_t idx, SimTime now, const packet::Decoded& d,
+                 const FlowContext& fc, Verdict& verdict);
 
   bool header_matches(const CompiledRule& cr, const packet::Decoded& d) const;
   bool options_match(const CompiledRule& cr, const packet::Decoded& d,
@@ -77,6 +126,10 @@ class Engine {
                         const packet::Decoded& d);
 
   std::vector<CompiledRule> rules_;
+  EngineOptions options_;
+  PortGroup groups_[4];  // indexed by RuleProto
+  FastPatternIndex prefilter_;
+  std::vector<uint32_t> candidates_;  // per-packet scratch (sorted, unique)
   FlowTable flows_;
   Stats stats_;
 

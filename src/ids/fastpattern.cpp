@@ -1,0 +1,101 @@
+#include "ids/fastpattern.hpp"
+
+#include <cassert>
+#include <deque>
+
+#include "ids/matcher.hpp"
+
+namespace sm::ids {
+
+namespace {
+constexpr int32_t kAbsent = -1;
+}  // namespace
+
+uint32_t FastPatternIndex::add(std::string_view pattern) {
+  assert(!built_);
+  if (pattern.empty()) return kNoPattern;
+
+  const auto& fold = case_fold_table();
+  std::string folded(pattern.size(), '\0');
+  for (size_t i = 0; i < pattern.size(); ++i)
+    folded[i] = static_cast<char>(fold[static_cast<uint8_t>(pattern[i])]);
+
+  auto [it, inserted] =
+      ids_.emplace(std::move(folded), static_cast<uint32_t>(hit_epoch_.size()));
+  if (!inserted) return it->second;
+  uint32_t id = it->second;
+  hit_epoch_.push_back(0);
+
+  if (nodes_.empty()) {
+    nodes_.emplace_back();
+    nodes_[0].next.fill(kAbsent);
+  }
+  int32_t state = 0;
+  for (char ch : it->first) {
+    uint8_t c = static_cast<uint8_t>(ch);
+    if (nodes_[state].next[c] == kAbsent) {
+      nodes_[state].next[c] = static_cast<int32_t>(nodes_.size());
+      nodes_.emplace_back();
+      nodes_.back().next.fill(kAbsent);
+    }
+    state = nodes_[state].next[c];
+  }
+  nodes_[state].out.push_back(id);
+  return id;
+}
+
+void FastPatternIndex::build() {
+  assert(!built_);
+  built_ = true;
+  epoch_ = 1;  // hit_epoch_ entries are 0: nothing marked yet
+  if (nodes_.empty()) {
+    nodes_.emplace_back();
+    nodes_[0].next.fill(0);
+    return;
+  }
+
+  // Standard BFS construction, folding failure transitions into the goto
+  // table as we go so scanning is a single table walk per byte.
+  std::vector<int32_t> fail(nodes_.size(), 0);
+  std::deque<int32_t> queue;
+  for (int c = 0; c < 256; ++c) {
+    int32_t s = nodes_[0].next[c];
+    if (s == kAbsent) {
+      nodes_[0].next[c] = 0;
+    } else {
+      fail[s] = 0;
+      queue.push_back(s);
+    }
+  }
+  while (!queue.empty()) {
+    int32_t u = queue.front();
+    queue.pop_front();
+    const auto& fout = nodes_[fail[u]].out;
+    nodes_[u].out.insert(nodes_[u].out.end(), fout.begin(), fout.end());
+    for (int c = 0; c < 256; ++c) {
+      int32_t v = nodes_[u].next[c];
+      if (v == kAbsent) {
+        nodes_[u].next[c] = nodes_[fail[u]].next[c];
+      } else {
+        fail[v] = nodes_[fail[u]].next[c];
+        queue.push_back(v);
+      }
+    }
+  }
+}
+
+void FastPatternIndex::scan(std::span<const uint8_t> haystack) {
+  assert(built_);
+  if (empty()) return;
+  const auto& fold = case_fold_table();
+  const Node* nodes = nodes_.data();
+  int32_t state = 0;
+  for (uint8_t raw : haystack) {
+    state = nodes[state].next[fold[raw]];
+    if (!nodes[state].out.empty()) {
+      for (uint32_t id : nodes[state].out) hit_epoch_[id] = epoch_;
+    }
+  }
+}
+
+}  // namespace sm::ids

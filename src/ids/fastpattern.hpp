@@ -1,0 +1,66 @@
+// Aho-Corasick multi-pattern prefilter ("fast patterns", after Snort's
+// mpse). The engine registers one case-folded pattern per content rule —
+// the rule's longest positive content — and the automaton scans each
+// payload (and, lazily, the reassembled stream slice) exactly once,
+// marking every registered pattern that occurs. Only rules whose fast
+// pattern was seen proceed to full option evaluation; a case-folded hit
+// anywhere in the buffer is a necessary condition for any offset/depth/
+// nocase-constrained full match, so the prefilter can never suppress a
+// true match.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sm::ids {
+
+/// A set of case-folded patterns compiled into one full-matrix DFA
+/// (goto + failure transitions pre-merged, as in Snort's acsmx "full"
+/// storage format). Build once per ruleset; scan per packet.
+class FastPatternIndex {
+ public:
+  static constexpr uint32_t kNoPattern = UINT32_MAX;
+
+  /// Registers `pattern` (folded internally) and returns its pattern id.
+  /// Identical folded patterns are deduplicated to one id. Must be called
+  /// before build(); empty patterns are rejected with kNoPattern.
+  uint32_t add(std::string_view pattern);
+
+  /// Finalizes the automaton. No further add() calls afterwards.
+  void build();
+
+  bool built() const { return built_; }
+  bool empty() const { return pattern_count() == 0; }
+  size_t pattern_count() const { return hit_epoch_.size(); }
+  size_t node_count() const { return nodes_.size(); }
+
+  /// Starts a fresh scan epoch: all hit marks are cleared (O(1)).
+  void begin_scan() { ++epoch_; }
+
+  /// Scans `haystack` once, marking every pattern that occurs. Multiple
+  /// scans in the same epoch accumulate marks (payload + stream slice).
+  void scan(std::span<const uint8_t> haystack);
+
+  /// True if pattern `id` was marked since the last begin_scan().
+  bool hit(uint32_t id) const {
+    return id < hit_epoch_.size() && hit_epoch_[id] == epoch_;
+  }
+
+ private:
+  struct Node {
+    std::array<int32_t, 256> next;
+    std::vector<uint32_t> out;  // pattern ids ending here (incl. via fail)
+  };
+
+  std::vector<Node> nodes_;
+  std::map<std::string, uint32_t> ids_;  // folded pattern -> id
+  std::vector<uint64_t> hit_epoch_;      // id -> last epoch marked
+  uint64_t epoch_ = 0;
+  bool built_ = false;
+};
+
+}  // namespace sm::ids

@@ -5,18 +5,24 @@
 
 namespace sm::ids {
 
-namespace {
-uint8_t fold(uint8_t c) {
-  return static_cast<uint8_t>(std::tolower(c));
+const std::array<uint8_t, 256>& case_fold_table() {
+  static const std::array<uint8_t, 256> table = [] {
+    std::array<uint8_t, 256> t{};
+    for (int i = 0; i < 256; ++i) t[i] = static_cast<uint8_t>(i);
+    for (int c = 'A'; c <= 'Z'; ++c)
+      t[c] = static_cast<uint8_t>(c - 'A' + 'a');
+    return t;
+  }();
+  return table;
 }
-}  // namespace
 
 PatternMatcher::PatternMatcher(std::string pattern, bool nocase)
     : pattern_(std::move(pattern)), nocase_(nocase) {
+  const auto& fold = case_fold_table();
   if (nocase_) {
     std::transform(pattern_.begin(), pattern_.end(), pattern_.begin(),
-                   [](char c) {
-                     return static_cast<char>(fold(static_cast<uint8_t>(c)));
+                   [&](char c) {
+                     return static_cast<char>(fold[static_cast<uint8_t>(c)]);
                    });
   }
   size_t m = pattern_.size();
@@ -26,7 +32,7 @@ PatternMatcher::PatternMatcher(std::string pattern, bool nocase)
     uint8_t c = static_cast<uint8_t>(pattern_[i]);
     uint8_t s = static_cast<uint8_t>(std::min<size_t>(m - 1 - i, 255));
     shift_[c] = s;
-    if (nocase_) shift_[std::toupper(c)] = s;
+    if (nocase_) shift_[static_cast<uint8_t>(std::toupper(c))] = s;
   }
 }
 
@@ -34,6 +40,7 @@ size_t PatternMatcher::find(std::span<const uint8_t> haystack) const {
   size_t m = pattern_.size();
   if (m == 0) return 0;
   if (haystack.size() < m) return npos;
+  const auto& fold = case_fold_table();
   const auto* pat = reinterpret_cast<const uint8_t*>(pattern_.data());
   size_t i = 0;
   size_t limit = haystack.size() - m;
@@ -42,7 +49,7 @@ size_t PatternMatcher::find(std::span<const uint8_t> haystack) const {
     size_t j = m;
     while (j > 0) {
       uint8_t h = haystack[i + j - 1];
-      if (nocase_) h = fold(h);
+      if (nocase_) h = fold[h];
       if (h != pat[j - 1]) break;
       --j;
     }

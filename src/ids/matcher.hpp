@@ -12,6 +12,11 @@
 
 namespace sm::ids {
 
+/// 256-entry ASCII case-folding table (A-Z -> a-z, identity elsewhere).
+/// Shared by the BMH matcher and the Aho-Corasick fast-pattern prefilter
+/// so both layers fold bytes identically.
+const std::array<uint8_t, 256>& case_fold_table();
+
 /// Precompiled BMH pattern. Build once per rule, match per packet.
 class PatternMatcher {
  public:

@@ -1,5 +1,6 @@
 #include "netsim/engine.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace sm::netsim {
@@ -10,16 +11,21 @@ void Engine::schedule(Duration delay, Action action) {
 
 void Engine::schedule_at(SimTime when, Action action) {
   if (when < now_) when = now_;
-  queue_.push(Event{when, next_seq_++, std::move(action)});
+  queue_.push_back(Event{when, next_seq_++, std::move(action)});
+  std::push_heap(queue_.begin(), queue_.end(), Later{});
+}
+
+Engine::Event Engine::pop_next() {
+  std::pop_heap(queue_.begin(), queue_.end(), Later{});
+  Event ev = std::move(queue_.back());
+  queue_.pop_back();
+  return ev;
 }
 
 size_t Engine::run(size_t max_events) {
   size_t n = 0;
   while (!queue_.empty() && n < max_events) {
-    // priority_queue::top returns const&; move out via const_cast is UB,
-    // so copy the action handle (cheap: std::function) then pop.
-    Event ev = queue_.top();
-    queue_.pop();
+    Event ev = pop_next();
     now_ = ev.when;
     ev.action();
     ++n;
@@ -30,9 +36,8 @@ size_t Engine::run(size_t max_events) {
 
 size_t Engine::run_until(SimTime deadline) {
   size_t n = 0;
-  while (!queue_.empty() && queue_.top().when <= deadline) {
-    Event ev = queue_.top();
-    queue_.pop();
+  while (!queue_.empty() && queue_.front().when <= deadline) {
+    Event ev = pop_next();
     now_ = ev.when;
     ev.action();
     ++n;

@@ -7,7 +7,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/time.hpp"
@@ -54,7 +53,12 @@ class Engine {
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  /// Pops the earliest event off the heap, *moving* it out (a
+  /// priority_queue's const top() would force copying the std::function
+  /// and its captures on every event).
+  Event pop_next();
+
+  std::vector<Event> queue_;  // binary min-heap under Later
   SimTime now_{};
   uint64_t next_seq_ = 0;
   size_t executed_ = 0;

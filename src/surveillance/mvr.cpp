@@ -15,7 +15,7 @@ std::vector<ids::Rule> build_ruleset(const MvrConfig& config) {
 
 MvrTap::MvrTap(MvrConfig config)
     : config_(config),
-      engine_(build_ruleset(config)),
+      engine_(build_ruleset(config), config.ids_options),
       classifier_(config.classifier),
       analyst_(config.analyst),
       content_(config.content_retention),

@@ -48,6 +48,9 @@ struct MvrConfig {
   /// default per the paper's community-ruleset argument).
   bool enable_fingerprint_rules = false;
   uint64_t sampling_seed = 7;
+  /// Knobs for the MVR's IDS engine (rule-group index + fast-pattern
+  /// prefilter on by default; flip off to force the legacy linear scan).
+  ids::EngineOptions ids_options{};
 };
 
 class MvrTap : public netsim::Tap {
