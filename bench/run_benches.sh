@@ -1,13 +1,54 @@
 #!/usr/bin/env bash
-# Builds Release and runs the perf-tracked benches, writing their JSON
-# reports at the repo root (BENCH_*.json) so the trajectory is visible
-# across PRs. Usage: bench/run_benches.sh [build-dir]
+# Builds Release and runs every bench_* target, leaving one BENCH_*.json
+# per bench at the repo root so the perf/behaviour trajectory is visible
+# across PRs.
+#
+#   bench/run_benches.sh [build-dir]
+#
+# Three bench flavours, three JSON paths:
+#   - bench_ids_fastpath writes its own timing JSON (perf-tracked);
+#   - bench_micro is google-benchmark and uses --benchmark_out;
+#   - the report-style benches (E1..E15 experiment drivers) print text,
+#     which gets wrapped as {"bench","exit_code","output"} via jq.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${1:-$ROOT/build-release}"
 
 cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
-cmake --build "$BUILD" -j --target bench_ids_fastpath
+cmake --build "$BUILD" -j
 
-"$BUILD/bench/bench_ids_fastpath" "$ROOT/BENCH_ids_fastpath.json"
+failures=0
+for exe in "$BUILD"/bench/bench_*; do
+  [ -x "$exe" ] || continue
+  name="$(basename "$exe")"
+  short="${name#bench_}"
+  out="$ROOT/BENCH_${short}.json"
+  echo "=== $name -> $(basename "$out")"
+  case "$name" in
+    bench_ids_fastpath)
+      "$exe" "$out"
+      ;;
+    bench_micro)
+      "$exe" --benchmark_out="$out" --benchmark_out_format=json \
+             --benchmark_min_time=0.05s
+      ;;
+    *)
+      # Report-style bench: capture stdout; non-zero exit is recorded,
+      # not fatal, so one broken experiment doesn't hide the others.
+      rc=0
+      text="$("$exe" 2>&1)" || rc=$?
+      printf '%s' "$text" |
+        jq -Rs --arg bench "$name" --argjson rc "$rc" \
+           '{bench: $bench, exit_code: $rc, output: .}' > "$out"
+      if [ "$rc" -ne 0 ]; then
+        echo "!!! $name exited $rc" >&2
+        failures=$((failures + 1))
+      fi
+      ;;
+  esac
+done
+
+echo
+echo "wrote $(ls "$ROOT"/BENCH_*.json | wc -l) BENCH_*.json files, $failures failure(s)"
+exit "$([ "$failures" -eq 0 ] && echo 0 || echo 1)"

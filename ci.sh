@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# CI entry point: the full correctness gate.
+#
+#   1. Debug build with ASan+UBSan (-DSM_SANITIZE=ON), full ctest — UB
+#      and lifetime bugs fail loudly here;
+#   2. tier-1 verify: the plain default build + ctest, exactly the
+#      commands ROADMAP.md promises stay green.
+#
+#   ./ci.sh            # both stages
+#   ./ci.sh sanitize   # stage 1 only
+#   ./ci.sh tier1      # stage 2 only
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")" && pwd)"
+STAGE="${1:-all}"
+
+if [ "$STAGE" = "all" ] || [ "$STAGE" = "sanitize" ]; then
+  echo "=== stage 1: Debug + ASan/UBSan ==="
+  cmake -B "$ROOT/build-asan" -S "$ROOT" \
+        -DCMAKE_BUILD_TYPE=Debug -DSM_SANITIZE=ON
+  cmake --build "$ROOT/build-asan" -j
+  ctest --test-dir "$ROOT/build-asan" --output-on-failure -j "$(nproc)"
+fi
+
+if [ "$STAGE" = "all" ] || [ "$STAGE" = "tier1" ]; then
+  echo "=== stage 2: tier-1 verify (default build) ==="
+  cmake -B "$ROOT/build" -S "$ROOT"
+  cmake --build "$ROOT/build" -j
+  ctest --test-dir "$ROOT/build" --output-on-failure -j "$(nproc)"
+fi
+
+echo "ci.sh: all requested stages passed"

@@ -3,20 +3,28 @@
 // both evaluation criteria — did we detect the blocking (accuracy), and
 // did the surveillance MVR log us (evasion)?
 //
-//   $ ./quickstart
+// With the observability layer enabled, the run also dumps a metrics
+// snapshot (every counter the adversary-side subsystems accumulated) and
+// a sim-time Chrome trace you can open in chrome://tracing.
+//
+//   $ ./quickstart [metrics.json [trace.json]]
 #include <cstdio>
 
 #include "core/probe.hpp"
 #include "core/risk.hpp"
 #include "core/scan.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sm;
+  const char* metrics_path =
+      argc > 1 ? argv[1] : "quickstart_metrics.json";
+  const char* trace_path = argc > 2 ? argv[2] : "quickstart_trace.json";
 
   // A GFC-style censor that also null-routes the blocked site's address.
   core::TestbedConfig config;
   config.policy = censor::gfc_profile();
   config.policy.blocked_ips.push_back(core::TestbedAddresses{}.web_blocked);
+  config.enable_observability = true;
 
   core::Testbed tb(config);
 
@@ -40,5 +48,20 @@ int main() {
               "service)\n", accurate ? "PASS" : "FAIL");
   std::printf("evasion : %s (no targeted alert stored by the MVR)\n",
               risk.evaded ? "PASS" : "FAIL");
+
+  // Observability export: metrics snapshot + flight-recorder trace.
+  std::string metrics = tb.metrics_json();
+  if (FILE* f = std::fopen(metrics_path, "w")) {
+    std::fwrite(metrics.data(), 1, metrics.size(), f);
+    std::fclose(f);
+    std::printf("\nmetrics : %s (%zu series)\n", metrics_path,
+                tb.metrics().series_count());
+  }
+  if (tb.tracer().save(trace_path)) {
+    std::printf("trace   : %s (%zu events, %llu dropped) — open in "
+                "chrome://tracing\n",
+                trace_path, tb.tracer().size(),
+                static_cast<unsigned long long>(tb.tracer().dropped()));
+  }
   return accurate && risk.evaded ? 0 : 1;
 }

@@ -1,9 +1,10 @@
 // Test-list campaign: the full platform loop — parse a Citizen-Lab-style
 // target list, schedule a stealthy DNS measurement per target with
-// jittered pacing, and emit the results as OONI-style JSON lines plus a
-// per-category summary table.
+// jittered pacing, and emit the results as OONI-style JSON lines (with
+// the observability metrics snapshot appended) plus a per-category
+// summary table and a sim-time Chrome trace of the whole campaign.
 //
-//   $ ./testlist_campaign
+//   $ ./testlist_campaign [trace.json]
 #include <cstdio>
 
 #include "analysis/report.hpp"
@@ -16,13 +17,16 @@
 
 using namespace sm;
 
-int main() {
+int main(int argc, char** argv) {
+  const char* trace_path = argc > 1 ? argv[1] : "testlist_trace.json";
   core::TargetList list = core::TargetList::builtin_sample();
   std::printf("campaign over %zu targets (%zu categories), stateless DNS "
               "mimicry with 6 cover queries each\n\n",
               list.size(), list.categories().size());
 
-  core::Testbed tb;
+  core::TestbedConfig config;
+  config.enable_observability = true;
+  core::Testbed tb(config);
   core::MeasurementScheduler scheduler(tb);
   for (const auto& target : list.targets()) {
     scheduler.enqueue([domain = target.domain](core::Testbed& t) {
@@ -57,9 +61,18 @@ int main() {
   core::RiskReport risk = core::assess_risk(tb, "campaign");
   std::printf("campaign risk: %s\n\n", risk.to_string().c_str());
 
-  // The machine-readable report file (JSON lines).
+  // The machine-readable report file (JSON lines), with the campaign's
+  // metrics snapshot as its final line.
   std::vector<std::pair<core::ProbeReport, core::RiskReport>> rows;
   for (const auto& report : reports) rows.emplace_back(report, risk);
-  std::printf("--- report.jsonl ---\n%s", core::to_jsonl(rows).c_str());
+  std::printf("--- report.jsonl ---\n%s",
+              core::to_jsonl(rows, tb.metrics_snapshot()).c_str());
+
+  if (tb.tracer().save(trace_path)) {
+    std::printf("\nwrote %s (%zu events, %llu dropped) — open in "
+                "chrome://tracing\n",
+                trace_path, tb.tracer().size(),
+                static_cast<unsigned long long>(tb.tracer().dropped()));
+  }
   return 0;
 }

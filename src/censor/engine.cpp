@@ -199,4 +199,36 @@ TapDecision CensorTap::inspect(const TapContext& ctx,
   return TapDecision::Pass;
 }
 
+void CensorTap::export_metrics(obs::Registry& registry) const {
+  auto set = [&](std::string_view metric, uint64_t value,
+                 std::string_view help) {
+    registry.counter(metric, {}, help)->set(value);
+  };
+  set("sm_censor_packets_seen_total", stats_.packets_seen,
+      "packets inspected by the censor tap");
+  set("sm_censor_rst_bursts_total", stats_.rst_bursts,
+      "keyword matches answered with an RST burst");
+  set("sm_censor_rst_packets_injected_total", stats_.rst_packets_injected,
+      "forged RST segments injected");
+  set("sm_censor_dns_responses_forged_total", stats_.dns_responses_forged,
+      "forged DNS A answers raced to queriers");
+  set("sm_censor_dns_queries_dropped_total", stats_.dns_queries_dropped,
+      "DNS queries silently discarded");
+  set("sm_censor_blockpages_injected_total", stats_.blockpages_injected,
+      "forged HTTP blockpages served");
+  set("sm_censor_dropped_inline_total", stats_.dropped_inline,
+      "packets discarded by inline drop rules");
+  set("sm_censor_dropped_blackout_total", stats_.dropped_blackout,
+      "packets discarded during a 5-tuple blackout");
+  registry
+      .gauge("sm_censor_blackouts_active", {},
+             "5-tuple blackout entries currently held")
+      ->set(static_cast<double>(blackouts_.size()));
+  registry
+      .gauge("sm_censor_state_bytes", {},
+             "bytes of flow-reassembly state held by the censor")
+      ->set(static_cast<double>(state_bytes()));
+  engine_.export_metrics(registry, "censor");
+}
+
 }  // namespace sm::censor

@@ -42,6 +42,11 @@ class CensorTap : public netsim::Tap {
   const CensorPolicy& policy() const { return policy_; }
   const ids::Engine& engine() const { return engine_; }
 
+  /// Pull-model metrics bridge: copies the enforcement counters (and the
+  /// inner IDS engine's, as instance="censor") into `registry` at
+  /// snapshot time; the inline enforcement path carries no hooks.
+  void export_metrics(obs::Registry& registry) const;
+
   /// Storage footprint (bytes of reassembly buffers) — the number the
   /// paper's storage-requirement comparison cares about.
   size_t state_bytes() const { return engine_.flows().buffered_bytes(); }

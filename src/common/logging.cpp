@@ -6,6 +6,7 @@ namespace sm::common {
 
 namespace {
 LogLevel g_level = LogLevel::Warn;
+LogSink g_sink;  // empty -> default stderr writer
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -17,16 +18,31 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+void stderr_sink(LogLevel level, const std::string& component,
+                 const std::string& message) {
+  std::fprintf(stderr, "[%s] %s: %s\n", level_name(level), component.c_str(),
+               message.c_str());
+}
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level = level; }
 LogLevel log_level() { return g_level; }
 
+bool log_enabled(LogLevel level) {
+  return level != LogLevel::Off && level >= g_level;
+}
+
+void set_log_sink(LogSink sink) { g_sink = std::move(sink); }
+
 void log(LogLevel level, const std::string& component,
          const std::string& message) {
-  if (level < g_level) return;
-  std::fprintf(stderr, "[%s] %s: %s\n", level_name(level), component.c_str(),
-               message.c_str());
+  if (!log_enabled(level)) return;
+  if (g_sink) {
+    g_sink(level, component, message);
+  } else {
+    stderr_sink(level, component, message);
+  }
 }
 
 }  // namespace sm::common

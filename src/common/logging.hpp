@@ -3,8 +3,14 @@
 // The simulator is deterministic and mostly silent; logging exists for the
 // examples and for debugging failing scenarios. The global level defaults
 // to Warn so tests and benches stay quiet.
+//
+// Hot paths should guard with log_enabled(level) before building a
+// message, so the string construction is skipped when nothing listens.
+// The output sink is pluggable (default: stderr) so tests can capture log
+// lines and long-running deployments can redirect them.
 #pragma once
 
+#include <functional>
 #include <string>
 
 namespace sm::common {
@@ -14,8 +20,22 @@ enum class LogLevel { Debug = 0, Info, Warn, Error, Off };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Writes "[level] component: message" to stderr when `level` is at or
-/// above the global threshold.
+/// True when a message at `level` would be emitted — check this before
+/// constructing an expensive message.
+bool log_enabled(LogLevel level);
+
+/// Receives every emitted log record. The component/message views are
+/// only valid for the duration of the call.
+using LogSink =
+    std::function<void(LogLevel level, const std::string& component,
+                       const std::string& message)>;
+
+/// Replaces the output sink; pass nullptr to restore the default stderr
+/// writer. The sink runs only for records that pass the level check.
+void set_log_sink(LogSink sink);
+
+/// Routes "[level] component: message" through the sink when `level` is
+/// at or above the global threshold.
 void log(LogLevel level, const std::string& component,
          const std::string& message);
 

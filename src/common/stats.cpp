@@ -91,8 +91,20 @@ Histogram::Histogram(double lo, double hi, size_t bins)
 void Histogram::add(double x) {
   double span = hi_ - lo_;
   auto n = static_cast<double>(counts_.size());
-  long bin = static_cast<long>((x - lo_) / span * n);
-  bin = std::clamp(bin, 0L, static_cast<long>(counts_.size()) - 1);
+  // Degenerate range (hi <= lo) or a non-finite sample would make the
+  // bin expression NaN/inf, and casting that is undefined — clamp such
+  // samples into the edge bins explicitly instead.
+  long bin;
+  double pos = (x - lo_) / span * n;
+  if (!(span > 0.0) || std::isnan(pos)) {
+    bin = 0;
+  } else if (pos >= n) {
+    bin = static_cast<long>(counts_.size()) - 1;
+  } else if (pos < 0.0) {
+    bin = 0;
+  } else {
+    bin = static_cast<long>(pos);
+  }
   ++counts_[static_cast<size_t>(bin)];
   ++total_;
 }

@@ -15,10 +15,15 @@ DdosProbe::DdosProbe(Testbed& tb, DdosOptions options)
 }
 
 void DdosProbe::start() {
+  if (auto* tracer = tb_.trace_sink()) {
+    tracer->instant(tracer->now(), "ddos.start", "probe",
+                    "\"requests\":" + std::to_string(options_.requests));
+  }
   ++report_.packets_sent;
   tb_.resolver->query(
       proto::dns::Name(options_.domain), proto::dns::RecordType::A,
-      [this](const proto::dns::QueryResult& result) {
+      [this, alive = guard()](const proto::dns::QueryResult& result) {
+        if (alive.expired()) return;
         common::Ipv4Address addr;
         if (auto blocked = classify_dns(result, forged_ips_, &addr)) {
           report_.verdict = blocked->first;
@@ -34,15 +39,17 @@ void DdosProbe::start() {
 void DdosProbe::launch(common::Ipv4Address address) {
   auto& engine = tb_.net.engine();
   for (size_t i = 0; i < options_.requests; ++i) {
-    engine.schedule(options_.gap * static_cast<int64_t>(i), [this,
-                                                            address]() {
+    engine.schedule(options_.gap * static_cast<int64_t>(i),
+                    [this, alive = guard(), address]() {
+      if (alive.expired()) return;
       proto::http::Request req =
           proto::http::Request::get(options_.domain, options_.path);
       for (auto& [k, v] : req.headers)
         if (common::iequals(k, "User-Agent")) v = options_.user_agent;
       ++report_.packets_sent;
       http_->fetch(address, 80, req,
-                   [this](const proto::http::FetchResult& result) {
+                   [this, alive](const proto::http::FetchResult& result) {
+                     if (alive.expired()) return;
                      on_sample(classify_fetch(result).first);
                    },
                    common::Duration::seconds(4));
@@ -86,6 +93,11 @@ void DdosProbe::finalize() {
     report_.verdict = Verdict::Inconclusive;
   }
   done_ = true;
+  if (auto* tracer = tb_.trace_sink()) {
+    tracer->instant(tracer->now(), "ddos.done", "probe",
+                    common::format("\"ok\":%zu,\"blocked\":%zu", ok,
+                                   blocked));
+  }
 }
 
 }  // namespace sm::core

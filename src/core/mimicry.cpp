@@ -35,7 +35,8 @@ void StatelessDnsMimicryProbe::start() {
     common::Duration at =
         options_.spread * static_cast<int64_t>(i) /
         static_cast<int64_t>(std::max<size_t>(neighbors.size(), 1));
-    engine.schedule(at, [this, addr = neighbors[i]]() {
+    engine.schedule(at, [this, alive = guard(), addr = neighbors[i]]() {
+      if (alive.expired()) return;
       cover_sent_ += cover_->emit({addr}, proto::dns::Name(options_.domain),
                                   options_.type);
       ++report_.packets_sent;
@@ -43,11 +44,13 @@ void StatelessDnsMimicryProbe::start() {
     });
   }
   // The real measurement sits in the middle of the spread.
-  engine.schedule(options_.spread / 2, [this]() {
+  engine.schedule(options_.spread / 2, [this, alive = guard()]() {
+    if (alive.expired()) return;
     ++report_.packets_sent;
     tb_.resolver->query(
         proto::dns::Name(options_.domain), options_.type,
-        [this](const proto::dns::QueryResult& result) {
+        [this, alive](const proto::dns::QueryResult& result) {
+          if (alive.expired()) return;
           common::Ipv4Address addr;
           if (auto blocked = classify_dns(result, forged_ips_, &addr)) {
             report_.verdict = blocked->first;
@@ -116,7 +119,8 @@ void StatefulMimicryProbe::start() {
     common::Duration at =
         options_.spread * static_cast<int64_t>(i) /
         static_cast<int64_t>(std::max<size_t>(neighbors.size(), 1));
-    engine.schedule(at, [this, spoofed, request]() {
+    engine.schedule(at, [this, alive = guard(), spoofed, request]() {
+      if (alive.expired()) return;
       mimic_->run_flow(spoofed, request);
       report_.packets_sent += 4;  // SYN, ACK, data, FIN
       maybe_finish();
@@ -125,12 +129,14 @@ void StatefulMimicryProbe::start() {
 
   // The real measurement: an ordinary fetch of the keyword URL from the
   // server we control. A keyword censor RSTs it; otherwise it completes.
-  engine.schedule(options_.spread / 2, [this]() {
+  engine.schedule(options_.spread / 2, [this, alive = guard()]() {
+    if (alive.expired()) return;
     proto::http::Request req =
         proto::http::Request::get("measure.example", options_.path);
     ++report_.packets_sent;
     http_->fetch(tb_.addr().measurement, 80, req,
-                 [this](const proto::http::FetchResult& result) {
+                 [this, alive](const proto::http::FetchResult& result) {
+                   if (alive.expired()) return;
                    using proto::http::FetchOutcome;
                    switch (result.outcome) {
                      case FetchOutcome::Ok:

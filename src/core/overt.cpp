@@ -1,13 +1,44 @@
 #include "core/overt.hpp"
 
 #include "common/strings.hpp"
+#include "core/report_json.hpp"
 
 namespace sm::core {
 
 ProbeReport run_probe(Testbed& tb, Probe& probe, common::Duration timeout) {
+  obs::Tracer* tracer = tb.trace_sink();
+  common::SimTime begin = tracer ? tracer->now() : common::SimTime{};
   probe.start();
   tb.run_until([&probe]() { return probe.done(); }, timeout);
-  return probe.report();
+  ProbeReport report = probe.report();
+  if (tracer) {
+    tracer->complete(begin, tracer->now(), "probe:" + report.technique,
+                     "probe",
+                     "\"target\":\"" + json_escape(report.target) +
+                         "\",\"verdict\":\"" +
+                         std::string(to_string(report.verdict)) + "\"");
+  }
+  obs::Registry& reg = tb.metrics();
+  if (reg.enabled()) {
+    obs::Labels labels = {{"technique", report.technique}};
+    reg.counter("sm_probe_runs_total", labels, "measurements executed")
+        ->inc();
+    reg.counter("sm_probe_runs_by_verdict_total",
+                {{"technique", report.technique},
+                 {"verdict", std::string(to_string(report.verdict))}},
+                "measurements by final verdict")
+        ->inc();
+    reg.counter("sm_probe_packets_sent_total", labels,
+                "probe packets transmitted")
+        ->inc(report.packets_sent);
+    reg.counter("sm_probe_samples_total", labels,
+                "sub-measurements taken (ports, requests, ...)")
+        ->inc(report.samples);
+    reg.counter("sm_probe_samples_blocked_total", labels,
+                "sub-measurements that observed blocking")
+        ->inc(report.samples_blocked);
+  }
+  return report;
 }
 
 std::set<uint32_t> forged_hints(const Testbed& tb) {
@@ -88,7 +119,8 @@ OvertDnsProbe::OvertDnsProbe(Testbed& tb, OvertDnsOptions options)
 void OvertDnsProbe::start() {
   tb_.resolver->query(
       proto::dns::Name(options_.domain), options_.type,
-      [this](const proto::dns::QueryResult& result) {
+      [this, alive = guard()](const proto::dns::QueryResult& result) {
+        if (alive.expired()) return;
         ++report_.packets_sent;
         common::Ipv4Address addr;
         if (auto blocked = classify_dns(result, forged_ips_, &addr)) {
@@ -124,7 +156,8 @@ void OvertHttpProbe::finish(Verdict v, std::string detail) {
 void OvertHttpProbe::start() {
   tb_.resolver->query(
       proto::dns::Name(options_.domain), proto::dns::RecordType::A,
-      [this](const proto::dns::QueryResult& result) {
+      [this, alive = guard()](const proto::dns::QueryResult& result) {
+        if (alive.expired()) return;
         common::Ipv4Address addr;
         if (auto blocked = classify_dns(result, forged_ips_, &addr)) {
           finish(blocked->first, blocked->second);
@@ -143,7 +176,9 @@ void OvertHttpProbe::fetch(common::Ipv4Address address) {
     if (common::iequals(k, "User-Agent")) v = options_.user_agent;
 
   http_->fetch(address, 80, req,
-               [this](const proto::http::FetchResult& result) {
+               [this, alive = guard()](
+                   const proto::http::FetchResult& result) {
+                 if (alive.expired()) return;
                  auto [verdict, detail] = classify_fetch(result);
                  finish(verdict, std::move(detail));
                });

@@ -14,8 +14,9 @@ PingProbe::PingProbe(Testbed& tb, PingOptions options)
 void PingProbe::start() {
   ident_ = tb_.client->alloc_ephemeral_port();
   tb_.client->set_icmp_handler(
-      [this](const packet::Decoded& d, const common::Bytes&) {
-        if (done_) return;
+      [this, alive = guard()](const packet::Decoded& d,
+                              const common::Bytes&) {
+        if (alive.expired() || done_) return;
         if (d.icmp->type == packet::IcmpHeader::kEchoReply &&
             d.ip.src == options_.target &&
             (d.icmp->rest >> 16) == ident_) {
@@ -26,7 +27,8 @@ void PingProbe::start() {
   auto& engine = tb_.net.engine();
   for (size_t i = 0; i < options_.count; ++i) {
     engine.schedule(options_.interval * static_cast<int64_t>(i),
-                    [this, i]() {
+                    [this, alive = guard(), i]() {
+                      if (alive.expired()) return;
                       ++report_.packets_sent;
                       tb_.client->send(packet::make_icmp(
                           tb_.client->address(), options_.target,
@@ -37,7 +39,9 @@ void PingProbe::start() {
   }
   engine.schedule(options_.interval * static_cast<int64_t>(options_.count) +
                       options_.reply_timeout,
-                  [this]() { finalize(); });
+                  [this, alive = guard()]() {
+                    if (!alive.expired()) finalize();
+                  });
 }
 
 void PingProbe::finalize() {

@@ -2,6 +2,8 @@
 // inside a Testbed's event loop.
 #pragma once
 
+#include <memory>
+
 #include "core/testbed.hpp"
 #include "core/verdict.hpp"
 
@@ -17,6 +19,17 @@ class Probe {
   virtual bool done() const = 0;
   /// Valid after done().
   virtual ProbeReport report() const = 0;
+
+ protected:
+  /// Lifetime token. A probe's scheduled timers and reply handlers can
+  /// outlive it (the campaign scheduler frees each probe before running
+  /// the next, while its timeout events still sit in the engine queue),
+  /// so every [this]-capturing callback handed to the event loop must
+  /// also capture guard() and return immediately if it has expired.
+  std::weak_ptr<void> guard() const { return alive_; }
+
+ private:
+  std::shared_ptr<void> alive_ = std::make_shared<char>('\0');
 };
 
 /// Starts `probe` and drives the testbed until it finishes (or the

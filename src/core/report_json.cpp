@@ -64,4 +64,14 @@ std::string to_jsonl(
   return out;
 }
 
+std::string metrics_json_block(const obs::Registry& registry) {
+  return registry.to_json();
+}
+
+std::string to_jsonl(
+    const std::vector<std::pair<ProbeReport, RiskReport>>& results,
+    const obs::Registry& registry) {
+  return to_jsonl(results) + metrics_json_block(registry) + "\n";
+}
+
 }  // namespace sm::core

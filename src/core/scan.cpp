@@ -13,9 +13,17 @@ ScanProbe::ScanProbe(Testbed& tb, ScanOptions options)
   report_.samples = options_.ports.size();
 }
 
+ScanProbe::~ScanProbe() {
+  if (promisc_id_) tb_.client->remove_promiscuous(promisc_id_);
+}
+
 void ScanProbe::start() {
-  // Watch raw replies from the target.
-  tb_.client->add_promiscuous(
+  if (auto* tracer = tb_.trace_sink()) {
+    tracer->instant(tracer->now(), "scan.start", "probe",
+                    "\"ports\":" + std::to_string(options_.ports.size()));
+  }
+  // Watch raw replies from the target (deregistered in the destructor).
+  promisc_id_ = tb_.client->add_promiscuous(
       [this](const packet::Decoded& d, const common::Bytes&) {
         on_reply(d);
       });
@@ -39,7 +47,8 @@ void ScanProbe::start() {
     states_[port] = PortState::Unknown;
     sport_to_port_[sport] = port;
     engine.schedule(options_.pace * static_cast<int64_t>(i),
-                    [this, port, sport, iss]() {
+                    [this, alive = guard(), port, sport, iss]() {
+                      if (alive.expired()) return;
                       ++report_.packets_sent;
                       tb_.client->send(packet::make_tcp(
                           tb_.client->address(), options_.target, sport, port,
@@ -49,7 +58,9 @@ void ScanProbe::start() {
   // Finalize after the last SYN's reply window.
   engine.schedule(options_.pace * static_cast<int64_t>(options_.ports.size()) +
                       options_.reply_timeout,
-                  [this]() { finalize(); });
+                  [this, alive = guard()]() {
+                    if (!alive.expired()) finalize();
+                  });
 }
 
 void ScanProbe::on_reply(const packet::Decoded& d) {
@@ -100,6 +111,12 @@ void ScanProbe::finalize() {
     report_.verdict = Verdict::BlockedTimeout;
   }
   done_ = true;
+  if (auto* tracer = tb_.trace_sink()) {
+    tracer->instant(tracer->now(), "scan.done", "probe",
+                    common::format("\"open\":%zu,\"closed\":%zu,"
+                                   "\"filtered\":%zu",
+                                   open, closed, filtered));
+  }
 }
 
 }  // namespace sm::core

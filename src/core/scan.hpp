@@ -39,6 +39,7 @@ struct ScanOptions {
 class ScanProbe : public Probe {
  public:
   ScanProbe(Testbed& tb, ScanOptions options);
+  ~ScanProbe() override;
 
   void start() override;
   bool done() const override { return done_; }
@@ -57,6 +58,7 @@ class ScanProbe : public Probe {
   std::map<uint16_t, PortState> states_;
   std::map<uint16_t, uint16_t> sport_to_port_;  // our sport -> scanned port
   size_t replies_ = 0;
+  uint64_t promisc_id_ = 0;
   bool done_ = false;
   ProbeReport report_;
   static constexpr uint16_t kSportBase = 40000;

@@ -13,10 +13,7 @@ std::vector<ProbeReport> MeasurementScheduler::run_all() {
     tb_.run_for(common::Duration::from_seconds(gap_s));
 
     auto probe = factory(tb_);
-    probe->start();
-    tb_.run_until([&probe]() { return probe->done(); },
-                  options_.probe_timeout);
-    reports.push_back(probe->report());
+    reports.push_back(run_probe(tb_, *probe, options_.probe_timeout));
   }
   queue_.clear();
   return reports;

@@ -22,13 +22,23 @@ void SpamProbe::finish(Verdict v, std::string detail) {
   report_.detail = std::move(detail);
   report_.samples_blocked = is_blocked(v) ? 1 : 0;
   done_ = true;
+  if (auto* tracer = tb_.trace_sink()) {
+    tracer->instant(tracer->now(), "spam.done", "probe",
+                    "\"verdict\":\"" + std::string(to_string(v)) + "\"");
+  }
 }
 
 void SpamProbe::start() {
+  if (auto* tracer = tb_.trace_sink()) {
+    tracer->instant(tracer->now(), "spam.start", "probe");
+  }
   ++report_.packets_sent;
   tb_.resolver->query(proto::dns::Name(options_.domain),
                       proto::dns::RecordType::MX,
-                      [this](const proto::dns::QueryResult& r) { on_mx(r); });
+                      [this, alive = guard()](
+                          const proto::dns::QueryResult& r) {
+                        if (!alive.expired()) on_mx(r);
+                      });
 }
 
 void SpamProbe::on_mx(const proto::dns::QueryResult& result) {
@@ -54,7 +64,9 @@ void SpamProbe::on_mx(const proto::dns::QueryResult& result) {
   ++report_.packets_sent;
   tb_.resolver->query(
       mxs.front().exchange, proto::dns::RecordType::A,
-      [this](const proto::dns::QueryResult& r) { on_exchange_a(r); });
+      [this, alive = guard()](const proto::dns::QueryResult& r) {
+        if (!alive.expired()) on_exchange_a(r);
+      });
 }
 
 void SpamProbe::on_exchange_a(const proto::dns::QueryResult& result) {
@@ -74,7 +86,8 @@ void SpamProbe::deliver(common::Ipv4Address mail_server) {
   env.data = message_;
   smtp_->deliver(
       mail_server, env,
-      [this](const proto::smtp::DeliveryResult& result) {
+      [this, alive = guard()](const proto::smtp::DeliveryResult& result) {
+        if (alive.expired()) return;
         using proto::smtp::DeliveryStage;
         switch (result.stage) {
           case DeliveryStage::Delivered:

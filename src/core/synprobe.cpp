@@ -17,11 +17,19 @@ SynReachabilityProbe::SynReachabilityProbe(Testbed& tb,
   cover_ = std::make_unique<spoof::StatelessSynCover>(*tb_.client);
 }
 
+SynReachabilityProbe::~SynReachabilityProbe() {
+  if (promisc_id_) tb_.client->remove_promiscuous(promisc_id_);
+}
+
 void SynReachabilityProbe::start() {
+  if (auto* tracer = tb_.trace_sink()) {
+    tracer->instant(tracer->now(), "synprobe.start", "probe",
+                    "\"cover\":" + std::to_string(options_.cover_count));
+  }
   sport_ = tb_.client->alloc_ephemeral_port();
   iss_ = 0xC0DE0000 | sport_;
 
-  tb_.client->add_promiscuous(
+  promisc_id_ = tb_.client->add_promiscuous(
       [this](const packet::Decoded& d, const common::Bytes&) {
         on_reply(d);
       });
@@ -39,7 +47,9 @@ void SynReachabilityProbe::start() {
       cover_->emit(neighbors, options_.target, options_.port);
 
   tb_.net.engine().schedule(options_.reply_timeout,
-                            [this]() { finalize(); });
+                            [this, alive = guard()]() {
+                              if (!alive.expired()) finalize();
+                            });
 }
 
 void SynReachabilityProbe::on_reply(const packet::Decoded& d) {
@@ -73,6 +83,10 @@ void SynReachabilityProbe::finalize() {
   report_.detail = "no syn/ack within the timeout";
   report_.samples_blocked = 1;
   done_ = true;
+  if (auto* tracer = tb_.trace_sink()) {
+    tracer->instant(tracer->now(), "synprobe.done", "probe",
+                    "\"verdict\":\"blocked-timeout\"");
+  }
 }
 
 }  // namespace sm::core

@@ -25,6 +25,7 @@ struct SynReachabilityOptions {
 class SynReachabilityProbe : public Probe {
  public:
   SynReachabilityProbe(Testbed& tb, SynReachabilityOptions options);
+  ~SynReachabilityProbe() override;
 
   void start() override;
   bool done() const override { return done_; }
@@ -39,6 +40,7 @@ class SynReachabilityProbe : public Probe {
   std::unique_ptr<spoof::StatelessSynCover> cover_;
   uint16_t sport_ = 0;
   uint32_t iss_ = 0;
+  uint64_t promisc_id_ = 0;
   bool replied_ = false;
   bool done_ = false;
   ProbeReport report_;

@@ -24,6 +24,13 @@ proto::http::Response open_site_page(const proto::http::Request& req) {
 }  // namespace
 
 Testbed::Testbed(TestbedConfig config) : config_(std::move(config)) {
+  // Observability first, so the tracer sees topology setup events too.
+  metrics_ = std::make_unique<obs::Registry>();
+  metrics_->set_enabled(config_.enable_observability);
+  tracer_ = std::make_unique<obs::Tracer>(config_.trace_capacity);
+  tracer_->set_enabled(config_.enable_observability);
+  if (config_.enable_observability) net.engine().set_tracer(tracer_.get());
+
   router = net.add_router("switch");
   router->set_router_address(Ipv4Address(10, 1, 1, 1));
 
@@ -55,6 +62,8 @@ Testbed::Testbed(TestbedConfig config) : config_(std::move(config)) {
   mvr = std::make_unique<surveillance::MvrTap>(config_.mvr);
   censor_tap = std::make_unique<censor::CensorTap>(config_.policy);
   trace = std::make_unique<netsim::TraceTap>();
+  if (config_.capture_max_records > 0)
+    trace->set_max_records(config_.capture_max_records);
   router->add_tap(mvr.get());
   router->add_tap(censor_tap.get());
   router->add_tap(trace.get());
@@ -120,6 +129,29 @@ std::vector<Ipv4Address> Testbed::neighbor_addresses() const {
   for (const auto* h : neighbors) out.push_back(h->address());
   return out;
 }
+
+obs::Registry& Testbed::metrics_snapshot() {
+  obs::Registry& reg = *metrics_;
+  if (!reg.enabled()) return reg;
+  net.engine().export_metrics(reg);
+  router->export_metrics(reg);
+  mvr->export_metrics(reg);
+  censor_tap->export_metrics(reg);
+  reg.gauge("sm_capture_records", {}, "packets held by the capture tap")
+      ->set(static_cast<double>(trace->size()));
+  reg.counter("sm_capture_dropped_total", {},
+              "capture records evicted by the max_records cap")
+      ->set(trace->dropped());
+  reg.gauge("sm_trace_events_recorded", {},
+            "sim-time trace records currently retained")
+      ->set(static_cast<double>(tracer_->size()));
+  reg.counter("sm_trace_events_dropped_total", {},
+              "sim-time trace records overwritten in the ring")
+      ->set(tracer_->dropped());
+  return reg;
+}
+
+std::string Testbed::metrics_json() { return metrics_snapshot().to_json(); }
 
 bool Testbed::run_until(const std::function<bool()>& predicate,
                         Duration timeout) {

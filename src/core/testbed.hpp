@@ -22,6 +22,8 @@
 #include "common/time.hpp"
 #include "netsim/topology.hpp"
 #include "netsim/trace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "proto/dns/client.hpp"
 #include "proto/dns/server.hpp"
 #include "proto/http/client.hpp"
@@ -55,6 +57,17 @@ struct TestbedConfig {
   netsim::LinkConfig server_link{common::Duration::millis(5), 0, 0.0};
   /// Shared secret for stateful mimicry ISN prediction.
   uint64_t mimicry_secret = 0xFEED5EED;
+  /// Turns on the observability layer: the sim-time tracer records every
+  /// engine event and probe span, and metrics_snapshot() bridges all
+  /// subsystem counters into the registry. Off by default; enabling it
+  /// changes no verdict, alert count, or event ordering — only what gets
+  /// recorded about them.
+  bool enable_observability = false;
+  /// Flight-recorder ring capacity for the tracer (records kept).
+  size_t trace_capacity = 1 << 16;
+  /// Bound on the packet-capture tap (0 = unbounded; see
+  /// TraceTap::set_max_records).
+  size_t capture_max_records = 0;
 };
 
 /// Well-known addresses inside the testbed.
@@ -114,6 +127,24 @@ class Testbed {
   const TestbedConfig& config() const { return config_; }
   const TestbedAddresses& addr() const { return addr_; }
 
+  // Observability (always constructed; enabled per
+  // TestbedConfig::enable_observability).
+  obs::Registry& metrics() { return *metrics_; }
+  const obs::Registry& metrics() const { return *metrics_; }
+  obs::Tracer& tracer() { return *tracer_; }
+  /// The tracer when observability is on, nullptr otherwise — probe code
+  /// hands this straight to obs::ScopedSpan / instant() call sites.
+  obs::Tracer* trace_sink() {
+    return config_.enable_observability ? tracer_.get() : nullptr;
+  }
+
+  /// Pulls every subsystem's counters into the registry (netsim engine,
+  /// router, MVR, censor, capture tap) and returns it. Deterministic:
+  /// two identically-seeded runs snapshot byte-identically.
+  obs::Registry& metrics_snapshot();
+  /// metrics_snapshot() rendered as JSON.
+  std::string metrics_json();
+
   /// Addresses of all client-AS hosts (client + neighbors).
   std::vector<Ipv4Address> client_as_addresses() const;
   /// Neighbor addresses only (spoofing candidates).
@@ -132,6 +163,8 @@ class Testbed {
  private:
   TestbedConfig config_;
   TestbedAddresses addr_;
+  std::unique_ptr<obs::Registry> metrics_;
+  std::unique_ptr<obs::Tracer> tracer_;
 };
 
 }  // namespace sm::core

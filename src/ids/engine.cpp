@@ -335,4 +335,35 @@ Verdict Engine::process(SimTime now, const packet::Decoded& d) {
   return verdict;
 }
 
+void Engine::export_metrics(obs::Registry& registry,
+                            std::string_view instance) const {
+  obs::Labels labels = {{"instance", std::string(instance)}};
+  auto set = [&](std::string_view metric, uint64_t value,
+                 std::string_view help) {
+    registry.counter(metric, labels, help)->set(value);
+  };
+  set("sm_ids_packets_total", stats_.packets,
+      "packets run through the signature engine");
+  set("sm_ids_alerts_total", stats_.alerts, "rule alerts raised");
+  set("sm_ids_drops_total", stats_.drops,
+      "packets matched by drop/reject rules");
+  set("sm_ids_fastpath_candidates_total", stats_.fastpath_candidates,
+      "rules surviving the port-group index");
+  set("sm_ids_prefilter_hits_total", stats_.prefilter_hits,
+      "content rules whose fast pattern hit");
+  set("sm_ids_prefilter_skips_total", stats_.prefilter_skips,
+      "content rules skipped by the fast-pattern prefilter");
+  set("sm_ids_payload_scans_total", stats_.payload_scans,
+      "Aho-Corasick passes over payloads");
+  set("sm_ids_stream_scans_total", stats_.stream_scans,
+      "lazy passes over reassembled streams");
+  registry
+      .gauge("sm_ids_rules", labels, "compiled rules in the engine")
+      ->set(static_cast<double>(rules_.size()));
+  registry
+      .gauge("sm_ids_flow_buffered_bytes", labels,
+             "bytes of stream-reassembly state held")
+      ->set(static_cast<double>(flows_.buffered_bytes()));
+}
+
 }  // namespace sm::ids

@@ -22,6 +22,7 @@
 
 #include "common/time.hpp"
 #include "ids/fastpattern.hpp"
+#include "obs/metrics.hpp"
 #include "ids/flow.hpp"
 #include "ids/matcher.hpp"
 #include "ids/parser.hpp"
@@ -94,6 +95,13 @@ class Engine {
     uint64_t stream_scans = 0;         // lazy passes over reassembled streams
   };
   const Stats& stats() const { return stats_; }
+
+  /// Pull-model metrics bridge: copies the cumulative Stats fields into
+  /// `registry` as sm_ids_* counters labeled {instance=`instance`}
+  /// (e.g. "censor" / "mvr"). Snapshot-time only — the per-packet match
+  /// path carries no registry hooks, so observability costs it nothing.
+  void export_metrics(obs::Registry& registry,
+                      std::string_view instance) const;
 
  private:
   struct CompiledRule {

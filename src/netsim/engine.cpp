@@ -13,6 +13,7 @@ void Engine::schedule_at(SimTime when, Action action) {
   if (when < now_) when = now_;
   queue_.push_back(Event{when, next_seq_++, std::move(action)});
   std::push_heap(queue_.begin(), queue_.end(), Later{});
+  queue_high_water_ = std::max(queue_high_water_, queue_.size());
 }
 
 Engine::Event Engine::pop_next() {
@@ -20,6 +21,16 @@ Engine::Event Engine::pop_next() {
   Event ev = std::move(queue_.back());
   queue_.pop_back();
   return ev;
+}
+
+void Engine::set_tracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_) tracer_->set_clock([this] { return now_; });
+}
+
+void Engine::trace_executed(const common::SimTime& when) {
+  tracer_->instant(when, "event", "netsim",
+                   "\"queue\":" + std::to_string(queue_.size()));
 }
 
 size_t Engine::run(size_t max_events) {
@@ -30,11 +41,13 @@ size_t Engine::run(size_t max_events) {
     ev.action();
     ++n;
     ++executed_;
+    if (tracer_ && tracer_->enabled()) trace_executed(ev.when);
   }
   return n;
 }
 
 size_t Engine::run_until(SimTime deadline) {
+  SimTime begin = now_;
   size_t n = 0;
   while (!queue_.empty() && queue_.front().when <= deadline) {
     Event ev = pop_next();
@@ -42,9 +55,33 @@ size_t Engine::run_until(SimTime deadline) {
     ev.action();
     ++n;
     ++executed_;
+    if (tracer_ && tracer_->enabled()) trace_executed(ev.when);
   }
   if (now_ < deadline) now_ = deadline;
+  if (tracer_ && tracer_->enabled() && n > 0) {
+    tracer_->complete(begin, now_, "run_until", "netsim",
+                      "\"events\":" + std::to_string(n));
+  }
   return n;
+}
+
+void Engine::export_metrics(obs::Registry& registry) const {
+  registry
+      .counter("sm_netsim_events_executed_total", {},
+               "events executed by the discrete-event loop")
+      ->set(executed_);
+  registry
+      .gauge("sm_netsim_queue_depth", {},
+             "events pending in the scheduler queue")
+      ->set(static_cast<double>(queue_.size()));
+  registry
+      .gauge("sm_netsim_queue_high_water", {},
+             "maximum simultaneous pending events seen")
+      ->set(static_cast<double>(queue_high_water_));
+  registry
+      .gauge("sm_netsim_sim_clock_seconds", {},
+             "current simulated time in seconds")
+      ->set(now_.to_seconds());
 }
 
 }  // namespace sm::netsim

@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "common/time.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace sm::netsim {
 
@@ -40,7 +42,21 @@ class Engine {
   size_t pending() const { return queue_.size(); }
   size_t executed() const { return executed_; }
 
+  /// Attaches a sim-time tracer: each executed event records an instant
+  /// (name = "event", args = queue depth) and run_until() records a
+  /// spanning slice. Also binds the tracer's clock to this engine. Pass
+  /// nullptr to detach. Costs one branch per event when attached and
+  /// nothing when not.
+  void set_tracer(obs::Tracer* tracer);
+  obs::Tracer* tracer() const { return tracer_; }
+
+  /// Pull-model metrics bridge: copies the engine's cumulative counters
+  /// into `registry` (sm_netsim_events_executed_total, queue depth/high
+  /// water gauges, sim clock). Called at snapshot time, never per event.
+  void export_metrics(obs::Registry& registry) const;
+
  private:
+  void trace_executed(const common::SimTime& when);
   struct Event {
     SimTime when;
     uint64_t seq;
@@ -62,6 +78,8 @@ class Engine {
   SimTime now_{};
   uint64_t next_seq_ = 0;
   size_t executed_ = 0;
+  size_t queue_high_water_ = 0;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace sm::netsim

@@ -25,6 +25,11 @@ void Host::udp_bind(uint16_t port, UdpHandler handler) {
 
 void Host::udp_unbind(uint16_t port) { udp_handlers_.erase(port); }
 
+void Host::remove_promiscuous(uint64_t id) {
+  std::erase_if(promiscuous_,
+                [id](const auto& entry) { return entry.first == id; });
+}
+
 uint16_t Host::alloc_ephemeral_port() {
   uint16_t p = next_ephemeral_;
   next_ephemeral_ = (next_ephemeral_ == 65535) ? 49152 : next_ephemeral_ + 1;
@@ -36,7 +41,8 @@ void Host::receive(packet::Packet packet, int /*port*/) {
   auto decoded = packet::decode(packet);
   if (!decoded) return;
 
-  for (const auto& handler : promiscuous_) handler(*decoded, packet.data());
+  for (const auto& [id, handler] : promiscuous_)
+    handler(*decoded, packet.data());
   if (decoded->ip.dst != address_) return;  // not ours (no forwarding)
 
   // End hosts reassemble IP fragments before protocol dispatch.

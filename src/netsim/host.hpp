@@ -57,10 +57,14 @@ class Host : public Node {
 
   /// Promiscuous hooks: each sees every packet delivered to this host's
   /// port, including ones addressed elsewhere (used by probes that watch
-  /// raw replies, and by tests).
-  void add_promiscuous(PacketHandler handler) {
-    promiscuous_.push_back(std::move(handler));
+  /// raw replies, and by tests). Returns an id for remove_promiscuous —
+  /// handlers that capture short-lived objects (probes) must deregister
+  /// before those objects die.
+  uint64_t add_promiscuous(PacketHandler handler) {
+    promiscuous_.emplace_back(++next_promiscuous_id_, std::move(handler));
+    return next_promiscuous_id_;
   }
+  void remove_promiscuous(uint64_t id);
 
   /// When enabled (default), ICMP echo requests are answered.
   void set_ping_reply(bool enabled) { ping_reply_ = enabled; }
@@ -79,7 +83,8 @@ class Host : public Node {
   std::map<uint16_t, UdpHandler> udp_handlers_;
   PacketHandler tcp_handler_;
   PacketHandler icmp_handler_;
-  std::vector<PacketHandler> promiscuous_;
+  std::vector<std::pair<uint64_t, PacketHandler>> promiscuous_;
+  uint64_t next_promiscuous_id_ = 0;
   bool ping_reply_ = true;
   packet::Reassembler reassembler_;
   uint16_t next_ephemeral_ = 49152;

@@ -91,4 +91,26 @@ void Router::forward(packet::Packet packet, int in_port) {
   transmit(std::move(packet), out);
 }
 
+void Router::export_metrics(obs::Registry& registry) const {
+  obs::Labels labels = {{"router", name()}};
+  auto set = [&](std::string_view metric, uint64_t value,
+                 std::string_view help) {
+    registry.counter(metric, labels, help)->set(value);
+  };
+  set("sm_router_forwarded_total", counters_.forwarded,
+      "packets forwarded through the router");
+  set("sm_router_dropped_no_route_total", counters_.dropped_no_route,
+      "packets dropped for lack of a route");
+  set("sm_router_dropped_ttl_total", counters_.dropped_ttl,
+      "packets dropped on TTL expiry");
+  set("sm_router_dropped_by_tap_total", counters_.dropped_by_tap,
+      "packets dropped by an inline tap (censor)");
+  set("sm_router_dropped_ingress_total", counters_.dropped_ingress,
+      "packets dropped by ingress source-address validation");
+  set("sm_router_injected_total", counters_.injected,
+      "router/tap-originated packets injected into the path");
+  set("sm_router_icmp_time_exceeded_total", counters_.icmp_time_exceeded,
+      "ICMP Time Exceeded errors generated");
+}
+
 }  // namespace sm::netsim

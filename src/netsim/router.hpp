@@ -95,6 +95,11 @@ class Router : public Node {
   };
   const Counters& counters() const { return counters_; }
 
+  /// Pull-model metrics bridge: copies the per-hop packet counters into
+  /// `registry` labeled with this router's name (snapshot-time only; the
+  /// forwarding path is untouched).
+  void export_metrics(obs::Registry& registry) const;
+
   /// Address used as the source of router-originated ICMP errors.
   void set_router_address(Ipv4Address addr) { router_address_ = addr; }
 

@@ -2,8 +2,22 @@
 
 namespace sm::netsim {
 
+void TraceTap::set_max_records(size_t max_records) {
+  max_records_ = max_records;
+  if (max_records_ > 0 && records_.size() > max_records_) {
+    size_t excess = records_.size() - max_records_;
+    records_.erase(records_.begin(),
+                   records_.begin() + static_cast<ptrdiff_t>(excess));
+    dropped_ += excess;
+  }
+}
+
 TapDecision TraceTap::process(const TapContext& ctx, Router& /*router*/) {
   if (!filter_ || filter_(ctx.decoded)) {
+    if (max_records_ > 0 && records_.size() >= max_records_) {
+      records_.erase(records_.begin());
+      ++dropped_;
+    }
     records_.push_back(packet::PcapRecord{ctx.now, ctx.wire});
   }
   return TapDecision::Pass;

@@ -2,6 +2,7 @@
 // simulated timestamps, and can export the capture as pcap.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -20,6 +21,15 @@ class TraceTap : public Tap {
 
   TapDecision process(const TapContext& ctx, Router& router) override;
 
+  /// Caps the capture at `max_records` packets, dropping the oldest
+  /// record once full (flight-recorder semantics), so long heavy-traffic
+  /// runs cannot grow the capture unboundedly. 0 (the default) keeps
+  /// everything. Shrinks an over-full capture immediately.
+  void set_max_records(size_t max_records);
+  size_t max_records() const { return max_records_; }
+  /// Records evicted to honour the cap (they were seen, then discarded).
+  uint64_t dropped() const { return dropped_; }
+
   const std::vector<packet::PcapRecord>& records() const { return records_; }
   size_t size() const { return records_.size(); }
   void clear() { records_.clear(); }
@@ -31,6 +41,8 @@ class TraceTap : public Tap {
  private:
   Filter filter_;
   std::vector<packet::PcapRecord> records_;
+  size_t max_records_ = 0;
+  uint64_t dropped_ = 0;
 };
 
 }  // namespace sm::netsim

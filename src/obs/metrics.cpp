@@ -1,0 +1,216 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/strings.hpp"
+
+namespace sm::obs {
+
+namespace {
+
+/// Escapes a label value / help string for both the JSON snapshot and
+/// Prometheus exposition (the shared subset: backslash, quote, newline).
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Deterministic number rendering. Counters are exact integers; gauges
+/// render with enough digits to round-trip a double.
+std::string num(double v) {
+  if (v == static_cast<double>(static_cast<int64_t>(v))) {
+    return std::to_string(static_cast<int64_t>(v));
+  }
+  return common::format("%.9g", v);
+}
+
+const char* kind_name(int kind) {
+  switch (kind) {
+    case 0: return "counter";
+    case 1: return "gauge";
+    default: return "histogram";
+  }
+}
+
+}  // namespace
+
+std::string labels_key(const Labels& labels) {
+  std::string out;
+  for (const auto& [k, v] : labels) {
+    if (!out.empty()) out += ',';
+    out += k + "=\"" + escape(v) + "\"";
+  }
+  return out;
+}
+
+double HistogramMetric::bin_high(size_t i) const {
+  const auto& bins = hist_.bins();
+  if (i + 1 >= bins.size()) return hi_;  // rendered as +Inf (clamped bin)
+  return lo_ + (hi_ - lo_) * static_cast<double>(i + 1) /
+                   static_cast<double>(bins.size());
+}
+
+Registry::Family& Registry::family(std::string_view name, Kind kind,
+                                   std::string_view help) {
+  auto [it, inserted] = families_.try_emplace(std::string(name));
+  Family& fam = it->second;
+  if (inserted) {
+    fam.kind = kind;
+    fam.help = std::string(help);
+  } else if (fam.kind != kind) {
+    throw std::invalid_argument("metric '" + std::string(name) +
+                                "' re-registered with a different kind");
+  }
+  if (fam.help.empty() && !help.empty()) fam.help = std::string(help);
+  return fam;
+}
+
+Registry::Series& Registry::series(Family& fam, Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  std::string key = labels_key(labels);
+  auto [it, inserted] = fam.series.try_emplace(std::move(key));
+  if (inserted) it->second.labels = std::move(labels);
+  return it->second;
+}
+
+Counter* Registry::counter(std::string_view name, Labels labels,
+                           std::string_view help) {
+  if (!enabled_) return &dummy_counter_;
+  Series& s = series(family(name, Kind::Counter, help), std::move(labels));
+  if (!s.counter) s.counter = std::make_unique<Counter>();
+  return s.counter.get();
+}
+
+Gauge* Registry::gauge(std::string_view name, Labels labels,
+                       std::string_view help) {
+  if (!enabled_) return &dummy_gauge_;
+  Series& s = series(family(name, Kind::Gauge, help), std::move(labels));
+  if (!s.gauge) s.gauge = std::make_unique<Gauge>();
+  return s.gauge.get();
+}
+
+HistogramMetric* Registry::histogram(std::string_view name, double lo,
+                                     double hi, size_t bins, Labels labels,
+                                     std::string_view help) {
+  if (!enabled_) return &dummy_histogram_;
+  Series& s = series(family(name, Kind::Histogram, help), std::move(labels));
+  if (!s.histogram) {
+    s.histogram = std::make_unique<HistogramMetric>(lo, hi, bins);
+  } else if (s.histogram->lo() != lo || s.histogram->hi() != hi ||
+             s.histogram->histogram().bins().size() != bins) {
+    throw std::invalid_argument("histogram '" + std::string(name) +
+                                "' re-registered with a different shape");
+  }
+  return s.histogram.get();
+}
+
+size_t Registry::series_count() const {
+  size_t n = 0;
+  for (const auto& [name, fam] : families_) n += fam.series.size();
+  return n;
+}
+
+std::string Registry::to_json() const {
+  std::string out = "{\"metrics\":[";
+  bool first = true;
+  for (const auto& [name, fam] : families_) {
+    for (const auto& [key, s] : fam.series) {
+      if (!first) out += ',';
+      first = false;
+      out += "{\"name\":\"" + escape(name) + "\",\"labels\":{";
+      for (size_t i = 0; i < s.labels.size(); ++i) {
+        if (i) out += ',';
+        out += "\"" + escape(s.labels[i].first) + "\":\"" +
+               escape(s.labels[i].second) + "\"";
+      }
+      out += "},\"kind\":\"";
+      out += kind_name(static_cast<int>(fam.kind));
+      out += "\",";
+      switch (fam.kind) {
+        case Kind::Counter:
+          out += "\"value\":" + std::to_string(s.counter->value());
+          break;
+        case Kind::Gauge:
+          out += "\"value\":" + num(s.gauge->value());
+          break;
+        case Kind::Histogram: {
+          const auto& h = *s.histogram;
+          out += "\"count\":" + std::to_string(h.count()) +
+                 ",\"sum\":" + num(h.sum()) + ",\"lo\":" + num(h.lo()) +
+                 ",\"hi\":" + num(h.hi()) + ",\"buckets\":[";
+          const auto& bins = h.histogram().bins();
+          for (size_t i = 0; i < bins.size(); ++i) {
+            if (i) out += ',';
+            out += std::to_string(bins[i]);
+          }
+          out += "]";
+          break;
+        }
+      }
+      out += "}";
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+std::string Registry::to_prometheus() const {
+  std::string out;
+  for (const auto& [name, fam] : families_) {
+    if (!fam.help.empty()) {
+      out += "# HELP " + name + " " + escape(fam.help) + "\n";
+    }
+    out += "# TYPE " + name + " ";
+    out += kind_name(static_cast<int>(fam.kind));
+    out += "\n";
+    for (const auto& [key, s] : fam.series) {
+      auto with_labels = [&](const std::string& suffix,
+                             const std::string& extra) {
+        std::string line = name + suffix;
+        std::string all = key;
+        if (!extra.empty()) all += (all.empty() ? "" : ",") + extra;
+        if (!all.empty()) line += "{" + all + "}";
+        return line;
+      };
+      switch (fam.kind) {
+        case Kind::Counter:
+          out += with_labels("", "") + " " +
+                 std::to_string(s.counter->value()) + "\n";
+          break;
+        case Kind::Gauge:
+          out += with_labels("", "") + " " + num(s.gauge->value()) + "\n";
+          break;
+        case Kind::Histogram: {
+          const auto& h = *s.histogram;
+          const auto& bins = h.histogram().bins();
+          size_t cumulative = 0;
+          for (size_t i = 0; i < bins.size(); ++i) {
+            cumulative += bins[i];
+            std::string le = i + 1 == bins.size()
+                                 ? "+Inf"
+                                 : num(h.bin_high(i));
+            out += with_labels("_bucket", "le=\"" + le + "\"") + " " +
+                   std::to_string(cumulative) + "\n";
+          }
+          out += with_labels("_sum", "") + " " + num(h.sum()) + "\n";
+          out += with_labels("_count", "") + " " +
+                 std::to_string(h.count()) + "\n";
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace sm::obs

@@ -30,6 +30,7 @@ std::string_view to_string(State s) {
 Connection::Connection(Stack& stack, Ipv4Address remote, uint16_t remote_port,
                        uint16_t local_port, ConnectOptions opts)
     : stack_(stack),
+      id_(stack.next_conn_id()),
       remote_(remote),
       remote_port_(remote_port),
       local_port_(local_port),
@@ -127,8 +128,7 @@ void Connection::abort() {
 void Connection::arm_retransmit() {
   uint64_t epoch = ++timer_epoch_;
   Duration rto = opts_.rto * (int64_t{1} << std::min(retries_, 6));
-  stack_.engine().schedule(rto,
-                           [this, epoch]() { on_retransmit_timer(epoch); });
+  stack_.schedule_retransmit(*this, rto, epoch);
 }
 
 void Connection::on_retransmit_timer(uint64_t epoch) {

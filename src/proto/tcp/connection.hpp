@@ -130,6 +130,11 @@ class Connection {
   void send_ack();
 
   Stack& stack_;
+  /// Stack-unique id. Retransmit timers are scheduled through the stack
+  /// and re-resolve (key, id) at fire time, so a timer can never touch a
+  /// connection that was destroyed — or a new connection reusing the same
+  /// 4-tuple — after it was armed.
+  uint64_t id_;
   Ipv4Address remote_;
   uint16_t remote_port_;
   uint16_t local_port_;

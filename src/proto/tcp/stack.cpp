@@ -111,6 +111,17 @@ void Stack::send_raw_rst(const packet::Decoded& d) {
                               d.tcp->src_port, flags, seq, ack));
 }
 
+void Stack::schedule_retransmit(Connection& c, Duration rto,
+                                uint64_t epoch) {
+  ConnKey key{c.local_port_, c.remote_, c.remote_port_};
+  uint64_t id = c.id_;
+  engine().schedule(rto, [this, key, id, epoch]() {
+    auto it = connections_.find(key);
+    if (it == connections_.end() || it->second->id_ != id) return;
+    it->second->on_retransmit_timer(epoch);
+  });
+}
+
 void Stack::schedule_removal(Connection& c) {
   if (c.dead_) return;
   c.dead_ = true;

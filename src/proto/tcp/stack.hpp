@@ -83,6 +83,12 @@ class Stack {
                     std::span<const uint8_t> payload);
   void send_raw_rst(const packet::Decoded& offending);
   void schedule_removal(Connection& c);
+  /// Arms c's retransmit timer. The scheduled callback captures only
+  /// (key, id, epoch) — never a Connection pointer — and re-resolves the
+  /// connection when it fires, because the connection may have been
+  /// destroyed (or its 4-tuple reused) while the timer was pending.
+  void schedule_retransmit(Connection& c, Duration rto, uint64_t epoch);
+  uint64_t next_conn_id() { return ++conn_id_counter_; }
   uint32_t next_iss() { return iss_counter_ += 64000; }
   /// ISN for a passive open: the pluggable policy if set, else counter.
   uint32_t iss_for(Ipv4Address remote, uint16_t remote_port) {
@@ -93,6 +99,7 @@ class Stack {
   std::map<uint16_t, AcceptHandler> listeners_;
   std::map<ConnKey, std::unique_ptr<Connection>> connections_;
   Stats stats_;
+  uint64_t conn_id_counter_ = 0;
   uint32_t iss_counter_ = 1;
   bool rst_on_unknown_ = true;
   AcceptTtlPolicy accept_ttl_policy_;

@@ -50,6 +50,7 @@ netsim::TapDecision MvrTap::process(const netsim::TapContext& ctx,
   // Signature pass.
   auto verdict = engine_.process(ctx.now, d);
   for (const auto& alert : verdict.alerts) {
+    ++stats_.alerts_by_classtype[alert.classtype];
     if (noise_classtypes().count(alert.classtype)) {
       ++stats_.noise_alerts;
       ++noise_by_user_[alert.src];
@@ -115,6 +116,75 @@ uint64_t MvrTap::censored_access_alerts_for(Ipv4Address user) const {
 uint64_t MvrTap::noise_alerts_for(Ipv4Address user) const {
   auto it = noise_by_user_.find(user);
   return it == noise_by_user_.end() ? 0 : it->second;
+}
+
+void MvrTap::export_metrics(obs::Registry& registry) const {
+  auto set = [&](std::string_view metric, uint64_t value,
+                 std::string_view help) {
+    registry.counter(metric, {}, help)->set(value);
+  };
+  set("sm_mvr_packets_seen_total", stats_.packets_seen,
+      "packets observed by the surveillance tap");
+  set("sm_mvr_bytes_seen_total", stats_.bytes_seen,
+      "wire bytes observed by the surveillance tap");
+  set("sm_mvr_bytes_discarded_total", stats_.bytes_discarded,
+      "bytes discarded wholesale by volume reduction");
+  set("sm_mvr_bytes_content_retained_total", stats_.bytes_content_retained,
+      "bytes sampled into the content store");
+  set("sm_mvr_noise_alerts_total", stats_.noise_alerts,
+      "alerts in noise classes (seen, then discarded pre-analyst)");
+  set("sm_mvr_interesting_alerts_total", stats_.interesting_alerts,
+      "alerts stored and forwarded to the analyst");
+  for (const auto& [cls, bytes] : stats_.bytes_by_class) {
+    registry
+        .counter("sm_mvr_bytes_by_class_total", {{"class", to_string(cls)}},
+                 "observed bytes by traffic classification")
+        ->set(bytes);
+  }
+  for (const auto& [classtype, count] : stats_.alerts_by_classtype) {
+    registry
+        .counter("sm_mvr_alerts_by_classtype_total",
+                 {{"classtype", classtype}},
+                 "alerts raised, by rule classtype")
+        ->set(count);
+  }
+  registry
+      .gauge("sm_mvr_retained_fraction", {},
+             "content-store inflow / bytes seen (7.5% anchor)")
+      ->set(retained_fraction());
+  auto store_gauges = [&](std::string_view which, size_t items,
+                          uint64_t bytes) {
+    obs::Labels labels = {{"store", std::string(which)}};
+    registry
+        .gauge("sm_mvr_store_items", labels, "items held in retention store")
+        ->set(static_cast<double>(items));
+    registry
+        .gauge("sm_mvr_store_bytes", labels, "bytes held in retention store")
+        ->set(static_cast<double>(bytes));
+  };
+  store_gauges("content", content_.count(), content_.bytes());
+  store_gauges("metadata", metadata_.count(), metadata_.bytes());
+  store_gauges("alerts", alerts_.count(), alerts_.bytes());
+  registry
+      .gauge("sm_mvr_dossiers", {}, "per-user dossiers held by the analyst")
+      ->set(static_cast<double>(analyst_.dossier_count()));
+  registry
+      .gauge("sm_mvr_investigated_users", {},
+             "dossiers at or above the investigation threshold")
+      ->set(static_cast<double>(analyst_.investigation_list().size()));
+  auto* suspicion = registry.histogram(
+      "sm_mvr_dossier_suspicion", 0.0, 20.0, 20, {},
+      "analyst suspicion score per dossier (threshold default 10)");
+  auto* dossier_bytes = registry.histogram(
+      "sm_mvr_dossier_retained_bytes", 0.0, 1 << 20, 16, {},
+      "retained content bytes attributed per dossier");
+  suspicion->reset();
+  dossier_bytes->reset();
+  for (const auto& d : analyst_.top_suspects(analyst_.dossier_count())) {
+    suspicion->observe(d.suspicion);
+    dossier_bytes->observe(static_cast<double>(d.retained_content_bytes));
+  }
+  engine_.export_metrics(registry, "mvr");
 }
 
 double MvrTap::retained_fraction() const {

@@ -69,8 +69,17 @@ class MvrTap : public netsim::Tap {
     uint64_t noise_alerts = 0;
     uint64_t interesting_alerts = 0;
     std::map<TrafficClass, uint64_t> bytes_by_class;
+    /// Alerts by rule classtype (noise classtypes included, so the
+    /// "seen then discarded" population stays visible).
+    std::map<std::string, uint64_t> alerts_by_classtype;
   };
   const Stats& stats() const { return stats_; }
+
+  /// Pull-model metrics bridge: copies the MVR pipeline counters (bytes
+  /// by class, retention/discard decisions, alerts by classtype, store
+  /// occupancy, dossier population) and the inner IDS engine's stats
+  /// (instance="mvr") into `registry`. Snapshot-time only.
+  void export_metrics(obs::Registry& registry) const;
 
   const ContentStore& content_store() const { return content_; }
   const MetadataStore& metadata_store() const { return metadata_; }

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/stats.hpp"
 
 namespace sm::common {
@@ -29,6 +31,16 @@ TEST(OnlineStats, KnownMoments) {
   EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-9);  // sample variance
   EXPECT_EQ(s.min(), 2.0);
   EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, StddevMatchesVariance) {
+  OnlineStats s;
+  for (double x : {1.0, 3.0, 5.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.stddev() * s.stddev(), s.variance());
+  // One sample -> no spread, not NaN.
+  OnlineStats single;
+  single.add(7.0);
+  EXPECT_EQ(single.stddev(), 0.0);
 }
 
 TEST(OnlineStats, NegativeValues) {
@@ -80,6 +92,22 @@ TEST(EmpiricalCdf, PointsMonotonic) {
   EXPECT_DOUBLE_EQ(pts.back().second, 1.0);
 }
 
+TEST(EmpiricalCdf, QuantileClampsOutsideUnitInterval) {
+  EmpiricalCdf cdf;
+  cdf.add_all({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(cdf.quantile(-0.5), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(2.0), 3.0);
+}
+
+TEST(EmpiricalCdf, TableRespectsMaxRows) {
+  EmpiricalCdf cdf;
+  for (int i = 0; i < 100; ++i) cdf.add(static_cast<double>(i));
+  std::string table = cdf.to_table(5);
+  size_t rows = 0;
+  for (char c : table) rows += c == '\n';
+  EXPECT_LE(rows, 1 + 5u);  // header plus at most max_rows data lines
+}
+
 TEST(EmpiricalCdf, TableRendering) {
   EmpiricalCdf cdf;
   cdf.add(1.0);
@@ -105,6 +133,37 @@ TEST(Histogram, BinLow) {
   Histogram h(0.0, 100.0, 10);
   EXPECT_DOUBLE_EQ(h.bin_low(0), 0.0);
   EXPECT_DOUBLE_EQ(h.bin_low(5), 50.0);
+}
+
+TEST(Histogram, DegenerateRangeCollectsEverythingInBinZero) {
+  // hi == lo makes the bin expression NaN; samples must land in bin 0
+  // instead of invoking undefined float->int behaviour.
+  Histogram h(5.0, 5.0, 4);
+  h.add(5.0);
+  h.add(-1e9);
+  h.add(1e9);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.bins()[0], 3u);
+  // Inverted range (hi < lo) is equally degenerate.
+  Histogram inv(10.0, 0.0, 4);
+  inv.add(5.0);
+  EXPECT_EQ(inv.bins()[0], 1u);
+}
+
+TEST(Histogram, NonFiniteSamplesAreClamped) {
+  Histogram h(0.0, 10.0, 4);
+  h.add(std::numeric_limits<double>::quiet_NaN());  // bin 0
+  h.add(std::numeric_limits<double>::infinity());   // last bin
+  h.add(-std::numeric_limits<double>::infinity());  // bin 0
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.bins()[0], 2u);
+  EXPECT_EQ(h.bins()[3], 1u);
+}
+
+TEST(Histogram, ExactUpperEdgeGoesToLastBin) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(10.0);  // pos == n exactly
+  EXPECT_EQ(h.bins()[4], 1u);
 }
 
 TEST(Histogram, AsciiRendering) {

@@ -1,0 +1,409 @@
+// Observability layer: metrics registry determinism, Chrome-trace export
+// well-formedness, flight-recorder wraparound, logging sink capture, the
+// TraceTap record cap, and the no-behaviour-change guarantee when the
+// layer is enabled on a full testbed run.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "core/probe.hpp"
+#include "core/report_json.hpp"
+#include "core/risk.hpp"
+#include "core/scan.hpp"
+#include "core/top_ports.hpp"
+#include "netsim/engine.hpp"
+#include "netsim/trace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace sm {
+namespace {
+
+using common::Duration;
+using common::SimTime;
+
+// --- Registry ---------------------------------------------------------
+
+TEST(Registry, CounterGaugeBasics) {
+  obs::Registry reg;
+  obs::Counter* c = reg.counter("sm_test_total");
+  c->inc();
+  c->inc(4);
+  EXPECT_EQ(c->value(), 5u);
+  c->set(42);
+  EXPECT_EQ(c->value(), 42u);
+  // Same (name, labels) -> same series; the pointer is stable.
+  EXPECT_EQ(reg.counter("sm_test_total"), c);
+
+  obs::Gauge* g = reg.gauge("sm_test_depth");
+  g->set(3.5);
+  g->add(0.5);
+  EXPECT_DOUBLE_EQ(g->value(), 4.0);
+  EXPECT_EQ(reg.series_count(), 2u);
+}
+
+TEST(Registry, LabeledSeriesAreIndependentAndOrderInsensitive) {
+  obs::Registry reg;
+  obs::Counter* a = reg.counter("sm_x_total", {{"k", "1"}});
+  obs::Counter* b = reg.counter("sm_x_total", {{"k", "2"}});
+  EXPECT_NE(a, b);
+  a->inc(7);
+  EXPECT_EQ(b->value(), 0u);
+  // Label order must not mint a new series.
+  obs::Counter* c1 =
+      reg.counter("sm_y_total", {{"b", "2"}, {"a", "1"}});
+  obs::Counter* c2 =
+      reg.counter("sm_y_total", {{"a", "1"}, {"b", "2"}});
+  EXPECT_EQ(c1, c2);
+}
+
+TEST(Registry, KindMismatchThrows) {
+  obs::Registry reg;
+  reg.counter("sm_kind_total");
+  EXPECT_THROW(reg.gauge("sm_kind_total"), std::invalid_argument);
+  reg.histogram("sm_hist", 0, 10, 5);
+  EXPECT_THROW(reg.histogram("sm_hist", 0, 20, 5), std::invalid_argument);
+}
+
+TEST(Registry, JsonSnapshotIsDeterministic) {
+  // Two registries populated in opposite orders serialize identically:
+  // ordering comes from the (name, labels) keys, not insertion history.
+  obs::Registry a, b;
+  a.counter("sm_one_total", {{"z", "9"}})->set(1);
+  a.gauge("sm_two")->set(2.5);
+  a.counter("sm_one_total", {{"a", "0"}})->set(3);
+  b.counter("sm_one_total", {{"a", "0"}})->set(3);
+  b.counter("sm_one_total", {{"z", "9"}})->set(1);
+  b.gauge("sm_two")->set(2.5);
+  EXPECT_EQ(a.to_json(), b.to_json());
+  EXPECT_EQ(a.to_prometheus(), b.to_prometheus());
+  EXPECT_NE(a.to_json().find("\"sm_one_total\""), std::string::npos);
+}
+
+TEST(Registry, PrometheusExposition) {
+  obs::Registry reg;
+  reg.counter("sm_packets_total", {{"instance", "mvr"}}, "packets seen")
+      ->set(12);
+  auto* h = reg.histogram("sm_lat", 0.0, 10.0, 2, {}, "latency");
+  h->observe(1.0);
+  h->observe(6.0);
+  h->observe(100.0);  // clamps into the last bin
+  std::string text = reg.to_prometheus();
+  EXPECT_NE(text.find("# HELP sm_packets_total packets seen"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE sm_packets_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("sm_packets_total{instance=\"mvr\"} 12"),
+            std::string::npos);
+  // Buckets are cumulative; the final bucket is +Inf and equals _count.
+  EXPECT_NE(text.find("sm_lat_bucket{le=\"5\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("sm_lat_bucket{le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("sm_lat_count 3"), std::string::npos);
+  EXPECT_NE(text.find("sm_lat_sum 107"), std::string::npos);
+}
+
+TEST(Registry, HistogramObserveAndReset) {
+  obs::Registry reg;
+  auto* h = reg.histogram("sm_h", 0.0, 4.0, 4);
+  for (double x : {0.5, 1.5, 1.6, 3.9}) h->observe(x);
+  EXPECT_EQ(h->count(), 4u);
+  EXPECT_EQ(h->histogram().bins()[1], 2u);
+  EXPECT_DOUBLE_EQ(h->sum(), 7.5);
+  h->reset();
+  EXPECT_EQ(h->count(), 0u);
+  EXPECT_EQ(h->histogram().bins()[1], 0u);
+  // Shape survives the reset.
+  EXPECT_DOUBLE_EQ(h->hi(), 4.0);
+}
+
+TEST(Registry, DisabledRegistryIsANoOpSink) {
+  obs::Registry reg;
+  reg.set_enabled(false);
+  obs::Counter* c = reg.counter("sm_ignored_total");
+  c->inc(100);  // goes to the shared dummy, not a series
+  EXPECT_EQ(reg.series_count(), 0u);
+  EXPECT_EQ(reg.to_json(), "{\"metrics\":[]}");
+  EXPECT_EQ(reg.to_prometheus(), "");
+}
+
+// --- Tracer -----------------------------------------------------------
+
+/// Minimal structural JSON check: braces/brackets balance outside of
+/// string literals, and the document is a single object.
+void expect_balanced_json(const std::string& s) {
+  long depth = 0;
+  bool in_string = false, escaped = false;
+  for (char c : s) {
+    if (in_string) {
+      if (escaped) escaped = false;
+      else if (c == '\\') escaped = true;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '{' || c == '[') ++depth;
+    else if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_FALSE(in_string);
+  EXPECT_EQ(depth, 0);
+  ASSERT_FALSE(s.empty());
+  EXPECT_EQ(s.front(), '{');
+  EXPECT_EQ(s.back(), '}');
+}
+
+TEST(Tracer, RecordsInstantsSpansAndCounters) {
+  obs::Tracer tracer(16);
+  tracer.instant(SimTime(1000), "hello", "test");
+  tracer.complete(SimTime(2000), SimTime(5000), "work", "test",
+                  "\"n\":3");
+  tracer.counter(SimTime(6000), "queue", "depth", 4);
+  ASSERT_EQ(tracer.size(), 3u);
+  auto events = tracer.events();
+  EXPECT_EQ(events[0].phase, 'i');
+  EXPECT_EQ(events[0].name, "hello");
+  EXPECT_EQ(events[1].phase, 'X');
+  EXPECT_EQ(events[1].dur.count(), 3000);
+  EXPECT_EQ(events[2].phase, 'C');
+  EXPECT_EQ(events[2].args_json, "\"depth\":4");
+}
+
+TEST(Tracer, RingBufferWraparoundKeepsNewest) {
+  obs::Tracer tracer(4);
+  for (int i = 0; i < 10; ++i) {
+    tracer.instant(SimTime(i * 100), "e" + std::to_string(i), "test");
+  }
+  EXPECT_EQ(tracer.size(), 4u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+  auto events = tracer.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest retained is e6; order is chronological.
+  EXPECT_EQ(events.front().name, "e6");
+  EXPECT_EQ(events.back().name, "e9");
+  tracer.clear();
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(Tracer, ChromeExportIsWellFormed) {
+  obs::Tracer tracer(8);
+  tracer.instant(SimTime(1500), "na\"me", "cat");  // escaping exercised
+  tracer.complete(SimTime(0), SimTime(2'500'000), "span", "c2");
+  std::string json = tracer.to_chrome_json();
+  expect_balanced_json(json);
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  // Sim nanoseconds render as microseconds with three decimals.
+  EXPECT_NE(json.find("\"ts\":1.500"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":2500.000"), std::string::npos);
+  EXPECT_NE(json.find("na\\\"me"), std::string::npos);
+  EXPECT_NE(json.find("\"dropped\":0"), std::string::npos);
+}
+
+TEST(Tracer, DisabledTracerRecordsNothing) {
+  obs::Tracer tracer(8);
+  tracer.set_enabled(false);
+  tracer.instant(SimTime(1), "x", "y");
+  {
+    obs::ScopedSpan span(&tracer, "s", "c");
+  }
+  obs::ScopedSpan null_span(nullptr, "s", "c");  // must not crash
+  EXPECT_EQ(tracer.size(), 0u);
+}
+
+TEST(Tracer, ScopedSpanUsesTheClock) {
+  obs::Tracer tracer(8);
+  SimTime fake(1000);
+  tracer.set_clock([&fake] { return fake; });
+  {
+    obs::ScopedSpan span(&tracer, "phase", "test");
+    fake = SimTime(4000);
+  }
+  ASSERT_EQ(tracer.size(), 1u);
+  auto ev = tracer.events()[0];
+  EXPECT_EQ(ev.phase, 'X');
+  EXPECT_EQ(ev.ts.count(), 1000);
+  EXPECT_EQ(ev.dur.count(), 3000);
+}
+
+// --- netsim::Engine instrumentation -----------------------------------
+
+TEST(EngineObservability, PerEventTraceAndMetricsExport) {
+  netsim::Engine engine;
+  obs::Tracer tracer(64);
+  engine.set_tracer(&tracer);
+  int fired = 0;
+  engine.schedule(Duration::millis(1), [&] { ++fired; });
+  engine.schedule(Duration::millis(2), [&] { ++fired; });
+  engine.run_until(SimTime(Duration::millis(5).count()));
+  EXPECT_EQ(fired, 2);
+  // 2 instants + 1 run_until span.
+  EXPECT_EQ(tracer.size(), 3u);
+  auto events = tracer.events();
+  EXPECT_EQ(events[0].name, "event");
+  EXPECT_EQ(events[2].name, "run_until");
+  EXPECT_EQ(events[2].args_json, "\"events\":2");
+  // The tracer's clock is the engine's clock.
+  EXPECT_EQ(tracer.now(), engine.now());
+
+  obs::Registry reg;
+  engine.export_metrics(reg);
+  EXPECT_EQ(reg.counter("sm_netsim_events_executed_total")->value(), 2u);
+  EXPECT_DOUBLE_EQ(reg.gauge("sm_netsim_queue_high_water")->value(), 2.0);
+}
+
+// --- TraceTap cap ------------------------------------------------------
+
+TEST(TraceTapCap, DropsOldestAndCounts) {
+  netsim::Engine engine;
+  netsim::Router router(engine, "r");
+  netsim::TraceTap tap;
+  tap.set_max_records(3);
+
+  auto send = [&](uint16_t sport) {
+    packet::Packet p = packet::make_tcp(
+        common::Ipv4Address(10, 0, 0, 1), common::Ipv4Address(10, 0, 0, 2),
+        sport, 80, packet::TcpFlags::kSyn, 1, 0);
+    common::Bytes wire = p.data();
+    auto decoded = packet::decode(wire);
+    ASSERT_TRUE(decoded.has_value());
+    netsim::TapContext ctx{engine.now(), *decoded, wire, 0, 1};
+    tap.process(ctx, router);
+  };
+  for (uint16_t i = 0; i < 5; ++i) send(static_cast<uint16_t>(1000 + i));
+  EXPECT_EQ(tap.size(), 3u);
+  EXPECT_EQ(tap.dropped(), 2u);
+  EXPECT_EQ(tap.max_records(), 3u);
+
+  // Tightening the cap sheds immediately.
+  tap.set_max_records(1);
+  EXPECT_EQ(tap.size(), 1u);
+  EXPECT_EQ(tap.dropped(), 4u);
+
+  // 0 removes the bound again.
+  tap.set_max_records(0);
+  for (uint16_t i = 0; i < 5; ++i) send(static_cast<uint16_t>(2000 + i));
+  EXPECT_EQ(tap.size(), 6u);
+  EXPECT_EQ(tap.dropped(), 4u);
+}
+
+// --- Logging sink ------------------------------------------------------
+
+TEST(LoggingSink, CapturesAndRestores) {
+  using common::LogLevel;
+  std::vector<std::string> captured;
+  common::set_log_level(LogLevel::Info);
+  common::set_log_sink([&](LogLevel, const std::string& component,
+                           const std::string& message) {
+    captured.push_back(component + ": " + message);
+  });
+  EXPECT_TRUE(common::log_enabled(LogLevel::Warn));
+  EXPECT_FALSE(common::log_enabled(LogLevel::Debug));
+  common::log_info("obs", "hello");
+  common::log_debug("obs", "filtered out");
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0], "obs: hello");
+
+  common::set_log_level(LogLevel::Off);
+  EXPECT_FALSE(common::log_enabled(LogLevel::Error));
+  common::log_error("obs", "muted");
+  EXPECT_EQ(captured.size(), 1u);
+
+  common::set_log_sink(nullptr);
+  common::set_log_level(LogLevel::Warn);
+}
+
+// --- Full-campaign integration ----------------------------------------
+
+core::TestbedConfig observed_config() {
+  core::TestbedConfig config;
+  config.policy = censor::gfc_profile();
+  config.policy.blocked_ips.push_back(core::TestbedAddresses{}.web_blocked);
+  config.neighbor_count = 4;
+  config.enable_observability = true;
+  return config;
+}
+
+core::ProbeReport run_scan(core::Testbed& tb) {
+  core::ScanOptions options;
+  options.target = tb.addr().web_blocked;
+  options.ports = core::top_tcp_ports(20);
+  options.expected_open = {80};
+  core::ScanProbe probe(tb, options);
+  return core::run_probe(tb, probe);
+}
+
+TEST(ObservedCampaign, SameSeedSnapshotsAreByteIdentical) {
+  std::string json[2], trace[2], prom[2];
+  for (int i = 0; i < 2; ++i) {
+    core::Testbed tb(observed_config());
+    run_scan(tb);
+    json[i] = tb.metrics_json();
+    prom[i] = tb.metrics_snapshot().to_prometheus();
+    trace[i] = tb.tracer().to_chrome_json();
+  }
+  EXPECT_EQ(json[0], json[1]);
+  EXPECT_EQ(prom[0], prom[1]);
+  EXPECT_EQ(trace[0], trace[1]);
+  expect_balanced_json(json[0]);
+  expect_balanced_json(trace[0]);
+  // The snapshot bridged every layer.
+  EXPECT_NE(json[0].find("sm_netsim_events_executed_total"),
+            std::string::npos);
+  EXPECT_NE(json[0].find("sm_router_forwarded_total"), std::string::npos);
+  EXPECT_NE(json[0].find("\"instance\":\"mvr\""), std::string::npos);
+  EXPECT_NE(json[0].find("\"instance\":\"censor\""), std::string::npos);
+  EXPECT_NE(json[0].find("sm_probe_runs_total"), std::string::npos);
+  EXPECT_NE(trace[0].find("probe:scan"), std::string::npos);
+}
+
+TEST(ObservedCampaign, SnapshotIsIdempotent) {
+  core::Testbed tb(observed_config());
+  run_scan(tb);
+  std::string first = tb.metrics_json();
+  std::string second = tb.metrics_json();  // re-snapshot, no new traffic
+  EXPECT_EQ(first, second);
+}
+
+TEST(ObservedCampaign, EnablingObservabilityChangesNoBehaviour) {
+  core::TestbedConfig on = observed_config();
+  core::TestbedConfig off = observed_config();
+  off.enable_observability = false;
+
+  core::Testbed tb_on(on);
+  core::Testbed tb_off(off);
+  core::ProbeReport r_on = run_scan(tb_on);
+  core::ProbeReport r_off = run_scan(tb_off);
+
+  EXPECT_EQ(r_on.verdict, r_off.verdict);
+  EXPECT_EQ(r_on.detail, r_off.detail);
+  EXPECT_EQ(r_on.packets_sent, r_off.packets_sent);
+  EXPECT_EQ(tb_on.mvr->stats().packets_seen, tb_off.mvr->stats().packets_seen);
+  EXPECT_EQ(tb_on.mvr->stats().interesting_alerts,
+            tb_off.mvr->stats().interesting_alerts);
+  EXPECT_EQ(tb_on.censor_tap->stats().packets_seen,
+            tb_off.censor_tap->stats().packets_seen);
+  EXPECT_EQ(tb_on.net.engine().executed(), tb_off.net.engine().executed());
+  EXPECT_EQ(tb_on.net.engine().now(), tb_off.net.engine().now());
+
+  // And the disabled side exported nothing.
+  EXPECT_EQ(tb_off.metrics_json(), "{\"metrics\":[]}");
+  EXPECT_EQ(tb_off.tracer().size(), 0u);
+}
+
+TEST(ObservedCampaign, JsonlCarriesMetricsBlock) {
+  core::Testbed tb(observed_config());
+  core::ProbeReport report = run_scan(tb);
+  core::RiskReport risk = core::assess_risk(tb, report.technique);
+  std::string jsonl = core::to_jsonl({{report, risk}}, tb.metrics_snapshot());
+  // Two lines: the measurement row and the metrics block.
+  size_t newlines = 0;
+  for (char c : jsonl) newlines += c == '\n';
+  EXPECT_EQ(newlines, 2u);
+  EXPECT_NE(jsonl.find("{\"measurement\":"), std::string::npos);
+  EXPECT_NE(jsonl.find("{\"metrics\":["), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sm

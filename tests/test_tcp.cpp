@@ -177,8 +177,13 @@ TEST_F(TcpTest, InjectedRstKillsEstablishedConnection) {
   server_->listen(80, [&](Connection&) {});
   Connection* c = client_->connect(server_host_->address(), 80);
   c->on_connect = [&](Connection&) {};
+  // The connection object is reaped once the RST closes it and control
+  // returns to the event loop, so capture everything inside the callback
+  // instead of touching `c` afterwards.
+  State state_at_error = State::Established;
   c->on_error = [&](Connection& conn) {
     client_error = true;
+    state_at_error = conn.state();
     EXPECT_EQ(conn.close_reason(), CloseReason::Reset);
   };
   run();
@@ -199,7 +204,7 @@ TEST_F(TcpTest, InjectedRstKillsEstablishedConnection) {
   }
   run();
   EXPECT_TRUE(client_error);
-  EXPECT_EQ(c->state(), State::Closed);
+  EXPECT_EQ(state_at_error, State::Closed);
 }
 
 TEST_F(TcpTest, PredictableIsnPolicyIsUsed) {
