@@ -1,0 +1,129 @@
+// E18 — campaign runner scaling: trials/sec for the eval-matrix workload
+// (5 censor configs x 8 techniques = 40 independent trials) at 1/2/4/8
+// worker threads, plus the headline correctness property: the campaign
+// report (to_jsonl, including the merged metrics snapshot) is
+// byte-identical at every thread count and in both shard modes.
+//
+// Emits a human-readable table on stdout and a JSON report (default
+// BENCH_campaign.json, or argv[1]). bench/run_benches.sh gates on
+// speedup_4x when the machine actually has ≥4 cores, guarding against
+// accidental serialization through a global lock.
+//
+// Exit code: 0 only if every run produced identical bytes.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+
+using namespace sm;
+
+namespace {
+
+std::vector<campaign::Trial> workload() {
+  std::vector<campaign::Trial> trials;
+  auto techniques = bench::standard_techniques();
+  for (const auto& [name, config] : bench::eval_matrix_configs()) {
+    auto batch = bench::technique_trials(name, config, techniques);
+    trials.insert(trials.end(), std::make_move_iterator(batch.begin()),
+                  std::make_move_iterator(batch.end()));
+  }
+  return trials;
+}
+
+struct Timed {
+  size_t threads = 0;
+  campaign::Shard shard = campaign::Shard::ByIndex;
+  double seconds = 0.0;
+  double trials_per_sec = 0.0;
+  std::string jsonl;
+};
+
+Timed time_run(const std::vector<campaign::Trial>& trials, size_t threads,
+               campaign::Shard shard) {
+  campaign::CampaignOptions options;
+  options.threads = threads;
+  options.shard = shard;
+  auto start = std::chrono::steady_clock::now();
+  campaign::CampaignResult result = campaign::run(trials, options);
+  std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  Timed out;
+  out.threads = threads;
+  out.shard = shard;
+  out.seconds = elapsed.count();
+  out.trials_per_sec = static_cast<double>(trials.size()) / elapsed.count();
+  out.jsonl = result.to_jsonl();
+  if (result.failures != 0) {
+    std::fprintf(stderr, "!!! %zu trial(s) failed at -j%zu\n",
+                 result.failures, threads);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_campaign.json";
+  std::vector<campaign::Trial> trials = workload();
+  size_t hw = campaign::resolve_threads(0);
+  std::printf("E18 — campaign scaling: %zu eval-matrix trials, hardware "
+              "concurrency %zu\n\n",
+              trials.size(), hw);
+
+  // Warm-up pass (first-touch allocator and page-cache effects land
+  // here, not in the -j1 baseline).
+  time_run(trials, 1, campaign::Shard::ByIndex);
+
+  std::vector<Timed> runs;
+  for (size_t threads : {1, 2, 4, 8}) {
+    runs.push_back(time_run(trials, threads, campaign::Shard::ByIndex));
+    std::printf("  -j%zu (by-index): %7.3f s  %7.1f trials/s\n", threads,
+                runs.back().seconds, runs.back().trials_per_sec);
+  }
+  // One dynamic-shard run: same bytes, work-stealing balance.
+  runs.push_back(time_run(trials, 4, campaign::Shard::Dynamic));
+  std::printf("  -j4 (dynamic) : %7.3f s  %7.1f trials/s\n",
+              runs.back().seconds, runs.back().trials_per_sec);
+
+  bool deterministic = true;
+  for (const Timed& r : runs) {
+    if (r.jsonl != runs.front().jsonl) deterministic = false;
+  }
+  double base = runs[0].trials_per_sec;
+  double speedup_2x = runs[1].trials_per_sec / base;
+  double speedup_4x = runs[2].trials_per_sec / base;
+  double speedup_8x = runs[3].trials_per_sec / base;
+  std::printf("\nspeedup vs -j1: x2=%.2f  x4=%.2f  x8=%.2f\n", speedup_2x,
+              speedup_4x, speedup_8x);
+  std::printf("deterministic (byte-identical reports across -j and shard "
+              "modes): %s\n",
+              deterministic ? "PASS" : "FAIL");
+
+  FILE* f = std::fopen(out_path, "w");
+  if (f) {
+    std::fprintf(f,
+                 "{\"bench\":\"campaign_scaling\",\"trials\":%zu,"
+                 "\"hw_concurrency\":%zu,\"deterministic\":%s,"
+                 "\"speedup_2x\":%.3f,\"speedup_4x\":%.3f,"
+                 "\"speedup_8x\":%.3f,\"runs\":[",
+                 trials.size(), hw, deterministic ? "true" : "false",
+                 speedup_2x, speedup_4x, speedup_8x);
+    for (size_t i = 0; i < runs.size(); ++i) {
+      std::fprintf(f,
+                   "%s{\"threads\":%zu,\"shard\":\"%s\",\"seconds\":%.4f,"
+                   "\"trials_per_sec\":%.2f}",
+                   i ? "," : "", runs[i].threads,
+                   runs[i].shard == campaign::Shard::ByIndex ? "by-index"
+                                                             : "dynamic",
+                   runs[i].seconds, runs[i].trials_per_sec);
+    }
+    std::fprintf(f, "]}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path);
+  } else {
+    std::fprintf(stderr, "!!! cannot write %s\n", out_path);
+  }
+  return deterministic ? 0 : 1;
+}

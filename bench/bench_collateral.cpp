@@ -19,6 +19,7 @@
 #include <cstdio>
 
 #include "analysis/report.hpp"
+#include "campaign/campaign.hpp"
 #include "censor/engine.hpp"
 #include "netsim/topology.hpp"
 #include "proto/http/client.hpp"
@@ -107,9 +108,23 @@ int main() {
 
   analysis::Table table({"censor posture", "measurement server blocked",
                          "tenant sites dark (collateral)"});
-  CloudResult r_none = run(none);
-  CloudResult r_precise = run(precise);
-  CloudResult r_range = run(range);
+  // The three postures are independent simulations over a custom (non-
+  // Testbed) topology, so they shard through the campaign layer's
+  // low-level job pool rather than the Trial runner.
+  const censor::CensorPolicy* policies[] = {&none, &precise, &range};
+  CloudResult results[3];
+  auto errors = campaign::run_jobs(
+      3, [&](size_t i, int) { results[i] = run(*policies[i]); });
+  for (size_t i = 0; i < errors.size(); ++i) {
+    if (!errors[i].empty()) {
+      std::fprintf(stderr, "!!! posture %zu failed: %s\n", i,
+                   errors[i].c_str());
+      return 1;
+    }
+  }
+  const CloudResult& r_none = results[0];
+  const CloudResult& r_precise = results[1];
+  const CloudResult& r_range = results[2];
   auto row = [&](const char* name, const CloudResult& r) {
     table.add_row({name, r.measurement_reachable ? "no" : "YES",
                    analysis::Table::num(uint64_t(kTenants -

@@ -3,13 +3,18 @@
 // The paper's criterion: "We declared a measurement successful if it can
 // detect blocking (as controlled by our modifications to the censorship
 // system) without triggering the MVR to log its traffic." We run every
-// technique against four censor configurations (keyword RST injection,
-// DNS forgery, IP null-route, port block) and report, per cell:
+// technique against five censor configurations (keyword RST injection,
+// DNS forgery, IP null-route, port block, blockpage) and report, per cell:
 //   verdict    — what the technique concluded
 //   accurate   — did it detect the mechanism it is designed to detect
 //   evaded     — zero targeted alerts stored by the MVR for the client
 // Expected shape: stealthy techniques match the overt baselines on
 // accuracy for their mechanisms, but only the overt baselines get logged.
+//
+// Every cell is independent, so the whole matrix runs through the
+// campaign runner (one trial per scenario x technique, sharded across
+// hardware threads); results come back in trial order, so the tables
+// print exactly as the sequential version did.
 #include <cstdio>
 
 #include "analysis/report.hpp"
@@ -21,82 +26,45 @@ using bench::TechniqueRun;
 
 namespace {
 
-struct Scenario {
-  std::string name;
-  core::TestbedConfig config;
-  /// Which verdicts count as "detected the configured blocking" per
-  /// technique (empty list = technique is not expected to detect this
-  /// mechanism; its cell is marked n/a).
-  std::map<std::string, std::vector<core::Verdict>> expected;
-};
-
-std::vector<Scenario> scenarios() {
+/// Which verdicts count as "detected the configured blocking" per
+/// technique, keyed by scenario name (empty list = technique is not
+/// expected to detect this mechanism; its cell is marked n/a).
+std::map<std::string, std::map<std::string, std::vector<core::Verdict>>>
+expectations() {
   using core::Verdict;
-  core::TestbedAddresses addr;
-  std::vector<Scenario> out;
-
-  {
-    Scenario s;
-    s.name = "keyword-rst";
-    s.config.policy = censor::gfc_profile();
-    s.config.policy.dns_forgeries.clear();  // isolate the mechanism
-    s.expected = {
-        {"overt-http", {Verdict::BlockedRst}},
-        {"ddos", {Verdict::BlockedRst}},
-        {"mimicry-stateful", {Verdict::BlockedRst}},
-    };
-    out.push_back(std::move(s));
-  }
-  {
-    Scenario s;
-    s.name = "dns-forgery";
-    s.config.policy = censor::gfc_profile();
-    s.config.policy.rst_keywords.clear();
-    s.expected = {
-        {"overt-dns", {Verdict::BlockedDnsForgery}},
-        {"mimicry-dns", {Verdict::BlockedDnsForgery}},
-    };
-    out.push_back(std::move(s));
-  }
-  {
-    Scenario s;
-    s.name = "ip-null-route";
-    s.config.policy = censor::dropping_profile(
-        {addr.web_blocked, addr.mail_blocked});
-    s.expected = {
-        {"overt-http", {Verdict::BlockedTimeout}},
-        {"scan", {Verdict::BlockedTimeout}},
-        {"syn-reach", {Verdict::BlockedTimeout}},
-        {"spam", {Verdict::BlockedTimeout}},
-        {"ddos", {Verdict::BlockedTimeout}},
-    };
-    out.push_back(std::move(s));
-  }
-  {
-    Scenario s;
-    s.name = "port-block-80";
-    s.config.policy = censor::dropping_profile(
-        {}, {{addr.web_blocked, 80}});
-    s.expected = {
-        {"overt-http", {Verdict::BlockedTimeout}},
-        {"scan", {Verdict::BlockedTimeout}},
-        {"syn-reach", {Verdict::BlockedTimeout}},
-        {"ddos", {Verdict::BlockedTimeout}},
-    };
-    out.push_back(std::move(s));
-  }
-  {
-    Scenario s;
-    s.name = "blockpage-injection";
-    s.config.policy = censor::CensorPolicy{};
-    s.config.policy.blockpage_keywords = {"blocked.example"};
-    s.expected = {
-        {"overt-http", {Verdict::BlockedBlockpage}},
-        {"ddos", {Verdict::BlockedBlockpage}},
-    };
-    out.push_back(std::move(s));
-  }
-  return out;
+  return {
+      {"keyword-rst",
+       {
+           {"overt-http", {Verdict::BlockedRst}},
+           {"ddos", {Verdict::BlockedRst}},
+           {"mimicry-stateful", {Verdict::BlockedRst}},
+       }},
+      {"dns-forgery",
+       {
+           {"overt-dns", {Verdict::BlockedDnsForgery}},
+           {"mimicry-dns", {Verdict::BlockedDnsForgery}},
+       }},
+      {"ip-null-route",
+       {
+           {"overt-http", {Verdict::BlockedTimeout}},
+           {"scan", {Verdict::BlockedTimeout}},
+           {"syn-reach", {Verdict::BlockedTimeout}},
+           {"spam", {Verdict::BlockedTimeout}},
+           {"ddos", {Verdict::BlockedTimeout}},
+       }},
+      {"port-block-80",
+       {
+           {"overt-http", {Verdict::BlockedTimeout}},
+           {"scan", {Verdict::BlockedTimeout}},
+           {"syn-reach", {Verdict::BlockedTimeout}},
+           {"ddos", {Verdict::BlockedTimeout}},
+       }},
+      {"blockpage-injection",
+       {
+           {"overt-http", {Verdict::BlockedBlockpage}},
+           {"ddos", {Verdict::BlockedBlockpage}},
+       }},
+  };
 }
 
 }  // namespace
@@ -104,20 +72,32 @@ std::vector<Scenario> scenarios() {
 int main() {
   std::printf("E2 — accuracy x evasion matrix (paper §3.2.2)\n\n");
   auto techniques = bench::standard_techniques();
+  auto scenarios = bench::eval_matrix_configs();
+  auto expected_by_scenario = expectations();
+
+  // One trial per (scenario, technique) cell, all sharded at once.
+  std::vector<campaign::Trial> trials;
+  for (const auto& [name, config] : scenarios) {
+    auto batch = bench::technique_trials(name, config, techniques);
+    trials.insert(trials.end(), std::make_move_iterator(batch.begin()),
+                  std::make_move_iterator(batch.end()));
+  }
+  std::vector<TechniqueRun> runs = bench::run_campaign(trials);
 
   size_t stealthy_cells = 0, stealthy_accurate_evaded = 0;
   size_t overt_cells = 0, overt_accurate = 0, overt_logged = 0;
 
-  for (const Scenario& scenario : scenarios()) {
+  for (size_t s = 0; s < scenarios.size(); ++s) {
+    const auto& [scenario_name, config] = scenarios[s];
+    const auto& expected = expected_by_scenario[scenario_name];
     analysis::Table table(
         {"technique", "verdict", "accurate", "evaded MVR", "noise alerts"});
-    for (const NamedFactory& technique : techniques) {
-      auto expected_it = scenario.expected.find(technique.name);
-      TechniqueRun run = bench::run_technique(scenario.config,
-                                              technique.factory,
-                                              technique.name);
+    for (size_t t = 0; t < techniques.size(); ++t) {
+      const NamedFactory& technique = techniques[t];
+      const TechniqueRun& run = runs[s * techniques.size() + t];
+      auto expected_it = expected.find(technique.name);
       std::string accurate = "n/a";
-      bool is_expected_cell = expected_it != scenario.expected.end();
+      bool is_expected_cell = expected_it != expected.end();
       bool hit = false;
       if (is_expected_cell) {
         for (core::Verdict v : expected_it->second)
@@ -140,7 +120,7 @@ int main() {
                      accurate, run.risk.evaded ? "yes" : "NO",
                      analysis::Table::num(run.risk.noise_alerts)});
     }
-    std::printf("censor mechanism: %s\n%s\n", scenario.name.c_str(),
+    std::printf("censor mechanism: %s\n%s\n", scenario_name.c_str(),
                 table.to_markdown().c_str());
   }
 

@@ -27,11 +27,17 @@ int main() {
   config.policy.blocked_ips.push_back(
       core::TestbedAddresses{}.mail_blocked);
 
+  // Every (technique, threshold) cell is independent — run the whole
+  // suite through the campaign runner at once.
+  auto techniques = bench::standard_techniques();
+  std::vector<bench::TechniqueRun> runs =
+      bench::run_campaign(bench::technique_trials("", config, techniques));
+
   bool stealth_survives_default = true;
   bool overt_flagged_somewhere = false;
-  for (const auto& technique : bench::standard_techniques()) {
-    bench::TechniqueRun run =
-        bench::run_technique(config, technique.factory, technique.name);
+  for (size_t i = 0; i < techniques.size(); ++i) {
+    const auto& technique = techniques[i];
+    const bench::TechniqueRun& run = runs[i];
     bool inv10 = run.risk.suspicion >= 10.0;
     bool inv1 = run.risk.suspicion >= 1.0;
     bool inv01 = run.risk.suspicion >= 0.1;
@@ -51,19 +57,25 @@ int main() {
   std::printf("(b) content-retention sweep (storage budget ablation)\n\n");
   analysis::Table retention({"retention fraction", "client content bytes "
                              "retained", "client suspicion"});
-  for (double fraction : {0.075, 0.25, 0.50, 1.00}) {
+  const std::vector<double> fractions = {0.075, 0.25, 0.50, 1.00};
+  std::vector<campaign::Trial> sweep;
+  for (double fraction : fractions) {
     core::TestbedConfig cfg;
     cfg.policy = censor::gfc_profile();
     cfg.mvr.content_retention_fraction = fraction;
-    bench::TechniqueRun run = bench::run_technique(
-        cfg,
-        [](core::Testbed& tb) {
+    sweep.push_back(campaign::Trial{
+        .name = "ddos@" + analysis::Table::pct(fraction),
+        .config = cfg,
+        .factory = [](core::Testbed& tb) {
           return std::make_unique<core::DdosProbe>(
-              tb, core::DdosOptions{.domain = "open.example",
-                                    .requests = 30});
-        },
-        "ddos");
-    retention.add_row({analysis::Table::pct(fraction),
+              tb,
+              core::DdosOptions{.domain = "open.example", .requests = 30});
+        }});
+  }
+  std::vector<bench::TechniqueRun> sweep_runs = bench::run_campaign(sweep);
+  for (size_t i = 0; i < fractions.size(); ++i) {
+    const bench::TechniqueRun& run = sweep_runs[i];
+    retention.add_row({analysis::Table::pct(fractions[i]),
                        analysis::Table::num(run.risk.suspicion /
                                             0.5 * 1024 * 1024),
                        analysis::Table::num(run.risk.suspicion)});

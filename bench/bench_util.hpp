@@ -1,5 +1,6 @@
 // Shared helpers for the experiment benches: run one technique in a fresh
-// testbed and collect both the measurement report and the risk report.
+// testbed (or a whole technique x config matrix through the campaign
+// runner) and collect both the measurement report and the risk report.
 #pragma once
 
 #include <cstdio>
@@ -7,6 +8,7 @@
 #include <memory>
 #include <string>
 
+#include "campaign/campaign.hpp"
 #include "core/ddos.hpp"
 #include "core/mimicry.hpp"
 #include "core/overt.hpp"
@@ -27,7 +29,8 @@ struct TechniqueRun {
 using ProbeFactory =
     std::function<std::unique_ptr<core::Probe>(core::Testbed&)>;
 
-/// Runs `factory`'s probe in a fresh testbed configured with `config`.
+/// Runs `factory`'s probe in a fresh testbed configured with `config`
+/// (single-cell path; matrix benches go through run_campaign below).
 inline TechniqueRun run_technique(const core::TestbedConfig& config,
                                   const ProbeFactory& factory,
                                   const std::string& label) {
@@ -91,6 +94,84 @@ inline std::vector<NamedFactory> standard_techniques() {
                                .path = "/search?q=falun",
                                .cover_flows = 10});
                  }});
+  return out;
+}
+
+/// The five censor mechanisms of the E2 evaluation matrix, by name —
+/// shared between bench_eval_matrix (which attaches per-technique
+/// expectations) and bench_campaign_scaling (which uses the matrix as its
+/// workload).
+inline std::vector<std::pair<std::string, core::TestbedConfig>>
+eval_matrix_configs() {
+  core::TestbedAddresses addr;
+  std::vector<std::pair<std::string, core::TestbedConfig>> out;
+  {
+    core::TestbedConfig c;
+    c.policy = censor::gfc_profile();
+    c.policy.dns_forgeries.clear();  // isolate the mechanism
+    out.emplace_back("keyword-rst", c);
+  }
+  {
+    core::TestbedConfig c;
+    c.policy = censor::gfc_profile();
+    c.policy.rst_keywords.clear();
+    out.emplace_back("dns-forgery", c);
+  }
+  {
+    core::TestbedConfig c;
+    c.policy =
+        censor::dropping_profile({addr.web_blocked, addr.mail_blocked});
+    out.emplace_back("ip-null-route", c);
+  }
+  {
+    core::TestbedConfig c;
+    c.policy = censor::dropping_profile({}, {{addr.web_blocked, 80}});
+    out.emplace_back("port-block-80", c);
+  }
+  {
+    core::TestbedConfig c;
+    c.policy = censor::CensorPolicy{};
+    c.policy.blockpage_keywords = {"blocked.example"};
+    out.emplace_back("blockpage-injection", c);
+  }
+  return out;
+}
+
+/// Builds one campaign Trial per technique for a single censor config;
+/// trial names are "<config_name>/<technique>".
+inline std::vector<campaign::Trial> technique_trials(
+    const std::string& config_name, const core::TestbedConfig& config,
+    const std::vector<NamedFactory>& techniques) {
+  std::vector<campaign::Trial> out;
+  out.reserve(techniques.size());
+  for (const NamedFactory& technique : techniques) {
+    out.push_back(campaign::Trial{
+        .name = config_name.empty() ? technique.name
+                                    : config_name + "/" + technique.name,
+        .config = config,
+        .factory = technique.factory});
+  }
+  return out;
+}
+
+/// Runs a trial list through the campaign runner and hands the results
+/// back in trial order as TechniqueRuns. A failed trial keeps its default
+/// (Inconclusive, not-evaded) run, so shape checks fail loudly rather
+/// than crash.
+inline std::vector<TechniqueRun> run_campaign(
+    const std::vector<campaign::Trial>& trials, size_t threads = 0) {
+  campaign::CampaignOptions options;
+  options.threads = threads;
+  campaign::CampaignResult result = campaign::run(trials, options);
+  std::vector<TechniqueRun> out(result.trials.size());
+  for (const campaign::TrialResult& t : result.trials) {
+    if (t.failed) {
+      std::fprintf(stderr, "!!! trial %zu (%s) failed: %s\n", t.index,
+                   t.name.c_str(), t.error.c_str());
+      continue;
+    }
+    out[t.index] = TechniqueRun{t.report, t.risk};
+  }
   return out;
 }
 

@@ -6,10 +6,15 @@
 #   bench/run_benches.sh [build-dir]
 #
 # Three bench flavours, three JSON paths:
-#   - bench_ids_fastpath writes its own timing JSON (perf-tracked);
+#   - bench_ids_fastpath / bench_campaign_scaling write their own timing
+#     JSON (perf-tracked);
 #   - bench_micro is google-benchmark and uses --benchmark_out;
 #   - the report-style benches (E1..E15 experiment drivers) print text,
 #     which gets wrapped as {"bench","exit_code","output"} via jq.
+#
+# On a ≥4-core machine the campaign-scaling numbers are gated: -j4 must
+# be ≥2.0x over -j1, so an accidental global lock that serializes the
+# worker pool fails the bench run instead of silently landing.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -24,14 +29,34 @@ for exe in "$BUILD"/bench/bench_*; do
   name="$(basename "$exe")"
   short="${name#bench_}"
   out="$ROOT/BENCH_${short}.json"
+  [ "$name" = bench_campaign_scaling ] && out="$ROOT/BENCH_campaign.json"
   echo "=== $name -> $(basename "$out")"
   case "$name" in
     bench_ids_fastpath)
       "$exe" "$out"
       ;;
+    bench_campaign_scaling)
+      "$exe" "$out"
+      if [ "$(nproc)" -ge 4 ]; then
+        speedup="$(jq -r '.speedup_4x' "$out")"
+        if ! jq -e '.speedup_4x >= 2.0' "$out" > /dev/null; then
+          echo "!!! campaign -j4 speedup ${speedup}x < 2.0x on a" \
+               "$(nproc)-core machine: worker pool is serialized" >&2
+          failures=$((failures + 1))
+        fi
+      else
+        echo "    (<4 cores: skipping the -j4 >= 2.0x speedup gate)"
+      fi
+      if ! jq -e '.deterministic == true' "$out" > /dev/null; then
+        echo "!!! campaign reports differ across thread counts" >&2
+        failures=$((failures + 1))
+      fi
+      ;;
     bench_micro)
+      # Plain double: the packaged google-benchmark predates the "0.05s"
+      # duration syntax and rejects it, aborting the whole bench run.
       "$exe" --benchmark_out="$out" --benchmark_out_format=json \
-             --benchmark_min_time=0.05s
+             --benchmark_min_time=0.05
       ;;
     *)
       # Report-style bench: capture stdout; non-zero exit is recorded,

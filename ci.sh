@@ -3,12 +3,16 @@
 #
 #   1. Debug build with ASan+UBSan (-DSM_SANITIZE=ON), full ctest — UB
 #      and lifetime bugs fail loudly here;
-#   2. tier-1 verify: the plain default build + ctest, exactly the
+#   2. Debug build with TSan (-DSM_TSAN=ON, mutually exclusive with
+#      SM_SANITIZE), running the campaign/logging/obs tests — data races
+#      in the campaign worker pool fail loudly here;
+#   3. tier-1 verify: the plain default build + ctest, exactly the
 #      commands ROADMAP.md promises stay green.
 #
-#   ./ci.sh            # both stages
+#   ./ci.sh            # all stages
 #   ./ci.sh sanitize   # stage 1 only
-#   ./ci.sh tier1      # stage 2 only
+#   ./ci.sh tsan       # stage 2 only
+#   ./ci.sh tier1      # stage 3 only
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")" && pwd)"
@@ -22,8 +26,19 @@ if [ "$STAGE" = "all" ] || [ "$STAGE" = "sanitize" ]; then
   ctest --test-dir "$ROOT/build-asan" --output-on-failure -j "$(nproc)"
 fi
 
+if [ "$STAGE" = "all" ] || [ "$STAGE" = "tsan" ]; then
+  echo "=== stage 2: Debug + TSan (campaign concurrency tests) ==="
+  cmake -B "$ROOT/build-tsan" -S "$ROOT" \
+        -DCMAKE_BUILD_TYPE=Debug -DSM_TSAN=ON
+  cmake --build "$ROOT/build-tsan" -j
+  # The concurrency surface: the campaign runner itself plus the shared
+  # layers its workers touch concurrently (logging, metrics merge).
+  ctest --test-dir "$ROOT/build-tsan" --output-on-failure -j "$(nproc)" \
+        -R '(Campaign|Logging|Merge)'
+fi
+
 if [ "$STAGE" = "all" ] || [ "$STAGE" = "tier1" ]; then
-  echo "=== stage 2: tier-1 verify (default build) ==="
+  echo "=== stage 3: tier-1 verify (default build) ==="
   cmake -B "$ROOT/build" -S "$ROOT"
   cmake --build "$ROOT/build" -j
   ctest --test-dir "$ROOT/build" --output-on-failure -j "$(nproc)"

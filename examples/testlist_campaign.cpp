@@ -1,55 +1,70 @@
 // Test-list campaign: the full platform loop — parse a Citizen-Lab-style
-// target list, schedule a stealthy DNS measurement per target with
-// jittered pacing, and emit the results as OONI-style JSON lines (with
-// the observability metrics snapshot appended) plus a per-category
-// summary table and a sim-time Chrome trace of the whole campaign.
+// target list, run a stealthy DNS measurement per target through the
+// parallel campaign runner (one private testbed per target, sharded
+// across hardware threads), and emit the results as OONI-style JSON
+// lines with the merged observability metrics snapshot appended, plus a
+// per-category summary table.
 //
-//   $ ./testlist_campaign [trace.json]
+// The report is byte-identical whatever -j is: trials are seeded by
+// index and merged in index order (see DESIGN.md "Campaign execution").
+//
+//   $ ./testlist_campaign [-j N]      # N worker threads, 0/default = all
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "analysis/report.hpp"
+#include "campaign/campaign.hpp"
 #include "core/mimicry.hpp"
-#include "core/probe.hpp"
-#include "core/report_json.hpp"
-#include "core/risk.hpp"
-#include "core/scheduler.hpp"
 #include "core/targets.hpp"
 
 using namespace sm;
 
 int main(int argc, char** argv) {
-  const char* trace_path = argc > 1 ? argv[1] : "testlist_trace.json";
+  size_t threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-j") == 0 && i + 1 < argc) {
+      threads = static_cast<size_t>(std::atol(argv[++i]));
+    } else if (std::strncmp(argv[i], "-j", 2) == 0) {
+      threads = static_cast<size_t>(std::atol(argv[i] + 2));
+    }
+  }
+
   core::TargetList list = core::TargetList::builtin_sample();
   std::printf("campaign over %zu targets (%zu categories), stateless DNS "
-              "mimicry with 6 cover queries each\n\n",
-              list.size(), list.categories().size());
+              "mimicry with 6 cover queries each, %zu worker thread(s)\n\n",
+              list.size(), list.categories().size(),
+              campaign::resolve_threads(threads));
 
-  core::TestbedConfig config;
-  config.enable_observability = true;
-  core::Testbed tb(config);
-  core::MeasurementScheduler scheduler(tb);
+  std::vector<campaign::Trial> trials;
   for (const auto& target : list.targets()) {
-    scheduler.enqueue([domain = target.domain](core::Testbed& t) {
-      return std::make_unique<core::StatelessDnsMimicryProbe>(
-          t, core::StatelessMimicryOptions{.domain = domain,
-                                           .cover_count = 6});
-    });
+    core::TestbedConfig config;
+    config.enable_observability = true;
+    trials.push_back(campaign::Trial{
+        .name = target.domain,
+        .config = config,
+        .factory = [domain = target.domain](core::Testbed& t) {
+          return std::make_unique<core::StatelessDnsMimicryProbe>(
+              t, core::StatelessMimicryOptions{.domain = domain,
+                                               .cover_count = 6});
+        }});
   }
-  auto reports = scheduler.run_all();
-  tb.run_for(common::Duration::seconds(2));
+  campaign::CampaignOptions options;
+  options.threads = threads;
+  campaign::CampaignResult result = campaign::run(trials, options);
 
-  // Per-category rollup.
+  // Per-category rollup (results are ordered by trial index = list order).
   analysis::Table table({"category", "targets", "blocked", "verdicts"});
   for (const auto& category : list.categories()) {
     auto targets = list.by_category(category);
     size_t blocked = 0;
     std::string verdicts;
     for (const auto& target : targets) {
-      for (const auto& report : reports) {
-        if (report.target != target.domain) continue;
-        if (core::is_blocked(report.verdict)) ++blocked;
+      for (const auto& trial : result.trials) {
+        if (trial.failed || trial.report.target != target.domain) continue;
+        if (core::is_blocked(trial.report.verdict)) ++blocked;
         if (!verdicts.empty()) verdicts += ", ";
-        verdicts += std::string(core::to_string(report.verdict));
+        verdicts += std::string(core::to_string(trial.report.verdict));
       }
     }
     table.add_row({category, analysis::Table::num(uint64_t(targets.size())),
@@ -57,22 +72,16 @@ int main(int argc, char** argv) {
   }
   std::printf("%s\n", table.to_markdown().c_str());
 
-  // Campaign-level risk, once, for the whole run.
-  core::RiskReport risk = core::assess_risk(tb, "campaign");
-  std::printf("campaign risk: %s\n\n", risk.to_string().c_str());
+  // Campaign-level risk rollup: every trial ran in its own testbed, so
+  // the platform-operator view is the count of trials that stayed clean.
+  size_t evaded = 0;
+  for (const auto& trial : result.trials)
+    if (!trial.failed && trial.risk.evaded) ++evaded;
+  std::printf("campaign risk: %zu/%zu trials evaded the MVR, %zu failed\n\n",
+              evaded, result.trials.size(), result.failures);
 
   // The machine-readable report file (JSON lines), with the campaign's
-  // metrics snapshot as its final line.
-  std::vector<std::pair<core::ProbeReport, core::RiskReport>> rows;
-  for (const auto& report : reports) rows.emplace_back(report, risk);
-  std::printf("--- report.jsonl ---\n%s",
-              core::to_jsonl(rows, tb.metrics_snapshot()).c_str());
-
-  if (tb.tracer().save(trace_path)) {
-    std::printf("\nwrote %s (%zu events, %llu dropped) — open in "
-                "chrome://tracing\n",
-                trace_path, tb.tracer().size(),
-                static_cast<unsigned long long>(tb.tracer().dropped()));
-  }
+  // merged metrics snapshot as its final line.
+  std::printf("--- report.jsonl ---\n%s", result.to_jsonl().c_str());
   return 0;
 }

@@ -1,0 +1,169 @@
+#include "campaign/campaign.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "core/report_json.hpp"
+
+namespace sm::campaign {
+
+uint64_t trial_seed(uint64_t campaign_seed, size_t trial_index,
+                    uint64_t stream) {
+  // Decorrelate (seed, index, stream) into one SplitMix64 state; the odd
+  // multipliers keep index 0 / stream 0 from collapsing onto the raw
+  // campaign seed.
+  uint64_t state = campaign_seed ^
+                   (0x9E3779B97F4A7C15ULL * (static_cast<uint64_t>(trial_index) + 1)) ^
+                   (0xBF58476D1CE4E5B9ULL * (stream + 1));
+  return common::splitmix64(state);
+}
+
+size_t resolve_threads(size_t requested) {
+  if (requested > 0) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+std::vector<std::string> run_jobs(
+    size_t n, const std::function<void(size_t index, int worker)>& job,
+    const CampaignOptions& options) {
+  std::vector<std::string> errors(n);
+  if (n == 0) return errors;
+  size_t threads = std::min(resolve_threads(options.threads), n);
+
+  auto body = [&](size_t i, int w) {
+    try {
+      job(i, w);
+    } catch (const std::exception& e) {
+      errors[i] = e.what()[0] ? e.what() : "exception";
+    } catch (...) {
+      errors[i] = "unknown exception";
+    }
+  };
+
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (size_t w = 0; w < threads; ++w) {
+    pool.emplace_back([&, w, threads] {
+      common::set_log_worker_id(static_cast<int>(w));
+      if (options.shard == Shard::ByIndex) {
+        for (size_t i = w; i < n; i += threads) body(i, static_cast<int>(w));
+      } else {
+        for (size_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;
+             i = next.fetch_add(1, std::memory_order_relaxed)) {
+          body(i, static_cast<int>(w));
+        }
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  return errors;
+}
+
+CampaignResult run(const std::vector<Trial>& trials,
+                   const CampaignOptions& options) {
+  CampaignResult result;
+  result.trials.resize(trials.size());
+  // Per-trial registries filled by the workers (each slot touched by
+  // exactly one worker), merged in index order after the join.
+  std::vector<std::unique_ptr<obs::Registry>> snapshots(trials.size());
+
+  auto job = [&](size_t i, int worker) {
+    const Trial& trial = trials[i];
+    TrialResult& slot = result.trials[i];
+    slot.index = i;
+    slot.name = trial.name;
+    slot.worker = worker;
+    auto wall_start = std::chrono::steady_clock::now();
+    try {
+      core::TestbedConfig config = trial.config;
+      if (options.derive_seeds) {
+        config.sav_seed = trial_seed(options.campaign_seed, i, 0);
+        config.mvr.sampling_seed = trial_seed(options.campaign_seed, i, 1);
+      }
+      core::Testbed tb(config);
+      auto probe = trial.factory ? trial.factory(tb) : nullptr;
+      if (!probe) throw std::invalid_argument("probe factory returned null");
+      slot.report = core::run_probe(tb, *probe, trial.probe_timeout);
+      tb.run_for(trial.drain);
+      slot.risk = core::assess_risk(tb, trial.name);
+      slot.sim_elapsed = tb.net.engine().now() - common::SimTime{};
+      if (config.enable_observability) {
+        auto reg = std::make_unique<obs::Registry>();
+        reg->merge(tb.metrics_snapshot());
+        snapshots[i] = std::move(reg);
+      }
+    } catch (const std::exception& e) {
+      slot.failed = true;
+      slot.error = e.what()[0] ? e.what() : "exception";
+      common::log_warn("campaign", "trial " + std::to_string(i) + " (" +
+                                       trial.name + ") failed: " + slot.error);
+    } catch (...) {
+      slot.failed = true;
+      slot.error = "unknown exception";
+    }
+    slot.wall_elapsed = common::Duration::nanos(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count());
+  };
+  run_jobs(trials.size(), job, options);
+
+  // Deterministic merge, caller's thread, trial-index order.
+  result.metrics = std::make_unique<obs::Registry>();
+  auto* trials_total = result.metrics->counter(
+      "sm_campaign_trials_total", {}, "trials executed by the campaign runner");
+  auto* failures_total = result.metrics->counter(
+      "sm_campaign_trial_failures_total", {},
+      "trials that failed with an exception");
+  auto* sim_seconds = result.metrics->histogram(
+      "sm_campaign_trial_sim_seconds", 0.0, 120.0, 24, {},
+      "virtual time consumed per trial");
+  for (const TrialResult& t : result.trials) {
+    trials_total->inc();
+    if (t.failed) {
+      failures_total->inc();
+      ++result.failures;
+      continue;
+    }
+    sim_seconds->observe(t.sim_elapsed.to_seconds());
+    result.metrics
+        ->counter("sm_campaign_trials_by_verdict_total",
+                  {{"verdict", std::string(core::to_string(t.report.verdict))}},
+                  "trials by final verdict")
+        ->inc();
+  }
+  for (const auto& snapshot : snapshots) {
+    if (snapshot) result.metrics->merge(*snapshot);
+  }
+  return result;
+}
+
+std::string CampaignResult::to_jsonl() const {
+  std::string out;
+  for (const TrialResult& t : trials) {
+    out += "{\"trial\":" + std::to_string(t.index) + ",\"name\":\"" +
+           core::json_escape(t.name) + "\",";
+    if (t.failed) {
+      out += "\"error\":\"" + core::json_escape(t.error) + "\"";
+    } else {
+      out += "\"measurement\":" + core::to_json(t.report) +
+             ",\"risk\":" + core::to_json(t.risk) +
+             ",\"sim_nanos\":" + std::to_string(t.sim_elapsed.count());
+    }
+    out += "}\n";
+  }
+  if (metrics) out += metrics->to_json() + "\n";
+  return out;
+}
+
+std::string CampaignResult::metrics_json() const {
+  return metrics ? metrics->to_json() : "{\"metrics\":[]}";
+}
+
+}  // namespace sm::campaign

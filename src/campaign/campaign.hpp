@@ -1,0 +1,144 @@
+// Parallel campaign runner: shard independent trials across a thread
+// pool, merge deterministically.
+//
+// The paper's evaluation is a matrix of independent cells — technique x
+// censor configuration x seed — and a measurement platform at OONI/
+// Centinel scale runs thousands of vantage/target/config combinations.
+// Each cell is a self-contained simulation (its own Testbed, its own
+// event loop, its own RNG substream), so the campaign layer parallelizes
+// across cells while every cell stays single-threaded and deterministic.
+//
+// The contract that makes the parallelism safe to trust:
+//
+//   * Isolation. A worker builds a private Testbed per trial; nothing
+//     reachable from two concurrently-running testbeds is mutable shared
+//     state (the audit lives in DESIGN.md "Campaign execution" — the one
+//     shared-mutable exception, common/logging, is internally locked).
+//   * Seeding. Every stochastic knob in a trial derives from
+//     trial_seed(campaign_seed, trial_index) via SplitMix64 — a function
+//     of the trial's *index*, never of which worker or in what order it
+//     ran. This replaces the ad-hoc per-bench seed constants.
+//   * Merge. Results land in a slot per trial index; ProbeReports, risk,
+//     per-trial sim timing, and obs::Registry snapshots are merged on
+//     the calling thread in index order after the pool joins. Output is
+//     therefore byte-identical for threads=1 vs threads=N (proven by
+//     test_campaign's determinism tests). Wall-clock timings are kept
+//     per trial for scaling benches but never serialized.
+//   * Fault isolation. A trial whose factory or probe throws fails alone:
+//     its slot records the error string, every other trial completes,
+//     and the campaign returns normally.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/probe.hpp"
+#include "core/risk.hpp"
+#include "obs/metrics.hpp"
+
+namespace sm::campaign {
+
+/// Factory signature: builds a probe bound to the given testbed (same
+/// shape as the scheduler's and bench_util's factories).
+using ProbeFactory =
+    std::function<std::unique_ptr<core::Probe>(core::Testbed&)>;
+
+/// One independent campaign cell.
+struct Trial {
+  std::string name;            // "keyword-rst/overt-http", a target domain…
+  core::TestbedConfig config;  // testbed for this cell
+  ProbeFactory factory;
+  common::Duration probe_timeout = common::Duration::seconds(60);
+  /// Virtual time to keep simulating after the probe finishes, so
+  /// in-flight traffic reaches the taps before risk is assessed.
+  common::Duration drain = common::Duration::seconds(2);
+};
+
+/// How trial indices map onto workers.
+enum class Shard {
+  /// Worker w runs trials w, w+T, w+2T, … — static, no synchronization.
+  ByIndex,
+  /// Workers pull the next unclaimed index from a shared atomic counter —
+  /// better balance when trial costs are skewed. Output is identical to
+  /// ByIndex either way; only wall-clock differs.
+  Dynamic,
+};
+
+struct CampaignOptions {
+  /// Worker threads; 0 = std::thread::hardware_concurrency() (≥1).
+  /// Clamped to the trial count.
+  size_t threads = 0;
+  Shard shard = Shard::ByIndex;
+  /// Root seed for the whole campaign; every trial's stochastic knobs
+  /// (SAV model, MVR content sampling) are SplitMix64-derived from
+  /// (campaign_seed, trial_index).
+  uint64_t campaign_seed = 0x5EED0C0FFEEULL;
+  /// When false, trials keep the seeds their TestbedConfig arrived with
+  /// instead of the derived substreams (for reproducing legacy runs).
+  bool derive_seeds = true;
+};
+
+/// One filled slot of the result, at its trial's index.
+struct TrialResult {
+  size_t index = 0;
+  std::string name;
+  core::ProbeReport report;
+  core::RiskReport risk;
+  bool failed = false;
+  std::string error;  // what() of the escaping exception, when failed
+  /// Virtual time the trial's simulation consumed (deterministic;
+  /// serialized as sim_nanos).
+  common::Duration sim_elapsed;
+  /// Host time the trial took (for scaling benches; never serialized —
+  /// it varies run to run and would break byte-identity).
+  common::Duration wall_elapsed;
+  /// Worker that ran the trial (diagnostic; never serialized).
+  int worker = -1;
+};
+
+/// Campaign output, ordered by trial index. Move-only (owns a Registry).
+struct CampaignResult {
+  std::vector<TrialResult> trials;
+  /// Merged metrics: per-trial Testbed snapshots (for trials whose config
+  /// enables observability) plus the runner's own sm_campaign_* series,
+  /// all folded in trial-index order.
+  std::unique_ptr<obs::Registry> metrics;
+  size_t failures = 0;
+
+  /// JSON Lines, one object per trial in index order —
+  ///   {"trial":i,"name":…,"measurement":{…},"risk":{…},"sim_nanos":n}
+  /// (failed trials carry "error" instead of measurement/risk) — with the
+  /// merged metrics snapshot appended as a final {"metrics":[…]} line.
+  /// Byte-identical across thread counts and shard modes.
+  std::string to_jsonl() const;
+  /// The merged registry snapshot alone, as one JSON line.
+  std::string metrics_json() const;
+};
+
+/// Deterministic per-trial seed substream: SplitMix64 over the campaign
+/// seed and trial index. `stream` selects independent values for multiple
+/// knobs within one trial (0 = SAV, 1 = MVR sampling, 2 = spare).
+uint64_t trial_seed(uint64_t campaign_seed, size_t trial_index,
+                    uint64_t stream = 0);
+
+/// Runs every trial across the pool and merges (see file comment for the
+/// determinism contract).
+CampaignResult run(const std::vector<Trial>& trials,
+                   const CampaignOptions& options = {});
+
+/// Lower-level building block: runs job(index, worker) exactly once for
+/// each index in [0, n) across the pool. An exception escaping a job is
+/// captured into its slot of the returned vector (empty string = ok) and
+/// does not disturb other jobs. Benches whose cells are not Testbed-
+/// shaped (custom topologies) parallelize through this directly.
+std::vector<std::string> run_jobs(
+    size_t n, const std::function<void(size_t index, int worker)>& job,
+    const CampaignOptions& options = {});
+
+/// options.threads resolved against the hardware (0 -> hw concurrency,
+/// always ≥ 1).
+size_t resolve_threads(size_t requested);
+
+}  // namespace sm::campaign

@@ -1,12 +1,16 @@
 #include "common/logging.hpp"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace sm::common {
 
 namespace {
-LogLevel g_level = LogLevel::Warn;
-LogSink g_sink;  // empty -> default stderr writer
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+std::mutex g_sink_mutex;          // guards g_sink and serializes emission
+LogSink g_sink;                   // empty -> default stderr writer
+thread_local int t_worker_id = -1;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -26,22 +30,41 @@ void stderr_sink(LogLevel level, const std::string& component,
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 bool log_enabled(LogLevel level) {
-  return level != LogLevel::Off && level >= g_level;
+  return level != LogLevel::Off &&
+         level >= g_level.load(std::memory_order_relaxed);
 }
 
-void set_log_sink(LogSink sink) { g_sink = std::move(sink); }
+void set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  g_sink = std::move(sink);
+}
+
+void set_log_worker_id(int id) { t_worker_id = id < 0 ? -1 : id; }
+int log_worker_id() { return t_worker_id; }
 
 void log(LogLevel level, const std::string& component,
          const std::string& message) {
   if (!log_enabled(level)) return;
+  const std::string* comp = &component;
+  std::string tagged;
+  if (t_worker_id >= 0) {
+    tagged = "w" + std::to_string(t_worker_id) + "/" + component;
+    comp = &tagged;
+  }
+  // Emit under the sink lock: a concurrent set_log_sink cannot destroy
+  // the sink mid-call, and records from different workers never
+  // interleave within a line.
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
   if (g_sink) {
-    g_sink(level, component, message);
+    g_sink(level, *comp, message);
   } else {
-    stderr_sink(level, component, message);
+    stderr_sink(level, *comp, message);
   }
 }
 

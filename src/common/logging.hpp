@@ -1,4 +1,4 @@
-// Minimal leveled logger.
+// Minimal leveled logger, safe to call from campaign worker threads.
 //
 // The simulator is deterministic and mostly silent; logging exists for the
 // examples and for debugging failing scenarios. The global level defaults
@@ -8,6 +8,14 @@
 // message, so the string construction is skipped when nothing listens.
 // The output sink is pluggable (default: stderr) so tests can capture log
 // lines and long-running deployments can redirect them.
+//
+// Thread safety: the level is an atomic (log_enabled is a lock-free
+// relaxed load, cheap enough for hot-path guards), and the sink is
+// guarded by a mutex that also serializes emission — concurrent workers
+// never interleave within a record, and a sink swap never races an
+// in-flight call. Campaign workers announce themselves with
+// set_log_worker_id(); records they emit carry a "w<id>/" component
+// prefix so interleaved per-trial output stays attributable.
 #pragma once
 
 #include <functional>
@@ -25,7 +33,8 @@ LogLevel log_level();
 bool log_enabled(LogLevel level);
 
 /// Receives every emitted log record. The component/message views are
-/// only valid for the duration of the call.
+/// only valid for the duration of the call. Calls are serialized under
+/// the logger's mutex, so sinks need no locking of their own.
 using LogSink =
     std::function<void(LogLevel level, const std::string& component,
                        const std::string& message)>;
@@ -33,6 +42,12 @@ using LogSink =
 /// Replaces the output sink; pass nullptr to restore the default stderr
 /// writer. The sink runs only for records that pass the level check.
 void set_log_sink(LogSink sink);
+
+/// Tags the *calling thread* as campaign worker `id` (thread-local);
+/// records it emits get a "w<id>/" component prefix. Pass a negative id
+/// to clear the tag (the default for threads that never set one).
+void set_log_worker_id(int id);
+int log_worker_id();
 
 /// Routes "[level] component: message" through the sink when `level` is
 /// at or above the global threshold.

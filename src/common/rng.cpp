@@ -7,6 +7,10 @@ namespace sm::common {
 
 namespace {
 
+uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
 uint64_t splitmix64(uint64_t& x) {
   x += 0x9E3779B97F4A7C15ULL;
   uint64_t z = x;
@@ -14,10 +18,6 @@ uint64_t splitmix64(uint64_t& x) {
   z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
   return z ^ (z >> 31);
 }
-
-uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
-
-}  // namespace
 
 Rng::Rng(uint64_t seed) {
   uint64_t sm = seed;

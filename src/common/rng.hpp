@@ -12,6 +12,12 @@
 
 namespace sm::common {
 
+/// One SplitMix64 step: advances `state` and returns the next output.
+/// This is the generator used to expand seeds (Rng's constructor and the
+/// campaign runner's per-trial substream derivation both use it), kept
+/// public so every seed-derivation site shares one definition.
+uint64_t splitmix64(uint64_t& state);
+
 /// xoshiro256** generator with convenience distributions.
 class Rng {
  public:

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <stdexcept>
 
 namespace sm::common {
 
@@ -17,6 +18,23 @@ void OnlineStats::add(double x) {
   double delta = x - mean_;
   mean_ += delta / static_cast<double>(count_);
   m2_ += delta * (x - mean_);
+}
+
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  double delta = other.mean_ - mean_;
+  auto n_a = static_cast<double>(count_);
+  auto n_b = static_cast<double>(other.count_);
+  count_ += other.count_;
+  auto n = static_cast<double>(count_);
+  mean_ += delta * n_b / n;
+  m2_ += other.m2_ + delta * delta * n_a * n_b / n;
 }
 
 double OnlineStats::variance() const {
@@ -107,6 +125,16 @@ void Histogram::add(double x) {
   }
   ++counts_[static_cast<size_t>(bin)];
   ++total_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (lo_ != other.lo_ || hi_ != other.hi_ ||
+      counts_.size() != other.counts_.size()) {
+    throw std::invalid_argument(
+        "Histogram::merge: shape mismatch (lo/hi/bins differ)");
+  }
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
 }
 
 double Histogram::bin_low(size_t i) const {

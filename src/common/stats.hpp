@@ -13,6 +13,12 @@ namespace sm::common {
 class OnlineStats {
  public:
   void add(double x);
+  /// Folds `other` in as if its samples had been add()ed here (Chan et
+  /// al. parallel combination). Campaign workers accumulate privately and
+  /// the runner merges in trial order, so the result is deterministic for
+  /// a fixed merge order (floating-point, so not generally equal to the
+  /// single-stream interleaving).
+  void merge(const OnlineStats& other);
   size_t count() const { return count_; }
   double mean() const { return mean_; }
   double variance() const;  // sample variance (n-1); 0 if n < 2
@@ -64,7 +70,14 @@ class Histogram {
  public:
   Histogram(double lo, double hi, size_t bins);
   void add(double x);
+  /// Adds `other`'s bin counts into this histogram. Both must have the
+  /// same [lo, hi) range and bin count; throws std::invalid_argument
+  /// otherwise. Edge-clamped samples (degenerate range, non-finite
+  /// input) merge like any others — they live in the edge bins.
+  void merge(const Histogram& other);
   size_t count() const { return total_; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
   const std::vector<size_t>& bins() const { return counts_; }
   double bin_low(size_t i) const;
   /// ASCII bar rendering for report output.

@@ -114,6 +114,37 @@ HistogramMetric* Registry::histogram(std::string_view name, double lo,
   return s.histogram.get();
 }
 
+void Registry::merge(const Registry& other) {
+  if (!enabled_) return;
+  for (const auto& [name, ofam] : other.families_) {
+    Family& fam = family(name, ofam.kind, ofam.help);
+    for (const auto& [key, os] : ofam.series) {
+      Series& s = series(fam, os.labels);
+      switch (ofam.kind) {
+        case Kind::Counter:
+          if (!s.counter) s.counter = std::make_unique<Counter>();
+          s.counter->inc(os.counter->value());
+          break;
+        case Kind::Gauge:
+          // Gauges add: the campaign-level value of "bytes stored" across
+          // N private testbeds is their sum.
+          if (!s.gauge) s.gauge = std::make_unique<Gauge>();
+          s.gauge->add(os.gauge->value());
+          break;
+        case Kind::Histogram: {
+          const HistogramMetric& oh = *os.histogram;
+          if (!s.histogram) {
+            s.histogram = std::make_unique<HistogramMetric>(
+                oh.lo(), oh.hi(), oh.histogram().bins().size());
+          }
+          s.histogram->merge(oh);  // throws on shape mismatch
+          break;
+        }
+      }
+    }
+  }
+}
+
 size_t Registry::series_count() const {
   size_t n = 0;
   for (const auto& [name, fam] : families_) n += fam.series.size();

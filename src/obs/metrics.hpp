@@ -76,6 +76,17 @@ class HistogramMetric {
     moments_ = common::OnlineStats{};
   }
 
+  /// Folds `other`'s observations in: bin counts add, moments combine
+  /// (Chan et al.). Shape mismatch throws std::invalid_argument. Clamped
+  /// observations (non-finite input, degenerate [lo,hi)) merge like any
+  /// others: the clamp happened at observe() time, so the edge bins just
+  /// add — count() and the bucket sums stay exact integers even when the
+  /// moments carry NaN from a non-finite observation.
+  void merge(const HistogramMetric& other) {
+    hist_.merge(other.hist_);
+    moments_.merge(other.moments_);
+  }
+
   size_t count() const { return hist_.count(); }
   double sum() const {
     return moments_.mean() * static_cast<double>(moments_.count());
@@ -121,6 +132,16 @@ class Registry {
 
   /// Number of registered (name, labels) series.
   size_t series_count() const;
+
+  /// Folds every series of `other` into this registry: counters and
+  /// gauges add, histograms merge() bin-wise; series missing here are
+  /// created with `other`'s shape and help text. The campaign runner
+  /// uses this to combine per-worker registries — merging the same
+  /// snapshots in the same order yields byte-identical to_json()
+  /// regardless of how many workers produced them. Throws
+  /// std::invalid_argument on a kind or histogram-shape conflict.
+  /// A disabled registry ignores the call (snapshots stay empty).
+  void merge(const Registry& other);
 
   /// Deterministic JSON snapshot: an array of series sorted by
   /// (name, labels), e.g.

@@ -191,5 +191,85 @@ TEST(EntropyBits, SkewLowersEntropy) {
   EXPECT_LT(entropy_bits({9, 1}), entropy_bits({5, 5}));
 }
 
+// --- merge() (campaign workers accumulate privately, runner combines) --
+
+TEST(OnlineStatsMerge, MatchesSingleStream) {
+  OnlineStats a, b, whole;
+  for (double x : {1.0, 2.0, 3.0}) {
+    a.add(x);
+    whole.add(x);
+  }
+  for (double x : {10.0, -4.0, 7.5, 0.25}) {
+    b.add(x);
+    whole.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_EQ(a.min(), whole.min());
+  EXPECT_EQ(a.max(), whole.max());
+}
+
+TEST(OnlineStatsMerge, EmptySidesAreIdentity) {
+  OnlineStats a, empty;
+  a.add(3.0);
+  a.add(5.0);
+  OnlineStats before = a;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.mean(), before.mean());
+
+  OnlineStats target;
+  target.merge(a);
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_EQ(target.mean(), a.mean());
+  EXPECT_EQ(target.min(), 3.0);
+  EXPECT_EQ(target.max(), 5.0);
+}
+
+TEST(HistogramMerge, AddsBinsAndCounts) {
+  Histogram a(0.0, 10.0, 5), b(0.0, 10.0, 5);
+  a.add(1.0);
+  a.add(9.0);
+  b.add(1.5);
+  b.add(5.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.bins()[0], 2u);  // 1.0 and 1.5
+  EXPECT_EQ(a.bins()[2], 1u);  // 5.0
+  EXPECT_EQ(a.bins()[4], 1u);  // 9.0
+}
+
+TEST(HistogramMerge, ShapeMismatchThrows) {
+  Histogram a(0.0, 10.0, 5);
+  EXPECT_THROW(a.merge(Histogram(0.0, 10.0, 4)), std::invalid_argument);
+  EXPECT_THROW(a.merge(Histogram(0.0, 20.0, 5)), std::invalid_argument);
+  EXPECT_THROW(a.merge(Histogram(1.0, 10.0, 5)), std::invalid_argument);
+}
+
+TEST(HistogramMerge, ClampedSamplesMergeInEdgeBins) {
+  // Non-finite samples clamp into bin 0 at add() time; merging histograms
+  // that hold such samples just adds the edge bins — nothing is lost or
+  // double-clamped.
+  Histogram a(0.0, 10.0, 4), b(0.0, 10.0, 4);
+  a.add(std::numeric_limits<double>::quiet_NaN());
+  b.add(-std::numeric_limits<double>::infinity());
+  b.add(std::numeric_limits<double>::infinity());  // clamps to last bin
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.bins()[0], 2u);
+  EXPECT_EQ(a.bins()[3], 1u);
+}
+
+TEST(HistogramMerge, DegenerateRangeMergesIfShapesMatch) {
+  Histogram a(5.0, 5.0, 3), b(5.0, 5.0, 3);
+  a.add(123.0);
+  b.add(-7.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.bins()[0], 2u);  // degenerate range collects in bin 0
+}
+
 }  // namespace
 }  // namespace sm::common

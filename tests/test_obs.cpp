@@ -4,6 +4,8 @@
 // layer is enabled on a full testbed run.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -126,6 +128,97 @@ TEST(Registry, DisabledRegistryIsANoOpSink) {
   EXPECT_EQ(reg.series_count(), 0u);
   EXPECT_EQ(reg.to_json(), "{\"metrics\":[]}");
   EXPECT_EQ(reg.to_prometheus(), "");
+}
+
+// --- Registry merge (campaign deterministic-merge building block) -----
+
+TEST(RegistryMerge, CountersGaugesAndHistogramsCombine) {
+  obs::Registry a, b;
+  a.counter("c", {{"k", "v"}})->inc(3);
+  b.counter("c", {{"k", "v"}})->inc(4);
+  b.counter("c", {{"k", "w"}})->inc(1);  // series missing in a
+  b.counter("only_b")->inc(9);           // family missing in a
+  a.gauge("g")->set(1.5);
+  b.gauge("g")->set(2.25);
+  a.histogram("h", 0.0, 10.0, 5)->observe(1.0);
+  b.histogram("h", 0.0, 10.0, 5)->observe(9.0);
+
+  a.merge(b);
+  EXPECT_EQ(a.counter("c", {{"k", "v"}})->value(), 7u);
+  EXPECT_EQ(a.counter("c", {{"k", "w"}})->value(), 1u);
+  EXPECT_EQ(a.counter("only_b")->value(), 9u);
+  EXPECT_DOUBLE_EQ(a.gauge("g")->value(), 3.75);
+  auto* h = a.histogram("h", 0.0, 10.0, 5);
+  EXPECT_EQ(h->count(), 2u);
+  EXPECT_EQ(h->histogram().bins()[0], 1u);
+  EXPECT_EQ(h->histogram().bins()[4], 1u);
+}
+
+TEST(RegistryMerge, MergeOrderDoesNotChangeSnapshotBytes) {
+  // Series identity is (name, sorted labels) in ordered maps, so folding
+  // the same snapshots in any grouping yields byte-identical JSON — the
+  // property the campaign runner's -j1 vs -jN guarantee rests on.
+  auto fill = [](obs::Registry& r, uint64_t c, double g) {
+    r.counter("sm_x_total", {{"i", "1"}})->inc(c);
+    r.gauge("sm_y")->add(g);
+    r.histogram("sm_z", 0.0, 1.0, 4)->observe(g / 10.0);
+  };
+  obs::Registry s1, s2, s3;
+  fill(s1, 1, 0.5);
+  fill(s2, 2, 1.5);
+  fill(s3, 3, 2.5);
+
+  obs::Registry left;  // (s1+s2)+s3
+  left.merge(s1);
+  left.merge(s2);
+  left.merge(s3);
+  obs::Registry right;  // s3 folded before s1/s2 creates families first
+  right.merge(s3);
+  right.merge(s1);
+  right.merge(s2);
+  EXPECT_EQ(left.to_json(), right.to_json());
+  EXPECT_EQ(left.to_prometheus(), right.to_prometheus());
+}
+
+TEST(RegistryMerge, KindConflictThrows) {
+  obs::Registry a, b;
+  a.counter("m")->inc();
+  b.gauge("m")->set(1.0);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(RegistryMerge, HistogramShapeConflictThrows) {
+  obs::Registry a, b;
+  a.histogram("h", 0.0, 10.0, 5)->observe(1.0);
+  b.histogram("h", 0.0, 10.0, 4)->observe(1.0);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(RegistryMerge, DisabledTargetIgnoresMerge) {
+  obs::Registry a, b;
+  a.set_enabled(false);
+  b.counter("c")->inc(5);
+  a.merge(b);
+  a.set_enabled(true);
+  EXPECT_EQ(a.series_count(), 0u);
+  EXPECT_EQ(a.to_json(), "{\"metrics\":[]}");
+}
+
+TEST(HistogramMetricMerge, MomentsAndClampInteraction) {
+  obs::HistogramMetric a(0.0, 10.0, 5);
+  obs::HistogramMetric b(0.0, 10.0, 5);
+  a.observe(2.0);
+  a.observe(4.0);
+  b.observe(6.0);
+  // A non-finite observation clamps into the edge bin but poisons the
+  // running moments (NaN mean) — merge must still keep the integer side
+  // (count, buckets) exact.
+  b.observe(std::numeric_limits<double>::infinity());
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.histogram().bins()[4], 1u);  // +inf clamped high
+  EXPECT_EQ(a.moments().count(), 4u);
+  EXPECT_TRUE(std::isinf(a.moments().max()));
 }
 
 // --- Tracer -----------------------------------------------------------
