@@ -24,56 +24,11 @@ using namespace sm;
 using bench::NamedFactory;
 using bench::TechniqueRun;
 
-namespace {
-
-/// Which verdicts count as "detected the configured blocking" per
-/// technique, keyed by scenario name (empty list = technique is not
-/// expected to detect this mechanism; its cell is marked n/a).
-std::map<std::string, std::map<std::string, std::vector<core::Verdict>>>
-expectations() {
-  using core::Verdict;
-  return {
-      {"keyword-rst",
-       {
-           {"overt-http", {Verdict::BlockedRst}},
-           {"ddos", {Verdict::BlockedRst}},
-           {"mimicry-stateful", {Verdict::BlockedRst}},
-       }},
-      {"dns-forgery",
-       {
-           {"overt-dns", {Verdict::BlockedDnsForgery}},
-           {"mimicry-dns", {Verdict::BlockedDnsForgery}},
-       }},
-      {"ip-null-route",
-       {
-           {"overt-http", {Verdict::BlockedTimeout}},
-           {"scan", {Verdict::BlockedTimeout}},
-           {"syn-reach", {Verdict::BlockedTimeout}},
-           {"spam", {Verdict::BlockedTimeout}},
-           {"ddos", {Verdict::BlockedTimeout}},
-       }},
-      {"port-block-80",
-       {
-           {"overt-http", {Verdict::BlockedTimeout}},
-           {"scan", {Verdict::BlockedTimeout}},
-           {"syn-reach", {Verdict::BlockedTimeout}},
-           {"ddos", {Verdict::BlockedTimeout}},
-       }},
-      {"blockpage-injection",
-       {
-           {"overt-http", {Verdict::BlockedBlockpage}},
-           {"ddos", {Verdict::BlockedBlockpage}},
-       }},
-  };
-}
-
-}  // namespace
-
 int main() {
   std::printf("E2 — accuracy x evasion matrix (paper §3.2.2)\n\n");
   auto techniques = bench::standard_techniques();
   auto scenarios = bench::eval_matrix_configs();
-  auto expected_by_scenario = expectations();
+  auto expected_by_scenario = bench::eval_matrix_expectations();
 
   // One trial per (scenario, technique) cell, all sharded at once.
   std::vector<campaign::Trial> trials;

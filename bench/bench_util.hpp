@@ -5,6 +5,7 @@
 
 #include <cstdio>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 
@@ -135,6 +136,50 @@ eval_matrix_configs() {
     out.emplace_back("blockpage-injection", c);
   }
   return out;
+}
+
+/// Which verdicts count as "detected the configured blocking" per
+/// technique, keyed by scenario name (missing entry = technique is not
+/// expected to detect this mechanism). Shared between bench_eval_matrix
+/// (E2, the accuracy x evasion matrix) and bench_impairment (E19, which
+/// re-checks the same expectations at 0% loss before sweeping loss).
+inline std::map<std::string,
+                std::map<std::string, std::vector<core::Verdict>>>
+eval_matrix_expectations() {
+  using core::Verdict;
+  return {
+      {"keyword-rst",
+       {
+           {"overt-http", {Verdict::BlockedRst}},
+           {"ddos", {Verdict::BlockedRst}},
+           {"mimicry-stateful", {Verdict::BlockedRst}},
+       }},
+      {"dns-forgery",
+       {
+           {"overt-dns", {Verdict::BlockedDnsForgery}},
+           {"mimicry-dns", {Verdict::BlockedDnsForgery}},
+       }},
+      {"ip-null-route",
+       {
+           {"overt-http", {Verdict::BlockedTimeout}},
+           {"scan", {Verdict::BlockedTimeout}},
+           {"syn-reach", {Verdict::BlockedTimeout}},
+           {"spam", {Verdict::BlockedTimeout}},
+           {"ddos", {Verdict::BlockedTimeout}},
+       }},
+      {"port-block-80",
+       {
+           {"overt-http", {Verdict::BlockedTimeout}},
+           {"scan", {Verdict::BlockedTimeout}},
+           {"syn-reach", {Verdict::BlockedTimeout}},
+           {"ddos", {Verdict::BlockedTimeout}},
+       }},
+      {"blockpage-injection",
+       {
+           {"overt-http", {Verdict::BlockedBlockpage}},
+           {"ddos", {Verdict::BlockedBlockpage}},
+       }},
+  };
 }
 
 /// Builds one campaign Trial per technique for a single censor config;

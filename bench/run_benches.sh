@@ -52,6 +52,17 @@ for exe in "$BUILD"/bench/bench_*; do
         failures=$((failures + 1))
       fi
       ;;
+    bench_impairment)
+      # Writes its own JSON (the false-verdict curve); the exit code is
+      # the E19 gate (0% loss matches E2; no false "blocked" up to the
+      # documented loss ceiling; null-route still detected at ceiling).
+      rc=0
+      "$exe" "$out" || rc=$?
+      if [ "$rc" -ne 0 ]; then
+        echo "!!! $name exited $rc (verdicts degraded under impairment)" >&2
+        failures=$((failures + 1))
+      fi
+      ;;
     bench_micro)
       # Plain double: the packaged google-benchmark predates the "0.05s"
       # duration syntax and rejects it, aborting the whole bench run.

@@ -23,7 +23,9 @@ if [ "$STAGE" = "all" ] || [ "$STAGE" = "sanitize" ]; then
   cmake -B "$ROOT/build-asan" -S "$ROOT" \
         -DCMAKE_BUILD_TYPE=Debug -DSM_SANITIZE=ON
   cmake --build "$ROOT/build-asan" -j
-  ctest --test-dir "$ROOT/build-asan" --output-on-failure -j "$(nproc)"
+  # --schedule-random shakes out hidden inter-test ordering dependencies.
+  ctest --test-dir "$ROOT/build-asan" --output-on-failure -j "$(nproc)" \
+        --schedule-random
 fi
 
 if [ "$STAGE" = "all" ] || [ "$STAGE" = "tsan" ]; then
@@ -32,16 +34,18 @@ if [ "$STAGE" = "all" ] || [ "$STAGE" = "tsan" ]; then
         -DCMAKE_BUILD_TYPE=Debug -DSM_TSAN=ON
   cmake --build "$ROOT/build-tsan" -j
   # The concurrency surface: the campaign runner itself plus the shared
-  # layers its workers touch concurrently (logging, metrics merge).
+  # layers its workers touch concurrently (logging, metrics merge) — and
+  # the codec fuzz sweeps, which are cheap and worth a second sanitizer.
   ctest --test-dir "$ROOT/build-tsan" --output-on-failure -j "$(nproc)" \
-        -R '(Campaign|Logging|Merge)'
+        --schedule-random -R '(Campaign|Logging|Merge|PacketFuzz)'
 fi
 
 if [ "$STAGE" = "all" ] || [ "$STAGE" = "tier1" ]; then
   echo "=== stage 3: tier-1 verify (default build) ==="
   cmake -B "$ROOT/build" -S "$ROOT"
   cmake --build "$ROOT/build" -j
-  ctest --test-dir "$ROOT/build" --output-on-failure -j "$(nproc)"
+  ctest --test-dir "$ROOT/build" --output-on-failure -j "$(nproc)" \
+        --schedule-random
 fi
 
 echo "ci.sh: all requested stages passed"

@@ -85,6 +85,7 @@ CampaignResult run(const std::vector<Trial>& trials,
       if (options.derive_seeds) {
         config.sav_seed = trial_seed(options.campaign_seed, i, 0);
         config.mvr.sampling_seed = trial_seed(options.campaign_seed, i, 1);
+        config.netsim_seed = trial_seed(options.campaign_seed, i, 2);
       }
       core::Testbed tb(config);
       auto probe = trial.factory ? trial.factory(tb) : nullptr;

@@ -19,6 +19,11 @@ void DdosProbe::start() {
     tracer->instant(tracer->now(), "ddos.start", "probe",
                     "\"requests\":" + std::to_string(options_.requests));
   }
+  resolve();
+}
+
+void DdosProbe::resolve() {
+  report_.attempts = dns_attempt_ + 1;
   ++report_.packets_sent;
   tb_.resolver->query(
       proto::dns::Name(options_.domain), proto::dns::RecordType::A,
@@ -26,9 +31,26 @@ void DdosProbe::start() {
         if (alive.expired()) return;
         common::Ipv4Address addr;
         if (auto blocked = classify_dns(result, forged_ips_, &addr)) {
+          // Silence gets the retry ladder; forgery/NXDOMAIN are final.
+          if (blocked->first == Verdict::BlockedTimeout &&
+              dns_attempt_ + 1 < options_.retry.max_attempts) {
+            ++dns_attempt_;
+            tb_.net.engine().schedule(
+                options_.retry.gap_before(dns_attempt_),
+                [this, alive]() {
+                  if (!alive.expired() && !done_) resolve();
+                });
+            return;
+          }
           report_.verdict = blocked->first;
           report_.detail = "dns: " + blocked->second;
           report_.samples_blocked = report_.samples;
+          if (blocked->first == Verdict::BlockedTimeout) {
+            report_.confidence =
+                conclude(0, 0, dns_attempt_ + 1, dns_attempt_ + 1);
+          } else {
+            report_.confidence = conclude(0, 1, dns_attempt_);
+          }
           done_ = true;
           return;
         }
@@ -37,28 +59,47 @@ void DdosProbe::start() {
 }
 
 void DdosProbe::launch(common::Ipv4Address address) {
+  samples_.assign(options_.requests, Verdict::Inconclusive);
+  sample_attempts_.assign(options_.requests, 0);
   auto& engine = tb_.net.engine();
   for (size_t i = 0; i < options_.requests; ++i) {
     engine.schedule(options_.gap * static_cast<int64_t>(i),
-                    [this, alive = guard(), address]() {
-      if (alive.expired()) return;
-      proto::http::Request req =
-          proto::http::Request::get(options_.domain, options_.path);
-      for (auto& [k, v] : req.headers)
-        if (common::iequals(k, "User-Agent")) v = options_.user_agent;
-      ++report_.packets_sent;
-      http_->fetch(address, 80, req,
-                   [this, alive](const proto::http::FetchResult& result) {
-                     if (alive.expired()) return;
-                     on_sample(classify_fetch(result).first);
-                   },
-                   common::Duration::seconds(4));
-    });
+                    [this, alive = guard(), address, i]() {
+                      if (alive.expired() || done_) return;
+                      fetch_sample(address, i);
+                    });
   }
 }
 
-void DdosProbe::on_sample(Verdict v) {
-  samples_.push_back(v);
+void DdosProbe::fetch_sample(common::Ipv4Address address, size_t index) {
+  ++sample_attempts_[index];
+  proto::http::Request req =
+      proto::http::Request::get(options_.domain, options_.path);
+  for (auto& [k, v] : req.headers)
+    if (common::iequals(k, "User-Agent")) v = options_.user_agent;
+  ++report_.packets_sent;
+  http_->fetch(address, 80, req,
+               [this, alive = guard(), address, index](
+                   const proto::http::FetchResult& result) {
+                 if (alive.expired() || done_) return;
+                 Verdict v = classify_fetch(result).first;
+                 if (v == Verdict::BlockedTimeout &&
+                     sample_attempts_[index] < options_.retry.max_attempts) {
+                   tb_.net.engine().schedule(
+                       options_.retry.gap_before(sample_attempts_[index]),
+                       [this, alive, address, index]() {
+                         if (!alive.expired() && !done_)
+                           fetch_sample(address, index);
+                       });
+                   return;
+                 }
+                 on_sample(index, v);
+               },
+               options_.request_timeout);
+}
+
+void DdosProbe::on_sample(size_t index, Verdict v) {
+  samples_[index] = v;
   ++completed_;
   if (completed_ >= options_.requests) finalize();
 }
@@ -92,6 +133,13 @@ void DdosProbe::finalize() {
   } else {
     report_.verdict = Verdict::Inconclusive;
   }
+  // Each timeout sample already survived its own retry ladder, so the
+  // silent tally here is loss-discounted evidence of dropping.
+  report_.confidence = conclude(ok, rst + blockpage, timeout);
+  size_t max_fetch = dns_attempt_ + 1;
+  for (size_t a : sample_attempts_)
+    if (a > max_fetch) max_fetch = a;
+  report_.attempts = max_fetch;
   done_ = true;
   if (auto* tracer = tb_.trace_sink()) {
     tracer->instant(tracer->now(), "ddos.done", "probe",

@@ -22,6 +22,12 @@ struct DdosOptions {
   common::Duration gap = common::Duration::millis(20);
   /// Old botnet kit fingerprint, not a measurement-platform one.
   std::string user_agent = "Mozilla/4.0 (compatible; MSIE 6.0)";
+  common::Duration request_timeout = common::Duration::seconds(4);
+  /// Lossy-path discipline: the DNS lookup and each timed-out request
+  /// are retried with exponential backoff; a sample only counts as
+  /// silent once its retry budget is spent. Repeated requests are
+  /// samples, so the retries blend into the flood.
+  RetryPolicy retry{};
 };
 
 class DdosProbe : public Probe {
@@ -36,8 +42,10 @@ class DdosProbe : public Probe {
   const std::vector<Verdict>& sample_verdicts() const { return samples_; }
 
  private:
+  void resolve();
   void launch(common::Ipv4Address address);
-  void on_sample(Verdict v);
+  void fetch_sample(common::Ipv4Address address, size_t index);
+  void on_sample(size_t index, Verdict v);
   void finalize();
 
   Testbed& tb_;
@@ -45,6 +53,8 @@ class DdosProbe : public Probe {
   std::set<uint32_t> forged_ips_;
   std::unique_ptr<proto::http::Client> http_;
   std::vector<Verdict> samples_;
+  std::vector<size_t> sample_attempts_;  // fetches spent per sample
+  size_t dns_attempt_ = 0;
   size_t completed_ = 0;
   bool done_ = false;
   ProbeReport report_;

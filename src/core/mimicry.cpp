@@ -60,6 +60,7 @@ void StatelessDnsMimicryProbe::start() {
             report_.verdict = Verdict::Reachable;
             report_.detail = "resolved to " + addr.to_string();
           }
+          report_.confidence = confidence_from(report_.verdict);
           verdict_ready_ = true;
           maybe_finish();
         });
@@ -90,6 +91,7 @@ void StatefulMimicryProbe::finish(Verdict v, std::string detail) {
   report_.verdict = v;
   report_.detail = std::move(detail);
   report_.samples_blocked = is_blocked(v) ? 1 : 0;
+  report_.confidence = confidence_from(v);
   verdict_ready_ = true;
   maybe_finish();
 }

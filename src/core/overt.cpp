@@ -131,6 +131,7 @@ void OvertDnsProbe::start() {
           report_.verdict = Verdict::Reachable;
           report_.detail = "resolved to " + addr.to_string();
         }
+        report_.confidence = confidence_from(report_.verdict);
         done_ = true;
       });
 }
@@ -150,6 +151,7 @@ void OvertHttpProbe::finish(Verdict v, std::string detail) {
   report_.verdict = v;
   report_.detail = std::move(detail);
   report_.samples_blocked = is_blocked(v) ? 1 : 0;
+  report_.confidence = confidence_from(v);
   done_ = true;
 }
 

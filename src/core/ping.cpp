@@ -20,42 +20,67 @@ void PingProbe::start() {
         if (d.icmp->type == packet::IcmpHeader::kEchoReply &&
             d.ip.src == options_.target &&
             (d.icmp->rest >> 16) == ident_) {
-          ++replies_;
+          seen_seqs_.insert(d.icmp->rest & 0xffff);
         }
       });
+  send_round();
+}
 
+void PingProbe::send_round() {
+  report_.attempts = round_ + 1;
   auto& engine = tb_.net.engine();
   for (size_t i = 0; i < options_.count; ++i) {
+    // Sequence numbers are globally unique across rounds so a late
+    // reply to an earlier round still counts (and only once).
+    uint32_t seq =
+        static_cast<uint32_t>(round_ * options_.count + i) & 0xffff;
     engine.schedule(options_.interval * static_cast<int64_t>(i),
-                    [this, alive = guard(), i]() {
-                      if (alive.expired()) return;
+                    [this, alive = guard(), seq]() {
+                      if (alive.expired() || done_) return;
                       ++report_.packets_sent;
                       tb_.client->send(packet::make_icmp(
                           tb_.client->address(), options_.target,
                           packet::IcmpHeader::kEchoRequest, 0,
-                          (uint32_t{ident_} << 16) |
-                              static_cast<uint32_t>(i)));
+                          (uint32_t{ident_} << 16) | seq));
                     });
   }
   engine.schedule(options_.interval * static_cast<int64_t>(options_.count) +
                       options_.reply_timeout,
-                  [this, alive = guard()]() {
-                    if (!alive.expired()) finalize();
+                  [this, alive = guard(), r = round_]() {
+                    if (!alive.expired()) on_round_timeout(r);
                   });
+}
+
+void PingProbe::on_round_timeout(size_t round) {
+  if (done_ || round != round_) return;
+  if (seen_seqs_.empty() && round_ + 1 < options_.retry.max_attempts) {
+    ++round_;
+    tb_.net.engine().schedule(options_.retry.gap_before(round_),
+                              [this, alive = guard()]() {
+                                if (!alive.expired() && !done_)
+                                  send_round();
+                              });
+    return;
+  }
+  finalize();
 }
 
 void PingProbe::finalize() {
   if (done_) return;
-  report_.samples_blocked = options_.count - replies_;
-  report_.detail = common::format("%zu/%zu replies", replies_,
-                                  options_.count);
-  if (replies_ == options_.count) {
+  size_t sent = (round_ + 1) * options_.count;
+  size_t replies = seen_seqs_.size();
+  report_.samples_blocked =
+      replies >= options_.count ? 0 : options_.count - replies;
+  report_.detail = common::format("%zu/%zu replies (%zu round(s))",
+                                  replies, sent, round_ + 1);
+  if (replies >= options_.count) {
     report_.verdict = Verdict::Reachable;
-  } else if (replies_ == 0) {
+  } else if (replies == 0) {
     report_.verdict = Verdict::BlockedTimeout;
   } else {
     report_.verdict = Verdict::Inconclusive;  // partial loss
   }
+  report_.confidence = conclude(replies, 0, sent - replies, sent);
   done_ = true;
 }
 

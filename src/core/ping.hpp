@@ -8,6 +8,8 @@
 // canary for that countermeasure.)
 #pragma once
 
+#include <set>
+
 #include "core/probe.hpp"
 
 namespace sm::core {
@@ -17,6 +19,9 @@ struct PingOptions {
   size_t count = 3;
   common::Duration interval = common::Duration::millis(200);
   common::Duration reply_timeout = common::Duration::millis(800);
+  /// If a whole round of `count` echoes goes unanswered, re-ping with
+  /// exponential backoff before concluding blocked.
+  RetryPolicy retry{};
 };
 
 class PingProbe : public Probe {
@@ -27,15 +32,20 @@ class PingProbe : public Probe {
   bool done() const override { return done_; }
   ProbeReport report() const override { return report_; }
 
-  size_t replies_received() const { return replies_; }
+  size_t replies_received() const { return seen_seqs_.size(); }
 
  private:
+  void send_round();
+  void on_round_timeout(size_t round);
   void finalize();
 
   Testbed& tb_;
   PingOptions options_;
   uint16_t ident_ = 0;
-  size_t replies_ = 0;
+  /// Echo sequence numbers answered so far; a set, so duplicated
+  /// replies (impaired links) cannot inflate the reply count.
+  std::set<uint32_t> seen_seqs_;
+  size_t round_ = 0;
   bool done_ = false;
   ProbeReport report_;
 };

@@ -28,16 +28,21 @@ std::string json_escape(std::string_view s) {
 }
 
 std::string to_json(const ProbeReport& report) {
+  const Confidence& c = report.confidence;
   return common::format(
       "{\"technique\":\"%s\",\"target\":\"%s\",\"verdict\":\"%s\","
       "\"detail\":\"%s\",\"packets_sent\":%zu,\"samples\":%zu,"
-      "\"samples_blocked\":%zu,\"blocked\":%s}",
+      "\"samples_blocked\":%zu,\"attempts\":%zu,\"blocked\":%s,"
+      "\"confidence\":{\"conclusion\":\"%s\",\"trials\":%zu,"
+      "\"open\":%zu,\"blocked\":%zu,\"silent\":%zu,\"score\":%.6g}}",
       json_escape(report.technique).c_str(),
       json_escape(report.target).c_str(),
       std::string(to_string(report.verdict)).c_str(),
       json_escape(report.detail).c_str(), report.packets_sent,
-      report.samples, report.samples_blocked,
-      is_blocked(report.verdict) ? "true" : "false");
+      report.samples, report.samples_blocked, report.attempts,
+      is_blocked(report.verdict) ? "true" : "false",
+      std::string(to_string(c.conclusion)).c_str(), c.trials,
+      c.trials_open, c.trials_blocked, c.trials_silent, c.score);
 }
 
 std::string to_json(const RiskReport& risk) {

@@ -29,7 +29,6 @@ void ScanProbe::start() {
       });
 
   common::Rng rng(options_.randomize_seed);
-  auto& engine = tb_.net.engine();
   for (size_t i = 0; i < options_.ports.size(); ++i) {
     uint16_t port = options_.ports[i];
     uint16_t sport;
@@ -46,21 +45,48 @@ void ScanProbe::start() {
                        : 0x1000 + port;
     states_[port] = PortState::Unknown;
     sport_to_port_[sport] = port;
+    probe_params_[port] = {sport, iss};
+  }
+  send_round(options_.ports);
+}
+
+void ScanProbe::send_round(const std::vector<uint16_t>& ports) {
+  report_.attempts = round_ + 1;
+  auto& engine = tb_.net.engine();
+  for (size_t i = 0; i < ports.size(); ++i) {
+    auto [sport, iss] = probe_params_[ports[i]];
     engine.schedule(options_.pace * static_cast<int64_t>(i),
-                    [this, alive = guard(), port, sport, iss]() {
-                      if (alive.expired()) return;
+                    [this, alive = guard(), port = ports[i], sport, iss]() {
+                      if (alive.expired() || done_) return;
                       ++report_.packets_sent;
                       tb_.client->send(packet::make_tcp(
                           tb_.client->address(), options_.target, sport, port,
                           TcpFlags::kSyn, iss, 0));
                     });
   }
-  // Finalize after the last SYN's reply window.
-  engine.schedule(options_.pace * static_cast<int64_t>(options_.ports.size()) +
+  // Close the round after the last SYN's reply window.
+  engine.schedule(options_.pace * static_cast<int64_t>(ports.size()) +
                       options_.reply_timeout,
-                  [this, alive = guard()]() {
-                    if (!alive.expired()) finalize();
+                  [this, alive = guard(), r = round_]() {
+                    if (!alive.expired()) on_round_done(r);
                   });
+}
+
+void ScanProbe::on_round_done(size_t round) {
+  if (done_ || round != round_) return;
+  std::vector<uint16_t> unanswered;
+  for (const auto& [port, st] : states_)
+    if (st == PortState::Unknown) unanswered.push_back(port);
+  if (!unanswered.empty() && round_ + 1 < options_.retry.max_attempts) {
+    ++round_;
+    tb_.net.engine().schedule(
+        options_.retry.gap_before(round_),
+        [this, alive = guard(), ports = std::move(unanswered)]() {
+          if (!alive.expired() && !done_) send_round(ports);
+        });
+    return;
+  }
+  finalize();
 }
 
 void ScanProbe::on_reply(const packet::Decoded& d) {
@@ -110,6 +136,19 @@ void ScanProbe::finalize() {
   } else {
     report_.verdict = Verdict::BlockedTimeout;
   }
+  // Confidence over the expected-open ports: an expected port answering
+  // SYN/ACK is open evidence, a RST there is active interference, and a
+  // port still silent after every retry round is dropping evidence
+  // (each such port survived `attempts` re-SYNs, so loss is unlikely).
+  size_t exp_open = 0, exp_rst = 0, exp_silent = 0;
+  for (uint16_t port : options_.expected_open) {
+    auto it = states_.find(port);
+    if (it == states_.end()) continue;
+    if (it->second == PortState::Open) ++exp_open;
+    else if (it->second == PortState::Closed) ++exp_rst;
+    else ++exp_silent;
+  }
+  report_.confidence = conclude(exp_open, exp_rst, exp_silent);
   done_ = true;
   if (auto* tracer = tb_.trace_sink()) {
     tracer->instant(tracer->now(), "scan.done", "probe",

@@ -34,6 +34,11 @@ struct ScanOptions {
   /// §3.2.1 "application fingerprinting" caveat, exercised by E15.
   bool randomize_source_ports = true;
   uint64_t randomize_seed = 0x5CA17;
+  /// Lossy-path discipline: ports still Unknown after a round's reply
+  /// window are re-SYNed (same sport/ISN — i.e. a SYN retransmission)
+  /// up to `retry.max_attempts` rounds, with exponential backoff
+  /// between rounds.
+  RetryPolicy retry{};
 };
 
 class ScanProbe : public Probe {
@@ -50,6 +55,8 @@ class ScanProbe : public Probe {
   }
 
  private:
+  void send_round(const std::vector<uint16_t>& ports);
+  void on_round_done(size_t round);
   void on_reply(const packet::Decoded& d);
   void finalize();
 
@@ -57,7 +64,10 @@ class ScanProbe : public Probe {
   ScanOptions options_;
   std::map<uint16_t, PortState> states_;
   std::map<uint16_t, uint16_t> sport_to_port_;  // our sport -> scanned port
+  std::map<uint16_t, std::pair<uint16_t, uint32_t>>
+      probe_params_;  // port -> (sport, iss), stable across rounds
   size_t replies_ = 0;
+  size_t round_ = 0;
   uint64_t promisc_id_ = 0;
   bool done_ = false;
   ProbeReport report_;

@@ -18,9 +18,37 @@ SpamProbe::SpamProbe(Testbed& tb, SpamOptions options)
 
 void SpamProbe::finish(Verdict v, std::string detail) {
   if (done_) return;
+  // Silence-shaped outcomes retry the whole sequence: a lost DNS answer
+  // or SMTP SYN is indistinguishable from dropping until the retry
+  // ladder runs dry.
+  if (v == Verdict::BlockedTimeout &&
+      attempt_ + 1 < options_.retry.max_attempts) {
+    ++attempt_;
+    tb_.net.engine().schedule(options_.retry.gap_before(attempt_),
+                              [this, alive = guard()]() {
+                                if (!alive.expired() && !done_)
+                                  begin_attempt();
+                              });
+    return;
+  }
   report_.verdict = v;
   report_.detail = std::move(detail);
   report_.samples_blocked = is_blocked(v) ? 1 : 0;
+  size_t silent = attempt_;  // earlier attempts all ended in silence
+  switch (v) {
+    case Verdict::Reachable:
+      report_.confidence = conclude(1, 0, silent);
+      break;
+    case Verdict::BlockedRst:
+    case Verdict::BlockedDnsForgery:
+      report_.confidence = conclude(0, 1, silent);
+      break;
+    case Verdict::BlockedTimeout:
+      report_.confidence = conclude(0, 0, attempt_ + 1, attempt_ + 1);
+      break;
+    default:
+      break;  // Inconclusive stays the default Confidence
+  }
   done_ = true;
   if (auto* tracer = tb_.trace_sink()) {
     tracer->instant(tracer->now(), "spam.done", "probe",
@@ -32,6 +60,11 @@ void SpamProbe::start() {
   if (auto* tracer = tb_.trace_sink()) {
     tracer->instant(tracer->now(), "spam.start", "probe");
   }
+  begin_attempt();
+}
+
+void SpamProbe::begin_attempt() {
+  report_.attempts = attempt_ + 1;
   ++report_.packets_sent;
   tb_.resolver->query(proto::dns::Name(options_.domain),
                       proto::dns::RecordType::MX,

@@ -33,23 +33,30 @@ void SynReachabilityProbe::start() {
       [this](const packet::Decoded& d, const common::Bytes&) {
         on_reply(d);
       });
+  send_attempt();
+}
 
+void SynReachabilityProbe::send_attempt() {
+  report_.attempts = attempt_ + 1;
   // The real probe plus spoofed cover from neighbors, back to back: the
-  // tap sees the whole /24 probing.
+  // tap sees the whole /24 probing. Retries reuse the same sport/ISS, so
+  // they look like ordinary SYN retransmission and a late reply to an
+  // earlier attempt still matches.
   ++report_.packets_sent;
   tb_.client->send(packet::make_tcp(tb_.client->address(), options_.target,
                                     sport_, options_.port, TcpFlags::kSyn,
                                     iss_, 0));
-  auto neighbors = tb_.neighbor_addresses();
-  if (neighbors.size() > options_.cover_count)
-    neighbors.resize(options_.cover_count);
-  report_.packets_sent +=
-      cover_->emit(neighbors, options_.target, options_.port);
-
-  tb_.net.engine().schedule(options_.reply_timeout,
-                            [this, alive = guard()]() {
-                              if (!alive.expired()) finalize();
-                            });
+  if (attempt_ == 0) {
+    auto neighbors = tb_.neighbor_addresses();
+    if (neighbors.size() > options_.cover_count)
+      neighbors.resize(options_.cover_count);
+    report_.packets_sent +=
+        cover_->emit(neighbors, options_.target, options_.port);
+  }
+  tb_.net.engine().schedule(
+      options_.reply_timeout, [this, alive = guard(), a = attempt_]() {
+        if (!alive.expired()) on_attempt_timeout(a);
+      });
 }
 
 void SynReachabilityProbe::on_reply(const packet::Decoded& d) {
@@ -59,9 +66,11 @@ void SynReachabilityProbe::on_reply(const packet::Decoded& d) {
   if (d.tcp->src_port != options_.port || d.tcp->dst_port != sport_)
     return;
   replied_ = true;
+  size_t silent = attempt_;  // earlier attempts that drew no answer
   if (d.tcp->syn() && d.tcp->ack_flag()) {
     report_.verdict = Verdict::Reachable;
     report_.detail = "syn/ack received";
+    report_.confidence = conclude(1, 0, silent);
     // "a RST provides cover traffic" — and is what the client's stack
     // does anyway; make it explicit for stack-less clients.
     ++report_.packets_sent;
@@ -73,15 +82,34 @@ void SynReachabilityProbe::on_reply(const packet::Decoded& d) {
     report_.verdict = Verdict::BlockedRst;
     report_.detail = "rst received on a port expected open";
     report_.samples_blocked = 1;
+    report_.confidence = conclude(0, 1, silent);
   }
   done_ = true;
 }
 
+void SynReachabilityProbe::on_attempt_timeout(size_t attempt) {
+  if (done_ || replied_ || attempt != attempt_) return;
+  if (attempt_ + 1 < options_.retry.max_attempts) {
+    ++attempt_;
+    tb_.net.engine().schedule(options_.retry.gap_before(attempt_),
+                              [this, alive = guard()]() {
+                                if (!alive.expired() && !done_ && !replied_)
+                                  send_attempt();
+                              });
+    return;
+  }
+  finalize();
+}
+
 void SynReachabilityProbe::finalize() {
   if (done_) return;
+  size_t attempts = attempt_ + 1;
   report_.verdict = Verdict::BlockedTimeout;
-  report_.detail = "no syn/ack within the timeout";
+  report_.detail =
+      common::format("no syn/ack in %zu attempt(s)", attempts);
   report_.samples_blocked = 1;
+  // Silence concludes Blocked only because the whole ladder ran dry.
+  report_.confidence = conclude(0, 0, attempts, attempts);
   done_ = true;
   if (auto* tracer = tb_.trace_sink()) {
     tracer->instant(tracer->now(), "synprobe.done", "probe",

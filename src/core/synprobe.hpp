@@ -20,6 +20,10 @@ struct SynReachabilityOptions {
   /// Spoofed duplicates of the probe from this many neighbors.
   size_t cover_count = 0;
   common::Duration reply_timeout = common::Duration::millis(800);
+  /// Lossy-path discipline: re-SYN on silence with exponential backoff.
+  /// A blocked-timeout verdict then requires *every* attempt to go
+  /// unanswered, which loss alone is exponentially unlikely to cause.
+  RetryPolicy retry{};
 };
 
 class SynReachabilityProbe : public Probe {
@@ -32,7 +36,9 @@ class SynReachabilityProbe : public Probe {
   ProbeReport report() const override { return report_; }
 
  private:
+  void send_attempt();
   void on_reply(const packet::Decoded& d);
+  void on_attempt_timeout(size_t attempt);
   void finalize();
 
   Testbed& tb_;
@@ -41,6 +47,7 @@ class SynReachabilityProbe : public Probe {
   uint16_t sport_ = 0;
   uint32_t iss_ = 0;
   uint64_t promisc_id_ = 0;
+  size_t attempt_ = 0;  // 0-based index of the attempt in flight
   bool replied_ = false;
   bool done_ = false;
   ProbeReport report_;

@@ -31,6 +31,10 @@ Testbed::Testbed(TestbedConfig config) : config_(std::move(config)) {
   tracer_->set_enabled(config_.enable_observability);
   if (config_.enable_observability) net.engine().set_tracer(tracer_.get());
 
+  // All per-link randomness (loss, bursts, reorder, ...) hangs off the
+  // testbed's netsim seed; must be set before the first connect().
+  net.set_link_seed_root(config_.netsim_seed);
+
   router = net.add_router("switch");
   router->set_router_address(Ipv4Address(10, 1, 1, 1));
 
@@ -81,7 +85,9 @@ Testbed::Testbed(TestbedConfig config) : config_(std::move(config)) {
 
   // --- Services ---
   client_stack = std::make_unique<proto::tcp::Stack>(*client);
-  resolver = std::make_unique<proto::dns::Client>(*client, addr_.dns);
+  resolver = std::make_unique<proto::dns::Client>(
+      *client, addr_.dns, config_.dns_timeout,
+      static_cast<int>(config_.dns_retries));
 
   web_open_stack = std::make_unique<proto::tcp::Stack>(*web_open);
   web_open_http = std::make_unique<proto::http::Server>(*web_open_stack, 80);
@@ -134,6 +140,7 @@ obs::Registry& Testbed::metrics_snapshot() {
   obs::Registry& reg = *metrics_;
   if (!reg.enabled()) return reg;
   net.engine().export_metrics(reg);
+  net.export_link_metrics(reg);
   router->export_metrics(reg);
   mvr->export_metrics(reg);
   censor_tap->export_metrics(reg);

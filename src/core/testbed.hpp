@@ -53,8 +53,20 @@ struct TestbedConfig {
   bool enable_sav = false;
   spoof::SavDistribution sav_distribution;
   uint64_t sav_seed = 42;
-  netsim::LinkConfig client_link{common::Duration::micros(500), 0, 0.0};
-  netsim::LinkConfig server_link{common::Duration::millis(5), 0, 0.0};
+  /// Per-segment link profiles, impairments included: `client_link` is
+  /// every client-AS↔router (tap-side) segment, `server_link` every
+  /// router↔service segment. Lossy/bursty/flapping paths are configured
+  /// here (see netsim::Impairment).
+  netsim::LinkConfig client_link{.latency = common::Duration::micros(500)};
+  netsim::LinkConfig server_link{.latency = common::Duration::millis(5)};
+  /// Root for the topology's per-link RNG streams (loss, bursts,
+  /// reordering, ...). Campaigns derive this per trial (substream 2) so
+  /// repeated trials see independent loss patterns.
+  uint64_t netsim_seed = 0x11EB5EED;
+  /// Retransmit budget for the shared client resolver: a lost UDP query
+  /// or answer is retried this many times before QueryResult times out.
+  size_t dns_retries = 0;
+  common::Duration dns_timeout = common::Duration::millis(2000);
   /// Shared secret for stateful mimicry ISN prediction.
   uint64_t mimicry_secret = 0xFEED5EED;
   /// Turns on the observability layer: the sim-time tracer records every

@@ -7,8 +7,11 @@
 // (§3.1 Method #2 notes e.g. an ISP blackholing mail is a confounder).
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <string_view>
+
+#include "common/time.hpp"
 
 namespace sm::core {
 
@@ -29,6 +32,60 @@ inline bool is_blocked(Verdict v) {
          v == Verdict::BlockedTimeout || v == Verdict::BlockedBlockpage;
 }
 
+/// The confidence layer on top of the mechanism taxonomy. A lossy but
+/// uncensored path produces exactly the silence that BlockedTimeout
+/// keys on, so the binary verdict alone cannot separate "censored" from
+/// "bad network". Conclusion collapses the evidence from repeated
+/// attempts/trials into three states:
+///   Blocked       — active interference observed (RST, forgery,
+///                   blockpage: loss cannot fabricate these), or
+///                   silence persisted through the full retry budget;
+///   Open          — the service answered at least once and no active
+///                   interference was seen;
+///   Inconclusive  — mixed or insufficient evidence.
+enum class Conclusion { Open, Blocked, Inconclusive };
+
+std::string_view to_string(Conclusion c);
+
+/// Evidence tally behind a Conclusion.
+struct Confidence {
+  Conclusion conclusion = Conclusion::Inconclusive;
+  size_t trials = 0;          // attempts/samples that produced evidence
+  size_t trials_open = 0;     // normal responses
+  size_t trials_blocked = 0;  // active interference (RST/forgery/page)
+  size_t trials_silent = 0;   // timeouts (loss OR dropping)
+  /// Fraction of trials consistent with the conclusion (silence is
+  /// consistent with Blocked but not with Open).
+  double score = 0.0;
+};
+
+/// Folds per-attempt evidence into a Confidence. Active evidence wins by
+/// majority (and outright when uncontested); pure silence concludes
+/// Blocked only once at least `min_silent_for_blocked` silent attempts
+/// accumulated — i.e. only after a probe's full retry ladder ran dry.
+Confidence conclude(size_t open, size_t active_blocked, size_t silent,
+                    size_t min_silent_for_blocked = 1);
+
+/// Single-observation Confidence for probes without a retry loop: maps
+/// one Verdict to the equivalent one-trial tally.
+Confidence confidence_from(Verdict v);
+
+/// Retry/backoff discipline for probes whose evidence is silence-shaped.
+/// Attempt k (0-based) is retried after `backoff * 2^k` of simulated
+/// time, up to `max_attempts` total attempts. The default (1 attempt)
+/// preserves the historical single-shot behaviour.
+struct RetryPolicy {
+  size_t max_attempts = 1;
+  common::Duration backoff = common::Duration::millis(200);
+
+  /// Gap to wait before attempt `next_attempt` (1-based retries).
+  common::Duration gap_before(size_t next_attempt) const {
+    common::Duration g = backoff;
+    for (size_t i = 1; i < next_attempt; ++i) g = g * 2;
+    return g;
+  }
+};
+
 /// A finished measurement.
 struct ProbeReport {
   std::string technique;  // "overt-http", "scan", "spam", "ddos", ...
@@ -38,6 +95,8 @@ struct ProbeReport {
   size_t packets_sent = 0;
   size_t samples = 0;      // sub-measurements (ports, requests, ...)
   size_t samples_blocked = 0;
+  size_t attempts = 1;     // retry rounds actually used
+  Confidence confidence;
 
   std::string to_string() const;
 };

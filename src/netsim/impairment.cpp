@@ -1,0 +1,88 @@
+#include "netsim/impairment.hpp"
+
+namespace sm::netsim {
+
+bool FlapConfig::is_down(common::SimTime now) const {
+  if (!enabled()) return false;
+  int64_t t = now.count() - offset.count();
+  if (t < 0) return false;
+  return (t % period.count()) < down_for.count();
+}
+
+ImpairmentModel::ImpairmentModel(double iid_loss_rate, Impairment config,
+                                 uint64_t seed)
+    : iid_loss_rate_(iid_loss_rate), config_(std::move(config)),
+      // Fixed substream order: changing which mechanisms are *enabled*
+      // must not change which seed each mechanism gets.
+      loss_rng_(common::splitmix64(seed)),
+      burst_rng_(common::splitmix64(seed)),
+      reorder_rng_(common::splitmix64(seed)),
+      dup_rng_(common::splitmix64(seed)),
+      corrupt_rng_(common::splitmix64(seed)) {}
+
+ImpairmentModel::Decision ImpairmentModel::apply(common::SimTime now,
+                                                 common::Bytes& wire) {
+  Decision d;
+
+  // Every enabled mechanism draws for every packet, even if an earlier
+  // mechanism already dropped it: drop priority is a *reporting* choice,
+  // and must not skew the other streams' positions.
+  bool iid_drop =
+      iid_loss_rate_ > 0.0 && loss_rng_.chance(iid_loss_rate_);
+
+  bool burst_drop = false;
+  if (config_.burst.enabled()) {
+    if (in_burst_) {
+      if (burst_rng_.chance(config_.burst.p_exit)) in_burst_ = false;
+    } else {
+      if (burst_rng_.chance(config_.burst.p_enter)) in_burst_ = true;
+    }
+    double p = in_burst_ ? config_.burst.loss_bad : config_.burst.loss_good;
+    burst_drop = p > 0.0 && burst_rng_.chance(p);
+  }
+
+  if (config_.reorder_rate > 0.0 &&
+      reorder_rng_.chance(config_.reorder_rate)) {
+    int64_t span = config_.reorder_jitter.count();
+    if (span > 0) {
+      d.extra_delay = common::Duration(
+          1 + static_cast<int64_t>(
+                  reorder_rng_.bounded(static_cast<uint64_t>(span))));
+    }
+  }
+
+  if (config_.duplicate_rate > 0.0 &&
+      dup_rng_.chance(config_.duplicate_rate)) {
+    d.duplicate = true;
+    d.duplicate_lag = config_.duplicate_lag;
+  }
+
+  bool corrupt_dropped = false;
+  if (config_.corrupt_rate > 0.0 &&
+      corrupt_rng_.chance(config_.corrupt_rate) && !wire.empty()) {
+    size_t offset = static_cast<size_t>(corrupt_rng_.bounded(wire.size()));
+    uint8_t flip = static_cast<uint8_t>(1 + corrupt_rng_.bounded(255));
+    wire[offset] ^= flip;
+    // NIC model: a flip covered by the IP/TCP/UDP checksums is discarded
+    // on receive; anything else arrives corrupted.
+    if (packet::verify_checksums(
+            std::span<const uint8_t>(wire.data(), wire.size()))) {
+      d.corrupted = true;
+    } else {
+      corrupt_dropped = true;
+    }
+  }
+
+  if (config_.flap.is_down(now)) {
+    d.drop = DropCause::LinkDown;
+  } else if (burst_drop) {
+    d.drop = DropCause::BurstLoss;
+  } else if (iid_drop) {
+    d.drop = DropCause::IidLoss;
+  } else if (corrupt_dropped) {
+    d.drop = DropCause::Corrupt;
+  }
+  return d;
+}
+
+}  // namespace sm::netsim

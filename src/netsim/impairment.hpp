@@ -1,0 +1,102 @@
+// Deterministic link impairment models.
+//
+// Real measurement paths are not i.i.d.-lossy: loss comes in bursts
+// (congested queues, radio fades), packets reorder across parallel
+// paths, middleboxes duplicate, bits flip, and links flap. Each
+// mechanism here is driven by its own SplitMix64-derived substream of
+// the link seed, so enabling one impairment never perturbs another's
+// draw sequence and campaigns stay byte-deterministic under -jN.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "packet/packet.hpp"
+
+namespace sm::netsim {
+
+/// Gilbert–Elliott two-state loss chain: a Good state with low loss and
+/// a Bad (burst) state with high loss, with per-packet transition
+/// probabilities. Average loss = loss_bad * p_enter / (p_enter + p_exit)
+/// (+ loss_good contribution); burst length ~ Geometric(p_exit).
+struct BurstLossConfig {
+  double p_enter = 0.0;   // P(Good -> Bad) per packet
+  double p_exit = 0.25;   // P(Bad -> Good) per packet
+  double loss_good = 0.0; // drop probability while Good
+  double loss_bad = 1.0;  // drop probability while Bad
+
+  bool enabled() const { return p_enter > 0.0; }
+};
+
+/// Scheduled link up/down flapping. Purely a function of sim time (no
+/// RNG): the link is down during [offset + k*period, offset + k*period
+/// + down_for) for every k >= 0.
+struct FlapConfig {
+  common::Duration period{};    // full cycle length; 0 disables
+  common::Duration down_for{};  // down window at the start of each cycle
+  common::Duration offset{};    // first down window starts here
+
+  bool enabled() const { return period.count() > 0 && down_for.count() > 0; }
+  bool is_down(common::SimTime now) const;
+};
+
+/// The full per-link impairment profile. All rates are per-packet
+/// probabilities; `LinkConfig::loss_rate` (i.i.d. loss) composes with
+/// these and keeps its historical meaning.
+struct Impairment {
+  BurstLossConfig burst;
+  /// Probability a packet is delayed by extra jitter, letting later
+  /// packets overtake it (the delivery heap keeps (time, seq) order, so
+  /// only *delayed* packets reorder).
+  double reorder_rate = 0.0;
+  common::Duration reorder_jitter = common::Duration::millis(2);
+  /// Probability a packet is delivered twice.
+  double duplicate_rate = 0.0;
+  common::Duration duplicate_lag = common::Duration::micros(200);
+  /// Probability a random byte of the wire image is flipped. The
+  /// receiver NIC model then verifies IP/TCP/UDP checksums: a flip they
+  /// cover becomes a drop; a flip they do not (e.g. ICMP payload) is
+  /// delivered corrupted, exercising decoder robustness.
+  double corrupt_rate = 0.0;
+  FlapConfig flap;
+
+  bool any() const {
+    return burst.enabled() || reorder_rate > 0.0 || duplicate_rate > 0.0 ||
+           corrupt_rate > 0.0 || flap.enabled();
+  }
+};
+
+/// Per-link impairment state machine. One instance per Link; every
+/// mechanism draws from its own substream so draw sequences are
+/// independent of which other mechanisms are enabled.
+class ImpairmentModel {
+ public:
+  enum class DropCause { None, IidLoss, BurstLoss, LinkDown, Corrupt };
+
+  struct Decision {
+    DropCause drop = DropCause::None;
+    bool corrupted = false;              // delivered with flipped bytes
+    bool duplicate = false;              // schedule a second delivery
+    common::Duration extra_delay{};      // reorder jitter (0 = in order)
+    common::Duration duplicate_lag{};
+  };
+
+  ImpairmentModel(double iid_loss_rate, Impairment config, uint64_t seed);
+
+  /// Decides the fate of one packet, in transmit order. May flip bytes
+  /// of `wire` in place (corruption). Streams advance for every packet
+  /// regardless of earlier drop decisions, so e.g. turning flaps on does
+  /// not change *which* later packets the loss stream drops.
+  Decision apply(common::SimTime now, common::Bytes& wire);
+
+  bool in_burst() const { return in_burst_; }
+
+ private:
+  double iid_loss_rate_;
+  Impairment config_;
+  common::Rng loss_rng_, burst_rng_, reorder_rng_, dup_rng_, corrupt_rng_;
+  bool in_burst_ = false;
+};
+
+}  // namespace sm::netsim

@@ -11,8 +11,9 @@ void Node::transmit(packet::Packet packet, int port) {
   if (link) link->send_from(this, std::move(packet));
 }
 
-Link::Link(Engine& engine, LinkConfig config, uint64_t loss_seed)
-    : engine_(engine), config_(config), rng_(loss_seed) {}
+Link::Link(Engine& engine, LinkConfig config, uint64_t seed)
+    : engine_(engine), config_(config),
+      model_(config.loss_rate, config.impairment, seed) {}
 
 void Link::connect(Node* a, Node* b) {
   a_.node = a;
@@ -31,14 +32,35 @@ Link::Endpoint& Link::peer_of(Node* n) {
   return n == a_.node ? b_ : a_;
 }
 
+void Link::deliver_at(common::SimTime when, Endpoint& rx,
+                      packet::Packet packet) {
+  Node* dst_node = rx.node;
+  int dst_port = rx.port;
+  engine_.schedule_at(when, [dst_node, dst_port,
+                             p = std::move(packet)]() mutable {
+    dst_node->receive(std::move(p), dst_port);
+  });
+}
+
 void Link::send_from(Node* from, packet::Packet packet) {
   Endpoint& tx = endpoint_for(from);
   Endpoint& rx = peer_of(from);
-  ++packets_sent_;
-  if (config_.loss_rate > 0.0 && rng_.chance(config_.loss_rate)) {
-    ++packets_dropped_;
-    return;
+  ++stats_.sent;
+
+  ImpairmentModel::Decision d = model_.apply(engine_.now(), packet.data());
+  switch (d.drop) {
+    case ImpairmentModel::DropCause::IidLoss: ++stats_.dropped_loss; return;
+    case ImpairmentModel::DropCause::BurstLoss:
+      ++stats_.dropped_burst;
+      return;
+    case ImpairmentModel::DropCause::LinkDown: ++stats_.dropped_down; return;
+    case ImpairmentModel::DropCause::Corrupt:
+      ++stats_.dropped_corrupt;
+      return;
+    case ImpairmentModel::DropCause::None: break;
   }
+  if (d.corrupted) ++stats_.corrupted;
+
   common::SimTime depart = engine_.now();
   if (config_.bandwidth_bps > 0) {
     // FIFO: a packet cannot start serializing until the previous one on
@@ -51,12 +73,17 @@ void Link::send_from(Node* from, packet::Packet packet) {
     tx.busy_until = depart;
   }
   common::SimTime arrive = depart + config_.latency;
-  Node* dst_node = rx.node;
-  int dst_port = rx.port;
-  engine_.schedule_at(arrive, [dst_node, dst_port,
-                               p = std::move(packet)]() mutable {
-    dst_node->receive(std::move(p), dst_port);
-  });
+  if (d.extra_delay.count() > 0) {
+    ++stats_.reordered;
+    arrive = arrive + d.extra_delay;
+  }
+  if (d.duplicate) {
+    ++stats_.duplicated;
+    ++stats_.delivered;
+    deliver_at(arrive + d.duplicate_lag, rx, packet);  // copy
+  }
+  ++stats_.delivered;
+  deliver_at(arrive, rx, std::move(packet));
 }
 
 }  // namespace sm::netsim

@@ -1,5 +1,6 @@
 // Point-to-point link with latency, optional bandwidth (serialization +
-// FIFO queueing), and optional random loss.
+// FIFO queueing), random loss, and the deterministic impairment models
+// (burst loss, reordering, duplication, corruption, flaps).
 #pragma once
 
 #include <cstdint>
@@ -7,6 +8,7 @@
 #include "common/rng.hpp"
 #include "common/time.hpp"
 #include "netsim/engine.hpp"
+#include "netsim/impairment.hpp"
 #include "netsim/node.hpp"
 #include "packet/packet.hpp"
 
@@ -18,23 +20,43 @@ struct LinkConfig {
   uint64_t bandwidth_bps = 0;
   /// Independent per-packet drop probability.
   double loss_rate = 0.0;
+  /// Additional adverse-network behaviours; see netsim/impairment.hpp.
+  Impairment impairment{};
+};
+
+/// Per-link traffic accounting, broken down by impairment mechanism.
+struct LinkStats {
+  uint64_t sent = 0;
+  uint64_t delivered = 0;
+  uint64_t dropped_loss = 0;     // i.i.d. loss_rate drops
+  uint64_t dropped_burst = 0;    // Gilbert–Elliott burst drops
+  uint64_t dropped_down = 0;     // link-flap (down window) drops
+  uint64_t dropped_corrupt = 0;  // checksum-failing corruption drops
+  uint64_t duplicated = 0;       // extra copies delivered
+  uint64_t reordered = 0;        // packets given reorder jitter
+  uint64_t corrupted = 0;        // delivered with flipped bytes
+
+  uint64_t dropped() const {
+    return dropped_loss + dropped_burst + dropped_down + dropped_corrupt;
+  }
 };
 
 class Link {
  public:
-  Link(Engine& engine, LinkConfig config, uint64_t loss_seed = 1);
+  Link(Engine& engine, LinkConfig config, uint64_t seed = 1);
 
   /// Wires the two endpoints; must be called exactly once.
   void connect(Node* a, Node* b);
 
   /// Sends `packet` from endpoint `from` toward the other endpoint.
   /// Delivery is scheduled on the engine after latency (+ serialization
-  /// and queueing delay when bandwidth is modeled), unless the packet is
-  /// randomly lost.
+  /// and queueing delay when bandwidth is modeled), unless an impairment
+  /// drops the packet.
   void send_from(Node* from, packet::Packet packet);
 
-  uint64_t packets_sent() const { return packets_sent_; }
-  uint64_t packets_dropped() const { return packets_dropped_; }
+  uint64_t packets_sent() const { return stats_.sent; }
+  uint64_t packets_dropped() const { return stats_.dropped(); }
+  const LinkStats& stats() const { return stats_; }
   const LinkConfig& config() const { return config_; }
 
  private:
@@ -46,13 +68,13 @@ class Link {
 
   Endpoint& endpoint_for(Node* n);
   Endpoint& peer_of(Node* n);
+  void deliver_at(common::SimTime when, Endpoint& rx, packet::Packet packet);
 
   Engine& engine_;
   LinkConfig config_;
-  common::Rng rng_;
+  ImpairmentModel model_;
   Endpoint a_, b_;
-  uint64_t packets_sent_ = 0;
-  uint64_t packets_dropped_ = 0;
+  LinkStats stats_;
 };
 
 }  // namespace sm::netsim

@@ -1,5 +1,7 @@
 #include "netsim/topology.hpp"
 
+#include "common/rng.hpp"
+
 namespace sm::netsim {
 
 Host* Network::add_host(const std::string& name, Ipv4Address address) {
@@ -13,7 +15,8 @@ Router* Network::add_router(const std::string& name) {
 }
 
 Link* Network::connect(Node* a, Node* b, LinkConfig config) {
-  links_.push_back(std::make_unique<Link>(engine_, config, next_link_seed_++));
+  links_.push_back(std::make_unique<Link>(
+      engine_, config, common::splitmix64(link_seed_state_)));
   Link* link = links_.back().get();
   link->connect(a, b);
 
@@ -33,6 +36,44 @@ Link* Network::connect(Node* a, Node* b, LinkConfig config) {
   wire_route(a, b);
   wire_route(b, a);
   return link;
+}
+
+void Network::export_link_metrics(obs::Registry& registry) const {
+  LinkStats total;
+  for (const auto& l : links_) {
+    const LinkStats& s = l->stats();
+    total.sent += s.sent;
+    total.delivered += s.delivered;
+    total.dropped_loss += s.dropped_loss;
+    total.dropped_burst += s.dropped_burst;
+    total.dropped_down += s.dropped_down;
+    total.dropped_corrupt += s.dropped_corrupt;
+    total.duplicated += s.duplicated;
+    total.reordered += s.reordered;
+    total.corrupted += s.corrupted;
+  }
+  auto set = [&](std::string_view metric, uint64_t value,
+                 std::string_view help) {
+    registry.counter(metric, {}, help)->set(value);
+  };
+  set("sm_link_packets_sent_total", total.sent,
+      "packets handed to any link for transmission");
+  set("sm_link_packets_delivered_total", total.delivered,
+      "packets delivered by links (duplicates included)");
+  set("sm_link_dropped_loss_total", total.dropped_loss,
+      "packets dropped by i.i.d. random loss");
+  set("sm_link_dropped_burst_total", total.dropped_burst,
+      "packets dropped inside Gilbert-Elliott loss bursts");
+  set("sm_link_dropped_down_total", total.dropped_down,
+      "packets dropped while a link was flapped down");
+  set("sm_link_dropped_corrupt_total", total.dropped_corrupt,
+      "corrupted packets discarded by receiver checksums");
+  set("sm_link_duplicated_total", total.duplicated,
+      "extra packet copies delivered by duplication");
+  set("sm_link_reordered_total", total.reordered,
+      "packets delayed by reorder jitter");
+  set("sm_link_corrupted_delivered_total", total.corrupted,
+      "packets delivered with flipped bytes");
 }
 
 Host* Network::host(const std::string& name) const {

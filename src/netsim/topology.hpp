@@ -26,10 +26,22 @@ class Network {
   Host* add_host(const std::string& name, Ipv4Address address);
   Router* add_router(const std::string& name);
 
+  /// Sets the root from which per-link seeds are derived (SplitMix64
+  /// chain, one step per connect()). Call before the first connect();
+  /// two links never share a seed, so lossy links do not drop in
+  /// lockstep, and the whole topology's randomness hangs off one root.
+  void set_link_seed_root(uint64_t root) { link_seed_state_ = root; }
+
   /// Creates a link between two nodes. If exactly one endpoint is a
   /// Router and the other a Host, a /32 route to the host is added on the
   /// router automatically.
   Link* connect(Node* a, Node* b, LinkConfig config = {});
+
+  const std::vector<std::unique_ptr<Link>>& links() const { return links_; }
+
+  /// Sums every link's LinkStats into impairment counters in the
+  /// registry (sm_link_* series).
+  void export_link_metrics(obs::Registry& registry) const;
 
   Host* host(const std::string& name) const;
   Router* router(const std::string& name) const;
@@ -46,7 +58,7 @@ class Network {
   std::vector<std::unique_ptr<Host>> hosts_;
   std::vector<std::unique_ptr<Router>> routers_;
   std::vector<std::unique_ptr<Link>> links_;
-  uint64_t next_link_seed_ = 1000;
+  uint64_t link_seed_state_ = 0x11EB5EED;
 };
 
 }  // namespace sm::netsim

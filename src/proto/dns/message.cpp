@@ -266,7 +266,9 @@ std::optional<ResourceRecord> decode_rr(ByteReader& r,
     }
     case RecordType::TXT: {
       std::string text;
-      while (r.position() < rdata_end) {
+      // Guard on ok(): a failed read leaves the position frozen, so
+      // looping on position alone would never terminate.
+      while (r.ok() && r.position() < rdata_end) {
         uint8_t len = r.u8();
         text += r.text(len);
       }

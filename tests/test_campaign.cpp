@@ -122,6 +122,44 @@ TEST(CampaignDeterminism, CampaignSeedChangesDerivedStreams) {
   }
 }
 
+TEST(CampaignDeterminism, ImpairedConfigsStayByteIdentical) {
+  // The determinism contract must survive link impairment: every
+  // impairment mechanism draws from per-link substreams derived from the
+  // trial's netsim seed, so -j1 vs -j4, in both shard modes, must still
+  // produce byte-identical reports with loss, bursts, reordering,
+  // duplication and corruption all enabled.
+  auto trials = small_workload();
+  netsim::Impairment imp;
+  imp.burst.p_enter = 0.05;
+  imp.burst.loss_bad = 0.9;
+  imp.reorder_rate = 0.2;
+  imp.duplicate_rate = 0.1;
+  imp.corrupt_rate = 0.05;
+  for (auto& t : trials) {
+    t.config.client_link.loss_rate = 0.05;
+    t.config.client_link.impairment = imp;
+    t.config.server_link.impairment = imp;
+    t.config.dns_retries = 2;  // keep DNS trials conclusive under loss
+  }
+  std::string baseline;
+  for (auto shard : {campaign::Shard::ByIndex, campaign::Shard::Dynamic}) {
+    for (size_t threads : {1, 4}) {
+      campaign::CampaignOptions options;
+      options.threads = threads;
+      options.shard = shard;
+      campaign::CampaignResult result = campaign::run(trials, options);
+      ASSERT_EQ(result.failures, 0u);
+      std::string jsonl = result.to_jsonl();
+      if (baseline.empty()) {
+        baseline = jsonl;
+      } else {
+        EXPECT_EQ(baseline, jsonl);
+      }
+    }
+  }
+  EXPECT_NE(baseline.find("\"measurement\""), std::string::npos);
+}
+
 // --- seed substreams ---------------------------------------------------
 
 TEST(CampaignSeeds, DeterministicAndDistinct) {

@@ -129,6 +129,28 @@ TEST(Codec, RejectsTruncated) {
   EXPECT_FALSE(decode(wire));
 }
 
+TEST(Codec, RejectsTxtLengthByteOverrunningBuffer) {
+  // A TXT record at the tail of the packet whose character-string length
+  // byte claims more bytes than the buffer holds. The failed read must
+  // terminate decoding, not spin on a frozen reader position.
+  common::ByteWriter w;
+  w.u16(1);  // id
+  w.u16(0x8000);  // flags: response
+  w.u16(0);  // qdcount
+  w.u16(1);  // ancount
+  w.u16(0);
+  w.u16(0);
+  w.u8(1); w.text("t"); w.u8(0);  // name: "t."
+  w.u16(static_cast<uint16_t>(RecordType::TXT));
+  w.u16(1);    // class
+  w.u32(60);   // ttl
+  w.u16(3);    // rdlength: 3 bytes follow
+  w.u8(0xFF);  // character-string length 255 >> remaining 2 bytes
+  w.u8('a');
+  w.u8('b');
+  EXPECT_FALSE(decode(w.data()));
+}
+
 TEST(Codec, TxtChunking) {
   std::string long_text(300, 'x');
   Message r;

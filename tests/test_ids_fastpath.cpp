@@ -362,5 +362,128 @@ TEST(FastpathEquivalence, RandomizedSweep) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Differential sweep over impaired traffic: the packets an impaired link
+// delivers — payload-corrupted (slipped past checksums) and reordered
+// segments — must still yield identical verdicts from both engines.
+
+TEST(FastpathEquivalence, CorruptedTrafficMatchesLegacy) {
+  for (uint64_t seed : {21ULL, 22ULL}) {
+    Rng rng(seed);
+    std::string rules = random_rules(rng, 40);
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Engine linear =
+        Engine::from_text(rules, {}, EngineOptions{.use_fastpath = false});
+    Engine fast = Engine::from_text(
+        rules, {},
+        EngineOptions{.use_fastpath = true, .prefilter_min_candidates = 0});
+
+    std::vector<Ipv4Address> hosts;
+    for (int i = 0; i < 4; ++i)
+      hosts.push_back(Ipv4Address(10, 0, 1, static_cast<uint8_t>(i + 1)));
+
+    size_t processed = 0, corrupted = 0;
+    for (size_t i = 0; i < 1200; ++i) {
+      Ipv4Address src = hosts[rng.bounded(hosts.size())];
+      Ipv4Address dst = hosts[rng.bounded(hosts.size())];
+      uint16_t sp = static_cast<uint16_t>(20 + rng.bounded(140));
+      uint16_t dp = static_cast<uint16_t>(20 + rng.bounded(140));
+      std::string payload = random_payload(rng);
+      PacketBox box = rng.chance(0.6)
+                          ? tcp_pkt(src, dst, sp, dp, TcpFlags::kAck,
+                                    static_cast<uint32_t>(rng.bounded(100000)),
+                                    1, payload)
+                          : udp_pkt(src, dst, sp, dp, payload);
+      // Flip a few bytes the way a lossy link would, then take whatever
+      // still parses — exactly what a tap behind an impaired link sees.
+      if (rng.chance(0.5) && !box.storage.empty()) {
+        size_t flips = 1 + rng.bounded(3);
+        for (size_t f = 0; f < flips; ++f)
+          box.storage[rng.bounded(box.storage.size())] ^=
+              static_cast<uint8_t>(1 + rng.bounded(255));
+        auto d = packet::decode(std::span<const uint8_t>(box.storage));
+        if (!d) continue;
+        box.decoded = *d;
+        ++corrupted;
+      }
+      Verdict vl = linear.process(SimTime(static_cast<int64_t>(i) * 2000),
+                                  box.decoded);
+      Verdict vf = fast.process(SimTime(static_cast<int64_t>(i) * 2000),
+                                box.decoded);
+      expect_same_verdict(vl, vf, i);
+      if (::testing::Test::HasFatalFailure()) return;
+      ++processed;
+    }
+    expect_same_core_stats(linear, fast);
+    EXPECT_GT(processed, 600u);
+    EXPECT_GT(corrupted, 100u);  // the sweep really fed mangled packets
+  }
+}
+
+TEST(FastpathEquivalence, ReorderedStreamsMatchLegacy) {
+  // TCP streams carrying keywords split across segments, delivered out of
+  // order (as reorder jitter produces). Both engines see the identical
+  // scrambled sequence and must agree packet-for-packet — including on
+  // whether the out-of-order reassembly still surfaces the keyword.
+  const char* rules =
+      "alert tcp any any -> any 80 (msg:\"kw\"; content:\"falun\"; "
+      "sid:11;)\n"
+      "drop tcp any any -> any 80 (msg:\"kw2\"; content:\"beacon\"; "
+      "flow:established; sid:12;)\n"
+      "alert udp any any -> any 53 (msg:\"dns\"; content:\"tor\"; sid:13;)\n";
+  for (uint64_t seed : {31ULL, 32ULL, 33ULL}) {
+    Rng rng(seed);
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Engine linear =
+        Engine::from_text(rules, {}, EngineOptions{.use_fastpath = false});
+    Engine fast = Engine::from_text(
+        rules, {},
+        EngineOptions{.use_fastpath = true, .prefilter_min_candidates = 0});
+
+    // A batch of handshake + split-keyword streams from distinct ports.
+    std::vector<PacketBox> packets;
+    for (int f = 0; f < 12; ++f) {
+      Ipv4Address c(10, 0, 2, static_cast<uint8_t>(f + 1));
+      Ipv4Address s(192, 0, 2, 80);
+      uint16_t sp = static_cast<uint16_t>(6000 + f);
+      uint32_t iss = 1000 * static_cast<uint32_t>(f + 1);
+      std::string kw = f % 2 ? "falun" : "beacon";
+      std::string a = "GET /?q=" + kw.substr(0, 3);
+      std::string b = kw.substr(3) + " HTTP/1.1";
+      packets.push_back(tcp_pkt(c, s, sp, 80, TcpFlags::kSyn, iss, 0, ""));
+      packets.push_back(tcp_pkt(s, c, 80, sp, TcpFlags::kSyn | TcpFlags::kAck,
+                                500, iss + 1, ""));
+      packets.push_back(
+          tcp_pkt(c, s, sp, 80, TcpFlags::kAck, iss + 1, 501, ""));
+      packets.push_back(
+          tcp_pkt(c, s, sp, 80, TcpFlags::kAck, iss + 1, 501, a));
+      packets.push_back(tcp_pkt(c, s, sp, 80, TcpFlags::kAck,
+                                iss + 1 + static_cast<uint32_t>(a.size()),
+                                501, b));
+      packets.push_back(udp_pkt(c, s, sp, 53, "query tor bridge"));
+    }
+    // Seeded local scramble: swap each packet a bounded distance back,
+    // mirroring bounded reorder jitter rather than a full shuffle.
+    for (size_t i = packets.size(); i-- > 1;) {
+      if (rng.chance(0.4)) {
+        size_t back = 1 + rng.bounded(std::min<size_t>(i, 3));
+        std::swap(packets[i], packets[i - back]);
+      }
+    }
+    size_t alerts = 0;
+    for (size_t i = 0; i < packets.size(); ++i) {
+      Verdict vl = linear.process(SimTime(static_cast<int64_t>(i) * 1000),
+                                  packets[i].decoded);
+      Verdict vf = fast.process(SimTime(static_cast<int64_t>(i) * 1000),
+                                packets[i].decoded);
+      expect_same_verdict(vl, vf, i);
+      if (::testing::Test::HasFatalFailure()) return;
+      alerts += vf.alerts.size();
+    }
+    expect_same_core_stats(linear, fast);
+    EXPECT_GT(alerts, 0u);  // scrambling must not silence every rule
+  }
+}
+
 }  // namespace
 }  // namespace sm::ids

@@ -30,12 +30,18 @@ TEST(ToJson, ProbeReportFields) {
   r.packets_sent = 100;
   r.samples = 100;
   r.samples_blocked = 1;
+  r.attempts = 3;
+  r.confidence = conclude(0, 0, 3, 3);
   std::string json = to_json(r);
   EXPECT_NE(json.find("\"technique\":\"scan\""), std::string::npos);
   EXPECT_NE(json.find("\"verdict\":\"blocked-timeout\""), std::string::npos);
   EXPECT_NE(json.find("\"blocked\":true"), std::string::npos);
   EXPECT_NE(json.find("said \\\"nothing\\\""), std::string::npos);
   EXPECT_NE(json.find("\"packets_sent\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"attempts\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"confidence\":{\"conclusion\":\"blocked\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"silent\":3"), std::string::npos);
 }
 
 TEST(ToJson, RiskReportFields) {

@@ -6,7 +6,9 @@
 #include "core/overt.hpp"
 #include "core/ping.hpp"
 #include "core/probe.hpp"
+#include "core/scan.hpp"
 #include "core/spam.hpp"
+#include "core/synprobe.hpp"
 #include "ids/parser.hpp"
 #include "packet/fragment.hpp"
 
@@ -103,6 +105,107 @@ TEST(LossyPath, SpamProbeStillDeliversWithTcpRetransmission) {
   EXPECT_TRUE(report.verdict == Verdict::Reachable ||
               report.verdict == Verdict::BlockedTimeout)
       << report.to_string();
+}
+
+// --- retry ladders and the confidence layer ----------------------------
+
+TEST(Confidence, SeparatesLossFromBlocking) {
+  // Pure success.
+  EXPECT_EQ(conclude(3, 0, 0).conclusion, Conclusion::Open);
+  // Active interference is loss-proof: it wins even against silence.
+  EXPECT_EQ(conclude(0, 2, 1).conclusion, Conclusion::Blocked);
+  // An answer + silence: the answer proves the path is open, loss
+  // explains the rest.
+  EXPECT_EQ(conclude(1, 0, 2).conclusion, Conclusion::Open);
+  // Pure silence below the retry budget stays honest...
+  EXPECT_EQ(conclude(0, 0, 2, 3).conclusion, Conclusion::Inconclusive);
+  // ...and only concludes Blocked once the ladder ran dry.
+  EXPECT_EQ(conclude(0, 0, 3, 3).conclusion, Conclusion::Blocked);
+  // Mixed active evidence: majority rules, ties stay inconclusive.
+  EXPECT_EQ(conclude(1, 2, 0).conclusion, Conclusion::Blocked);
+  EXPECT_EQ(conclude(2, 1, 0).conclusion, Conclusion::Open);
+  EXPECT_EQ(conclude(1, 1, 0).conclusion, Conclusion::Inconclusive);
+  // No evidence at all.
+  EXPECT_EQ(conclude(0, 0, 0).conclusion, Conclusion::Inconclusive);
+  // Single-shot mapping keeps the old binary behaviour.
+  EXPECT_EQ(confidence_from(Verdict::Reachable).conclusion,
+            Conclusion::Open);
+  EXPECT_EQ(confidence_from(Verdict::BlockedRst).conclusion,
+            Conclusion::Blocked);
+  EXPECT_EQ(confidence_from(Verdict::BlockedTimeout).conclusion,
+            Conclusion::Blocked);
+}
+
+TEST(SynRetry, LossyOpenTargetNeverConcludesBlocked) {
+  // 20% iid loss plus loss bursts on the client link. A single SYN often
+  // dies, and a burst (mean length 1/p_exit = 4 packets) can eat several
+  // consecutive attempts — so the ladder must be longer than a plausible
+  // burst. Note loss_bad < 1: the GE chain is packet-clocked, so a
+  // blackhole burst (loss_bad = 1) on a link that only carries the
+  // probe's own packets never heals with time, only with attempts —
+  // within a finite ladder that regime is *provably* indistinguishable
+  // from a dropping censor, and the bench documents it as out of scope.
+  // With degrading bursts and 8 rungs, all-attempts-silent is
+  // exponentially unlikely: across seeds, an open target must never be
+  // concluded Blocked (Inconclusive is acceptable honesty, false
+  // "blocked" is the failure mode the ladder exists to kill).
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    TestbedConfig cfg;
+    cfg.client_link.loss_rate = 0.2;
+    cfg.client_link.impairment.burst.p_enter = 0.05;
+    cfg.client_link.impairment.burst.loss_bad = 0.8;
+    cfg.netsim_seed = seed;
+    Testbed tb(cfg);
+    SynReachabilityProbe probe(tb, {.target = tb.addr().web_open,
+                                    .retry = {.max_attempts = 8}});
+    ProbeReport r = run_probe(tb, probe, Duration::seconds(60));
+    EXPECT_NE(r.confidence.conclusion, Conclusion::Blocked)
+        << "seed " << seed << ": " << r.to_string();
+  }
+}
+
+TEST(SynRetry, NullRoutedTargetStillConcludesBlocked) {
+  // The ladder must not make real dropping invisible: every attempt
+  // goes silent, the budget runs dry, and the conclusion is Blocked with
+  // the full silent tally on record.
+  TestbedConfig cfg;
+  cfg.policy = censor::dropping_profile({TestbedAddresses{}.web_blocked});
+  Testbed tb(cfg);
+  SynReachabilityProbe probe(tb, {.target = tb.addr().web_blocked,
+                                  .retry = {.max_attempts = 3}});
+  ProbeReport r = run_probe(tb, probe, Duration::seconds(60));
+  EXPECT_EQ(r.verdict, Verdict::BlockedTimeout) << r.to_string();
+  EXPECT_EQ(r.confidence.conclusion, Conclusion::Blocked);
+  EXPECT_EQ(r.attempts, 3u);
+  EXPECT_EQ(r.confidence.trials_silent, 3u);
+}
+
+TEST(Ping, DuplicatedRepliesAreNotDoubleCounted) {
+  // A duplicating link delivers every echo and every reply twice; the
+  // dedup-by-sequence set must keep the reply count at exactly `count`.
+  TestbedConfig cfg;
+  cfg.client_link.impairment.duplicate_rate = 1.0;
+  Testbed tb(cfg);
+  PingProbe probe(tb, {.target = tb.addr().web_open});
+  ProbeReport r = run_probe(tb, probe);
+  EXPECT_EQ(r.verdict, Verdict::Reachable) << r.to_string();
+  EXPECT_EQ(probe.replies_received(), 3u);
+  EXPECT_EQ(r.confidence.conclusion, Conclusion::Open);
+}
+
+TEST(ScanRetry, LossyExpectedOpenPortIsRecovered) {
+  // Per-port SYN retransmission: with 25% loss a one-round scan
+  // regularly mislabels port 80 as filtered; four rounds recover it.
+  TestbedConfig cfg;
+  cfg.client_link.loss_rate = 0.25;
+  Testbed tb(cfg);
+  ScanProbe probe(tb, {.target = tb.addr().web_open,
+                       .ports = {80},
+                       .expected_open = {80},
+                       .retry = {.max_attempts = 4}});
+  ProbeReport r = run_probe(tb, probe, Duration::seconds(60));
+  EXPECT_EQ(probe.port_states().at(80), PortState::Open) << r.to_string();
+  EXPECT_EQ(r.confidence.conclusion, Conclusion::Open);
 }
 
 // Property sweep: fragment() then Reassembler::add() is the identity for
