@@ -1,0 +1,154 @@
+// E20 — simcheck throughput and fault-detection gates.
+//
+// Measures the property-based model-checker itself:
+//
+//   Part A  Clean exploration at a fixed seed: all five oracles must be
+//           green over the sample, at -j1 and -j4, with byte-identical
+//           trial logs (the campaign determinism contract extended to
+//           simcheck). Reports trials/sec at both thread counts.
+//   Part B  Fault sensitivity: with the break-verdict sabotage the O1
+//           oracle must produce counterexamples that delta-debug down to
+//           <= 6 scenario elements; with the ttl-plus-one sabotage the
+//           O3 spoof-safety oracle must fire. Reports mean shrink
+//           evaluations and shrunk sizes.
+//
+// Emits a short table on stdout and a JSON report (argv[1], default
+// BENCH_simcheck.json). Exit code: 0 only if all gates hold.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "simcheck/explore.hpp"
+#include "simcheck/json.hpp"
+
+using namespace sm;
+using simcheck::ExploreOptions;
+using simcheck::ExploreResult;
+using simcheck::Json;
+
+namespace {
+
+constexpr uint64_t kSeed = 0x51AC4EC0DEULL;
+constexpr size_t kTrials = 300;
+constexpr size_t kFaultTrials = 32;
+
+struct TimedRun {
+  ExploreResult result;
+  double seconds = 0.0;
+};
+
+TimedRun timed_explore(const ExploreOptions& options) {
+  auto start = std::chrono::steady_clock::now();
+  TimedRun run;
+  run.result = simcheck::explore(options);
+  std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  run.seconds = elapsed.count();
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_simcheck.json";
+  bool ok = true;
+
+  // Part A: clean exploration, -j1 vs -j4.
+  ExploreOptions clean;
+  clean.seed = kSeed;
+  clean.trials = kTrials;
+  clean.threads = 1;
+  TimedRun j1 = timed_explore(clean);
+  clean.threads = 4;
+  TimedRun j4 = timed_explore(clean);
+
+  bool all_green = j1.result.ok() && j4.result.ok();
+  bool deterministic = j1.result.log == j4.result.log;
+  ok = ok && all_green && deterministic;
+
+  std::printf("part A: %zu trials  -j1 %.2fs (%.0f/s)  -j4 %.2fs (%.0f/s)"
+              "  green=%d deterministic=%d\n",
+              kTrials, j1.seconds, kTrials / j1.seconds, j4.seconds,
+              kTrials / j4.seconds, all_green ? 1 : 0,
+              deterministic ? 1 : 0);
+
+  // Part B: sabotages must be caught and shrink small.
+  ExploreOptions broken = clean;
+  broken.threads = 4;
+  broken.trials = kFaultTrials;
+  broken.faults.break_verdict = true;
+  TimedRun verdict_fault = timed_explore(broken);
+
+  size_t shrink_evals = 0, shrunk_elements = 0, max_shrunk = 0;
+  for (const auto& ce : verdict_fault.result.counterexamples) {
+    shrink_evals += ce.shrunk.evaluations;
+    shrunk_elements += ce.shrunk.scenario.elements();
+    max_shrunk = std::max(max_shrunk, ce.shrunk.scenario.elements());
+  }
+  size_t n_ce = verdict_fault.result.counterexamples.size();
+  bool verdict_caught = n_ce > 0 && max_shrunk <= 6;
+  ok = ok && verdict_caught;
+
+  ExploreOptions ttl = clean;
+  ttl.threads = 4;
+  ttl.trials = kFaultTrials;
+  ttl.faults.ttl_plus_one = true;
+  ttl.shrink = false;
+  TimedRun ttl_fault = timed_explore(ttl);
+  bool ttl_caught = false;
+  for (const auto& ce : ttl_fault.result.counterexamples) {
+    if (ce.oracle == "O3") ttl_caught = true;
+  }
+  ok = ok && ttl_caught;
+
+  std::printf("part B: break-verdict -> %zu counterexamples, "
+              "mean %.1f shrink evals, max %zu elements (gate <= 6); "
+              "ttl-plus-one caught by O3: %d\n",
+              n_ce, n_ce ? static_cast<double>(shrink_evals) / n_ce : 0.0,
+              max_shrunk, ttl_caught ? 1 : 0);
+
+  Json report = Json::object();
+  report.set("bench", Json::string("simcheck"));
+  report.set("seed", Json::integer(static_cast<long long>(kSeed)));
+  report.set("trials", Json::integer(static_cast<long long>(kTrials)));
+  report.set("wall_seconds_j1", Json::number(j1.seconds));
+  report.set("wall_seconds_j4", Json::number(j4.seconds));
+  report.set("trials_per_sec_j1", Json::number(kTrials / j1.seconds));
+  report.set("trials_per_sec_j4", Json::number(kTrials / j4.seconds));
+  report.set("speedup_4x", Json::number(j1.seconds / j4.seconds));
+  report.set("all_oracles_green", Json::boolean(all_green));
+  report.set("deterministic", Json::boolean(deterministic));
+  report.set("packets_checked",
+             Json::integer(static_cast<long long>(j1.result.packets_checked)));
+  Json verdict = Json::object();
+  verdict.set("counterexamples", Json::integer(static_cast<long long>(n_ce)));
+  verdict.set("mean_shrink_evaluations",
+              Json::number(n_ce ? static_cast<double>(shrink_evals) / n_ce
+                                : 0.0));
+  verdict.set("mean_shrunk_elements",
+              Json::number(n_ce ? static_cast<double>(shrunk_elements) / n_ce
+                                : 0.0));
+  verdict.set("max_shrunk_elements",
+              Json::integer(static_cast<long long>(max_shrunk)));
+  verdict.set("caught", Json::boolean(verdict_caught));
+  report.set("fault_break_verdict", verdict);
+  Json ttl_report = Json::object();
+  ttl_report.set("counterexamples",
+                 Json::integer(static_cast<long long>(
+                     ttl_fault.result.counterexamples.size())));
+  ttl_report.set("caught", Json::boolean(ttl_caught));
+  report.set("fault_ttl_plus_one", ttl_report);
+
+  std::FILE* out = std::fopen(out_path, "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 2;
+  }
+  std::string text = report.pretty(2);
+  std::fwrite(text.data(), 1, text.size(), out);
+  std::fputc('\n', out);
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path);
+  return ok ? 0 : 1;
+}

@@ -63,6 +63,18 @@ for exe in "$BUILD"/bench/bench_*; do
         failures=$((failures + 1))
       fi
       ;;
+    bench_simcheck)
+      # Writes its own JSON (throughput + fault-detection gates); the
+      # exit code is the E20 gate (all oracles green, -j1/-j4 byte
+      # identity, both sabotages caught, shrunk reproducers <= 6
+      # elements).
+      rc=0
+      "$exe" "$out" || rc=$?
+      if [ "$rc" -ne 0 ]; then
+        echo "!!! $name exited $rc (simcheck gates failed)" >&2
+        failures=$((failures + 1))
+      fi
+      ;;
     bench_micro)
       # Plain double: the packaged google-benchmark predates the "0.05s"
       # duration syntax and rejects it, aborting the whole bench run.

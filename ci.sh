@@ -6,13 +6,22 @@
 #   2. Debug build with TSan (-DSM_TSAN=ON, mutually exclusive with
 #      SM_SANITIZE), running the campaign/logging/obs tests — data races
 #      in the campaign worker pool fail loudly here;
-#   3. tier-1 verify: the plain default build + ctest, exactly the
+#   3. simcheck: the property-based scenario model-checker over >= 500
+#      seeded trials in the ASan/UBSan build — all five safety oracles
+#      green, -j1 and -j4 logs byte-identical, both fault injections
+#      caught, and the checked-in reproducer corpus replaying;
+#   4. coverage: gcov build (-DSM_COVERAGE=ON), full ctest, then
+#      tools/coverage_report.py enforces the line-coverage floors for
+#      src/core and src/spoof;
+#   5. tier-1 verify: the plain default build + ctest, exactly the
 #      commands ROADMAP.md promises stay green.
 #
 #   ./ci.sh            # all stages
 #   ./ci.sh sanitize   # stage 1 only
 #   ./ci.sh tsan       # stage 2 only
-#   ./ci.sh tier1      # stage 3 only
+#   ./ci.sh simcheck   # stage 3 only
+#   ./ci.sh coverage   # stage 4 only
+#   ./ci.sh tier1      # stage 5 only
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")" && pwd)"
@@ -40,8 +49,47 @@ if [ "$STAGE" = "all" ] || [ "$STAGE" = "tsan" ]; then
         --schedule-random -R '(Campaign|Logging|Merge|PacketFuzz)'
 fi
 
+if [ "$STAGE" = "all" ] || [ "$STAGE" = "simcheck" ]; then
+  echo "=== stage 3: simcheck model-checking (ASan/UBSan build) ==="
+  cmake -B "$ROOT/build-asan" -S "$ROOT" \
+        -DCMAKE_BUILD_TYPE=Debug -DSM_SANITIZE=ON
+  cmake --build "$ROOT/build-asan" -j --target simcheck
+  SIMCHECK="$ROOT/build-asan/src/simcheck/simcheck"
+  SEED=0x51AC4EC0DE
+  # 500 seeded scenarios, all five oracles green, -j1 == -j4 bytewise.
+  "$SIMCHECK" --seed "$SEED" --trials 500 -j1 --log > /tmp/simcheck-j1.log
+  "$SIMCHECK" --seed "$SEED" --trials 500 -j4 --log > /tmp/simcheck-j4.log
+  if ! diff -q /tmp/simcheck-j1.log /tmp/simcheck-j4.log; then
+    echo "!!! simcheck logs differ between -j1 and -j4" >&2
+    exit 1
+  fi
+  # The sabotages must be caught and shrink to small reproducers.
+  "$SIMCHECK" --seed "$SEED" --trials 64 -j4 --fault break-verdict \
+              --expect-counterexample --max-elements 6
+  "$SIMCHECK" --seed "$SEED" --trials 64 -j4 --fault ttl-plus-one \
+              --expect-counterexample
+  # The checked-in corpus replays: each reproducer still fails its named
+  # oracle with the fault on, and passes clean with it off.
+  "$SIMCHECK" --replay "$ROOT/tests/corpus"
+fi
+
+if [ "$STAGE" = "all" ] || [ "$STAGE" = "coverage" ]; then
+  echo "=== stage 4: line coverage (gcov build + floors) ==="
+  cmake -B "$ROOT/build-cov" -S "$ROOT" \
+        -DCMAKE_BUILD_TYPE=Debug -DSM_COVERAGE=ON
+  cmake --build "$ROOT/build-cov" -j
+  # Fresh counters per run: stale .gcda from a previous tree would
+  # inflate (or after a refactor, corrupt) the aggregate.
+  find "$ROOT/build-cov" -name '*.gcda' -delete
+  ctest --test-dir "$ROOT/build-cov" -j "$(nproc)"
+  # Floors sit ~2 points under the measured line coverage of each scope
+  # so regressions trip the gate while routine drift does not.
+  python3 "$ROOT/tools/coverage_report.py" "$ROOT/build-cov" \
+          --floor src/core=91 --floor src/spoof=89
+fi
+
 if [ "$STAGE" = "all" ] || [ "$STAGE" = "tier1" ]; then
-  echo "=== stage 3: tier-1 verify (default build) ==="
+  echo "=== stage 5: tier-1 verify (default build) ==="
   cmake -B "$ROOT/build" -S "$ROOT"
   cmake --build "$ROOT/build" -j
   ctest --test-dir "$ROOT/build" --output-on-failure -j "$(nproc)" \

@@ -119,7 +119,8 @@ struct CampaignResult {
 
 /// Deterministic per-trial seed substream: SplitMix64 over the campaign
 /// seed and trial index. `stream` selects independent values for multiple
-/// knobs within one trial (0 = SAV, 1 = MVR sampling, 2 = netsim links).
+/// knobs within one trial (0 = SAV, 1 = MVR sampling, 2 = netsim links,
+/// 3 = simcheck's scenario generator).
 uint64_t trial_seed(uint64_t campaign_seed, size_t trial_index,
                     uint64_t stream = 0);
 

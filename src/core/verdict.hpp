@@ -57,6 +57,14 @@ struct Confidence {
   /// Fraction of trials consistent with the conclusion (silence is
   /// consistent with Blocked but not with Open).
   double score = 0.0;
+
+  /// True when Blocked rests on *active* evidence (injected RSTs, forged
+  /// answers, blockpages) rather than silence — the claim that loss on
+  /// an uncensored path can never legitimately produce, which is exactly
+  /// what simcheck's O1 safety oracle forbids.
+  bool confirmed() const {
+    return conclusion == Conclusion::Blocked && trials_blocked > 0;
+  }
 };
 
 /// Folds per-attempt evidence into a Confidence. Active evidence wins by

@@ -1,0 +1,131 @@
+#include "simcheck/corpus.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace sm::simcheck {
+
+namespace {
+
+/// Seeds are 64-bit; JSON numbers go through double in many tools, so
+/// the corpus stores them as hex strings.
+std::string seed_to_hex(uint64_t seed) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%016" PRIx64, seed);
+  return buf;
+}
+
+std::optional<uint64_t> seed_from_hex(const std::string& text) {
+  if (text.size() < 3 || text[0] != '0' || (text[1] != 'x' && text[1] != 'X')) {
+    return std::nullopt;
+  }
+  uint64_t v = 0;
+  for (size_t i = 2; i < text.size(); ++i) {
+    char c = text[i];
+    v <<= 4;
+    if (c >= '0' && c <= '9') v |= static_cast<uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') v |= static_cast<uint64_t>(c - 'a' + 10);
+    else if (c >= 'A' && c <= 'F') v |= static_cast<uint64_t>(c - 'A' + 10);
+    else return std::nullopt;
+  }
+  return v;
+}
+
+}  // namespace
+
+Reproducer Reproducer::from_counterexample(uint64_t root_seed,
+                                           const Counterexample& ce,
+                                           const Faults& faults,
+                                           std::string note) {
+  Reproducer r;
+  r.root_seed = root_seed;
+  r.trial_index = ce.trial_index;
+  r.oracle = ce.oracle;
+  r.fault = faults.to_string();
+  r.note = std::move(note);
+  r.scenario = ce.shrunk.scenario;
+  return r;
+}
+
+TrialOutcome Reproducer::replay(bool with_fault) const {
+  Faults faults = with_fault ? Faults::from_string(fault) : Faults{};
+  return run_scenario(scenario, seeds(), faults);
+}
+
+std::string Reproducer::to_json_text() const {
+  Json j = Json::object();
+  j.set("simcheck_corpus", Json::integer(1));
+  j.set("seed", Json::string(seed_to_hex(root_seed)));
+  j.set("trial", Json::integer(static_cast<int64_t>(trial_index)));
+  j.set("oracle", Json::string(oracle));
+  j.set("fault", Json::string(fault));
+  if (!note.empty()) j.set("note", Json::string(note));
+  j.set("scenario", scenario.to_json());
+  return j.pretty();
+}
+
+std::optional<Reproducer> Reproducer::parse(std::string_view text) {
+  auto j = Json::parse(text);
+  if (!j || !j->is_object()) return std::nullopt;
+  const Json* version = j->get("simcheck_corpus");
+  if (!version || version->as_int() != 1) return std::nullopt;
+  Reproducer r;
+  const Json* seed = j->get("seed");
+  if (!seed) return std::nullopt;
+  auto parsed_seed = seed_from_hex(seed->as_string());
+  if (!parsed_seed) return std::nullopt;
+  r.root_seed = *parsed_seed;
+  if (const Json* trial = j->get("trial")) {
+    r.trial_index = static_cast<size_t>(trial->as_int());
+  }
+  if (const Json* oracle = j->get("oracle")) r.oracle = oracle->as_string();
+  if (const Json* fault = j->get("fault")) r.fault = fault->as_string();
+  if (const Json* note = j->get("note")) r.note = note->as_string();
+  const Json* scenario = j->get("scenario");
+  if (!scenario) return std::nullopt;
+  auto s = Scenario::from_json(*scenario);
+  if (!s) return std::nullopt;
+  r.scenario = std::move(*s);
+  return r;
+}
+
+std::vector<Reproducer> load_corpus(const std::string& dir,
+                                    std::vector<std::string>* errors) {
+  std::vector<Reproducer> corpus;
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec)) return corpus;
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".json") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  for (const auto& path : files) {
+    std::ifstream in(path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    auto r = Reproducer::parse(buffer.str());
+    if (r) {
+      corpus.push_back(std::move(*r));
+    } else if (errors) {
+      errors->push_back("unparseable reproducer: " + path.string());
+    }
+  }
+  return corpus;
+}
+
+std::string save_reproducer(const std::string& dir, const std::string& name,
+                            const Reproducer& r) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  std::string path = dir + "/" + name + ".json";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return "";
+  out << r.to_json_text();
+  return out ? path : "";
+}
+
+}  // namespace sm::simcheck

@@ -1,0 +1,57 @@
+// Corpus format: checked-in `{seed, scenario}` reproducers.
+//
+// Every counterexample simcheck ever finds is serialized into
+// tests/corpus/ as a small JSON document and replays forever as a
+// regression test. The document pins the *root* seed and trial index
+// (the seed substreams are re-derived, exactly as exploration derived
+// them), the fault that provoked the failure (empty for a genuine bug),
+// the oracle expected to fail, and the shrunk scenario itself.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "simcheck/explore.hpp"
+#include "simcheck/runner.hpp"
+#include "simcheck/scenario.hpp"
+
+namespace sm::simcheck {
+
+struct Reproducer {
+  uint64_t root_seed = 0;
+  size_t trial_index = 0;
+  std::string oracle;   // oracle expected to fail on replay
+  std::string fault;    // Faults::to_string(); "none" for a genuine bug
+  std::string note;     // human context (what the failure meant)
+  Scenario scenario;
+
+  static Reproducer from_counterexample(uint64_t root_seed,
+                                        const Counterexample& ce,
+                                        const Faults& faults,
+                                        std::string note);
+
+  /// Re-derives the seed pack the way exploration did.
+  SeedPack seeds() const { return SeedPack::derive(root_seed, trial_index); }
+
+  /// Replays the scenario. With its fault applied the named oracle must
+  /// fail; with faults off, all oracles must pass (unless the corpus
+  /// entry records a genuine bug, fault == "none").
+  TrialOutcome replay(bool with_fault = true) const;
+
+  std::string to_json_text() const;  // pretty, for human-edited files
+  static std::optional<Reproducer> parse(std::string_view text);
+};
+
+/// Reads every *.json reproducer under `dir`, sorted by filename for a
+/// deterministic replay order. Files that fail to parse are reported in
+/// `errors` (missing directory -> empty corpus, no error).
+std::vector<Reproducer> load_corpus(const std::string& dir,
+                                    std::vector<std::string>* errors = nullptr);
+
+/// Writes `r` to `<dir>/<name>.json`; returns the path, empty on I/O
+/// failure.
+std::string save_reproducer(const std::string& dir, const std::string& name,
+                            const Reproducer& r);
+
+}  // namespace sm::simcheck

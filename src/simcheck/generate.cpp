@@ -1,0 +1,243 @@
+#include "simcheck/generate.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace sm::simcheck {
+
+namespace {
+
+using common::Duration;
+using common::Ipv4Address;
+using common::Rng;
+
+/// Keywords guaranteed absent from every byte the testbed can emit
+/// (page bodies, mail corpus, HTTP headers, DNS names) — safe clutter
+/// for keyword rules that must never fire.
+const std::vector<std::string>& safe_keywords() {
+  static const std::vector<std::string> kWords = {"zugzwang", "quixotry",
+                                                  "xylograph"};
+  return kWords;
+}
+
+/// An address no testbed host owns and no probe targets.
+constexpr Ipv4Address kUnusedAddress{198, 18, 9, 9};
+
+/// Services with an HTTP listener on :80 (SYN/scan/ping targets that a
+/// correct probe must find reachable when uncensored).
+Service pick_web_service(Rng& rng) {
+  switch (rng.bounded(3)) {
+    case 0: return Service::WebOpen;
+    case 1: return Service::WebBlocked;
+    default: return Service::Measurement;
+  }
+}
+
+std::string pick_web_domain(Rng& rng) {
+  switch (rng.bounded(3)) {
+    case 0: return "open.example";
+    case 1: return "blocked.example";
+    default: return "twitter.com";
+  }
+}
+
+CensorRule aimed_rule(Rng& rng, const Scenario& s) {
+  CensorRule r;
+  r.aimed = true;
+  switch (s.technique) {
+    case Technique::OvertDns:
+    case Technique::MimicryDns:
+      r.mechanism = Mechanism::DnsForgery;
+      r.text = s.domain;
+      return r;
+    case Technique::OvertHttp:
+    case Technique::Ddos:
+      switch (rng.bounded(4)) {
+        case 0:
+          r.mechanism = Mechanism::KeywordRst;
+          r.text = s.domain;  // matches the Host header on the wire
+          return r;
+        case 1:
+          r.mechanism = Mechanism::Blockpage;
+          r.text = s.domain;
+          return r;
+        case 2:
+          r.mechanism = Mechanism::NullRoute;
+          r.address = s.domain == "blocked.example"
+                          ? Scenario::service_address(Service::WebBlocked)
+                          : Scenario::service_address(Service::WebOpen);
+          return r;
+        default:
+          r.mechanism = Mechanism::PortBlock;
+          r.address = s.domain == "blocked.example"
+                          ? Scenario::service_address(Service::WebBlocked)
+                          : Scenario::service_address(Service::WebOpen);
+          r.port = 80;
+          return r;
+      }
+    case Technique::Scan:
+    case Technique::SynReach:
+      if (rng.chance(0.5)) {
+        r.mechanism = Mechanism::NullRoute;
+        r.address = Scenario::service_address(s.service);
+      } else {
+        r.mechanism = Mechanism::PortBlock;
+        r.address = Scenario::service_address(s.service);
+        r.port = 80;
+      }
+      return r;
+    case Technique::Spam:
+      // Spam delivers to the domain's MX: null-route the mail host the
+      // probe will actually connect to.
+      r.mechanism = Mechanism::NullRoute;
+      r.address = s.domain == "blocked.example"
+                      ? Ipv4Address{198, 18, 1, 26}   // mail_blocked
+                      : Ipv4Address{198, 18, 1, 25};  // mail_open
+      return r;
+    case Technique::Ping:
+      r.mechanism = Mechanism::NullRoute;
+      r.address = Scenario::service_address(s.service);
+      return r;
+    case Technique::MimicryStateful:
+      r.mechanism = Mechanism::KeywordRst;
+      r.text = "falun";  // carried by the crafted /search?q=falun request
+      return r;
+  }
+  return r;
+}
+
+CensorRule clutter_rule(Rng& rng) {
+  CensorRule r;
+  r.aimed = false;
+  switch (rng.bounded(5)) {
+    case 0:
+      r.mechanism = Mechanism::KeywordRst;
+      r.text = rng.pick(safe_keywords());
+      break;
+    case 1:
+      r.mechanism = Mechanism::Blockpage;
+      r.text = rng.pick(safe_keywords());
+      break;
+    case 2:
+      r.mechanism = Mechanism::DnsForgery;
+      r.text = "unrelated.example";  // no probe ever resolves it
+      break;
+    case 3:
+      r.mechanism = Mechanism::NullRoute;
+      r.address = kUnusedAddress;
+      break;
+    default:
+      r.mechanism = Mechanism::PortBlock;
+      r.address = kUnusedAddress;
+      r.port = 8443;
+      break;
+  }
+  return r;
+}
+
+ImpairmentSpec sample_impairment(Rng& rng) {
+  ImpairmentSpec spec;
+  switch (rng.bounded(3)) {
+    case 0: spec.where = ImpairedSegment::ClientSide; break;
+    case 1: spec.where = ImpairedSegment::ServerSide; break;
+    default: spec.where = ImpairedSegment::Both; break;
+  }
+  if (rng.chance(0.6)) spec.iid_loss = rng.uniform(0.01, 0.15);
+  if (rng.chance(0.35)) {
+    spec.model.burst.p_enter = rng.uniform(0.005, 0.05);
+    spec.model.burst.p_exit = rng.uniform(0.3, 0.7);
+    spec.model.burst.loss_good = 0.0;
+    spec.model.burst.loss_bad = rng.uniform(0.8, 1.0);
+  }
+  if (rng.chance(0.3)) {
+    spec.model.reorder_rate = rng.uniform(0.01, 0.1);
+    spec.model.reorder_jitter =
+        Duration::millis(static_cast<int64_t>(rng.uniform_int(1, 5)));
+  }
+  if (rng.chance(0.25)) {
+    spec.model.duplicate_rate = rng.uniform(0.01, 0.05);
+  }
+  if (rng.chance(0.2)) {
+    spec.model.corrupt_rate = rng.uniform(0.001, 0.02);
+  }
+  if (!spec.any()) spec.where = ImpairedSegment::None;
+  return spec;
+}
+
+}  // namespace
+
+Scenario generate_scenario(uint64_t seed) {
+  Rng rng(seed);
+  Scenario s;
+  s.technique = static_cast<Technique>(rng.bounded(kTechniqueCount));
+
+  switch (s.technique) {
+    case Technique::Ping:
+    case Technique::SynReach:
+    case Technique::Scan:
+      s.service = pick_web_service(rng);
+      break;
+    case Technique::Spam:
+      s.domain = rng.chance(0.5) ? "open.example" : "blocked.example";
+      s.service = Service::MailOpen;
+      break;
+    case Technique::Ddos:
+    case Technique::OvertHttp:
+    case Technique::OvertDns:
+    case Technique::MimicryDns:
+      s.domain = pick_web_domain(rng);
+      s.service =
+          s.domain == "blocked.example" ? Service::WebBlocked : Service::WebOpen;
+      break;
+    case Technique::MimicryStateful:
+      s.service = Service::Measurement;
+      break;
+  }
+
+  if (rng.chance(0.5)) s.rules.push_back(aimed_rule(rng, s));
+  size_t clutter = rng.bounded(3);  // 0..2 rules aimed at nothing
+  for (size_t i = 0; i < clutter; ++i) s.rules.push_back(clutter_rule(rng));
+
+  if (rng.chance(0.4)) s.impair = sample_impairment(rng);
+
+  s.sav = rng.chance(0.3);
+  s.neighbor_count = static_cast<uint32_t>(
+      rng.uniform_int(Scenario::kMinNeighbors, 8));
+  s.retry_attempts = static_cast<uint32_t>(rng.uniform_int(1, 3));
+
+  switch (s.technique) {
+    case Technique::MimicryDns:
+    case Technique::MimicryStateful:
+      s.cover_count = static_cast<uint32_t>(rng.uniform_int(1, 6));
+      break;
+    case Technique::SynReach:
+      s.cover_count = static_cast<uint32_t>(rng.uniform_int(0, 6));
+      break;
+    default:
+      s.cover_count = 0;
+      break;
+  }
+  // Covers are spoofed from distinct neighbors; don't ask for more than
+  // the topology holds.
+  s.cover_count = std::min(s.cover_count, s.neighbor_count);
+  s.cover_count = std::max(s.cover_count, s.min_cover());
+
+  switch (s.technique) {
+    case Technique::Ping:
+      s.samples = static_cast<uint32_t>(rng.uniform_int(1, 4));
+      break;
+    case Technique::Ddos:
+      s.samples = static_cast<uint32_t>(rng.uniform_int(1, 5));
+      break;
+    case Technique::Scan:
+      s.samples = static_cast<uint32_t>(rng.uniform_int(1, 4));
+      break;
+    default:
+      s.samples = 1;
+      break;
+  }
+  return s;
+}
+
+}  // namespace sm::simcheck

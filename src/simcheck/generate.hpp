@@ -1,0 +1,22 @@
+// Scenario generator: maps one seed to one point of the scenario space.
+//
+// The distributions are chosen so that every sampled scenario has a
+// *decidable* ground truth: aimed censor rules are restricted to the
+// (technique × mechanism) pairs the detection layer is specified to
+// catch (bench_util's eval-matrix), clutter rules provably never touch
+// the probe's traffic, and impairment severity stays inside the regime
+// where DESIGN.md §9's loss-robust verdict contract applies (no
+// permanent blackouts by construction).
+#pragma once
+
+#include <cstdint>
+
+#include "simcheck/scenario.hpp"
+
+namespace sm::simcheck {
+
+/// Deterministic: the same seed always yields the same scenario,
+/// independent of any other generator call (one fresh Rng per call).
+Scenario generate_scenario(uint64_t seed);
+
+}  // namespace sm::simcheck

@@ -1,0 +1,206 @@
+// simcheck: property-based scenario model-checker CLI.
+//
+// Explore mode (default): sample `--trials` scenarios from `--seed` and
+// check the five safety oracles on each; on failure, shrink and (with
+// --save-corpus) serialize reproducers. Exit 0 iff no oracle failed.
+//
+//   $ simcheck --seed 7 --trials 500 -j4 --log
+//
+// Fault mode: sabotage the pipeline on purpose and *require* the
+// checker to catch it — the acceptance gate for the checker itself:
+//
+//   $ simcheck --seed 7 --trials 64 --fault break-verdict
+//       --expect-counterexample --max-elements 6
+//
+// Replay mode: re-run every checked-in reproducer:
+//
+//   $ simcheck --replay tests/corpus
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "simcheck/corpus.hpp"
+#include "simcheck/explore.hpp"
+
+using namespace sm;
+using namespace sm::simcheck;
+
+namespace {
+
+uint64_t parse_seed(const char* text) {
+  return std::strtoull(text, nullptr, 0);  // accepts decimal and 0x hex
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: simcheck [--seed N] [--trials M] [-jN] [--log] [--no-shrink]\n"
+      "                [--fault break-verdict|ttl-plus-one]\n"
+      "                [--expect-counterexample] [--max-elements K]\n"
+      "                [--save-corpus DIR] [--replay DIR]\n");
+  return 2;
+}
+
+int replay_corpus(const std::string& dir) {
+  std::vector<std::string> errors;
+  std::vector<Reproducer> corpus = load_corpus(dir, &errors);
+  for (const std::string& e : errors) {
+    std::fprintf(stderr, "simcheck: %s\n", e.c_str());
+  }
+  if (!errors.empty()) return 1;
+  if (corpus.empty()) {
+    std::fprintf(stderr, "simcheck: no reproducers under %s\n", dir.c_str());
+    return 1;
+  }
+  int failures = 0;
+  for (const Reproducer& r : corpus) {
+    TrialOutcome with_fault = r.replay(true);
+    bool fault_caught = false;
+    for (const Failure& f : with_fault.failures) {
+      if (f.oracle == r.oracle) fault_caught = true;
+    }
+    bool ok = fault_caught;
+    std::string detail;
+    if (!fault_caught) {
+      detail = "expected " + r.oracle + " failure did not reproduce";
+    } else if (r.fault != "none") {
+      // Sabotage reproducers must go green once the sabotage is off —
+      // that is what proves the corpus pins the fault, not the code.
+      TrialOutcome healthy = r.replay(false);
+      if (!healthy.ok()) {
+        ok = false;
+        detail = "scenario fails even without its fault: " +
+                 healthy.failures.front().oracle + " " +
+                 healthy.failures.front().detail;
+      }
+    }
+    std::printf("replay trial=%zu oracle=%s fault=%s elements=%zu %s%s%s\n",
+                r.trial_index, r.oracle.c_str(), r.fault.c_str(),
+                r.scenario.elements(), ok ? "ok" : "FAIL",
+                detail.empty() ? "" : ": ", detail.c_str());
+    if (!ok) ++failures;
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ExploreOptions options;
+  bool print_log = false;
+  bool expect_counterexample = false;
+  size_t max_elements = 0;
+  std::string save_dir;
+  std::string replay_dir;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--seed") {
+      const char* v = next();
+      if (!v) return usage();
+      options.seed = parse_seed(v);
+    } else if (arg == "--trials") {
+      const char* v = next();
+      if (!v) return usage();
+      options.trials = std::strtoull(v, nullptr, 10);
+    } else if (arg.rfind("-j", 0) == 0 && arg.size() > 2) {
+      options.threads = std::strtoull(arg.c_str() + 2, nullptr, 10);
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (!v) return usage();
+      options.threads = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--fault") {
+      const char* v = next();
+      if (!v) return usage();
+      options.faults = Faults::from_string(v);
+      if (!options.faults.any()) {
+        std::fprintf(stderr, "simcheck: unknown fault '%s'\n", v);
+        return 2;
+      }
+    } else if (arg == "--expect-counterexample") {
+      expect_counterexample = true;
+    } else if (arg == "--max-elements") {
+      const char* v = next();
+      if (!v) return usage();
+      max_elements = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--save-corpus") {
+      const char* v = next();
+      if (!v) return usage();
+      save_dir = v;
+    } else if (arg == "--replay") {
+      const char* v = next();
+      if (!v) return usage();
+      replay_dir = v;
+    } else if (arg == "--log") {
+      print_log = true;
+    } else if (arg == "--no-shrink") {
+      options.shrink = false;
+    } else {
+      return usage();
+    }
+  }
+
+  if (!replay_dir.empty()) return replay_corpus(replay_dir);
+
+  ExploreResult result = explore(options);
+  if (print_log) {
+    for (const std::string& line : result.log) {
+      std::printf("%s\n", line.c_str());
+    }
+  }
+  std::printf("simcheck seed=0x%" PRIx64 " trials=%zu failed=%zu"
+              " packets_checked=%zu fault=%s\n",
+              options.seed, result.trials, result.failed_trials,
+              result.packets_checked, options.faults.to_string().c_str());
+
+  for (size_t i = 0; i < result.counterexamples.size(); ++i) {
+    const Counterexample& ce = result.counterexamples[i];
+    std::printf("counterexample %zu: trial=%zu oracle=%s (%s)\n"
+                "  original elements=%zu -> shrunk elements=%zu"
+                " (%zu evals, %zu accepted)\n",
+                i, ce.trial_index, ce.oracle.c_str(), ce.detail.c_str(),
+                ce.original.elements(), ce.shrunk.scenario.elements(),
+                ce.shrunk.evaluations, ce.shrunk.accepted);
+    std::printf("  scenario: %s\n", ce.shrunk.scenario.to_json().dump().c_str());
+    if (!save_dir.empty()) {
+      Reproducer r = Reproducer::from_counterexample(
+          options.seed, ce, options.faults, ce.detail);
+      char name[64];
+      std::snprintf(name, sizeof(name), "ce-%s-trial%zu",
+                    options.faults.to_string().c_str(), ce.trial_index);
+      std::string path = save_reproducer(save_dir, name, r);
+      if (path.empty()) {
+        std::fprintf(stderr, "simcheck: failed to write reproducer %s\n",
+                     name);
+        return 1;
+      }
+      std::printf("  saved: %s\n", path.c_str());
+    }
+  }
+
+  if (expect_counterexample) {
+    if (result.counterexamples.empty()) {
+      std::fprintf(stderr,
+                   "simcheck: fault injected but no counterexample found\n");
+      return 1;
+    }
+    if (max_elements > 0) {
+      for (const Counterexample& ce : result.counterexamples) {
+        if (ce.shrunk.scenario.elements() > max_elements) {
+          std::fprintf(stderr,
+                       "simcheck: shrunk counterexample has %zu elements"
+                       " (> %zu allowed)\n",
+                       ce.shrunk.scenario.elements(), max_elements);
+          return 1;
+        }
+      }
+    }
+    return 0;
+  }
+  return result.ok() ? 0 : 1;
+}

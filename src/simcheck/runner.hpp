@@ -1,0 +1,109 @@
+// Scenario execution + the oracle library.
+//
+// run_scenario builds the scenario's testbed, drives its probe to a
+// verdict, and evaluates the five safety oracles against the run:
+//
+//   O1 verdict-vs-ground-truth — never conclude Blocked with confirmed
+//      (active-evidence) confidence on an uncensored path; on a clean
+//      uncensored path the verdict must be Reachable/Open, and on a
+//      clean censored path it must land in the scenario's expected set.
+//      Silence-shaped Blocked under impairment is allowed: DESIGN.md §9
+//      treats sustained blackout as indistinguishable from dropping.
+//   O2 byte-determinism — an identically-seeded re-run must reproduce
+//      the report JSON, risk JSON, and metrics snapshot byte-for-byte.
+//   O3 spoof safety — TTL-limited replies cross the tap but are never
+//      delivered to the spoofed client; spoofed cover traffic observed
+//      at the tap is consistent with the run's SAV model.
+//   O4 attribution bound — a mimicry technique must not leave more
+//      targeted alerts, or a higher attribution probability, than its
+//      overt counterpart on the identical censor (clean paths only).
+//   O5 codec round-trip — every packet the run emitted must survive
+//      decode → rebuild → decode unchanged, and every well-formed DNS
+//      payload must reach an encode/parse fixpoint.
+//
+// Faults are test-only hooks that sabotage the pipeline so the checker
+// can prove it catches violations (and give the shrinker something to
+// minimize). They live here, not in production code: the fault wraps
+// the runner's own conclusion/TTL-planning steps.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/risk.hpp"
+#include "core/verdict.hpp"
+#include "simcheck/scenario.hpp"
+
+namespace sm::simcheck {
+
+/// Per-trial seed bundle, derived campaign-style from (root seed, trial
+/// index) so -j1 and -jN explorations are identical.
+struct SeedPack {
+  uint64_t sav = 0;
+  uint64_t mvr = 0;
+  uint64_t netsim = 0;
+  uint64_t generator = 0;
+
+  static SeedPack derive(uint64_t root_seed, size_t trial_index);
+};
+
+/// Test-only sabotage switches (see file comment).
+struct Faults {
+  /// Force the runner's Confidence to a confirmed Blocked conclusion
+  /// regardless of the evidence — the intentionally broken verdict rule
+  /// the acceptance criteria demand O1 catch and shrink.
+  bool break_verdict = false;
+  /// Plan stateful-mimicry reply TTLs one hop too deep, so TTL-limited
+  /// replies survive past the tap and reach the spoofed client (O3).
+  bool ttl_plus_one = false;
+
+  bool any() const { return break_verdict || ttl_plus_one; }
+
+  std::string to_string() const;
+  static Faults from_string(std::string_view name);
+};
+
+/// One oracle violation.
+struct Failure {
+  std::string oracle;  // "O1".."O5"
+  std::string detail;
+};
+
+/// Everything a trial produced that the oracles judged.
+struct TrialOutcome {
+  Scenario scenario;
+  SeedPack seeds;
+  core::ProbeReport report;
+  core::RiskReport risk;
+  std::string report_json;
+  std::string risk_json;
+  std::string metrics_json;
+  /// O3 counters (meaningful for spoofing techniques).
+  size_t replies_crossed_tap = 0;    // measurement→cover packets at the tap
+  size_t replies_reached_client = 0; // …that were actually delivered
+  size_t sav_violations = 0;
+  /// O5 counters.
+  size_t packets_checked = 0;
+  size_t packets_undecodable = 0;  // intentionally corrupted deliveries
+  std::vector<Failure> failures;
+
+  bool ok() const { return failures.empty(); }
+  /// One deterministic line per trial — the byte-identity unit the -j1
+  /// vs -jN acceptance check diffs.
+  std::string log_line(size_t index) const;
+};
+
+/// Which oracles to evaluate (the shrinker narrows to the failing one).
+struct OracleMask {
+  bool o1 = true, o2 = true, o3 = true, o4 = true, o5 = true;
+  static OracleMask only(std::string_view oracle);
+};
+
+/// Runs one scenario under the oracles. Deterministic: depends only on
+/// (scenario, seeds, faults, mask).
+TrialOutcome run_scenario(const Scenario& scenario, const SeedPack& seeds,
+                          const Faults& faults = {},
+                          const OracleMask& mask = {});
+
+}  // namespace sm::simcheck

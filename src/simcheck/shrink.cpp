@@ -1,0 +1,100 @@
+#include "simcheck/shrink.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+namespace sm::simcheck {
+
+namespace {
+
+/// Keeps a candidate structurally valid after a transformation.
+void normalize(Scenario& s) {
+  s.neighbor_count = std::max(s.neighbor_count, Scenario::kMinNeighbors);
+  s.cover_count = std::max(s.cover_count, s.min_cover());
+  s.cover_count = std::min(s.cover_count, s.neighbor_count);
+  s.samples = std::max<uint32_t>(s.samples, 1);
+  s.retry_attempts = std::max<uint32_t>(s.retry_attempts, 1);
+  if (!s.impair.any()) s.impair = ImpairmentSpec{};
+}
+
+/// All single-step simplifications of `s`, in the fixed order the
+/// shrinker tries them. Each candidate is strictly simpler (or equal in
+/// elements but with smaller knob values).
+std::vector<Scenario> candidates(const Scenario& s) {
+  std::vector<Scenario> out;
+  auto push = [&](std::function<void(Scenario&)> edit) {
+    Scenario c = s;
+    edit(c);
+    normalize(c);
+    if (!same_scenario(c, s)) out.push_back(std::move(c));
+  };
+
+  for (size_t i = 0; i < s.rules.size(); ++i) {
+    push([i](Scenario& c) { c.rules.erase(c.rules.begin() + i); });
+  }
+  if (s.impair.where != ImpairedSegment::None) {
+    push([](Scenario& c) { c.impair = ImpairmentSpec{}; });
+    push([](Scenario& c) { c.impair.iid_loss = 0.0; });
+    push([](Scenario& c) { c.impair.model.burst = netsim::BurstLossConfig{}; });
+    push([](Scenario& c) {
+      c.impair.model.reorder_rate = 0.0;
+      c.impair.model.reorder_jitter = netsim::Impairment{}.reorder_jitter;
+    });
+    push([](Scenario& c) { c.impair.model.duplicate_rate = 0.0; });
+    push([](Scenario& c) { c.impair.model.corrupt_rate = 0.0; });
+    push([](Scenario& c) { c.impair.model.flap = netsim::FlapConfig{}; });
+  }
+  if (s.sav) push([](Scenario& c) { c.sav = false; });
+  if (s.neighbor_count > Scenario::kMinNeighbors) {
+    push([](Scenario& c) { c.neighbor_count = Scenario::kMinNeighbors; });
+    push([](Scenario& c) { c.neighbor_count /= 2; });
+  }
+  if (s.cover_count > s.min_cover()) {
+    push([](Scenario& c) { c.cover_count = c.min_cover(); });
+    push([](Scenario& c) { c.cover_count /= 2; });
+  }
+  if (s.samples > 1) {
+    push([](Scenario& c) { c.samples = 1; });
+    push([](Scenario& c) { c.samples /= 2; });
+  }
+  if (s.retry_attempts > 1) {
+    push([](Scenario& c) { c.retry_attempts = 1; });
+  }
+  return out;
+}
+
+}  // namespace
+
+ShrinkResult shrink(const Scenario& failing, const SeedPack& seeds,
+                    const Faults& faults, const std::string& oracle,
+                    size_t max_evaluations) {
+  ShrinkResult result;
+  result.scenario = failing;
+  result.oracle = oracle;
+  OracleMask mask = OracleMask::only(oracle);
+
+  auto still_fails = [&](const Scenario& c) {
+    ++result.evaluations;
+    TrialOutcome outcome = run_scenario(c, seeds, faults, mask);
+    return std::any_of(outcome.failures.begin(), outcome.failures.end(),
+                       [&](const Failure& f) { return f.oracle == oracle; });
+  };
+
+  bool progressed = true;
+  while (progressed && result.evaluations < max_evaluations) {
+    progressed = false;
+    for (Scenario& c : candidates(result.scenario)) {
+      if (result.evaluations >= max_evaluations) break;
+      if (still_fails(c)) {
+        result.scenario = std::move(c);
+        ++result.accepted;
+        progressed = true;
+        break;  // restart from the simpler scenario
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace sm::simcheck

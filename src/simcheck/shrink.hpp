@@ -1,0 +1,35 @@
+// Delta-debugging shrinker: minimize a failing scenario while
+// preserving the failure.
+//
+// Greedy fixpoint over a fixed transformation order (drop a censor
+// rule, clear or zero impairment mechanisms, disable SAV, walk the
+// numeric knobs down to their floors). A candidate is accepted iff
+// re-running it — same seeds, same faults, only the originally-failing
+// oracle enabled — still fails that oracle. Deterministic: transform
+// order is fixed and each re-run is a pure function of its inputs, so
+// every session shrinks a given counterexample to the same reproducer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "simcheck/runner.hpp"
+#include "simcheck/scenario.hpp"
+
+namespace sm::simcheck {
+
+struct ShrinkResult {
+  Scenario scenario;     // the minimized counterexample
+  std::string oracle;    // the oracle it still fails
+  size_t evaluations = 0;  // scenario re-runs spent shrinking
+  size_t accepted = 0;     // transformations that kept the failure
+};
+
+/// Shrinks `failing` with respect to its first failure in `outcome`.
+/// `max_evaluations` caps the re-run budget (the fixpoint usually
+/// converges far earlier).
+ShrinkResult shrink(const Scenario& failing, const SeedPack& seeds,
+                    const Faults& faults, const std::string& oracle,
+                    size_t max_evaluations = 200);
+
+}  // namespace sm::simcheck

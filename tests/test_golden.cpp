@@ -1,0 +1,138 @@
+// Golden-snapshot tests for the serialized output formats.
+//
+// The JSONL measurement reports, the metrics JSON snapshot, and the
+// Prometheus exposition are interchange surfaces: downstream tooling
+// parses them, so format drift must be an explicit review event, not an
+// accident. Each test renders a fixed artifact and byte-compares it
+// against a checked-in fixture under tests/golden/.
+//
+// To regenerate after an *intentional* format change:
+//
+//   UPDATE_GOLDEN=1 ./build/tests/test_golden
+//
+// then review the fixture diff like any other code change.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/report_json.hpp"
+#include "core/risk.hpp"
+#include "core/verdict.hpp"
+#include "obs/metrics.hpp"
+
+using namespace sm;
+
+namespace {
+
+std::string golden_path(const std::string& name) {
+  return std::string(SM_TEST_DIR) + "/golden/" + name;
+}
+
+void check_golden(const std::string& name, const std::string& actual) {
+  const std::string path = golden_path(name);
+  if (std::getenv("UPDATE_GOLDEN")) {
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << actual;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing fixture " << path
+                  << " (run with UPDATE_GOLDEN=1 to create it)";
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), actual)
+      << "serialized format drifted from " << path
+      << "; if intentional, regenerate with UPDATE_GOLDEN=1 and review the "
+         "fixture diff";
+}
+
+/// A fully-populated report pair with every field away from its default,
+/// so the fixture pins the complete schema (field set, order, escaping,
+/// number formatting).
+std::pair<core::ProbeReport, core::RiskReport> sample_blocked() {
+  core::ProbeReport report;
+  report.technique = "overt-http";
+  report.target = "blocked.example";
+  report.verdict = core::Verdict::BlockedRst;
+  report.detail = "RST after keyword \"falun\" (attempt 2/3)";
+  report.packets_sent = 17;
+  report.samples = 3;
+  report.samples_blocked = 3;
+  report.attempts = 2;
+  report.confidence.conclusion = core::Conclusion::Blocked;
+  report.confidence.trials = 3;
+  report.confidence.trials_blocked = 3;
+  report.confidence.score = 1.0;
+  core::RiskReport risk;
+  risk.technique = "overt-http";
+  risk.targeted_alerts = 4;
+  risk.censored_access_alerts = 2;
+  risk.noise_alerts = 1;
+  risk.suspicion = 12.5;
+  risk.evaded = false;
+  risk.investigated = true;
+  risk.attribution_probability = 0.875;
+  return {report, risk};
+}
+
+std::pair<core::ProbeReport, core::RiskReport> sample_open() {
+  core::ProbeReport report;
+  report.technique = "mimicry-dns";
+  report.target = "open.example";
+  report.verdict = core::Verdict::Reachable;
+  report.detail = "A answer matched expectation";
+  report.packets_sent = 5;
+  report.samples = 1;
+  report.attempts = 1;
+  report.confidence.conclusion = core::Conclusion::Open;
+  report.confidence.trials = 1;
+  report.confidence.trials_open = 1;
+  report.confidence.score = 1.0;
+  core::RiskReport risk;
+  risk.technique = "mimicry-dns";
+  risk.evaded = true;
+  risk.attribution_probability = 0.125;
+  return {report, risk};
+}
+
+/// A registry exercising all three series kinds, labels, and the escape
+/// paths of both renderers.
+void fill_registry(obs::Registry& registry) {
+  registry.counter("sm_ids_packets_total", {{"instance", "mvr"}},
+                   "packets inspected")->inc(1234);
+  registry.counter("sm_ids_packets_total", {{"instance", "censor"}},
+                   "packets inspected")->inc(987);
+  registry.counter("sm_campaign_trials_total", {}, "trials run")->inc(8);
+  registry.gauge("sm_mvr_store_bytes", {{"tier", "alert\"quoted\""}},
+                 "bytes retained")->set(65536.5);
+  auto* hist = registry.histogram("sm_trial_sim_seconds", 0.0, 10.0, 5, {},
+                                  "per-trial simulated time");
+  hist->observe(0.5);
+  hist->observe(2.5);
+  hist->observe(9.5);
+}
+
+}  // namespace
+
+TEST(Golden, ProbeReportJsonl) {
+  std::vector<std::pair<core::ProbeReport, core::RiskReport>> results;
+  results.push_back(sample_blocked());
+  results.push_back(sample_open());
+  check_golden("probe_reports.jsonl", core::to_jsonl(results));
+}
+
+TEST(Golden, RegistryJson) {
+  obs::Registry registry;
+  fill_registry(registry);
+  check_golden("metrics.json", registry.to_json() + "\n");
+}
+
+TEST(Golden, RegistryPrometheus) {
+  obs::Registry registry;
+  fill_registry(registry);
+  check_golden("metrics.prom", registry.to_prometheus());
+}

@@ -240,5 +240,127 @@ TEST_F(CoverNetTest, StatelessSynCoverElicitsRepliesToSpoofee) {
   EXPECT_GT(spoofee_stack_->stats().rst_out, 0u);
 }
 
+// --- TTL boundary cases ---
+//
+// The stateful-mimicry safety claim rests on three off-by-one cases for
+// the reply TTL. On a server — r1(tap) — r2 — r3 — spoofee chain
+// (hops_to_tap=1, hops_to_client=3), a reply sent with TTL=t reaches
+// routers 1..t and is delivered only when t > 3:
+//
+//   t=1  expires exactly at the tap hop (seen there, dropped there)
+//   t=2  one hop past the tap
+//   t=3  expires at the spoofed client's first-hop router — last safe TTL
+//   t=4  one past the window: delivered, the real stack RSTs (the hazard
+//        simcheck's ttl-plus-one fault injects)
+
+struct TtlChainRun {
+  uint64_t tap_synacks = 0;  // server->spoofee SYN/ACKs seen at the tap
+  uint64_t spoofee_segments = 0;
+  uint64_t spoofee_rsts = 0;
+  uint64_t ttl_drops[3] = {0, 0, 0};  // r1, r2, r3
+  uint64_t server_accepted = 0;
+};
+
+TtlChainRun run_ttl_chain(uint8_t reply_ttl) {
+  netsim::Network net;
+  auto* server = net.add_host("server", Ipv4Address(203, 0, 113, 50));
+  auto* client = net.add_host("client", Ipv4Address(10, 1, 1, 10));
+  auto* spoofee = net.add_host("spoofee", Ipv4Address(10, 1, 1, 11));
+  auto* r1 = net.add_router("r1");
+  auto* r2 = net.add_router("r2");
+  auto* r3 = net.add_router("r3");
+  net.connect(server, r1);   // r1 port 0 (host route auto)
+  net.connect(r1, r2);       // r1 port 1 / r2 port 0
+  net.connect(r2, r3);       // r2 port 1 / r3 port 0
+  net.connect(spoofee, r3);  // r3 port 1 (host route auto)
+  net.connect(client, r3);   // r3 port 2 (host route auto)
+  r1->set_default_route(1);  // toward the client side
+  r2->add_route(Cidr(Ipv4Address(10, 1, 1, 0), 24), 1);
+  r2->set_default_route(0);
+  r3->set_default_route(0);  // toward the server side
+
+  netsim::TraceTap trace;
+  r1->add_tap(&trace);
+
+  proto::tcp::Stack server_stack(*server);
+  proto::tcp::Stack spoofee_stack(*spoofee);
+  proto::http::Server http(server_stack, 80);
+  MimicryServer mimicry(server_stack, 0x5EC7E7, 80);
+  mimicry.register_cover_client(spoofee->address(), reply_ttl);
+  StatefulMimicryClient mimic(*client, server->address(), 80, 0x5EC7E7,
+                              Duration::millis(5));
+  mimic.run_flow(spoofee->address(),
+                 "GET /cover HTTP/1.1\r\nHost: measure.example\r\n\r\n");
+  net.run_for(Duration::seconds(2));
+
+  TtlChainRun run;
+  for (const auto& rec : trace.records()) {
+    auto d = packet::decode(rec.data);
+    if (d && d->tcp && d->ip.dst == spoofee->address() && d->tcp->syn() &&
+        d->tcp->ack_flag())
+      ++run.tap_synacks;
+  }
+  run.spoofee_segments = spoofee_stack.stats().segments_in;
+  run.spoofee_rsts = spoofee_stack.stats().rst_out;
+  run.ttl_drops[0] = r1->counters().dropped_ttl;
+  run.ttl_drops[1] = r2->counters().dropped_ttl;
+  run.ttl_drops[2] = r3->counters().dropped_ttl;
+  run.server_accepted = server_stack.stats().connections_accepted;
+  return run;
+}
+
+TEST(TtlBoundary, ExpiresExactlyAtTapHop) {
+  TtlChainRun run = run_ttl_chain(1);
+  // The tap still records the SYN/ACK (taps see ingress, before the
+  // decrement), then the reply dies on that very router.
+  EXPECT_GT(run.tap_synacks, 0u);
+  EXPECT_GT(run.ttl_drops[0], 0u);
+  EXPECT_EQ(run.ttl_drops[1], 0u);
+  EXPECT_EQ(run.spoofee_segments, 0u);
+  EXPECT_EQ(run.spoofee_rsts, 0u);
+  EXPECT_EQ(run.server_accepted, 1u);  // forged ACK still lands
+}
+
+TEST(TtlBoundary, OneHopPastTheTapStillSafe) {
+  TtlChainRun run = run_ttl_chain(2);
+  EXPECT_GT(run.tap_synacks, 0u);
+  EXPECT_EQ(run.ttl_drops[0], 0u);
+  EXPECT_GT(run.ttl_drops[1], 0u);  // dies at r2
+  EXPECT_EQ(run.spoofee_segments, 0u);
+  EXPECT_EQ(run.spoofee_rsts, 0u);
+  EXPECT_EQ(run.server_accepted, 1u);
+}
+
+TEST(TtlBoundary, ExpiresAtSpoofedClientsFirstHopRouter) {
+  // TTL == hops_to_client is the last safe value: it expires at the
+  // spoofed client's own first-hop router, one decrement short of the
+  // host. This is exactly plan_reply_ttl's upper bound.
+  TtlChainRun run = run_ttl_chain(3);
+  EXPECT_GT(run.tap_synacks, 0u);
+  EXPECT_GT(run.ttl_drops[2], 0u);  // dies at r3
+  EXPECT_EQ(run.spoofee_segments, 0u);
+  EXPECT_EQ(run.spoofee_rsts, 0u);
+  EXPECT_EQ(run.server_accepted, 1u);
+}
+
+TEST(TtlBoundary, OnePastTheWindowReachesTheSpoofedClient) {
+  // TTL == hops_to_client + 1 is the off-by-one that unravels the cover:
+  // the reply is delivered, the spoofed host's real stack RSTs it.
+  TtlChainRun run = run_ttl_chain(4);
+  EXPECT_GT(run.spoofee_segments, 0u);
+  EXPECT_GT(run.spoofee_rsts, 0u);
+}
+
+TEST(TtlBoundary, PlannerPinsTheWindowEndpoints) {
+  // For the chain above: any of {1,2,3} is safe, 4 is not. The planner
+  // returns the low end (maximal distance from the delivery boundary).
+  EXPECT_EQ(plan_reply_ttl(1, 3), uint8_t{1});
+  // Tap *is* the spoofed client's first-hop router: the window is a
+  // single value.
+  EXPECT_EQ(plan_reply_ttl(3, 3), uint8_t{3});
+  // Tap one hop past the client's first-hop router: no safe TTL.
+  EXPECT_FALSE(plan_reply_ttl(4, 3));
+}
+
 }  // namespace
 }  // namespace sm::spoof

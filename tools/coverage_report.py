@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Aggregate gcov line coverage from a -DSM_COVERAGE=ON build.
+
+Usage:
+    tools/coverage_report.py BUILD_DIR [--floor DIR=PCT]... [--json OUT]
+
+Walks BUILD_DIR for .gcda counter files (written when the instrumented
+tests run), invokes gcov in JSON mode, and merges line records across
+translation units: a line is covered if any TU executed it.  Coverage is
+reported per top-level source directory (src/core, src/spoof, ...) and
+each --floor DIR=PCT becomes a gate: exit 1 when DIR's line coverage
+falls below PCT.
+
+Only the stdlib and the gcov binary are required.
+"""
+
+import argparse
+import collections
+import json
+import os
+import subprocess
+import sys
+
+
+def find_gcda(build_dir):
+    for root, _dirs, files in os.walk(build_dir):
+        for name in files:
+            if name.endswith(".gcda"):
+                yield os.path.join(root, name)
+
+
+def run_gcov(gcda_paths, cwd):
+    """Returns the parsed JSON documents for a batch of .gcda files."""
+    cmd = ["gcov", "--json-format", "--stdout"] + gcda_paths
+    proc = subprocess.run(cmd, cwd=cwd, stdout=subprocess.PIPE,
+                          stderr=subprocess.DEVNULL, check=False)
+    docs = []
+    for line in proc.stdout.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            docs.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue
+    return docs
+
+
+def source_key(path, repo_root):
+    """Repo-relative path for sources inside the tree, else None."""
+    path = os.path.normpath(os.path.join(repo_root, path)
+                            if not os.path.isabs(path) else path)
+    try:
+        rel = os.path.relpath(path, repo_root)
+    except ValueError:
+        return None
+    if rel.startswith(".."):
+        return None
+    return rel
+
+
+def collect(build_dir, repo_root):
+    """{source: {line_number: max_count}} for sources under the repo."""
+    lines = collections.defaultdict(dict)
+    by_dir = collections.defaultdict(list)
+    for gcda in find_gcda(build_dir):
+        by_dir[os.path.dirname(gcda)].append(os.path.basename(gcda))
+    for cwd, names in sorted(by_dir.items()):
+        for doc in run_gcov(sorted(names), cwd):
+            for entry in doc.get("files", []):
+                key = source_key(entry.get("file", ""), repo_root)
+                if key is None:
+                    continue
+                merged = lines[key]
+                for rec in entry.get("lines", []):
+                    number = rec.get("line_number")
+                    count = rec.get("count", 0)
+                    if number is None:
+                        continue
+                    merged[number] = max(merged.get(number, 0), count)
+    return lines
+
+
+def group(lines):
+    """Per-directory (and total) [covered, executable] line tallies.
+
+    Only product sources under src/ count; the tests' and benches' own
+    line coverage is trivially high and would dilute the floors.
+    """
+    stats = collections.defaultdict(lambda: [0, 0])
+    for source, merged in lines.items():
+        parts = source.split(os.sep)
+        if parts[0] != "src" or len(parts) < 2:
+            continue
+        scope = os.sep.join(parts[:2])
+        for count in merged.values():
+            stats[scope][1] += 1
+            stats["total"][1] += 1
+            if count > 0:
+                stats[scope][0] += 1
+                stats["total"][0] += 1
+    return stats
+
+
+def parse_floor(spec):
+    scope, _, pct = spec.partition("=")
+    if not pct:
+        raise argparse.ArgumentTypeError(
+            f"--floor wants DIR=PCT, got {spec!r}")
+    return scope, float(pct)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="gcov aggregation with per-directory floors")
+    parser.add_argument("build_dir")
+    parser.add_argument("--floor", action="append", type=parse_floor,
+                        default=[], metavar="DIR=PCT")
+    parser.add_argument("--json", metavar="OUT",
+                        help="also write the per-directory table as JSON")
+    args = parser.parse_args()
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    lines = collect(args.build_dir, repo_root)
+    if not lines:
+        print(f"coverage: no .gcda under {args.build_dir} — build with "
+              "-DSM_COVERAGE=ON and run the tests first", file=sys.stderr)
+        return 2
+
+    stats = group(lines)
+    floors = dict(args.floor)
+    failures = []
+    print(f"{'scope':<18} {'covered':>8} {'lines':>8} {'pct':>7}  floor")
+    for scope in sorted(stats, key=lambda s: (s == "total", s)):
+        covered, executable = stats[scope]
+        pct = 100.0 * covered / executable if executable else 0.0
+        floor = floors.get(scope)
+        mark = ""
+        if floor is not None:
+            mark = f"{floor:.1f}"
+            if pct < floor:
+                mark += "  FAIL"
+                failures.append((scope, pct, floor))
+        print(f"{scope:<18} {covered:>8} {executable:>8} {pct:>6.1f}%  {mark}")
+
+    for scope in floors:
+        if scope not in stats:
+            failures.append((scope, 0.0, floors[scope]))
+            print(f"{scope:<18} {'-':>8} {'-':>8} {'-':>7}  "
+                  f"{floors[scope]:.1f}  FAIL (no sources seen)")
+
+    if args.json:
+        table = {
+            scope: {
+                "covered": stats[scope][0],
+                "lines": stats[scope][1],
+                "pct": round(100.0 * stats[scope][0] / stats[scope][1], 2)
+                if stats[scope][1] else 0.0,
+            }
+            for scope in stats
+        }
+        with open(args.json, "w") as out:
+            json.dump(table, out, indent=2, sort_keys=True)
+            out.write("\n")
+
+    if failures:
+        for scope, pct, floor in failures:
+            print(f"coverage: {scope} at {pct:.1f}% is below the "
+                  f"{floor:.1f}% floor", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
