@@ -9,6 +9,7 @@
 #include "common/rng.hpp"
 #include "ids/engine.hpp"
 #include "netsim/engine.hpp"
+#include "netsim/topology.hpp"
 #include "packet/checksum.hpp"
 #include "packet/fragment.hpp"
 #include "packet/packet.hpp"
@@ -151,6 +152,73 @@ void BM_FlowTableUpdate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FlowTableUpdate);
+
+// Event-queue scaling: enqueue N uniformly-distributed deadlines, then
+// drain. The timer wheel must hold its per-event cost flat as the
+// pending count grows (the heap's log N comparisons + std::function
+// swaps did not).
+void BM_EventQueuePending(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  common::Rng rng(7);
+  std::vector<common::Duration> delays;
+  delays.reserve(n);
+  for (size_t i = 0; i < n; ++i)
+    delays.push_back(common::Duration(
+        static_cast<int64_t>(rng.bounded(10'000'000'000ull))));
+  for (auto _ : state) {
+    netsim::Engine engine;
+    uint64_t fired = 0;
+    for (size_t i = 0; i < n; ++i)
+      engine.schedule(delays[i], [&fired] { ++fired; });
+    engine.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(n));
+}
+BENCHMARK(BM_EventQueuePending)
+    ->Arg(1'000)
+    ->Arg(10'000)
+    ->Arg(100'000)
+    ->Arg(1'000'000)
+    ->Unit(benchmark::kMillisecond);
+
+// Per-hop packet delivery through host -> router -> host, with and
+// without an observing tap on the router. The zero-copy contract says
+// the tap costs one decode-borrowed view, never a payload copy.
+void BM_RouterHopDelivery(benchmark::State& state) {
+  class ObserveTap : public netsim::Tap {
+   public:
+    netsim::TapDecision process(const netsim::TapContext& ctx,
+                                netsim::Router&) override {
+      bytes += ctx.pkt.wire().size();
+      return netsim::TapDecision::Pass;
+    }
+    uint64_t bytes = 0;
+  };
+  netsim::Network net;
+  netsim::Host* a = net.add_host("a", Ipv4Address(10, 0, 0, 1));
+  netsim::Host* b = net.add_host("b", Ipv4Address(10, 0, 0, 2));
+  netsim::Router* r = net.add_router("r");
+  net.connect(a, r,
+              netsim::LinkConfig{common::Duration::micros(10), 0, 0.0});
+  net.connect(b, r,
+              netsim::LinkConfig{common::Duration::micros(10), 0, 0.0});
+  ObserveTap tap;
+  if (state.range(0)) r->add_tap(&tap);
+  uint64_t delivered = 0;
+  b->udp_bind(9000, [&](const packet::Decoded&, std::span<const uint8_t>) {
+    ++delivered;
+  });
+  common::Bytes payload = make_payload(512);
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i)
+      a->send_udp(b->address(), 1234, 9000, payload);
+    net.run_for(common::Duration::millis(1));
+  }
+  benchmark::DoNotOptimize(delivered);
+  state.SetItemsProcessed(int64_t(state.iterations()) * 64);
+}
+BENCHMARK(BM_RouterHopDelivery)->Arg(0)->Arg(1);
 
 void BM_EventLoopThroughput(benchmark::State& state) {
   for (auto _ : state) {

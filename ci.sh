@@ -13,7 +13,11 @@
 #   4. coverage: gcov build (-DSM_COVERAGE=ON), full ctest, then
 #      tools/coverage_report.py enforces the line-coverage floors for
 #      src/core and src/spoof;
-#   5. tier-1 verify: the plain default build + ctest, exactly the
+#   5. perf smoke: Release build of the tracked perf benches in reduced
+#      (--smoke) configuration, diffed against the checked-in BENCH_*
+#      baselines by tools/perf_smoke.py — a >20% throughput regression
+#      on the event core, packet pipeline, or IDS match path fails CI;
+#   6. tier-1 verify: the plain default build + ctest, exactly the
 #      commands ROADMAP.md promises stay green.
 #
 #   ./ci.sh            # all stages
@@ -21,7 +25,8 @@
 #   ./ci.sh tsan       # stage 2 only
 #   ./ci.sh simcheck   # stage 3 only
 #   ./ci.sh coverage   # stage 4 only
-#   ./ci.sh tier1      # stage 5 only
+#   ./ci.sh perf       # stage 5 only
+#   ./ci.sh tier1      # stage 6 only
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")" && pwd)"
@@ -45,8 +50,12 @@ if [ "$STAGE" = "all" ] || [ "$STAGE" = "tsan" ]; then
   # The concurrency surface: the campaign runner itself plus the shared
   # layers its workers touch concurrently (logging, metrics merge) — and
   # the codec fuzz sweeps, which are cheap and worth a second sanitizer.
+  # TimerWheel/PacketView ride along: the packet copy counters are the
+  # one atomic the zero-copy path added, and the wheel's dispatch loop
+  # is timing-sensitive enough to deserve every sanitizer we have.
   ctest --test-dir "$ROOT/build-tsan" --output-on-failure -j "$(nproc)" \
-        --schedule-random -R '(Campaign|Logging|Merge|PacketFuzz)'
+        --schedule-random \
+        -R '(Campaign|Logging|Merge|PacketFuzz|TimerWheel|PacketView)'
 fi
 
 if [ "$STAGE" = "all" ] || [ "$STAGE" = "simcheck" ]; then
@@ -88,8 +97,31 @@ if [ "$STAGE" = "all" ] || [ "$STAGE" = "coverage" ]; then
           --floor src/core=91 --floor src/spoof=89
 fi
 
+if [ "$STAGE" = "all" ] || [ "$STAGE" = "perf" ]; then
+  echo "=== stage 5: perf smoke (Release, vs checked-in baselines) ==="
+  cmake -B "$ROOT/build-release" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$ROOT/build-release" -j \
+        --target bench_event_core bench_ids_fastpath
+  # Shared runners throttle unpredictably; one bad measurement window
+  # shouldn't fail the build. A failed gate gets one fresh re-run of the
+  # bench before it counts as a regression.
+  perf_gate() { # <bench-binary> <checked-in-baseline> <fresh-json>
+    if "$1" "$3" --smoke && python3 "$ROOT/tools/perf_smoke.py" "$2" "$3"
+    then
+      return 0
+    fi
+    echo "--- perf gate failed; retrying once with a fresh run ---"
+    "$1" "$3" --smoke
+    python3 "$ROOT/tools/perf_smoke.py" "$2" "$3"
+  }
+  perf_gate "$ROOT/build-release/bench/bench_event_core" \
+            "$ROOT/BENCH_event_core.json" /tmp/smoke-event-core.json
+  perf_gate "$ROOT/build-release/bench/bench_ids_fastpath" \
+            "$ROOT/BENCH_ids_fastpath.json" /tmp/smoke-ids-fastpath.json
+fi
+
 if [ "$STAGE" = "all" ] || [ "$STAGE" = "tier1" ]; then
-  echo "=== stage 5: tier-1 verify (default build) ==="
+  echo "=== stage 6: tier-1 verify (default build) ==="
   cmake -B "$ROOT/build" -S "$ROOT"
   cmake --build "$ROOT/build" -j
   ctest --test-dir "$ROOT/build" --output-on-failure -j "$(nproc)" \

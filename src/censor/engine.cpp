@@ -14,10 +14,9 @@ CensorTap::CensorTap(CensorPolicy policy)
 
 bool CensorTap::in_blackout(const TapContext& ctx) {
   if (blackouts_.empty()) return false;
-  BlackoutKey key{ctx.decoded.ip.src, ctx.decoded.ip.dst,
-                  ctx.decoded.src_port(), ctx.decoded.dst_port()};
-  BlackoutKey rkey{ctx.decoded.ip.dst, ctx.decoded.ip.src,
-                   ctx.decoded.dst_port(), ctx.decoded.src_port()};
+  const auto& d = ctx.decoded();
+  BlackoutKey key{d.ip.src, d.ip.dst, d.src_port(), d.dst_port()};
+  BlackoutKey rkey{d.ip.dst, d.ip.src, d.dst_port(), d.src_port()};
   for (const auto& k : {key, rkey}) {
     auto it = blackouts_.find(k);
     if (it != blackouts_.end()) {
@@ -29,7 +28,7 @@ bool CensorTap::in_blackout(const TapContext& ctx) {
 }
 
 void CensorTap::inject_rsts(const TapContext& ctx, netsim::Router& router) {
-  const auto& d = ctx.decoded;
+  const auto& d = ctx.decoded();
   if (!d.tcp) return;
   ++stats_.rst_bursts;
 
@@ -59,7 +58,7 @@ void CensorTap::inject_rsts(const TapContext& ctx, netsim::Router& router) {
 
 bool CensorTap::maybe_forge_dns(const TapContext& ctx,
                                 netsim::Router& router) {
-  const auto& d = ctx.decoded;
+  const auto& d = ctx.decoded();
   if (!d.udp || d.udp->dst_port != 53) return false;
   auto query = proto::dns::decode(d.l4_payload);
   if (!query || query->header.qr || query->questions.empty()) return false;
@@ -81,7 +80,7 @@ bool CensorTap::maybe_forge_dns(const TapContext& ctx,
 
 bool CensorTap::dns_query_dropped(const TapContext& ctx) {
   if (policy_.dns_drop_keywords.empty()) return false;
-  const auto& d = ctx.decoded;
+  const auto& d = ctx.decoded();
   if (!d.udp || d.udp->dst_port != 53) return false;
   auto query = proto::dns::decode(d.l4_payload);
   if (!query || query->header.qr || query->questions.empty()) return false;
@@ -98,7 +97,7 @@ bool CensorTap::dns_query_dropped(const TapContext& ctx) {
 bool CensorTap::maybe_inject_blockpage(const TapContext& ctx,
                                        netsim::Router& router) {
   if (policy_.blockpage_keywords.empty()) return false;
-  const auto& d = ctx.decoded;
+  const auto& d = ctx.decoded();
   if (!d.tcp || d.tcp->dst_port != 80 || d.l4_payload.empty()) return false;
   std::string_view payload(
       reinterpret_cast<const char*>(d.l4_payload.data()),
@@ -152,18 +151,18 @@ TapDecision CensorTap::process(const TapContext& ctx,
     return TapDecision::Drop;
   }
 
-  const auto& ip = ctx.decoded.ip;
+  const auto& ip = ctx.decoded().ip;
   if ((ip.more_fragments || ip.fragment_offset != 0) &&
       policy_.reassemble_ip_fragments) {
     // Virtual defragmentation: inspect the rebuilt datagram when the
     // last piece arrives; earlier fragments were already forwarded, so
     // an inline action can only eat this final piece (plus the blackout).
-    auto whole = reassembler_.add(ctx.now, ctx.wire);
+    auto whole = reassembler_.add(ctx.now, ctx.pkt.wire());
     if (!whole) return TapDecision::Pass;
     auto decoded = packet::decode(*whole);
     if (!decoded) return TapDecision::Pass;
-    TapContext rebuilt{ctx.now, *decoded, whole->data(), ctx.in_port,
-                       ctx.out_port};
+    TapContext rebuilt{ctx.now, packet::PacketView(whole->data(), *decoded),
+                       ctx.in_port, ctx.out_port};
     return inspect(rebuilt, router);
   }
 
@@ -185,7 +184,7 @@ TapDecision CensorTap::inspect(const TapContext& ctx,
   // DNS forgery is off-path: inject the lie, let the query pass.
   maybe_forge_dns(ctx, router);
 
-  auto verdict = engine_.process(ctx.now, ctx.decoded);
+  auto verdict = engine_.process(ctx.now, ctx.decoded());
   if (verdict.reject) {
     inject_rsts(ctx, router);
     // The GFC is off-path: the triggering packet itself is usually

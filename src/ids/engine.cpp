@@ -23,10 +23,26 @@ Engine::Engine(std::vector<Rule> rules, EngineOptions options)
     cr.matchers.reserve(r.contents.size());
     for (const auto& c : r.contents)
       cr.matchers.emplace_back(c.pattern, c.nocase);
+    if (!r.contents.empty()) has_content_rules_ = true;
     cr.rule = std::move(r);
     rules_.push_back(std::move(cr));
   }
-  if (options_.use_fastpath) build_fastpath();
+  // Resolve the match path once: Linear (or the legacy use_fastpath=false
+  // spelling) forces the scan, Fastpath forces the index, Auto picks by
+  // ruleset size.
+  switch (options_.mode) {
+    case MatchMode::Linear:
+      fastpath_active_ = false;
+      break;
+    case MatchMode::Fastpath:
+      fastpath_active_ = options_.use_fastpath;
+      break;
+    case MatchMode::Auto:
+      fastpath_active_ = options_.use_fastpath &&
+                         rules_.size() > options_.auto_linear_max_rules;
+      break;
+  }
+  if (fastpath_active_) build_fastpath();
 }
 
 Engine Engine::from_text(std::string_view rules_text, const VarTable& vars,
@@ -280,9 +296,9 @@ bool Engine::eval_rule(uint32_t idx, SimTime now, const packet::Decoded& d,
 Verdict Engine::process(SimTime now, const packet::Decoded& d) {
   ++stats_.packets;
   Verdict verdict;
-  FlowContext fc = flows_.update(now, d);
+  FlowContext fc = flows_.update(now, d, has_content_rules_);
 
-  if (!options_.use_fastpath) {
+  if (!fastpath_active_) {
     for (uint32_t i = 0; i < rules_.size(); ++i)
       if (!eval_rule(i, now, d, fc, verdict)) break;
     return verdict;

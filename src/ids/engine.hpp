@@ -53,6 +53,15 @@ struct Verdict {
   std::vector<Alert> alerts;
 };
 
+/// Match-path selection. Auto (the default) picks per ruleset size: the
+/// group index + prefilter only pay off once the ruleset is large enough
+/// that a linear scan walks meaningfully more rules than the index
+/// returns — below `auto_linear_max_rules` the bookkeeping overhead made
+/// the fastpath a net loss (BENCH_ids_fastpath.json showed 0.92x at 10
+/// rules), so small rulesets run the linear scan. Both paths produce
+/// byte-identical verdicts, so the cutover never changes behavior.
+enum class MatchMode : uint8_t { Auto, Linear, Fastpath };
+
 /// Construction-time knobs. `use_fastpath` selects the rule-group index +
 /// fast-pattern prefilter; turning it off restores the legacy linear scan
 /// (same verdicts, used by equivalence tests and as a debugging aid).
@@ -63,6 +72,13 @@ struct EngineOptions {
   /// prefilter only engages when at least this many content-rule
   /// candidates survive the port-group index. 0 forces it always on.
   size_t prefilter_min_candidates = 8;
+  /// Match-path policy; `use_fastpath = false` is equivalent to (and
+  /// kept as legacy spelling of) Linear.
+  MatchMode mode = MatchMode::Auto;
+  /// Auto cutover: rulesets of at most this many rules run linear.
+  /// Calibrated by bench_ids_fastpath (crossover sits between the 10-
+  /// and 100-rule scales on the reference workload).
+  size_t auto_linear_max_rules = 24;
 };
 
 class Engine {
@@ -82,6 +98,9 @@ class Engine {
   FlowTable& flows() { return flows_; }
   size_t rule_count() const { return rules_.size(); }
   const EngineOptions& options() const { return options_; }
+  /// The match path this engine actually runs (Auto resolved against the
+  /// ruleset size at construction).
+  bool fastpath_active() const { return fastpath_active_; }
 
   struct Stats {
     uint64_t packets = 0;
@@ -135,6 +154,11 @@ class Engine {
 
   std::vector<CompiledRule> rules_;
   EngineOptions options_;
+  bool fastpath_active_ = false;
+  /// Whether any rule carries content matches; when none do, stream
+  /// reassembly buffers have no reader and flow updates skip the payload
+  /// copy entirely (verdicts are provably unchanged).
+  bool has_content_rules_ = false;
   PortGroup groups_[4];  // indexed by RuleProto
   FastPatternIndex prefilter_;
   std::vector<uint32_t> candidates_;  // per-packet scratch (sorted, unique)

@@ -83,7 +83,8 @@ FlowKey FlowKey::from(const packet::Decoded& d) {
   return k;
 }
 
-FlowContext FlowTable::update(SimTime now, const packet::Decoded& d) {
+FlowContext FlowTable::update(SimTime now, const packet::Decoded& d,
+                              bool buffer_streams) {
   if (!d.tcp && !d.udp) return {};
   FlowKey key = FlowKey::from(d);
   auto [it, inserted] = flows_.try_emplace(key);
@@ -116,11 +117,12 @@ FlowContext FlowTable::update(SimTime now, const packet::Decoded& d) {
     } else if (st.syn_seen && st.synack_seen && d.tcp->ack_flag()) {
       st.established = true;
     }
-    if (!d.l4_payload.empty()) {
+    if (buffer_streams && !d.l4_payload.empty()) {
       StreamBuffer& stream =
           to_server ? st.to_server_stream : st.to_client_stream;
       // Mid-stream pickup: if we never saw the SYN, anchor at this segment.
       stream.set_base(d.tcp->seq);
+      packet::count_copy(packet::CopySite::Stream);
       stream.add_segment(d.tcp->seq, d.l4_payload);
     }
   }

@@ -104,7 +104,12 @@ class FlowTable {
 
   /// Updates state for the packet and returns its flow context. Non-TCP/
   /// UDP packets return a null context.
-  FlowContext update(SimTime now, const packet::Decoded& d);
+  /// Advances flow state for one packet. `buffer_streams = false` keeps
+  /// the handshake/direction tracking but skips copying TCP payload into
+  /// the reassembly buffers — correct whenever no rule will ever read
+  /// them (the engine passes false for content-free rulesets).
+  FlowContext update(SimTime now, const packet::Decoded& d,
+                     bool buffer_streams = true);
 
   /// Evicts flows idle longer than the timeout.
   size_t expire(SimTime now);

@@ -1,12 +1,24 @@
 // Discrete-event simulation engine.
 //
-// A single-threaded event loop over a priority queue keyed by
+// A single-threaded event loop over a hierarchical timer wheel keyed by
 // (time, insertion sequence), so simultaneous events run in scheduling
-// order and every run is exactly reproducible.
+// order and every run is exactly reproducible. The wheel replaces the
+// earlier binary heap: O(1) amortized insertion, batched dispatch of all
+// events sharing a wheel tick, and an ordered far-list for events beyond
+// the wheel horizon (~19.5 simulated hours at the default resolution).
+//
+// Determinism contract (relied on by simcheck's byte-identity oracle):
+// events execute in strictly nondecreasing (when, seq) order, where seq
+// is the global insertion sequence number. Wheel slots may hold events
+// in arbitrary internal order — every extracted batch is sorted by
+// (when, seq) before dispatch, and cascades only move events whose
+// deadlines provably precede everything else pending.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/time.hpp"
@@ -18,28 +30,47 @@ namespace sm::netsim {
 using common::Duration;
 using common::SimTime;
 
+/// Handle for a scheduled event, usable with Engine::cancel. Ids are
+/// never reused within an engine's lifetime.
+using TimerId = uint64_t;
+
 class Engine {
  public:
   using Action = std::function<void()>;
 
   /// Schedules `action` to run at now() + delay (delay may be zero; the
-  /// action still runs after the current event completes).
-  void schedule(Duration delay, Action action);
+  /// action still runs after the current event completes). Returns a
+  /// TimerId usable with cancel().
+  TimerId schedule(Duration delay, Action action);
 
-  /// Schedules at an absolute time (must not be in the past).
-  void schedule_at(SimTime when, Action action);
+  /// Schedules at an absolute time (times in the past clamp to now()).
+  TimerId schedule_at(SimTime when, Action action);
+
+  /// Cancels a *pending* timer: the event is skipped at dispatch time
+  /// (it never executes and does not count toward run()'s event budget).
+  /// Returns false if `id` was never issued or is already cancelled.
+  /// Contract: ids of events that have already fired must not be passed
+  /// (the engine cannot distinguish them from pending ids cheaply; the
+  /// caller owns that bookkeeping, as TCP-style timer users naturally do).
+  bool cancel(TimerId id);
+
+  /// Convenience: cancel(id) then schedule(delay, action); returns the
+  /// replacement timer's id.
+  TimerId reschedule(TimerId id, Duration delay, Action action);
 
   SimTime now() const { return now_; }
 
   /// Runs events until the queue is empty or `max_events` have executed.
-  /// Returns the number of events executed.
+  /// Returns the number of events executed (cancelled events are skipped
+  /// and do not count).
   size_t run(size_t max_events = SIZE_MAX);
 
   /// Runs events with timestamps <= deadline; the clock then advances to
   /// the deadline even if the queue emptied earlier.
   size_t run_until(SimTime deadline);
 
-  size_t pending() const { return queue_.size(); }
+  /// Live (non-cancelled) events awaiting dispatch.
+  size_t pending() const { return live_ - cancelled_.size(); }
   size_t executed() const { return executed_; }
 
   /// Attaches a sim-time tracer: each executed event records an instant
@@ -56,28 +87,60 @@ class Engine {
   void export_metrics(obs::Registry& registry) const;
 
  private:
-  void trace_executed(const common::SimTime& when);
+  // Wheel geometry: 6 levels of 64 slots; level-0 slots are
+  // 2^kResBits ns wide. Level l covers a window of 64^(l+1) ticks past
+  // the cursor, so the wheel spans 64^6 ticks (~19.5 h at 1024 ns/tick)
+  // before events spill to the far-list.
+  static constexpr int kResBits = 10;   // level-0 tick = 1024 ns
+  static constexpr int kSlotBits = 6;   // 64 slots per level
+  static constexpr int kLevels = 6;
+  static constexpr uint64_t kSlots = uint64_t{1} << kSlotBits;
+  static constexpr uint64_t kSlotMask = kSlots - 1;
+
   struct Event {
     SimTime when;
     uint64_t seq;
     Action action;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
-  };
 
-  /// Pops the earliest event off the heap, *moving* it out (a
-  /// priority_queue's const top() would force copying the std::function
-  /// and its captures on every event).
-  Event pop_next();
+  static uint64_t tick_of(SimTime t) {
+    return static_cast<uint64_t>(t.count()) >> kResBits;
+  }
+  /// True if tick fits the wheel (some level) relative to the cursor.
+  bool fits_wheel(uint64_t tick) const {
+    return (tick >> (kSlotBits * (kLevels - 1))) -
+               (pos_ >> (kSlotBits * (kLevels - 1))) <
+           kSlots;
+  }
 
-  std::vector<Event> queue_;  // binary min-heap under Later
+  void wheel_insert(Event ev);
+  /// Refills due_ with the next batch (all events of the earliest
+  /// occupied tick, sorted by (when, seq)), cascading outer levels and
+  /// migrating far-list events as needed. False if nothing is pending.
+  bool ensure_due();
+  void migrate_far();
+  void trace_executed(const common::SimTime& when);
+
+  std::vector<Event> slots_[kLevels][kSlots];
+  uint64_t occupied_[kLevels] = {};  // bit s set <=> slots_[l][s] nonempty
+  /// Events beyond the wheel horizon, ordered by tick (insertion order
+  /// preserved among equal ticks; final order is restored by the batch
+  /// sort anyway).
+  std::multimap<uint64_t, Event> far_;
+  /// Current dispatch batch: earliest tick's events sorted by
+  /// (when, seq); due_head_ indexes the next undispatched entry. New
+  /// events landing inside the batch's remaining range are spliced in
+  /// at their (when, seq) position.
+  std::vector<Event> due_;
+  size_t due_head_ = 0;
+  uint64_t pos_ = 0;  // wheel cursor, in level-0 ticks; never decreases
+
+  std::unordered_set<TimerId> cancelled_;
+
   SimTime now_{};
   uint64_t next_seq_ = 0;
   size_t executed_ = 0;
+  size_t live_ = 0;  // events in slots_/far_/due_ (incl. cancelled)
   size_t queue_high_water_ = 0;
   obs::Tracer* tracer_ = nullptr;
 };

@@ -80,6 +80,9 @@ void Link::send_from(Node* from, packet::Packet packet) {
   if (d.duplicate) {
     ++stats_.duplicated;
     ++stats_.delivered;
+    // The duplicate needs its own owner; the only impairment-forced copy
+    // (corruption mutates the uniquely-owned buffer in place).
+    packet::count_copy(packet::CopySite::Impairment);
     deliver_at(arrive + d.duplicate_lag, rx, packet);  // copy
   }
   ++stats_.delivered;

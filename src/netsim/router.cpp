@@ -45,18 +45,18 @@ void Router::receive(packet::Packet packet, int port) {
     ++counters_.dropped_ingress;
     return;
   }
-  forward(std::move(packet), port);
+  forward(std::move(packet), *decoded, port);
 }
 
-void Router::forward(packet::Packet packet, int in_port) {
-  auto decoded = packet::decode(packet);
-  if (!decoded) return;
-  int out = route_lookup(decoded->ip.dst);
+void Router::forward(packet::Packet packet, const packet::Decoded& decoded,
+                     int in_port) {
+  int out = route_lookup(decoded.ip.dst);
 
   // Taps observe at ingress, before TTL processing — like a port mirror.
   // This is what makes TTL-limited replies (§4.1) work: a reply built to
   // expire at this router still crosses the surveillance tap.
-  TapContext ctx{engine_.now(), *decoded, packet.data(), in_port, out};
+  TapContext ctx{engine_.now(), packet::PacketView(packet.data(), decoded),
+                 in_port, out};
   for (Tap* tap : taps_) {
     if (tap->process(ctx, *this) == TapDecision::Drop) {
       ++counters_.dropped_by_tap;
@@ -75,9 +75,9 @@ void Router::forward(packet::Packet packet, int in_port) {
     ++counters_.icmp_time_exceeded;
     // ICMP Time Exceeded carries the expired packet's IP header + 8 bytes.
     size_t quote_len =
-        std::min(packet.size(), decoded->ip.header_length() + 8);
+        std::min(packet.size(), decoded.ip.header_length() + 8);
     std::span<const uint8_t> quote(packet.data().data(), quote_len);
-    inject(packet::make_icmp(router_address_, decoded->ip.src,
+    inject(packet::make_icmp(router_address_, decoded.ip.src,
                              packet::IcmpHeader::kTimeExceeded, 0, 0, quote));
     return;
   }

@@ -30,13 +30,17 @@ enum class TapDecision {
   Drop,  // discard; subsequent taps do not see it
 };
 
-/// Everything a tap gets to look at for one forwarded packet.
+/// Everything a tap gets to look at for one forwarded packet. The view
+/// borrows the router's in-flight buffer: it is valid only inside
+/// Tap::process. A tap that keeps bytes must go through
+/// PacketView::retain(), which copies (and counts the copy).
 struct TapContext {
   common::SimTime now;
-  const packet::Decoded& decoded;
-  const common::Bytes& wire;
+  packet::PacketView pkt;
   int in_port;
   int out_port;
+
+  const packet::Decoded& decoded() const { return pkt.decoded(); }
 };
 
 /// In-path observer/enforcer. Taps are non-owning: the registering code
@@ -104,7 +108,11 @@ class Router : public Node {
   void set_router_address(Ipv4Address addr) { router_address_ = addr; }
 
  private:
-  void forward(packet::Packet packet, int in_port);
+  /// `decoded` is the single per-hop decode, produced by receive(); its
+  /// spans stay valid across the Packet move (vector moves keep the
+  /// heap buffer).
+  void forward(packet::Packet packet, const packet::Decoded& decoded,
+               int in_port);
 
   Engine& engine_;
   std::vector<std::pair<Cidr, int>> routes_;  // sorted by prefix len desc

@@ -13,12 +13,15 @@ void TraceTap::set_max_records(size_t max_records) {
 }
 
 TapDecision TraceTap::process(const TapContext& ctx, Router& /*router*/) {
-  if (!filter_ || filter_(ctx.decoded)) {
+  if (!filter_ || filter_(ctx.decoded())) {
     if (max_records_ > 0 && records_.size() >= max_records_) {
       records_.erase(records_.begin());
       ++dropped_;
     }
-    records_.push_back(packet::PcapRecord{ctx.now, ctx.wire});
+    // Retention sink: the pcap record outlives the tap callback, so it
+    // takes the one counted copy on this packet's path.
+    records_.push_back(packet::PcapRecord{
+        ctx.now, ctx.pkt.retain(packet::CopySite::Pcap)});
   }
   return TapDecision::Pass;
 }

@@ -1,0 +1,70 @@
+// Process-wide accounting of packet-buffer copies.
+//
+// The delivery hot path moves owned buffers (a move is a pointer swap),
+// so the steady-state cost of a hop is zero payload copies. Every place
+// that *does* duplicate wire bytes must say why, by bumping one of these
+// counters. The taxonomy is the zero-copy contract:
+//
+//   Hop        — copies on the plain forwarding path. Must stay 0; the
+//                counter exists so benches and tests can prove it and
+//                catch regressions if a copy is ever reintroduced.
+//   Impairment — clones forced by impairments (duplicate delivery needs
+//                a second owner). Corruption mutates the uniquely-owned
+//                buffer in place, so it costs no copy at all.
+//   Pcap       — trace/pcap sinks retaining bytes past the tap callback.
+//   Defrag     — IP-fragment reassembly stashing fragment payloads.
+//   Stream     — IDS TCP stream reassembly buffering segment payloads.
+//
+// Counters are relaxed atomics: campaign workers share the process, and
+// the totals are statistical, not synchronization points.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace sm::obs {
+class Registry;
+}
+
+namespace sm::packet {
+
+enum class CopySite : uint8_t { Hop, Impairment, Pcap, Defrag, Stream };
+
+struct CopyCounters {
+  std::atomic<uint64_t> hop{0};
+  std::atomic<uint64_t> impairment{0};
+  std::atomic<uint64_t> pcap{0};
+  std::atomic<uint64_t> defrag{0};
+  std::atomic<uint64_t> stream{0};
+};
+
+CopyCounters& copy_counters();
+
+inline std::atomic<uint64_t>& copy_counter(CopySite site) {
+  CopyCounters& c = copy_counters();
+  switch (site) {
+    case CopySite::Hop: return c.hop;
+    case CopySite::Impairment: return c.impairment;
+    case CopySite::Pcap: return c.pcap;
+    case CopySite::Defrag: return c.defrag;
+    case CopySite::Stream: return c.stream;
+  }
+  return c.hop;  // unreachable
+}
+
+inline void count_copy(CopySite site, uint64_t n = 1) {
+  copy_counter(site).fetch_add(n, std::memory_order_relaxed);
+}
+
+inline uint64_t copies(CopySite site) {
+  return copy_counter(site).load(std::memory_order_relaxed);
+}
+
+/// Zeroes all counters (tests/benches bracket measured sections with it).
+void reset_copy_counters();
+
+/// Pull-model metrics bridge: exports the counters as
+/// sm_packet_copies_total{site="hop"|...} into `registry`.
+void export_copy_metrics(obs::Registry& registry);
+
+}  // namespace sm::packet

@@ -65,8 +65,10 @@ std::optional<Packet> Reassembler::add(common::SimTime now,
                                        std::span<const uint8_t> wire) {
   auto decoded = decode(wire);
   if (!decoded) return std::nullopt;
-  if (!decoded->ip.more_fragments && decoded->ip.fragment_offset == 0)
+  if (!decoded->ip.more_fragments && decoded->ip.fragment_offset == 0) {
+    count_copy(CopySite::Defrag);
     return Packet(common::Bytes(wire.begin(), wire.end()));
+  }
 
   Key key{decoded->ip.src, decoded->ip.dst, decoded->ip.identification,
           decoded->ip.protocol};
@@ -77,12 +79,16 @@ std::optional<Packet> Reassembler::add(common::SimTime now,
   size_t header_len = decoded->ip.header_length();
   size_t payload_len = decoded->ip.total_length - header_len;
   uint16_t byte_offset = decoded->ip.fragment_offset * 8;
+  count_copy(CopySite::Defrag);
   partial.parts[byte_offset] =
       common::Bytes(wire.begin() + static_cast<long>(header_len),
                     wire.begin() + static_cast<long>(header_len +
                                                      payload_len));
   if (decoded->ip.fragment_offset == 0) {
     partial.first_header = decoded->ip;
+    partial.first_options.assign(decoded->ip.options.begin(),
+                                 decoded->ip.options.end());
+    partial.first_header.options = partial.first_options;
     partial.have_first = true;
   }
   if (!decoded->ip.more_fragments) {

@@ -49,6 +49,10 @@ class Reassembler {
     std::map<uint16_t, common::Bytes> parts;  // byte offset -> payload
     std::optional<size_t> total_payload;      // known once MF=0 arrives
     Ipv4Header first_header;                  // from the offset-0 fragment
+    /// Owns first_header.options' bytes: the decode's span dies with the
+    /// caller's wire buffer, so the header stored across add() calls
+    /// re-points its options at this copy.
+    common::Bytes first_options;
     bool have_first = false;
     common::SimTime started{};
   };

@@ -74,10 +74,7 @@ std::optional<Decoded> decode(std::span<const uint8_t> wire) {
   d.ip.checksum = r.u16();
   d.ip.src = Ipv4Address(r.u32());
   d.ip.dst = Ipv4Address(r.u32());
-  if (ihl > 20) {
-    auto opts = r.bytes(ihl - 20);
-    d.ip.options.assign(opts.begin(), opts.end());
-  }
+  if (ihl > 20) d.ip.options = r.bytes(ihl - 20);  // zero-copy subspan
   if (!r.ok()) return std::nullopt;
   if (d.ip.total_length < ihl || d.ip.total_length > wire.size())
     return std::nullopt;
@@ -108,10 +105,7 @@ std::optional<Decoded> decode(std::span<const uint8_t> wire) {
       t.urgent = l4.u16();
       if (data_offset < 20 || data_offset > l3_payload_len)
         return std::nullopt;
-      if (data_offset > 20) {
-        auto opts = l4.bytes(data_offset - 20);
-        t.options.assign(opts.begin(), opts.end());
-      }
+      if (data_offset > 20) t.options = l4.bytes(data_offset - 20);
       if (!l4.ok()) return std::nullopt;
       d.tcp = std::move(t);
       d.l4_payload = wire.subspan(ihl + data_offset,

@@ -12,6 +12,7 @@
 
 #include "common/bytes.hpp"
 #include "common/ip.hpp"
+#include "packet/copy_stats.hpp"
 
 namespace sm::packet {
 
@@ -35,7 +36,10 @@ struct TcpFlags {
   static constexpr uint8_t kUrg = 0x20;
 };
 
-/// Decoded IPv4 header (options are preserved as raw bytes).
+/// Decoded IPv4 header. `options` is a non-owning view into the wire
+/// buffer the header was decoded from (empty for builder-constructed
+/// headers); storing a header past that buffer's lifetime requires
+/// copying the option bytes (see packet/fragment.cpp for the pattern).
 struct Ipv4Header {
   uint8_t tos = 0;
   uint16_t total_length = 0;
@@ -48,12 +52,13 @@ struct Ipv4Header {
   uint16_t checksum = 0;  // as read from the wire; builders compute it
   Ipv4Address src;
   Ipv4Address dst;
-  Bytes options;
+  std::span<const uint8_t> options;
 
   size_t header_length() const { return 20 + options.size(); }
 };
 
-/// Decoded TCP header (options preserved as raw bytes).
+/// Decoded TCP header. `options` is a non-owning view into the decoded
+/// wire buffer, like Ipv4Header::options.
 struct TcpHeader {
   uint16_t src_port = 0;
   uint16_t dst_port = 0;
@@ -63,7 +68,7 @@ struct TcpHeader {
   uint16_t window = 65535;
   uint16_t checksum = 0;
   uint16_t urgent = 0;
-  Bytes options;
+  std::span<const uint8_t> options;
 
   bool syn() const { return flags & TcpFlags::kSyn; }
   bool ack_flag() const { return flags & TcpFlags::kAck; }
@@ -127,6 +132,33 @@ struct Decoded {
   uint16_t dst_port() const {
     return tcp ? tcp->dst_port : (udp ? udp->dst_port : 0);
   }
+};
+
+/// Non-owning view of one encoded datagram plus its decode, threaded
+/// through the per-hop observation path (router taps, IDS, censor, MVR).
+/// A view borrows the forwarding path's buffer: it is valid only for the
+/// duration of the callback it is passed to and must never be stored.
+/// Sinks that keep bytes (pcap traces, defrag buffers) call retain(),
+/// the one sanctioned — and counted — way to copy wire bytes out of the
+/// hot path.
+class PacketView {
+ public:
+  PacketView(std::span<const uint8_t> wire, const Decoded& decoded)
+      : wire_(wire), decoded_(&decoded) {}
+
+  std::span<const uint8_t> wire() const { return wire_; }
+  const Decoded& decoded() const { return *decoded_; }
+
+  /// Materializes an owned copy of the wire bytes for a retention sink,
+  /// charging the copy to `site` in the process-wide copy counters.
+  Bytes retain(CopySite site) const {
+    count_copy(site);
+    return Bytes(wire_.begin(), wire_.end());
+  }
+
+ private:
+  std::span<const uint8_t> wire_;
+  const Decoded* decoded_;
 };
 
 /// Decodes an IPv4 datagram. Returns nullopt on truncation, bad version,

@@ -25,8 +25,8 @@ MvrTap::MvrTap(MvrConfig config)
 
 netsim::TapDecision MvrTap::process(const netsim::TapContext& ctx,
                                     netsim::Router& /*router*/) {
-  const auto& d = ctx.decoded;
-  uint64_t wire_bytes = ctx.wire.size();
+  const auto& d = ctx.decoded();
+  uint64_t wire_bytes = ctx.pkt.wire().size();
   ++stats_.packets_seen;
   stats_.bytes_seen += wire_bytes;
 

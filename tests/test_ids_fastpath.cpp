@@ -145,7 +145,8 @@ TEST(FastpathEquivalence, DirectedRuleShapes) {
   // this small ruleset, so the directed cases exercise the prefilter.
   Engine fast = Engine::from_text(
       kDirectedRules, {},
-      EngineOptions{.use_fastpath = true, .prefilter_min_candidates = 0});
+      EngineOptions{.use_fastpath = true, .prefilter_min_candidates = 0,
+                      .mode = MatchMode::Fastpath});
 
   Ipv4Address c1(10, 0, 0, 1), s1(192, 0, 2, 80);
   std::vector<PacketBox> packets;
@@ -192,7 +193,8 @@ TEST(FastpathEquivalence, StreamSplitKeywordStillFires) {
       Engine::from_text(rules, {}, EngineOptions{.use_fastpath = false});
   Engine fast = Engine::from_text(
       rules, {},
-      EngineOptions{.use_fastpath = true, .prefilter_min_candidates = 0});
+      EngineOptions{.use_fastpath = true, .prefilter_min_candidates = 0,
+                      .mode = MatchMode::Fastpath});
 
   Ipv4Address c(10, 0, 0, 7), s(192, 0, 2, 80);
   std::vector<PacketBox> stream;
@@ -312,10 +314,11 @@ TEST(FastpathEquivalence, RandomizedSweep) {
     // Default crossover heuristic and always-on prefilter must both be
     // equivalent to the linear scan.
     Engine fast =
-        Engine::from_text(rules, {}, EngineOptions{.use_fastpath = true});
+        Engine::from_text(rules, {}, EngineOptions{.use_fastpath = true, .mode = MatchMode::Fastpath});
     Engine forced = Engine::from_text(
         rules, {},
-        EngineOptions{.use_fastpath = true, .prefilter_min_candidates = 0});
+        EngineOptions{.use_fastpath = true, .prefilter_min_candidates = 0,
+                      .mode = MatchMode::Fastpath});
     ASSERT_EQ(linear.rule_count(), fast.rule_count());
 
     // A small endpoint population so flows repeat and establish.
@@ -376,7 +379,8 @@ TEST(FastpathEquivalence, CorruptedTrafficMatchesLegacy) {
         Engine::from_text(rules, {}, EngineOptions{.use_fastpath = false});
     Engine fast = Engine::from_text(
         rules, {},
-        EngineOptions{.use_fastpath = true, .prefilter_min_candidates = 0});
+        EngineOptions{.use_fastpath = true, .prefilter_min_candidates = 0,
+                      .mode = MatchMode::Fastpath});
 
     std::vector<Ipv4Address> hosts;
     for (int i = 0; i < 4; ++i)
@@ -438,7 +442,8 @@ TEST(FastpathEquivalence, ReorderedStreamsMatchLegacy) {
         Engine::from_text(rules, {}, EngineOptions{.use_fastpath = false});
     Engine fast = Engine::from_text(
         rules, {},
-        EngineOptions{.use_fastpath = true, .prefilter_min_candidates = 0});
+        EngineOptions{.use_fastpath = true, .prefilter_min_candidates = 0,
+                      .mode = MatchMode::Fastpath});
 
     // A batch of handshake + split-keyword streams from distinct ports.
     std::vector<PacketBox> packets;

@@ -162,7 +162,7 @@ TEST_F(TwoHosts, TapSeesAndCanDrop) {
     int seen = 0;
     TapDecision process(const TapContext& ctx, Router&) override {
       ++seen;
-      return ctx.decoded.udp ? TapDecision::Drop : TapDecision::Pass;
+      return ctx.decoded().udp ? TapDecision::Drop : TapDecision::Pass;
     }
   } tap;
   r_->add_tap(&tap);

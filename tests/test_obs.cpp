@@ -361,7 +361,8 @@ TEST(TraceTapCap, DropsOldestAndCounts) {
     common::Bytes wire = p.data();
     auto decoded = packet::decode(wire);
     ASSERT_TRUE(decoded.has_value());
-    netsim::TapContext ctx{engine.now(), *decoded, wire, 0, 1};
+    netsim::TapContext ctx{engine.now(), packet::PacketView(wire, *decoded),
+                           0, 1};
     tap.process(ctx, router);
   };
   for (uint16_t i = 0; i < 5; ++i) send(static_cast<uint16_t>(1000 + i));

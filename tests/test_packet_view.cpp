@@ -1,0 +1,157 @@
+// PacketView ownership/aliasing tests for the zero-copy forwarding path.
+//
+// PR6 threaded a non-owning PacketView through link delivery, the tap
+// chain, and the IDS so the uncorrupted path makes zero payload copies
+// per hop. Non-owning views make aliasing the failure mode to guard: a
+// tap that *retains* bytes must get its own copy, so a corrupting
+// impairment mutating the in-flight buffer on a downstream link can
+// never reach bytes a tap already kept. These tests lock in that
+// contract and the copy-counter taxonomy (Hop must stay 0).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "netsim/topology.hpp"
+#include "packet/copy_stats.hpp"
+#include "packet/packet.hpp"
+
+namespace sm::netsim {
+namespace {
+
+using common::Duration;
+using common::Ipv4Address;
+
+/// Tap that keeps every forwarded packet's bytes via the counted
+/// retain() path (the pcap sink does exactly this).
+class RetainTap : public Tap {
+ public:
+  TapDecision process(const TapContext& ctx, Router&) override {
+    kept.push_back(ctx.pkt.retain(packet::CopySite::Pcap));
+    return TapDecision::Pass;
+  }
+  std::vector<common::Bytes> kept;
+};
+
+TEST(PacketView, RetainedBytesSurviveDownstreamCorruption) {
+  packet::reset_copy_counters();
+  Network net;
+  Host* a = net.add_host("a", Ipv4Address(10, 0, 0, 1));
+  Host* b = net.add_host("b", Ipv4Address(10, 0, 0, 2));
+  Router* r = net.add_router("r");
+  net.connect(a, r, LinkConfig{Duration::millis(1), 0, 0.0});
+  LinkConfig corrupting{Duration::millis(1), 0, 0.0};
+  corrupting.impairment.corrupt_rate = 1.0;  // flip a byte of every packet
+  Link* rb = net.connect(b, r, corrupting);
+
+  RetainTap tap;
+  r->add_tap(&tap);
+
+  a->send_udp(b->address(), 1234, 9000, common::to_bytes("pristine bytes"));
+  net.run_for(Duration::millis(10));
+
+  // The corruption really happened, in place, on the r->b link...
+  EXPECT_GE(rb->stats().corrupted + rb->stats().dropped_corrupt, 1u);
+  // ...but the bytes the tap retained one hop earlier are untouched:
+  // still a checksum-valid wire image of the original datagram.
+  ASSERT_EQ(tap.kept.size(), 1u);
+  EXPECT_TRUE(packet::verify_checksums(tap.kept[0]));
+  auto decoded = packet::decode(tap.kept[0]);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(common::to_string(decoded->l4_payload), "pristine bytes");
+
+  // Copy taxonomy: the retained snapshot is the only copy; forwarding
+  // itself stayed zero-copy.
+  EXPECT_EQ(packet::copies(packet::CopySite::Hop), 0u);
+  EXPECT_EQ(packet::copies(packet::CopySite::Pcap), 1u);
+}
+
+TEST(PacketView, UncorruptedUntappedPathMakesZeroCopies) {
+  packet::reset_copy_counters();
+  Network net;
+  Host* a = net.add_host("a", Ipv4Address(10, 0, 0, 1));
+  Host* b = net.add_host("b", Ipv4Address(10, 0, 0, 2));
+  Router* r = net.add_router("r");
+  net.connect(a, r, LinkConfig{Duration::millis(1), 0, 0.0});
+  net.connect(b, r, LinkConfig{Duration::millis(1), 0, 0.0});
+
+  std::string received;
+  b->udp_bind(9000, [&](const packet::Decoded&,
+                        std::span<const uint8_t> payload) {
+    received = common::to_string(payload);
+  });
+  for (int i = 0; i < 10; ++i)
+    a->send_udp(b->address(), 1234, 9000, common::to_bytes("no copies"));
+  net.run_for(Duration::millis(50));
+
+  EXPECT_EQ(received, "no copies");
+  EXPECT_EQ(r->counters().forwarded, 10u);
+  // Ten packets, two links each, one router hop: not a single payload
+  // copy anywhere on the path.
+  EXPECT_EQ(packet::copies(packet::CopySite::Hop), 0u);
+  EXPECT_EQ(packet::copies(packet::CopySite::Pcap), 0u);
+  EXPECT_EQ(packet::copies(packet::CopySite::Impairment), 0u);
+  EXPECT_EQ(packet::copies(packet::CopySite::Defrag), 0u);
+  EXPECT_EQ(packet::copies(packet::CopySite::Stream), 0u);
+}
+
+TEST(PacketView, DuplicateDeliveryCountsImpairmentCopy) {
+  packet::reset_copy_counters();
+  Network net;
+  Host* a = net.add_host("a", Ipv4Address(10, 0, 0, 1));
+  Host* b = net.add_host("b", Ipv4Address(10, 0, 0, 2));
+  Router* r = net.add_router("r");
+  net.connect(a, r, LinkConfig{Duration::millis(1), 0, 0.0});
+  LinkConfig duplicating{Duration::millis(1), 0, 0.0};
+  duplicating.impairment.duplicate_rate = 1.0;
+  Link* rb = net.connect(b, r, duplicating);
+
+  int deliveries = 0;
+  b->udp_bind(9000,
+              [&](const packet::Decoded&, std::span<const uint8_t>) {
+                ++deliveries;
+              });
+  a->send_udp(b->address(), 1234, 9000, common::to_bytes("twice"));
+  net.run_for(Duration::millis(10));
+
+  EXPECT_EQ(deliveries, 2);
+  EXPECT_EQ(rb->stats().duplicated, 1u);
+  // The duplicate is the one genuine copy; the primary delivery moved.
+  EXPECT_EQ(packet::copies(packet::CopySite::Impairment), 1u);
+  EXPECT_EQ(packet::copies(packet::CopySite::Hop), 0u);
+}
+
+TEST(PacketView, DecodedViewTracksWireBuffer) {
+  // A PacketView's Decoded spans alias the wire buffer it was built
+  // over — mutating a *different* buffer can never show through. This is
+  // the unit-level version of the corruption test above.
+  common::Bytes wire_a;
+  {
+    packet::Packet p = packet::make_udp(
+        Ipv4Address(10, 0, 0, 1), Ipv4Address(10, 0, 0, 2), 1111, 2222,
+        common::to_bytes("payload-A"));
+    wire_a = p.data();
+  }
+  common::Bytes wire_b = wire_a;  // independent buffer, same contents
+
+  auto decoded = packet::decode(wire_a);
+  ASSERT_TRUE(decoded.has_value());
+  packet::PacketView view(wire_a, *decoded);
+
+  // Corrupt the *other* buffer: the view must be unaffected.
+  wire_b[wire_b.size() - 1] ^= 0xff;
+  EXPECT_EQ(common::to_string(view.decoded().l4_payload), "payload-A");
+  EXPECT_TRUE(packet::verify_checksums(view.wire()));
+
+  // And a retained copy taken now is decoupled from wire_a itself.
+  packet::reset_copy_counters();
+  common::Bytes kept = view.retain(packet::CopySite::Pcap);
+  wire_a[wire_a.size() - 1] ^= 0xff;
+  EXPECT_NE(kept, wire_a);
+  EXPECT_TRUE(packet::verify_checksums(kept));
+  EXPECT_EQ(packet::copies(packet::CopySite::Pcap), 1u);
+}
+
+}  // namespace
+}  // namespace sm::netsim

@@ -1,0 +1,290 @@
+// Property tests for the hierarchical timer-wheel event core.
+//
+// The wheel replaced a binary heap (PR6) under a hard contract: events
+// execute in strictly nondecreasing (when, seq) order, with same-deadline
+// events firing in insertion (FIFO) order — the byte-identity oracles in
+// simcheck and the golden fixtures depend on it. These tests drive random
+// schedules through the Engine and through an exhaustive reference model
+// (a sorted multiset over (when, seq)) and require identical execution
+// traces, including under cancel, reschedule, in-dispatch scheduling, and
+// deadlines far beyond the wheel horizon (the far-list path).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "netsim/engine.hpp"
+
+namespace {
+
+using sm::common::Duration;
+using sm::common::Rng;
+using sm::common::SimTime;
+using sm::netsim::Engine;
+using sm::netsim::TimerId;
+
+/// Reference model: a plain ordered set of (when, insertion-order) pairs.
+/// This is the specification the heap satisfied trivially; the wheel must
+/// reproduce its pop order exactly.
+class ReferenceQueue {
+ public:
+  uint64_t push(SimTime when, int payload) {
+    uint64_t id = next_seq_++;
+    events_.emplace(Key{when, id}, payload);
+    return id;
+  }
+  bool cancel(uint64_t id) { return cancelled_.insert(id).second; }
+  bool empty() {
+    drop_cancelled();
+    return events_.empty();
+  }
+  /// Pops the earliest live event's payload (and advances the clock).
+  std::pair<SimTime, int> pop() {
+    drop_cancelled();
+    auto it = events_.begin();
+    auto out = std::make_pair(it->first.when, it->second);
+    events_.erase(it);
+    return out;
+  }
+  SimTime min_when() {
+    drop_cancelled();
+    return events_.begin()->first.when;
+  }
+
+ private:
+  struct Key {
+    SimTime when;
+    uint64_t seq;
+    bool operator<(const Key& o) const {
+      if (when != o.when) return when < o.when;
+      return seq < o.seq;
+    }
+  };
+  void drop_cancelled() {
+    while (!events_.empty() &&
+           cancelled_.erase(events_.begin()->first.seq) > 0)
+      events_.erase(events_.begin());
+  }
+  std::map<Key, int> events_;
+  std::set<uint64_t> cancelled_;
+  uint64_t next_seq_ = 0;
+};
+
+/// Draws a deadline spread across the interesting ranges: sub-tick,
+/// near-window, deep wheel levels, and past the ~19.5h wheel horizon
+/// (forcing the far-list and its migration path).
+Duration random_delay(Rng& rng) {
+  switch (rng.bounded(6)) {
+    case 0:
+      return Duration(static_cast<int64_t>(rng.bounded(1024)));  // sub-tick
+    case 1:
+      return Duration(static_cast<int64_t>(rng.bounded(1 << 16)));
+    case 2:
+      return Duration(static_cast<int64_t>(rng.bounded(1ull << 26)));
+    case 3:
+      return Duration(static_cast<int64_t>(rng.bounded(1ull << 36)));
+    case 4:
+      return Duration(static_cast<int64_t>(rng.bounded(1ull << 44)));
+    default:
+      // Beyond the wheel span (64^6 ticks * 1024 ns ≈ 2^46 ns).
+      return Duration(static_cast<int64_t>((1ull << 46) +
+                                           rng.bounded(1ull << 47)));
+  }
+}
+
+TEST(TimerWheel, RandomScheduleMatchesReferenceModel) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed * 0x9e3779b97f4a7c15ULL);
+    Engine engine;
+    ReferenceQueue ref;
+    std::vector<std::pair<SimTime, int>> engine_order;
+
+    int n = 50 + static_cast<int>(rng.bounded(400));
+    for (int i = 0; i < n; ++i) {
+      Duration d = random_delay(rng);
+      int payload = i;
+      engine.schedule(d, [&engine, &engine_order, payload] {
+        engine_order.emplace_back(engine.now(), payload);
+      });
+      ref.push(engine.now() + d, payload);
+    }
+    engine.run();
+
+    std::vector<std::pair<SimTime, int>> ref_order;
+    while (!ref.empty()) ref_order.push_back(ref.pop());
+    ASSERT_EQ(engine_order, ref_order) << "seed " << seed;
+  }
+}
+
+TEST(TimerWheel, SameDeadlineEventsFireInInsertionOrder) {
+  Engine engine;
+  std::vector<int> order;
+  // Many events at the same instant, plus same-tick-different-when
+  // neighbors — FIFO among equal deadlines is the determinism contract.
+  SimTime when = SimTime{} + Duration(5000);
+  for (int i = 0; i < 64; ++i)
+    engine.schedule_at(when, [&order, i] { order.push_back(i); });
+  engine.run();
+  ASSERT_EQ(order.size(), 64u);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(TimerWheel, CancelAndRescheduleMatchReferenceModel) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed ^ 0xc0ffee);
+    Engine engine;
+    ReferenceQueue ref;
+    std::vector<std::pair<SimTime, int>> engine_order;
+
+    // Interleave schedules with cancels of still-pending ids. The
+    // reference assigns ids in the same order, so id k maps to id k.
+    std::vector<TimerId> engine_ids;
+    std::vector<uint64_t> ref_ids;
+    std::vector<size_t> live;  // indices into the id vectors
+    int n = 200;
+    for (int i = 0; i < n; ++i) {
+      Duration d = random_delay(rng);
+      int payload = i;
+      engine_ids.push_back(
+          engine.schedule(d, [&engine, &engine_order, payload] {
+            engine_order.emplace_back(engine.now(), payload);
+          }));
+      ref_ids.push_back(ref.push(engine.now() + d, payload));
+      live.push_back(engine_ids.size() - 1);
+      if (!live.empty() && rng.chance(0.3)) {
+        size_t pick = rng.bounded(live.size());
+        size_t idx = live[pick];
+        EXPECT_TRUE(engine.cancel(engine_ids[idx]));
+        EXPECT_TRUE(ref.cancel(ref_ids[idx]));
+        live.erase(live.begin() + static_cast<long>(pick));
+        // Double-cancel must report failure and change nothing.
+        EXPECT_FALSE(engine.cancel(engine_ids[idx]));
+      }
+      if (!live.empty() && rng.chance(0.15)) {
+        size_t pick = rng.bounded(live.size());
+        size_t idx = live[pick];
+        Duration nd = random_delay(rng);
+        int np = 100000 + i;
+        engine_ids[idx] = engine.reschedule(
+            engine_ids[idx], nd, [&engine, &engine_order, np] {
+              engine_order.emplace_back(engine.now(), np);
+            });
+        ref.cancel(ref_ids[idx]);
+        ref_ids[idx] = ref.push(engine.now() + nd, np);
+      }
+    }
+    ASSERT_EQ(engine.pending(), [&] {
+      ReferenceQueue copy = ref;
+      size_t c = 0;
+      while (!copy.empty()) {
+        copy.pop();
+        ++c;
+      }
+      return c;
+    }()) << "seed " << seed;
+    engine.run();
+
+    std::vector<std::pair<SimTime, int>> ref_order;
+    while (!ref.empty()) ref_order.push_back(ref.pop());
+    ASSERT_EQ(engine_order, ref_order) << "seed " << seed;
+  }
+}
+
+TEST(TimerWheel, InDispatchSchedulingKeepsOrder) {
+  // Events scheduled *from inside* an executing event — including
+  // zero-delay ones landing mid-batch — must still dispatch in (when,
+  // seq) order. This exercises the due-batch splice path.
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed + 777);
+    Engine engine;
+    ReferenceQueue ref;
+    std::vector<std::pair<SimTime, int>> engine_order;
+
+    int next_payload = 0;
+    std::function<void(int, int)> spawn = [&](int payload, int depth) {
+      engine_order.emplace_back(engine.now(), payload);
+      if (depth >= 3) return;
+      int kids = static_cast<int>(rng.bounded(3));
+      for (int k = 0; k < kids; ++k) {
+        // Mix zero delays (same instant, later seq) with short ones.
+        Duration d = rng.chance(0.4)
+                         ? Duration(0)
+                         : Duration(static_cast<int64_t>(rng.bounded(4096)));
+        int p = next_payload++;
+        engine.schedule(d, [&spawn, p, depth] { spawn(p, depth + 1); });
+        ref.push(engine.now() + d, p);
+      }
+    };
+    // Note: the reference can't model nested spawns ahead of time, so we
+    // replay: roots are scheduled up front; children are pushed into the
+    // reference at spawn time (engine.now() is the correct base because
+    // the reference is drained only after the run).
+    for (int i = 0; i < 30; ++i) {
+      Duration d = Duration(static_cast<int64_t>(rng.bounded(8192)));
+      int p = next_payload++;
+      engine.schedule(d, [&spawn, p] { spawn(p, 0); });
+      ref.push(engine.now() + d, p);
+    }
+    engine.run();
+
+    // The reference's seq numbers do not match the engine's (children are
+    // pushed lazily), but payload order at equal times still must: the
+    // engine assigns seqs in spawn order and so does the lazy push,
+    // because children are pushed during the parent's execution, before
+    // any later event runs.
+    std::vector<std::pair<SimTime, int>> ref_order;
+    while (!ref.empty()) ref_order.push_back(ref.pop());
+    ASSERT_EQ(engine_order, ref_order) << "seed " << seed;
+  }
+}
+
+TEST(TimerWheel, RunUntilAdvancesClockAndStopsAtDeadline) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule(Duration(1000), [&] { order.push_back(1); });
+  engine.schedule(Duration(2000), [&] { order.push_back(2); });
+  engine.schedule(Duration(3000), [&] { order.push_back(3); });
+  size_t ran = engine.run_until(SimTime{} + Duration(2000));
+  EXPECT_EQ(ran, 2u);
+  EXPECT_EQ(engine.now(), SimTime{} + Duration(2000));
+  EXPECT_EQ(engine.pending(), 1u);
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(TimerWheel, FarListEventsFireAfterWheelDrains) {
+  Engine engine;
+  std::vector<int> order;
+  // Two far-list events (beyond the ~2^46 ns wheel span) in reverse
+  // insertion order, plus a near event; far events must migrate and fire
+  // in deadline order after the wheel drains.
+  engine.schedule(Duration(int64_t{1} << 50), [&] { order.push_back(3); });
+  engine.schedule(Duration((int64_t{1} << 50) - 1024),
+                  [&] { order.push_back(2); });
+  engine.schedule(Duration(512), [&] { order.push_back(1); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.executed(), 3u);
+  EXPECT_EQ(engine.pending(), 0u);
+}
+
+TEST(TimerWheel, PendingAndHighWaterSurviveCancel) {
+  Engine engine;
+  TimerId a = engine.schedule(Duration(1000), [] {});
+  TimerId b = engine.schedule(Duration(2000), [] {});
+  engine.schedule(Duration(3000), [] {});
+  EXPECT_EQ(engine.pending(), 3u);
+  EXPECT_TRUE(engine.cancel(a));
+  EXPECT_TRUE(engine.cancel(b));
+  EXPECT_EQ(engine.pending(), 1u);
+  EXPECT_EQ(engine.run(), 1u);  // cancelled events don't count
+  EXPECT_EQ(engine.pending(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Perf-smoke regression gate: fresh bench JSON vs checked-in baseline.
+
+ci.sh's perf stage reruns bench_event_core and bench_ids_fastpath in
+reduced (--smoke) configuration and compares against the committed
+BENCH_*.json baselines. A metric that drops below ``min-ratio``
+(default 0.8, i.e. a >20% regression) fails the gate.
+
+Absolute events/sec on shared CI hardware confounds machine load with
+code regressions (a throttled container slows the reference heap and
+the wheel in lockstep), so the gated metrics are the SELF-NORMALIZED
+contrasts each bench exists to defend -- wheel-vs-heap speedups,
+auto-vs-fixed IDS speedups, tapped-vs-untapped pipeline throughput
+ratios -- plus the hard invariants (zero hop copies, the bench's own
+pass flag). A real regression in the new code moves the contrast; a
+busy machine does not.
+
+Only scales present in BOTH files are compared (smoke mode runs fewer).
+
+Usage:
+    tools/perf_smoke.py BASELINE.json FRESH.json [--min-ratio 0.8]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+class Gate:
+    def __init__(self, min_ratio):
+        self.min_ratio = min_ratio
+        self.checks = 0
+        self.failures = []
+
+    def compare(self, label, base, fresh):
+        self.checks += 1
+        if base <= 0:
+            return  # degenerate baseline; nothing to gate against
+        ratio = fresh / base
+        marker = "ok" if ratio >= self.min_ratio else "REGRESSION"
+        print(f"  {label:40s} base {base:14.3f}  fresh {fresh:14.3f}  "
+              f"ratio {ratio:5.2f}  {marker}")
+        if ratio < self.min_ratio:
+            self.failures.append(f"{label}: {ratio:.2f} < {self.min_ratio}")
+
+    def require(self, label, ok):
+        self.checks += 1
+        print(f"  {label:40s} {'ok' if ok else 'FAIL'}")
+        if not ok:
+            self.failures.append(label)
+
+
+def tap_overhead_ratios(pipeline):
+    """pps of each tapped config relative to the untapped baseline."""
+    none = next((p["pps"] for p in pipeline if p["taps"] == "none"), 0)
+    if none <= 0:
+        return {}
+    return {p["taps"]: p["pps"] / none for p in pipeline
+            if p["taps"] != "none"}
+
+
+def gate_event_core(gate, base, fresh):
+    base_rows = {r["pending"]: r for r in base.get("event_queue", [])}
+    for row in fresh.get("event_queue", []):
+        b = base_rows.get(row["pending"])
+        if b is None:
+            continue
+        for field in ("burst_speedup", "hold_speedup"):
+            gate.compare(f"{field}@{row['pending']}", b[field], row[field])
+    base_rel = tap_overhead_ratios(base.get("pipeline", []))
+    fresh_rel = tap_overhead_ratios(fresh.get("pipeline", []))
+    for taps, fr in fresh_rel.items():
+        if taps in base_rel:
+            gate.compare(f"pipeline_rel[{taps}]", base_rel[taps], fr)
+    gate.require("hop_copies == 0", fresh.get("hop_copies") == 0)
+    gate.require("pass flag", fresh.get("pass") is True)
+
+
+def gate_ids_fastpath(gate, base, fresh):
+    base_rows = {r["rules"]: r for r in base.get("results", [])}
+    for row in fresh.get("results", []):
+        b = base_rows.get(row["rules"])
+        if b is None:
+            continue
+        for field in ("speedup", "auto_speedup"):
+            if field in b and field in row:
+                gate.compare(f"{field}@{row['rules']}rules", b[field],
+                             row[field])
+    gate.require("pass flag", fresh.get("pass") is True)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--min-ratio", type=float, default=0.8,
+                    help="fail when fresh/baseline drops below this")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    fresh = load(args.fresh)
+    if base.get("bench") != fresh.get("bench"):
+        print(f"bench mismatch: baseline is {base.get('bench')!r}, "
+              f"fresh is {fresh.get('bench')!r}", file=sys.stderr)
+        return 2
+
+    gate = Gate(args.min_ratio)
+    print(f"perf-smoke: {args.fresh} vs baseline {args.baseline} "
+          f"(min ratio {args.min_ratio})")
+    kind = base.get("bench")
+    if kind == "event_core":
+        gate_event_core(gate, base, fresh)
+    elif kind == "ids_fastpath":
+        gate_ids_fastpath(gate, base, fresh)
+    else:
+        print(f"unknown bench kind {kind!r}", file=sys.stderr)
+        return 2
+
+    if gate.checks == 0:
+        print("no overlapping metrics to compare", file=sys.stderr)
+        return 2
+    if gate.failures:
+        print(f"\n{len(gate.failures)} perf regression(s):", file=sys.stderr)
+        for f in gate.failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"all {gate.checks} checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
