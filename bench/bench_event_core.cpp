@@ -36,6 +36,7 @@
 #include "common/rng.hpp"
 #include "common/time.hpp"
 #include "netsim/topology.hpp"
+#include "obs/provenance.hpp"
 #include "packet/copy_stats.hpp"
 #include "packet/packet.hpp"
 
@@ -203,10 +204,12 @@ class RetainTap : public netsim::Tap {
   std::vector<common::Bytes> kept;
 };
 
-PipelineResult run_pipeline(const char* config, size_t packets,
-                            netsim::Tap* tap) {
+PipelineResult run_pipeline_once(const char* config, size_t packets,
+                                 netsim::Tap* tap,
+                                 obs::ProvenanceGraph* provenance) {
   packet::reset_copy_counters();
   netsim::Network net;
+  if (provenance) net.engine().set_provenance(provenance);
   netsim::Host* a = net.add_host("a", Ipv4Address(10, 0, 0, 1));
   netsim::Host* b = net.add_host("b", Ipv4Address(10, 0, 0, 2));
   netsim::Router* r = net.add_router("r");
@@ -248,6 +251,24 @@ PipelineResult run_pipeline(const char* config, size_t packets,
         packet::CopySite::Stream})
     out.total_copies += packet::copies(site);
   return out;
+}
+
+/// Best-of-`reps` pipeline throughput: same min-time repetition the queue
+/// benches use, because a single pass is at the mercy of one scheduler
+/// hiccup and the gated tapped/untapped *ratios* amplify that noise.
+/// Copy counters come from the last rep (they are identical every rep).
+PipelineResult run_pipeline(const char* config, size_t packets, int reps,
+                            netsim::Tap* tap,
+                            obs::ProvenanceGraph* provenance = nullptr,
+                            std::function<void()> reset_tap = {}) {
+  PipelineResult best;
+  for (int r = 0; r < reps; ++r) {
+    if (provenance) provenance->clear();
+    if (reset_tap) reset_tap();
+    PipelineResult one = run_pipeline_once(config, packets, tap, provenance);
+    if (one.pps > best.pps) best = one;
+  }
+  return best;
 }
 
 }  // namespace
@@ -299,10 +320,19 @@ int main(int argc, char** argv) {
   const size_t pipeline_packets = smoke ? 5'000 : 20'000;
   CountTap count_tap;
   RetainTap retain_tap;
+  // Provenance enabled on a tapless path: every hop records PacketSent/
+  // Forward events into the ring, the worst case for the graph itself.
+  // The "none" config doubles as the disabled-path measurement — no
+  // graph attached is exactly how every non-provenance run executes.
+  obs::ProvenanceGraph prov_graph(1 << 16);
   std::vector<PipelineResult> pipe;
-  pipe.push_back(run_pipeline("none", pipeline_packets, nullptr));
-  pipe.push_back(run_pipeline("observe", pipeline_packets, &count_tap));
-  pipe.push_back(run_pipeline("retain", pipeline_packets, &retain_tap));
+  pipe.push_back(run_pipeline("none", pipeline_packets, reps, nullptr));
+  pipe.push_back(run_pipeline("observe", pipeline_packets, reps, &count_tap,
+                              nullptr, [&] { count_tap.seen = 0; }));
+  pipe.push_back(run_pipeline("retain", pipeline_packets, reps, &retain_tap,
+                              nullptr, [&] { retain_tap.kept.clear(); }));
+  pipe.push_back(
+      run_pipeline("prov", pipeline_packets, reps, nullptr, &prov_graph));
   bool copies_pass = true;
   for (const auto& p : pipe) {
     if (p.hop_copies != 0) copies_pass = false;

@@ -12,11 +12,13 @@
 #      caught, and the checked-in reproducer corpus replaying;
 #   4. coverage: gcov build (-DSM_COVERAGE=ON), full ctest, then
 #      tools/coverage_report.py enforces the line-coverage floors for
-#      src/core and src/spoof;
+#      src/core, src/spoof, and src/obs;
 #   5. perf smoke: Release build of the tracked perf benches in reduced
 #      (--smoke) configuration, diffed against the checked-in BENCH_*
 #      baselines by tools/perf_smoke.py — a >20% throughput regression
-#      on the event core, packet pipeline, or IDS match path fails CI;
+#      on the event core, packet pipeline, or IDS match path fails CI,
+#      and the provenance-disabled pipeline path gets a dedicated
+#      tighter overhead gate (see --prov-overhead-max);
 #   6. tier-1 verify: the plain default build + ctest, exactly the
 #      commands ROADMAP.md promises stay green.
 #
@@ -27,6 +29,8 @@
 #   ./ci.sh coverage   # stage 4 only
 #   ./ci.sh perf       # stage 5 only
 #   ./ci.sh tier1      # stage 6 only
+#   ./ci.sh obs        # observability-labeled tests only (fast focus
+#                      # loop for metrics/trace/provenance work)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")" && pwd)"
@@ -53,9 +57,11 @@ if [ "$STAGE" = "all" ] || [ "$STAGE" = "tsan" ]; then
   # TimerWheel/PacketView ride along: the packet copy counters are the
   # one atomic the zero-copy path added, and the wheel's dispatch loop
   # is timing-sensitive enough to deserve every sanitizer we have.
+  # Provenance rides along: the campaign carries per-trial graph exports
+  # across worker threads and byte-compares them, a racy-merge magnet.
   ctest --test-dir "$ROOT/build-tsan" --output-on-failure -j "$(nproc)" \
         --schedule-random \
-        -R '(Campaign|Logging|Merge|PacketFuzz|TimerWheel|PacketView)'
+        -R '(Campaign|Logging|Merge|PacketFuzz|TimerWheel|PacketView|Provenance)'
 fi
 
 if [ "$STAGE" = "all" ] || [ "$STAGE" = "simcheck" ]; then
@@ -94,7 +100,7 @@ if [ "$STAGE" = "all" ] || [ "$STAGE" = "coverage" ]; then
   # Floors sit ~2 points under the measured line coverage of each scope
   # so regressions trip the gate while routine drift does not.
   python3 "$ROOT/tools/coverage_report.py" "$ROOT/build-cov" \
-          --floor src/core=91 --floor src/spoof=89
+          --floor src/core=91 --floor src/spoof=89 --floor src/obs=85
 fi
 
 if [ "$STAGE" = "all" ] || [ "$STAGE" = "perf" ]; then
@@ -105,17 +111,26 @@ if [ "$STAGE" = "all" ] || [ "$STAGE" = "perf" ]; then
   # Shared runners throttle unpredictably; one bad measurement window
   # shouldn't fail the build. A failed gate gets one fresh re-run of the
   # bench before it counts as a regression.
-  perf_gate() { # <bench-binary> <checked-in-baseline> <fresh-json>
-    if "$1" "$3" --smoke && python3 "$ROOT/tools/perf_smoke.py" "$2" "$3"
+  perf_gate() { # <bench-binary> <checked-in-baseline> <fresh-json> [smoke-args...]
+    local bin="$1" baseline="$2" fresh="$3"
+    shift 3
+    if "$bin" "$fresh" --smoke && \
+       python3 "$ROOT/tools/perf_smoke.py" "$baseline" "$fresh" "$@"
     then
       return 0
     fi
     echo "--- perf gate failed; retrying once with a fresh run ---"
-    "$1" "$3" --smoke
-    python3 "$ROOT/tools/perf_smoke.py" "$2" "$3"
+    "$bin" "$fresh" --smoke
+    python3 "$ROOT/tools/perf_smoke.py" "$baseline" "$fresh" "$@"
   }
+  # The provenance-disabled pipeline ("none": no graph attached, the way
+  # every non-provenance run executes) is held to a 10% budget vs the
+  # checked-in baseline — wider than the 2% the code is designed to (and
+  # on a quiet machine does) meet, because absolute pps on shared
+  # runners carries machine noise the self-normalized gates don't.
   perf_gate "$ROOT/build-release/bench/bench_event_core" \
-            "$ROOT/BENCH_event_core.json" /tmp/smoke-event-core.json
+            "$ROOT/BENCH_event_core.json" /tmp/smoke-event-core.json \
+            --prov-overhead-max 0.10
   perf_gate "$ROOT/build-release/bench/bench_ids_fastpath" \
             "$ROOT/BENCH_ids_fastpath.json" /tmp/smoke-ids-fastpath.json
 fi
@@ -126,6 +141,13 @@ if [ "$STAGE" = "all" ] || [ "$STAGE" = "tier1" ]; then
   cmake --build "$ROOT/build" -j
   ctest --test-dir "$ROOT/build" --output-on-failure -j "$(nproc)" \
         --schedule-random
+fi
+
+if [ "$STAGE" = "obs" ]; then
+  echo "=== focus: observability-labeled tests ==="
+  cmake -B "$ROOT/build" -S "$ROOT"
+  cmake --build "$ROOT/build" -j --target test_obs test_provenance
+  ctest --test-dir "$ROOT/build" --output-on-failure -j "$(nproc)" -L obs
 fi
 
 echo "ci.sh: all requested stages passed"

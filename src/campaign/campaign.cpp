@@ -1,12 +1,15 @@
 #include "campaign/campaign.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 
 #include "common/logging.hpp"
 #include "common/rng.hpp"
+#include "common/strings.hpp"
 #include "core/report_json.hpp"
 
 namespace sm::campaign {
@@ -73,13 +76,22 @@ CampaignResult run(const std::vector<Trial>& trials,
   // exactly one worker), merged in index order after the join.
   std::vector<std::unique_ptr<obs::Registry>> snapshots(trials.size());
 
+  std::mutex progress_mu;
+  std::atomic<size_t> completed{0};
+
   auto job = [&](size_t i, int worker) {
     const Trial& trial = trials[i];
     TrialResult& slot = result.trials[i];
     slot.index = i;
     slot.name = trial.name;
     slot.worker = worker;
-    auto wall_start = std::chrono::steady_clock::now();
+    using clock = std::chrono::steady_clock;
+    auto since = [](clock::time_point a, clock::time_point b) {
+      return common::Duration::nanos(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(b - a)
+              .count());
+    };
+    auto wall_start = clock::now();
     try {
       core::TestbedConfig config = trial.config;
       if (options.derive_seeds) {
@@ -90,8 +102,12 @@ CampaignResult run(const std::vector<Trial>& trials,
       core::Testbed tb(config);
       auto probe = trial.factory ? trial.factory(tb) : nullptr;
       if (!probe) throw std::invalid_argument("probe factory returned null");
+      auto setup_done = clock::now();
+      slot.wall_setup = since(wall_start, setup_done);
       slot.report = core::run_probe(tb, *probe, trial.probe_timeout);
       tb.run_for(trial.drain);
+      auto run_done = clock::now();
+      slot.wall_run = since(setup_done, run_done);
       slot.risk = core::assess_risk(tb, trial.name);
       slot.sim_elapsed = tb.net.engine().now() - common::SimTime{};
       if (config.enable_observability) {
@@ -99,6 +115,9 @@ CampaignResult run(const std::vector<Trial>& trials,
         reg->merge(tb.metrics_snapshot());
         snapshots[i] = std::move(reg);
       }
+      if (config.enable_provenance)
+        slot.provenance_json = tb.provenance_json();
+      slot.wall_finish = since(run_done, clock::now());
     } catch (const std::exception& e) {
       slot.failed = true;
       slot.error = e.what()[0] ? e.what() : "exception";
@@ -108,10 +127,19 @@ CampaignResult run(const std::vector<Trial>& trials,
       slot.failed = true;
       slot.error = "unknown exception";
     }
-    slot.wall_elapsed = common::Duration::nanos(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now() - wall_start)
-            .count());
+    slot.wall_elapsed = since(wall_start, clock::now());
+    size_t done = completed.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (options.on_progress) {
+      Progress p;
+      p.completed = done;
+      p.total = trials.size();
+      p.trial = i;
+      p.worker = worker;
+      p.failed = slot.failed;
+      p.wall = slot.wall_elapsed;
+      std::lock_guard<std::mutex> lock(progress_mu);
+      options.on_progress(p);
+    }
   };
   run_jobs(trials.size(), job, options);
 
@@ -142,6 +170,61 @@ CampaignResult run(const std::vector<Trial>& trials,
   for (const auto& snapshot : snapshots) {
     if (snapshot) result.metrics->merge(*snapshot);
   }
+
+  // Campaign-health telemetry: wall-clock, per-worker, per-phase — kept
+  // in its own registry because wall time is nondeterministic.
+  result.telemetry = std::make_unique<obs::Registry>();
+  auto* wall_hist = result.telemetry->histogram(
+      "sm_campaign_trial_wall_seconds", 0.0, 10.0, 20, {},
+      "host time consumed per trial");
+  std::vector<double> walls;
+  walls.reserve(result.trials.size());
+  for (const TrialResult& t : result.trials) {
+    wall_hist->observe(t.wall_elapsed.to_seconds());
+    walls.push_back(t.wall_elapsed.to_seconds());
+    obs::Labels worker_label = {{"worker", std::to_string(t.worker)}};
+    result.telemetry
+        ->counter("sm_campaign_worker_trials_total", worker_label,
+                  "trials completed per worker")
+        ->inc();
+    result.telemetry
+        ->counter("sm_campaign_worker_busy_seconds_total", worker_label,
+                  "host time each worker spent inside trials")
+        ->inc(t.wall_elapsed.to_seconds());
+    struct {
+      const char* phase;
+      common::Duration d;
+    } phases[] = {{"setup", t.wall_setup},
+                  {"run", t.wall_run},
+                  {"finish", t.wall_finish}};
+    for (const auto& p : phases) {
+      result.telemetry
+          ->counter("sm_campaign_phase_wall_seconds_total",
+                    {{"phase", p.phase}},
+                    "host time per trial phase (setup = testbed build, "
+                    "run = probe+drain, finish = risk/metrics/provenance)")
+          ->inc(p.d.to_seconds());
+    }
+  }
+  // Slow-trial detection: wall time against the campaign median. A trial
+  // k x slower than its peers is a stall candidate (livelocked probe,
+  // pathological topology) that sim time alone cannot reveal.
+  if (options.slow_trial_factor > 0 && walls.size() >= 2) {
+    std::vector<double> sorted = walls;
+    std::sort(sorted.begin(), sorted.end());
+    double median = sorted[sorted.size() / 2];
+    if (median > 0) {
+      for (size_t i = 0; i < walls.size(); ++i)
+        if (walls[i] > options.slow_trial_factor * median)
+          result.slow_trials.push_back(i);
+    }
+  }
+  result.telemetry
+      ->gauge("sm_campaign_slow_trials",
+              {{"factor",
+                common::format("%g", options.slow_trial_factor)}},
+              "trials slower than factor x median wall time")
+      ->set(static_cast<double>(result.slow_trials.size()));
   return result;
 }
 
@@ -156,6 +239,8 @@ std::string CampaignResult::to_jsonl() const {
       out += "\"measurement\":" + core::to_json(t.report) +
              ",\"risk\":" + core::to_json(t.risk) +
              ",\"sim_nanos\":" + std::to_string(t.sim_elapsed.count());
+      if (!t.provenance_json.empty())
+        out += ",\"provenance\":" + t.provenance_json;
     }
     out += "}\n";
   }

@@ -66,6 +66,17 @@ enum class Shard {
   Dynamic,
 };
 
+/// Heartbeat emitted after each trial finishes (any worker thread; the
+/// callback is serialized under a lock, so it may touch shared state).
+struct Progress {
+  size_t completed = 0;  // trials finished so far, campaign-wide
+  size_t total = 0;
+  size_t trial = 0;  // index of the trial that just finished
+  int worker = -1;
+  bool failed = false;
+  common::Duration wall;  // host time that trial took
+};
+
 struct CampaignOptions {
   /// Worker threads; 0 = std::thread::hardware_concurrency() (≥1).
   /// Clamped to the trial count.
@@ -78,6 +89,13 @@ struct CampaignOptions {
   /// When false, trials keep the seeds their TestbedConfig arrived with
   /// instead of the derived substreams (for reproducing legacy runs).
   bool derive_seeds = true;
+  /// Per-trial-completion heartbeat; empty = no reporting. Runs on worker
+  /// threads but never concurrently with itself.
+  std::function<void(const Progress&)> on_progress;
+  /// A trial is flagged slow when its wall time exceeds this multiple of
+  /// the campaign's median trial wall time (see CampaignResult::
+  /// slow_trials). <= 0 disables the check.
+  double slow_trial_factor = 4.0;
 };
 
 /// One filled slot of the result, at its trial's index.
@@ -94,8 +112,16 @@ struct TrialResult {
   /// Host time the trial took (for scaling benches; never serialized —
   /// it varies run to run and would break byte-identity).
   common::Duration wall_elapsed;
+  /// Wall-clock phase profile of the trial: testbed+probe construction,
+  /// probe execution (run+drain), and result extraction (risk, metrics
+  /// snapshot, provenance export). Diagnostic only; never serialized.
+  common::Duration wall_setup, wall_run, wall_finish;
   /// Worker that ran the trial (diagnostic; never serialized).
   int worker = -1;
+  /// Deterministic causal-graph export, for trials whose config sets
+  /// enable_provenance (serialized verbatim into the trial's JSONL row);
+  /// empty otherwise.
+  std::string provenance_json;
 };
 
 /// Campaign output, ordered by trial index. Move-only (owns a Registry).
@@ -106,11 +132,21 @@ struct CampaignResult {
   /// all folded in trial-index order.
   std::unique_ptr<obs::Registry> metrics;
   size_t failures = 0;
+  /// Campaign-health telemetry: per-worker trial counts and busy time,
+  /// wall-clock phase profile (setup/run/finish), trial wall-time
+  /// distribution, slow-trial count. Kept OUT of `metrics` and never
+  /// serialized by to_jsonl — wall clocks vary run to run and would
+  /// break byte-identity.
+  std::unique_ptr<obs::Registry> telemetry;
+  /// Indices of trials whose wall time exceeded slow_trial_factor x the
+  /// campaign median (ascending; empty when the check is disabled).
+  std::vector<size_t> slow_trials;
 
   /// JSON Lines, one object per trial in index order —
   ///   {"trial":i,"name":…,"measurement":{…},"risk":{…},"sim_nanos":n}
-  /// (failed trials carry "error" instead of measurement/risk) — with the
-  /// merged metrics snapshot appended as a final {"metrics":[…]} line.
+  /// (failed trials carry "error" instead of measurement/risk; trials
+  /// with provenance enabled add "provenance":{…}) — with the merged
+  /// metrics snapshot appended as a final {"metrics":[…]} line.
   /// Byte-identical across thread counts and shard modes.
   std::string to_jsonl() const;
   /// The merged registry snapshot alone, as one JSON line.

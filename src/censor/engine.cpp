@@ -1,6 +1,7 @@
 #include "censor/engine.hpp"
 
 #include "common/strings.hpp"
+#include "obs/provenance.hpp"
 
 namespace sm::censor {
 
@@ -31,6 +32,17 @@ void CensorTap::inject_rsts(const TapContext& ctx, netsim::Router& router) {
   const auto& d = ctx.decoded();
   if (!d.tcp) return;
   ++stats_.rst_bursts;
+
+  // The forged RSTs are caused by this enforcement decision, not by the
+  // probe that triggered it; the causal link to the probe runs through
+  // the triggering packet (ctx.prov).
+  obs::ProvenanceGraph* prov = router.engine().provenance();
+  uint64_t action = 0;
+  if (prov != nullptr) {
+    action = prov->record(obs::ProvKind::CensorAction, ctx.now, ctx.prov,
+                          ctx.prov, "keyword-rst");
+  }
+  obs::ScopedCause cause(prov, action);
 
   // Blackout the 5-tuple.
   BlackoutKey key{d.ip.src, d.ip.dst, d.tcp->src_port, d.tcp->dst_port};
@@ -65,6 +77,14 @@ bool CensorTap::maybe_forge_dns(const TapContext& ctx,
   const auto& q = query->questions.front();
   const Ipv4Address* forged = policy_.dns_forgery_for(q.name.str());
   if (!forged) return false;
+
+  obs::ProvenanceGraph* prov = router.engine().provenance();
+  uint64_t action = 0;
+  if (prov != nullptr) {
+    action = prov->record(obs::ProvKind::CensorAction, ctx.now, ctx.prov,
+                          ctx.prov, "dns-forgery", q.name.str());
+  }
+  obs::ScopedCause cause(prov, action);
 
   // Forge an answer that races the real one. The GFC injects an A record
   // regardless of qtype (observed for both A and MX in §3.2.3).
@@ -112,6 +132,14 @@ bool CensorTap::maybe_inject_blockpage(const TapContext& ctx,
   if (!hit) return false;
   ++stats_.blockpages_injected;
 
+  obs::ProvenanceGraph* prov = router.engine().provenance();
+  uint64_t action = 0;
+  if (prov != nullptr) {
+    action = prov->record(obs::ProvKind::CensorAction, ctx.now, ctx.prov,
+                          ctx.prov, "blockpage");
+  }
+  obs::ScopedCause cause(prov, action);
+
   // Forge the server's HTTP response carrying the blockpage, then close
   // the forged connection with FIN, and RST the real server side so the
   // genuine response never races us.
@@ -148,6 +176,10 @@ TapDecision CensorTap::process(const TapContext& ctx,
 
   if (in_blackout(ctx)) {
     ++stats_.dropped_blackout;
+    if (auto* prov = router.engine().provenance()) {
+      prov->record(obs::ProvKind::CensorAction, ctx.now, ctx.prov, ctx.prov,
+                   "blackout-drop");
+    }
     return TapDecision::Drop;
   }
 
@@ -162,7 +194,7 @@ TapDecision CensorTap::process(const TapContext& ctx,
     auto decoded = packet::decode(*whole);
     if (!decoded) return TapDecision::Pass;
     TapContext rebuilt{ctx.now, packet::PacketView(whole->data(), *decoded),
-                       ctx.in_port, ctx.out_port};
+                       ctx.in_port, ctx.out_port, ctx.prov};
     return inspect(rebuilt, router);
   }
 
@@ -175,7 +207,13 @@ TapDecision CensorTap::process(const TapContext& ctx,
 
 TapDecision CensorTap::inspect(const TapContext& ctx,
                                netsim::Router& router) {
-  if (dns_query_dropped(ctx)) return TapDecision::Drop;
+  if (dns_query_dropped(ctx)) {
+    if (auto* prov = router.engine().provenance()) {
+      prov->record(obs::ProvKind::CensorAction, ctx.now, ctx.prov, ctx.prov,
+                   "dns-drop");
+    }
+    return TapDecision::Drop;
+  }
 
   // Blockpage injection replaces the real exchange entirely: the forged
   // response goes to the client and the request is eaten.
@@ -193,6 +231,13 @@ TapDecision CensorTap::inspect(const TapContext& ctx,
   }
   if (verdict.drop) {
     ++stats_.dropped_inline;
+    if (auto* prov = router.engine().provenance()) {
+      std::string sid = verdict.alerts.empty()
+                            ? std::string()
+                            : "sid=" + std::to_string(verdict.alerts[0].sid);
+      prov->record(obs::ProvKind::CensorAction, ctx.now, ctx.prov, ctx.prov,
+                   "inline-drop", std::move(sid));
+    }
     return TapDecision::Drop;
   }
   return TapDecision::Pass;

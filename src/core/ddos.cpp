@@ -19,12 +19,15 @@ void DdosProbe::start() {
     tracer->instant(tracer->now(), "ddos.start", "probe",
                     "\"requests\":" + std::to_string(options_.requests));
   }
+  prov_.begin(tb_.prov_sink(), tb_.net.engine().now(), report_);
   resolve();
 }
 
 void DdosProbe::resolve() {
   report_.attempts = dns_attempt_ + 1;
   ++report_.packets_sent;
+  prov_.attempt(tb_.net.engine().now(), dns_attempt_ + 1);
+  obs::ScopedCause cause(prov_.graph(), prov_.attempt_id());
   tb_.resolver->query(
       proto::dns::Name(options_.domain), proto::dns::RecordType::A,
       [this, alive = guard()](const proto::dns::QueryResult& result) {
@@ -51,6 +54,9 @@ void DdosProbe::resolve() {
           } else {
             report_.confidence = conclude(0, 1, dns_attempt_);
           }
+          prov_.evidence(tb_.net.engine().now(), "dns-blocked",
+                         report_.detail);
+          prov_.verdict(tb_.net.engine().now(), report_);
           done_ = true;
           return;
         }
@@ -78,6 +84,7 @@ void DdosProbe::fetch_sample(common::Ipv4Address address, size_t index) {
   for (auto& [k, v] : req.headers)
     if (common::iequals(k, "User-Agent")) v = options_.user_agent;
   ++report_.packets_sent;
+  obs::ScopedCause cause(prov_.graph(), prov_.attempt_id());
   http_->fetch(address, 80, req,
                [this, alive = guard(), address, index](
                    const proto::http::FetchResult& result) {
@@ -101,6 +108,8 @@ void DdosProbe::fetch_sample(common::Ipv4Address address, size_t index) {
 void DdosProbe::on_sample(size_t index, Verdict v) {
   samples_[index] = v;
   ++completed_;
+  prov_.evidence(tb_.net.engine().now(), std::string(to_string(v)),
+                 "request=" + std::to_string(index));
   if (completed_ >= options_.requests) finalize();
 }
 
@@ -140,6 +149,7 @@ void DdosProbe::finalize() {
   for (size_t a : sample_attempts_)
     if (a > max_fetch) max_fetch = a;
   report_.attempts = max_fetch;
+  prov_.verdict(tb_.net.engine().now(), report_);
   done_ = true;
   if (auto* tracer = tb_.trace_sink()) {
     tracer->instant(tracer->now(), "ddos.done", "probe",

@@ -58,6 +58,7 @@ class DdosProbe : public Probe {
   size_t completed_ = 0;
   bool done_ = false;
   ProbeReport report_;
+  ProbeProvenance prov_;
 };
 
 }  // namespace sm::core

@@ -24,6 +24,8 @@ void StatelessDnsMimicryProbe::maybe_finish() {
 }
 
 void StatelessDnsMimicryProbe::start() {
+  prov_.begin(tb_.prov_sink(), tb_.net.engine().now(), report_);
+  prov_.attempt(tb_.net.engine().now(), 1);
   // Spread the spoofed cover around the real query so ordering does not
   // give the measurer away.
   auto neighbors = tb_.neighbor_addresses();
@@ -37,6 +39,7 @@ void StatelessDnsMimicryProbe::start() {
         static_cast<int64_t>(std::max<size_t>(neighbors.size(), 1));
     engine.schedule(at, [this, alive = guard(), addr = neighbors[i]]() {
       if (alive.expired()) return;
+      obs::ScopedCause cause(prov_.graph(), prov_.attempt_id());
       cover_sent_ += cover_->emit({addr}, proto::dns::Name(options_.domain),
                                   options_.type);
       ++report_.packets_sent;
@@ -47,6 +50,7 @@ void StatelessDnsMimicryProbe::start() {
   engine.schedule(options_.spread / 2, [this, alive = guard()]() {
     if (alive.expired()) return;
     ++report_.packets_sent;
+    obs::ScopedCause cause(prov_.graph(), prov_.attempt_id());
     tb_.resolver->query(
         proto::dns::Name(options_.domain), options_.type,
         [this, alive](const proto::dns::QueryResult& result) {
@@ -61,6 +65,10 @@ void StatelessDnsMimicryProbe::start() {
             report_.detail = "resolved to " + addr.to_string();
           }
           report_.confidence = confidence_from(report_.verdict);
+          prov_.evidence(tb_.net.engine().now(),
+                         result.answered() ? "dns-answer" : "dns-timeout",
+                         report_.detail);
+          prov_.verdict(tb_.net.engine().now(), report_);
           verdict_ready_ = true;
           maybe_finish();
         });
@@ -92,6 +100,9 @@ void StatefulMimicryProbe::finish(Verdict v, std::string detail) {
   report_.detail = std::move(detail);
   report_.samples_blocked = is_blocked(v) ? 1 : 0;
   report_.confidence = confidence_from(v);
+  prov_.evidence(tb_.net.engine().now(),
+                 is_blocked(v) ? "blocked" : "response", report_.detail);
+  prov_.verdict(tb_.net.engine().now(), report_);
   verdict_ready_ = true;
   maybe_finish();
 }
@@ -102,6 +113,8 @@ void StatefulMimicryProbe::maybe_finish() {
 }
 
 void StatefulMimicryProbe::start() {
+  prov_.begin(tb_.prov_sink(), tb_.net.engine().now(), report_);
+  prov_.attempt(tb_.net.engine().now(), 1);
   auto ttl = spoof::plan_reply_ttl(options_.hops_to_tap,
                                    options_.hops_to_client);
   std::string request = "GET " + options_.path +
@@ -123,6 +136,7 @@ void StatefulMimicryProbe::start() {
         static_cast<int64_t>(std::max<size_t>(neighbors.size(), 1));
     engine.schedule(at, [this, alive = guard(), spoofed, request]() {
       if (alive.expired()) return;
+      obs::ScopedCause cause(prov_.graph(), prov_.attempt_id());
       mimic_->run_flow(spoofed, request);
       report_.packets_sent += 4;  // SYN, ACK, data, FIN
       maybe_finish();
@@ -136,6 +150,7 @@ void StatefulMimicryProbe::start() {
     proto::http::Request req =
         proto::http::Request::get("measure.example", options_.path);
     ++report_.packets_sent;
+    obs::ScopedCause cause(prov_.graph(), prov_.attempt_id());
     http_->fetch(tb_.addr().measurement, 80, req,
                  [this, alive](const proto::http::FetchResult& result) {
                    if (alive.expired()) return;

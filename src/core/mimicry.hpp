@@ -50,6 +50,7 @@ class StatelessDnsMimicryProbe : public Probe {
   bool verdict_ready_ = false;
   bool done_ = false;
   ProbeReport report_;
+  ProbeProvenance prov_;
 };
 
 struct StatefulMimicryOptions {
@@ -85,6 +86,7 @@ class StatefulMimicryProbe : public Probe {
   bool verdict_ready_ = false;
   bool done_ = false;
   ProbeReport report_;
+  ProbeProvenance prov_;
 };
 
 }  // namespace sm::core

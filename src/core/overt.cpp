@@ -117,6 +117,9 @@ OvertDnsProbe::OvertDnsProbe(Testbed& tb, OvertDnsOptions options)
 }
 
 void OvertDnsProbe::start() {
+  prov_.begin(tb_.prov_sink(), tb_.net.engine().now(), report_);
+  prov_.attempt(tb_.net.engine().now(), 1);
+  obs::ScopedCause cause(prov_.graph(), prov_.attempt_id());
   tb_.resolver->query(
       proto::dns::Name(options_.domain), options_.type,
       [this, alive = guard()](const proto::dns::QueryResult& result) {
@@ -132,6 +135,10 @@ void OvertDnsProbe::start() {
           report_.detail = "resolved to " + addr.to_string();
         }
         report_.confidence = confidence_from(report_.verdict);
+        prov_.evidence(tb_.net.engine().now(),
+                       result.answered() ? "dns-answer" : "dns-timeout",
+                       report_.detail);
+        prov_.verdict(tb_.net.engine().now(), report_);
         done_ = true;
       });
 }
@@ -152,10 +159,16 @@ void OvertHttpProbe::finish(Verdict v, std::string detail) {
   report_.detail = std::move(detail);
   report_.samples_blocked = is_blocked(v) ? 1 : 0;
   report_.confidence = confidence_from(v);
+  prov_.evidence(tb_.net.engine().now(),
+                 is_blocked(v) ? "blocked" : "response", report_.detail);
+  prov_.verdict(tb_.net.engine().now(), report_);
   done_ = true;
 }
 
 void OvertHttpProbe::start() {
+  prov_.begin(tb_.prov_sink(), tb_.net.engine().now(), report_);
+  prov_.attempt(tb_.net.engine().now(), 1);
+  obs::ScopedCause cause(prov_.graph(), prov_.attempt_id());
   tb_.resolver->query(
       proto::dns::Name(options_.domain), proto::dns::RecordType::A,
       [this, alive = guard()](const proto::dns::QueryResult& result) {
@@ -177,6 +190,7 @@ void OvertHttpProbe::fetch(common::Ipv4Address address) {
   for (auto& [k, v] : req.headers)
     if (common::iequals(k, "User-Agent")) v = options_.user_agent;
 
+  obs::ScopedCause cause(prov_.graph(), prov_.attempt_id());
   http_->fetch(address, 80, req,
                [this, alive = guard()](
                    const proto::http::FetchResult& result) {

@@ -31,6 +31,7 @@ class OvertDnsProbe : public Probe {
   std::set<uint32_t> forged_ips_;
   bool done_ = false;
   ProbeReport report_;
+  ProbeProvenance prov_;
 };
 
 struct OvertHttpOptions {
@@ -58,6 +59,7 @@ class OvertHttpProbe : public Probe {
   std::unique_ptr<proto::http::Client> http_;
   bool done_ = false;
   ProbeReport report_;
+  ProbeProvenance prov_;
 };
 
 /// Shared helper: classify a DNS QueryResult against the known-forged

@@ -12,6 +12,7 @@ PingProbe::PingProbe(Testbed& tb, PingOptions options)
 }
 
 void PingProbe::start() {
+  prov_.begin(tb_.prov_sink(), tb_.net.engine().now(), report_);
   ident_ = tb_.client->alloc_ephemeral_port();
   tb_.client->set_icmp_handler(
       [this, alive = guard()](const packet::Decoded& d,
@@ -20,7 +21,10 @@ void PingProbe::start() {
         if (d.icmp->type == packet::IcmpHeader::kEchoReply &&
             d.ip.src == options_.target &&
             (d.icmp->rest >> 16) == ident_) {
-          seen_seqs_.insert(d.icmp->rest & 0xffff);
+          if (seen_seqs_.insert(d.icmp->rest & 0xffff).second) {
+            prov_.evidence(tb_.net.engine().now(), "echo-reply",
+                           "seq=" + std::to_string(d.icmp->rest & 0xffff));
+          }
         }
       });
   send_round();
@@ -28,6 +32,7 @@ void PingProbe::start() {
 
 void PingProbe::send_round() {
   report_.attempts = round_ + 1;
+  prov_.attempt(tb_.net.engine().now(), round_ + 1);
   auto& engine = tb_.net.engine();
   for (size_t i = 0; i < options_.count; ++i) {
     // Sequence numbers are globally unique across rounds so a late
@@ -38,6 +43,8 @@ void PingProbe::send_round() {
                     [this, alive = guard(), seq]() {
                       if (alive.expired() || done_) return;
                       ++report_.packets_sent;
+                      obs::ScopedCause cause(prov_.graph(),
+                                             prov_.attempt_id());
                       tb_.client->send(packet::make_icmp(
                           tb_.client->address(), options_.target,
                           packet::IcmpHeader::kEchoRequest, 0,
@@ -81,6 +88,12 @@ void PingProbe::finalize() {
     report_.verdict = Verdict::Inconclusive;  // partial loss
   }
   report_.confidence = conclude(replies, 0, sent - replies, sent);
+  if (replies < sent) {
+    prov_.evidence(tb_.net.engine().now(), "silence",
+                   common::format("%zu/%zu unanswered", sent - replies,
+                                  sent));
+  }
+  prov_.verdict(tb_.net.engine().now(), report_);
   done_ = true;
 }
 

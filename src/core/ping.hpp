@@ -48,6 +48,7 @@ class PingProbe : public Probe {
   size_t round_ = 0;
   bool done_ = false;
   ProbeReport report_;
+  ProbeProvenance prov_;
 };
 
 }  // namespace sm::core

@@ -22,6 +22,7 @@ void ScanProbe::start() {
     tracer->instant(tracer->now(), "scan.start", "probe",
                     "\"ports\":" + std::to_string(options_.ports.size()));
   }
+  prov_.begin(tb_.prov_sink(), tb_.net.engine().now(), report_);
   // Watch raw replies from the target (deregistered in the destructor).
   promisc_id_ = tb_.client->add_promiscuous(
       [this](const packet::Decoded& d, const common::Bytes&) {
@@ -52,6 +53,7 @@ void ScanProbe::start() {
 
 void ScanProbe::send_round(const std::vector<uint16_t>& ports) {
   report_.attempts = round_ + 1;
+  prov_.attempt(tb_.net.engine().now(), round_ + 1);
   auto& engine = tb_.net.engine();
   for (size_t i = 0; i < ports.size(); ++i) {
     auto [sport, iss] = probe_params_[ports[i]];
@@ -59,6 +61,8 @@ void ScanProbe::send_round(const std::vector<uint16_t>& ports) {
                     [this, alive = guard(), port = ports[i], sport, iss]() {
                       if (alive.expired() || done_) return;
                       ++report_.packets_sent;
+                      obs::ScopedCause cause(prov_.graph(),
+                                             prov_.attempt_id());
                       tb_.client->send(packet::make_tcp(
                           tb_.client->address(), options_.target, sport, port,
                           TcpFlags::kSyn, iss, 0));
@@ -98,8 +102,12 @@ void ScanProbe::on_reply(const packet::Decoded& d) {
   if (st != PortState::Unknown) return;
   if (d.tcp->syn() && d.tcp->ack_flag()) {
     st = PortState::Open;
+    prov_.evidence(tb_.net.engine().now(), "syn-ack",
+                   "port=" + std::to_string(it->second));
   } else if (d.tcp->rst()) {
     st = PortState::Closed;
+    prov_.evidence(tb_.net.engine().now(), "rst",
+                   "port=" + std::to_string(it->second));
   }
   ++replies_;
 }
@@ -148,7 +156,12 @@ void ScanProbe::finalize() {
     else if (it->second == PortState::Closed) ++exp_rst;
     else ++exp_silent;
   }
+  if (exp_silent > 0) {
+    prov_.evidence(tb_.net.engine().now(), "silence",
+                   common::format("%zu expected-open port(s)", exp_silent));
+  }
   report_.confidence = conclude(exp_open, exp_rst, exp_silent);
+  prov_.verdict(tb_.net.engine().now(), report_);
   done_ = true;
   if (auto* tracer = tb_.trace_sink()) {
     tracer->instant(tracer->now(), "scan.done", "probe",

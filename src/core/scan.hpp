@@ -71,6 +71,7 @@ class ScanProbe : public Probe {
   uint64_t promisc_id_ = 0;
   bool done_ = false;
   ProbeReport report_;
+  ProbeProvenance prov_;
   static constexpr uint16_t kSportBase = 40000;
 };
 

@@ -34,6 +34,8 @@ void SpamProbe::finish(Verdict v, std::string detail) {
   report_.verdict = v;
   report_.detail = std::move(detail);
   report_.samples_blocked = is_blocked(v) ? 1 : 0;
+  prov_.evidence(tb_.net.engine().now(),
+                 is_blocked(v) ? "blocked" : "delivered", report_.detail);
   size_t silent = attempt_;  // earlier attempts all ended in silence
   switch (v) {
     case Verdict::Reachable:
@@ -49,6 +51,7 @@ void SpamProbe::finish(Verdict v, std::string detail) {
     default:
       break;  // Inconclusive stays the default Confidence
   }
+  prov_.verdict(tb_.net.engine().now(), report_);
   done_ = true;
   if (auto* tracer = tb_.trace_sink()) {
     tracer->instant(tracer->now(), "spam.done", "probe",
@@ -60,12 +63,15 @@ void SpamProbe::start() {
   if (auto* tracer = tb_.trace_sink()) {
     tracer->instant(tracer->now(), "spam.start", "probe");
   }
+  prov_.begin(tb_.prov_sink(), tb_.net.engine().now(), report_);
   begin_attempt();
 }
 
 void SpamProbe::begin_attempt() {
   report_.attempts = attempt_ + 1;
   ++report_.packets_sent;
+  prov_.attempt(tb_.net.engine().now(), attempt_ + 1);
+  obs::ScopedCause cause(prov_.graph(), prov_.attempt_id());
   tb_.resolver->query(proto::dns::Name(options_.domain),
                       proto::dns::RecordType::MX,
                       [this, alive = guard()](
@@ -95,6 +101,7 @@ void SpamProbe::on_mx(const proto::dns::QueryResult& result) {
     return;
   }
   ++report_.packets_sent;
+  obs::ScopedCause cause(prov_.graph(), prov_.attempt_id());
   tb_.resolver->query(
       mxs.front().exchange, proto::dns::RecordType::A,
       [this, alive = guard()](const proto::dns::QueryResult& r) {
@@ -117,6 +124,7 @@ void SpamProbe::deliver(common::Ipv4Address mail_server) {
   env.mail_from = "<promo@deals.example.net>";
   env.rcpt_to = "<postmaster@" + options_.domain + ">";
   env.data = message_;
+  obs::ScopedCause cause(prov_.graph(), prov_.attempt_id());
   smtp_->deliver(
       mail_server, env,
       [this, alive = guard()](const proto::smtp::DeliveryResult& result) {

@@ -26,6 +26,7 @@ void SynReachabilityProbe::start() {
     tracer->instant(tracer->now(), "synprobe.start", "probe",
                     "\"cover\":" + std::to_string(options_.cover_count));
   }
+  prov_.begin(tb_.prov_sink(), tb_.net.engine().now(), report_);
   sport_ = tb_.client->alloc_ephemeral_port();
   iss_ = 0xC0DE0000 | sport_;
 
@@ -38,6 +39,8 @@ void SynReachabilityProbe::start() {
 
 void SynReachabilityProbe::send_attempt() {
   report_.attempts = attempt_ + 1;
+  prov_.attempt(tb_.net.engine().now(), attempt_ + 1);
+  obs::ScopedCause cause(prov_.graph(), prov_.attempt_id());
   // The real probe plus spoofed cover from neighbors, back to back: the
   // tap sees the whole /24 probing. Retries reuse the same sport/ISS, so
   // they look like ordinary SYN retransmission and a late reply to an
@@ -67,13 +70,16 @@ void SynReachabilityProbe::on_reply(const packet::Decoded& d) {
     return;
   replied_ = true;
   size_t silent = attempt_;  // earlier attempts that drew no answer
+  common::SimTime now = tb_.net.engine().now();
   if (d.tcp->syn() && d.tcp->ack_flag()) {
     report_.verdict = Verdict::Reachable;
     report_.detail = "syn/ack received";
     report_.confidence = conclude(1, 0, silent);
+    prov_.evidence(now, "syn-ack");
     // "a RST provides cover traffic" — and is what the client's stack
     // does anyway; make it explicit for stack-less clients.
     ++report_.packets_sent;
+    obs::ScopedCause cause(prov_.graph(), prov_.attempt_id());
     tb_.client->send(packet::make_tcp(tb_.client->address(),
                                       options_.target, sport_,
                                       options_.port, TcpFlags::kRst,
@@ -83,7 +89,9 @@ void SynReachabilityProbe::on_reply(const packet::Decoded& d) {
     report_.detail = "rst received on a port expected open";
     report_.samples_blocked = 1;
     report_.confidence = conclude(0, 1, silent);
+    prov_.evidence(now, "rst");
   }
+  prov_.verdict(now, report_);
   done_ = true;
 }
 
@@ -110,6 +118,9 @@ void SynReachabilityProbe::finalize() {
   report_.samples_blocked = 1;
   // Silence concludes Blocked only because the whole ladder ran dry.
   report_.confidence = conclude(0, 0, attempts, attempts);
+  prov_.evidence(tb_.net.engine().now(), "silence",
+                 common::format("%zu attempts", attempts));
+  prov_.verdict(tb_.net.engine().now(), report_);
   done_ = true;
   if (auto* tracer = tb_.trace_sink()) {
     tracer->instant(tracer->now(), "synprobe.done", "probe",

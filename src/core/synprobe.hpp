@@ -51,6 +51,7 @@ class SynReachabilityProbe : public Probe {
   bool replied_ = false;
   bool done_ = false;
   ProbeReport report_;
+  ProbeProvenance prov_;
 };
 
 }  // namespace sm::core

@@ -30,6 +30,12 @@ Testbed::Testbed(TestbedConfig config) : config_(std::move(config)) {
   tracer_ = std::make_unique<obs::Tracer>(config_.trace_capacity);
   tracer_->set_enabled(config_.enable_observability);
   if (config_.enable_observability) net.engine().set_tracer(tracer_.get());
+  provenance_ =
+      std::make_unique<obs::ProvenanceGraph>(config_.provenance_capacity);
+  provenance_->set_enabled(config_.enable_provenance);
+  if (config_.enable_provenance) {
+    net.engine().set_provenance(provenance_.get());
+  }
 
   // All per-link randomness (loss, bursts, reorder, ...) hangs off the
   // testbed's netsim seed; must be set before the first connect().
@@ -155,7 +161,22 @@ obs::Registry& Testbed::metrics_snapshot() {
   reg.counter("sm_trace_events_dropped_total", {},
               "sim-time trace records overwritten in the ring")
       ->set(tracer_->dropped());
+  if (config_.enable_provenance) {
+    reg.gauge("sm_provenance_events", {},
+              "provenance events currently retained in the ring")
+        ->set(static_cast<double>(provenance_->size()));
+    reg.counter("sm_provenance_events_total", {},
+                "provenance events ever recorded")
+        ->set(provenance_->total());
+    reg.counter("sm_provenance_dropped_total", {},
+                "provenance events evicted by the drop-oldest ring")
+        ->set(provenance_->dropped());
+  }
   return reg;
+}
+
+std::string Testbed::provenance_json() {
+  return config_.enable_provenance ? provenance_->to_json() : std::string();
 }
 
 std::string Testbed::metrics_json() { return metrics_snapshot().to_json(); }

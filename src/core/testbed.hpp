@@ -23,6 +23,7 @@
 #include "netsim/topology.hpp"
 #include "netsim/trace.hpp"
 #include "obs/metrics.hpp"
+#include "obs/provenance.hpp"
 #include "obs/trace.hpp"
 #include "proto/dns/client.hpp"
 #include "proto/dns/server.hpp"
@@ -80,6 +81,14 @@ struct TestbedConfig {
   /// Bound on the packet-capture tap (0 = unbounded; see
   /// TraceTap::set_max_records).
   size_t capture_max_records = 0;
+  /// Turns on the provenance layer: a causal event graph linking probe
+  /// attempts → packets → hops/impairments → tap observations → the
+  /// verdict. Independent of enable_observability (alerts resolve to
+  /// their causing packets either way); like it, enabling changes no
+  /// verdict or event ordering — only what gets recorded.
+  bool enable_provenance = false;
+  /// Drop-oldest ring capacity for the provenance graph (events kept).
+  size_t provenance_capacity = 1 << 16;
 };
 
 /// Well-known addresses inside the testbed.
@@ -150,6 +159,17 @@ class Testbed {
     return config_.enable_observability ? tracer_.get() : nullptr;
   }
 
+  obs::ProvenanceGraph& provenance() { return *provenance_; }
+  const obs::ProvenanceGraph& provenance() const { return *provenance_; }
+  /// The graph when provenance is on, nullptr otherwise — probes hand
+  /// this to record()/ScopedCause call sites (same pattern as
+  /// trace_sink()).
+  obs::ProvenanceGraph* prov_sink() {
+    return config_.enable_provenance ? provenance_.get() : nullptr;
+  }
+  /// provenance().to_json() when enabled, "" otherwise. Byte-deterministic.
+  std::string provenance_json();
+
   /// Pulls every subsystem's counters into the registry (netsim engine,
   /// router, MVR, censor, capture tap) and returns it. Deterministic:
   /// two identically-seeded runs snapshot byte-identically.
@@ -177,6 +197,7 @@ class Testbed {
   TestbedAddresses addr_;
   std::unique_ptr<obs::Registry> metrics_;
   std::unique_ptr<obs::Tracer> tracer_;
+  std::unique_ptr<obs::ProvenanceGraph> provenance_;
 };
 
 }  // namespace sm::core

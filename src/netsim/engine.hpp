@@ -25,6 +25,10 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
+namespace sm::obs {
+class ProvenanceGraph;
+}  // namespace sm::obs
+
 namespace sm::netsim {
 
 using common::Duration;
@@ -80,6 +84,15 @@ class Engine {
   /// nothing when not.
   void set_tracer(obs::Tracer* tracer);
   obs::Tracer* tracer() const { return tracer_; }
+
+  /// Attaches a provenance graph: links, routers, and taps reach it
+  /// through their engine reference and record causal events when it is
+  /// non-null. Same cost model as the tracer — one null check per hook
+  /// when detached. Pass nullptr to detach.
+  void set_provenance(obs::ProvenanceGraph* provenance) {
+    provenance_ = provenance;
+  }
+  obs::ProvenanceGraph* provenance() const { return provenance_; }
 
   /// Pull-model metrics bridge: copies the engine's cumulative counters
   /// into `registry` (sm_netsim_events_executed_total, queue depth/high
@@ -143,6 +156,7 @@ class Engine {
   size_t live_ = 0;  // events in slots_/far_/due_ (incl. cancelled)
   size_t queue_high_water_ = 0;
   obs::Tracer* tracer_ = nullptr;
+  obs::ProvenanceGraph* provenance_ = nullptr;
 };
 
 }  // namespace sm::netsim

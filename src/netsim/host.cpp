@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "netsim/engine.hpp"
+#include "obs/provenance.hpp"
+
 namespace sm::netsim {
 
 Host::Host(Engine& engine, std::string name, Ipv4Address address)
@@ -40,6 +43,12 @@ void Host::receive(packet::Packet packet, int /*port*/) {
   ++packets_received_;
   auto decoded = packet::decode(packet);
   if (!decoded) return;
+
+  // Anything a handler sends in direct response (a TCP ACK/data segment,
+  // an echo reply, a DNS answer) is *caused by* this packet: scope the
+  // ambient cause so the provenance chain threads through whole flows,
+  // not just the first synchronous hop.
+  obs::ScopedCause cause(engine_.provenance(), packet.prov_id());
 
   for (const auto& [id, handler] : promiscuous_)
     handler(*decoded, packet.data());

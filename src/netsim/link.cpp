@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/provenance.hpp"
+
 namespace sm::netsim {
 
 void Node::transmit(packet::Packet packet, int port) {
@@ -47,7 +49,29 @@ void Link::send_from(Node* from, packet::Packet packet) {
   Endpoint& rx = peer_of(from);
   ++stats_.sent;
 
+  // Every wire packet passes this choke point exactly once per hop, so
+  // this is where provenance identity is minted: the first link assigns
+  // the PacketSent event (cause = the ambient ScopedCause, e.g. a probe
+  // attempt or a censor injection); later hops reuse the id.
+  obs::ProvenanceGraph* prov = engine_.provenance();
+  if (prov != nullptr && packet.prov_id() == 0) {
+    packet.set_prov_id(prov->record_packet(engine_.now(), packet.data().data(),
+                                           packet.size()));
+  }
+
   ImpairmentModel::Decision d = model_.apply(engine_.now(), packet.data());
+  if (prov != nullptr && d.drop != ImpairmentModel::DropCause::None) {
+    const char* why = "loss";
+    switch (d.drop) {
+      case ImpairmentModel::DropCause::IidLoss: why = "iid-loss"; break;
+      case ImpairmentModel::DropCause::BurstLoss: why = "burst-loss"; break;
+      case ImpairmentModel::DropCause::LinkDown: why = "link-down"; break;
+      case ImpairmentModel::DropCause::Corrupt: why = "corrupt-drop"; break;
+      case ImpairmentModel::DropCause::None: break;
+    }
+    prov->record(obs::ProvKind::Impair, engine_.now(), packet.prov_id(),
+                 packet.prov_id(), why);
+  }
   switch (d.drop) {
     case ImpairmentModel::DropCause::IidLoss: ++stats_.dropped_loss; return;
     case ImpairmentModel::DropCause::BurstLoss:
@@ -59,7 +83,13 @@ void Link::send_from(Node* from, packet::Packet packet) {
       return;
     case ImpairmentModel::DropCause::None: break;
   }
-  if (d.corrupted) ++stats_.corrupted;
+  if (d.corrupted) {
+    ++stats_.corrupted;
+    if (prov != nullptr) {
+      prov->record(obs::ProvKind::Impair, engine_.now(), packet.prov_id(),
+                   packet.prov_id(), "corrupted");
+    }
+  }
 
   common::SimTime depart = engine_.now();
   if (config_.bandwidth_bps > 0) {
@@ -76,13 +106,22 @@ void Link::send_from(Node* from, packet::Packet packet) {
   if (d.extra_delay.count() > 0) {
     ++stats_.reordered;
     arrive = arrive + d.extra_delay;
+    if (prov != nullptr) {
+      prov->record(obs::ProvKind::Impair, engine_.now(), packet.prov_id(),
+                   packet.prov_id(), "reorder");
+    }
   }
   if (d.duplicate) {
     ++stats_.duplicated;
     ++stats_.delivered;
     // The duplicate needs its own owner; the only impairment-forced copy
-    // (corruption mutates the uniquely-owned buffer in place).
+    // (corruption mutates the uniquely-owned buffer in place). It keeps
+    // the original's provenance id: both deliveries trace to one send.
     packet::count_copy(packet::CopySite::Impairment);
+    if (prov != nullptr) {
+      prov->record(obs::ProvKind::Impair, engine_.now(), packet.prov_id(),
+                   packet.prov_id(), "duplicate");
+    }
     deliver_at(arrive + d.duplicate_lag, rx, packet);  // copy
   }
   ++stats_.delivered;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/provenance.hpp"
+
 namespace sm::netsim {
 
 Router::Router(Engine& engine, std::string name)
@@ -51,21 +53,30 @@ void Router::receive(packet::Packet packet, int port) {
 void Router::forward(packet::Packet packet, const packet::Decoded& decoded,
                      int in_port) {
   int out = route_lookup(decoded.ip.dst);
+  obs::ProvenanceGraph* prov = engine_.provenance();
 
   // Taps observe at ingress, before TTL processing — like a port mirror.
   // This is what makes TTL-limited replies (§4.1) work: a reply built to
   // expire at this router still crosses the surveillance tap.
   TapContext ctx{engine_.now(), packet::PacketView(packet.data(), decoded),
-                 in_port, out};
+                 in_port, out, packet.prov_id()};
   for (Tap* tap : taps_) {
     if (tap->process(ctx, *this) == TapDecision::Drop) {
       ++counters_.dropped_by_tap;
+      if (prov != nullptr) {
+        prov->record(obs::ProvKind::Drop, engine_.now(), packet.prov_id(),
+                     packet.prov_id(), "tap", name());
+      }
       return;
     }
   }
 
   if (transformer_ && !transformer_(packet)) {
     ++counters_.dropped_by_tap;
+    if (prov != nullptr) {
+      prov->record(obs::ProvKind::Drop, engine_.now(), packet.prov_id(),
+                   packet.prov_id(), "transformer", name());
+    }
     return;
   }
 
@@ -73,10 +84,16 @@ void Router::forward(packet::Packet packet, const packet::Decoded& decoded,
   if (packet.data()[8] == 0) {  // TTL expired here
     ++counters_.dropped_ttl;
     ++counters_.icmp_time_exceeded;
+    if (prov != nullptr) {
+      prov->record(obs::ProvKind::Drop, engine_.now(), packet.prov_id(),
+                   packet.prov_id(), "ttl-expired", name());
+    }
     // ICMP Time Exceeded carries the expired packet's IP header + 8 bytes.
     size_t quote_len =
         std::min(packet.size(), decoded.ip.header_length() + 8);
     std::span<const uint8_t> quote(packet.data().data(), quote_len);
+    // The error packet is caused by the expiry, not by a probe attempt.
+    obs::ScopedCause cause(prov, packet.prov_id());
     inject(packet::make_icmp(router_address_, decoded.ip.src,
                              packet::IcmpHeader::kTimeExceeded, 0, 0, quote));
     return;
@@ -84,10 +101,18 @@ void Router::forward(packet::Packet packet, const packet::Decoded& decoded,
 
   if (out < 0) {
     ++counters_.dropped_no_route;
+    if (prov != nullptr) {
+      prov->record(obs::ProvKind::Drop, engine_.now(), packet.prov_id(),
+                   packet.prov_id(), "no-route", name());
+    }
     return;
   }
 
   ++counters_.forwarded;
+  if (prov != nullptr) {
+    prov->record(obs::ProvKind::Forward, engine_.now(), packet.prov_id(),
+                 packet.prov_id(), name());
+  }
   transmit(std::move(packet), out);
 }
 

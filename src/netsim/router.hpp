@@ -39,6 +39,10 @@ struct TapContext {
   packet::PacketView pkt;
   int in_port;
   int out_port;
+  /// Provenance id of the packet (its PacketSent event), 0 when
+  /// provenance is off. Taps use it as the causal parent of whatever
+  /// they record about this packet.
+  uint64_t prov = 0;
 
   const packet::Decoded& decoded() const { return pkt.decoded(); }
 };

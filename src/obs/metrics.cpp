@@ -60,6 +60,26 @@ double HistogramMetric::bin_high(size_t i) const {
                    static_cast<double>(bins.size());
 }
 
+double HistogramMetric::quantile(double q) const {
+  size_t total = hist_.count();
+  if (total == 0) return 0.0;
+  double target = q * static_cast<double>(total);
+  const auto& bins = hist_.bins();
+  size_t cumulative = 0;
+  for (size_t i = 0; i < bins.size(); ++i) {
+    size_t prev = cumulative;
+    cumulative += bins[i];
+    if (static_cast<double>(cumulative) >= target && bins[i] > 0) {
+      double low = i == 0 ? lo_ : bin_high(i - 1);
+      double high = bin_high(i);
+      double into = (target - static_cast<double>(prev)) /
+                    static_cast<double>(bins[i]);
+      return low + (high - low) * into;
+    }
+  }
+  return hi_;  // q beyond every bin (only reachable via rounding)
+}
+
 Registry::Family& Registry::family(std::string_view name, Kind kind,
                                    std::string_view help) {
   auto [it, inserted] = families_.try_emplace(std::string(name));
@@ -236,6 +256,21 @@ std::string Registry::to_prometheus() const {
           out += with_labels("_sum", "") + " " + num(h.sum()) + "\n";
           out += with_labels("_count", "") + " " +
                  std::to_string(h.count()) + "\n";
+          // Interpolated summary quantiles, so dashboards get p50/p90/
+          // p99 without a histogram_quantile() engine. Skipped while
+          // empty (a quantile of nothing is not 0, it is undefined).
+          if (h.count() > 0) {
+            static const struct {
+              const char* label;
+              double q;
+            } kQuantiles[] = {{"0.5", 0.5}, {"0.9", 0.9}, {"0.99", 0.99}};
+            for (const auto& qd : kQuantiles) {
+              out += with_labels("",
+                                 std::string("quantile=\"") + qd.label +
+                                     "\"") +
+                     " " + num(h.quantile(qd.q)) + "\n";
+            }
+          }
           break;
         }
       }

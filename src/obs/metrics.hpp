@@ -98,6 +98,12 @@ class HistogramMetric {
   /// Upper bound of bin `i` (the Prometheus `le` value; the last bin's
   /// bound serializes as +Inf because edge clamping makes it catch-all).
   double bin_high(size_t i) const;
+  /// Estimated q-quantile (0 < q <= 1) by linear interpolation over the
+  /// cumulative bin counts — the classic histogram_quantile() estimate,
+  /// computed at export time so observe() stays one array increment.
+  /// Returns 0.0 when the histogram is empty. Deterministic: depends
+  /// only on the (exact, integral) bin counts and the fixed bin edges.
+  double quantile(double q) const;
 
  private:
   double lo_, hi_;

@@ -1,0 +1,356 @@
+#include "obs/provenance.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace sm::obs {
+
+namespace {
+
+// Shared JSON string escaping (subset used by the metrics exporter).
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+struct KindName {
+  ProvKind kind;
+  std::string_view name;
+};
+
+constexpr KindName kKindNames[] = {
+    {ProvKind::ProbeStart, "probe-start"},
+    {ProvKind::Attempt, "attempt"},
+    {ProvKind::PacketSent, "packet"},
+    {ProvKind::Forward, "forward"},
+    {ProvKind::Drop, "drop"},
+    {ProvKind::Impair, "impair"},
+    {ProvKind::CensorAction, "censor"},
+    {ProvKind::IdsAlert, "ids-alert"},
+    {ProvKind::MvrClassify, "mvr-classify"},
+    {ProvKind::MvrSample, "mvr-sample"},
+    {ProvKind::MvrDiscard, "mvr-discard"},
+    {ProvKind::AlertStored, "alert-stored"},
+    {ProvKind::Evidence, "evidence"},
+    {ProvKind::Verdict, "verdict"},
+};
+
+std::string ipv4(const uint8_t* p) {
+  return common::format("%u.%u.%u.%u", p[0], p[1], p[2], p[3]);
+}
+
+}  // namespace
+
+std::string_view to_string(ProvKind kind) {
+  for (const auto& [k, name] : kKindNames) {
+    if (k == kind) return name;
+  }
+  return "?";
+}
+
+std::optional<ProvKind> prov_kind_from_string(std::string_view s) {
+  for (const auto& [k, name] : kKindNames) {
+    if (name == s) return k;
+  }
+  return std::nullopt;
+}
+
+std::string summarize_wire(const uint8_t* data, size_t len) {
+  if (data == nullptr || len < 20 || (data[0] >> 4) != 4) return "raw";
+  const size_t ihl = static_cast<size_t>(data[0] & 0x0f) * 4;
+  const uint8_t proto = data[9];
+  std::string src = ipv4(data + 12), dst = ipv4(data + 16);
+  const char* name = proto == 6    ? "tcp"
+                     : proto == 17 ? "udp"
+                     : proto == 1  ? "icmp"
+                                   : nullptr;
+  if ((proto == 6 || proto == 17) && len >= ihl + 4) {
+    const uint16_t sport =
+        static_cast<uint16_t>(data[ihl] << 8 | data[ihl + 1]);
+    const uint16_t dport =
+        static_cast<uint16_t>(data[ihl + 2] << 8 | data[ihl + 3]);
+    return common::format("%s %s:%u>%s:%u", name, src.c_str(), sport,
+                          dst.c_str(), dport);
+  }
+  if (name != nullptr) return common::format("%s %s>%s", name, src.c_str(),
+                                             dst.c_str());
+  return common::format("proto=%u %s>%s", proto, src.c_str(), dst.c_str());
+}
+
+ProvenanceGraph::ProvenanceGraph(size_t capacity)
+    : ring_(std::max<size_t>(1, capacity)) {}
+
+void ProvenanceGraph::set_capacity(size_t capacity) {
+  std::vector<ProvEvent> kept = events();  // oldest first
+  ring_.assign(std::max<size_t>(1, capacity), ProvEvent{});
+  next_ = 0;
+  count_ = 0;
+  size_t start = 0;
+  if (kept.size() > ring_.size()) {
+    start = kept.size() - ring_.size();
+    dropped_ += start;
+  }
+  for (size_t i = start; i < kept.size(); ++i) {
+    ring_[next_] = std::move(kept[i]);
+    next_ = (next_ + 1) % ring_.size();
+    ++count_;
+  }
+}
+
+ProvEvent& ProvenanceGraph::push(ProvEvent ev) {
+  if (count_ == ring_.size()) ++dropped_;
+  ProvEvent& slot = ring_[next_];
+  slot = std::move(ev);
+  next_ = (next_ + 1) % ring_.size();
+  if (count_ < ring_.size()) ++count_;
+  return slot;
+}
+
+uint64_t ProvenanceGraph::record(ProvKind kind, common::SimTime ts,
+                                 uint64_t cause, uint64_t packet,
+                                 std::string what, std::string detail) {
+  if (!enabled_) return 0;
+  ProvEvent ev;
+  ev.id = ++total_;
+  ev.cause = cause;
+  ev.packet = packet;
+  ev.ts = ts;
+  ev.kind = kind;
+  ev.what = std::move(what);
+  ev.detail = std::move(detail);
+  push(std::move(ev));
+  return total_;
+}
+
+uint64_t ProvenanceGraph::record_verdict(common::SimTime ts, uint64_t cause,
+                                         std::string what, std::string detail,
+                                         std::vector<uint64_t> evidence) {
+  if (!enabled_) return 0;
+  ProvEvent ev;
+  ev.id = ++total_;
+  ev.cause = cause;
+  ev.ts = ts;
+  ev.kind = ProvKind::Verdict;
+  ev.what = std::move(what);
+  ev.detail = std::move(detail);
+  ev.refs = std::move(evidence);
+  push(std::move(ev));
+  return total_;
+}
+
+uint64_t ProvenanceGraph::record_packet(common::SimTime ts,
+                                        const uint8_t* data, size_t len) {
+  if (!enabled_) return 0;
+  return record(ProvKind::PacketSent, ts, current_cause_, 0,
+                summarize_wire(data, len));
+}
+
+void ProvenanceGraph::append_raw(ProvEvent ev) {
+  if (ev.id == 0 || ev.id <= total_) return;  // ids must strictly increase
+  dropped_ += ev.id - total_ - 1;             // gaps were drops upstream
+  total_ = ev.id;
+  push(std::move(ev));
+}
+
+void ProvenanceGraph::clear() {
+  for (auto& ev : ring_) ev = ProvEvent{};
+  next_ = 0;
+  count_ = 0;
+  total_ = 0;
+  dropped_ = 0;
+  current_cause_ = 0;
+}
+
+std::vector<ProvEvent> ProvenanceGraph::events() const {
+  std::vector<ProvEvent> out;
+  out.reserve(count_);
+  const size_t cap = ring_.size();
+  size_t start = (next_ + cap - count_) % cap;
+  for (size_t i = 0; i < count_; ++i) {
+    out.push_back(ring_[(start + i) % cap]);
+  }
+  return out;
+}
+
+const ProvEvent* ProvenanceGraph::find(uint64_t id) const {
+  if (id == 0 || id > total_) return nullptr;
+  const size_t cap = ring_.size();
+  size_t start = (next_ + cap - count_) % cap;
+  // Retained ids are a contiguous run ending at the newest event; scan
+  // backward from the newest (append_raw graphs may hold sparse ids, so
+  // position arithmetic alone is not enough).
+  for (size_t i = count_; i-- > 0;) {
+    const ProvEvent& ev = ring_[(start + i) % cap];
+    if (ev.id == id) return &ev;
+    if (ev.id < id) return nullptr;
+  }
+  return nullptr;
+}
+
+std::vector<uint64_t> ProvenanceGraph::chain(uint64_t id) const {
+  std::vector<uint64_t> out;
+  uint64_t cur = id;
+  // Causes always point backward (cause < id), so the walk terminates;
+  // the guard is belt-and-braces against corrupt deserialized input.
+  while (cur != 0 && out.size() <= count_) {
+    const ProvEvent* ev = find(cur);
+    if (ev == nullptr) break;
+    out.push_back(cur);
+    if (ev->cause >= cur) break;
+    cur = ev->cause;
+  }
+  return out;
+}
+
+uint64_t ProvenanceGraph::root_of(uint64_t id) const {
+  std::vector<uint64_t> c = chain(id);
+  return c.empty() ? 0 : c.back();
+}
+
+std::string ProvenanceGraph::to_json() const {
+  std::string out = "{\"events\":[";
+  bool first = true;
+  const size_t cap = ring_.size();
+  size_t start = (next_ + cap - count_) % cap;
+  for (size_t i = 0; i < count_; ++i) {
+    const ProvEvent& ev = ring_[(start + i) % cap];
+    if (!first) out += ',';
+    first = false;
+    out += "{\"id\":" + std::to_string(ev.id) +
+           ",\"cause\":" + std::to_string(ev.cause);
+    if (ev.packet != 0) out += ",\"packet\":" + std::to_string(ev.packet);
+    out += ",\"t\":" + std::to_string(ev.ts.count()) + ",\"kind\":\"";
+    out += to_string(ev.kind);
+    out += "\",\"what\":\"" + escape(ev.what) + "\"";
+    if (!ev.detail.empty()) out += ",\"detail\":\"" + escape(ev.detail) + "\"";
+    if (!ev.refs.empty()) {
+      out += ",\"refs\":[";
+      for (size_t r = 0; r < ev.refs.size(); ++r) {
+        if (r) out += ',';
+        out += std::to_string(ev.refs[r]);
+      }
+      out += "]";
+    }
+    out += "}";
+  }
+  out += "],\"total\":" + std::to_string(total_) +
+         ",\"dropped\":" + std::to_string(dropped_) + "}";
+  return out;
+}
+
+std::vector<AlertAttribution> attribute_alerts(const ProvenanceGraph& g) {
+  std::vector<AlertAttribution> out;
+  for (const ProvEvent& ev : g.events()) {
+    if (ev.kind != ProvKind::AlertStored) continue;
+    AlertAttribution a;
+    a.alert = ev.id;
+    // The stored alert's packet link is inherited from its IdsAlert
+    // parent; fall back to walking the parent if the copy is missing.
+    a.packet = ev.packet;
+    if (a.packet == 0) {
+      if (const ProvEvent* parent = g.find(ev.cause)) {
+        a.packet = parent->packet;
+      }
+    }
+    if (a.packet != 0) {
+      a.root = g.root_of(a.packet);
+      if (const ProvEvent* root = g.find(a.root)) {
+        a.probe_caused = root->kind == ProvKind::ProbeStart ||
+                         root->kind == ProvKind::Attempt;
+      }
+    }
+    out.push_back(a);
+  }
+  return out;
+}
+
+namespace {
+
+std::string event_line(const ProvEvent& ev) {
+  std::string line = common::format("[e%llu] ",
+                                    static_cast<unsigned long long>(ev.id));
+  line += std::string(to_string(ev.kind)) + " " + ev.what;
+  if (!ev.detail.empty()) line += " (" + ev.detail + ")";
+  line += common::format(" t=%.6fs", ev.ts.to_seconds());
+  return line;
+}
+
+void render_chain(const ProvenanceGraph& g, uint64_t from, int indent,
+                  std::string& out) {
+  for (uint64_t id : g.chain(from)) {
+    const ProvEvent* ev = g.find(id);
+    if (ev == nullptr) break;
+    out.append(static_cast<size_t>(indent), ' ');
+    if (id != from) out += "<- ";
+    out += event_line(*ev) + "\n";
+  }
+}
+
+}  // namespace
+
+std::string explain_text(const ProvenanceGraph& g) {
+  std::string out;
+  const std::vector<ProvEvent> events = g.events();
+
+  for (const ProvEvent& ev : events) {
+    if (ev.kind != ProvKind::Verdict) continue;
+    out += "verdict: " + ev.what;
+    if (!ev.detail.empty()) out += " (" + ev.detail + ")";
+    out += common::format(" t=%.6fs\n", ev.ts.to_seconds());
+    if (const ProvEvent* probe = g.find(g.root_of(ev.id))) {
+      if (probe->id != ev.id) out += "  probe: " + event_line(*probe) + "\n";
+    }
+    if (ev.refs.empty()) {
+      out += "  evidence: (none recorded)\n";
+    } else {
+      out += "  evidence:\n";
+      for (uint64_t ref : ev.refs) {
+        const ProvEvent* e = g.find(ref);
+        out += "    ";
+        out += e ? event_line(*e)
+                 : common::format("[e%llu] (evicted)",
+                                  static_cast<unsigned long long>(ref));
+        out += "\n";
+      }
+    }
+  }
+
+  const std::vector<AlertAttribution> alerts = attribute_alerts(g);
+  size_t probe_caused = 0;
+  for (const auto& a : alerts) probe_caused += a.probe_caused ? 1 : 0;
+  out += common::format("alerts: %zu stored, %zu probe-caused\n",
+                        alerts.size(), probe_caused);
+  for (const auto& a : alerts) {
+    const ProvEvent* ev = g.find(a.alert);
+    if (ev == nullptr) continue;
+    out += "  " + event_line(*ev);
+    out += a.probe_caused ? "  ** probe-caused **\n" : "  [background]\n";
+    if (const ProvEvent* parent = g.find(ev->cause)) {
+      out += "    <- " + event_line(*parent) + "\n";
+    }
+    if (a.packet != 0) {
+      render_chain(g, a.packet, 6, out);
+    } else {
+      out += "      (causing packet not retained)\n";
+    }
+  }
+
+  if (g.dropped() > 0) {
+    out += common::format(
+        "note: %llu event(s) dropped from the ring; chains may truncate\n",
+        static_cast<unsigned long long>(g.dropped()));
+  }
+  return out;
+}
+
+}  // namespace sm::obs

@@ -108,10 +108,19 @@ class Packet {
   size_t size() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
 
+  /// Provenance identity: the id of this packet's PacketSent event in
+  /// the testbed's obs::ProvenanceGraph, assigned by the first link the
+  /// packet enters (0 = provenance off or not yet on a wire). The id
+  /// rides through copies and in-place mutation — a duplicated or
+  /// corrupted packet keeps the identity of the send it came from.
+  uint64_t prov_id() const { return prov_id_; }
+  void set_prov_id(uint64_t id) { prov_id_ = id; }
+
   std::string to_string() const;  // one-line summary, see print.cpp
 
  private:
   Bytes data_;
+  uint64_t prov_id_ = 0;
 };
 
 /// Fully decoded packet. Produced by `decode()`; spans point into the

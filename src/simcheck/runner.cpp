@@ -7,6 +7,7 @@
 
 #include "campaign/campaign.hpp"
 #include "core/overt.hpp"
+#include "obs/provenance.hpp"
 #include "core/report_json.hpp"
 #include "core/testbed.hpp"
 #include "packet/packet.hpp"
@@ -86,6 +87,9 @@ struct Execution {
   std::string report_json;
   std::string risk_json;
   std::string metrics_json;
+  std::string provenance_json;
+  size_t graph_probe_caused_alerts = 0;
+  size_t graph_stored_alerts = 0;
   size_t replies_crossed_tap = 0;
   size_t replies_reached_client = 0;
   size_t sav_violations = 0;
@@ -237,6 +241,13 @@ Execution execute(const Scenario& scenario, const SeedPack& seeds,
   exec.report_json = core::to_json(exec.report);
   exec.risk_json = core::to_json(exec.risk);
   exec.metrics_json = tb.metrics_json();
+  exec.provenance_json = tb.provenance_json();
+  if (const obs::ProvenanceGraph* g = tb.prov_sink()) {
+    for (const obs::AlertAttribution& a : obs::attribute_alerts(*g)) {
+      ++exec.graph_stored_alerts;
+      if (a.probe_caused) ++exec.graph_probe_caused_alerts;
+    }
+  }
 
   // Scan the tap capture for O3's crossing / SAV counters.
   spoof::SavModel sav_model(tb.config().sav_distribution,
@@ -294,6 +305,9 @@ TrialOutcome run_scenario(const Scenario& scenario, const SeedPack& seeds,
   out.report_json = exec.report_json;
   out.risk_json = exec.risk_json;
   out.metrics_json = exec.metrics_json;
+  out.provenance_json = exec.provenance_json;
+  out.graph_probe_caused_alerts = exec.graph_probe_caused_alerts;
+  out.graph_stored_alerts = exec.graph_stored_alerts;
   out.replies_crossed_tap = exec.replies_crossed_tap;
   out.replies_reached_client = exec.replies_reached_client;
   out.sav_violations = exec.sav_violations;
@@ -349,6 +363,10 @@ TrialOutcome run_scenario(const Scenario& scenario, const SeedPack& seeds,
     if (again.metrics_json != out.metrics_json) {
       out.failures.push_back({"O2", "metrics snapshot differs under re-run"});
     }
+    if (again.provenance_json != out.provenance_json) {
+      out.failures.push_back(
+          {"O2", "provenance graph differs under re-run"});
+    }
   }
 
   if (mask.o3) {
@@ -396,6 +414,22 @@ TrialOutcome run_scenario(const Scenario& scenario, const SeedPack& seeds,
             overt_risk.attribution_probability + 1e-9) {
       out.failures.push_back(
           {"O4", "mimicry attribution exceeds overt attribution"});
+    }
+    // The graph-walk form of the same bound: attribute every stored MVR
+    // alert to the root of its causal chain; alerts rooted in the probe
+    // must not be more numerous for mimicry than for its overt twin.
+    size_t overt_probe_caused = 0;
+    if (const obs::ProvenanceGraph* g = overt_tb.prov_sink()) {
+      for (const obs::AlertAttribution& a : obs::attribute_alerts(*g))
+        if (a.probe_caused) ++overt_probe_caused;
+    }
+    if (out.graph_probe_caused_alerts > overt_probe_caused) {
+      out.failures.push_back(
+          {"O4", "provenance graph attributes more stored alerts to the "
+                 "mimicry probe (" +
+                     std::to_string(out.graph_probe_caused_alerts) +
+                     ") than to its overt counterpart (" +
+                     std::to_string(overt_probe_caused) + ")"});
     }
   }
 

@@ -10,13 +10,17 @@
 //      Silence-shaped Blocked under impairment is allowed: DESIGN.md §9
 //      treats sustained blackout as indistinguishable from dropping.
 //   O2 byte-determinism — an identically-seeded re-run must reproduce
-//      the report JSON, risk JSON, and metrics snapshot byte-for-byte.
+//      the report JSON, risk JSON, metrics snapshot, and provenance
+//      graph export byte-for-byte.
 //   O3 spoof safety — TTL-limited replies cross the tap but are never
 //      delivered to the spoofed client; spoofed cover traffic observed
 //      at the tap is consistent with the run's SAV model.
 //   O4 attribution bound — a mimicry technique must not leave more
 //      targeted alerts, or a higher attribution probability, than its
 //      overt counterpart on the identical censor (clean paths only).
+//      Checked twice: against the risk report's counters, and by walking
+//      the provenance graph (every stored alert attributed to the root
+//      of its causal chain; probe-rooted alerts must not exceed overt's).
 //   O5 codec round-trip — every packet the run emitted must survive
 //      decode → rebuild → decode unchanged, and every well-formed DNS
 //      payload must reach an encode/parse fixpoint.
@@ -79,6 +83,13 @@ struct TrialOutcome {
   std::string report_json;
   std::string risk_json;
   std::string metrics_json;
+  /// Deterministic causal-graph export of the run (O2 byte-compares it;
+  /// O4 walks it for attribution).
+  std::string provenance_json;
+  /// Stored MVR alerts whose causal chain roots in the probe, per the
+  /// provenance graph (subset of risk.targeted_alerts accounting).
+  size_t graph_probe_caused_alerts = 0;
+  size_t graph_stored_alerts = 0;
   /// O3 counters (meaningful for spoofing techniques).
   size_t replies_crossed_tap = 0;    // measurement→cover packets at the tap
   size_t replies_reached_client = 0; // …that were actually delivered

@@ -209,6 +209,8 @@ core::TestbedConfig Scenario::testbed_config(uint64_t sav_seed,
   // capture so heavy scenarios cannot grow it without limit.
   config.enable_observability = true;
   config.capture_max_records = 4096;
+  // O2 byte-compares the graph export, O4 walks it for attribution.
+  config.enable_provenance = true;
   // The resolver shares the probe's retry discipline.
   config.dns_retries = retry_attempts > 0 ? retry_attempts - 1 : 0;
   if (impair.where != ImpairedSegment::None) {

@@ -1,5 +1,7 @@
 #include "surveillance/mvr.hpp"
 
+#include "obs/provenance.hpp"
+
 namespace sm::surveillance {
 
 namespace {
@@ -24,7 +26,8 @@ MvrTap::MvrTap(MvrConfig config)
       sampler_(config.sampling_seed) {}
 
 netsim::TapDecision MvrTap::process(const netsim::TapContext& ctx,
-                                    netsim::Router& /*router*/) {
+                                    netsim::Router& router) {
+  obs::ProvenanceGraph* prov = router.engine().provenance();
   const auto& d = ctx.decoded();
   uint64_t wire_bytes = ctx.pkt.wire().size();
   ++stats_.packets_seen;
@@ -46,11 +49,21 @@ netsim::TapDecision MvrTap::process(const netsim::TapContext& ctx,
 
   TrafficClass cls = classifier_.classify(ctx.now, d);
   stats_.bytes_by_class[cls] += wire_bytes;
+  if (prov != nullptr) {
+    prov->record(obs::ProvKind::MvrClassify, ctx.now, ctx.prov, ctx.prov,
+                 to_string(cls));
+  }
 
   // Signature pass.
   auto verdict = engine_.process(ctx.now, d);
   for (const auto& alert : verdict.alerts) {
     ++stats_.alerts_by_classtype[alert.classtype];
+    uint64_t ids_ev = 0;
+    if (prov != nullptr) {
+      ids_ev = prov->record(obs::ProvKind::IdsAlert, ctx.now, ctx.prov,
+                            ctx.prov, "sid=" + std::to_string(alert.sid),
+                            alert.classtype);
+    }
     if (noise_classtypes().count(alert.classtype)) {
       ++stats_.noise_alerts;
       ++noise_by_user_[alert.src];
@@ -67,7 +80,14 @@ netsim::TapDecision MvrTap::process(const netsim::TapContext& ctx,
     item.classtype = alert.classtype;
     item.priority = alert.priority;
     alerts_.add(ctx.now, item, 128);
-    if (alert.classtype == "policy-violation") {
+    const bool censored_touch = alert.classtype == "policy-violation";
+    if (prov != nullptr) {
+      prov->record(obs::ProvKind::AlertStored, ctx.now, ids_ev, ctx.prov,
+                   alert.classtype,
+                   "src=" + alert.src.to_string() +
+                       (censored_touch ? " kind=censored" : " kind=targeted"));
+    }
+    if (censored_touch) {
       ++censored_by_user_[alert.src];
       analyst_.record_censored_touch(ctx.now, alert.src);
     } else {
@@ -79,6 +99,10 @@ netsim::TapDecision MvrTap::process(const netsim::TapContext& ctx,
   // Volume reduction.
   if (config_.discard_classes.count(cls)) {
     stats_.bytes_discarded += wire_bytes;
+    if (prov != nullptr) {
+      prov->record(obs::ProvKind::MvrDiscard, ctx.now, ctx.prov, ctx.prov,
+                   to_string(cls));
+    }
   } else if (sampler_.chance(config_.content_retention_fraction)) {
     ContentItem item;
     item.time = ctx.now;
@@ -88,6 +112,10 @@ netsim::TapDecision MvrTap::process(const netsim::TapContext& ctx,
     content_.add(ctx.now, item, wire_bytes);
     stats_.bytes_content_retained += wire_bytes;
     analyst_.record_retained_content(ctx.now, d.ip.src, wire_bytes);
+    if (prov != nullptr) {
+      prov->record(obs::ProvKind::MvrSample, ctx.now, ctx.prov, ctx.prov,
+                   to_string(cls));
+    }
   }
 
   // Keep the stores' windows current.

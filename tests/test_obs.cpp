@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <fstream>
+#include <iterator>
 #include <limits>
 #include <string>
 #include <vector>
@@ -104,6 +106,43 @@ TEST(Registry, PrometheusExposition) {
   EXPECT_NE(text.find("sm_lat_bucket{le=\"+Inf\"} 3"), std::string::npos);
   EXPECT_NE(text.find("sm_lat_count 3"), std::string::npos);
   EXPECT_NE(text.find("sm_lat_sum 107"), std::string::npos);
+}
+
+TEST(Registry, HistogramQuantiles) {
+  obs::Registry reg;
+  auto* h = reg.histogram("sm_q", 0.0, 10.0, 10);
+  // Uniform fill: 10 observations per bin. Linear interpolation then
+  // lands on exact doubles: p50 = 5.0, p90 = 9.0, p99 = 9.9.
+  for (int bin = 0; bin < 10; ++bin) {
+    for (int i = 0; i < 10; ++i) h->observe(bin + 0.5);
+  }
+  EXPECT_DOUBLE_EQ(h->quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h->quantile(0.9), 9.0);
+  EXPECT_DOUBLE_EQ(h->quantile(0.99), 9.9);
+  EXPECT_DOUBLE_EQ(h->quantile(1.0), 10.0);
+
+  std::string text = reg.to_prometheus();
+  EXPECT_NE(text.find("sm_q{quantile=\"0.5\"} 5"), std::string::npos);
+  EXPECT_NE(text.find("sm_q{quantile=\"0.9\"} 9"), std::string::npos);
+  EXPECT_NE(text.find("sm_q{quantile=\"0.99\"} 9.9"), std::string::npos);
+}
+
+TEST(Registry, EmptyHistogramEmitsNoQuantileLines) {
+  obs::Registry reg;
+  reg.histogram("sm_empty", 0.0, 1.0, 4);
+  EXPECT_EQ(reg.histogram("sm_empty", 0.0, 1.0, 4)->quantile(0.5), 0.0);
+  EXPECT_EQ(reg.to_prometheus().find("quantile"), std::string::npos);
+}
+
+TEST(Registry, QuantileExpositionIsByteDeterministic) {
+  auto build = [] {
+    obs::Registry reg;
+    auto* h = reg.histogram("sm_lat_seconds", 0.0, 2.0, 8,
+                            {{"phase", "run"}}, "trial latency");
+    for (int i = 0; i < 97; ++i) h->observe(0.013 * i);
+    return reg.to_prometheus();
+  };
+  EXPECT_EQ(build(), build());
 }
 
 TEST(Registry, HistogramObserveAndReset) {
@@ -280,6 +319,23 @@ TEST(Tracer, RingBufferWraparoundKeepsNewest) {
   EXPECT_EQ(tracer.dropped(), 0u);
 }
 
+TEST(Tracer, ExportAfterWrapIsDeterministic) {
+  auto build = [] {
+    obs::Tracer tracer(8);
+    for (int i = 0; i < 50; ++i) {
+      tracer.instant(SimTime(i * 100), "e" + std::to_string(i), "wrap");
+    }
+    return tracer.to_chrome_json();
+  };
+  std::string first = build();
+  EXPECT_EQ(first, build());
+  EXPECT_NE(first.find("\"dropped\":42"), std::string::npos);
+  // Only the newest window survives the wrap.
+  EXPECT_EQ(first.find("\"e41\""), std::string::npos);
+  EXPECT_NE(first.find("\"e42\""), std::string::npos);
+  EXPECT_NE(first.find("\"e49\""), std::string::npos);
+}
+
 TEST(Tracer, ChromeExportIsWellFormed) {
   obs::Tracer tracer(8);
   tracer.instant(SimTime(1500), "na\"me", "cat");  // escaping exercised
@@ -380,6 +436,49 @@ TEST(TraceTapCap, DropsOldestAndCounts) {
   for (uint16_t i = 0; i < 5; ++i) send(static_cast<uint16_t>(2000 + i));
   EXPECT_EQ(tap.size(), 6u);
   EXPECT_EQ(tap.dropped(), 4u);
+}
+
+TEST(TraceTapCap, WrappedCaptureIsOrderedAndExportsDeterministically) {
+  auto capture = [](const std::string& path) {
+    netsim::Engine engine;
+    netsim::Router router(engine, "r");
+    netsim::TraceTap tap;
+    tap.set_max_records(4);
+    std::vector<uint16_t> retained_ports;
+    for (uint16_t i = 0; i < 11; ++i) {
+      packet::Packet p = packet::make_tcp(
+          common::Ipv4Address(10, 0, 0, 1),
+          common::Ipv4Address(10, 0, 0, 2),
+          static_cast<uint16_t>(1000 + i), 80, packet::TcpFlags::kSyn, 1,
+          0);
+      common::Bytes wire = p.data();
+      auto decoded = packet::decode(wire);
+      EXPECT_TRUE(decoded.has_value());
+      netsim::TapContext ctx{engine.now(),
+                             packet::PacketView(wire, *decoded), 0, 1};
+      tap.process(ctx, router);
+    }
+    EXPECT_EQ(tap.size(), 4u);
+    EXPECT_EQ(tap.dropped(), 7u);
+    // Oldest-first after the wrap: the 4 newest packets, in send order.
+    for (size_t r = 0; r < tap.records().size(); ++r) {
+      auto decoded = packet::decode(tap.records()[r].data);
+      ASSERT_TRUE(decoded.has_value() && decoded->tcp);
+      EXPECT_EQ(decoded->tcp->src_port, 1007 + r);
+    }
+    EXPECT_TRUE(tap.save(path));
+  };
+  std::string a = ::testing::TempDir() + "wrap_a.pcap";
+  std::string b = ::testing::TempDir() + "wrap_b.pcap";
+  capture(a);
+  capture(b);
+  std::ifstream fa(a, std::ios::binary), fb(b, std::ios::binary);
+  std::string bytes_a((std::istreambuf_iterator<char>(fa)),
+                      std::istreambuf_iterator<char>());
+  std::string bytes_b((std::istreambuf_iterator<char>(fb)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_FALSE(bytes_a.empty());
+  EXPECT_EQ(bytes_a, bytes_b);
 }
 
 // --- Logging sink ------------------------------------------------------

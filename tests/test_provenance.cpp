@@ -1,0 +1,454 @@
+// The provenance layer: causal event graph, alert attribution, the
+// explain narrative, and the end-to-end byte-determinism contract.
+//
+// The graph is the observability tentpole behind every verdict: probe
+// attempts cause packets, packets cause per-hop and tap events, stored
+// MVR alerts hang off the packet that triggered them, and the verdict
+// references the evidence conclude() used. These tests pin (a) the ring
+// mechanics, (b) chain walking and attribution through real testbed
+// runs, (c) byte-identical export across campaign thread counts and
+// shard modes, and (d) the checked-in golden fixtures for one censored
+// and one clean E2-style scenario.
+//
+// Regenerate fixtures after an intentional format change:
+//   UPDATE_GOLDEN=1 ./build/tests/test_provenance
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "campaign/campaign.hpp"
+#include "core/mimicry.hpp"
+#include "core/overt.hpp"
+#include "core/probe.hpp"
+#include "core/risk.hpp"
+#include "core/synprobe.hpp"
+#include "obs/provenance.hpp"
+
+using namespace sm;
+using common::SimTime;
+using obs::ProvenanceGraph;
+using obs::ProvKind;
+
+namespace {
+
+std::string golden_path(const std::string& name) {
+  return std::string(SM_TEST_DIR) + "/golden/" + name;
+}
+
+void check_golden(const std::string& name, const std::string& actual) {
+  const std::string path = golden_path(name);
+  if (std::getenv("UPDATE_GOLDEN")) {
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << actual;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing fixture " << path
+                  << " (run with UPDATE_GOLDEN=1 to create it)";
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), actual)
+      << "provenance export drifted from " << path
+      << "; if intentional, regenerate with UPDATE_GOLDEN=1 and review "
+         "the fixture diff";
+}
+
+core::TestbedConfig prov_config() {
+  core::TestbedConfig cfg;
+  cfg.enable_provenance = true;
+  return cfg;
+}
+
+}  // namespace
+
+// --- Graph mechanics ---------------------------------------------------
+
+TEST(ProvenanceGraph, RecordAssignsDenseIdsAndKeepsLinks) {
+  ProvenanceGraph g;
+  uint64_t start = g.record(ProvKind::ProbeStart, SimTime(0), 0, 0, "ping",
+                            "10.0.0.2");
+  uint64_t attempt =
+      g.record(ProvKind::Attempt, SimTime(10), start, 0, "attempt", "1");
+  uint64_t pkt = g.record(ProvKind::PacketSent, SimTime(20), attempt, 0,
+                          "icmp echo");
+  EXPECT_EQ(start, 1u);
+  EXPECT_EQ(attempt, 2u);
+  EXPECT_EQ(pkt, 3u);
+  EXPECT_EQ(g.size(), 3u);
+  EXPECT_EQ(g.total(), 3u);
+  ASSERT_NE(g.find(pkt), nullptr);
+  EXPECT_EQ(g.find(pkt)->cause, attempt);
+  EXPECT_EQ(g.chain(pkt), (std::vector<uint64_t>{pkt, attempt, start}));
+  EXPECT_EQ(g.root_of(pkt), start);
+  EXPECT_EQ(g.root_of(start), start);
+}
+
+TEST(ProvenanceGraph, DisabledGraphRecordsNothing) {
+  ProvenanceGraph g;
+  g.set_enabled(false);
+  EXPECT_EQ(g.record(ProvKind::ProbeStart, SimTime(0), 0, 0, "x"), 0u);
+  EXPECT_EQ(g.size(), 0u);
+  EXPECT_EQ(g.total(), 0u);
+}
+
+TEST(ProvenanceGraph, RingDropsOldestAndCountsExactly) {
+  ProvenanceGraph g(4);
+  for (int i = 0; i < 10; ++i) {
+    g.record(ProvKind::Forward, SimTime(i), 0, 0,
+             "r" + std::to_string(i));
+  }
+  EXPECT_EQ(g.size(), 4u);
+  EXPECT_EQ(g.total(), 10u);
+  EXPECT_EQ(g.dropped(), 6u);
+  auto events = g.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest retained is id 7 (events 1..6 fell off); order chronological.
+  EXPECT_EQ(events.front().id, 7u);
+  EXPECT_EQ(events.back().id, 10u);
+  // Evicted ids are gone, retained ones still resolve.
+  EXPECT_EQ(g.find(3), nullptr);
+  ASSERT_NE(g.find(8), nullptr);
+  EXPECT_EQ(g.find(8)->what, "r7");
+}
+
+TEST(ProvenanceGraph, ChainStopsAtEvictedAncestor) {
+  ProvenanceGraph g(3);
+  uint64_t a = g.record(ProvKind::ProbeStart, SimTime(0), 0, 0, "a");
+  uint64_t b = g.record(ProvKind::Attempt, SimTime(1), a, 0, "b");
+  uint64_t c = g.record(ProvKind::PacketSent, SimTime(2), b, 0, "c");
+  uint64_t d = g.record(ProvKind::Forward, SimTime(3), c, 0, "d");
+  // `a` has been evicted (capacity 3); the chain walks to the last
+  // retained ancestor and root_of reports it.
+  EXPECT_EQ(g.chain(d), (std::vector<uint64_t>{d, c, b}));
+  EXPECT_EQ(g.root_of(d), b);
+}
+
+TEST(ProvenanceGraph, ExportAfterWrapIsDeterministic) {
+  auto build = [] {
+    ProvenanceGraph g(8);
+    for (int i = 0; i < 40; ++i) {
+      g.record(i % 2 ? ProvKind::Forward : ProvKind::Drop, SimTime(i * 5),
+               static_cast<uint64_t>(i), 0, "hop", "detail");
+    }
+    return g.to_json();
+  };
+  std::string first = build();
+  EXPECT_EQ(first, build());
+  EXPECT_NE(first.find("\"dropped\":32"), std::string::npos);
+  EXPECT_NE(first.find("\"total\":40"), std::string::npos);
+}
+
+TEST(ProvenanceGraph, AppendRawRebuildsIdenticalExport) {
+  ProvenanceGraph g;
+  uint64_t s = g.record(ProvKind::ProbeStart, SimTime(0), 0, 0, "syn-reach",
+                        "10.0.0.2:80");
+  uint64_t a = g.record(ProvKind::Attempt, SimTime(100), s, 0, "attempt",
+                        "1");
+  uint64_t p = g.record(ProvKind::PacketSent, SimTime(200), a, 0,
+                        "tcp 10.0.0.1:50000>10.0.0.2:80");
+  uint64_t e = g.record(ProvKind::Evidence, SimTime(300), a, p, "syn-ack");
+  g.record_verdict(SimTime(400), s, "reachable", "open confirmed", {e});
+
+  ProvenanceGraph rebuilt;
+  for (const obs::ProvEvent& ev : g.events()) rebuilt.append_raw(ev);
+  EXPECT_EQ(rebuilt.to_json(), g.to_json());
+  EXPECT_EQ(rebuilt.root_of(e), s);
+}
+
+TEST(ProvenanceGraph, AppendRawCountsIdGapsAsDrops) {
+  ProvenanceGraph g;
+  obs::ProvEvent ev;
+  ev.id = 5;  // events 1..4 were dropped before export
+  ev.kind = ProvKind::Forward;
+  ev.what = "hop";
+  g.append_raw(ev);
+  EXPECT_EQ(g.total(), 5u);
+  EXPECT_EQ(g.dropped(), 4u);
+}
+
+TEST(ProvenanceGraph, KindNamesRoundTrip) {
+  for (int k = 0; k <= static_cast<int>(ProvKind::Verdict); ++k) {
+    auto kind = static_cast<ProvKind>(k);
+    auto parsed = obs::prov_kind_from_string(obs::to_string(kind));
+    ASSERT_TRUE(parsed.has_value()) << obs::to_string(kind);
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(obs::prov_kind_from_string("no-such-kind").has_value());
+}
+
+TEST(ProvenanceGraph, SummarizeWire) {
+  packet::Packet p = packet::make_tcp(
+      common::Ipv4Address(10, 0, 0, 1), common::Ipv4Address(10, 0, 0, 2),
+      1234, 80, packet::TcpFlags::kSyn, 1, 0);
+  EXPECT_EQ(obs::summarize_wire(p.data().data(), p.size()),
+            "tcp 10.0.0.1:1234>10.0.0.2:80");
+  uint8_t garbage[4] = {0xff, 0xff, 0xff, 0xff};
+  EXPECT_EQ(obs::summarize_wire(garbage, sizeof(garbage)), "raw");
+}
+
+// --- Through the testbed ----------------------------------------------
+
+TEST(ProvenanceTestbed, DisabledByDefaultAndCostsNoEvents) {
+  core::Testbed tb;
+  EXPECT_EQ(tb.prov_sink(), nullptr);
+  core::OvertDnsProbe probe(tb, {.domain = "open.example"});
+  core::run_probe(tb, probe);
+  EXPECT_EQ(tb.provenance_json(), "");
+  EXPECT_EQ(tb.provenance().total(), 0u);
+}
+
+TEST(ProvenanceTestbed, VerdictCarriesEvidenceChain) {
+  core::Testbed tb(prov_config());
+  core::SynReachabilityProbe probe(
+      tb, {.target = tb.addr().web_open, .port = 80});
+  core::run_probe(tb, probe);
+  const ProvenanceGraph& g = tb.provenance();
+  ASSERT_GT(g.size(), 0u);
+
+  const obs::ProvEvent* verdict = nullptr;
+  const obs::ProvEvent* start = nullptr;
+  for (const obs::ProvEvent& ev : g.events()) {
+    if (ev.kind == ProvKind::Verdict) verdict = g.find(ev.id);
+    if (ev.kind == ProvKind::ProbeStart) start = g.find(ev.id);
+  }
+  ASSERT_NE(start, nullptr);
+  ASSERT_NE(verdict, nullptr);
+  EXPECT_EQ(verdict->what, "reachable");
+  EXPECT_EQ(verdict->cause, start->id);
+  ASSERT_FALSE(verdict->refs.empty());
+  // Every evidence ref chains back to the probe start.
+  for (uint64_t ref : verdict->refs) {
+    EXPECT_EQ(g.root_of(ref), start->id) << "evidence " << ref;
+  }
+  // The syn-ack evidence is packet-scoped? At minimum the probe's SYN
+  // is in the graph as a PacketSent caused by the attempt.
+  bool saw_probe_packet = false;
+  for (const obs::ProvEvent& ev : g.events()) {
+    if (ev.kind == ProvKind::PacketSent && g.root_of(ev.id) == start->id)
+      saw_probe_packet = true;
+  }
+  EXPECT_TRUE(saw_probe_packet);
+}
+
+TEST(ProvenanceTestbed, CensorInjectionChainsToTriggeringPacket) {
+  core::Testbed tb(prov_config());
+  core::OvertHttpProbe probe(tb, {.domain = "blocked.example"});
+  core::ProbeReport report = core::run_probe(tb, probe);
+  EXPECT_EQ(report.verdict, core::Verdict::BlockedRst);
+  const ProvenanceGraph& g = tb.provenance();
+
+  // The censor's keyword-rst action must reference the packet that
+  // tripped the rule, and that packet must trace back to the probe.
+  const obs::ProvEvent* censor = nullptr;
+  for (const obs::ProvEvent& ev : g.events()) {
+    if (ev.kind == ProvKind::CensorAction && ev.what == "keyword-rst")
+      censor = g.find(ev.id);
+  }
+  ASSERT_NE(censor, nullptr);
+  ASSERT_NE(censor->cause, 0u);
+  const obs::ProvEvent* trigger = g.find(censor->cause);
+  ASSERT_NE(trigger, nullptr);
+  EXPECT_EQ(trigger->kind, ProvKind::PacketSent);
+  const obs::ProvEvent* root = g.find(g.root_of(censor->id));
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->kind, ProvKind::ProbeStart);
+}
+
+TEST(ProvenanceTestbed, StoredAlertsResolveToCausingPackets) {
+  // The acceptance scenario: a mimicry probe fetching a censored
+  // keyword, with MVR surveillance watching. Every stored alert must
+  // resolve through the graph to the packet that triggered it.
+  core::TestbedConfig cfg = prov_config();
+  core::Testbed tb(cfg);
+  core::StatefulMimicryProbe probe(tb,
+                                   {.path = "/search?q=falun",
+                                    .cover_flows = 3});
+  core::run_probe(tb, probe);
+  tb.run_for(common::Duration::seconds(2));
+
+  const ProvenanceGraph& g = tb.provenance();
+  auto attributions = obs::attribute_alerts(g);
+  // One AlertStored event per stored (non-noise) alert, MVR-wide —
+  // the risk report's per-client counts are a subset of these.
+  EXPECT_EQ(attributions.size(), tb.mvr->stats().interesting_alerts);
+  for (const obs::AlertAttribution& a : attributions) {
+    EXPECT_NE(a.packet, 0u) << "alert event " << a.alert
+                            << " does not resolve to a packet";
+    ASSERT_NE(g.find(a.packet), nullptr);
+    EXPECT_EQ(g.find(a.packet)->kind, ProvKind::PacketSent);
+    EXPECT_NE(a.root, 0u);
+  }
+  // The keyword flows are client traffic: at least one alert must be
+  // probe-caused and the explain narrative must say so.
+  if (!attributions.empty()) {
+    std::string text = obs::explain_text(g);
+    EXPECT_NE(text.find("alerts:"), std::string::npos);
+  }
+}
+
+TEST(ProvenanceTestbed, OvertProbeAlertsAreProbeCaused) {
+  core::Testbed tb(prov_config());
+  core::OvertHttpProbe probe(tb, {.domain = "blocked.example",
+                                  .user_agent = "OONI-Probe/2.0"});
+  core::run_probe(tb, probe);
+  tb.run_for(common::Duration::seconds(2));
+  core::RiskReport risk = core::assess_risk(tb, "overt-http");
+  ASSERT_GT(risk.targeted_alerts, 0u);
+
+  auto attributions = obs::attribute_alerts(tb.provenance());
+  ASSERT_FALSE(attributions.empty());
+  size_t probe_caused = 0;
+  for (const obs::AlertAttribution& a : attributions) {
+    EXPECT_NE(a.packet, 0u);
+    if (a.probe_caused) ++probe_caused;
+  }
+  EXPECT_GT(probe_caused, 0u)
+      << "no stored alert chains back to the overt probe";
+}
+
+TEST(ProvenanceTestbed, ExplainTextRendersVerdictAndAlerts) {
+  core::Testbed tb(prov_config());
+  core::OvertHttpProbe probe(tb, {.domain = "blocked.example",
+                                  .user_agent = "OONI-Probe/2.0"});
+  core::run_probe(tb, probe);
+  tb.run_for(common::Duration::seconds(2));
+  std::string text = obs::explain_text(tb.provenance());
+  EXPECT_NE(text.find("verdict"), std::string::npos) << text;
+  EXPECT_NE(text.find("blocked-rst"), std::string::npos) << text;
+  EXPECT_NE(text.find("alerts:"), std::string::npos) << text;
+  EXPECT_NE(text.find("probe-caused"), std::string::npos) << text;
+}
+
+TEST(ProvenanceTestbed, SameSeedExportsAreByteIdentical) {
+  auto run = [] {
+    core::Testbed tb(prov_config());
+    core::OvertHttpProbe probe(tb, {.domain = "blocked.example"});
+    core::run_probe(tb, probe);
+    tb.run_for(common::Duration::seconds(2));
+    return tb.provenance_json();
+  };
+  std::string first = run();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, run());
+}
+
+TEST(ProvenanceTestbed, MetricsGaugesExportedOnlyWhenEnabled) {
+  core::TestbedConfig cfg = prov_config();
+  cfg.enable_observability = true;
+  core::Testbed tb(cfg);
+  core::OvertDnsProbe probe(tb, {.domain = "open.example"});
+  core::run_probe(tb, probe);
+  std::string json = tb.metrics_json();
+  EXPECT_NE(json.find("sm_provenance_events_total"), std::string::npos);
+
+  core::TestbedConfig off;
+  off.enable_observability = true;
+  core::Testbed tb2(off);
+  core::OvertDnsProbe probe2(tb2, {.domain = "open.example"});
+  core::run_probe(tb2, probe2);
+  EXPECT_EQ(tb2.metrics_json().find("sm_provenance"), std::string::npos);
+}
+
+// --- Campaign integration ---------------------------------------------
+
+namespace {
+
+std::vector<campaign::Trial> provenance_trials() {
+  std::vector<campaign::Trial> trials;
+  const char* domains[] = {"blocked.example", "open.example",
+                           "youtube.com", "twitter.com"};
+  for (const char* domain : domains) {
+    campaign::Trial t;
+    t.name = std::string("overt-http/") + domain;
+    t.config = prov_config();
+    t.factory = [domain](core::Testbed& tb) {
+      return std::make_unique<core::OvertHttpProbe>(
+          tb, core::OvertHttpOptions{.domain = domain});
+    };
+    trials.push_back(std::move(t));
+  }
+  return trials;
+}
+
+}  // namespace
+
+TEST(ProvenanceCampaign, JsonlByteIdenticalAcrossThreadsAndShardModes) {
+  auto trials = provenance_trials();
+  campaign::CampaignOptions base;
+  base.threads = 1;
+  std::string reference = campaign::run(trials, base).to_jsonl();
+  EXPECT_NE(reference.find("\"provenance\":{\"events\":["),
+            std::string::npos);
+
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    for (campaign::Shard shard :
+         {campaign::Shard::ByIndex, campaign::Shard::Dynamic}) {
+      campaign::CampaignOptions opts;
+      opts.threads = threads;
+      opts.shard = shard;
+      EXPECT_EQ(campaign::run(trials, opts).to_jsonl(), reference)
+          << "threads=" << threads
+          << " shard=" << (shard == campaign::Shard::ByIndex ? "ByIndex"
+                                                             : "Dynamic");
+    }
+  }
+}
+
+TEST(ProvenanceCampaign, TelemetryTracksWorkersAndPhases) {
+  auto trials = provenance_trials();
+  size_t heartbeats = 0;
+  size_t last_completed = 0;
+  campaign::CampaignOptions opts;
+  opts.threads = 2;
+  opts.on_progress = [&](const campaign::Progress& p) {
+    ++heartbeats;
+    last_completed = p.completed;
+    EXPECT_EQ(p.total, trials.size());
+    EXPECT_GE(p.worker, 0);
+  };
+  campaign::CampaignResult result = campaign::run(trials, opts);
+  EXPECT_EQ(heartbeats, trials.size());
+  EXPECT_EQ(last_completed, trials.size());
+
+  ASSERT_NE(result.telemetry, nullptr);
+  std::string telemetry = result.telemetry->to_prometheus();
+  EXPECT_NE(telemetry.find("sm_campaign_worker_trials_total"),
+            std::string::npos);
+  EXPECT_NE(telemetry.find("sm_campaign_phase_wall_seconds_total"),
+            std::string::npos);
+  EXPECT_NE(telemetry.find("sm_campaign_trial_wall_seconds"),
+            std::string::npos);
+  EXPECT_NE(telemetry.find("sm_campaign_slow_trials"), std::string::npos);
+  // Telemetry never leaks into the deterministic serialization.
+  EXPECT_EQ(result.to_jsonl().find("sm_campaign_worker"),
+            std::string::npos);
+
+  for (const campaign::TrialResult& t : result.trials) {
+    EXPECT_GE(t.wall_elapsed.count(), 0);
+    EXPECT_GE(t.wall_setup.count(), 0);
+    EXPECT_GE(t.wall_run.count(), 0);
+    EXPECT_GE(t.wall_finish.count(), 0);
+  }
+}
+
+// --- Golden fixtures ---------------------------------------------------
+
+TEST(ProvenanceGolden, CensoredOvertHttp) {
+  core::Testbed tb(prov_config());
+  core::OvertHttpProbe probe(tb, {.domain = "blocked.example"});
+  core::run_probe(tb, probe);
+  tb.run_for(common::Duration::seconds(2));
+  check_golden("provenance_censored.json", tb.provenance_json() + "\n");
+}
+
+TEST(ProvenanceGolden, CleanOvertHttp) {
+  core::Testbed tb(prov_config());
+  core::OvertHttpProbe probe(tb, {.domain = "open.example"});
+  core::run_probe(tb, probe);
+  tb.run_for(common::Duration::seconds(2));
+  check_golden("provenance_clean.json", tb.provenance_json() + "\n");
+}

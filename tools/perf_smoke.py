@@ -64,7 +64,7 @@ def tap_overhead_ratios(pipeline):
             if p["taps"] != "none"}
 
 
-def gate_event_core(gate, base, fresh):
+def gate_event_core(gate, base, fresh, prov_overhead_max=None):
     base_rows = {r["pending"]: r for r in base.get("event_queue", [])}
     for row in fresh.get("event_queue", []):
         b = base_rows.get(row["pending"])
@@ -79,6 +79,21 @@ def gate_event_core(gate, base, fresh):
             gate.compare(f"pipeline_rel[{taps}]", base_rel[taps], fr)
     gate.require("hop_copies == 0", fresh.get("hop_copies") == 0)
     gate.require("pass flag", fresh.get("pass") is True)
+    if prov_overhead_max is not None:
+        # Provenance-disabled hot path: the "none" config runs with no
+        # graph attached, exactly like every non-provenance simulation.
+        # Unlike the self-normalized contrasts above this compares
+        # absolute pps against the pre-provenance baseline, so it gets
+        # its own (wider than 2%-strict, machine-noise-aware) knob and
+        # ci.sh's one-retry wrapper.
+        base_none = next((p["pps"] for p in base.get("pipeline", [])
+                          if p["taps"] == "none"), 0)
+        fresh_none = next((p["pps"] for p in fresh.get("pipeline", [])
+                           if p["taps"] == "none"), 0)
+        saved = gate.min_ratio
+        gate.min_ratio = 1.0 - prov_overhead_max
+        gate.compare("prov_disabled_path[none pps]", base_none, fresh_none)
+        gate.min_ratio = saved
 
 
 def gate_ids_fastpath(gate, base, fresh):
@@ -100,6 +115,10 @@ def main():
     ap.add_argument("fresh")
     ap.add_argument("--min-ratio", type=float, default=0.8,
                     help="fail when fresh/baseline drops below this")
+    ap.add_argument("--prov-overhead-max", type=float, default=None,
+                    help="event_core only: fail when the provenance-"
+                         "disabled pipeline ('none' pps) regresses by "
+                         "more than this fraction vs the baseline")
     args = ap.parse_args()
 
     base = load(args.baseline)
@@ -114,7 +133,7 @@ def main():
           f"(min ratio {args.min_ratio})")
     kind = base.get("bench")
     if kind == "event_core":
-        gate_event_core(gate, base, fresh)
+        gate_event_core(gate, base, fresh, args.prov_overhead_max)
     elif kind == "ids_fastpath":
         gate_ids_fastpath(gate, base, fresh)
     else:
