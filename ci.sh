@@ -16,7 +16,8 @@
 #   5. perf smoke: Release build of the tracked perf benches in reduced
 #      (--smoke) configuration, diffed against the checked-in BENCH_*
 #      baselines by tools/perf_smoke.py — a >20% throughput regression
-#      on the event core, packet pipeline, or IDS match path fails CI,
+#      on the event core, packet pipeline, IDS match path, or the
+#      population bench's attribution contrasts fails CI,
 #      and the provenance-disabled pipeline path gets a dedicated
 #      tighter overhead gate (see --prov-overhead-max);
 #   6. tier-1 verify: the plain default build + ctest, exactly the
@@ -107,7 +108,7 @@ if [ "$STAGE" = "all" ] || [ "$STAGE" = "perf" ]; then
   echo "=== stage 5: perf smoke (Release, vs checked-in baselines) ==="
   cmake -B "$ROOT/build-release" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
   cmake --build "$ROOT/build-release" -j \
-        --target bench_event_core bench_ids_fastpath
+        --target bench_event_core bench_ids_fastpath bench_population
   # Shared runners throttle unpredictably; one bad measurement window
   # shouldn't fail the build. A failed gate gets one fresh re-run of the
   # bench before it counts as a regression.
@@ -133,6 +134,11 @@ if [ "$STAGE" = "all" ] || [ "$STAGE" = "perf" ]; then
             --prov-overhead-max 0.10
   perf_gate "$ROOT/build-release/bench/bench_ids_fastpath" \
             "$ROOT/BENCH_ids_fastpath.json" /tmp/smoke-ids-fastpath.json
+  # Population bench: the smoke binary gates its own (scale-reduced)
+  # hop throughput by exit code; perf_smoke.py adds the deterministic
+  # attribution/anchor contrasts vs the checked-in full-scale baseline.
+  perf_gate "$ROOT/build-release/bench/bench_population" \
+            "$ROOT/BENCH_population.json" /tmp/smoke-population.json
 fi
 
 if [ "$STAGE" = "all" ] || [ "$STAGE" = "tier1" ]; then

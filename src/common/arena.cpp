@@ -1,0 +1,51 @@
+#include "common/arena.hpp"
+
+namespace sm::common {
+
+void* Arena::allocate(size_t size, size_t align) {
+  if (size == 0) size = 1;
+  // Oversized requests get a dedicated slab so slab_bytes_ stays a
+  // tuning knob, not a limit.
+  if (size + align > slab_bytes_) {
+    big_slabs_.push_back(std::make_unique<uint8_t[]>(size + align));
+    bytes_allocated_ += size;
+    auto addr = reinterpret_cast<uintptr_t>(big_slabs_.back().get());
+    return reinterpret_cast<void*>((addr + align - 1) & ~(align - 1));
+  }
+
+  for (;;) {
+    if (active_ == 0) {
+      if (slabs_.empty()) {
+        slabs_.push_back({std::make_unique<uint8_t[]>(slab_bytes_),
+                          slab_bytes_});
+      }
+      active_ = 1;
+      offset_ = 0;
+    }
+    Slab& slab = slabs_[active_ - 1];
+    auto base = reinterpret_cast<uintptr_t>(slab.data.get());
+    uintptr_t aligned = (base + offset_ + align - 1) & ~(align - 1);
+    size_t new_offset = (aligned - base) + size;
+    if (new_offset <= slab.capacity) {
+      offset_ = new_offset;
+      bytes_allocated_ += size;
+      return reinterpret_cast<void*>(aligned);
+    }
+    // Current slab full: move to the next recycled slab, or grow.
+    if (active_ == slabs_.size()) {
+      slabs_.push_back({std::make_unique<uint8_t[]>(slab_bytes_),
+                        slab_bytes_});
+    }
+    ++active_;
+    offset_ = 0;
+  }
+}
+
+void Arena::reset() {
+  active_ = slabs_.empty() ? 0 : 1;
+  offset_ = 0;
+  bytes_allocated_ = 0;
+  big_slabs_.clear();
+}
+
+}  // namespace sm::common

@@ -1,0 +1,168 @@
+// Slab/arena allocation for the population-scale simulator.
+//
+// Two building blocks:
+//
+//  * Arena — a bump allocator over chained slabs. Allocations are
+//    individually unfreeable; reset() recycles every slab at once. Used
+//    for build-once data with a single owner (packet templates, topology
+//    scratch), where per-object free() is pure overhead.
+//
+//  * Pool<T> — a fixed-size object recycler on top of slab storage with
+//    an explicit free list. create()/destroy() replace new/delete for
+//    high-churn per-flow state; destroyed objects go back on the free
+//    list and their memory is reused by the next create(). Under ASan
+//    the free list poisons freed objects, so use-after-destroy in a
+//    pooled object is caught exactly like a heap use-after-free.
+//
+// Ownership rules (see DESIGN.md §12): an Arena/Pool outlives everything
+// allocated from it; pooled objects are owned by exactly one component,
+// which is the only caller of destroy(); neither type is thread-safe —
+// one instance per worker, like Rng and the engine itself.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+#if defined(__SANITIZE_ADDRESS__)
+#define SM_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define SM_ASAN 1
+#endif
+#endif
+#ifndef SM_ASAN
+#define SM_ASAN 0
+#endif
+
+#if SM_ASAN
+#include <sanitizer/asan_interface.h>
+#endif
+
+namespace sm::common {
+
+namespace detail {
+inline void poison(void* p, size_t n) {
+#if SM_ASAN
+  ASAN_POISON_MEMORY_REGION(p, n);
+#else
+  (void)p;
+  (void)n;
+#endif
+}
+inline void unpoison(void* p, size_t n) {
+#if SM_ASAN
+  ASAN_UNPOISON_MEMORY_REGION(p, n);
+#else
+  (void)p;
+  (void)n;
+#endif
+}
+}  // namespace detail
+
+/// Bump allocator over chained slabs.
+class Arena {
+ public:
+  explicit Arena(size_t slab_bytes = 64 * 1024) : slab_bytes_(slab_bytes) {}
+
+  /// Returns `size` bytes aligned to `align` (power of two). Never null;
+  /// oversized requests get a dedicated slab.
+  void* allocate(size_t size, size_t align = alignof(std::max_align_t));
+
+  /// Copies `n` bytes into the arena and returns the stable copy.
+  uint8_t* copy(const uint8_t* data, size_t n) {
+    auto* dst = static_cast<uint8_t*>(allocate(n ? n : 1, 1));
+    for (size_t i = 0; i < n; ++i) dst[i] = data[i];
+    return dst;
+  }
+
+  /// Invalidates every allocation; slabs are kept and reused.
+  void reset();
+
+  size_t bytes_allocated() const { return bytes_allocated_; }
+  size_t slab_count() const { return slabs_.size(); }
+
+ private:
+  struct Slab {
+    std::unique_ptr<uint8_t[]> data;
+    size_t capacity = 0;
+  };
+
+  size_t slab_bytes_;
+  std::vector<Slab> slabs_;
+  std::vector<std::unique_ptr<uint8_t[]>> big_slabs_;  // oversized requests
+  size_t active_ = 0;    // slabs_[active_-1] is the current slab
+  size_t offset_ = 0;    // fill point inside the current slab
+  size_t bytes_allocated_ = 0;
+};
+
+/// Typed object pool with free-list recycling over slab storage.
+template <typename T>
+class Pool {
+ public:
+  explicit Pool(size_t objects_per_slab = 256)
+      : objects_per_slab_(objects_per_slab ? objects_per_slab : 1) {}
+
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  ~Pool() {
+    // All live objects must have been destroyed by their owner; the
+    // slabs themselves free here. (Destructors of leaked objects are
+    // intentionally not run: leaking from a pool is a bug upstream.)
+  }
+
+  template <typename... Args>
+  T* create(Args&&... args) {
+    void* slot = take_slot();
+    return new (slot) T(std::forward<Args>(args)...);
+  }
+
+  void destroy(T* obj) {
+    obj->~T();
+    detail::poison(obj, sizeof(T));
+    free_.push_back(obj);
+    --live_;
+  }
+
+  size_t live() const { return live_; }
+  /// Objects handed out over the pool's lifetime (recycles included).
+  size_t total_created() const { return total_created_; }
+  /// How many create() calls were served from the free list.
+  size_t recycled() const { return recycled_; }
+  size_t slab_count() const { return slabs_.size(); }
+
+ private:
+  void* take_slot() {
+    ++total_created_;
+    ++live_;
+    if (!free_.empty()) {
+      void* slot = free_.back();
+      free_.pop_back();
+      detail::unpoison(slot, sizeof(T));
+      ++recycled_;
+      return slot;
+    }
+    if (next_ == objects_per_slab_ || slabs_.empty()) {
+      slabs_.push_back(std::make_unique<Storage[]>(objects_per_slab_));
+      next_ = 0;
+    }
+    return &slabs_.back()[next_++];
+  }
+
+  struct Storage {
+    alignas(T) unsigned char bytes[sizeof(T)];
+  };
+  size_t objects_per_slab_;
+  std::vector<std::unique_ptr<Storage[]>> slabs_;
+  size_t next_ = 0;  // fill point in the newest slab
+  std::vector<void*> free_;
+  size_t live_ = 0;
+  size_t total_created_ = 0;
+  size_t recycled_ = 0;
+};
+
+}  // namespace sm::common

@@ -1,0 +1,326 @@
+#include "netsim/bgtraffic.hpp"
+
+#include <algorithm>
+#include <string_view>
+
+#include "common/bytes.hpp"
+#include "packet/checksum.hpp"
+#include "packet/packet.hpp"
+
+namespace sm::netsim {
+
+namespace {
+
+using common::Duration;
+using common::Ipv4Address;
+
+// Template placeholders; every emission rewrites them.
+const Ipv4Address kClientAddr(0, 0, 0, 1);
+const Ipv4Address kServerAddr(0, 0, 0, 2);
+constexpr uint16_t kClientPort = 1;
+
+/// Rewrites src/dst address and ports in a fully built datagram, fixing
+/// the IP and TCP/UDP checksums incrementally (RFC 1624) instead of
+/// re-summing the payload.
+void patch_endpoints(common::Bytes& wire, Ipv4Address src, Ipv4Address dst,
+                     uint16_t src_port, uint16_t dst_port) {
+  const size_t ihl = static_cast<size_t>(wire[0] & 0x0F) * 4;
+  const uint8_t proto = wire[9];
+  auto word = [&](size_t off) {
+    return static_cast<uint16_t>(wire[off] << 8 | wire[off + 1]);
+  };
+  auto put = [&](size_t off, uint16_t v) {
+    wire[off] = static_cast<uint8_t>(v >> 8);
+    wire[off + 1] = static_cast<uint8_t>(v & 0xFF);
+  };
+
+  const size_t l4_sum_off = ihl + (proto == 6 ? 16 : 6);
+  uint16_t ip_sum = word(10);
+  uint16_t l4_sum = word(l4_sum_off);
+
+  // Address words are covered by both the IP header checksum and the
+  // L4 pseudo-header checksum.
+  const uint16_t addr_words[4] = {
+      static_cast<uint16_t>(src.value() >> 16),
+      static_cast<uint16_t>(src.value() & 0xFFFF),
+      static_cast<uint16_t>(dst.value() >> 16),
+      static_cast<uint16_t>(dst.value() & 0xFFFF)};
+  for (size_t i = 0; i < 4; ++i) {
+    const size_t off = 12 + i * 2;
+    uint16_t old_word = word(off);
+    if (old_word == addr_words[i]) continue;
+    ip_sum = packet::incremental_checksum_update(ip_sum, old_word,
+                                                 addr_words[i]);
+    l4_sum = packet::incremental_checksum_update(l4_sum, old_word,
+                                                 addr_words[i]);
+    put(off, addr_words[i]);
+  }
+  // Ports are covered only by the L4 checksum.
+  const uint16_t port_words[2] = {src_port, dst_port};
+  for (size_t i = 0; i < 2; ++i) {
+    const size_t off = ihl + i * 2;
+    uint16_t old_word = word(off);
+    if (old_word == port_words[i]) continue;
+    l4_sum = packet::incremental_checksum_update(l4_sum, old_word,
+                                                 port_words[i]);
+    put(off, port_words[i]);
+  }
+  put(10, ip_sum);
+  put(l4_sum_off, l4_sum);
+}
+
+constexpr uint8_t kSyn = 0x02;
+constexpr uint8_t kSynAck = 0x12;
+constexpr uint8_t kAck = 0x10;
+constexpr uint8_t kFinAck = 0x11;
+
+}  // namespace
+
+BgTraffic::BgTraffic(Network& net, const AsTopology& topo,
+                     BgTrafficConfig config)
+    : net_(net),
+      topo_(topo),
+      config_(config),
+      rng_(config.seed),
+      pool_(1024) {
+  build_scripts();
+}
+
+uint16_t BgTraffic::add_template(packet::Packet packet) {
+  const common::Bytes& wire = packet.data();
+  uint8_t* stable = arena_.copy(wire.data(), wire.size());
+  templates_.emplace_back(stable, wire.size());
+  return static_cast<uint16_t>(templates_.size() - 1);
+}
+
+void BgTraffic::build_scripts() {
+  auto tcp_c = [&](uint16_t dst_port, uint8_t flags, uint32_t seq,
+                   uint32_t ack, std::string_view payload) {
+    return add_template(packet::make_tcp(
+        kClientAddr, kServerAddr, kClientPort, dst_port, flags, seq, ack,
+        std::span<const uint8_t>(
+            reinterpret_cast<const uint8_t*>(payload.data()),
+            payload.size())));
+  };
+  auto tcp_s = [&](uint16_t src_port, uint8_t flags, uint32_t seq,
+                   uint32_t ack, std::string_view payload) {
+    return add_template(packet::make_tcp(
+        kServerAddr, kClientAddr, src_port, kClientPort, flags, seq, ack,
+        std::span<const uint8_t>(
+            reinterpret_cast<const uint8_t*>(payload.data()),
+            payload.size())));
+  };
+  auto udp_c = [&](uint16_t dst_port, std::string_view payload) {
+    return add_template(packet::make_udp(
+        kClientAddr, kServerAddr, kClientPort, dst_port,
+        std::span<const uint8_t>(
+            reinterpret_cast<const uint8_t*>(payload.data()),
+            payload.size())));
+  };
+  auto udp_s = [&](uint16_t src_port, std::string_view payload) {
+    return add_template(packet::make_udp(
+        kServerAddr, kClientAddr, src_port, kClientPort,
+        std::span<const uint8_t>(
+            reinterpret_cast<const uint8_t*>(payload.data()),
+            payload.size())));
+  };
+
+  auto begin_script = [&](size_t slot, uint16_t dst_port) {
+    scripts_[slot].first_step = static_cast<uint16_t>(steps_.size());
+    scripts_[slot].dst_port = dst_port;
+  };
+  auto step = [&](uint32_t delay_us, bool from_client, uint16_t tmpl) {
+    steps_.push_back({delay_us * 1000u, from_client, tmpl});
+  };
+  auto end_script = [&](size_t slot) {
+    scripts_[slot].step_count = static_cast<uint16_t>(
+        steps_.size() - scripts_[slot].first_step);
+  };
+
+  const std::string response_body =
+      "HTTP/1.1 200 OK\r\nContent-Length: 256\r\n\r\n" +
+      std::string(256, 'x');
+
+  // Web: handshake, GET, response, teardown.
+  begin_script(static_cast<size_t>(FlowKind::Web), 80);
+  step(0, true, tcp_c(80, kSyn, 1000, 0, ""));
+  step(20000, false, tcp_s(80, kSynAck, 5000, 1001, ""));
+  step(1000, true,
+       tcp_c(80, kAck, 1001, 5001,
+             "GET /news HTTP/1.1\r\nHost: portal.example\r\n\r\n"));
+  step(25000, false, tcp_s(80, kAck, 5001, 1045, response_body));
+  step(2000, true, tcp_c(80, kFinAck, 1045, 5300, ""));
+  end_script(static_cast<size_t>(FlowKind::Web));
+
+  // P2p: BitTorrent DHT chatter plus bulk piece transfer on 6881 (the
+  // MVR discard class — and, per the paper, ~30% of bytes by volume).
+  begin_script(static_cast<size_t>(FlowKind::P2p), 6881);
+  const std::string dht =
+      "d1:ad2:id20:abcdefghij0123456789e1:q4:ping1:t2:aa1:y1:qe";
+  const std::string piece = "PIECE" + std::string(275, '\xA7');
+  step(0, true, udp_c(6881, dht));
+  step(30000, false, udp_s(6881, dht));
+  step(20000, false, udp_s(6881, piece));
+  step(30000, true, udp_c(6881, dht));
+  end_script(static_cast<size_t>(FlowKind::P2p));
+
+  // Dns: one query/response pair.
+  begin_script(static_cast<size_t>(FlowKind::Dns), 53);
+  step(0, true, udp_c(53, std::string("\x12\x34\x01\x00", 4) +
+                              "\x01news\x06portal\x07example"));
+  step(8000, false, udp_s(53, std::string("\x12\x34\x81\x80", 4) +
+                                  "\x01news\x06portal\x07example"));
+  end_script(static_cast<size_t>(FlowKind::Dns));
+
+  // Mail: SMTP exchange carrying a bulk-mail signature (noise alert).
+  begin_script(static_cast<size_t>(FlowKind::Mail), 25);
+  step(0, true, tcp_c(25, kSyn, 2000, 0, ""));
+  step(20000, false, tcp_s(25, kSynAck, 6000, 2001, ""));
+  step(1000, true,
+       tcp_c(25, kAck, 2001, 6001,
+             "MAIL FROM:<spam@bulk.example>\r\nRCPT TO:<a@b>\r\n"));
+  step(15000, false, tcp_s(25, kAck, 6001, 2048, "250 OK\r\n"));
+  end_script(static_cast<size_t>(FlowKind::Mail));
+
+  // CensoredWeb: same shape as Web; the GET touches a censored keyword,
+  // so the MVR logs a policy-violation — like 1.57% of the population.
+  begin_script(static_cast<size_t>(FlowKind::CensoredWeb), 80);
+  step(0, true, tcp_c(80, kSyn, 1000, 0, ""));
+  step(20000, false, tcp_s(80, kSynAck, 5000, 1001, ""));
+  step(1000, true,
+       tcp_c(80, kAck, 1001, 5001,
+             "GET /falun HTTP/1.1\r\nHost: news.example\r\n\r\n"));
+  step(25000, false, tcp_s(80, kAck, 5001, 1044, response_body));
+  step(2000, true, tcp_c(80, kFinAck, 1044, 5300, ""));
+  end_script(static_cast<size_t>(FlowKind::CensoredWeb));
+
+  // Overt probe (slot 5): the same censored request, but carrying a
+  // measurement-platform fingerprint the community ruleset knows.
+  begin_script(5, 80);
+  step(0, true, tcp_c(80, kSyn, 3000, 0, ""));
+  step(20000, false, tcp_s(80, kSynAck, 7000, 3001, ""));
+  step(1000, true,
+       tcp_c(80, kAck, 3001, 7001,
+             "GET /falun HTTP/1.1\r\nUser-Agent: OONI-Probe/3.0\r\n\r\n"));
+  step(25000, false, tcp_s(80, kAck, 7001, 3050, response_body));
+  step(2000, true, tcp_c(80, kFinAck, 3050, 7300, ""));
+  end_script(5);
+
+  // Mimicry probe (slot 6): byte-identical to CensoredWeb. The only
+  // thing distinguishing the prober from the censored-browsing
+  // population is... nothing — that is the paper's point.
+  scripts_[6] = scripts_[static_cast<size_t>(FlowKind::CensoredWeb)];
+}
+
+void BgTraffic::start() {
+  schedule_arrival(net_.engine().now() + config_.window);
+}
+
+void BgTraffic::schedule_arrival(common::SimTime deadline) {
+  if (config_.flows_per_second <= 0.0) return;
+  double gap_s = rng_.exponential(config_.flows_per_second);
+  Duration gap = Duration::nanos(
+      std::max<int64_t>(1, static_cast<int64_t>(gap_s * 1e9)));
+  if (net_.engine().now() + gap > deadline) return;
+  net_.engine().schedule(gap, [this, deadline] {
+    double roll = rng_.uniform();
+    double total = config_.web_share + config_.p2p_share +
+                   config_.dns_share + config_.mail_share;
+    double web_cut = config_.web_share / total;
+    double p2p_cut = web_cut + config_.p2p_share / total;
+    double dns_cut = p2p_cut + config_.dns_share / total;
+    FlowKind kind;
+    if (roll < web_cut) {
+      kind = rng_.chance(config_.censored_fraction) ? FlowKind::CensoredWeb
+                                                    : FlowKind::Web;
+    } else if (roll < p2p_cut) {
+      kind = FlowKind::P2p;
+    } else if (roll < dns_cut) {
+      kind = FlowKind::Dns;
+    } else {
+      kind = FlowKind::Mail;
+    }
+    begin_flow(kind, rng_.bounded(topo_.population()));
+    schedule_arrival(deadline);
+  });
+}
+
+common::Ipv4Address BgTraffic::launch_probe(size_t prober_index,
+                                            bool mimicry) {
+  ++stats_.probes;
+  Host* client = topo_.hosts()[prober_index];
+  // Censored content is hosted abroad: pick the server outside the
+  // prober's AS so the probe always crosses the monitored border.
+  size_t server_index = rng_.bounded(topo_.population());
+  while (topo_.as_of_host(server_index) == topo_.as_of_host(prober_index)) {
+    server_index = rng_.bounded(topo_.population());
+  }
+  Host* server = topo_.hosts()[server_index];
+  const Script& script = scripts_[mimicry ? 6 : 5];
+  Flow* flow = pool_.create(Flow{
+      client, server,
+      static_cast<uint16_t>(20000 + rng_.bounded(20000)), script.dst_port,
+      script.first_step, script.step_count,
+      mimicry ? FlowKind::CensoredWeb : FlowKind::Web});
+  ++stats_.flows_started;
+  net_.engine().schedule(Duration::nanos(steps_[flow->next_step].delay_ns),
+                         [this, flow] { advance(flow); });
+  return client->address();
+}
+
+void BgTraffic::begin_flow(FlowKind kind, size_t client_index) {
+  Host* client = topo_.hosts()[client_index];
+  size_t server_index = rng_.bounded(topo_.population() - 1);
+  if (server_index >= client_index) ++server_index;
+  Host* server = topo_.hosts()[server_index];
+  const Script& script = scripts_[static_cast<size_t>(kind)];
+  Flow* flow = pool_.create(Flow{
+      client, server,
+      static_cast<uint16_t>(20000 + rng_.bounded(20000)), script.dst_port,
+      script.first_step, script.step_count, kind});
+  ++stats_.flows_started;
+  switch (kind) {
+    case FlowKind::Web: ++stats_.flows_web; break;
+    case FlowKind::P2p: ++stats_.flows_p2p; break;
+    case FlowKind::Dns: ++stats_.flows_dns; break;
+    case FlowKind::Mail: ++stats_.flows_mail; break;
+    case FlowKind::CensoredWeb:
+      ++stats_.flows_web;
+      ++stats_.flows_censored;
+      break;
+  }
+  net_.engine().schedule(Duration::nanos(steps_[flow->next_step].delay_ns),
+                         [this, flow] { advance(flow); });
+}
+
+void BgTraffic::advance(Flow* flow) {
+  const Step& step = steps_[flow->next_step];
+  emit(*flow, step);
+  ++flow->next_step;
+  --flow->steps_left;
+  if (flow->steps_left == 0) {
+    ++stats_.flows_finished;
+    pool_.destroy(flow);
+    return;
+  }
+  net_.engine().schedule(Duration::nanos(steps_[flow->next_step].delay_ns),
+                         [this, flow] { advance(flow); });
+}
+
+void BgTraffic::emit(const Flow& flow, const Step& step) {
+  std::span<const uint8_t> tmpl = templates_[step.template_id];
+  common::Bytes wire(tmpl.begin(), tmpl.end());
+  if (step.from_client) {
+    patch_endpoints(wire, flow.client->address(), flow.server->address(),
+                    flow.src_port, flow.dst_port);
+  } else {
+    patch_endpoints(wire, flow.server->address(), flow.client->address(),
+                    flow.dst_port, flow.src_port);
+  }
+  ++stats_.packets_emitted;
+  stats_.bytes_emitted += wire.size();
+  Host* from = step.from_client ? flow.client : flow.server;
+  from->send(packet::Packet(std::move(wire)));
+}
+
+}  // namespace sm::netsim

@@ -16,8 +16,11 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <map>
+#include <new>
+#include <type_traits>
 #include <unordered_set>
 #include <vector>
 
@@ -38,9 +41,76 @@ using common::SimTime;
 /// never reused within an engine's lifetime.
 using TimerId = uint64_t;
 
+/// Move-only callable for scheduled events. Trivially copyable callables
+/// up to 24 bytes live inline, so Event moves — wheel inserts, cascades,
+/// and batch sorts, which touch every pending event repeatedly — are
+/// plain memcpy with no type-erased manager call, and the per-hop packet
+/// delivery closure schedules without heap allocation. Bigger or
+/// nontrivial callables fall back to a heap-boxed std::function.
+class EventFn {
+ public:
+  EventFn() = default;
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, EventFn>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using D = std::remove_cvref_t<F>;
+    if constexpr (std::is_trivially_copyable_v<D> && sizeof(D) <= kInline &&
+                  alignof(D) <= alignof(void*)) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      invoke_ = [](EventFn& self) {
+        (*std::launder(reinterpret_cast<D*>(self.buf_)))();
+      };
+    } else {
+      auto* box = new std::function<void()>(std::forward<F>(f));
+      std::memcpy(buf_, &box, sizeof(box));
+      boxed_ = true;
+      invoke_ = [](EventFn& self) { (*self.box())(); };
+    }
+  }
+  EventFn(EventFn&& other) noexcept { steal(other); }
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      release();
+      steal(other);
+    }
+    return *this;
+  }
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { release(); }
+
+  void operator()() { invoke_(*this); }
+
+ private:
+  static constexpr size_t kInline = 24;
+
+  std::function<void()>* box() const {
+    std::function<void()>* p;
+    std::memcpy(&p, buf_, sizeof(p));
+    return p;
+  }
+  void steal(EventFn& other) {
+    std::memcpy(buf_, other.buf_, kInline);
+    invoke_ = other.invoke_;
+    boxed_ = other.boxed_;
+    other.invoke_ = nullptr;
+    other.boxed_ = false;
+  }
+  void release() {
+    if (boxed_) delete box();
+    invoke_ = nullptr;
+    boxed_ = false;
+  }
+
+  alignas(void*) unsigned char buf_[kInline];
+  void (*invoke_)(EventFn&) = nullptr;
+  bool boxed_ = false;
+};
+
 class Engine {
  public:
-  using Action = std::function<void()>;
+  using Action = EventFn;
 
   /// Schedules `action` to run at now() + delay (delay may be zero; the
   /// action still runs after the current event completes). Returns a

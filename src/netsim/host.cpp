@@ -8,7 +8,9 @@
 namespace sm::netsim {
 
 Host::Host(Engine& engine, std::string name, Ipv4Address address)
-    : Node(std::move(name)), engine_(engine), address_(address) {}
+    : Node(std::move(name), NodeKind::Host),
+      engine_(engine),
+      address_(address) {}
 
 void Host::send(packet::Packet packet) {
   ++packets_sent_;

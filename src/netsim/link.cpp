@@ -17,11 +17,12 @@ Link::Link(Engine& engine, LinkConfig config, uint64_t seed)
     : engine_(engine), config_(config),
       model_(config.loss_rate, config.impairment, seed) {}
 
-void Link::connect(Node* a, Node* b) {
+std::pair<int, int> Link::connect(Node* a, Node* b) {
   a_.node = a;
   a_.port = a->attach_link(this);
   b_.node = b;
   b_.port = b->attach_link(this);
+  return {a_.port, b_.port};
 }
 
 Link::Endpoint& Link::endpoint_for(Node* n) {
@@ -36,11 +37,27 @@ Link::Endpoint& Link::peer_of(Node* n) {
 
 void Link::deliver_at(common::SimTime when, Endpoint& rx,
                       packet::Packet packet) {
-  Node* dst_node = rx.node;
-  int dst_port = rx.port;
-  engine_.schedule_at(when, [dst_node, dst_port,
-                             p = std::move(packet)]() mutable {
-    dst_node->receive(std::move(p), dst_port);
+  // Park the packet in a recycled slot and capture only {link, index}:
+  // the closure stays within std::function's small-object buffer, so the
+  // per-hop schedule allocates nothing. Indices survive vector growth,
+  // and arbitrary arrival order (reorder/duplicate impairments) is fine
+  // because each delivery pops its own slot.
+  uint32_t slot;
+  if (!free_inflight_.empty()) {
+    slot = free_inflight_.back();
+    free_inflight_.pop_back();
+    inflight_[slot] = InFlight{std::move(packet), rx.node, rx.port};
+  } else {
+    slot = static_cast<uint32_t>(inflight_.size());
+    inflight_.push_back(InFlight{std::move(packet), rx.node, rx.port});
+  }
+  engine_.schedule_at(when, [link = this, slot] {
+    InFlight& f = link->inflight_[slot];
+    Node* node = f.node;
+    int port = f.port;
+    packet::Packet p = std::move(f.packet);
+    link->free_inflight_.push_back(slot);
+    node->receive(std::move(p), port);
   });
 }
 

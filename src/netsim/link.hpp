@@ -4,6 +4,8 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "common/time.hpp"
@@ -45,8 +47,17 @@ class Link {
  public:
   Link(Engine& engine, LinkConfig config, uint64_t seed = 1);
 
-  /// Wires the two endpoints; must be called exactly once.
-  void connect(Node* a, Node* b);
+  /// Wires the two endpoints; must be called exactly once. Returns the
+  /// port index the link occupies on each node, (port on a, port on b),
+  /// so callers never have to rediscover them by scanning ports.
+  std::pair<int, int> connect(Node* a, Node* b);
+
+  /// Port this link occupies on node `n` (-1 if `n` is not an endpoint).
+  int port_of(const Node* n) const {
+    if (n == a_.node) return a_.port;
+    if (n == b_.node) return b_.port;
+    return -1;
+  }
 
   /// Sends `packet` from endpoint `from` toward the other endpoint.
   /// Delivery is scheduled on the engine after latency (+ serialization
@@ -66,6 +77,18 @@ class Link {
     common::SimTime busy_until{};
   };
 
+  /// A scheduled delivery, parked here instead of inside the engine
+  /// closure: capturing {Link*, slot index} keeps the closure within
+  /// std::function's small-object buffer, so the per-hop schedule makes
+  /// no heap allocation, and freed slots recycle. Indexed (not pointed)
+  /// because the vector grows; still-pending deliveries are destroyed
+  /// with the link, so a Network torn down mid-flight leaks nothing.
+  struct InFlight {
+    packet::Packet packet;
+    Node* node = nullptr;
+    int port = -1;
+  };
+
   Endpoint& endpoint_for(Node* n);
   Endpoint& peer_of(Node* n);
   void deliver_at(common::SimTime when, Endpoint& rx, packet::Packet packet);
@@ -75,6 +98,8 @@ class Link {
   ImpairmentModel model_;
   Endpoint a_, b_;
   LinkStats stats_;
+  std::vector<InFlight> inflight_;
+  std::vector<uint32_t> free_inflight_;
 };
 
 }  // namespace sm::netsim

@@ -13,15 +13,20 @@ namespace sm::netsim {
 class Link;
 
 /// Anything that can terminate a link: hosts and routers.
+/// Discriminator for the two concrete node types, so topology wiring can
+/// branch without a dynamic_cast per endpoint.
+enum class NodeKind : uint8_t { Host, Router };
+
 class Node {
  public:
-  explicit Node(std::string name) : name_(std::move(name)) {}
+  Node(std::string name, NodeKind kind) : name_(std::move(name)), kind_(kind) {}
   virtual ~Node() = default;
 
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
 
   const std::string& name() const { return name_; }
+  NodeKind kind() const { return kind_; }
 
   /// Called by a Link when a packet arrives on `port`.
   virtual void receive(packet::Packet packet, int port) = 0;
@@ -42,6 +47,7 @@ class Node {
 
  private:
   std::string name_;
+  NodeKind kind_;
   std::vector<Link*> links_;
 };
 

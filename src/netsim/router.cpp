@@ -8,20 +8,64 @@
 namespace sm::netsim {
 
 Router::Router(Engine& engine, std::string name)
-    : Node(std::move(name)), engine_(engine) {}
+    : Node(std::move(name), NodeKind::Router), engine_(engine) {}
 
 void Router::add_route(Cidr prefix, int port) {
   routes_.emplace_back(prefix, port);
-  std::stable_sort(routes_.begin(), routes_.end(),
-                   [](const auto& a, const auto& b) {
-                     return a.first.prefix_len() > b.first.prefix_len();
-                   });
+  lpm_dirty_ = true;
+}
+
+// Longest-prefix match runs against a compiled table: the address space
+// is painted with routes in ascending prefix-length order (so longer
+// prefixes overwrite shorter ones), and within one length in reverse
+// insertion order (so the earliest insertion paints last and wins) —
+// exactly the legacy semantics of the stable-sorted first-match scan.
+// The paint produces a sorted list of disjoint half-open intervals; a
+// lookup is one binary search. Rebuilds lazily, so bulk add_route during
+// topology construction is O(1) per call and a 100k-host edge router
+// compiles its table once, on first traffic.
+void Router::compile_routes() const {
+  std::vector<size_t> order(routes_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    uint8_t la = routes_[a].first.prefix_len();
+    uint8_t lb = routes_[b].first.prefix_len();
+    if (la != lb) return la < lb;
+    return a > b;
+  });
+
+  // Boundary map over [0, 2^32): key -> egress port for [key, next key).
+  // 64-bit keys so a /0 route's end (2^32) never wraps.
+  std::map<uint64_t, int32_t> seg;
+  seg[0] = kNoRoute;
+  constexpr uint64_t kTop = uint64_t{1} << 32;
+  for (size_t i : order) {
+    const Cidr& prefix = routes_[i].first;
+    const uint64_t lo = prefix.network().value();
+    const uint64_t hi = lo + prefix.size();
+    auto after = seg.upper_bound(hi);
+    int32_t resume = std::prev(after)->second;
+    seg.erase(seg.lower_bound(lo), after);
+    seg[lo] = routes_[i].second;
+    if (hi < kTop) seg[hi] = resume;
+  }
+
+  lpm_starts_.clear();
+  lpm_ports_.clear();
+  for (const auto& [start, port] : seg) {
+    if (!lpm_ports_.empty() && lpm_ports_.back() == port) continue;
+    lpm_starts_.push_back(static_cast<uint32_t>(start));
+    lpm_ports_.push_back(port);
+  }
+  lpm_dirty_ = false;
 }
 
 int Router::route_lookup(Ipv4Address dst) const {
-  for (const auto& [prefix, port] : routes_)
-    if (prefix.contains(dst)) return port;
-  return default_port_;
+  if (lpm_dirty_) compile_routes();
+  auto it = std::upper_bound(lpm_starts_.begin(), lpm_starts_.end(),
+                             dst.value());
+  int32_t port = lpm_ports_[static_cast<size_t>(it - lpm_starts_.begin()) - 1];
+  return port == kNoRoute ? default_port_ : port;
 }
 
 void Router::set_ingress_filter(int port, IngressFilter filter) {
@@ -38,6 +82,27 @@ void Router::inject(packet::Packet packet) {
 }
 
 void Router::receive(packet::Packet packet, int port) {
+  // Transit fast path: with no taps, filters, transformer, or provenance
+  // recording, forwarding only needs the destination address, so a
+  // header peek (same accept/reject set as decode()) replaces the full
+  // parse. TTL expiry is delegated to the slow path, which builds the
+  // ICMP error from a real decode.
+  if (taps_.empty() && !transformer_ && ingress_filters_.empty() &&
+      engine_.provenance() == nullptr && packet.size() > 8 &&
+      packet.data()[8] > 1) {
+    auto dst = packet::route_peek(packet.data());
+    if (!dst) return;
+    int out = route_lookup(*dst);
+    if (!packet::decrement_ttl(packet.data())) return;
+    if (out < 0) {
+      ++counters_.dropped_no_route;
+      return;
+    }
+    ++counters_.forwarded;
+    transmit(std::move(packet), out);
+    return;
+  }
+
   auto decoded = packet::decode(packet);
   if (!decoded) return;
 

@@ -118,8 +118,17 @@ class Router : public Node {
   void forward(packet::Packet packet, const packet::Decoded& decoded,
                int in_port);
 
+  void compile_routes() const;
+
   Engine& engine_;
-  std::vector<std::pair<Cidr, int>> routes_;  // sorted by prefix len desc
+  std::vector<std::pair<Cidr, int>> routes_;  // insertion order
+  /// Compiled longest-prefix-match table: disjoint half-open intervals
+  /// [lpm_starts_[i], lpm_starts_[i+1]) -> lpm_ports_[i] (kNoRoute means
+  /// fall through to the default route). Lazily rebuilt after add_route.
+  static constexpr int32_t kNoRoute = -1;
+  mutable std::vector<uint32_t> lpm_starts_;
+  mutable std::vector<int32_t> lpm_ports_;
+  mutable bool lpm_dirty_ = true;
   int default_port_ = -1;
   std::vector<Tap*> taps_;
   Transformer transformer_;

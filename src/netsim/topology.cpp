@@ -18,23 +18,23 @@ Link* Network::connect(Node* a, Node* b, LinkConfig config) {
   links_.push_back(std::make_unique<Link>(
       engine_, config, common::splitmix64(link_seed_state_)));
   Link* link = links_.back().get();
-  link->connect(a, b);
+  auto [port_a, port_b] = link->connect(a, b);
 
-  auto wire_route = [link](Node* maybe_router, Node* maybe_host) {
-    auto* r = dynamic_cast<Router*>(maybe_router);
-    auto* h = dynamic_cast<Host*>(maybe_host);
-    if (r && h) {
-      // The port index on the router side is the port the link attached.
-      for (int p = 0; p < r->port_count(); ++p) {
-        if (r->link_at(p) == link) {
-          r->add_route(common::Cidr(h->address(), 32), p);
-          break;
-        }
-      }
+  // Host-facing router ports get the /32 automatically. Link::connect
+  // reports each side's port directly, so wiring one link is O(1) no
+  // matter how many ports the router already has.
+  auto wire_route = [](Node* maybe_router, int router_port,
+                       Node* maybe_host) {
+    if (maybe_router->kind() != NodeKind::Router ||
+        maybe_host->kind() != NodeKind::Host) {
+      return;
     }
+    static_cast<Router*>(maybe_router)
+        ->add_route(common::Cidr(static_cast<Host*>(maybe_host)->address(), 32),
+                    router_port);
   };
-  wire_route(a, b);
-  wire_route(b, a);
+  wire_route(a, port_a, b);
+  wire_route(b, port_b, a);
   return link;
 }
 

@@ -21,6 +21,16 @@ uint16_t internet_checksum(std::span<const uint8_t> data) {
   return fold(sum_words(data, 0));
 }
 
+uint16_t incremental_checksum_update(uint16_t checksum, uint16_t old_word,
+                                     uint16_t new_word) {
+  // RFC 1624 eqn. 3: HC' = ~(~HC + ~m + m'), one's-complement arithmetic.
+  uint32_t acc = static_cast<uint16_t>(~checksum);
+  acc += static_cast<uint16_t>(~old_word);
+  acc += new_word;
+  while (acc >> 16) acc = (acc & 0xFFFF) + (acc >> 16);
+  return static_cast<uint16_t>(~acc);
+}
+
 uint16_t pseudo_header_checksum(common::Ipv4Address src,
                                 common::Ipv4Address dst, uint8_t protocol,
                                 std::span<const uint8_t> segment) {

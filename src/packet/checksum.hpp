@@ -19,4 +19,11 @@ uint16_t pseudo_header_checksum(common::Ipv4Address src,
                                 common::Ipv4Address dst, uint8_t protocol,
                                 std::span<const uint8_t> segment);
 
+/// RFC 1624 incremental update: the checksum after one 16-bit word of the
+/// covered data changes from `old_word` to `new_word`. Lets a template
+/// packet be re-addressed without recomputing the sum over its payload
+/// (the flyweight background-traffic emitter's hot path).
+uint16_t incremental_checksum_update(uint16_t checksum, uint16_t old_word,
+                                     uint16_t new_word);
+
 }  // namespace sm::packet

@@ -144,6 +144,53 @@ std::optional<Decoded> decode(std::span<const uint8_t> wire) {
   return d;
 }
 
+// Keep the accept/reject conditions in lockstep with decode(): a packet
+// this returns an address for must decode, and vice versa, or transit
+// routers and tapped routers would disagree about what is forwardable.
+std::optional<common::Ipv4Address> route_peek(std::span<const uint8_t> wire) {
+  if (wire.size() < 20) return std::nullopt;
+  uint8_t vihl = wire[0];
+  if ((vihl >> 4) != 4) return std::nullopt;
+  size_t ihl = static_cast<size_t>(vihl & 0x0F) * 4;
+  if (ihl < 20 || wire.size() < ihl) return std::nullopt;
+  auto rd16 = [&](size_t off) {
+    return static_cast<uint16_t>(uint16_t{wire[off]} << 8 | wire[off + 1]);
+  };
+  uint16_t total_length = rd16(2);
+  if (total_length < ihl || total_length > wire.size()) return std::nullopt;
+  common::Ipv4Address dst(static_cast<uint32_t>(rd16(16)) << 16 | rd16(18));
+
+  uint16_t ff = rd16(6);
+  // Non-first fragments carry no parsable L4 header; decode() accepts
+  // them as-is.
+  if ((ff & kFragMask) != 0) return dst;
+  bool first_fragment = ff & kFlagMf;
+  size_t l3_payload_len = total_length - ihl;
+  switch (wire[9]) {
+    case static_cast<uint8_t>(IpProto::Tcp): {
+      // data_offset >= 20 always exceeds a short payload, so any
+      // l3_payload_len < 20 rejects, exactly as decode()'s reader does.
+      if (l3_payload_len < 20) return std::nullopt;
+      size_t data_offset = static_cast<size_t>(wire[ihl + 12] >> 4) * 4;
+      if (data_offset < 20 || data_offset > l3_payload_len)
+        return std::nullopt;
+      return dst;
+    }
+    case static_cast<uint8_t>(IpProto::Udp): {
+      if (l3_payload_len < 8) return std::nullopt;
+      uint16_t udp_len = rd16(ihl + 4);
+      if (udp_len < 8 || (!first_fragment && udp_len > l3_payload_len))
+        return std::nullopt;
+      return dst;
+    }
+    case static_cast<uint8_t>(IpProto::Icmp):
+      if (l3_payload_len < 8) return std::nullopt;
+      return dst;
+    default:
+      return dst;
+  }
+}
+
 bool verify_checksums(std::span<const uint8_t> wire) {
   auto d = decode(wire);
   if (!d) return false;

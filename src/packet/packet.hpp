@@ -178,6 +178,13 @@ inline std::optional<Decoded> decode(const Packet& p) {
   return decode(std::span<const uint8_t>(p.data()));
 }
 
+/// Extracts just the destination address, applying exactly the structural
+/// validation `decode()` applies (accepts and rejects the same wire
+/// bytes), without materializing a Decoded. This is the transit-router
+/// fast path: a forwarding hop only needs the destination, and skipping
+/// the full parse roughly halves per-hop cost on untapped routers.
+std::optional<common::Ipv4Address> route_peek(std::span<const uint8_t> wire);
+
 /// Verifies the IPv4 header checksum and, if present, the TCP/UDP
 /// pseudo-header checksum. A UDP checksum of zero is accepted (RFC 768).
 bool verify_checksums(std::span<const uint8_t> wire);

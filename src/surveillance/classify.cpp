@@ -53,9 +53,10 @@ void Classifier::SourceState::advance(SimTime now,
   }
   while (!requests.empty() &&
          now - requests.front().first > cfg.ddos_window) {
-    auto it = per_dst_count.find(requests.front().second);
-    if (it != per_dst_count.end() && --it->second == 0)
-      per_dst_count.erase(it);
+    if (size_t* n = per_dst_count.find(requests.front().second);
+        n != nullptr && --*n == 0) {
+      per_dst_count.erase(requests.front().second);
+    }
     requests.pop_front();
   }
 }

@@ -10,10 +10,9 @@
 
 #include <cstdint>
 #include <deque>
-#include <map>
-#include <set>
 #include <string>
 
+#include "common/flathash.hpp"
 #include "common/ip.hpp"
 #include "common/time.hpp"
 #include "packet/packet.hpp"
@@ -58,16 +57,19 @@ class Classifier {
   size_t tracked_sources() const { return sources_.size(); }
 
  private:
+  // Per-source state lives in open-addressed tables (PR 8): nothing here
+  // is ever iterated for output, only probed per packet, so the swap is
+  // invisible outside this class.
   struct SourceState {
     std::deque<std::pair<SimTime, uint64_t>> syn_targets;  // (time, dst|port)
-    std::set<uint64_t> distinct_targets;
+    common::FlatSet<uint64_t> distinct_targets;
     std::deque<std::pair<SimTime, uint32_t>> requests;  // (time, dst ip)
-    std::map<uint32_t, size_t> per_dst_count;
+    common::FlatMap<uint32_t, size_t> per_dst_count;
     void advance(SimTime now, const ClassifierConfig& cfg);
   };
 
   ClassifierConfig config_;
-  std::map<Ipv4Address, SourceState> sources_;
+  common::FlatMap<Ipv4Address, SourceState> sources_;
 };
 
 /// Pure port/payload heuristics (stateless part), exposed for tests.

@@ -1,53 +1,149 @@
 #include "surveillance/flowrecords.hpp"
 
+#include <algorithm>
+#include <tuple>
+
 namespace sm::surveillance {
+
+namespace {
+/// Flush batches leave the LRU/hash structures in recency order; sorting
+/// each batch by flow key keeps `finished_` byte-identical to the
+/// historical std::map (key-ordered) flush sequence.
+void sort_batch(std::vector<FlowRecord>& batch) {
+  std::sort(batch.begin(), batch.end(),
+            [](const FlowRecord& a, const FlowRecord& b) {
+              return std::tie(a.src, a.dst, a.src_port, a.dst_port,
+                              a.proto) < std::tie(b.src, b.dst, b.src_port,
+                                                  b.dst_port, b.proto);
+            });
+}
+}  // namespace
+
+uint32_t FlowRecordAggregator::new_slot() {
+  if (!free_slots_.empty()) {
+    uint32_t i = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[i] = Slot{};
+    return i;
+  }
+  slots_.emplace_back();
+  return static_cast<uint32_t>(slots_.size() - 1);
+}
+
+void FlowRecordAggregator::detach(uint32_t i) {
+  Slot& s = slots_[i];
+  if (s.prev != kNil)
+    slots_[s.prev].next = s.next;
+  else
+    lru_head_ = s.next;
+  if (s.next != kNil)
+    slots_[s.next].prev = s.prev;
+  else
+    lru_tail_ = s.prev;
+  s.prev = s.next = kNil;
+}
+
+void FlowRecordAggregator::attach_tail(uint32_t i) {
+  Slot& s = slots_[i];
+  s.prev = lru_tail_;
+  s.next = kNil;
+  if (lru_tail_ != kNil)
+    slots_[lru_tail_].next = i;
+  else
+    lru_head_ = i;
+  lru_tail_ = i;
+}
 
 void FlowRecordAggregator::add(common::SimTime now,
                                const packet::Decoded& d,
                                uint64_t wire_bytes) {
   Key key{d.ip.src, d.ip.dst, d.src_port(), d.dst_port(), d.ip.protocol};
-  auto [it, inserted] = active_.try_emplace(key);
-  FlowRecord& rec = it->second;
+  auto [idx_ptr, inserted] = active_.try_emplace(key);
   if (inserted) {
-    rec.src = key.src;
-    rec.dst = key.dst;
-    rec.src_port = key.src_port;
-    rec.dst_port = key.dst_port;
-    rec.proto = key.proto;
-    rec.first_seen = now;
+    uint32_t i = new_slot();
+    *idx_ptr = i;
+    Slot& s = slots_[i];
+    s.key = key;
+    s.rec.src = key.src;
+    s.rec.dst = key.dst;
+    s.rec.src_port = key.src_port;
+    s.rec.dst_port = key.dst_port;
+    s.rec.proto = key.proto;
+    s.rec.first_seen = now;
+  } else {
+    detach(*idx_ptr);
   }
+  uint32_t i = *idx_ptr;
+  attach_tail(i);
+  FlowRecord& rec = slots_[i].rec;
   rec.last_seen = now;
   ++rec.packets;
   rec.bytes += wire_bytes;
 }
 
 size_t FlowRecordAggregator::flush_idle(common::SimTime now) {
-  size_t flushed = 0;
-  for (auto it = active_.begin(); it != active_.end();) {
-    if (now - it->second.last_seen >= idle_timeout_) {
-      finished_.push_back(it->second);
-      it = active_.erase(it);
-      ++flushed;
-    } else {
-      ++it;
-    }
+  // The head is always the least-recently-seen flow, so popping while
+  // expired visits exactly the flows a full scan would flush.
+  std::vector<FlowRecord> batch;
+  while (lru_head_ != kNil) {
+    uint32_t i = lru_head_;
+    Slot& s = slots_[i];
+    if (now - s.rec.last_seen < idle_timeout_) break;
+    batch.push_back(s.rec);
+    detach(i);
+    active_.erase(s.key);
+    free_slots_.push_back(i);
   }
-  return flushed;
+  sort_batch(batch);
+  finished_.insert(finished_.end(), batch.begin(), batch.end());
+  return batch.size();
 }
 
 size_t FlowRecordAggregator::flush_all() {
-  size_t flushed = active_.size();
-  for (auto& [key, rec] : active_) finished_.push_back(rec);
+  std::vector<FlowRecord> batch;
+  batch.reserve(active_.size());
+  for (uint32_t i = lru_head_; i != kNil; i = slots_[i].next) {
+    batch.push_back(slots_[i].rec);
+  }
   active_.clear();
-  return flushed;
+  slots_.clear();
+  free_slots_.clear();
+  lru_head_ = lru_tail_ = kNil;
+  sort_batch(batch);
+  finished_.insert(finished_.end(), batch.begin(), batch.end());
+  return batch.size();
+}
+
+std::string FlowRecordAggregator::to_json(const FlowRecord& rec) {
+  std::string out = "{\"src\":\"" + rec.src.to_string() + "\",\"dst\":\"" +
+                    rec.dst.to_string() + "\"";
+  out += ",\"sport\":" + std::to_string(rec.src_port);
+  out += ",\"dport\":" + std::to_string(rec.dst_port);
+  out += ",\"proto\":" + std::to_string(rec.proto);
+  out += ",\"first_ns\":" + std::to_string(rec.first_seen.count());
+  out += ",\"last_ns\":" + std::to_string(rec.last_seen.count());
+  out += ",\"packets\":" + std::to_string(rec.packets);
+  out += ",\"bytes\":" + std::to_string(rec.bytes);
+  out += "}";
+  return out;
+}
+
+std::string FlowRecordAggregator::finished_jsonl() const {
+  std::string out;
+  for (const auto& rec : finished_) {
+    out += to_json(rec);
+    out += '\n';
+  }
+  return out;
 }
 
 uint64_t FlowRecordAggregator::bytes_from(common::Ipv4Address src) const {
   uint64_t total = 0;
   for (const auto& rec : finished_)
     if (rec.src == src) total += rec.bytes;
-  for (const auto& [key, rec] : active_)
-    if (rec.src == src) total += rec.bytes;
+  for (uint32_t i = lru_head_; i != kNil; i = slots_[i].next) {
+    if (slots_[i].rec.src == src) total += slots_[i].rec.bytes;
+  }
   return total;
 }
 

@@ -6,9 +6,10 @@
 // and giving analysts the who-talked-to-whom ledger.
 #pragma once
 
-#include <map>
+#include <string>
 #include <vector>
 
+#include "common/flathash.hpp"
 #include "common/ip.hpp"
 #include "common/time.hpp"
 #include "packet/packet.hpp"
@@ -46,6 +47,14 @@ class FlowRecordAggregator {
   const std::vector<FlowRecord>& finished() const { return finished_; }
   size_t active_flows() const { return active_.size(); }
 
+  /// One finished record as a single-line JSON object (fixed field order,
+  /// integers only — byte-deterministic).
+  static std::string to_json(const FlowRecord& rec);
+  /// All finished records, one JSON object per line, in flush order.
+  /// Flush order is part of the export contract: within one flush batch
+  /// records are ordered by flow key, and batches append chronologically.
+  std::string finished_jsonl() const;
+
   /// Total bytes attributed to `src` across finished + active records —
   /// the per-user ledger an analyst queries.
   uint64_t bytes_from(common::Ipv4Address src) const;
@@ -57,9 +66,43 @@ class FlowRecordAggregator {
     uint8_t proto = 0;
     auto operator<=>(const Key&) const = default;
   };
+  struct KeyHash {
+    uint64_t operator()(const Key& k) const {
+      uint64_t h = common::hash_mix(
+          (static_cast<uint64_t>(k.src.value()) << 32) | k.dst.value());
+      return common::hash_combine(
+          h, (static_cast<uint64_t>(k.src_port) << 24) |
+                 (static_cast<uint64_t>(k.dst_port) << 8) | k.proto);
+    }
+  };
+
+  /// Flow slot in stable storage, threaded on an intrusive list ordered
+  /// by last_seen (touching a flow moves it to the tail; time is
+  /// monotonic, so the list stays sorted). flush_idle() pops expired
+  /// flows off the head — O(flushed) per call instead of a full table
+  /// scan, with the exact same expired set (and therefore byte-identical
+  /// export) as the scan it replaced.
+  struct Slot {
+    Key key;
+    FlowRecord rec;
+    uint32_t prev = kNil;
+    uint32_t next = kNil;
+  };
+  static constexpr uint32_t kNil = 0xFFFFFFFFu;
+
+  uint32_t new_slot();
+  void detach(uint32_t i);
+  void attach_tail(uint32_t i);
 
   common::Duration idle_timeout_;
-  std::map<Key, FlowRecord> active_;
+  // Open-addressed (PR 8): the per-packet lookup is the tap's hottest
+  // map. Flush batches are sorted by key before export so the ledger's
+  // byte order is identical to the old std::map (key-ordered) flushes.
+  common::FlatMap<Key, uint32_t, KeyHash> active_;
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> free_slots_;
+  uint32_t lru_head_ = kNil;  // least recently seen
+  uint32_t lru_tail_ = kNil;
   std::vector<FlowRecord> finished_;
 };
 

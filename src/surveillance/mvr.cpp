@@ -127,23 +127,23 @@ netsim::TapDecision MvrTap::process(const netsim::TapContext& ctx,
 }
 
 uint64_t MvrTap::interesting_alerts_for(Ipv4Address user) const {
-  auto it = interesting_by_user_.find(user);
-  return it == interesting_by_user_.end() ? 0 : it->second;
+  const uint64_t* n = interesting_by_user_.find(user);
+  return n == nullptr ? 0 : *n;
 }
 
 uint64_t MvrTap::targeted_alerts_for(Ipv4Address user) const {
-  auto it = targeted_by_user_.find(user);
-  return it == targeted_by_user_.end() ? 0 : it->second;
+  const uint64_t* n = targeted_by_user_.find(user);
+  return n == nullptr ? 0 : *n;
 }
 
 uint64_t MvrTap::censored_access_alerts_for(Ipv4Address user) const {
-  auto it = censored_by_user_.find(user);
-  return it == censored_by_user_.end() ? 0 : it->second;
+  const uint64_t* n = censored_by_user_.find(user);
+  return n == nullptr ? 0 : *n;
 }
 
 uint64_t MvrTap::noise_alerts_for(Ipv4Address user) const {
-  auto it = noise_by_user_.find(user);
-  return it == noise_by_user_.end() ? 0 : it->second;
+  const uint64_t* n = noise_by_user_.find(user);
+  return n == nullptr ? 0 : *n;
 }
 
 void MvrTap::export_metrics(obs::Registry& registry) const {

@@ -19,6 +19,7 @@
 #include <map>
 #include <set>
 
+#include "common/flathash.hpp"
 #include "common/rng.hpp"
 #include "ids/engine.hpp"
 #include "netsim/router.hpp"
@@ -121,10 +122,14 @@ class MvrTap : public netsim::Tap {
   FlowRecordAggregator flows_;
   common::Rng sampler_;
   Stats stats_;
-  std::map<Ipv4Address, uint64_t> noise_by_user_;
-  std::map<Ipv4Address, uint64_t> interesting_by_user_;
-  std::map<Ipv4Address, uint64_t> targeted_by_user_;
-  std::map<Ipv4Address, uint64_t> censored_by_user_;
+  // Per-user alert ledgers are probe-only (never iterated for output),
+  // so they live in open-addressed tables (PR 8). The small per-class /
+  // per-classtype maps in Stats stay std::map: they ARE iterated at
+  // export and their sorted order is the export order.
+  common::FlatMap<Ipv4Address, uint64_t> noise_by_user_;
+  common::FlatMap<Ipv4Address, uint64_t> interesting_by_user_;
+  common::FlatMap<Ipv4Address, uint64_t> targeted_by_user_;
+  common::FlatMap<Ipv4Address, uint64_t> censored_by_user_;
 };
 
 }  // namespace sm::surveillance

@@ -1,0 +1,153 @@
+// Arena/Pool allocator tests: alignment, slab reuse across reset(),
+// free-list recycling, ASan poisoning, and thread-confinement under the
+// campaign job pool (one arena per worker, as DESIGN §12 requires).
+#include "common/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+
+namespace sm::common {
+namespace {
+
+TEST(Arena, AllocationsAreAlignedAndDisjoint) {
+  Arena arena(256);
+  std::vector<std::pair<uint8_t*, size_t>> blocks;
+  for (size_t i = 1; i <= 64; ++i) {
+    size_t align = size_t{1} << (i % 5);  // 1..16
+    auto* p = static_cast<uint8_t*>(arena.allocate(i, align));
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % align, 0u);
+    std::memset(p, static_cast<int>(i), i);
+    blocks.emplace_back(p, i);
+  }
+  // Writing each block did not clobber any other block.
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    for (size_t b = 0; b < blocks[i].second; ++b) {
+      EXPECT_EQ(blocks[i].first[b], static_cast<uint8_t>(i + 1));
+    }
+  }
+}
+
+TEST(Arena, OversizedRequestsGetDedicatedSlabs) {
+  Arena arena(128);
+  auto* big = static_cast<uint8_t*>(arena.allocate(4096));
+  ASSERT_NE(big, nullptr);
+  std::memset(big, 0xAB, 4096);
+  auto* small = static_cast<uint8_t*>(arena.allocate(16));
+  ASSERT_NE(small, nullptr);
+  EXPECT_EQ(big[4095], 0xAB);
+}
+
+TEST(Arena, ResetKeepsSlabsAndReusesThem) {
+  Arena arena(1024);
+  for (int i = 0; i < 100; ++i) arena.allocate(64);
+  size_t slabs_before = arena.slab_count();
+  EXPECT_GT(slabs_before, 1u);
+  arena.reset();
+  for (int i = 0; i < 100; ++i) arena.allocate(64);
+  // The second fill recycles the first fill's slabs: no new allocations.
+  EXPECT_EQ(arena.slab_count(), slabs_before);
+}
+
+TEST(Arena, CopyReturnsStableBytes) {
+  Arena arena(64);
+  std::vector<uint8_t> src(200);
+  for (size_t i = 0; i < src.size(); ++i) src[i] = static_cast<uint8_t>(i);
+  uint8_t* copy = arena.copy(src.data(), src.size());
+  src.assign(src.size(), 0);  // mutating the source must not matter
+  for (size_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(copy[i], static_cast<uint8_t>(i));
+  }
+}
+
+struct Blob {
+  uint64_t a;
+  uint64_t b;
+};
+
+TEST(Pool, RecyclesDestroyedSlots) {
+  Pool<Blob> pool(8);
+  std::vector<Blob*> first;
+  for (int i = 0; i < 16; ++i) first.push_back(pool.create(Blob{1, 2}));
+  EXPECT_EQ(pool.live(), 16u);
+  EXPECT_EQ(pool.recycled(), 0u);
+  std::set<void*> old_slots(first.begin(), first.end());
+  for (Blob* b : first) pool.destroy(b);
+  EXPECT_EQ(pool.live(), 0u);
+
+  // The next 16 creates are served entirely from the free list, reusing
+  // the exact same memory — no new slabs.
+  size_t slabs = pool.slab_count();
+  for (int i = 0; i < 16; ++i) {
+    Blob* b = pool.create(Blob{3, 4});
+    EXPECT_TRUE(old_slots.count(b)) << "slot not recycled";
+  }
+  EXPECT_EQ(pool.recycled(), 16u);
+  EXPECT_EQ(pool.slab_count(), slabs);
+  EXPECT_EQ(pool.total_created(), 32u);
+}
+
+TEST(Pool, DestructorRunsOnDestroy) {
+  struct Counted {
+    int* counter;
+    explicit Counted(int* c) : counter(c) {}
+    ~Counted() { ++*counter; }
+  };
+  int destroyed = 0;
+  Pool<Counted> pool(4);
+  Counted* a = pool.create(&destroyed);
+  Counted* b = pool.create(&destroyed);
+  pool.destroy(a);
+  EXPECT_EQ(destroyed, 1);
+  pool.destroy(b);
+  EXPECT_EQ(destroyed, 2);
+}
+
+#if SM_ASAN
+TEST(Pool, PoisonsFreedObjectsUnderAsan) {
+  Pool<Blob> pool(4);
+  Blob* b = pool.create(Blob{7, 8});
+  EXPECT_FALSE(__asan_address_is_poisoned(b));
+  pool.destroy(b);
+  // A use-after-destroy on a pooled object now faults exactly like a
+  // heap use-after-free.
+  EXPECT_TRUE(__asan_address_is_poisoned(b));
+  Blob* again = pool.create(Blob{9, 10});
+  EXPECT_FALSE(__asan_address_is_poisoned(again));
+  pool.destroy(again);
+}
+#endif
+
+TEST(Pool, OneInstancePerWorkerIsThreadClean) {
+  // The ownership rule: pools are thread-confined, one per campaign
+  // worker. Hammering a worker-local pool from run_jobs must be clean
+  // under TSan (there is no sharing to race on).
+  campaign::CampaignOptions options;
+  options.threads = 4;
+  std::vector<size_t> recycled(8, 0);
+  auto errors = campaign::run_jobs(
+      8,
+      [&](size_t index, int) {
+        Pool<Blob> pool(32);
+        std::vector<Blob*> live;
+        for (int round = 0; round < 50; ++round) {
+          for (int i = 0; i < 20; ++i) {
+            live.push_back(pool.create(Blob{index, uint64_t(i)}));
+          }
+          for (Blob* b : live) pool.destroy(b);
+          live.clear();
+        }
+        recycled[index] = pool.recycled();
+      },
+      options);
+  for (const auto& err : errors) EXPECT_TRUE(err.empty()) << err;
+  for (size_t r : recycled) EXPECT_GT(r, 0u);
+}
+
+}  // namespace
+}  // namespace sm::common

@@ -1,0 +1,188 @@
+// AS-topology generator properties: same-seed determinism, all-pairs
+// reachability across ASes, and equivalence of the compiled LPM route
+// table with the legacy first-match linear scan.
+#include "netsim/asgen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "netsim/host.hpp"
+#include "netsim/router.hpp"
+#include "netsim/topology.hpp"
+#include "packet/packet.hpp"
+
+namespace sm::netsim {
+namespace {
+
+using common::Cidr;
+using common::Duration;
+using common::Ipv4Address;
+
+AsGenConfig small_config(uint64_t seed = 0xA5) {
+  AsGenConfig config;
+  config.seed = seed;
+  config.as_count = 4;
+  config.transit_count = 2;
+  config.routers_per_as = 2;
+  config.subnets_per_router = 2;
+  config.hosts_per_subnet = 4;
+  config.extra_peering = 1;
+  return config;
+}
+
+TEST(AsGen, SameSeedIsByteIdentical) {
+  Network net_a;
+  Network net_b;
+  AsTopology a = AsTopology::generate(net_a, small_config());
+  AsTopology b = AsTopology::generate(net_b, small_config());
+  EXPECT_EQ(a.describe(), b.describe());
+  ASSERT_EQ(a.population(), b.population());
+  for (size_t i = 0; i < a.population(); ++i) {
+    EXPECT_EQ(a.hosts()[i]->address(), b.hosts()[i]->address());
+    EXPECT_EQ(a.hosts()[i]->name(), b.hosts()[i]->name());
+  }
+}
+
+TEST(AsGen, DifferentSeedsDiffer) {
+  Network net_a;
+  Network net_b;
+  AsTopology a = AsTopology::generate(net_a, small_config(1));
+  AsTopology b = AsTopology::generate(net_b, small_config(2));
+  EXPECT_NE(a.describe(), b.describe());
+}
+
+TEST(AsGen, BlocksAreDisjointAndCoverHosts) {
+  Network net;
+  AsTopology topo = AsTopology::generate(net, small_config());
+  const auto& ases = topo.ases();
+  for (size_t i = 0; i < ases.size(); ++i) {
+    for (size_t j = i + 1; j < ases.size(); ++j) {
+      EXPECT_FALSE(ases[i].block.contains(ases[j].block.network()));
+      EXPECT_FALSE(ases[j].block.contains(ases[i].block.network()));
+    }
+  }
+  for (size_t h = 0; h < topo.population(); ++h) {
+    size_t as = topo.as_of_host(h);
+    EXPECT_TRUE(ases[as].block.contains(topo.hosts()[h]->address()))
+        << "host " << h << " outside its AS block";
+    EXPECT_GE(h, ases[as].first_host);
+    EXPECT_LT(h, ases[as].first_host + ases[as].host_count);
+  }
+}
+
+TEST(AsGen, EveryHostReachableFromEveryAs) {
+  Network net;
+  AsTopology topo = AsTopology::generate(net, small_config());
+  ASSERT_EQ(topo.population(), 4u * 2u * 2u * 4u);
+
+  // One representative sender per AS sprays a UDP datagram at every other
+  // host; every datagram must arrive. This exercises edge /32s, backbone
+  // default routes, per-router aggregates, and inter-AS BFS routes.
+  std::vector<uint64_t> before(topo.population());
+  for (size_t h = 0; h < topo.population(); ++h) {
+    before[h] = topo.hosts()[h]->packets_received();
+  }
+  size_t sent = 0;
+  for (const AsInfo& as : topo.ases()) {
+    Host* sender = topo.hosts()[as.first_host];
+    for (size_t h = 0; h < topo.population(); ++h) {
+      Host* dst = topo.hosts()[h];
+      if (dst == sender) continue;
+      sender->send(packet::make_tcp(sender->address(), dst->address(), 40000,
+                                    9, 0x02, 1, 0));
+      ++sent;
+    }
+  }
+  net.run_for(Duration::seconds(2));
+  uint64_t delivered = 0;
+  for (size_t h = 0; h < topo.population(); ++h) {
+    delivered += topo.hosts()[h]->packets_received() - before[h];
+  }
+  EXPECT_EQ(delivered, sent);
+}
+
+// Legacy route semantics the compiled table must reproduce: stable sort
+// by descending prefix length, first containing match wins (so among
+// equal-length prefixes, the earliest-inserted wins).
+int reference_lookup(const std::vector<std::pair<Cidr, int>>& routes,
+                     Ipv4Address dst, int default_port) {
+  int best_len = -1;
+  int best_port = default_port;
+  for (const auto& [prefix, port] : routes) {
+    if (!prefix.contains(dst)) continue;
+    if (static_cast<int>(prefix.prefix_len()) > best_len) {
+      best_len = prefix.prefix_len();
+      best_port = port;
+    }
+  }
+  return best_port;
+}
+
+TEST(AsGen, CompiledLpmMatchesLinearScanOnRandomRouteSets) {
+  common::Rng rng(0x10F);
+  for (int trial = 0; trial < 20; ++trial) {
+    Network net;
+    Router* router = net.add_router("r");
+    std::vector<std::pair<Cidr, int>> routes;
+    size_t n_routes = 1 + rng.bounded(40);
+    for (size_t i = 0; i < n_routes; ++i) {
+      uint8_t len = static_cast<uint8_t>(rng.bounded(33));
+      Ipv4Address base(static_cast<uint32_t>(rng.next()));
+      Cidr prefix(base, len);
+      int port = static_cast<int>(rng.bounded(8));
+      routes.emplace_back(prefix, port);
+      router->add_route(prefix, port);
+    }
+    int default_port = rng.chance(0.5) ? -1 : 7;
+    router->set_default_route(default_port);
+
+    for (int probe = 0; probe < 2000; ++probe) {
+      Ipv4Address dst(static_cast<uint32_t>(rng.next()));
+      ASSERT_EQ(router->route_lookup(dst),
+                reference_lookup(routes, dst, default_port))
+          << "trial " << trial << " dst " << dst.to_string();
+    }
+    // Boundary probes: prefix edges are where interval-paint bugs live.
+    for (const auto& [prefix, port] : routes) {
+      (void)port;
+      Ipv4Address lo = prefix.network();
+      Ipv4Address hi(static_cast<uint32_t>(prefix.network().value() +
+                                           prefix.size() - 1));
+      for (Ipv4Address dst : {lo, hi}) {
+        ASSERT_EQ(router->route_lookup(dst),
+                  reference_lookup(routes, dst, default_port));
+      }
+    }
+  }
+}
+
+TEST(AsGen, RouteMutationAfterLookupRecompiles) {
+  Network net;
+  Router* router = net.add_router("r");
+  router->add_route(Cidr(Ipv4Address(10, 0, 0, 0), 8), 1);
+  EXPECT_EQ(router->route_lookup(Ipv4Address(10, 1, 2, 3)), 1);
+  // add_route after a lookup must invalidate the compiled table.
+  router->add_route(Cidr(Ipv4Address(10, 1, 0, 0), 16), 2);
+  EXPECT_EQ(router->route_lookup(Ipv4Address(10, 1, 2, 3)), 2);
+  EXPECT_EQ(router->route_lookup(Ipv4Address(10, 2, 2, 3)), 1);
+}
+
+TEST(AsGen, BordersAndLinksAreConsistent) {
+  Network net;
+  AsTopology topo = AsTopology::generate(net, small_config());
+  EXPECT_FALSE(topo.as_links().empty());
+  for (auto [x, y] : topo.as_links()) {
+    EXPECT_LT(x, y);
+    EXPECT_LT(y, topo.ases().size());
+  }
+  for (size_t i = 0; i < topo.ases().size(); ++i) {
+    EXPECT_EQ(topo.border(i), topo.ases()[i].routers.front());
+    EXPECT_EQ(topo.ases()[i].routers.size(),
+              topo.config().routers_per_as);
+  }
+}
+
+}  // namespace
+}  // namespace sm::netsim

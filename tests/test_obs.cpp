@@ -5,9 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <iterator>
 #include <limits>
+#include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -18,9 +21,11 @@
 #include "core/scan.hpp"
 #include "core/top_ports.hpp"
 #include "netsim/engine.hpp"
+#include "netsim/topology.hpp"
 #include "netsim/trace.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "surveillance/mvr.hpp"
 
 namespace sm {
 namespace {
@@ -583,6 +588,129 @@ TEST(ObservedCampaign, EnablingObservabilityChangesNoBehaviour) {
   // And the disabled side exported nothing.
   EXPECT_EQ(tb_off.metrics_json(), "{\"metrics\":[]}");
   EXPECT_EQ(tb_off.tracer().size(), 0u);
+}
+
+// --- Surveillance export goldens --------------------------------------
+//
+// The map→open-addressing swap in src/surveillance must not move a byte
+// of any export surface. These fixtures were generated while the hot
+// paths still used std::map and are the regression proof: MVR metrics
+// (JSON + Prometheus) and the flow-record JSONL ledger from a fixed
+// seeded scenario must stay byte-identical. Regenerate only for an
+// *intentional* format change: UPDATE_GOLDEN=1 ./build/tests/test_obs
+
+std::string obs_golden_path(const std::string& name) {
+  return std::string(SM_TEST_DIR) + "/golden/" + name;
+}
+
+void obs_check_golden(const std::string& name, const std::string& actual) {
+  const std::string path = obs_golden_path(name);
+  if (std::getenv("UPDATE_GOLDEN")) {
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << actual;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing fixture " << path
+                  << " (run with UPDATE_GOLDEN=1 to create it)";
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), actual)
+      << "surveillance export drifted from " << path
+      << "; container iteration order must never reach an output — if the "
+         "format change is intentional, regenerate with UPDATE_GOLDEN=1";
+}
+
+/// A fixed scenario that pushes traffic through every classifier bucket
+/// and alert path: web (some touching censored content), an overt
+/// measurement probe, DNS, spam, p2p, and a port scanner — from several
+/// sources so the per-user ledgers and flow table hold many keys, with
+/// an idle gap mid-run so flush_idle emits a batch before flush_all.
+std::unique_ptr<surveillance::MvrTap> run_surveillance_scenario(
+    netsim::Network& net) {
+  using common::Ipv4Address;
+  using packet::TcpFlags;
+  auto* router = net.add_router("r");
+  surveillance::MvrConfig cfg;
+  cfg.content_retention_fraction = 0.075;
+  auto mvr = std::make_unique<surveillance::MvrTap>(cfg);
+  router->add_tap(mvr.get());
+
+  auto* server = net.add_host("srv", Ipv4Address(198, 18, 0, 80));
+  net.connect(server, router);
+  std::vector<netsim::Host*> users;
+  for (int i = 0; i < 6; ++i) {
+    users.push_back(net.add_host("u" + std::to_string(i),
+                                 Ipv4Address(10, 1, 0, 10 + i)));
+    net.connect(users.back(), router);
+  }
+
+  // Web chatter from every user; u1 and u4 touch censored content
+  // (policy-violation), u2 runs an overt measurement probe.
+  for (int i = 0; i < 6; ++i) {
+    std::string payload = "GET /news HTTP/1.1\r\nHost: example\r\n";
+    if (i == 1 || i == 4) payload = "GET /falun HTTP/1.1\r\nHost: x\r\n";
+    if (i == 2)
+      payload = "GET / HTTP/1.1\r\nUser-Agent: OONI-Probe/3.0\r\n";
+    users[i]->send(packet::make_tcp(
+        users[i]->address(), server->address(),
+        static_cast<uint16_t>(30000 + i), 80, TcpFlags::kAck, 1, 1,
+        common::to_bytes(payload)));
+  }
+  // DNS from u0, spam from u3 (noise alert), p2p from u5 (discarded).
+  users[0]->send_udp(server->address(), 5353, 53,
+                     common::to_bytes("\x01\x02query"));
+  users[3]->send(packet::make_tcp(
+      users[3]->address(), server->address(), 2525, 25, TcpFlags::kAck, 1,
+      1, common::to_bytes("MAIL FROM:<spam@bulk.example>\r\n")));
+  for (int i = 0; i < 3; ++i) {
+    users[5]->send_udp(server->address(), 6881, 6881,
+                       common::to_bytes("d1:ad2:id20:aabbccddeeff00112233"));
+  }
+  // u4 also scans: SYNs to 30 distinct ports.
+  for (int p = 0; p < 30; ++p) {
+    users[4]->send(packet::make_tcp(users[4]->address(), server->address(),
+                                    41000, static_cast<uint16_t>(1000 + p),
+                                    TcpFlags::kSyn, 0, 0));
+  }
+  net.run_for(Duration::seconds(1));
+
+  // Idle past the flow timeout, then a second wave so flush_idle runs
+  // with the first wave's flows expired.
+  for (int i = 0; i < 3; ++i) {
+    users[i]->send(packet::make_tcp(
+        users[i]->address(), server->address(),
+        static_cast<uint16_t>(30100 + i), 443, TcpFlags::kAck, 1, 1,
+        common::to_bytes("wave2")));
+  }
+  net.run_for(Duration::seconds(90));
+  for (int i = 0; i < 3; ++i) {
+    users[i]->send(packet::make_tcp(
+        users[i]->address(), server->address(),
+        static_cast<uint16_t>(30200 + i), 443, TcpFlags::kAck, 1, 1,
+        common::to_bytes("wave3")));
+  }
+  net.run_for(Duration::seconds(1));
+  mvr->flow_records().flush_all();
+  return mvr;
+}
+
+TEST(SurveillanceGolden, MvrMetricsJsonAndPrometheus) {
+  netsim::Network net;
+  auto mvr = run_surveillance_scenario(net);
+  obs::Registry registry;
+  mvr->export_metrics(registry);
+  obs_check_golden("mvr_metrics.json", registry.to_json());
+  obs_check_golden("mvr_metrics.prom", registry.to_prometheus());
+}
+
+TEST(SurveillanceGolden, FlowRecordLedgerJsonl) {
+  netsim::Network net;
+  auto mvr = run_surveillance_scenario(net);
+  const auto& flows = mvr->flow_records();
+  EXPECT_GT(flows.finished().size(), 10u);
+  obs_check_golden("mvr_flows.jsonl", flows.finished_jsonl());
 }
 
 TEST(ObservedCampaign, JsonlCarriesMetricsBlock) {

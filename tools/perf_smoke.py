@@ -1,10 +1,10 @@
 #!/usr/bin/env python3
 """Perf-smoke regression gate: fresh bench JSON vs checked-in baseline.
 
-ci.sh's perf stage reruns bench_event_core and bench_ids_fastpath in
-reduced (--smoke) configuration and compares against the committed
-BENCH_*.json baselines. A metric that drops below ``min-ratio``
-(default 0.8, i.e. a >20% regression) fails the gate.
+ci.sh's perf stage reruns bench_event_core, bench_ids_fastpath, and
+bench_population in reduced (--smoke) configuration and compares
+against the committed BENCH_*.json baselines. A metric that drops below
+``min-ratio`` (default 0.8, i.e. a >20% regression) fails the gate.
 
 Absolute events/sec on shared CI hardware confounds machine load with
 code regressions (a throttled container slows the reference heap and
@@ -96,6 +96,25 @@ def gate_event_core(gate, base, fresh, prov_overhead_max=None):
         gate.min_ratio = saved
 
 
+def gate_population(gate, base, fresh):
+    """Population bench: the attribution contrasts are deterministic at a
+    given scale, so they gate tightly; absolute hop pps is left to the
+    bench's own (scale-appropriate) exit-code gate."""
+    att_b = base.get("attribution", {})
+    att_f = fresh.get("attribution", {})
+    gate.require("overt_rate == 1.0", att_f.get("overt_rate") == 1.0)
+    gate.require("mimicry_rate == 0.0", att_f.get("mimicry_rate") == 0.0)
+    for field in ("p2p_byte_share", "discard_share", "retained_fraction",
+                  "censored_user_fraction"):
+        if field in att_b and field in att_f:
+            gate.compare(field, att_b[field], att_f[field])
+    det = fresh.get("determinism", {})
+    gate.require("j1_vs_j4_identical",
+                 det.get("j1_vs_j4_identical") is True)
+    gate.require("repeats_identical", det.get("repeats_identical") is True)
+    gate.require("pass flag", fresh.get("pass") is True)
+
+
 def gate_ids_fastpath(gate, base, fresh):
     base_rows = {r["rules"]: r for r in base.get("results", [])}
     for row in fresh.get("results", []):
@@ -136,6 +155,8 @@ def main():
         gate_event_core(gate, base, fresh, args.prov_overhead_max)
     elif kind == "ids_fastpath":
         gate_ids_fastpath(gate, base, fresh)
+    elif kind == "population":
+        gate_population(gate, base, fresh)
     else:
         print(f"unknown bench kind {kind!r}", file=sys.stderr)
         return 2
