@@ -2,16 +2,20 @@
 // (5 censor configs x 8 techniques = 40 independent trials) at 1/2/4/8
 // worker threads, plus the headline correctness property: the campaign
 // report (to_jsonl, including the merged metrics snapshot) is
-// byte-identical at every thread count and in both shard modes.
+// byte-identical at every thread count, in both shard modes, and under
+// BOTH backends — the in-process thread pool and the forked
+// process-shard workers (the sm-campaignd substrate).
 //
 // Emits a human-readable table on stdout and a JSON report (default
 // BENCH_campaign.json, or argv[1]). Every run records the machine's
-// hardware concurrency, and speedup_Nx fields are only emitted when the
-// machine actually has >= N cores — an oversubscribed run still checks
-// determinism, but its "speedup" is scheduling noise, not scaling data,
-// and is skipped with a note instead. bench/run_benches.sh gates on
-// speedup_4x when the machine has >=4 cores, guarding against
-// accidental serialization through a global lock.
+// hardware concurrency, and speedup_Nx / proc_speedup_Nx fields are
+// only emitted when the machine actually has >= N cores — an
+// oversubscribed run still checks determinism, but its "speedup" is
+// scheduling noise, not scaling data, and is skipped with a note
+// instead. bench/run_benches.sh gates on speedup_4x and proc_speedup_4x
+// when the machine has >=4 cores, guarding against accidental
+// serialization through a global lock (threads) or the controller pipe
+// (processes).
 //
 // Exit code: 0 only if every run produced identical bytes.
 #include <chrono>
@@ -39,16 +43,19 @@ std::vector<campaign::Trial> workload() {
 struct Timed {
   size_t threads = 0;
   campaign::Shard shard = campaign::Shard::ByIndex;
+  campaign::Backend backend = campaign::Backend::Thread;
   double seconds = 0.0;
   double trials_per_sec = 0.0;
   std::string jsonl;
 };
 
 Timed time_run(const std::vector<campaign::Trial>& trials, size_t threads,
-               campaign::Shard shard) {
+               campaign::Shard shard,
+               campaign::Backend backend = campaign::Backend::Thread) {
   campaign::CampaignOptions options;
   options.threads = threads;
   options.shard = shard;
+  options.backend = backend;
   auto start = std::chrono::steady_clock::now();
   campaign::CampaignResult result = campaign::run(trials, options);
   std::chrono::duration<double> elapsed =
@@ -56,6 +63,7 @@ Timed time_run(const std::vector<campaign::Trial>& trials, size_t threads,
   Timed out;
   out.threads = threads;
   out.shard = shard;
+  out.backend = backend;
   out.seconds = elapsed.count();
   out.trials_per_sec = static_cast<double>(trials.size()) / elapsed.count();
   out.jsonl = result.to_jsonl();
@@ -90,6 +98,19 @@ int main(int argc, char** argv) {
   runs.push_back(time_run(trials, 4, campaign::Shard::Dynamic));
   std::printf("  -j4 (dynamic) : %7.3f s  %7.1f trials/s\n",
               runs.back().seconds, runs.back().trials_per_sec);
+  // Process-shard backend (forked workers over pipes): the crash-safe
+  // substrate must both scale and produce the same bytes.
+  size_t first_proc = runs.size();
+  for (size_t threads : {1, 4}) {
+    runs.push_back(time_run(trials, threads, campaign::Shard::ByIndex,
+                            campaign::Backend::Process));
+    std::printf("  -j%zu (process) : %7.3f s  %7.1f trials/s\n", threads,
+                runs.back().seconds, runs.back().trials_per_sec);
+  }
+  runs.push_back(time_run(trials, 4, campaign::Shard::Dynamic,
+                          campaign::Backend::Process));
+  std::printf("  -j4 (proc/dyn): %7.3f s  %7.1f trials/s\n",
+              runs.back().seconds, runs.back().trials_per_sec);
 
   bool deterministic = true;
   for (const Timed& r : runs) {
@@ -118,8 +139,29 @@ int main(int argc, char** argv) {
                   threads, hw);
     }
   }
-  std::printf("deterministic (byte-identical reports across -j and shard "
-              "modes): %s\n",
+  // Process-backend speedup vs the same -j1 thread baseline: a healthy
+  // controller keeps the pipe protocol off the critical path.
+  {
+    const Timed& proc4 = runs[first_proc + 1];
+    char buf[96];
+    if (proc4.threads <= hw) {
+      double speedup = proc4.trials_per_sec / base;
+      std::snprintf(buf, sizeof buf, "\"proc_speedup_4x\":%.3f,", speedup);
+      speedup_fields += buf;
+      std::printf("process-shard speedup vs -j1 at -j4: %.2f\n", speedup);
+    } else {
+      std::snprintf(buf, sizeof buf,
+                    "%s\"proc -j4: only %zu core(s), speedup not "
+                    "comparable\"",
+                    skipped_notes.empty() ? "" : ",", hw);
+      skipped_notes += buf;
+      std::printf("process-shard speedup at -j4: skipped (only %zu hardware "
+                  "core(s); determinism still checked)\n",
+                  hw);
+    }
+  }
+  std::printf("deterministic (byte-identical reports across -j, shard "
+              "modes, and backends): %s\n",
               deterministic ? "PASS" : "FAIL");
 
   FILE* f = std::fopen(out_path, "w");
@@ -133,11 +175,13 @@ int main(int argc, char** argv) {
     for (size_t i = 0; i < runs.size(); ++i) {
       std::fprintf(f,
                    "%s{\"threads\":%zu,\"hw_concurrency\":%zu,"
-                   "\"shard\":\"%s\",\"seconds\":%.4f,"
+                   "\"shard\":\"%s\",\"backend\":\"%s\",\"seconds\":%.4f,"
                    "\"trials_per_sec\":%.2f,\"scaling_valid\":%s}",
                    i ? "," : "", runs[i].threads, hw,
                    runs[i].shard == campaign::Shard::ByIndex ? "by-index"
                                                              : "dynamic",
+                   runs[i].backend == campaign::Backend::Thread ? "thread"
+                                                                : "process",
                    runs[i].seconds, runs[i].trials_per_sec,
                    runs[i].threads <= hw ? "true" : "false");
     }

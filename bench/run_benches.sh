@@ -13,8 +13,10 @@
 #     which gets wrapped as {"bench","exit_code","output"} via jq.
 #
 # On a ≥4-core machine the campaign-scaling numbers are gated: -j4 must
-# be ≥2.0x over -j1, so an accidental global lock that serializes the
-# worker pool fails the bench run instead of silently landing.
+# be ≥2.0x over -j1 for BOTH backends (thread pool and forked process
+# shards), so an accidental global lock that serializes the worker pool
+# — or a controller pipe bottleneck — fails the bench run instead of
+# silently landing.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -86,8 +88,19 @@ for exe in "$BUILD"/bench/bench_*; do
       else
         echo "    ($(jq -r '.speedup_skipped | join("; ")' "$out"))"
       fi
+      # Same floor for the process-shard backend (the sm-campaignd
+      # substrate): forked workers must actually run in parallel, not
+      # serialize through the controller pipe.
+      if jq -e 'has("proc_speedup_4x")' "$out" > /dev/null; then
+        proc_speedup="$(jq -r '.proc_speedup_4x' "$out")"
+        if ! jq -e '.proc_speedup_4x >= 2.0' "$out" > /dev/null; then
+          echo "!!! campaign process-shard -j4 speedup ${proc_speedup}x" \
+               "< 2.0x on a $(nproc)-core machine: shards serialized" >&2
+          failures=$((failures + 1))
+        fi
+      fi
       if ! jq -e '.deterministic == true' "$out" > /dev/null; then
-        echo "!!! campaign reports differ across thread counts" >&2
+        echo "!!! campaign reports differ across -j/shard/backend" >&2
         failures=$((failures + 1))
       fi
       ;;

@@ -20,7 +20,13 @@
 #      population bench's attribution contrasts fails CI,
 #      and the provenance-disabled pipeline path gets a dedicated
 #      tighter overhead gate (see --prov-overhead-max);
-#   6. tier-1 verify: the plain default build + ctest, exactly the
+#   6. resume: the crash-safety gate — the resume-labeled checkpoint/
+#      campaign tests under ASan/UBSan, then tools/crash_harness.py
+#      kill -9s a Release 10k-trial sm-campaignd campaign at >= 20
+#      seeded random points (workers, whole process group, and planned
+#      mid-checkpoint-write faults) and requires the resumed output to
+#      be byte-identical to an uninterrupted run;
+#   7. tier-1 verify: the plain default build + ctest, exactly the
 #      commands ROADMAP.md promises stay green.
 #
 #   ./ci.sh            # all stages
@@ -29,7 +35,8 @@
 #   ./ci.sh simcheck   # stage 3 only
 #   ./ci.sh coverage   # stage 4 only
 #   ./ci.sh perf       # stage 5 only
-#   ./ci.sh tier1      # stage 6 only
+#   ./ci.sh resume     # stage 6 only
+#   ./ci.sh tier1      # stage 7 only
 #   ./ci.sh obs        # observability-labeled tests only (fast focus
 #                      # loop for metrics/trace/provenance work)
 set -euo pipefail
@@ -60,9 +67,12 @@ if [ "$STAGE" = "all" ] || [ "$STAGE" = "tsan" ]; then
   # is timing-sensitive enough to deserve every sanitizer we have.
   # Provenance rides along: the campaign carries per-trial graph exports
   # across worker threads and byte-compares them, a racy-merge magnet.
+  # CampaignResume/Checkpoint: the checkpoint writer is shared by the
+  # whole worker pool behind one mutex — exactly the kind of surface
+  # TSan exists for.
   ctest --test-dir "$ROOT/build-tsan" --output-on-failure -j "$(nproc)" \
         --schedule-random \
-        -R '(Campaign|Logging|Merge|PacketFuzz|TimerWheel|PacketView|Provenance)'
+        -R '(Campaign|CampaignResume|Checkpoint|Logging|Merge|PacketFuzz|TimerWheel|PacketView|Provenance)'
 fi
 
 if [ "$STAGE" = "all" ] || [ "$STAGE" = "simcheck" ]; then
@@ -108,7 +118,8 @@ if [ "$STAGE" = "all" ] || [ "$STAGE" = "perf" ]; then
   echo "=== stage 5: perf smoke (Release, vs checked-in baselines) ==="
   cmake -B "$ROOT/build-release" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
   cmake --build "$ROOT/build-release" -j \
-        --target bench_event_core bench_ids_fastpath bench_population
+        --target bench_event_core bench_ids_fastpath bench_population \
+        bench_campaign_scaling
   # Shared runners throttle unpredictably; one bad measurement window
   # shouldn't fail the build. A failed gate gets one fresh re-run of the
   # bench before it counts as a regression.
@@ -139,10 +150,41 @@ if [ "$STAGE" = "all" ] || [ "$STAGE" = "perf" ]; then
   # attribution/anchor contrasts vs the checked-in full-scale baseline.
   perf_gate "$ROOT/build-release/bench/bench_population" \
             "$ROOT/BENCH_population.json" /tmp/smoke-population.json
+  # Campaign scaling: byte-determinism across -j/shard/backend always;
+  # the >=2x @ -j4 floors (thread pool AND process shards) gate
+  # themselves by field presence, so they engage exactly when this
+  # machine has >=4 cores and skip cleanly on smaller runners.
+  perf_gate "$ROOT/build-release/bench/bench_campaign_scaling" \
+            "$ROOT/BENCH_campaign.json" /tmp/smoke-campaign.json
+fi
+
+if [ "$STAGE" = "all" ] || [ "$STAGE" = "resume" ]; then
+  echo "=== stage 6: crash-safety (kill/resume fault injection) ==="
+  # 6a: the resume-labeled suites (checkpoint codec round-trips,
+  # truncation/corruption sweeps, library resume byte-identity,
+  # process-vs-thread differential determinism) under ASan/UBSan — the
+  # torn-tail and fork/pipe paths are exactly where lifetime bugs hide.
+  cmake -B "$ROOT/build-asan" -S "$ROOT" \
+        -DCMAKE_BUILD_TYPE=Debug -DSM_SANITIZE=ON
+  cmake --build "$ROOT/build-asan" -j --target test_checkpoint \
+        test_campaign_resume
+  ctest --test-dir "$ROOT/build-asan" --output-on-failure -j "$(nproc)" \
+        -L resume
+  # 6b: the end-to-end gate — kill -9 a Release 10k-trial supervised
+  # campaign at >= 20 seeded random points (worker kills, whole-group
+  # kills, and --fault-byte-budget crashes landing mid-checkpoint-write),
+  # resume each time by relaunching sm-campaignd, and byte-diff the
+  # final JSONL + metrics against an uninterrupted run. Bounded by the
+  # harness's --max-launches stuck detector; seeded for replayability.
+  cmake -B "$ROOT/build-release" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$ROOT/build-release" -j \
+        --target sm-campaignd sm-campaign-worker
+  python3 "$ROOT/tools/crash_harness.py" --build "$ROOT/build-release" \
+          --trials 10000 --jobs 4 --kills 20 --seed 1
 fi
 
 if [ "$STAGE" = "all" ] || [ "$STAGE" = "tier1" ]; then
-  echo "=== stage 6: tier-1 verify (default build) ==="
+  echo "=== stage 7: tier-1 verify (default build) ==="
   cmake -B "$ROOT/build" -S "$ROOT"
   cmake --build "$ROOT/build" -j
   ctest --test-dir "$ROOT/build" --output-on-failure -j "$(nproc)" \

@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "campaign/checkpoint.hpp"
+#include "campaign/procshard.hpp"
 #include "common/logging.hpp"
 #include "common/rng.hpp"
 #include "common/strings.hpp"
@@ -68,82 +70,63 @@ std::vector<std::string> run_jobs(
   return errors;
 }
 
-CampaignResult run(const std::vector<Trial>& trials,
-                   const CampaignOptions& options) {
-  CampaignResult result;
-  result.trials.resize(trials.size());
-  // Per-trial registries filled by the workers (each slot touched by
-  // exactly one worker), merged in index order after the join.
-  std::vector<std::unique_ptr<obs::Registry>> snapshots(trials.size());
-
-  std::mutex progress_mu;
-  std::atomic<size_t> completed{0};
-
-  auto job = [&](size_t i, int worker) {
-    const Trial& trial = trials[i];
-    TrialResult& slot = result.trials[i];
-    slot.index = i;
-    slot.name = trial.name;
-    slot.worker = worker;
-    using clock = std::chrono::steady_clock;
-    auto since = [](clock::time_point a, clock::time_point b) {
-      return common::Duration::nanos(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(b - a)
-              .count());
-    };
-    auto wall_start = clock::now();
-    try {
-      core::TestbedConfig config = trial.config;
-      if (options.derive_seeds) {
-        config.sav_seed = trial_seed(options.campaign_seed, i, 0);
-        config.mvr.sampling_seed = trial_seed(options.campaign_seed, i, 1);
-        config.netsim_seed = trial_seed(options.campaign_seed, i, 2);
-      }
-      core::Testbed tb(config);
-      auto probe = trial.factory ? trial.factory(tb) : nullptr;
-      if (!probe) throw std::invalid_argument("probe factory returned null");
-      auto setup_done = clock::now();
-      slot.wall_setup = since(wall_start, setup_done);
-      slot.report = core::run_probe(tb, *probe, trial.probe_timeout);
-      tb.run_for(trial.drain);
-      auto run_done = clock::now();
-      slot.wall_run = since(setup_done, run_done);
-      slot.risk = core::assess_risk(tb, trial.name);
-      slot.sim_elapsed = tb.net.engine().now() - common::SimTime{};
-      if (config.enable_observability) {
-        auto reg = std::make_unique<obs::Registry>();
-        reg->merge(tb.metrics_snapshot());
-        snapshots[i] = std::move(reg);
-      }
-      if (config.enable_provenance)
-        slot.provenance_json = tb.provenance_json();
-      slot.wall_finish = since(run_done, clock::now());
-    } catch (const std::exception& e) {
-      slot.failed = true;
-      slot.error = e.what()[0] ? e.what() : "exception";
-      common::log_warn("campaign", "trial " + std::to_string(i) + " (" +
-                                       trial.name + ") failed: " + slot.error);
-    } catch (...) {
-      slot.failed = true;
-      slot.error = "unknown exception";
-    }
-    slot.wall_elapsed = since(wall_start, clock::now());
-    size_t done = completed.fetch_add(1, std::memory_order_relaxed) + 1;
-    if (options.on_progress) {
-      Progress p;
-      p.completed = done;
-      p.total = trials.size();
-      p.trial = i;
-      p.worker = worker;
-      p.failed = slot.failed;
-      p.wall = slot.wall_elapsed;
-      std::lock_guard<std::mutex> lock(progress_mu);
-      options.on_progress(p);
-    }
+void execute_trial(const Trial& trial, size_t index,
+                   const CampaignOptions& options, TrialResult& slot,
+                   std::unique_ptr<obs::Registry>* snapshot) {
+  slot.index = index;
+  slot.name = trial.name;
+  using clock = std::chrono::steady_clock;
+  auto since = [](clock::time_point a, clock::time_point b) {
+    return common::Duration::nanos(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
   };
-  run_jobs(trials.size(), job, options);
+  auto wall_start = clock::now();
+  try {
+    core::TestbedConfig config = trial.config;
+    if (options.derive_seeds) {
+      config.sav_seed = trial_seed(options.campaign_seed, index, 0);
+      config.mvr.sampling_seed = trial_seed(options.campaign_seed, index, 1);
+      config.netsim_seed = trial_seed(options.campaign_seed, index, 2);
+    }
+    core::Testbed tb(config);
+    auto probe = trial.factory ? trial.factory(tb) : nullptr;
+    if (!probe) throw std::invalid_argument("probe factory returned null");
+    auto setup_done = clock::now();
+    slot.wall_setup = since(wall_start, setup_done);
+    slot.report = core::run_probe(tb, *probe, trial.probe_timeout);
+    tb.run_for(trial.drain);
+    auto run_done = clock::now();
+    slot.wall_run = since(setup_done, run_done);
+    slot.risk = core::assess_risk(tb, trial.name);
+    slot.sim_elapsed = tb.net.engine().now() - common::SimTime{};
+    if (config.enable_observability && snapshot != nullptr) {
+      auto reg = std::make_unique<obs::Registry>();
+      reg->merge(tb.metrics_snapshot());
+      *snapshot = std::move(reg);
+    }
+    if (config.enable_provenance)
+      slot.provenance_json = tb.provenance_json();
+    slot.wall_finish = since(run_done, clock::now());
+  } catch (const std::exception& e) {
+    slot.failed = true;
+    slot.error = e.what()[0] ? e.what() : "exception";
+    common::log_warn("campaign", "trial " + std::to_string(index) + " (" +
+                                     trial.name + ") failed: " + slot.error);
+  } catch (...) {
+    slot.failed = true;
+    slot.error = "unknown exception";
+  }
+  slot.wall_elapsed = since(wall_start, clock::now());
+}
 
-  // Deterministic merge, caller's thread, trial-index order.
+void finalize_campaign(
+    CampaignResult& result,
+    const std::vector<std::unique_ptr<obs::Registry>>& snapshots,
+    const CampaignOptions& options) {
+  // Deterministic merge, caller's thread, trial-index order. Everything
+  // folded into `metrics` is a pure function of the trials' deterministic
+  // content, so the output is byte-identical no matter which backend ran
+  // them or how many were restored from a checkpoint.
   result.metrics = std::make_unique<obs::Registry>();
   auto* trials_total = result.metrics->counter(
       "sm_campaign_trials_total", {}, "trials executed by the campaign runner");
@@ -153,6 +136,7 @@ CampaignResult run(const std::vector<Trial>& trials,
   auto* sim_seconds = result.metrics->histogram(
       "sm_campaign_trial_sim_seconds", 0.0, 120.0, 24, {},
       "virtual time consumed per trial");
+  result.failures = 0;
   for (const TrialResult& t : result.trials) {
     trials_total->inc();
     if (t.failed) {
@@ -172,16 +156,25 @@ CampaignResult run(const std::vector<Trial>& trials,
   }
 
   // Campaign-health telemetry: wall-clock, per-worker, per-phase — kept
-  // in its own registry because wall time is nondeterministic.
+  // in its own registry because wall time is nondeterministic. Trials
+  // restored from a checkpoint did not run here, so they contribute
+  // nothing beyond the resumed counter.
   result.telemetry = std::make_unique<obs::Registry>();
+  result.telemetry
+      ->counter("sm_campaign_trials_resumed_total", {},
+                "trials restored from a checkpoint instead of executed")
+      ->inc(result.resumed);
   auto* wall_hist = result.telemetry->histogram(
       "sm_campaign_trial_wall_seconds", 0.0, 10.0, 20, {},
       "host time consumed per trial");
   std::vector<double> walls;
+  std::vector<size_t> wall_index;
   walls.reserve(result.trials.size());
   for (const TrialResult& t : result.trials) {
+    if (t.resumed) continue;
     wall_hist->observe(t.wall_elapsed.to_seconds());
     walls.push_back(t.wall_elapsed.to_seconds());
+    wall_index.push_back(t.index);
     obs::Labels worker_label = {{"worker", std::to_string(t.worker)}};
     result.telemetry
         ->counter("sm_campaign_worker_trials_total", worker_label,
@@ -209,6 +202,7 @@ CampaignResult run(const std::vector<Trial>& trials,
   // Slow-trial detection: wall time against the campaign median. A trial
   // k x slower than its peers is a stall candidate (livelocked probe,
   // pathological topology) that sim time alone cannot reveal.
+  result.slow_trials.clear();
   if (options.slow_trial_factor > 0 && walls.size() >= 2) {
     std::vector<double> sorted = walls;
     std::sort(sorted.begin(), sorted.end());
@@ -216,7 +210,7 @@ CampaignResult run(const std::vector<Trial>& trials,
     if (median > 0) {
       for (size_t i = 0; i < walls.size(); ++i)
         if (walls[i] > options.slow_trial_factor * median)
-          result.slow_trials.push_back(i);
+          result.slow_trials.push_back(wall_index[i]);
     }
   }
   result.telemetry
@@ -225,6 +219,73 @@ CampaignResult run(const std::vector<Trial>& trials,
                 common::format("%g", options.slow_trial_factor)}},
               "trials slower than factor x median wall time")
       ->set(static_cast<double>(result.slow_trials.size()));
+}
+
+CampaignResult run(const std::vector<Trial>& trials,
+                   const CampaignOptions& options) {
+  CampaignResult result;
+  result.trials.resize(trials.size());
+  // Per-trial registries filled by the workers (each slot touched by
+  // exactly one worker), merged in index order after the join.
+  std::vector<std::unique_ptr<obs::Registry>> snapshots(trials.size());
+
+  // Crash recovery: restore every whole, checksum-valid trial record from
+  // the checkpoint, then execute only what is missing. The append handle
+  // truncates any torn tail, so a crash mid-record-write replays that
+  // trial instead of merging half a record.
+  CheckpointFile ckpt;
+  const bool checkpointing = !options.checkpoint_path.empty();
+  if (checkpointing) {
+    CheckpointState state = load_checkpoint(options.checkpoint_path);
+    CheckpointMeta meta = checkpoint_meta(trials, options);
+    for (auto& [index, decoded] : state.trials) {
+      if (index >= trials.size()) continue;  // meta mismatch; open() throws
+      result.trials[index] = std::move(decoded.result);
+      snapshots[index] = std::move(decoded.snapshot);
+      ++result.resumed;
+    }
+    ckpt.open(options.checkpoint_path, state, meta);
+  }
+
+  std::vector<size_t> pending;
+  pending.reserve(trials.size());
+  for (size_t i = 0; i < trials.size(); ++i)
+    if (!result.trials[i].resumed) pending.push_back(i);
+
+  std::mutex progress_mu;  // serializes checkpoint appends + on_progress
+  std::atomic<size_t> completed{result.resumed};
+
+  if (options.backend == Backend::Process) {
+    run_process_shards(trials, options, pending, result, snapshots,
+                       checkpointing ? &ckpt : nullptr, &completed);
+  } else if (!pending.empty()) {
+    auto job = [&](size_t p, int worker) {
+      size_t i = pending[p];
+      TrialResult& slot = result.trials[i];
+      execute_trial(trials[i], i, options, slot, &snapshots[i]);
+      slot.worker = worker;
+      size_t done = completed.fetch_add(1, std::memory_order_relaxed) + 1;
+      std::lock_guard<std::mutex> lock(progress_mu);
+      if (checkpointing && !ckpt.append(slot, snapshots[i].get())) {
+        common::log_warn("campaign", "checkpoint append failed: " +
+                                         ckpt.writer().error());
+      }
+      if (options.on_progress) {
+        Progress prog;
+        prog.completed = done;
+        prog.total = trials.size();
+        prog.trial = i;
+        prog.worker = worker;
+        prog.failed = slot.failed;
+        prog.wall = slot.wall_elapsed;
+        options.on_progress(prog);
+      }
+    };
+    run_jobs(pending.size(), job, options);
+  }
+  ckpt.close();
+
+  finalize_campaign(result, snapshots, options);
   return result;
 }
 

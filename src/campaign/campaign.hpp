@@ -66,6 +66,20 @@ enum class Shard {
   Dynamic,
 };
 
+/// What a worker is.
+enum class Backend {
+  /// In-process thread pool (the PR 3 runner).
+  Thread,
+  /// Forked worker processes fed over pipes: the controller forks one
+  /// child per worker, children stream framed trial records back over
+  /// their result pipe, and the controller merges in trial-index order —
+  /// the same byte-identical -j1/-jN contract as the thread pool, plus
+  /// isolation: a worker that dies (crash, kill -9, _exit) fails only
+  /// its own trials. ByIndex shares are static; Dynamic indices are fed
+  /// one at a time over a per-worker command pipe.
+  Process,
+};
+
 /// Heartbeat emitted after each trial finishes (any worker thread; the
 /// callback is serialized under a lock, so it may touch shared state).
 struct Progress {
@@ -82,6 +96,16 @@ struct CampaignOptions {
   /// Clamped to the trial count.
   size_t threads = 0;
   Shard shard = Shard::ByIndex;
+  Backend backend = Backend::Thread;
+  /// When non-empty, the campaign is crash-safe: every completed trial is
+  /// appended to this checkpoint file as it finishes (streaming, CRC-
+  /// guarded binary records — see campaign/checkpoint.hpp), and run()
+  /// first loads any existing checkpoint, re-using its records instead of
+  /// re-executing those trials. A run killed at any point — including
+  /// mid-record-write — resumes to byte-identical to_jsonl() output.
+  /// The file must belong to this exact campaign (seed, trial list);
+  /// run() throws std::runtime_error on a mismatched checkpoint.
+  std::string checkpoint_path;
   /// Root seed for the whole campaign; every trial's stochastic knobs
   /// (SAV model, MVR content sampling) are SplitMix64-derived from
   /// (campaign_seed, trial_index).
@@ -118,6 +142,10 @@ struct TrialResult {
   common::Duration wall_setup, wall_run, wall_finish;
   /// Worker that ran the trial (diagnostic; never serialized).
   int worker = -1;
+  /// True when this slot was filled from a checkpoint record (or decoded
+  /// from a process-shard worker's stream) rather than executed by this
+  /// run's pool. Wall-clock fields are zero then.
+  bool resumed = false;
   /// Deterministic causal-graph export, for trials whose config sets
   /// enable_provenance (serialized verbatim into the trial's JSONL row);
   /// empty otherwise.
@@ -132,6 +160,8 @@ struct CampaignResult {
   /// all folded in trial-index order.
   std::unique_ptr<obs::Registry> metrics;
   size_t failures = 0;
+  /// Trials restored from a checkpoint instead of executed this run.
+  size_t resumed = 0;
   /// Campaign-health telemetry: per-worker trial counts and busy time,
   /// wall-clock phase profile (setup/run/finish), trial wall-time
   /// distribution, slow-trial count. Kept OUT of `metrics` and never
@@ -177,5 +207,29 @@ std::vector<std::string> run_jobs(
 /// options.threads resolved against the hardware (0 -> hw concurrency,
 /// always ≥ 1).
 size_t resolve_threads(size_t requested);
+
+/// The single-trial body every backend runs: derives the trial's seed
+/// substreams, builds its private Testbed, runs probe + drain, assesses
+/// risk, and fills `slot` (index, name, report, risk, sim time, wall
+/// phase profile; failed/error when an exception escapes). When the
+/// trial's config enables observability, `*snapshot` receives the
+/// testbed's metrics registry. Exposed so the process-shard workers and
+/// sm-campaign-worker execute exactly what the thread pool executes —
+/// byte-identity across backends reduces to this being the same code.
+void execute_trial(const Trial& trial, size_t index,
+                   const CampaignOptions& options, TrialResult& slot,
+                   std::unique_ptr<obs::Registry>* snapshot);
+
+/// The deterministic merge every backend finishes with: builds
+/// result.metrics (sm_campaign_* series plus the per-trial snapshots,
+/// folded in trial-index order), counts failures, and derives the
+/// telemetry registry + slow-trial list from the wall clocks of the
+/// trials that actually ran this run. `snapshots` is indexed by trial
+/// (null = observability off for that trial). Exposed so sm-campaignd
+/// can finalize a campaign it reassembled from per-shard checkpoints.
+void finalize_campaign(
+    CampaignResult& result,
+    const std::vector<std::unique_ptr<obs::Registry>>& snapshots,
+    const CampaignOptions& options);
 
 }  // namespace sm::campaign

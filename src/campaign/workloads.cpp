@@ -1,0 +1,73 @@
+#include "campaign/workloads.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "censor/gfc.hpp"
+#include "common/strings.hpp"
+#include "core/overt.hpp"
+
+namespace sm::campaign {
+
+namespace {
+
+std::vector<Trial> synthetic(size_t count) {
+  core::TestbedConfig rst;
+  rst.policy = censor::gfc_profile();
+  rst.policy.dns_forgeries.clear();
+  rst.neighbor_count = 2;
+
+  core::TestbedConfig dns;
+  dns.policy = censor::gfc_profile();
+  dns.policy.rst_keywords.clear();
+  dns.neighbor_count = 2;
+
+  auto http_factory = [](core::Testbed& tb) {
+    return std::make_unique<core::OvertHttpProbe>(
+        tb, core::OvertHttpOptions{.domain = "blocked.example"});
+  };
+  auto dns_factory = [](core::Testbed& tb) {
+    return std::make_unique<core::OvertDnsProbe>(
+        tb, core::OvertDnsOptions{.domain = "twitter.com"});
+  };
+
+  std::vector<Trial> trials;
+  trials.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    bool http = i % 2 == 0;
+    core::TestbedConfig config = i % 4 < 2 ? rst : dns;
+    config.enable_observability = i % 4 == 0;
+    config.enable_provenance = i % 16 == 0;
+    Trial t;
+    t.name = common::format("synthetic/%05zu/%s", i,
+                            http ? "overt-http" : "overt-dns");
+    t.config = config;
+    t.factory = http ? ProbeFactory(http_factory) : ProbeFactory(dns_factory);
+    t.drain = common::Duration::seconds(1);
+    trials.push_back(std::move(t));
+  }
+  return trials;
+}
+
+}  // namespace
+
+std::vector<Trial> build_workload(const std::string& spec) {
+  constexpr std::string_view kSynthetic = "synthetic:";
+  if (spec.rfind(kSynthetic, 0) == 0) {
+    std::string arg = spec.substr(kSynthetic.size());
+    size_t pos = 0;
+    unsigned long long n = 0;
+    try {
+      n = std::stoull(arg, &pos);
+    } catch (const std::exception&) {
+      pos = 0;
+    }
+    if (pos == 0 || pos != arg.size() || n == 0)
+      throw std::invalid_argument("workload spec: bad trial count in '" +
+                                  spec + "'");
+    return synthetic(static_cast<size_t>(n));
+  }
+  throw std::invalid_argument("unknown workload spec '" + spec + "'");
+}
+
+}  // namespace sm::campaign

@@ -1,0 +1,32 @@
+// Named campaign workloads: trial lists rebuildable from a short string
+// spec.
+//
+// The supervisor path is fork+exec — sm-campaignd launches
+// sm-campaign-worker binaries — and ProbeFactory closures cannot cross
+// an exec boundary. What can cross is a name: both sides call
+// build_workload(spec) and get the identical trial list, and the
+// checkpoint layer's workload digest (CRC over the ordered trial names)
+// catches the case where they somehow did not.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+
+namespace sm::campaign {
+
+/// Builds the trial list for a workload spec. Known specs:
+///
+///   "synthetic:N" — N cheap, deterministic eval-style trials cycling
+///                   two censor configs (RST-keyword and DNS-forgery
+///                   profiles) x two techniques (overt HTTP, overt DNS),
+///                   lightweight testbeds; observability enabled on
+///                   every 4th trial (so checkpoint records carry
+///                   registry snapshots) and provenance on every 16th
+///                   (so they carry causal-graph exports).
+///
+/// Throws std::invalid_argument on an unknown or malformed spec.
+std::vector<Trial> build_workload(const std::string& spec);
+
+}  // namespace sm::campaign

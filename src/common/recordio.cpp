@@ -1,0 +1,248 @@
+#include "common/recordio.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace sm::common {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'M', 'R', 'F'};
+constexpr uint16_t kVersion = 1;
+constexpr size_t kHeaderSize = 8;
+constexpr size_t kFrameHeader = 8;  // u32 len + u32 crc
+/// Sanity cap on a single payload: a corrupted length field must not
+/// turn into a multi-gigabyte allocation during recovery.
+constexpr uint32_t kMaxPayload = 1u << 28;
+
+uint32_t crc_table_entry(uint32_t i) {
+  uint32_t c = i;
+  for (int k = 0; k < 8; ++k) {
+    c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+  }
+  return c;
+}
+
+const uint32_t* crc_table() {
+  static const auto table = [] {
+    static uint32_t t[256];
+    for (uint32_t i = 0; i < 256; ++i) t[i] = crc_table_entry(i);
+    return t;
+  }();
+  return table;
+}
+
+uint32_t read_be32(const uint8_t* p) {
+  return uint32_t{p[0]} << 24 | uint32_t{p[1]} << 16 | uint32_t{p[2]} << 8 |
+         uint32_t{p[3]};
+}
+
+void write_be32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v >> 24);
+  p[1] = static_cast<uint8_t>(v >> 16);
+  p[2] = static_cast<uint8_t>(v >> 8);
+  p[3] = static_cast<uint8_t>(v);
+}
+
+}  // namespace
+
+uint32_t crc32(std::span<const uint8_t> data, uint32_t seed) {
+  const uint32_t* table = crc_table();
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (uint8_t b : data) c = table[(c ^ b) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+RecordScan scan_records(const std::string& path, uint16_t app_tag) {
+  RecordScan out;
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) return out;  // cold start
+    out.error = "open " + path + ": " + std::strerror(errno);
+    return out;
+  }
+  out.exists = true;
+  Bytes file;
+  uint8_t buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      out.error = "read " + path + ": " + std::strerror(errno);
+      ::close(fd);
+      return out;
+    }
+    if (n == 0) break;
+    file.insert(file.end(), buf, buf + n);
+  }
+  ::close(fd);
+
+  if (file.size() < kHeaderSize) {
+    // A header torn mid-write: nothing recoverable, rewrite from scratch.
+    out.torn = !file.empty();
+    out.valid_bytes = 0;
+    return out;
+  }
+  if (std::memcmp(file.data(), kMagic, 4) != 0) {
+    out.error = path + ": not a record file (bad magic)";
+    return out;
+  }
+  uint16_t version = static_cast<uint16_t>(file[4] << 8 | file[5]);
+  uint16_t tag = static_cast<uint16_t>(file[6] << 8 | file[7]);
+  if (version != kVersion) {
+    out.error = path + ": unsupported record-file version " +
+                std::to_string(version);
+    return out;
+  }
+  if (app_tag != 0 && tag != app_tag) {
+    out.error = path + ": app tag " + std::to_string(tag) +
+                " != expected " + std::to_string(app_tag);
+    return out;
+  }
+
+  size_t pos = kHeaderSize;
+  out.valid_bytes = pos;
+  while (pos < file.size()) {
+    if (file.size() - pos < kFrameHeader) {
+      out.torn = true;
+      break;
+    }
+    uint32_t len = read_be32(file.data() + pos);
+    uint32_t want_crc = read_be32(file.data() + pos + 4);
+    if (len > kMaxPayload) {
+      // An impossible length is corruption, not a tear: the writer never
+      // frames payloads this large.
+      out.corrupt = true;
+      break;
+    }
+    if (file.size() - pos - kFrameHeader < len) {
+      out.torn = true;
+      break;
+    }
+    std::span<const uint8_t> payload(file.data() + pos + kFrameHeader, len);
+    if (crc32(payload) != want_crc) {
+      out.corrupt = true;
+      break;
+    }
+    out.records.emplace_back(payload.begin(), payload.end());
+    pos += kFrameHeader + len;
+    out.valid_bytes = pos;
+  }
+  return out;
+}
+
+RecordWriter::~RecordWriter() { close(); }
+
+bool RecordWriter::open(const std::string& path, uint16_t app_tag,
+                        int64_t valid_bytes) {
+  close();
+  dead_ = false;
+  error_.clear();
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    error_ = "open " + path + ": " + std::strerror(errno);
+    return false;
+  }
+  off_t end = ::lseek(fd_, 0, SEEK_END);
+  bool fresh = end < static_cast<off_t>(kHeaderSize) || valid_bytes == 0;
+  if (fresh) {
+    if (::ftruncate(fd_, 0) != 0 || ::lseek(fd_, 0, SEEK_SET) != 0) {
+      error_ = "truncate " + path + ": " + std::strerror(errno);
+      close();
+      return false;
+    }
+    uint8_t header[kHeaderSize];
+    std::memcpy(header, kMagic, 4);
+    header[4] = static_cast<uint8_t>(kVersion >> 8);
+    header[5] = static_cast<uint8_t>(kVersion);
+    header[6] = static_cast<uint8_t>(app_tag >> 8);
+    header[7] = static_cast<uint8_t>(app_tag);
+    if (!write_all(header, sizeof header)) return false;
+    return true;
+  }
+  if (valid_bytes >= 0 && valid_bytes < end) {
+    // Discard the torn tail a prior scan found; nothing before it moves.
+    if (::ftruncate(fd_, valid_bytes) != 0) {
+      error_ = "truncate " + path + ": " + std::strerror(errno);
+      close();
+      return false;
+    }
+  }
+  if (::lseek(fd_, 0, SEEK_END) < 0) {
+    error_ = "seek " + path + ": " + std::strerror(errno);
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool RecordWriter::append(std::span<const uint8_t> payload) {
+  if (fd_ < 0 || dead_) return false;
+  if (payload.size() > kMaxPayload) {
+    error_ = "payload exceeds frame cap";
+    dead_ = true;
+    return false;
+  }
+  Bytes frame(kFrameHeader + payload.size());
+  write_be32(frame.data(), static_cast<uint32_t>(payload.size()));
+  write_be32(frame.data() + 4, crc32(payload));
+  if (!payload.empty())  // empty spans may carry a null data()
+    std::memcpy(frame.data() + kFrameHeader, payload.data(), payload.size());
+
+  size_t len = frame.size();
+  if (fault_budget_ >= 0 && static_cast<int64_t>(len) > fault_budget_) {
+    // Simulated crash mid-frame: emit only the bytes the budget covers,
+    // exactly as a process killed inside write(2) would have.
+    size_t partial = static_cast<size_t>(fault_budget_);
+    if (partial > 0) write_all(frame.data(), partial);
+    fault_budget_ = 0;
+    dead_ = true;
+    if (on_fault_) on_fault_();
+    return false;
+  }
+  if (!write_all(frame.data(), len)) return false;
+  if (fault_budget_ >= 0) fault_budget_ -= static_cast<int64_t>(len);
+  return true;
+}
+
+bool RecordWriter::sync() {
+  if (fd_ < 0 || dead_) return false;
+  if (::fsync(fd_) != 0) {
+    error_ = std::string("fsync: ") + std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+void RecordWriter::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void RecordWriter::set_fault_budget(int64_t budget,
+                                    std::function<void()> on_fault) {
+  fault_budget_ = budget;
+  on_fault_ = std::move(on_fault);
+}
+
+bool RecordWriter::write_all(const uint8_t* data, size_t len) {
+  size_t done = 0;
+  while (done < len) {
+    ssize_t n = ::write(fd_, data + done, len - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      error_ = std::string("write: ") + std::strerror(errno);
+      dead_ = true;
+      return false;
+    }
+    done += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace sm::common

@@ -37,6 +37,17 @@ void OnlineStats::merge(const OnlineStats& other) {
   m2_ += other.m2_ + delta * delta * n_a * n_b / n;
 }
 
+OnlineStats OnlineStats::from_parts(size_t count, double mean, double m2,
+                                    double min, double max) {
+  OnlineStats s;
+  s.count_ = count;
+  s.mean_ = mean;
+  s.m2_ = m2;
+  s.min_ = min;
+  s.max_ = max;
+  return s;
+}
+
 double OnlineStats::variance() const {
   if (count_ < 2) return 0.0;
   return m2_ / static_cast<double>(count_ - 1);
@@ -105,6 +116,18 @@ std::string EmpiricalCdf::to_table(int max_rows) const {
 
 Histogram::Histogram(double lo, double hi, size_t bins)
     : lo_(lo), hi_(hi), counts_(bins, 0) {}
+
+Histogram Histogram::from_parts(double lo, double hi,
+                                std::vector<size_t> counts) {
+  if (counts.empty()) {
+    throw std::invalid_argument("Histogram::from_parts: no bins");
+  }
+  Histogram h(lo, hi, counts.size());
+  h.counts_ = std::move(counts);
+  h.total_ = 0;
+  for (size_t c : h.counts_) h.total_ += c;
+  return h;
+}
 
 void Histogram::add(double x) {
   double span = hi_ - lo_;

@@ -25,6 +25,13 @@ class OnlineStats {
   double stddev() const;
   double min() const { return min_; }
   double max() const { return max_; }
+  /// Raw sum of squared deviations — the exact internal state, exposed so
+  /// the checkpoint codec can round-trip an accumulator bit-for-bit
+  /// (recomputing it from variance() would reorder the floating point).
+  double m2() const { return m2_; }
+  /// Rebuilds an accumulator from its exact serialized state.
+  static OnlineStats from_parts(size_t count, double mean, double m2,
+                                double min, double max);
 
  private:
   size_t count_ = 0;
@@ -69,6 +76,10 @@ class EmpiricalCdf {
 class Histogram {
  public:
   Histogram(double lo, double hi, size_t bins);
+  /// Rebuilds a histogram from serialized bin counts (checkpoint decode).
+  /// Throws std::invalid_argument on an empty bin vector.
+  static Histogram from_parts(double lo, double hi,
+                              std::vector<size_t> counts);
   void add(double x);
   /// Adds `other`'s bin counts into this histogram. Both must have the
   /// same [lo, hi) range and bin count; throws std::invalid_argument

@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <stdexcept>
 
 #include "common/strings.hpp"
@@ -78,6 +79,16 @@ double HistogramMetric::quantile(double q) const {
     }
   }
   return hi_;  // q beyond every bin (only reachable via rounding)
+}
+
+void HistogramMetric::restore(common::Histogram hist,
+                              common::OnlineStats moments) {
+  if (hist.lo() != lo_ || hist.hi() != hi_ ||
+      hist.bins().size() != hist_.bins().size()) {
+    throw std::invalid_argument("HistogramMetric::restore: shape mismatch");
+  }
+  hist_ = std::move(hist);
+  moments_ = moments;
 }
 
 Registry::Family& Registry::family(std::string_view name, Kind kind,
@@ -213,6 +224,123 @@ std::string Registry::to_json() const {
   }
   out += "]}";
   return out;
+}
+
+namespace {
+
+void put_str(common::ByteWriter& w, std::string_view s) {
+  w.u32(static_cast<uint32_t>(s.size()));
+  w.text(s);
+}
+
+std::string get_str(common::ByteReader& r) {
+  uint32_t len = r.u32();
+  return r.text(len);
+}
+
+void put_f64(common::ByteWriter& w, double v) {
+  w.u64(std::bit_cast<uint64_t>(v));
+}
+
+double get_f64(common::ByteReader& r) {
+  return std::bit_cast<double>(r.u64());
+}
+
+}  // namespace
+
+void Registry::encode(common::ByteWriter& w) const {
+  w.u32(static_cast<uint32_t>(families_.size()));
+  for (const auto& [name, fam] : families_) {
+    put_str(w, name);
+    w.u8(static_cast<uint8_t>(fam.kind));
+    put_str(w, fam.help);
+    w.u32(static_cast<uint32_t>(fam.series.size()));
+    for (const auto& [key, s] : fam.series) {
+      w.u32(static_cast<uint32_t>(s.labels.size()));
+      for (const auto& [k, v] : s.labels) {
+        put_str(w, k);
+        put_str(w, v);
+      }
+      switch (fam.kind) {
+        case Kind::Counter:
+          w.u64(s.counter->value());
+          break;
+        case Kind::Gauge:
+          put_f64(w, s.gauge->value());
+          break;
+        case Kind::Histogram: {
+          const HistogramMetric& h = *s.histogram;
+          put_f64(w, h.lo());
+          put_f64(w, h.hi());
+          const auto& bins = h.histogram().bins();
+          w.u32(static_cast<uint32_t>(bins.size()));
+          for (size_t c : bins) w.u64(c);
+          const common::OnlineStats& m = h.moments();
+          w.u64(m.count());
+          put_f64(w, m.mean());
+          put_f64(w, m.m2());
+          put_f64(w, m.min());
+          put_f64(w, m.max());
+          break;
+        }
+      }
+    }
+  }
+}
+
+std::unique_ptr<Registry> Registry::decode(common::ByteReader& r) {
+  auto reg = std::make_unique<Registry>();
+  uint32_t n_families = r.u32();
+  for (uint32_t f = 0; f < n_families && r.ok(); ++f) {
+    std::string name = get_str(r);
+    auto kind = static_cast<Kind>(r.u8());
+    std::string help = get_str(r);
+    uint32_t n_series = r.u32();
+    for (uint32_t si = 0; si < n_series && r.ok(); ++si) {
+      uint32_t n_labels = r.u32();
+      Labels labels;
+      labels.reserve(n_labels);
+      for (uint32_t li = 0; li < n_labels && r.ok(); ++li) {
+        std::string k = get_str(r);
+        std::string v = get_str(r);
+        labels.emplace_back(std::move(k), std::move(v));
+      }
+      switch (kind) {
+        case Kind::Counter:
+          reg->counter(name, labels, help)->set(r.u64());
+          break;
+        case Kind::Gauge:
+          reg->gauge(name, labels, help)->set(get_f64(r));
+          break;
+        case Kind::Histogram: {
+          double lo = get_f64(r);
+          double hi = get_f64(r);
+          uint32_t n_bins = r.u32();
+          std::vector<size_t> counts;
+          counts.reserve(n_bins);
+          for (uint32_t b = 0; b < n_bins && r.ok(); ++b) {
+            counts.push_back(static_cast<size_t>(r.u64()));
+          }
+          uint64_t m_count = r.u64();
+          double mean = get_f64(r);
+          double m2 = get_f64(r);
+          double mn = get_f64(r);
+          double mx = get_f64(r);
+          if (!r.ok() || counts.empty()) break;
+          HistogramMetric* h =
+              reg->histogram(name, lo, hi, counts.size(), labels, help);
+          h->restore(common::Histogram::from_parts(lo, hi, std::move(counts)),
+                     common::OnlineStats::from_parts(
+                         static_cast<size_t>(m_count), mean, m2, mn, mx));
+          break;
+        }
+        default:
+          throw std::runtime_error("Registry::decode: unknown series kind");
+      }
+    }
+  }
+  if (!r.ok()) throw std::runtime_error("Registry::decode: truncated buffer");
+  return reg;
 }
 
 std::string Registry::to_prometheus() const {

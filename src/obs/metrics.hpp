@@ -24,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/bytes.hpp"
 #include "common/stats.hpp"
 
 namespace sm::obs {
@@ -95,6 +96,9 @@ class HistogramMetric {
   double hi() const { return hi_; }
   const common::Histogram& histogram() const { return hist_; }
   const common::OnlineStats& moments() const { return moments_; }
+  /// Restores exact serialized state (checkpoint decode). The histogram's
+  /// shape must match this metric's; throws std::invalid_argument if not.
+  void restore(common::Histogram hist, common::OnlineStats moments);
   /// Upper bound of bin `i` (the Prometheus `le` value; the last bin's
   /// bound serializes as +Inf because edge clamping makes it catch-all).
   double bin_high(size_t i) const;
@@ -159,6 +163,15 @@ class Registry {
   /// Prometheus text exposition (one # HELP / # TYPE pair per family;
   /// histograms emit cumulative _bucket{le=...}, _sum, _count).
   std::string to_prometheus() const;
+
+  /// Exact binary snapshot (campaign checkpoint codec): every family,
+  /// kind, help text, label set, and raw value — doubles as IEEE-754 bit
+  /// patterns — so decode() rebuilds a registry whose to_json()/
+  /// to_prometheus()/merge() behaviour is byte-for-byte the original's.
+  void encode(common::ByteWriter& w) const;
+  /// Rebuilds a registry from encode()'s bytes. Throws std::runtime_error
+  /// on a truncated or malformed buffer.
+  static std::unique_ptr<Registry> decode(common::ByteReader& r);
 
  private:
   enum class Kind { Counter, Gauge, Histogram };

@@ -1,0 +1,218 @@
+#!/usr/bin/env python3
+"""Kill/resume fault-injection harness for the sm-campaignd service.
+
+Proves the crash-safety contract end to end: a campaign that is
+kill -9'd at many seeded-random instants -- sometimes a single worker,
+sometimes the whole supervisor process group, sometimes a planned fault
+that cuts a checkpoint append mid-frame -- and resumed each time by
+relaunching sm-campaignd with the same arguments, produces a final JSONL
+report and metrics file BYTE-IDENTICAL to an uninterrupted run.
+
+Procedure:
+  1. baseline: run sm-campaignd to completion in a pristine dir.
+  2. chaos: in a second dir, launch sm-campaignd (its own process
+     group), sleep a seeded-random interval, then kill -9 either one
+     worker (the supervisor must restart it; counts as a kill but the
+     supervisor keeps running) or the entire group (counts as a kill and
+     forces a full resume).  The first few launches also arm
+     --fault-byte-budget, so some deaths land mid-checkpoint-write and
+     leave torn frame tails that the resume must truncate and replay.
+  3. once the campaign survives to completion with at least --kills
+     kills injected, byte-compare out.jsonl and metrics.json against the
+     baseline.
+
+Kill intervals adapt: if the campaign is completing faster than kills
+are being spent, the sleep shrinks so the budget lands before the
+trials run out.  All randomness flows from --seed for replayable runs.
+
+Usage:
+    tools/crash_harness.py --build build [--trials 10000] [--jobs 4]
+        [--kills 20] [--seed 1] [--workdir DIR] [--keep]
+
+Exit 0 on byte-identical output, 1 on any mismatch or stuck campaign.
+"""
+
+import argparse
+import os
+import random
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+
+def log(msg):
+    print(f"crash_harness: {msg}", flush=True)
+
+
+def run_baseline(daemon, workload, jobs, seed, dirpath):
+    out = os.path.join(dirpath, "out.jsonl")
+    metrics = os.path.join(dirpath, "metrics.json")
+    cmd = [daemon, "--workload", workload, "--dir", os.path.join(dirpath, "d"),
+           "--out", out, "--metrics-out", metrics,
+           "-j", str(jobs), "--seed", str(seed)]
+    t0 = time.monotonic()
+    proc = subprocess.run(cmd, stdout=subprocess.DEVNULL,
+                          stderr=subprocess.DEVNULL)
+    if proc.returncode != 0:
+        log(f"baseline run failed (exit {proc.returncode})")
+        sys.exit(1)
+    elapsed = time.monotonic() - t0
+    log(f"baseline complete in {elapsed:.1f}s")
+    return out, metrics, elapsed
+
+
+def read_worker_pids(dirpath):
+    pids = []
+    try:
+        with open(os.path.join(dirpath, "d", "workers.pids")) as f:
+            for line in f:
+                parts = line.split()
+                if len(parts) == 2:
+                    pids.append(int(parts[1]))
+    except OSError:
+        pass
+    return pids
+
+
+def kill_pid(pid, group=False):
+    try:
+        os.kill(-pid if group else pid, signal.SIGKILL)
+        return True
+    except ProcessLookupError:
+        return False
+
+
+def files_equal(a, b):
+    with open(a, "rb") as fa, open(b, "rb") as fb:
+        return fa.read() == fb.read()
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--build", default="build", help="cmake build dir")
+    ap.add_argument("--trials", type=int, default=10000)
+    ap.add_argument("--jobs", type=int, default=4)
+    ap.add_argument("--kills", type=int, default=20,
+                    help="minimum kill -9 injections before completion")
+    ap.add_argument("--seed", type=int, default=1)
+    ap.add_argument("--fault-rounds", type=int, default=3,
+                    help="launches that also arm a mid-write fault")
+    ap.add_argument("--max-launches", type=int, default=200,
+                    help="bound on supervisor launches (stuck detector)")
+    ap.add_argument("--workdir", default=None)
+    ap.add_argument("--keep", action="store_true",
+                    help="keep the workdir for post-mortem")
+    args = ap.parse_args()
+
+    daemon = os.path.join(args.build, "tools", "sm-campaignd")
+    if not os.path.exists(daemon):
+        log(f"{daemon} not found -- build first")
+        return 1
+    workload = f"synthetic:{args.trials}"
+    rng = random.Random(args.seed)
+
+    workdir = args.workdir or tempfile.mkdtemp(prefix="sm_crash_")
+    os.makedirs(workdir, exist_ok=True)
+    base_dir = os.path.join(workdir, "baseline")
+    chaos_dir = os.path.join(workdir, "chaos")
+    for d in (base_dir, chaos_dir):
+        shutil.rmtree(d, ignore_errors=True)
+        os.makedirs(d)
+
+    log(f"workdir {workdir}; workload {workload} -j{args.jobs} "
+        f"seed {args.seed}")
+    base_out, base_metrics, base_elapsed = run_baseline(
+        daemon, workload, args.jobs, args.seed, base_dir)
+
+    # Budget the kill cadence so ~all kills are spent within roughly one
+    # uninterrupted-campaign duration of useful progress.
+    mean_interval = max(0.05, base_elapsed / max(1, args.kills))
+    chaos_out = os.path.join(chaos_dir, "out.jsonl")
+    chaos_metrics = os.path.join(chaos_dir, "metrics.json")
+    cmd = [daemon, "--workload", workload,
+           "--dir", os.path.join(chaos_dir, "d"),
+           "--out", chaos_out, "--metrics-out", chaos_metrics,
+           "-j", str(args.jobs), "--seed", str(args.seed)]
+
+    kills = 0
+    worker_kills = 0
+    group_kills = 0
+    fault_rounds = 0
+    launches = 0
+    progress = time.monotonic()
+    while True:
+        launches += 1
+        if launches > args.max_launches:
+            log(f"stuck: {launches} launches without completion")
+            return 1
+        launch_cmd = list(cmd)
+        if fault_rounds < args.fault_rounds:
+            # Arm a planned mid-checkpoint-write crash on a random shard.
+            launch_cmd += ["--fault-byte-budget",
+                           str(rng.randrange(64, 4096)),
+                           "--fault-shard", str(rng.randrange(args.jobs))]
+            fault_rounds += 1
+        sup = subprocess.Popen(launch_cmd, stdout=subprocess.DEVNULL,
+                               stderr=subprocess.DEVNULL,
+                               start_new_session=True)
+        while True:
+            # Adaptive cadence: spend remaining kills before the trials
+            # run out (scaled down as the campaign nears completion).
+            frac = min(1.0, (time.monotonic() - progress) / base_elapsed)
+            urgency = 1.0 if kills >= args.kills else max(
+                0.15, (1.0 - frac))
+            interval = rng.uniform(0.3, 1.7) * mean_interval * urgency
+            time.sleep(interval)
+            rc = sup.poll()
+            if rc is not None:
+                break
+            if kills >= args.kills:
+                continue  # let it finish undisturbed
+            if rng.random() < 0.4:
+                pids = read_worker_pids(chaos_dir)
+                if pids and kill_pid(rng.choice(pids)):
+                    kills += 1
+                    worker_kills += 1
+                    log(f"kill #{kills}: worker (launch {launches})")
+                    continue
+            # Whole process group: supervisor and every worker at once.
+            if kill_pid(sup.pid, group=True):
+                kills += 1
+                group_kills += 1
+                log(f"kill #{kills}: process group (launch {launches})")
+            sup.wait()
+            break
+        rc = sup.wait()
+        if rc == 0:
+            break
+        if rc not in (0, -signal.SIGKILL):
+            # Planned faults surface as worker exit 86 handled by the
+            # supervisor, so any nonzero supervisor exit is a real bug.
+            log(f"supervisor exited {rc} (launch {launches})")
+            return 1
+
+    if kills < args.kills:
+        log(f"campaign finished with only {kills}/{args.kills} kills -- "
+            f"increase --trials")
+        return 1
+
+    ok = True
+    for label, a, b in (("jsonl", base_out, chaos_out),
+                        ("metrics", base_metrics, chaos_metrics)):
+        if files_equal(a, b):
+            log(f"{label}: BYTE-IDENTICAL")
+        else:
+            log(f"{label}: MISMATCH ({a} vs {b})")
+            ok = False
+    log(f"{kills} kills ({worker_kills} worker, {group_kills} group), "
+        f"{fault_rounds} armed faults, {launches} launches")
+    if ok and not args.keep and args.workdir is None:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -115,6 +115,20 @@ def gate_population(gate, base, fresh):
     gate.require("pass flag", fresh.get("pass") is True)
 
 
+def gate_campaign(gate, base, fresh):
+    """Campaign scaling: byte-determinism is a hard invariant; the
+    parallel-speedup floors (thread pool and process shards) gate
+    whenever the machine that produced the fresh run could measure them
+    — the bench only emits speedup fields when hw_concurrency allows, so
+    presence is the signal, and a single-core CI box skips cleanly."""
+    gate.require("deterministic", fresh.get("deterministic") is True)
+    for field in ("speedup_4x", "proc_speedup_4x"):
+        if field in fresh:
+            gate.require(f"{field} >= 2.0", fresh[field] >= 2.0)
+            if field in base:
+                gate.compare(field, base[field], fresh[field])
+
+
 def gate_ids_fastpath(gate, base, fresh):
     base_rows = {r["rules"]: r for r in base.get("results", [])}
     for row in fresh.get("results", []):
@@ -157,6 +171,8 @@ def main():
         gate_ids_fastpath(gate, base, fresh)
     elif kind == "population":
         gate_population(gate, base, fresh)
+    elif kind == "campaign_scaling":
+        gate_campaign(gate, base, fresh)
     else:
         print(f"unknown bench kind {kind!r}", file=sys.stderr)
         return 2

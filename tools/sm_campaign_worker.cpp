@@ -1,0 +1,149 @@
+// sm-campaign-worker: one process shard of a supervised campaign.
+//
+//   sm-campaign-worker --workload synthetic:10000 --seed 0x5EED
+//       --shards 4 --shard 1 --checkpoint dir/shard-1.ckpt
+//
+// Runs the trials of its static share (trial index % shards == shard),
+// appending each completed trial to its own checkpoint file, so the
+// worker itself is crash-safe: killed and relaunched with the same
+// arguments it resumes from its last completed trial. Deliberately
+// single-threaded — the supervisor's parallelism is processes, and one
+// thread per process keeps a kill's blast radius to exactly one
+// in-flight trial.
+//
+// Heartbeat protocol on stdout (the supervisor reads these for
+// liveness):
+//   ready <shard> <own-trials> <already-done>
+//   done <trial-index>
+//   complete <executed> <resumed>
+//
+// A .lock file (flock, held for the process lifetime) next to the
+// checkpoint makes a double-launch of the same shard fail loudly
+// instead of interleaving two writers into one append stream.
+//
+// --fault-byte-budget N arms the checkpoint writer's fault hook: after N
+// more checkpoint body bytes the current append is cut mid-frame and the
+// process _exit()s — a deterministic stand-in for kill -9 landing inside
+// a checkpoint write (exit code 86 so the harness can tell the planned
+// fault from a real crash).
+#include <sys/file.h>
+#include <sys/stat.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "campaign/checkpoint.hpp"
+#include "campaign/workloads.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --workload <spec> --checkpoint <file> "
+               "[--seed S] [--shards N --shard K] [--fault-byte-budget N]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string workload, checkpoint;
+  uint64_t seed = sm::campaign::CampaignOptions{}.campaign_seed;
+  size_t shards = 1, shard = 0;
+  long long fault_budget = -1;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (a == "--workload" && (v = next())) {
+      workload = v;
+    } else if (a == "--checkpoint" && (v = next())) {
+      checkpoint = v;
+    } else if (a == "--seed" && (v = next())) {
+      seed = std::strtoull(v, nullptr, 0);
+    } else if (a == "--shards" && (v = next())) {
+      shards = std::strtoull(v, nullptr, 0);
+    } else if (a == "--shard" && (v = next())) {
+      shard = std::strtoull(v, nullptr, 0);
+    } else if (a == "--fault-byte-budget" && (v = next())) {
+      fault_budget = std::strtoll(v, nullptr, 0);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (workload.empty() || checkpoint.empty() || shards == 0 ||
+      shard >= shards) {
+    return usage(argv[0]);
+  }
+  // Heartbeats must reach the supervisor promptly, not on buffer flush.
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);
+
+  try {
+    std::vector<sm::campaign::Trial> trials =
+        sm::campaign::build_workload(workload);
+    sm::campaign::CampaignOptions options;
+    options.campaign_seed = seed;
+
+    // One writer per shard file, enforced: a second worker launched on
+    // the same shard blocks here and exits instead of corrupting the
+    // append stream. The lock dies with the process, so kill -9 never
+    // leaves a stale one.
+    std::string lock_path = checkpoint + ".lock";
+    int lock_fd = ::open(lock_path.c_str(), O_WRONLY | O_CREAT | O_CLOEXEC,
+                         0644);
+    if (lock_fd < 0 || ::flock(lock_fd, LOCK_EX | LOCK_NB) != 0) {
+      std::fprintf(stderr, "shard %zu: cannot lock %s (another worker?)\n",
+                   shard, lock_path.c_str());
+      return 3;
+    }
+
+    sm::campaign::CheckpointState state =
+        sm::campaign::load_checkpoint(checkpoint);
+    sm::campaign::CheckpointMeta meta =
+        sm::campaign::checkpoint_meta(trials, options);
+    sm::campaign::CheckpointFile ckpt;
+    ckpt.open(checkpoint, state, meta);
+    if (fault_budget >= 0) {
+      ckpt.writer().set_fault_budget(fault_budget, [] { ::_exit(86); });
+    }
+
+    size_t own = 0, already = 0;
+    for (size_t i = shard; i < trials.size(); i += shards) {
+      ++own;
+      if (state.trials.count(i)) ++already;
+    }
+    std::printf("ready %zu %zu %zu\n", shard, own, already);
+
+    size_t executed = 0;
+    for (size_t i = shard; i < trials.size(); i += shards) {
+      if (state.trials.count(i)) continue;
+      sm::campaign::TrialResult slot;
+      std::unique_ptr<sm::obs::Registry> snapshot;
+      sm::campaign::execute_trial(trials[i], i, options, slot, &snapshot);
+      if (!ckpt.append(slot, snapshot.get())) {
+        std::fprintf(stderr, "shard %zu: checkpoint append failed: %s\n",
+                     shard, ckpt.writer().error().c_str());
+        return 4;
+      }
+      ++executed;
+      std::printf("done %zu\n", i);
+    }
+    ckpt.sync();
+    std::printf("complete %zu %zu\n", executed, already);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "shard %zu: %s\n", shard, e.what());
+    return 1;
+  }
+}
