@@ -15,14 +15,102 @@
 // campaign runner (one trial per scenario x technique, sharded across
 // hardware threads); results come back in trial order, so the tables
 // print exactly as the sequential version did.
+// The E25 extension (dual-stack asymmetry) appends two more sections:
+// the same host probed over v4 and v6 against v4-only address rules
+// (the censor's family blindness measured as a verdict gap, closed by a
+// dual-stack ruleset), and the v6 extension-header evasion channel (an
+// ext-header-blind censor passes keyword traffic it would RST as plain
+// v6, until an upstream normalizer strips the chain).
 #include <cstdio>
 
 #include "analysis/report.hpp"
 #include "bench_util.hpp"
+#include "core/ping.hpp"
+#include "netsim/topology.hpp"
+#include "packet/packet.hpp"
 
 using namespace sm;
 using bench::NamedFactory;
 using bench::TechniqueRun;
+
+namespace {
+
+/// One (technique, family) probe cell for the asymmetry table.
+bench::ProbeFactory family_factory(const std::string& technique, bool v6) {
+  if (technique == "ping") {
+    return [v6](core::Testbed& tb) -> std::unique_ptr<core::Probe> {
+      return std::make_unique<core::PingProbe>(
+          tb, core::PingOptions{.target = tb.addr().web_blocked,
+                                .ipv6 = v6});
+    };
+  }
+  return [v6](core::Testbed& tb) -> std::unique_ptr<core::Probe> {
+    return std::make_unique<core::SynReachabilityProbe>(
+        tb, core::SynReachabilityOptions{.target = tb.addr().web_blocked,
+                                         .port = 80,
+                                         .ipv6 = v6});
+  };
+}
+
+struct ExtHeaderOutcome {
+  uint64_t rsts_injected = 0;
+  uint64_t blind_passes = 0;
+};
+
+/// Drives one keyword-bearing v6 segment through normalizer-router →
+/// censor-router → server and reports what the censor did. The
+/// normalizer sits *upstream* of the tap (taps observe before their own
+/// router's transformer), which is where a real deployment would put it.
+ExtHeaderOutcome ext_header_run(bool with_ext, bool with_normalizer) {
+  netsim::Network net;
+  net.set_link_seed_root(0x9E25);
+  netsim::Router* norm = net.add_router("norm");
+  netsim::Router* tapr = net.add_router("tap");
+  netsim::Host* client = net.add_host("c", common::Ipv4Address(10, 0, 0, 1));
+  netsim::Host* server = net.add_host("s", common::Ipv4Address(10, 9, 0, 1));
+  net.connect(client, norm);
+  netsim::Link* core = net.connect(norm, tapr);
+  net.connect(server, tapr);
+  // connect() auto-routes router→attached-host (/32 and /128); the
+  // inter-router hop needs explicit routes both ways, both families.
+  norm->add_route(common::Cidr(server->address(), 32),
+                  core->port_of(norm));
+  norm->add_route6(common::Cidr6(server->address6(), 128),
+                   core->port_of(norm));
+  tapr->add_route(common::Cidr(client->address(), 32),
+                  core->port_of(tapr));
+  tapr->add_route6(common::Cidr6(client->address6(), 128),
+                   core->port_of(tapr));
+
+  censor::CensorPolicy policy;
+  policy.rst_keywords = {"falun"};  // v6_ext_header_blind defaults true
+  censor::CensorTap censor(policy);
+  tapr->add_tap(&censor);
+  if (with_normalizer) {
+    norm->set_transformer([](packet::Packet& p) {
+      packet::strip_ext_headers6(p);
+      return true;
+    });
+  }
+
+  packet::Ipv6Options opt;
+  if (with_ext) {
+    opt.ext.push_back({static_cast<uint8_t>(packet::IpProto::HopByHop),
+                       common::Bytes{}});
+  }
+  common::Bytes payload =
+      common::to_bytes("GET /?q=falun HTTP/1.1\r\nHost: x\r\n\r\n");
+  client->send(packet::make_tcp6(client->address6(), server->address6(),
+                                 40000, 80,
+                                 packet::TcpFlags::kPsh |
+                                     packet::TcpFlags::kAck,
+                                 1, 1, payload, opt));
+  net.engine().run();
+  return {censor.stats().rst_packets_injected,
+          censor.stats().v6_ext_blind_passes};
+}
+
+}  // namespace
 
 int main() {
   std::printf("E2 — accuracy x evasion matrix (paper §3.2.2)\n\n");
@@ -85,8 +173,98 @@ int main() {
               "the MVR in %zu cells\n",
               stealthy_accurate_evaded, stealthy_cells, overt_accurate,
               overt_cells, overt_logged);
+
+  // ---- E25 part 1: dual-stack family gap --------------------------------
+  // The same service, probed over both families, against a censor whose
+  // null-route rules only cover v4 — then against the dual-stack ruleset
+  // that closes the gap. An "asymmetry" row is a technique whose v4 and
+  // v6 verdicts disagree on the identical censor.
+  std::printf("\nE25 — dual-stack asymmetry (v4-only rules vs v6 path)\n\n");
+  core::TestbedAddresses addr;
+  core::TestbedConfig v4only;
+  v4only.policy =
+      censor::dropping_profile({addr.web_blocked, addr.mail_blocked});
+  core::TestbedConfig dual = v4only;
+  dual.policy.blocked_ips6 = {common::map_v6(addr.web_blocked),
+                              common::map_v6(addr.mail_blocked)};
+
+  const std::vector<std::pair<std::string, core::TestbedConfig>> fam_configs =
+      {{"v4-only-rules", v4only}, {"dual-stack-rules", dual}};
+  const std::vector<std::string> fam_techniques = {"syn-reach", "ping"};
+  std::vector<campaign::Trial> fam_trials;
+  for (const auto& [cfg_name, cfg] : fam_configs) {
+    for (const std::string& tech : fam_techniques) {
+      for (bool v6 : {false, true}) {
+        fam_trials.push_back(campaign::Trial{
+            .name = cfg_name + "/" + tech + (v6 ? "-v6" : "-v4"),
+            .config = cfg,
+            .factory = family_factory(tech, v6)});
+      }
+    }
+  }
+  std::vector<TechniqueRun> fam_runs = bench::run_campaign(fam_trials);
+
+  size_t v4only_asymmetries = 0, dual_asymmetries = 0;
+  size_t dual_blocked_cells = 0;
+  size_t cell = 0;
+  for (size_t c = 0; c < fam_configs.size(); ++c) {
+    analysis::Table table({"technique", "v4 verdict", "v6 verdict",
+                           "asymmetry"});
+    for (const std::string& tech : fam_techniques) {
+      core::Verdict v4 = fam_runs[cell].report.verdict;
+      core::Verdict v6 = fam_runs[cell + 1].report.verdict;
+      cell += 2;
+      bool asym = v4 != v6;
+      if (asym) ++(c == 0 ? v4only_asymmetries : dual_asymmetries);
+      if (c == 1) {
+        if (v4 == core::Verdict::BlockedTimeout) ++dual_blocked_cells;
+        if (v6 == core::Verdict::BlockedTimeout) ++dual_blocked_cells;
+      }
+      table.add_row({tech, std::string(core::to_string(v4)),
+                     std::string(core::to_string(v6)),
+                     asym ? "YES" : "no"});
+    }
+    std::printf("ruleset: %s\n%s\n", fam_configs[c].first.c_str(),
+                table.to_markdown().c_str());
+  }
+  std::printf("family gap: %zu/%zu techniques see through the v4-only "
+              "censor over v6; dual-stack rules close it (%zu asymmetries, "
+              "%zu/%zu cells blocked)\n",
+              v4only_asymmetries, fam_techniques.size(), dual_asymmetries,
+              dual_blocked_cells, 2 * fam_techniques.size());
+
+  // ---- E25 part 2: the extension-header evasion channel -----------------
+  // Same keyword, same censor, three path configurations. The deployed-DPI
+  // blindness (v6_ext_header_blind) lets an empty hop-by-hop header carry
+  // the keyword past content inspection; the upstream normalizer restores
+  // the RST.
+  std::printf("\nE25 — v6 extension-header evasion (keyword \"falun\")\n\n");
+  ExtHeaderOutcome plain = ext_header_run(false, false);
+  ExtHeaderOutcome evading = ext_header_run(true, false);
+  ExtHeaderOutcome normalized = ext_header_run(true, true);
+  analysis::Table ext_table(
+      {"path", "RSTs injected", "blind passes", "keyword caught"});
+  auto ext_row = [&](const char* name, const ExtHeaderOutcome& o) {
+    ext_table.add_row({name, analysis::Table::num(o.rsts_injected),
+                       analysis::Table::num(o.blind_passes),
+                       o.rsts_injected > 0 ? "yes" : "NO"});
+  };
+  ext_row("plain v6", plain);
+  ext_row("hop-by-hop ext", evading);
+  ext_row("hop-by-hop ext + upstream normalizer", normalized);
+  std::printf("%s\n", ext_table.to_markdown().c_str());
+
   bool shape = stealthy_accurate_evaded == stealthy_cells &&
                overt_accurate == overt_cells && overt_logged > 0;
-  std::printf("paper-shape check: %s\n", shape ? "PASS" : "FAIL");
-  return shape ? 0 : 1;
+  bool family_shape = v4only_asymmetries >= 1 && dual_asymmetries == 0 &&
+                      dual_blocked_cells == 2 * fam_techniques.size();
+  bool ext_shape = plain.rsts_injected > 0 && plain.blind_passes == 0 &&
+                   evading.rsts_injected == 0 && evading.blind_passes > 0 &&
+                   normalized.rsts_injected > 0;
+  std::printf("paper-shape check: %s (matrix %s, family gap %s, "
+              "ext-header channel %s)\n",
+              shape && family_shape && ext_shape ? "PASS" : "FAIL",
+              shape ? "ok" : "FAIL", family_shape ? "ok" : "FAIL",
+              ext_shape ? "ok" : "FAIL");
+  return shape && family_shape && ext_shape ? 0 : 1;
 }

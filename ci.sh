@@ -8,8 +8,9 @@
 #      in the campaign worker pool fail loudly here;
 #   3. simcheck: the property-based scenario model-checker over >= 500
 #      seeded trials in the ASan/UBSan build — all five safety oracles
-#      green, -j1 and -j4 logs byte-identical, both fault injections
-#      caught, and the checked-in reproducer corpus replaying;
+#      green, -j1 and -j4 logs byte-identical, both address families
+#      sampled by the exploration, both fault injections caught, and the
+#      checked-in reproducer corpus replaying;
 #   4. coverage: gcov build (-DSM_COVERAGE=ON), full ctest, then
 #      tools/coverage_report.py enforces the line-coverage floors for
 #      src/core, src/spoof, and src/obs;
@@ -52,6 +53,11 @@ if [ "$STAGE" = "all" ] || [ "$STAGE" = "sanitize" ]; then
   # --schedule-random shakes out hidden inter-test ordering dependencies.
   ctest --test-dir "$ROOT/build-asan" --output-on-failure -j "$(nproc)" \
         --schedule-random
+  # The dual-stack gate, explicitly: the v6-labeled suites (codec fuzz
+  # sweep, fragment differential, IDS equivalence, goldens) must exist
+  # and pass under ASan/UBSan — an empty label is a wiring regression.
+  ctest --test-dir "$ROOT/build-asan" --output-on-failure -j "$(nproc)" \
+        -L v6 --no-tests=error
 fi
 
 if [ "$STAGE" = "all" ] || [ "$STAGE" = "tsan" ]; then
@@ -70,9 +76,14 @@ if [ "$STAGE" = "all" ] || [ "$STAGE" = "tsan" ]; then
   # CampaignResume/Checkpoint: the checkpoint writer is shared by the
   # whole worker pool behind one mutex — exactly the kind of surface
   # TSan exists for.
+  # The v6 sweeps ride along too (PacketFuzz covers the Ipv6 cases,
+  # Fragment6/Reassembler6/FastpathEquivalence add the fragment and IDS
+  # dual-stack differentials): cheap, and mixed-family campaign
+  # determinism (ProvenanceCampaign.MixedFamily*) is exactly a worker
+  # pool surface.
   ctest --test-dir "$ROOT/build-tsan" --output-on-failure -j "$(nproc)" \
         --schedule-random \
-        -R '(Campaign|CampaignResume|Checkpoint|Logging|Merge|PacketFuzz|TimerWheel|PacketView|Provenance)'
+        -R '(Campaign|CampaignResume|Checkpoint|Logging|Merge|PacketFuzz|TimerWheel|PacketView|Provenance|Fragment6|Reassembler6|FastpathEquivalence)'
 fi
 
 if [ "$STAGE" = "all" ] || [ "$STAGE" = "simcheck" ]; then
@@ -89,6 +100,15 @@ if [ "$STAGE" = "all" ] || [ "$STAGE" = "simcheck" ]; then
     echo "!!! simcheck logs differ between -j1 and -j4" >&2
     exit 1
   fi
+  # The exploration must actually exercise both address families — a
+  # generator regression that silently stops sampling v6 (or v4) would
+  # otherwise leave the dual-stack oracles untested.
+  for fam in v4 v6; do
+    if ! grep -q "family=$fam" /tmp/simcheck-j1.log; then
+      echo "!!! simcheck exploration log has no family=$fam trials" >&2
+      exit 1
+    fi
+  done
   # The sabotages must be caught and shrink to small reproducers.
   "$SIMCHECK" --seed "$SEED" --trials 64 -j4 --fault break-verdict \
               --expect-counterexample --max-elements 6

@@ -16,8 +16,8 @@ CensorTap::CensorTap(CensorPolicy policy)
 bool CensorTap::in_blackout(const TapContext& ctx) {
   if (blackouts_.empty()) return false;
   const auto& d = ctx.decoded();
-  BlackoutKey key{d.ip.src, d.ip.dst, d.src_port(), d.dst_port()};
-  BlackoutKey rkey{d.ip.dst, d.ip.src, d.dst_port(), d.src_port()};
+  BlackoutKey key{d.src_addr(), d.dst_addr(), d.src_port(), d.dst_port()};
+  BlackoutKey rkey{d.dst_addr(), d.src_addr(), d.dst_port(), d.src_port()};
   for (const auto& k : {key, rkey}) {
     auto it = blackouts_.find(k);
     if (it != blackouts_.end()) {
@@ -25,6 +25,16 @@ bool CensorTap::in_blackout(const TapContext& ctx) {
       blackouts_.erase(it);
     }
   }
+  return false;
+}
+
+bool CensorTap::v6_null_routed(const packet::Decoded& d) const {
+  const common::Ipv6Address& src = d.ip6->src;
+  const common::Ipv6Address& dst = d.ip6->dst;
+  for (const auto& ip : policy_.blocked_ips6)
+    if (src == ip || dst == ip) return true;
+  for (const auto& prefix : policy_.blocked_prefixes6)
+    if (prefix.contains(src) || prefix.contains(dst)) return true;
   return false;
 }
 
@@ -45,8 +55,25 @@ void CensorTap::inject_rsts(const TapContext& ctx, netsim::Router& router) {
   obs::ScopedCause cause(prov, action);
 
   // Blackout the 5-tuple.
-  BlackoutKey key{d.ip.src, d.ip.dst, d.tcp->src_port, d.tcp->dst_port};
+  BlackoutKey key{d.src_addr(), d.dst_addr(), d.tcp->src_port,
+                  d.tcp->dst_port};
   blackouts_[key] = ctx.now + policy_.flow_blackout;
+
+  // Forged segments are built in the flow's own family.
+  auto forge = [&](uint32_t seq, uint32_t ack, bool reverse) {
+    if (d.is_v6()) {
+      common::Ipv6Address s = reverse ? d.ip6->dst : d.ip6->src;
+      common::Ipv6Address t = reverse ? d.ip6->src : d.ip6->dst;
+      uint16_t sp = reverse ? d.tcp->dst_port : d.tcp->src_port;
+      uint16_t tp = reverse ? d.tcp->src_port : d.tcp->dst_port;
+      return packet::make_tcp6(s, t, sp, tp, TcpFlags::kRst, seq, ack);
+    }
+    common::Ipv4Address s = reverse ? d.ip.dst : d.ip.src;
+    common::Ipv4Address t = reverse ? d.ip.src : d.ip.dst;
+    uint16_t sp = reverse ? d.tcp->dst_port : d.tcp->src_port;
+    uint16_t tp = reverse ? d.tcp->src_port : d.tcp->dst_port;
+    return packet::make_tcp(s, t, sp, tp, TcpFlags::kRst, seq, ack);
+  };
 
   uint32_t payload = static_cast<uint32_t>(d.l4_payload.size());
   for (int i = 0; i < policy_.rst_burst; ++i) {
@@ -54,15 +81,11 @@ void CensorTap::inject_rsts(const TapContext& ctx, netsim::Router& router) {
     // lands in-window even if more data is in flight.
     uint32_t stagger = static_cast<uint32_t>(i) * 1460;
     // RST toward the server, forged from the client.
-    router.inject(packet::make_tcp(d.ip.src, d.ip.dst, d.tcp->src_port,
-                                   d.tcp->dst_port, TcpFlags::kRst,
-                                   d.tcp->seq + payload + stagger, 0));
+    router.inject(forge(d.tcp->seq + payload + stagger, 0, false));
     ++stats_.rst_packets_injected;
     // RST toward the client, forged from the server.
     if (d.tcp->ack_flag()) {
-      router.inject(packet::make_tcp(d.ip.dst, d.ip.src, d.tcp->dst_port,
-                                     d.tcp->src_port, TcpFlags::kRst,
-                                     d.tcp->ack + stagger, 0));
+      router.inject(forge(d.tcp->ack + stagger, 0, true));
       ++stats_.rst_packets_injected;
     }
   }
@@ -92,8 +115,14 @@ bool CensorTap::maybe_forge_dns(const TapContext& ctx,
                                                proto::dns::Rcode::NoError);
   resp.answers.push_back(
       proto::dns::ResourceRecord::a(q.name, *forged, 300));
-  router.inject(packet::make_udp(d.ip.dst, d.ip.src, 53, d.udp->src_port,
-                                 proto::dns::encode(resp)));
+  if (d.is_v6()) {
+    router.inject(packet::make_udp6(d.ip6->dst, d.ip6->src, 53,
+                                    d.udp->src_port,
+                                    proto::dns::encode(resp)));
+  } else {
+    router.inject(packet::make_udp(d.ip.dst, d.ip.src, 53, d.udp->src_port,
+                                   proto::dns::encode(resp)));
+  }
   ++stats_.dns_responses_forged;
   return true;
 }
@@ -151,21 +180,31 @@ bool CensorTap::maybe_inject_blockpage(const TapContext& ctx,
   uint32_t server_seq = d.tcp->ack;  // next byte the client expects
   uint32_t client_next =
       d.tcp->seq + static_cast<uint32_t>(d.l4_payload.size());
-  router.inject(packet::make_tcp(
-      d.ip.dst, d.ip.src, d.tcp->dst_port, d.tcp->src_port,
-      packet::TcpFlags::kAck | packet::TcpFlags::kPsh, server_seq,
-      client_next, common::to_bytes(http)));
-  router.inject(packet::make_tcp(
-      d.ip.dst, d.ip.src, d.tcp->dst_port, d.tcp->src_port,
-      packet::TcpFlags::kFin | packet::TcpFlags::kAck,
-      server_seq + static_cast<uint32_t>(http.size()), client_next));
+  auto forge = [&](bool from_server, uint8_t flags, uint32_t seq,
+                   uint32_t ack, std::span<const uint8_t> payload =
+                                     std::span<const uint8_t>{}) {
+    uint16_t sp = from_server ? d.tcp->dst_port : d.tcp->src_port;
+    uint16_t dp = from_server ? d.tcp->src_port : d.tcp->dst_port;
+    if (d.is_v6()) {
+      common::Ipv6Address s = from_server ? d.ip6->dst : d.ip6->src;
+      common::Ipv6Address t = from_server ? d.ip6->src : d.ip6->dst;
+      return packet::make_tcp6(s, t, sp, dp, flags, seq, ack, payload);
+    }
+    common::Ipv4Address s = from_server ? d.ip.dst : d.ip.src;
+    common::Ipv4Address t = from_server ? d.ip.src : d.ip.dst;
+    return packet::make_tcp(s, t, sp, dp, flags, seq, ack, payload);
+  };
+  router.inject(forge(true, packet::TcpFlags::kAck | packet::TcpFlags::kPsh,
+                      server_seq, client_next, common::to_bytes(http)));
+  router.inject(forge(true, packet::TcpFlags::kFin | packet::TcpFlags::kAck,
+                      server_seq + static_cast<uint32_t>(http.size()),
+                      client_next));
   // RST toward the real server, forged from the client.
-  router.inject(packet::make_tcp(d.ip.src, d.ip.dst, d.tcp->src_port,
-                                 d.tcp->dst_port, packet::TcpFlags::kRst,
-                                 client_next, 0));
+  router.inject(forge(false, packet::TcpFlags::kRst, client_next, 0));
   // Blackout the tuple so retransmissions of the request do not reach
   // the server either.
-  BlackoutKey key{d.ip.src, d.ip.dst, d.tcp->src_port, d.tcp->dst_port};
+  BlackoutKey key{d.src_addr(), d.dst_addr(), d.tcp->src_port,
+                  d.tcp->dst_port};
   blackouts_[key] = ctx.now + policy_.flow_blackout;
   return true;
 }
@@ -183,9 +222,26 @@ TapDecision CensorTap::process(const TapContext& ctx,
     return TapDecision::Drop;
   }
 
-  const auto& ip = ctx.decoded().ip;
-  if ((ip.more_fragments || ip.fragment_offset != 0) &&
-      policy_.reassemble_ip_fragments) {
+  const auto& dec = ctx.decoded();
+
+  // Extension-header blindness: the DPI engine never finds the L4 header
+  // behind a chain it does not walk, so keyword/port inspection is
+  // skipped wholesale; only fixed-header null routes still bite.
+  if (policy_.v6_ext_header_blind && dec.is_v6() &&
+      dec.ip6->ext_count > 0) {
+    ++stats_.v6_ext_blind_passes;
+    if (v6_null_routed(dec)) {
+      ++stats_.dropped_inline;
+      if (auto* prov = router.engine().provenance()) {
+        prov->record(obs::ProvKind::CensorAction, ctx.now, ctx.prov,
+                     ctx.prov, "inline-drop", "v6-null-route");
+      }
+      return TapDecision::Drop;
+    }
+    return TapDecision::Pass;
+  }
+
+  if (dec.is_fragment() && policy_.reassemble_ip_fragments) {
     // Virtual defragmentation: inspect the rebuilt datagram when the
     // last piece arrives; earlier fragments were already forwarded, so
     // an inline action can only eat this final piece (plus the blackout).
@@ -264,6 +320,8 @@ void CensorTap::export_metrics(obs::Registry& registry) const {
       "packets discarded by inline drop rules");
   set("sm_censor_dropped_blackout_total", stats_.dropped_blackout,
       "packets discarded during a 5-tuple blackout");
+  set("sm_censor_v6_ext_blind_passes_total", stats_.v6_ext_blind_passes,
+      "v6 packets skipped by extension-header-blind inspection");
   registry
       .gauge("sm_censor_blackouts_active", {},
              "5-tuple blackout entries currently held")

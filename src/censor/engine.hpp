@@ -37,6 +37,9 @@ class CensorTap : public netsim::Tap {
     uint64_t blockpages_injected = 0;
     uint64_t dropped_inline = 0;
     uint64_t dropped_blackout = 0;
+    /// v6 packets whose extension headers made the content engine skip
+    /// them (policy.v6_ext_header_blind) — the E25 evasion channel.
+    uint64_t v6_ext_blind_passes = 0;
   };
   const Stats& stats() const { return stats_; }
   const CensorPolicy& policy() const { return policy_; }
@@ -63,6 +66,10 @@ class CensorTap : public netsim::Tap {
   bool maybe_inject_blockpage(const netsim::TapContext& ctx,
                               netsim::Router& router);
   bool in_blackout(const netsim::TapContext& ctx);
+  /// Fixed-header v6 null-route check used on the ext-header-blind path:
+  /// address/prefix blocks need no header walk, so even a blind middlebox
+  /// applies them.
+  bool v6_null_routed(const packet::Decoded& d) const;
   /// The detection+action pipeline, applied to a (possibly virtually
   /// reassembled) datagram.
   netsim::TapDecision inspect(const netsim::TapContext& ctx,
@@ -74,7 +81,7 @@ class CensorTap : public netsim::Tap {
   Stats stats_;
 
   struct BlackoutKey {
-    common::Ipv4Address src, dst;
+    common::IpAddress src, dst;
     uint16_t src_port = 0, dst_port = 0;
     auto operator<=>(const BlackoutKey&) const = default;
   };

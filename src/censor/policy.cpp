@@ -77,6 +77,46 @@ std::vector<ids::Rule> CensorPolicy::compile_rules(uint32_t base_sid) const {
     rules.push_back(std::move(r));
   }
 
+  for (const auto& ip : blocked_ips6) {
+    ids::Rule r;
+    r.action = ids::RuleAction::Drop;
+    r.proto = ids::RuleProto::Ip;
+    r.bidirectional = true;
+    r.msg = "CENSOR null-route " + ip.to_string();
+    r.classtype = "censorship-ip";
+    r.sid = sid++;
+    r.dst.any = false;
+    r.dst.cidrs6.push_back(common::Cidr6(ip, 128));
+    rules.push_back(std::move(r));
+  }
+
+  for (const auto& prefix : blocked_prefixes6) {
+    ids::Rule r;
+    r.action = ids::RuleAction::Drop;
+    r.proto = ids::RuleProto::Ip;
+    r.bidirectional = true;
+    r.msg = "CENSOR null-route range " + prefix.to_string();
+    r.classtype = "censorship-ip";
+    r.sid = sid++;
+    r.dst.any = false;
+    r.dst.cidrs6.push_back(prefix);
+    rules.push_back(std::move(r));
+  }
+
+  for (const auto& [ip, port] : blocked_ports6) {
+    ids::Rule r;
+    r.action = ids::RuleAction::Drop;
+    r.proto = ids::RuleProto::Tcp;
+    r.msg = common::format("CENSOR port block %s:%u",
+                           ip.to_string().c_str(), port);
+    r.classtype = "censorship-port";
+    r.sid = sid++;
+    r.dst.any = false;
+    r.dst.cidrs6.push_back(common::Cidr6(ip, 128));
+    r.dst_ports = ids::PortSpec::single(port);
+    rules.push_back(std::move(r));
+  }
+
   return rules;
 }
 

@@ -22,6 +22,7 @@ namespace sm::censor {
 
 using common::Duration;
 using common::Ipv4Address;
+using common::Ipv6Address;
 
 struct CensorPolicy {
   /// TCP payload keywords that trigger RST injection (matched nocase,
@@ -60,6 +61,23 @@ struct CensorPolicy {
 
   /// (address, port) pairs: packets toward that service are dropped.
   std::vector<std::pair<Ipv4Address, uint16_t>> blocked_ports;
+
+  /// v6 counterparts. Deliberately separate lists: a censor that only
+  /// provisioned v4 blocks leaves the same service reachable over v6,
+  /// which is exactly the dual-stack asymmetry E25 measures. Policies
+  /// wanting parity must list both families explicitly.
+  std::vector<Ipv6Address> blocked_ips6;
+  std::vector<common::Cidr6> blocked_prefixes6;
+  std::vector<std::pair<Ipv6Address, uint16_t>> blocked_ports6;
+
+  /// Extension-header blindness: when true (default — the middlebox
+  /// behaviour reported for deployed DPI), any v6 packet carrying
+  /// extension headers bypasses keyword/content inspection entirely;
+  /// address/port drop rules still apply because they need only the
+  /// fixed header. A traffic normalizer upstream
+  /// (packet::strip_ext_headers6 as a router Transformer) closes the
+  /// evasion window.
+  bool v6_ext_header_blind = true;
 
   /// After a keyword RST fires, the 5-tuple is blackholed this long
   /// (the GFC's observed ~90 s flow blackout).

@@ -31,6 +31,130 @@ std::string Ipv4Address::to_string() const {
   return std::string(buf, static_cast<size_t>(n));
 }
 
+std::optional<Ipv6Address> Ipv6Address::parse(std::string_view text) {
+  // Groups before and after an optional "::". A trailing dotted-quad
+  // counts as two groups.
+  std::array<uint16_t, 8> groups{};
+  size_t head = 0, tail = 0;       // groups filled before/after "::"
+  std::array<uint16_t, 8> tail_groups{};
+  bool seen_gap = false;
+  std::string_view rest = text;
+
+  // Leading "::" (also covers "::" alone).
+  if (rest.size() >= 2 && rest[0] == ':' && rest[1] == ':') {
+    seen_gap = true;
+    rest.remove_prefix(2);
+  } else if (!rest.empty() && rest[0] == ':') {
+    return std::nullopt;
+  }
+
+  while (!rest.empty()) {
+    // Dotted-quad tail: only valid as the final component.
+    if (rest.find('.') != std::string_view::npos &&
+        rest.find(':') == std::string_view::npos) {
+      auto v4 = Ipv4Address::parse(rest);
+      if (!v4) return std::nullopt;
+      uint32_t v = v4->value();
+      auto put = [&](uint16_t g) {
+        if (head + tail >= 8) return false;
+        (seen_gap ? tail_groups[tail++] : groups[head++]) = g;
+        return true;
+      };
+      if (!put(static_cast<uint16_t>(v >> 16)) ||
+          !put(static_cast<uint16_t>(v)))
+        return std::nullopt;
+      rest = {};
+      break;
+    }
+    unsigned value = 0;
+    const char* p = rest.data();
+    const char* end = rest.data() + rest.size();
+    auto [next, ec] = std::from_chars(p, end, value, 16);
+    if (ec != std::errc{} || value > 0xFFFF || next == p || next - p > 4)
+      return std::nullopt;
+    if (head + tail >= 8) return std::nullopt;
+    (seen_gap ? tail_groups[tail++] : groups[head++]) =
+        static_cast<uint16_t>(value);
+    rest.remove_prefix(static_cast<size_t>(next - p));
+    if (rest.empty()) break;
+    if (rest[0] != ':') return std::nullopt;
+    rest.remove_prefix(1);
+    if (!rest.empty() && rest[0] == ':') {
+      if (seen_gap) return std::nullopt;  // at most one "::"
+      seen_gap = true;
+      rest.remove_prefix(1);
+      if (rest.empty()) break;  // trailing "::"
+    } else if (rest.empty()) {
+      return std::nullopt;  // trailing single ":"
+    }
+  }
+
+  if (!seen_gap && head + tail != 8) return std::nullopt;
+  // "::" must stand for at least one zero group.
+  if (seen_gap && head + tail >= 8) return std::nullopt;
+  std::array<uint8_t, 16> bytes{};
+  for (size_t i = 0; i < head; ++i) {
+    bytes[2 * i] = static_cast<uint8_t>(groups[i] >> 8);
+    bytes[2 * i + 1] = static_cast<uint8_t>(groups[i]);
+  }
+  for (size_t i = 0; i < tail; ++i) {
+    size_t at = 8 - tail + i;
+    bytes[2 * at] = static_cast<uint8_t>(tail_groups[i] >> 8);
+    bytes[2 * at + 1] = static_cast<uint8_t>(tail_groups[i]);
+  }
+  return Ipv6Address(bytes);
+}
+
+std::string Ipv6Address::to_string() const {
+  std::array<uint16_t, 8> groups{};
+  for (size_t i = 0; i < 8; ++i) {
+    groups[i] = static_cast<uint16_t>(uint16_t{bytes_[2 * i]} << 8 |
+                                      uint16_t{bytes_[2 * i + 1]});
+  }
+  // Longest run of zero groups (>= 2) to compress; leftmost on tie.
+  int best_start = -1, best_len = 0;
+  for (int i = 0; i < 8;) {
+    if (groups[static_cast<size_t>(i)] != 0) {
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j < 8 && groups[static_cast<size_t>(j)] == 0) ++j;
+    if (j - i > best_len) {
+      best_start = i;
+      best_len = j - i;
+    }
+    i = j;
+  }
+  if (best_len < 2) best_start = -1;
+
+  std::string out;
+  char buf[8];
+  for (int i = 0; i < 8; ++i) {
+    if (i == best_start) {
+      out += "::";
+      i += best_len - 1;  // loop increment steps past the run
+      continue;
+    }
+    if (!out.empty() && out.back() != ':') out += ':';
+    int n = std::snprintf(buf, sizeof(buf), "%x",
+                          groups[static_cast<size_t>(i)]);
+    out.append(buf, static_cast<size_t>(n));
+  }
+  return out;
+}
+
+std::optional<IpAddress> IpAddress::parse(std::string_view text) {
+  if (text.find(':') != std::string_view::npos) {
+    auto v6 = Ipv6Address::parse(text);
+    if (!v6) return std::nullopt;
+    return IpAddress(*v6);
+  }
+  auto v4 = Ipv4Address::parse(text);
+  if (!v4) return std::nullopt;
+  return IpAddress(*v4);
+}
+
 std::optional<MacAddress> MacAddress::parse(std::string_view text) {
   std::array<uint8_t, 6> octets{};
   const char* p = text.data();
@@ -75,6 +199,25 @@ std::optional<Cidr> Cidr::parse(std::string_view text) {
 }
 
 std::string Cidr::to_string() const {
+  return network_.to_string() + "/" + std::to_string(prefix_len_);
+}
+
+std::optional<Cidr6> Cidr6::parse(std::string_view text) {
+  auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  auto addr = Ipv6Address::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  auto len_text = text.substr(slash + 1);
+  unsigned len = 0;
+  auto [next, ec] =
+      std::from_chars(len_text.data(), len_text.data() + len_text.size(), len);
+  if (ec != std::errc{} || len > 128 ||
+      next != len_text.data() + len_text.size() || len_text.empty())
+    return std::nullopt;
+  return Cidr6(*addr, static_cast<uint8_t>(len));
+}
+
+std::string Cidr6::to_string() const {
   return network_.to_string() + "/" + std::to_string(prefix_len_);
 }
 

@@ -5,9 +5,12 @@
 namespace sm::core {
 
 PingProbe::PingProbe(Testbed& tb, PingOptions options)
-    : tb_(tb), options_(std::move(options)) {
+    : tb_(tb),
+      options_(std::move(options)),
+      target6_(common::map_v6(options_.target)) {
   report_.technique = "ping";
-  report_.target = options_.target.to_string();
+  report_.target = options_.ipv6 ? target6_.to_string()
+                                 : options_.target.to_string();
   report_.samples = options_.count;
 }
 
@@ -18,9 +21,16 @@ void PingProbe::start() {
       [this, alive = guard()](const packet::Decoded& d,
                               const common::Bytes&) {
         if (alive.expired() || done_) return;
-        if (d.icmp->type == packet::IcmpHeader::kEchoReply &&
-            d.ip.src == options_.target &&
-            (d.icmp->rest >> 16) == ident_) {
+        // Echo replies match only over the family we probed on.
+        const bool family_match =
+            options_.ipv6
+                ? (d.is_v6() &&
+                   d.icmp->type == packet::IcmpHeader::kEchoReply6 &&
+                   d.ip6->src == target6_)
+                : (!d.is_v6() &&
+                   d.icmp->type == packet::IcmpHeader::kEchoReply &&
+                   d.ip.src == options_.target);
+        if (family_match && (d.icmp->rest >> 16) == ident_) {
           if (seen_seqs_.insert(d.icmp->rest & 0xffff).second) {
             prov_.evidence(tb_.net.engine().now(), "echo-reply",
                            "seq=" + std::to_string(d.icmp->rest & 0xffff));
@@ -45,10 +55,17 @@ void PingProbe::send_round() {
                       ++report_.packets_sent;
                       obs::ScopedCause cause(prov_.graph(),
                                              prov_.attempt_id());
-                      tb_.client->send(packet::make_icmp(
-                          tb_.client->address(), options_.target,
-                          packet::IcmpHeader::kEchoRequest, 0,
-                          (uint32_t{ident_} << 16) | seq));
+                      if (options_.ipv6) {
+                        tb_.client->send(packet::make_icmp6(
+                            tb_.client->address6(), target6_,
+                            packet::IcmpHeader::kEchoRequest6, 0,
+                            (uint32_t{ident_} << 16) | seq));
+                      } else {
+                        tb_.client->send(packet::make_icmp(
+                            tb_.client->address(), options_.target,
+                            packet::IcmpHeader::kEchoRequest, 0,
+                            (uint32_t{ident_} << 16) | seq));
+                      }
                     });
   }
   engine.schedule(options_.interval * static_cast<int64_t>(options_.count) +

@@ -16,6 +16,9 @@ namespace sm::core {
 
 struct PingOptions {
   common::Ipv4Address target;
+  /// Probe over IPv6 (ICMPv6 echo to map_v6(target) from the client's
+  /// v6 address). Same verdict taxonomy as v4.
+  bool ipv6 = false;
   size_t count = 3;
   common::Duration interval = common::Duration::millis(200);
   common::Duration reply_timeout = common::Duration::millis(800);
@@ -41,6 +44,7 @@ class PingProbe : public Probe {
 
   Testbed& tb_;
   PingOptions options_;
+  common::Ipv6Address target6_;  // map_v6(target); used when options_.ipv6
   uint16_t ident_ = 0;
   /// Echo sequence numbers answered so far; a set, so duplicated
   /// replies (impaired links) cannot inflate the reply count.

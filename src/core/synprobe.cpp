@@ -8,11 +8,16 @@ using packet::TcpFlags;
 
 SynReachabilityProbe::SynReachabilityProbe(Testbed& tb,
                                            SynReachabilityOptions options)
-    : tb_(tb), options_(std::move(options)) {
+    : tb_(tb),
+      options_(std::move(options)),
+      target6_(common::map_v6(options_.target)) {
   report_.technique = "syn-reach";
-  report_.target = common::format("%s:%u",
-                                  options_.target.to_string().c_str(),
-                                  options_.port);
+  report_.target =
+      options_.ipv6
+          ? common::format("[%s]:%u", target6_.to_string().c_str(),
+                           options_.port)
+          : common::format("%s:%u", options_.target.to_string().c_str(),
+                           options_.port);
   report_.samples = 1;
   cover_ = std::make_unique<spoof::StatelessSynCover>(*tb_.client);
 }
@@ -46,15 +51,24 @@ void SynReachabilityProbe::send_attempt() {
   // they look like ordinary SYN retransmission and a late reply to an
   // earlier attempt still matches.
   ++report_.packets_sent;
-  tb_.client->send(packet::make_tcp(tb_.client->address(), options_.target,
-                                    sport_, options_.port, TcpFlags::kSyn,
-                                    iss_, 0));
+  if (options_.ipv6) {
+    tb_.client->send(packet::make_tcp6(tb_.client->address6(), target6_,
+                                       sport_, options_.port,
+                                       TcpFlags::kSyn, iss_, 0));
+  } else {
+    tb_.client->send(packet::make_tcp(tb_.client->address(),
+                                      options_.target, sport_,
+                                      options_.port, TcpFlags::kSyn, iss_,
+                                      0));
+  }
   if (attempt_ == 0) {
     auto neighbors = tb_.neighbor_addresses();
     if (neighbors.size() > options_.cover_count)
       neighbors.resize(options_.cover_count);
     report_.packets_sent +=
-        cover_->emit(neighbors, options_.target, options_.port);
+        options_.ipv6
+            ? cover_->emit6(neighbors, target6_, options_.port)
+            : cover_->emit(neighbors, options_.target, options_.port);
   }
   tb_.net.engine().schedule(
       options_.reply_timeout, [this, alive = guard(), a = attempt_]() {
@@ -64,8 +78,16 @@ void SynReachabilityProbe::send_attempt() {
 
 void SynReachabilityProbe::on_reply(const packet::Decoded& d) {
   if (done_ || replied_ || !d.tcp) return;
-  if (d.ip.src != options_.target || d.ip.dst != tb_.client->address())
+  // Replies must come back over the family we probed on; a v4 answer to
+  // a v6 probe (or vice versa) is somebody else's traffic.
+  if (options_.ipv6) {
+    if (!d.is_v6() || d.ip6->src != target6_ ||
+        d.ip6->dst != tb_.client->address6())
+      return;
+  } else if (d.is_v6() || d.ip.src != options_.target ||
+             d.ip.dst != tb_.client->address()) {
     return;
+  }
   if (d.tcp->src_port != options_.port || d.tcp->dst_port != sport_)
     return;
   replied_ = true;
@@ -80,10 +102,16 @@ void SynReachabilityProbe::on_reply(const packet::Decoded& d) {
     // does anyway; make it explicit for stack-less clients.
     ++report_.packets_sent;
     obs::ScopedCause cause(prov_.graph(), prov_.attempt_id());
-    tb_.client->send(packet::make_tcp(tb_.client->address(),
-                                      options_.target, sport_,
-                                      options_.port, TcpFlags::kRst,
-                                      d.tcp->ack, 0));
+    if (options_.ipv6) {
+      tb_.client->send(packet::make_tcp6(tb_.client->address6(), target6_,
+                                         sport_, options_.port,
+                                         TcpFlags::kRst, d.tcp->ack, 0));
+    } else {
+      tb_.client->send(packet::make_tcp(tb_.client->address(),
+                                        options_.target, sport_,
+                                        options_.port, TcpFlags::kRst,
+                                        d.tcp->ack, 0));
+    }
   } else if (d.tcp->rst()) {
     report_.verdict = Verdict::BlockedRst;
     report_.detail = "rst received on a port expected open";

@@ -17,6 +17,11 @@ namespace sm::core {
 struct SynReachabilityOptions {
   common::Ipv4Address target;
   uint16_t port = 80;
+  /// Probe over IPv6: the wire target is the map_v6 embedding of
+  /// `target`, sent from the client's v6 address (cover likewise). The
+  /// verdict taxonomy is unchanged — which is what lets the E2 matrix
+  /// put a v4 row and a v6 row for the same host side by side.
+  bool ipv6 = false;
   /// Spoofed duplicates of the probe from this many neighbors.
   size_t cover_count = 0;
   common::Duration reply_timeout = common::Duration::millis(800);
@@ -43,6 +48,7 @@ class SynReachabilityProbe : public Probe {
 
   Testbed& tb_;
   SynReachabilityOptions options_;
+  common::Ipv6Address target6_;  // map_v6(target); used when options_.ipv6
   std::unique_ptr<spoof::StatelessSynCover> cover_;
   uint16_t sport_ = 0;
   uint32_t iss_ = 0;

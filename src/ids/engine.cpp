@@ -152,12 +152,13 @@ bool Engine::header_matches(const CompiledRule& cr,
       break;
   }
   uint16_t sp = d.src_port(), dp = d.dst_port();
-  bool forward = r.src.matches(d.ip.src) && r.src_ports.matches(sp) &&
-                 r.dst.matches(d.ip.dst) && r.dst_ports.matches(dp);
+  IpAddress src = d.src_addr(), dst = d.dst_addr();
+  bool forward = r.src.matches(src) && r.src_ports.matches(sp) &&
+                 r.dst.matches(dst) && r.dst_ports.matches(dp);
   if (forward) return true;
   if (r.bidirectional) {
-    return r.src.matches(d.ip.dst) && r.src_ports.matches(dp) &&
-           r.dst.matches(d.ip.src) && r.dst_ports.matches(sp);
+    return r.src.matches(dst) && r.src_ports.matches(dp) &&
+           r.dst.matches(src) && r.dst_ports.matches(sp);
   }
   return false;
 }
@@ -222,9 +223,9 @@ bool Engine::threshold_allows(const CompiledRule& cr, SimTime now,
                               const packet::Decoded& d) {
   const auto& spec = cr.rule.threshold;
   if (!spec) return true;
-  Ipv4Address tracked = spec->track == ThresholdSpec::Track::BySrc
-                            ? d.ip.src
-                            : d.ip.dst;
+  IpAddress tracked = spec->track == ThresholdSpec::Track::BySrc
+                          ? d.src_addr()
+                          : d.dst_addr();
   ThresholdKey key{cr.rule.sid, tracked};
   ThresholdState& st = thresholds_[key];
   Duration window = Duration::seconds(spec->seconds);
@@ -277,8 +278,8 @@ bool Engine::eval_rule(uint32_t idx, SimTime now, const packet::Decoded& d,
   alert.classtype = r.classtype;
   alert.action = r.action;
   alert.priority = r.priority;
-  alert.src = d.ip.src;
-  alert.dst = d.ip.dst;
+  alert.src = d.src_addr();
+  alert.dst = d.dst_addr();
   alert.src_port = d.src_port();
   alert.dst_port = d.dst_port();
   verdict.alerts.push_back(std::move(alert));

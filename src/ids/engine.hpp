@@ -38,8 +38,8 @@ struct Alert {
   std::string classtype;
   RuleAction action = RuleAction::Alert;
   int priority = 3;
-  Ipv4Address src;
-  Ipv4Address dst;
+  IpAddress src;
+  IpAddress dst;
   uint16_t src_port = 0;
   uint16_t dst_port = 0;
 
@@ -167,7 +167,7 @@ class Engine {
 
   struct ThresholdKey {
     uint32_t sid;
-    Ipv4Address tracked;
+    IpAddress tracked;
     auto operator<=>(const ThresholdKey&) const = default;
   };
   struct ThresholdState {

@@ -66,18 +66,19 @@ size_t StreamBuffer::buffered_bytes() const {
 
 FlowKey FlowKey::from(const packet::Decoded& d) {
   FlowKey k;
-  k.proto = d.ip.protocol;
+  k.proto = d.l4_proto();
   uint16_t sp = d.src_port(), dp = d.dst_port();
+  IpAddress src = d.src_addr(), dst = d.dst_addr();
   // Canonical ordering: smaller (ip, port) endpoint is "a".
-  if (std::tie(d.ip.src, sp) <= std::tie(d.ip.dst, dp)) {
-    k.a = d.ip.src;
+  if (std::tie(src, sp) <= std::tie(dst, dp)) {
+    k.a = src;
     k.a_port = sp;
-    k.b = d.ip.dst;
+    k.b = dst;
     k.b_port = dp;
   } else {
-    k.a = d.ip.dst;
+    k.a = dst;
     k.a_port = dp;
-    k.b = d.ip.src;
+    k.b = src;
     k.b_port = sp;
   }
   return k;
@@ -90,7 +91,7 @@ FlowContext FlowTable::update(SimTime now, const packet::Decoded& d,
   auto [it, inserted] = flows_.try_emplace(key);
   FlowState& st = it->second;
   if (inserted) {
-    st.client = d.ip.src;
+    st.client = d.src_addr();
     st.client_port = d.src_port();
     st.first_seen = now;
     st.to_server_stream = StreamBuffer(stream_cap_);
@@ -98,7 +99,7 @@ FlowContext FlowTable::update(SimTime now, const packet::Decoded& d,
   }
   st.last_seen = now;
   bool to_server =
-      d.ip.src == st.client && d.src_port() == st.client_port;
+      d.src_addr() == st.client && d.src_port() == st.client_port;
   if (to_server) {
     ++st.packets_to_server;
     st.bytes_to_server += d.l4_payload.size();

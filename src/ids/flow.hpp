@@ -19,6 +19,7 @@
 namespace sm::ids {
 
 using common::Duration;
+using common::IpAddress;
 using common::Ipv4Address;
 using common::SimTime;
 
@@ -57,11 +58,12 @@ class StreamBuffer {
   std::map<uint32_t, std::vector<uint8_t>> pending_;  // out-of-order
 };
 
-/// Canonical 5-tuple key (direction-independent).
+/// Canonical 5-tuple key (direction-independent, either family — the
+/// IpAddress ordering keeps v4 and v6 flows in disjoint key ranges).
 struct FlowKey {
-  Ipv4Address a;
+  IpAddress a;
   uint16_t a_port = 0;
-  Ipv4Address b;
+  IpAddress b;
   uint16_t b_port = 0;
   uint8_t proto = 0;
 
@@ -72,7 +74,7 @@ struct FlowKey {
 
 struct FlowState {
   // The "client" is whoever sent the first packet we saw.
-  Ipv4Address client;
+  IpAddress client;
   uint16_t client_port = 0;
   bool syn_seen = false;
   bool synack_seen = false;

@@ -67,6 +67,18 @@ struct LineParser {
     for (auto part : split(inner, ',')) {
       part = trim(part);
       if (part.empty()) continue;
+      // v6 literals carry ':'; they go to the v6 CIDR list.
+      if (part.find(':') != std::string_view::npos) {
+        std::optional<common::Cidr6> cidr6;
+        if (part.find('/') != std::string_view::npos) {
+          cidr6 = common::Cidr6::parse(part);
+        } else if (auto addr = common::Ipv6Address::parse(part)) {
+          cidr6 = common::Cidr6(*addr, 128);
+        }
+        if (!cidr6) return fail("bad address " + std::string(part));
+        out.cidrs6.push_back(*cidr6);
+        continue;
+      }
       std::optional<Cidr> cidr;
       if (part.find('/') != std::string_view::npos) {
         cidr = Cidr::parse(part);
@@ -76,7 +88,8 @@ struct LineParser {
       if (!cidr) return fail("bad address " + std::string(part));
       out.cidrs.push_back(*cidr);
     }
-    if (out.cidrs.empty()) return fail("empty address list");
+    if (out.cidrs.empty() && out.cidrs6.empty())
+      return fail("empty address list");
     return true;
   }
 

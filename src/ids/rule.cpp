@@ -31,11 +31,19 @@ namespace {
 std::string address_text(const AddressSpec& a) {
   if (a.any) return "any";
   std::string out = a.negated ? "!" : "";
-  if (a.cidrs.size() == 1) return out + a.cidrs[0].to_string();
+  if (a.cidrs.size() + a.cidrs6.size() == 1) {
+    return out + (a.cidrs.empty() ? a.cidrs6[0].to_string()
+                                  : a.cidrs[0].to_string());
+  }
   out += "[";
-  for (size_t i = 0; i < a.cidrs.size(); ++i) {
-    if (i) out += ",";
-    out += a.cidrs[i].to_string();
+  size_t n = 0;
+  for (const auto& c : a.cidrs) {
+    if (n++) out += ",";
+    out += c.to_string();
+  }
+  for (const auto& c : a.cidrs6) {
+    if (n++) out += ",";
+    out += c.to_string();
   }
   out += "]";
   return out;

@@ -19,7 +19,10 @@
 namespace sm::ids {
 
 using common::Cidr;
+using common::Cidr6;
+using common::IpAddress;
 using common::Ipv4Address;
+using common::Ipv6Address;
 
 enum class RuleAction {
   Alert,   // log + alert
@@ -34,11 +37,16 @@ enum class RuleProto { Ip, Tcp, Udp, Icmp };
 std::string to_string(RuleAction a);
 std::string to_string(RuleProto p);
 
-/// Address specification: any, a CIDR list, possibly negated.
+/// Address specification: any, a CIDR list (either family), possibly
+/// negated. A v4 address is tested against the v4 list only and a v6
+/// address against the v6 list only — "any" matches both. That keeps
+/// family blindness explicit: a policy that lists only v4 prefixes does
+/// not match the same host reached over v6 (the asymmetry E25 measures).
 struct AddressSpec {
   bool any = false;
   bool negated = false;
   std::vector<Cidr> cidrs;
+  std::vector<Cidr6> cidrs6;
 
   bool matches(Ipv4Address addr) const {
     if (any) return true;
@@ -51,7 +59,22 @@ struct AddressSpec {
     return negated ? !in : in;
   }
 
-  static AddressSpec make_any() { return AddressSpec{true, false, {}}; }
+  bool matches(Ipv6Address addr) const {
+    if (any) return true;
+    bool in = false;
+    for (const auto& c : cidrs6)
+      if (c.contains(addr)) {
+        in = true;
+        break;
+      }
+    return negated ? !in : in;
+  }
+
+  bool matches(const IpAddress& addr) const {
+    return addr.is_v6() ? matches(addr.v6()) : matches(addr.v4());
+  }
+
+  static AddressSpec make_any() { return AddressSpec{true, false, {}, {}}; }
 };
 
 /// Port specification: any, single ports, ranges, possibly negated.

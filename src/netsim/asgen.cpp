@@ -54,6 +54,7 @@ AsTopology AsTopology::generate(Network& net, const AsGenConfig& config) {
     info.transit = a < transit;
     info.block = common::Cidr(Ipv4Address(static_cast<uint32_t>(cursor)),
                               as_len);
+    info.block6 = common::map_v6(info.block);
     info.first_host = topo.hosts_.size();
 
     for (size_t r = 0; r < routers_per_as; ++r) {
@@ -73,6 +74,8 @@ AsTopology AsTopology::generate(Network& net, const AsGenConfig& config) {
       bb.latency = config.backbone_latency;
       Link* link = net.connect(border, info.routers[r], bb);
       border->add_route(info.router_blocks[r], link->port_of(border));
+      border->add_route6(common::map_v6(info.router_blocks[r]),
+                         link->port_of(border));
       info.routers[r]->set_default_route(
           link->port_of(info.routers[r]));
     }
@@ -160,6 +163,7 @@ AsTopology AsTopology::generate(Network& net, const AsGenConfig& config) {
       int* port = port_toward.find(
           (static_cast<uint64_t>(src) << 32) | first_hop[dst]);
       border->add_route(topo.ases_[dst].block, *port);
+      border->add_route6(common::map_v6(topo.ases_[dst].block), *port);
     }
   }
 

@@ -48,6 +48,8 @@ struct AsInfo {
   bool transit = false;
   /// Aggregate prefix covering every address in this AS.
   common::Cidr block;
+  /// v6 aggregate: the map_v6 embedding of `block` (a /96+len prefix).
+  common::Cidr6 block6;
   /// routers[0] is the border; the rest hang off it in a star.
   std::vector<Router*> routers;
   /// Per-router aggregate announced by the border (one per router).

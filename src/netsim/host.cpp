@@ -10,7 +10,8 @@ namespace sm::netsim {
 Host::Host(Engine& engine, std::string name, Ipv4Address address)
     : Node(std::move(name), NodeKind::Host),
       engine_(engine),
-      address_(address) {}
+      address_(address),
+      address6_(common::map_v6(address)) {}
 
 void Host::send(packet::Packet packet) {
   ++packets_sent_;
@@ -22,6 +23,13 @@ void Host::send_udp(Ipv4Address dst, uint16_t src_port, uint16_t dst_port,
   packet::IpOptions opt;
   opt.ttl = ttl;
   send(packet::make_udp(address_, dst, src_port, dst_port, payload, opt));
+}
+
+void Host::send_udp6(Ipv6Address dst, uint16_t src_port, uint16_t dst_port,
+                     std::span<const uint8_t> payload, uint8_t hop_limit) {
+  packet::Ipv6Options opt;
+  opt.hop_limit = hop_limit;
+  send(packet::make_udp6(address6_, dst, src_port, dst_port, payload, opt));
 }
 
 void Host::udp_bind(uint16_t port, UdpHandler handler) {
@@ -54,10 +62,13 @@ void Host::receive(packet::Packet packet, int /*port*/) {
 
   for (const auto& [id, handler] : promiscuous_)
     handler(*decoded, packet.data());
-  if (decoded->ip.dst != address_) return;  // not ours (no forwarding)
+  // Not ours (no forwarding): match against the family's own address.
+  if (decoded->is_v6() ? decoded->ip6->dst != address6_
+                       : decoded->ip.dst != address_)
+    return;
 
   // End hosts reassemble IP fragments before protocol dispatch.
-  if (decoded->ip.more_fragments || decoded->ip.fragment_offset != 0) {
+  if (decoded->is_fragment()) {
     auto whole = reassembler_.add(engine_.now(), packet.data());
     if (!whole) return;  // still incomplete
     packet = std::move(*whole);
@@ -75,11 +86,18 @@ void Host::receive(packet::Packet packet, int /*port*/) {
     return;
   }
   if (decoded->icmp) {
-    if (decoded->icmp->type == packet::IcmpHeader::kEchoRequest &&
-        ping_reply_) {
-      send(packet::make_icmp(address_, decoded->ip.src,
-                             packet::IcmpHeader::kEchoReply, 0,
-                             decoded->icmp->rest, decoded->l4_payload));
+    if (ping_reply_) {
+      if (decoded->is_v6() &&
+          decoded->icmp->type == packet::IcmpHeader::kEchoRequest6) {
+        send(packet::make_icmp6(address6_, decoded->ip6->src,
+                                packet::IcmpHeader::kEchoReply6, 0,
+                                decoded->icmp->rest, decoded->l4_payload));
+      } else if (!decoded->is_v6() &&
+                 decoded->icmp->type == packet::IcmpHeader::kEchoRequest) {
+        send(packet::make_icmp(address_, decoded->ip.src,
+                               packet::IcmpHeader::kEchoReply, 0,
+                               decoded->icmp->rest, decoded->l4_payload));
+      }
     }
     if (icmp_handler_) icmp_handler_(*decoded, packet.data());
     return;

@@ -19,6 +19,7 @@
 namespace sm::netsim {
 
 using common::Ipv4Address;
+using common::Ipv6Address;
 
 class Host : public Node {
  public:
@@ -29,10 +30,15 @@ class Host : public Node {
   using UdpHandler = std::function<void(const packet::Decoded&,
                                         std::span<const uint8_t> payload)>;
 
+  /// Every host is dual-stack: its v6 address defaults to the
+  /// deterministic map_v6 embedding of its v4 address (override with
+  /// set_address6). Handlers and reassembly are shared across families.
   Host(Engine& engine, std::string name, Ipv4Address address);
 
   Engine& engine() { return engine_; }
   Ipv4Address address() const { return address_; }
+  Ipv6Address address6() const { return address6_; }
+  void set_address6(Ipv6Address addr) { address6_ = addr; }
 
   /// Sends a fully formed datagram out of the uplink (port 0). The source
   /// address is whatever the packet says — spoofing allowed.
@@ -41,6 +47,8 @@ class Host : public Node {
   /// Convenience: build and send a UDP datagram from this host's address.
   void send_udp(Ipv4Address dst, uint16_t src_port, uint16_t dst_port,
                 std::span<const uint8_t> payload, uint8_t ttl = 64);
+  void send_udp6(Ipv6Address dst, uint16_t src_port, uint16_t dst_port,
+                 std::span<const uint8_t> payload, uint8_t hop_limit = 64);
 
   /// Binds a UDP handler to a local port (replaces any existing binding).
   void udp_bind(uint16_t port, UdpHandler handler);
@@ -80,6 +88,7 @@ class Host : public Node {
  private:
   Engine& engine_;
   Ipv4Address address_;
+  Ipv6Address address6_;
   std::map<uint16_t, UdpHandler> udp_handlers_;
   PacketHandler tcp_handler_;
   PacketHandler icmp_handler_;

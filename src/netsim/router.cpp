@@ -15,6 +15,11 @@ void Router::add_route(Cidr prefix, int port) {
   lpm_dirty_ = true;
 }
 
+void Router::add_route6(Cidr6 prefix, int port) {
+  routes6_.emplace_back(prefix, port);
+  lpm6_dirty_ = true;
+}
+
 // Longest-prefix match runs against a compiled table: the address space
 // is painted with routes in ascending prefix-length order (so longer
 // prefixes overwrite shorter ones), and within one length in reverse
@@ -60,10 +65,64 @@ void Router::compile_routes() const {
   lpm_dirty_ = false;
 }
 
-int Router::route_lookup(Ipv4Address dst) const {
+// The v6 paint is the same algorithm over 128-bit keys. A /0 route's end
+// would be 2^129, which no fixed-width key can hold; since the network
+// address is masked, lo + size only wraps to zero for /0, and a wrapped
+// end simply means "no resume boundary" — mirroring the v4 kTop guard.
+void Router::compile_routes6() const {
+  using U128 = unsigned __int128;
+  std::vector<size_t> order(routes6_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    uint8_t la = routes6_[a].first.prefix_len();
+    uint8_t lb = routes6_[b].first.prefix_len();
+    if (la != lb) return la < lb;
+    return a > b;
+  });
+
+  std::map<U128, int32_t> seg;
+  seg[0] = kNoRoute;
+  for (size_t i : order) {
+    const Cidr6& prefix = routes6_[i].first;
+    const U128 lo = static_cast<U128>(prefix.network().hi()) << 64 |
+                    prefix.network().lo();
+    const uint8_t len = prefix.prefix_len();
+    const U128 hi =
+        len == 0 ? 0
+                 : lo + (len == 128 ? 1 : static_cast<U128>(1)
+                                              << (128 - len));
+    auto after = hi == 0 ? seg.end() : seg.upper_bound(hi);
+    int32_t resume = after == seg.begin()
+                         ? kNoRoute
+                         : std::prev(after)->second;
+    seg.erase(seg.lower_bound(lo), after);
+    seg[lo] = routes6_[i].second;
+    if (hi != 0) seg[hi] = resume;
+  }
+
+  lpm6_starts_.clear();
+  lpm6_ports_.clear();
+  for (const auto& [start, port] : seg) {
+    if (!lpm6_ports_.empty() && lpm6_ports_.back() == port) continue;
+    lpm6_starts_.push_back(start);
+    lpm6_ports_.push_back(port);
+  }
+  lpm6_dirty_ = false;
+}
+
+int Router::route_lookup(const IpAddress& dst) const {
+  if (dst.is_v6()) {
+    if (lpm6_dirty_) compile_routes6();
+    unsigned __int128 key =
+        static_cast<unsigned __int128>(dst.v6().hi()) << 64 | dst.v6().lo();
+    auto it = std::upper_bound(lpm6_starts_.begin(), lpm6_starts_.end(), key);
+    int32_t port =
+        lpm6_ports_[static_cast<size_t>(it - lpm6_starts_.begin()) - 1];
+    return port == kNoRoute ? default_port_ : port;
+  }
   if (lpm_dirty_) compile_routes();
   auto it = std::upper_bound(lpm_starts_.begin(), lpm_starts_.end(),
-                             dst.value());
+                             dst.v4().value());
   int32_t port = lpm_ports_[static_cast<size_t>(it - lpm_starts_.begin()) - 1];
   return port == kNoRoute ? default_port_ : port;
 }
@@ -75,7 +134,7 @@ void Router::set_ingress_filter(int port, IngressFilter filter) {
 void Router::inject(packet::Packet packet) {
   auto decoded = packet::decode(packet);
   if (!decoded) return;
-  int out = route_lookup(decoded->ip.dst);
+  int out = route_lookup(decoded->dst_addr());
   if (out < 0) return;
   ++counters_.injected;
   transmit(std::move(packet), out);
@@ -86,10 +145,12 @@ void Router::receive(packet::Packet packet, int port) {
   // recording, forwarding only needs the destination address, so a
   // header peek (same accept/reject set as decode()) replaces the full
   // parse. TTL expiry is delegated to the slow path, which builds the
-  // ICMP error from a real decode.
+  // ICMP error from a real decode. The TTL octet sits at wire[8] for v4
+  // and the hop limit at wire[7] for v6, so the pre-peek check
+  // dispatches on the version nibble.
   if (taps_.empty() && !transformer_ && ingress_filters_.empty() &&
       engine_.provenance() == nullptr && packet.size() > 8 &&
-      packet.data()[8] > 1) {
+      packet.data()[(packet.data()[0] >> 4) == 6 ? 7 : 8] > 1) {
     auto dst = packet::route_peek(packet.data());
     if (!dst) return;
     int out = route_lookup(*dst);
@@ -108,7 +169,7 @@ void Router::receive(packet::Packet packet, int port) {
 
   auto filter_it = ingress_filters_.find(port);
   if (filter_it != ingress_filters_.end() &&
-      !filter_it->second(decoded->ip.src)) {
+      !filter_it->second(decoded->src_addr())) {
     ++counters_.dropped_ingress;
     return;
   }
@@ -117,7 +178,7 @@ void Router::receive(packet::Packet packet, int port) {
 
 void Router::forward(packet::Packet packet, const packet::Decoded& decoded,
                      int in_port) {
-  int out = route_lookup(decoded.ip.dst);
+  int out = route_lookup(decoded.dst_addr());
   obs::ProvenanceGraph* prov = engine_.provenance();
 
   // Taps observe at ingress, before TTL processing — like a port mirror.
@@ -146,21 +207,29 @@ void Router::forward(packet::Packet packet, const packet::Decoded& decoded,
   }
 
   if (!packet::decrement_ttl(packet.data())) return;
-  if (packet.data()[8] == 0) {  // TTL expired here
+  if (packet.data()[decoded.is_v6() ? 7 : 8] == 0) {  // TTL expired here
     ++counters_.dropped_ttl;
     ++counters_.icmp_time_exceeded;
     if (prov != nullptr) {
       prov->record(obs::ProvKind::Drop, engine_.now(), packet.prov_id(),
                    packet.prov_id(), "ttl-expired", name());
     }
-    // ICMP Time Exceeded carries the expired packet's IP header + 8 bytes.
+    // The error quotes the expired packet's IP header + 8 bytes (RFC 792;
+    // RFC 4443 allows up to the MTU — we quote the same prefix).
     size_t quote_len =
-        std::min(packet.size(), decoded.ip.header_length() + 8);
+        std::min(packet.size(), decoded.net_header_length() + 8);
     std::span<const uint8_t> quote(packet.data().data(), quote_len);
     // The error packet is caused by the expiry, not by a probe attempt.
     obs::ScopedCause cause(prov, packet.prov_id());
-    inject(packet::make_icmp(router_address_, decoded.ip.src,
-                             packet::IcmpHeader::kTimeExceeded, 0, 0, quote));
+    if (decoded.is_v6()) {
+      inject(packet::make_icmp6(router_address6_, decoded.ip6->src,
+                                packet::IcmpHeader::kTimeExceeded6, 0, 0,
+                                quote));
+    } else {
+      inject(packet::make_icmp(router_address_, decoded.ip.src,
+                               packet::IcmpHeader::kTimeExceeded, 0, 0,
+                               quote));
+    }
     return;
   }
 

@@ -20,7 +20,10 @@
 namespace sm::netsim {
 
 using common::Cidr;
+using common::Cidr6;
+using common::IpAddress;
 using common::Ipv4Address;
+using common::Ipv6Address;
 
 class Router;
 
@@ -61,19 +64,22 @@ class Router : public Node {
 
   Engine& engine() { return engine_; }
 
-  /// Adds a route; lookups use longest-prefix match.
+  /// Adds a route; lookups use longest-prefix match. The two families
+  /// keep separate tables; the default route is shared.
   void add_route(Cidr prefix, int port);
+  void add_route6(Cidr6 prefix, int port);
   void set_default_route(int port) { default_port_ = port; }
 
-  /// Returns the egress port for `dst`, or -1 if unroutable.
-  int route_lookup(Ipv4Address dst) const;
+  /// Returns the egress port for `dst`, or -1 if unroutable. Dispatches
+  /// on the address family.
+  int route_lookup(const IpAddress& dst) const;
 
   /// Appends a tap to the inline chain (runs after existing taps).
   void add_tap(Tap* tap) { taps_.push_back(tap); }
 
   /// Ingress filter for a port: return false to drop (e.g. spoofed source
-  /// under BCP38). Checked before taps run.
-  using IngressFilter = std::function<bool(Ipv4Address src)>;
+  /// under BCP38). Checked before taps run. Filters see either family.
+  using IngressFilter = std::function<bool(const IpAddress& src)>;
   void set_ingress_filter(int port, IngressFilter filter);
 
   /// Routes a locally originated packet (used by taps to inject RSTs or
@@ -108,8 +114,14 @@ class Router : public Node {
   /// forwarding path is untouched).
   void export_metrics(obs::Registry& registry) const;
 
-  /// Address used as the source of router-originated ICMP errors.
-  void set_router_address(Ipv4Address addr) { router_address_ = addr; }
+  /// Address used as the source of router-originated ICMP errors. The v6
+  /// counterpart defaults to the deterministic map_v6 embedding and can
+  /// be overridden separately.
+  void set_router_address(Ipv4Address addr) {
+    router_address_ = addr;
+    router_address6_ = common::map_v6(addr);
+  }
+  void set_router_address6(Ipv6Address addr) { router_address6_ = addr; }
 
  private:
   /// `decoded` is the single per-hop decode, produced by receive(); its
@@ -120,20 +132,28 @@ class Router : public Node {
 
   void compile_routes() const;
 
+  void compile_routes6() const;
+
   Engine& engine_;
-  std::vector<std::pair<Cidr, int>> routes_;  // insertion order
+  std::vector<std::pair<Cidr, int>> routes_;    // insertion order
+  std::vector<std::pair<Cidr6, int>> routes6_;  // insertion order
   /// Compiled longest-prefix-match table: disjoint half-open intervals
   /// [lpm_starts_[i], lpm_starts_[i+1]) -> lpm_ports_[i] (kNoRoute means
   /// fall through to the default route). Lazily rebuilt after add_route.
+  /// The v6 table is the same structure over unsigned __int128 keys.
   static constexpr int32_t kNoRoute = -1;
   mutable std::vector<uint32_t> lpm_starts_;
   mutable std::vector<int32_t> lpm_ports_;
   mutable bool lpm_dirty_ = true;
+  mutable std::vector<unsigned __int128> lpm6_starts_;
+  mutable std::vector<int32_t> lpm6_ports_;
+  mutable bool lpm6_dirty_ = true;
   int default_port_ = -1;
   std::vector<Tap*> taps_;
   Transformer transformer_;
   std::map<int, IngressFilter> ingress_filters_;
   Ipv4Address router_address_{192, 0, 2, 1};
+  Ipv6Address router_address6_ = common::map_v6(Ipv4Address(192, 0, 2, 1));
   Counters counters_;
 };
 

@@ -20,18 +20,20 @@ Link* Network::connect(Node* a, Node* b, LinkConfig config) {
   Link* link = links_.back().get();
   auto [port_a, port_b] = link->connect(a, b);
 
-  // Host-facing router ports get the /32 automatically. Link::connect
-  // reports each side's port directly, so wiring one link is O(1) no
-  // matter how many ports the router already has.
+  // Host-facing router ports get the /32 (and the dual-stack host's
+  // /128) automatically. Link::connect reports each side's port
+  // directly, so wiring one link is O(1) no matter how many ports the
+  // router already has.
   auto wire_route = [](Node* maybe_router, int router_port,
                        Node* maybe_host) {
     if (maybe_router->kind() != NodeKind::Router ||
         maybe_host->kind() != NodeKind::Host) {
       return;
     }
-    static_cast<Router*>(maybe_router)
-        ->add_route(common::Cidr(static_cast<Host*>(maybe_host)->address(), 32),
-                    router_port);
+    auto* router = static_cast<Router*>(maybe_router);
+    auto* host = static_cast<Host*>(maybe_host);
+    router->add_route(common::Cidr(host->address(), 32), router_port);
+    router->add_route6(common::Cidr6(host->address6(), 128), router_port);
   };
   wire_route(a, port_a, b);
   wire_route(b, port_b, a);

@@ -44,4 +44,15 @@ uint16_t pseudo_header_checksum(common::Ipv4Address src,
   return fold(sum_words(segment, acc));
 }
 
+uint16_t pseudo_header_checksum6(common::Ipv6Address src,
+                                 common::Ipv6Address dst, uint8_t protocol,
+                                 std::span<const uint8_t> segment) {
+  uint32_t acc = 0;
+  acc = sum_words(src.to_bytes(), acc);
+  acc = sum_words(dst.to_bytes(), acc);
+  acc += static_cast<uint32_t>(segment.size());
+  acc += protocol;
+  return fold(sum_words(segment, acc));
+}
+
 }  // namespace sm::packet

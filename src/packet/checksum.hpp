@@ -19,6 +19,12 @@ uint16_t pseudo_header_checksum(common::Ipv4Address src,
                                 common::Ipv4Address dst, uint8_t protocol,
                                 std::span<const uint8_t> segment);
 
+/// IPv6 variant: the RFC 8200 pseudo-header {src, dst, length, zero,
+/// next-header}. Used for TCP, UDP, and (unlike v4) ICMPv6 checksums.
+uint16_t pseudo_header_checksum6(common::Ipv6Address src,
+                                 common::Ipv6Address dst, uint8_t protocol,
+                                 std::span<const uint8_t> segment);
+
 /// RFC 1624 incremental update: the checksum after one 16-bit word of the
 /// covered data changes from `old_word` to `new_word`. Lets a template
 /// packet be re-addressed without recomputing the sum over its payload

@@ -1,5 +1,7 @@
 #include "packet/fragment.hpp"
 
+#include "common/bytes.hpp"
+
 namespace sm::packet {
 
 std::vector<Packet> fragment(const Packet& packet, size_t mtu) {
@@ -29,6 +31,69 @@ std::vector<Packet> fragment(const Packet& packet, size_t mtu) {
   return out;
 }
 
+std::vector<Packet> fragment6(const Packet& packet, size_t mtu, uint32_t id) {
+  auto decoded = decode(packet);
+  if (!decoded || !decoded->ip6 || packet.size() <= mtu ||
+      decoded->ip6->has_fragment)
+    return {packet};
+  const Ipv6Header& h = *decoded->ip6;
+  const common::Bytes& wire = packet.data();
+
+  // Unfragmentable part (RFC 8200): the fixed header plus every
+  // extension header up to and including the last routing header, or the
+  // hop-by-hop header if there is no routing header.
+  int last_unfrag = -1;
+  for (int i = 0; i < h.ext_count; ++i) {
+    if (h.ext[static_cast<size_t>(i)].type ==
+        static_cast<uint8_t>(IpProto::Routing))
+      last_unfrag = i;
+  }
+  if (last_unfrag < 0 && h.ext_count != 0 &&
+      h.ext[0].type == static_cast<uint8_t>(IpProto::HopByHop))
+    last_unfrag = 0;
+
+  size_t unfrag_len = 40;
+  size_t nh_patch_offset = 6;  // fixed header's next-header octet
+  uint8_t next_after = h.next_header;
+  if (last_unfrag >= 0) {
+    const auto& last = h.ext[static_cast<size_t>(last_unfrag)];
+    for (int i = 0; i <= last_unfrag; ++i)
+      unfrag_len += h.ext[static_cast<size_t>(i)].data.size();
+    nh_patch_offset =
+        static_cast<size_t>(last.data.data() - wire.data());
+    next_after = last.data[0];
+  }
+
+  size_t total = 40 + h.payload_length - unfrag_len;
+  size_t overhead = unfrag_len + 8;  // plus one fragment header
+  if (mtu <= overhead) return {packet};  // pathological MTU; give up
+  size_t max_chunk = (mtu - overhead) / 8 * 8;
+  if (max_chunk == 0) return {packet};
+
+  std::vector<Packet> out;
+  size_t offset = 0;
+  while (offset < total) {
+    size_t chunk = std::min(max_chunk, total - offset);
+    bool more = offset + chunk < total;
+    common::ByteWriter w(overhead + chunk);
+    w.bytes(std::span<const uint8_t>(wire.data(), unfrag_len));
+    w.u8(next_after);
+    w.u8(0);  // reserved
+    w.u16(static_cast<uint16_t>((offset / 8) << 3 | (more ? 1 : 0)));
+    w.u32(id);
+    w.bytes(std::span<const uint8_t>(wire.data() + unfrag_len + offset,
+                                     chunk));
+    common::Bytes b = w.take();
+    b[nh_patch_offset] = static_cast<uint8_t>(IpProto::Fragment);
+    uint16_t plen = static_cast<uint16_t>(unfrag_len - 40 + 8 + chunk);
+    b[4] = static_cast<uint8_t>(plen >> 8);
+    b[5] = static_cast<uint8_t>(plen);
+    out.push_back(Packet(std::move(b)));
+    offset += chunk;
+  }
+  return out;
+}
+
 size_t Reassembler::pending_bytes() const {
   size_t total = 0;
   for (const auto& [key, partial] : pending_)
@@ -53,6 +118,19 @@ std::optional<Packet> Reassembler::try_complete(const Key& key,
     std::copy(bytes.begin(), bytes.begin() + static_cast<long>(n),
               payload.begin() + off);
   }
+  if (partial.v6) {
+    // Splice: unfragmentable part, with the next-header octet that
+    // pointed at the fragment header re-pointed at the fragmentable
+    // part's first header, then the reassembled payload.
+    common::Bytes whole = partial.unfrag;
+    whole[partial.nh_patch_offset] = partial.frag_next;
+    size_t plen = whole.size() - 40 + payload.size();
+    whole[4] = static_cast<uint8_t>(plen >> 8);
+    whole[5] = static_cast<uint8_t>(plen);
+    whole.insert(whole.end(), payload.begin(), payload.end());
+    pending_.erase(key);
+    return Packet(std::move(whole));
+  }
   Ipv4Header h = partial.first_header;
   h.fragment_offset = 0;
   h.more_fragments = false;
@@ -65,9 +143,38 @@ std::optional<Packet> Reassembler::add(common::SimTime now,
                                        std::span<const uint8_t> wire) {
   auto decoded = decode(wire);
   if (!decoded) return std::nullopt;
-  if (!decoded->ip.more_fragments && decoded->ip.fragment_offset == 0) {
+  if (!decoded->is_fragment()) {
     count_copy(CopySite::Defrag);
     return Packet(common::Bytes(wire.begin(), wire.end()));
+  }
+
+  if (decoded->ip6) {
+    const Ipv6Header& h6 = *decoded->ip6;
+    Key key{common::IpAddress(h6.src), common::IpAddress(h6.dst),
+            h6.fragment_id, h6.frag_next};
+    auto [it, inserted] = pending_.try_emplace(key);
+    Partial& partial = it->second;
+    if (inserted) {
+      partial.started = now;
+      partial.v6 = true;
+    }
+    size_t payload_off = h6.frag_hdr_offset + 8;
+    size_t payload_len = 40 + h6.payload_length - payload_off;
+    uint16_t byte_offset = static_cast<uint16_t>(h6.fragment_offset * 8);
+    count_copy(CopySite::Defrag);
+    partial.parts[byte_offset] = common::Bytes(
+        wire.begin() + static_cast<long>(payload_off),
+        wire.begin() + static_cast<long>(payload_off + payload_len));
+    if (h6.fragment_offset == 0) {
+      partial.unfrag.assign(wire.begin(),
+                            wire.begin() +
+                                static_cast<long>(h6.frag_hdr_offset));
+      partial.nh_patch_offset = h6.frag_prev_nh_offset;
+      partial.frag_next = h6.frag_next;
+      partial.have_first = true;
+    }
+    if (!h6.more_fragments) partial.total_payload = byte_offset + payload_len;
+    return try_complete(key, partial);
   }
 
   Key key{decoded->ip.src, decoded->ip.dst, decoded->ip.identification,

@@ -21,6 +21,14 @@ namespace sm::packet {
 /// carries DF. Offsets are 8-byte aligned as the wire format requires.
 std::vector<Packet> fragment(const Packet& packet, size_t mtu);
 
+/// v6 counterpart (RFC 8200 §4.5): splits at the source by inserting a
+/// Fragment extension header after the unfragmentable part (fixed header
+/// plus any leading hop-by-hop/routing headers). `id` is the 32-bit
+/// fragment identification — v6 has no header field to inherit it from,
+/// so the caller provides it. Returns the original packet if it already
+/// fits or already carries a fragment header.
+std::vector<Packet> fragment6(const Packet& packet, size_t mtu, uint32_t id);
+
 /// Reassembles fragment streams back into whole datagrams.
 class Reassembler {
  public:
@@ -40,8 +48,8 @@ class Reassembler {
 
  private:
   struct Key {
-    common::Ipv4Address src, dst;
-    uint16_t id = 0;
+    common::IpAddress src, dst;
+    uint32_t id = 0;  // 16-bit v4 identification or 32-bit v6 fragment id
     uint8_t proto = 0;
     auto operator<=>(const Key&) const = default;
   };
@@ -55,6 +63,14 @@ class Reassembler {
     common::Bytes first_options;
     bool have_first = false;
     common::SimTime started{};
+    /// v6 state: the unfragmentable part of the first fragment (fixed
+    /// header + leading ext headers, fragment header excluded), owned,
+    /// plus the patch point and value that splice the chain back
+    /// together on completion.
+    bool v6 = false;
+    common::Bytes unfrag;
+    size_t nh_patch_offset = 0;
+    uint8_t frag_next = 59;
   };
 
   std::optional<Packet> try_complete(const Key& key, Partial& partial);

@@ -56,6 +56,11 @@ Ipv4Header header_from(Ipv4Address src, Ipv4Address dst, IpProto proto,
 }  // namespace
 
 std::optional<Decoded> decode(std::span<const uint8_t> wire) {
+  if (!wire.empty() && (wire[0] >> 4) == 6) {
+    Decoded d6;
+    if (!detail::parse6(wire, &d6)) return std::nullopt;
+    return d6;
+  }
   ByteReader r(wire);
   Decoded d;
   uint8_t vihl = r.u8();
@@ -147,7 +152,15 @@ std::optional<Decoded> decode(std::span<const uint8_t> wire) {
 // Keep the accept/reject conditions in lockstep with decode(): a packet
 // this returns an address for must decode, and vice versa, or transit
 // routers and tapped routers would disagree about what is forwardable.
-std::optional<common::Ipv4Address> route_peek(std::span<const uint8_t> wire) {
+// The v6 branch shares decode()'s walk outright (detail::parse6); the v4
+// branch keeps the hand-matched copy below.
+std::optional<common::IpAddress> route_peek(std::span<const uint8_t> wire) {
+  if (!wire.empty() && (wire[0] >> 4) == 6) {
+    if (!detail::parse6(wire, nullptr)) return std::nullopt;
+    std::array<uint8_t, 16> b{};
+    for (size_t i = 0; i < 16; ++i) b[i] = wire[24 + i];
+    return common::IpAddress(common::Ipv6Address(b));
+  }
   if (wire.size() < 20) return std::nullopt;
   uint8_t vihl = wire[0];
   if ((vihl >> 4) != 4) return std::nullopt;
@@ -194,6 +207,21 @@ std::optional<common::Ipv4Address> route_peek(std::span<const uint8_t> wire) {
 bool verify_checksums(std::span<const uint8_t> wire) {
   auto d = decode(wire);
   if (!d) return false;
+  if (d->ip6) {
+    // v6 has no network-header checksum; TCP/UDP/ICMPv6 all checksum
+    // over the RFC 8200 pseudo-header. UDP zero means "no checksum",
+    // which RFC 8200 forbids.
+    size_t hlen = d->ip6->header_length();
+    size_t l4_len = 40 + d->ip6->payload_length - hlen;
+    auto segment = wire.subspan(hlen, l4_len);
+    uint8_t proto = d->ip6->l4_proto;
+    if (d->tcp || d->udp || d->icmp) {
+      if (d->udp && d->udp->checksum == 0) return false;
+      return pseudo_header_checksum6(d->ip6->src, d->ip6->dst, proto,
+                                     segment) == 0;
+    }
+    return true;
+  }
   size_t ihl = d->ip.header_length();
   // A correct IPv4 header checksums to zero when summed including the
   // checksum field itself.
@@ -303,6 +331,11 @@ void fix_checksum_for_ttl(Bytes& wire, uint8_t old_ttl) {
 }  // namespace
 
 bool decrement_ttl(Bytes& wire) {
+  if (!wire.empty() && (wire[0] >> 4) == 6) {
+    if (wire.size() < 40 || wire[7] == 0) return false;
+    --wire[7];  // hop limit; v6 has no header checksum to fix
+    return true;
+  }
   if (wire.size() < 20) return false;
   uint8_t ttl = wire[8];
   if (ttl == 0) return false;
@@ -312,6 +345,11 @@ bool decrement_ttl(Bytes& wire) {
 }
 
 bool set_ttl(Bytes& wire, uint8_t ttl) {
+  if (!wire.empty() && (wire[0] >> 4) == 6) {
+    if (wire.size() < 40) return false;
+    wire[7] = ttl;
+    return true;
+  }
   if (wire.size() < 20) return false;
   uint8_t old_ttl = wire[8];
   wire[8] = ttl;

@@ -20,27 +20,29 @@ std::string flags_string(uint8_t f) {
 }
 
 std::string summarize(const Decoded& d) {
+  // Family-agnostic: v6 summaries read the same, with the protocol tag
+  // marking the family (TCP6/UDP6/ICMP6) and hop limit printed as ttl.
+  std::string src = d.src_addr().to_string();
+  std::string dst = d.dst_addr().to_string();
+  const char* six = d.is_v6() ? "6" : "";
   if (d.tcp) {
-    return format("%s:%u > %s:%u TCP %s seq=%u ack=%u len=%zu ttl=%u",
-                  d.ip.src.to_string().c_str(), d.tcp->src_port,
-                  d.ip.dst.to_string().c_str(), d.tcp->dst_port,
-                  flags_string(d.tcp->flags).c_str(), d.tcp->seq, d.tcp->ack,
-                  d.l4_payload.size(), d.ip.ttl);
+    return format("%s:%u > %s:%u TCP%s %s seq=%u ack=%u len=%zu ttl=%u",
+                  src.c_str(), d.tcp->src_port, dst.c_str(), d.tcp->dst_port,
+                  six, flags_string(d.tcp->flags).c_str(), d.tcp->seq,
+                  d.tcp->ack, d.l4_payload.size(), d.ttl_hops());
   }
   if (d.udp) {
-    return format("%s:%u > %s:%u UDP len=%zu ttl=%u",
-                  d.ip.src.to_string().c_str(), d.udp->src_port,
-                  d.ip.dst.to_string().c_str(), d.udp->dst_port,
-                  d.l4_payload.size(), d.ip.ttl);
+    return format("%s:%u > %s:%u UDP%s len=%zu ttl=%u", src.c_str(),
+                  d.udp->src_port, dst.c_str(), d.udp->dst_port, six,
+                  d.l4_payload.size(), d.ttl_hops());
   }
   if (d.icmp) {
-    return format("%s > %s ICMP type=%u code=%u len=%zu ttl=%u",
-                  d.ip.src.to_string().c_str(), d.ip.dst.to_string().c_str(),
-                  d.icmp->type, d.icmp->code, d.l4_payload.size(), d.ip.ttl);
+    return format("%s > %s ICMP%s type=%u code=%u len=%zu ttl=%u",
+                  src.c_str(), dst.c_str(), six, d.icmp->type, d.icmp->code,
+                  d.l4_payload.size(), d.ttl_hops());
   }
-  return format("%s > %s proto=%u len=%zu ttl=%u",
-                d.ip.src.to_string().c_str(), d.ip.dst.to_string().c_str(),
-                d.ip.protocol, d.l4_payload.size(), d.ip.ttl);
+  return format("%s > %s proto=%u len=%zu ttl=%u", src.c_str(), dst.c_str(),
+                d.l4_proto(), d.l4_payload.size(), d.ttl_hops());
 }
 
 std::string summarize(std::span<const uint8_t> wire) {

@@ -41,6 +41,27 @@ void Stack::on_packet(const packet::Decoded& d, const Bytes& /*wire*/) {
   ++stats_.segments_in;
   if (d.tcp->rst()) ++stats_.rst_in;
 
+  // IPv6 segments get a stateless responder rather than full connection
+  // state: a SYN to a listening port draws a SYN/ACK, anything else to an
+  // unknown 4-tuple draws a RST. That is exactly the surface a
+  // reachability probe exercises (its closing RST matches no state and is
+  // ignored — never RST a RST), while the stateful machinery stays v4.
+  if (d.is_v6()) {
+    if (d.tcp->syn() && !d.tcp->ack_flag() &&
+        listeners_.count(d.tcp->dst_port) != 0) {
+      ++stats_.segments_out;
+      uint32_t iss =
+          iss_for(common::host_identity(d.src_addr()), d.tcp->src_port);
+      host_.send(packet::make_tcp6(host_.address6(), d.ip6->src,
+                                   d.tcp->dst_port, d.tcp->src_port,
+                                   TcpFlags::kSyn | TcpFlags::kAck, iss,
+                                   d.tcp->seq + 1));
+      return;
+    }
+    if (!d.tcp->rst() && rst_on_unknown_) send_raw_rst(d);
+    return;
+  }
+
   ConnKey key{d.tcp->dst_port, d.ip.src, d.tcp->src_port};
   auto it = connections_.find(key);
   if (it != connections_.end() && !it->second->dead_) {
@@ -107,8 +128,14 @@ void Stack::send_raw_rst(const packet::Decoded& d) {
     if (d.tcp->fin()) seg_len += 1;
     ack = d.tcp->seq + seg_len;
   }
-  host_.send(packet::make_tcp(host_.address(), d.ip.src, d.tcp->dst_port,
-                              d.tcp->src_port, flags, seq, ack));
+  if (d.is_v6()) {
+    host_.send(packet::make_tcp6(host_.address6(), d.ip6->src,
+                                 d.tcp->dst_port, d.tcp->src_port, flags,
+                                 seq, ack));
+  } else {
+    host_.send(packet::make_tcp(host_.address(), d.ip.src, d.tcp->dst_port,
+                                d.tcp->src_port, flags, seq, ack));
+  }
 }
 
 void Stack::schedule_retransmit(Connection& c, Duration rto,

@@ -19,7 +19,7 @@ ExploreResult explore(const ExploreOptions& options) {
       options.trials,
       [&](size_t index, int /*worker*/) {
         SeedPack seeds = SeedPack::derive(options.seed, index);
-        Scenario scenario = generate_scenario(seeds.generator);
+        Scenario scenario = generate_scenario(seeds.generator, seeds.family);
         outcomes[index] = run_scenario(scenario, seeds, options.faults);
       },
       pool);

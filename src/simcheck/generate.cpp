@@ -167,7 +167,7 @@ ImpairmentSpec sample_impairment(Rng& rng) {
 
 }  // namespace
 
-Scenario generate_scenario(uint64_t seed) {
+Scenario generate_scenario(uint64_t seed, uint64_t family_seed) {
   Rng rng(seed);
   Scenario s;
   s.technique = static_cast<Technique>(rng.bounded(kTechniqueCount));
@@ -236,6 +236,14 @@ Scenario generate_scenario(uint64_t seed) {
     default:
       s.samples = 1;
       break;
+  }
+
+  // Address family rides its own substream so every other field above
+  // is drawn exactly as before dual-stack existed. Only the
+  // family-capable probes sample it; the rest stay v4.
+  if (s.technique == Technique::Ping || s.technique == Technique::SynReach) {
+    Rng family_rng(family_seed);
+    s.ipv6 = family_rng.chance(0.5);
   }
   return s;
 }

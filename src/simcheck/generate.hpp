@@ -15,8 +15,11 @@
 
 namespace sm::simcheck {
 
-/// Deterministic: the same seed always yields the same scenario,
+/// Deterministic: the same seeds always yield the same scenario,
 /// independent of any other generator call (one fresh Rng per call).
-Scenario generate_scenario(uint64_t seed);
+/// `family_seed` is its own substream (SeedPack::family): the address
+/// family draw cannot perturb any other field's sampling, so scenarios
+/// differ from the pre-dual-stack generator only in the `ipv6` bit.
+Scenario generate_scenario(uint64_t seed, uint64_t family_seed = 0);
 
 }  // namespace sm::simcheck

@@ -31,6 +31,7 @@ SeedPack SeedPack::derive(uint64_t root_seed, size_t trial_index) {
   p.mvr = campaign::trial_seed(root_seed, trial_index, 1);
   p.netsim = campaign::trial_seed(root_seed, trial_index, 2);
   p.generator = campaign::trial_seed(root_seed, trial_index, 3);
+  p.family = campaign::trial_seed(root_seed, trial_index, 4);
   return p;
 }
 
@@ -127,6 +128,24 @@ void check_codecs(const Scenario& scenario, const Testbed& tb,
               {"O5", "DNS encode/parse did not reach a fixpoint"});
         }
       }
+    }
+    // v6 datagrams check the decode → reassemble6 fixpoint instead: the
+    // header re-encoder is byte-preserving across the whole extension
+    // chain, so the rebuilt datagram must equal the original exactly.
+    if (d.is_v6()) {
+      std::span<const uint8_t> wire(rec.data);
+      packet::Packet rebuilt6 = packet::reassemble6(
+          *d.ip6, wire.subspan(d.ip6->header_length()));
+      if (rebuilt6.data().size() != wire.size() ||
+          !std::equal(rebuilt6.data().begin(), rebuilt6.data().end(),
+                      wire.begin())) {
+        exec.o5_failures.push_back(
+            {"O5", "v6 decode -> reassemble6 changed the datagram"});
+      } else if (!d.ip6->has_fragment && !corruption_possible &&
+                 !packet::verify_checksums(wire)) {
+        exec.o5_failures.push_back({"O5", "v6 datagram checksums invalid"});
+      }
+      continue;
     }
     // Rebuild the datagram from its decoded form; fragments and packets
     // carrying header options are outside the builders' vocabulary.
@@ -257,10 +276,14 @@ Execution execute(const Scenario& scenario, const SeedPack& seeds,
     auto decoded = packet::decode(std::span<const uint8_t>(rec.data));
     if (!decoded) continue;
     const packet::Decoded& d = *decoded;
-    if (d.ip.src == measurement && neighbor_set.count(d.ip.dst)) {
+    // host_identity folds map_v6 sources back to their v4 identity, so
+    // v6 cover traffic is judged against the same SAV model as v4.
+    Ipv4Address src_id = common::host_identity(d.src_addr());
+    Ipv4Address dst_id = common::host_identity(d.dst_addr());
+    if (src_id == measurement && neighbor_set.count(dst_id)) {
       ++exec.replies_crossed_tap;
     }
-    if (scenario.sav && neighbor_set.count(d.ip.src)) {
+    if (scenario.sav && neighbor_set.count(src_id)) {
       // Packets only the measurement client fabricates: neighbor stacks
       // never initiate connections or query DNS, so a neighbor-sourced
       // SYN or DNS query at the tap is client-spoofed and must fall
@@ -268,7 +291,7 @@ Execution execute(const Scenario& scenario, const SeedPack& seeds,
       bool spoof_shaped =
           (d.udp && d.udp->dst_port == 53) ||
           (d.tcp && d.tcp->syn() && !d.tcp->ack_flag());
-      if (spoof_shaped && !sav_model.allows(client, d.ip.src)) {
+      if (spoof_shaped && !sav_model.allows(client, d.src_addr())) {
         ++exec.sav_violations;
       }
     }
@@ -443,9 +466,10 @@ TrialOutcome run_scenario(const Scenario& scenario, const SeedPack& seeds,
 std::string TrialOutcome::log_line(size_t index) const {
   char head[160];
   std::snprintf(head, sizeof(head),
-                "trial=%zu technique=%s elements=%zu censored=%d", index,
-                std::string(to_string(scenario.technique)).c_str(),
-                scenario.elements(), scenario.censored() ? 1 : 0);
+                "trial=%zu technique=%s family=%s elements=%zu censored=%d",
+                index, std::string(to_string(scenario.technique)).c_str(),
+                scenario.ipv6 ? "v6" : "v4", scenario.elements(),
+                scenario.censored() ? 1 : 0);
   std::string line = head;
   line += " verdict=";
   line += core::to_string(report.verdict);

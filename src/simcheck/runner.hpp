@@ -48,6 +48,9 @@ struct SeedPack {
   uint64_t mvr = 0;
   uint64_t netsim = 0;
   uint64_t generator = 0;
+  /// Address-family substream (stream 4): feeds only the generator's
+  /// `ipv6` draw, so dual-stack sampling leaves streams 0..3 untouched.
+  uint64_t family = 0;
 
   static SeedPack derive(uint64_t root_seed, size_t trial_index);
 };

@@ -160,6 +160,7 @@ uint32_t Scenario::min_cover() const {
 
 size_t Scenario::elements() const {
   size_t n = rules.size();
+  if (ipv6) ++n;  // the shrinker tries the v4 rendering first
   if (impair.where != ImpairedSegment::None) {
     if (impair.iid_loss > 0.0) ++n;
     if (impair.model.burst.enabled()) ++n;
@@ -190,10 +191,17 @@ core::TestbedConfig Scenario::testbed_config(uint64_t sav_seed,
         config.policy.dns_forgeries[r.text] = Ipv4Address(8, 7, 198, 45);
         break;
       case Mechanism::NullRoute:
+        // Address rules cover both families: without the paired v6
+        // entry a v6 trial would sail past a v4-only rule (the censor's
+        // family blindness is real and measured — by the eval matrix's
+        // E25 rows — but it would wreck the scenario's ground truth).
         config.policy.blocked_ips.push_back(r.address);
+        config.policy.blocked_ips6.push_back(common::map_v6(r.address));
         break;
       case Mechanism::PortBlock:
         config.policy.blocked_ports.emplace_back(r.address, r.port);
+        config.policy.blocked_ports6.emplace_back(common::map_v6(r.address),
+                                                  r.port);
         break;
       case Mechanism::Blockpage:
         config.policy.blockpage_keywords.push_back(r.text);
@@ -238,6 +246,7 @@ std::unique_ptr<core::Probe> Scenario::make_probe(
     case Technique::Ping: {
       core::PingOptions opts;
       opts.target = service_address(service);
+      opts.ipv6 = ipv6;
       opts.count = std::max<uint32_t>(1, samples);
       opts.retry = retry;
       return std::make_unique<core::PingProbe>(tb, opts);
@@ -245,6 +254,7 @@ std::unique_ptr<core::Probe> Scenario::make_probe(
     case Technique::SynReach: {
       core::SynReachabilityOptions opts;
       opts.target = service_address(service);
+      opts.ipv6 = ipv6;
       opts.port = 80;
       opts.cover_count = cover_count;
       opts.retry = retry;
@@ -328,6 +338,9 @@ Json Scenario::to_json() const {
   j.set("technique", Json::string(std::string(to_string(technique))));
   if (!domain.empty()) j.set("domain", Json::string(domain));
   j.set("service", Json::string(std::string(to_string(service))));
+  // Emitted only when set, so the existing v4 corpus serializes (and
+  // hashes) exactly as before this field existed.
+  if (ipv6) j.set("ipv6", Json::boolean(true));
   Json rules_json = Json::array();
   for (const CensorRule& r : rules) {
     Json rj = Json::object();
@@ -389,6 +402,7 @@ std::optional<Scenario> Scenario::from_json(const Json& j) {
     if (!svc) return std::nullopt;
     s.service = *svc;
   }
+  if (const Json* v6 = j.get("ipv6")) s.ipv6 = v6->as_bool();
   if (const Json* rules = j.get("rules")) {
     for (const Json& rj : rules->items()) {
       CensorRule r;

@@ -100,6 +100,11 @@ struct Scenario {
   /// Addressed service for Ping/SynReach/Scan (MimicryStateful is pinned
   /// to the measurement server).
   Service service = Service::WebOpen;
+  /// Probe over IPv6 (Ping/SynReach only: the family-capable probes).
+  /// Aimed address rules are installed for *both* families (see
+  /// testbed_config), so ground truth is family-invariant and all five
+  /// oracles judge v6 trials exactly as they judge v4 ones.
+  bool ipv6 = false;
   std::vector<CensorRule> rules;
   ImpairmentSpec impair;
   bool sav = false;

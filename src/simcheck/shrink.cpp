@@ -45,6 +45,7 @@ std::vector<Scenario> candidates(const Scenario& s) {
     push([](Scenario& c) { c.impair.model.corrupt_rate = 0.0; });
     push([](Scenario& c) { c.impair.model.flap = netsim::FlapConfig{}; });
   }
+  if (s.ipv6) push([](Scenario& c) { c.ipv6 = false; });
   if (s.sav) push([](Scenario& c) { c.sav = false; });
   if (s.neighbor_count > Scenario::kMinNeighbors) {
     push([](Scenario& c) { c.neighbor_count = Scenario::kMinNeighbors; });

@@ -49,6 +49,22 @@ size_t StatelessSynCover::emit(
   return sent;
 }
 
+size_t StatelessSynCover::emit6(
+    const std::vector<Ipv4Address>& spoofed_sources,
+    common::Ipv6Address target, uint16_t port) {
+  size_t sent = 0;
+  for (const auto& src : spoofed_sources) {
+    // Same source-port/sequence discipline as the v4 path, keyed off the
+    // neighbor's v4 identity, so the two families' cover is comparable.
+    uint16_t sport = static_cast<uint16_t>(
+        49152 + (src.value() * 2654435761u) % 16000);
+    host_.send(packet::make_tcp6(common::map_v6(src), target, sport, port,
+                                 TcpFlags::kSyn, next_seq_ += 64000, 0));
+    ++sent;
+  }
+  return sent;
+}
+
 MimicryServer::MimicryServer(proto::tcp::Stack& stack, uint64_t secret,
                              uint16_t service_port)
     : stack_(stack), secret_(secret) {

@@ -60,6 +60,12 @@ class StatelessSynCover {
   size_t emit(const std::vector<Ipv4Address>& spoofed_sources,
               Ipv4Address target, uint16_t port);
 
+  /// v6 variant: each neighbor is spoofed as its map_v6 identity, so the
+  /// tap sees the same /24 probing — over the other family. SAV judges
+  /// the embedded v4 bits, so filtering behaves identically to v4 cover.
+  size_t emit6(const std::vector<Ipv4Address>& spoofed_sources,
+               common::Ipv6Address target, uint16_t port);
+
  private:
   netsim::Host& host_;
   uint32_t next_seq_ = 0x1000;

@@ -40,9 +40,19 @@ bool SavModel::allows(Ipv4Address actual_sender,
   return false;
 }
 
+bool SavModel::allows(Ipv4Address actual_sender,
+                      const IpAddress& claimed_src) const {
+  if (!claimed_src.is_v6()) return allows(actual_sender, claimed_src.v4());
+  if (auto v4 = common::unmap_v6(claimed_src.v6()))
+    return allows(actual_sender, *v4);
+  // A v6 source outside the deterministic embedding cannot be the
+  // sender's own address; strict-or-better scopes drop it.
+  return scope_for(actual_sender) == SpoofScope::Any;
+}
+
 netsim::Router::IngressFilter SavModel::filter_for(
     Ipv4Address client) const {
-  return [model = *this, client](Ipv4Address src) {
+  return [model = *this, client](const IpAddress& src) {
     return model.allows(client, src);
   };
 }

@@ -17,6 +17,7 @@
 namespace sm::spoof {
 
 using common::Cidr;
+using common::IpAddress;
 using common::Ipv4Address;
 
 /// The widest range a client can successfully spoof within.
@@ -49,6 +50,12 @@ class SavModel {
   /// Whether a packet claiming `claimed_src` sent by `actual_sender`
   /// passes the sender's network filter.
   bool allows(Ipv4Address actual_sender, Ipv4Address claimed_src) const;
+
+  /// Family-agnostic variant. v6 sources under the map_v6 embedding are
+  /// judged by their embedded v4 bits (the client's scope draw is a
+  /// property of the attachment network, not of the address family);
+  /// v6 sources outside the embedding pass only unspoofed.
+  bool allows(Ipv4Address actual_sender, const IpAddress& claimed_src) const;
 
   /// Ingress filter for the router port that `client` hangs off.
   netsim::Router::IngressFilter filter_for(Ipv4Address client) const;

@@ -64,12 +64,17 @@ void Classifier::SourceState::advance(SimTime now,
 TrafficClass Classifier::classify(SimTime now, const packet::Decoded& d) {
   if (looks_p2p(d)) return TrafficClass::P2p;
 
-  SourceState& st = sources_[d.ip.src];
+  // Per-source state is keyed by host identity, so a dual-stack scanner
+  // cannot halve its fan-out by alternating families.
+  SourceState& st = sources_[common::host_identity(d.src_addr())];
   st.advance(now, config_);
 
   if (d.tcp && d.tcp->syn() && !d.tcp->ack_flag()) {
-    uint64_t target = (static_cast<uint64_t>(d.ip.dst.value()) << 16) |
-                      d.tcp->dst_port;
+    uint64_t target =
+        (static_cast<uint64_t>(
+             common::host_identity(d.dst_addr()).value())
+         << 16) |
+        d.tcp->dst_port;
     st.syn_targets.emplace_back(now, target);
     st.distinct_targets.insert(target);
     if (st.distinct_targets.size() >= config_.scan_fanout_threshold)
@@ -79,8 +84,9 @@ TrafficClass Classifier::classify(SimTime now, const packet::Decoded& d) {
   // Count "requests": TCP payload-bearing packets and SYNs toward a
   // destination.
   if (d.tcp && (!d.l4_payload.empty() || d.tcp->syn())) {
-    st.requests.emplace_back(now, d.ip.dst.value());
-    size_t& n = st.per_dst_count[d.ip.dst.value()];
+    uint32_t dst_id = common::host_identity(d.dst_addr()).value();
+    st.requests.emplace_back(now, dst_id);
+    size_t& n = st.per_dst_count[dst_id];
     ++n;
     if (n >= config_.ddos_rate_threshold) return TrafficClass::DdosLike;
   }

@@ -57,7 +57,11 @@ void FlowRecordAggregator::attach_tail(uint32_t i) {
 void FlowRecordAggregator::add(common::SimTime now,
                                const packet::Decoded& d,
                                uint64_t wire_bytes) {
-  Key key{d.ip.src, d.ip.dst, d.src_port(), d.dst_port(), d.ip.protocol};
+  // Both families of a host pair aggregate into one ledger row: the CDR
+  // identity is the host (host_identity folds map_v6 addresses back).
+  Key key{common::host_identity(d.src_addr()),
+          common::host_identity(d.dst_addr()), d.src_port(), d.dst_port(),
+          d.l4_proto()};
   auto [idx_ptr, inserted] = active_.try_emplace(key);
   if (inserted) {
     uint32_t i = new_slot();

@@ -39,11 +39,11 @@ netsim::TapDecision MvrTap::process(const netsim::TapContext& ctx,
   flows_.flush_idle(ctx.now);
   MetadataItem meta;
   meta.time = ctx.now;
-  meta.src = d.ip.src;
-  meta.dst = d.ip.dst;
+  meta.src = common::host_identity(d.src_addr());
+  meta.dst = common::host_identity(d.dst_addr());
   meta.src_port = d.src_port();
   meta.dst_port = d.dst_port();
-  meta.proto = d.ip.protocol;
+  meta.proto = d.l4_proto();
   meta.bytes = static_cast<uint32_t>(wire_bytes);
   metadata_.add(ctx.now, meta, sizeof(MetadataItem));
 
@@ -57,6 +57,11 @@ netsim::TapDecision MvrTap::process(const netsim::TapContext& ctx,
   // Signature pass.
   auto verdict = engine_.process(ctx.now, d);
   for (const auto& alert : verdict.alerts) {
+    // Dossiers are per host, not per address: a map_v6 source attributes
+    // to the same user as its v4 identity, so switching families does
+    // not split (or reset) anyone's suspicion ledger.
+    Ipv4Address src_user = common::host_identity(alert.src);
+    Ipv4Address dst_user = common::host_identity(alert.dst);
     ++stats_.alerts_by_classtype[alert.classtype];
     uint64_t ids_ev = 0;
     if (prov != nullptr) {
@@ -66,17 +71,17 @@ netsim::TapDecision MvrTap::process(const netsim::TapContext& ctx,
     }
     if (noise_classtypes().count(alert.classtype)) {
       ++stats_.noise_alerts;
-      ++noise_by_user_[alert.src];
-      analyst_.record_noise_alert(ctx.now, alert.src);
+      ++noise_by_user_[src_user];
+      analyst_.record_noise_alert(ctx.now, src_user);
       continue;
     }
     ++stats_.interesting_alerts;
-    ++interesting_by_user_[alert.src];
+    ++interesting_by_user_[src_user];
     AlertItem item;
     item.time = ctx.now;
     item.sid = alert.sid;
-    item.src = alert.src;
-    item.dst = alert.dst;
+    item.src = src_user;
+    item.dst = dst_user;
     item.classtype = alert.classtype;
     item.priority = alert.priority;
     alerts_.add(ctx.now, item, 128);
@@ -88,11 +93,11 @@ netsim::TapDecision MvrTap::process(const netsim::TapContext& ctx,
                        (censored_touch ? " kind=censored" : " kind=targeted"));
     }
     if (censored_touch) {
-      ++censored_by_user_[alert.src];
-      analyst_.record_censored_touch(ctx.now, alert.src);
+      ++censored_by_user_[src_user];
+      analyst_.record_censored_touch(ctx.now, src_user);
     } else {
-      ++targeted_by_user_[alert.src];
-      analyst_.record_interesting_alert(ctx.now, alert.src, alert.priority);
+      ++targeted_by_user_[src_user];
+      analyst_.record_interesting_alert(ctx.now, src_user, alert.priority);
     }
   }
 
@@ -106,12 +111,12 @@ netsim::TapDecision MvrTap::process(const netsim::TapContext& ctx,
   } else if (sampler_.chance(config_.content_retention_fraction)) {
     ContentItem item;
     item.time = ctx.now;
-    item.src = d.ip.src;
-    item.dst = d.ip.dst;
+    item.src = common::host_identity(d.src_addr());
+    item.dst = common::host_identity(d.dst_addr());
     item.bytes = static_cast<uint32_t>(wire_bytes);
     content_.add(ctx.now, item, wire_bytes);
     stats_.bytes_content_retained += wire_bytes;
-    analyst_.record_retained_content(ctx.now, d.ip.src, wire_bytes);
+    analyst_.record_retained_content(ctx.now, item.src, wire_bytes);
     if (prov != nullptr) {
       prov->record(obs::ProvKind::MvrSample, ctx.now, ctx.prov, ctx.prov,
                    to_string(cls));

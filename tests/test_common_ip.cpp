@@ -139,5 +139,53 @@ TEST_P(CidrPrefixSweep, MaskAndSizeConsistent) {
 INSTANTIATE_TEST_SUITE_P(AllPrefixLengths, CidrPrefixSweep,
                          ::testing::Range(0, 33));
 
+// --- IPv6 address surface (thin units; depth lives in the fuzz sweeps) ---
+
+TEST(Ipv6Address, ParseAndCanonicalForm) {
+  auto a = Ipv6Address::parse("fd00::5eed:c000:250");
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->hi(), 0xfd00'0000'0000'0000u);
+  EXPECT_EQ(a->lo(), 0x0000'5eed'c000'0250u);
+  // RFC 5952: lowercase, longest zero run compressed.
+  EXPECT_EQ(a->to_string(), "fd00::5eed:c000:250");
+  EXPECT_EQ(Ipv6Address(0, 1).to_string(), "::1");
+  EXPECT_FALSE(Ipv6Address::parse("fd00:::1"));
+  EXPECT_FALSE(Ipv6Address::parse("12345::"));
+}
+
+TEST(Ipv6Address, MapV6EmbedsAndUnmapsRoundTrip) {
+  Ipv4Address v4(192, 0, 2, 80);
+  Ipv6Address v6 = map_v6(v4);
+  EXPECT_TRUE(v6.is_unique_local());
+  auto back = unmap_v6(v6);
+  ASSERT_TRUE(back);
+  EXPECT_EQ(*back, v4);
+  // Outside the fd00::5eed:0:0/96 embedding there is no v4 identity.
+  EXPECT_FALSE(unmap_v6(Ipv6Address(0xfd00'0000'0000'0000, 1)));
+  EXPECT_FALSE(unmap_v6(Ipv6Address(0x2001'0db8'0000'0000, 0)));
+}
+
+TEST(Ipv6Address, HostIdentityCollapsesBothFamilies) {
+  Ipv4Address v4(10, 0, 0, 7);
+  EXPECT_EQ(host_identity(IpAddress(v4)), v4);
+  EXPECT_EQ(host_identity(IpAddress(map_v6(v4))), v4);
+  // Unattributable v6 collapses to the zero address, not to a wrong host.
+  EXPECT_EQ(host_identity(IpAddress(Ipv6Address(0x2001'0db8'0000'0000, 9))),
+            Ipv4Address(uint32_t{0}));
+}
+
+TEST(Cidr6, ContainsAndMapping) {
+  auto c = Cidr6::parse("fd00::5eed:a00:0/120");
+  ASSERT_TRUE(c);
+  EXPECT_EQ(c->prefix_len(), 120);
+  EXPECT_TRUE(c->contains(map_v6(Ipv4Address(10, 0, 0, 42))));
+  EXPECT_FALSE(c->contains(map_v6(Ipv4Address(10, 0, 1, 42))));
+  // map_v6 on a Cidr shifts the prefix into the /96 embedding.
+  Cidr6 mapped = map_v6(Cidr(Ipv4Address(10, 0, 0, 0), 24));
+  EXPECT_EQ(mapped.prefix_len(), 120);
+  EXPECT_EQ(mapped.network(), c->network());
+  EXPECT_FALSE(Cidr6::parse("fd00::/129"));
+}
+
 }  // namespace
 }  // namespace sm::common

@@ -152,6 +152,115 @@ TEST(Reassembler, HostDeliversReassembledDatagram) {
   EXPECT_EQ(received.substr(0, 4), "abcd");
 }
 
+// --- IPv6 fragmentation (RFC 8200 §4.5) ---
+
+const common::Ipv6Address kSrc6 = common::map_v6(kSrc);
+const common::Ipv6Address kDst6 = common::map_v6(kDst);
+
+Packet big_udp6(size_t payload_len) {
+  common::Bytes payload(payload_len);
+  for (size_t i = 0; i < payload_len; ++i)
+    payload[i] = static_cast<uint8_t>('a' + i % 26);
+  return make_udp6(kSrc6, kDst6, 1111, 2222, payload);
+}
+
+TEST(Fragment6, SplitsWithAlignedOffsetsAndSharedId) {
+  Packet p = big_udp6(3000);
+  auto frags = fragment6(p, 1280, 0xCAFE);
+  ASSERT_GE(frags.size(), 3u);
+  size_t covered = 0;
+  for (size_t i = 0; i < frags.size(); ++i) {
+    auto d = decode(frags[i]);
+    ASSERT_TRUE(d && d->is_v6());
+    EXPECT_LE(frags[i].size(), 1280u);
+    ASSERT_TRUE(d->ip6->has_fragment);
+    EXPECT_EQ(d->ip6->fragment_id, 0xCAFEu);
+    EXPECT_EQ(d->ip6->fragment_offset * 8u, covered);
+    EXPECT_EQ(d->ip6->more_fragments, i + 1 < frags.size());
+    covered += frags[i].size() - d->ip6->header_length();
+  }
+  EXPECT_EQ(covered, 3000u + 8u);  // UDP header rides in fragment 0
+}
+
+TEST(Fragment6, SmallPacketUntouched) {
+  Packet p = big_udp6(100);
+  auto frags = fragment6(p, 1280, 1);
+  ASSERT_EQ(frags.size(), 1u);
+  EXPECT_EQ(frags[0].data(), p.data());
+}
+
+TEST(Reassembler6, RoundTripInOrder) {
+  Packet p = big_udp6(5000);
+  auto frags = fragment6(p, 1280, 7);
+  Reassembler r;
+  std::optional<Packet> whole;
+  for (const auto& f : frags) {
+    whole = r.add(SimTime(0), f.data());
+    if (&f != &frags.back()) { EXPECT_FALSE(whole); }
+  }
+  ASSERT_TRUE(whole);
+  EXPECT_EQ(whole->data(), p.data());
+  EXPECT_TRUE(verify_checksums(whole->data()));
+  EXPECT_EQ(r.pending_datagrams(), 0u);
+}
+
+TEST(Reassembler6, RoundTripReversedOrder) {
+  Packet p = big_udp6(4000);
+  auto frags = fragment6(p, 1000, 8);
+  Reassembler r;
+  std::optional<Packet> whole;
+  for (auto it = frags.rbegin(); it != frags.rend(); ++it)
+    whole = r.add(SimTime(0), it->data());
+  ASSERT_TRUE(whole);
+  EXPECT_EQ(whole->data(), p.data());
+}
+
+TEST(Reassembler6, OverlappingDuplicateFragmentIsHarmless) {
+  Packet p = big_udp6(3000);
+  auto frags = fragment6(p, 1280, 9);
+  ASSERT_GE(frags.size(), 3u);
+  Reassembler r;
+  EXPECT_FALSE(r.add(SimTime(0), frags[0].data()));
+  EXPECT_FALSE(r.add(SimTime(0), frags[1].data()));
+  EXPECT_FALSE(r.add(SimTime(0), frags[1].data()));  // replayed overlap
+  auto whole = r.add(SimTime(0), frags[2].data());
+  ASSERT_TRUE(whole);
+  EXPECT_EQ(whole->data(), p.data());
+}
+
+TEST(Reassembler6, InterleavedIdsKeptApart) {
+  Packet a = big_udp6(3000);
+  Packet b = big_udp6(3000);
+  auto fa = fragment6(a, 1280, 1);
+  auto fb = fragment6(b, 1280, 2);  // same flow, different fragment id
+  Reassembler r;
+  EXPECT_FALSE(r.add(SimTime(0), fa[0].data()));
+  EXPECT_FALSE(r.add(SimTime(0), fb[0].data()));
+  EXPECT_FALSE(r.add(SimTime(0), fa[1].data()));
+  auto whole_a = r.add(SimTime(0), fa[2].data());
+  ASSERT_TRUE(whole_a);
+  EXPECT_EQ(whole_a->data(), a.data());
+  EXPECT_EQ(r.pending_datagrams(), 1u);  // b still incomplete
+}
+
+TEST(Reassembler6, HostDeliversReassembledV6Datagram) {
+  netsim::Network net;
+  auto* a = net.add_host("a", kSrc);
+  auto* b = net.add_host("b", kDst);
+  auto* router = net.add_router("r");
+  net.connect(a, router);
+  net.connect(b, router);
+  std::string received;
+  b->udp_bind(2222, [&](const Decoded& d, std::span<const uint8_t> payload) {
+    if (d.is_v6()) received = common::to_string(payload);
+  });
+  Packet p = big_udp6(3000);
+  for (auto& f : fragment6(p, 1000, 0x31)) a->send(std::move(f));
+  net.run_for(Duration::millis(50));
+  EXPECT_EQ(received.size(), 3000u);
+  EXPECT_EQ(received.substr(0, 4), "abcd");
+}
+
 }  // namespace
 }  // namespace sm::packet
 
@@ -208,6 +317,90 @@ TEST(FragmentEvasion, UnfragmentedKeywordCaughtEitherWay) {
                                    common::to_bytes(req)));
   tb.run_for(common::Duration::millis(100));
   EXPECT_GE(tb.censor_tap->stats().rst_bursts, 1u);
+}
+
+// --- The v6 evasion differential ---
+
+/// Sends a keyword-bearing v6 TCP segment, source-fragmented so the
+/// keyword straddles a fragment boundary. "falun" sits at TCP-segment
+/// bytes 36..40; mtu 88 gives 40-byte fragmentable pieces (88 - 40 fixed
+/// - 8 fragment header), so the 'n' lands in fragment 1.
+void send_fragmented_keyword6(Testbed& tb) {
+  std::string req = "GET /search?qqq=falun HTTP/1.1\r\nHost: x\r\n\r\n";
+  packet::Packet p = packet::make_tcp6(
+      tb.client->address6(), common::map_v6(tb.addr().web_blocked), 5555, 80,
+      packet::TcpFlags::kAck, 1000, 1, common::to_bytes(req));
+  for (auto& f : packet::fragment6(p, 88, 0x42)) tb.client->send(std::move(f));
+}
+
+TEST(FragmentEvasion, V6FragmentBlindCensorMissesSplitKeyword) {
+  TestbedConfig cfg;
+  cfg.policy = censor::gfc_profile();
+  cfg.policy.v6_ext_header_blind = false;  // isolate the fragment window
+  cfg.policy.reassemble_ip_fragments = false;
+  Testbed tb(cfg);
+  send_fragmented_keyword6(tb);
+  tb.run_for(common::Duration::millis(100));
+  EXPECT_EQ(tb.censor_tap->stats().rst_bursts, 0u);
+}
+
+TEST(FragmentEvasion, V6VirtualDefragmentationCatchesIt) {
+  TestbedConfig cfg;
+  cfg.policy = censor::gfc_profile();
+  cfg.policy.v6_ext_header_blind = false;
+  cfg.policy.reassemble_ip_fragments = true;
+  Testbed tb(cfg);
+  send_fragmented_keyword6(tb);
+  tb.run_for(common::Duration::millis(100));
+  EXPECT_GE(tb.censor_tap->stats().rst_bursts, 1u);
+}
+
+TEST(FragmentEvasion, V6ExtHeaderBlindnessTrumpsDefragmentation) {
+  // With the deployed-DPI default (ext-header blind), the fragment header
+  // itself is the evasion: even a defragmenting censor never inspects the
+  // pieces, so the keyword passes where the identical v4 split would be
+  // caught.
+  TestbedConfig cfg;
+  cfg.policy = censor::gfc_profile();
+  cfg.policy.reassemble_ip_fragments = true;  // blind gate wins anyway
+  Testbed tb(cfg);
+  send_fragmented_keyword6(tb);
+  tb.run_for(common::Duration::millis(100));
+  EXPECT_EQ(tb.censor_tap->stats().rst_bursts, 0u);
+  EXPECT_GE(tb.censor_tap->stats().v6_ext_blind_passes, 1u);
+}
+
+TEST(FragmentEvasion, V6EndpointStillSeesWhatTheCensorMissed) {
+  // The IDS-vs-endpoint differential: the same fragments the blind
+  // censor passes reassemble cleanly at the destination host, keyword
+  // intact — the measurement-visible consequence of the evasion.
+  netsim::Network net;
+  auto* a = net.add_host("a", common::Ipv4Address(10, 0, 0, 1));
+  auto* b = net.add_host("b", common::Ipv4Address(192, 0, 2, 80));
+  auto* router = net.add_router("r");
+  net.connect(a, router);
+  net.connect(b, router);
+  censor::CensorPolicy policy;
+  policy.rst_keywords = {"falun"};
+  policy.v6_ext_header_blind = false;  // fragment-blind, not ext-blind
+  censor::CensorTap censor(policy);
+  router->add_tap(&censor);
+
+  std::string received;
+  b->udp_bind(2222, [&](const packet::Decoded& d,
+                        std::span<const uint8_t> payload) {
+    if (d.is_v6()) received = common::to_string(payload);
+  });
+  std::string keyword_payload = "padpadpadpadpadpadpadpadpadpad falun end";
+  packet::Packet p =
+      packet::make_udp6(a->address6(), b->address6(), 1111, 2222,
+                        common::to_bytes(keyword_payload));
+  // 8-byte fragmentable pieces: no fragment holds the whole keyword.
+  for (auto& f : packet::fragment6(p, 56, 0x77)) a->send(std::move(f));
+  net.run_for(common::Duration::millis(50));
+
+  EXPECT_EQ(censor.stats().rst_packets_injected, 0u);
+  EXPECT_NE(received.find("falun"), std::string::npos);
 }
 
 }  // namespace

@@ -116,6 +116,49 @@ void fill_registry(obs::Registry& registry) {
   hist->observe(9.5);
 }
 
+/// v6 report pair: family shows up in the bracketed target notation, the
+/// schema itself is family-invariant — this fixture pins both facts.
+std::pair<core::ProbeReport, core::RiskReport> sample_blocked_v6() {
+  core::ProbeReport report;
+  report.technique = "syn-reach";
+  report.target = "[fd00::5eed:c000:250]:80";
+  report.verdict = core::Verdict::BlockedTimeout;
+  report.detail = "no SYN-ACK within timeout (attempt 3/3)";
+  report.packets_sent = 9;
+  report.samples = 3;
+  report.samples_blocked = 3;
+  report.attempts = 3;
+  report.confidence.conclusion = core::Conclusion::Blocked;
+  report.confidence.trials = 3;
+  report.confidence.trials_silent = 3;
+  report.confidence.score = 1.0;
+  core::RiskReport risk;
+  risk.technique = "syn-reach";
+  risk.evaded = true;
+  risk.attribution_probability = 0.25;
+  return {report, risk};
+}
+
+std::pair<core::ProbeReport, core::RiskReport> sample_open_v6() {
+  core::ProbeReport report;
+  report.technique = "ping";
+  report.target = "[fd00::5eed:c000:250]";
+  report.verdict = core::Verdict::Reachable;
+  report.detail = "4/4 echo replies";
+  report.packets_sent = 4;
+  report.samples = 4;
+  report.attempts = 1;
+  report.confidence.conclusion = core::Conclusion::Open;
+  report.confidence.trials = 4;
+  report.confidence.trials_open = 4;
+  report.confidence.score = 1.0;
+  core::RiskReport risk;
+  risk.technique = "ping";
+  risk.evaded = true;
+  risk.attribution_probability = 0.125;
+  return {report, risk};
+}
+
 }  // namespace
 
 TEST(Golden, ProbeReportJsonl) {
@@ -123,6 +166,13 @@ TEST(Golden, ProbeReportJsonl) {
   results.push_back(sample_blocked());
   results.push_back(sample_open());
   check_golden("probe_reports.jsonl", core::to_jsonl(results));
+}
+
+TEST(Golden, ProbeReportJsonlV6) {
+  std::vector<std::pair<core::ProbeReport, core::RiskReport>> results;
+  results.push_back(sample_blocked_v6());
+  results.push_back(sample_open_v6());
+  check_golden("probe_reports_v6.jsonl", core::to_jsonl(results));
 }
 
 TEST(Golden, RegistryJson) {

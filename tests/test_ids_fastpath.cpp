@@ -490,5 +490,160 @@ TEST(FastpathEquivalence, ReorderedStreamsMatchLegacy) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Dual-stack equivalence: v6 traffic, with and without extension-header
+// chains, must flow through both engines verdict-for-verdict. The engine
+// normalizes the chain away (payload offsets come from the decoded
+// header's ext_length), so a HBH/DestOpts detour must change nothing.
+
+PacketBox tcp6_pkt(common::Ipv6Address src, common::Ipv6Address dst,
+                   uint16_t sp, uint16_t dp, uint8_t flags, uint32_t seq,
+                   uint32_t ack, std::string_view payload,
+                   packet::Ipv6Options ip = {}) {
+  PacketBox box;
+  packet::Packet p = packet::make_tcp6(src, dst, sp, dp, flags, seq, ack,
+                                       common::to_bytes(payload), ip);
+  box.storage = p.data();
+  box.decoded = *packet::decode(box.storage);
+  return box;
+}
+
+PacketBox udp6_pkt(common::Ipv6Address src, common::Ipv6Address dst,
+                   uint16_t sp, uint16_t dp, std::string_view payload,
+                   packet::Ipv6Options ip = {}) {
+  PacketBox box;
+  packet::Packet p =
+      packet::make_udp6(src, dst, sp, dp, common::to_bytes(payload), ip);
+  box.storage = p.data();
+  box.decoded = *packet::decode(box.storage);
+  return box;
+}
+
+packet::Ipv6Options random_ext_chain(Rng& rng) {
+  packet::Ipv6Options ip;
+  size_t chain = rng.bounded(3);
+  for (size_t i = 0; i < chain; ++i) {
+    packet::Ipv6ExtSpec ext;
+    if (i == 0 && rng.chance(0.4)) {
+      ext.type = static_cast<uint8_t>(packet::IpProto::HopByHop);
+    } else {
+      ext.type = rng.chance(0.5)
+                     ? static_cast<uint8_t>(packet::IpProto::Routing)
+                     : static_cast<uint8_t>(packet::IpProto::DestOpts);
+    }
+    common::Bytes body(rng.bounded(16));
+    for (auto& byte : body) byte = static_cast<uint8_t>(rng.bounded(256));
+    ext.body = std::move(body);
+    ip.ext.push_back(std::move(ext));
+  }
+  return ip;
+}
+
+TEST(FastpathEquivalence, DirectedV6RuleShapesWithExtHeaders) {
+  Engine linear = Engine::from_text(kDirectedRules, {},
+                                    EngineOptions{.use_fastpath = false});
+  Engine fast = Engine::from_text(
+      kDirectedRules, {},
+      EngineOptions{.use_fastpath = true, .prefilter_min_candidates = 0,
+                    .mode = MatchMode::Fastpath});
+
+  common::Ipv6Address c1 = common::map_v6(Ipv4Address(10, 0, 0, 1));
+  common::Ipv6Address s1 = common::map_v6(Ipv4Address(192, 0, 2, 80));
+  packet::Ipv6Options hbh;
+  hbh.ext.push_back(
+      {static_cast<uint8_t>(packet::IpProto::HopByHop), common::Bytes{}});
+  packet::Ipv6Options chain;
+  chain.ext.push_back({static_cast<uint8_t>(packet::IpProto::Routing),
+                       common::Bytes(8, 0)});
+  chain.ext.push_back({static_cast<uint8_t>(packet::IpProto::DestOpts),
+                       common::Bytes{1, 2, 3}});
+
+  std::vector<PacketBox> packets;
+  // Keyword alert with no chain, behind HBH, and behind a two-header
+  // chain — the content offset must survive normalization in all three.
+  packets.push_back(
+      tcp6_pkt(c1, s1, 4001, 80, TcpFlags::kAck, 1, 1, "GET /FaLuN"));
+  packets.push_back(
+      tcp6_pkt(c1, s1, 4002, 80, TcpFlags::kAck, 1, 1, "GET /FaLuN", hbh));
+  packets.push_back(
+      tcp6_pkt(c1, s1, 4003, 80, TcpFlags::kAck, 1, 1, "GET /FaLuN", chain));
+  // pass-shielded port, range reject, udp content, catchall — over v6.
+  packets.push_back(tcp6_pkt(c1, s1, 4000, 22, TcpFlags::kSyn, 1, 0, ""));
+  packets.push_back(tcp6_pkt(c1, s1, 4004, 1500, TcpFlags::kAck, 1, 1,
+                             "probe payload", hbh));
+  packets.push_back(udp6_pkt(c1, s1, 5353, 53, "blocked.example", chain));
+  packets.push_back(
+      udp6_pkt(c1, s1, 4005, 9, "beacon there", hbh));
+  packets.push_back(
+      tcp6_pkt(c1, s1, 4006, 80, TcpFlags::kAck, 1, 1, "unsafe data"));
+
+  size_t alerts = 0;
+  for (size_t i = 0; i < packets.size(); ++i) {
+    Verdict vl = linear.process(SimTime(static_cast<int64_t>(i) * 1000),
+                                packets[i].decoded);
+    Verdict vf = fast.process(SimTime(static_cast<int64_t>(i) * 1000),
+                              packets[i].decoded);
+    expect_same_verdict(vl, vf, i);
+    if (::testing::Test::HasFatalFailure()) return;
+    alerts += vf.alerts.size();
+  }
+  expect_same_core_stats(linear, fast);
+  EXPECT_GE(alerts, 5u);  // the v6 cells really fired, ext chain included
+}
+
+TEST(FastpathEquivalence, RandomizedDualStackSweep) {
+  for (uint64_t seed : {41ULL, 42ULL}) {
+    Rng rng(seed);
+    std::string rules = random_rules(rng, 60);
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Engine linear =
+        Engine::from_text(rules, {}, EngineOptions{.use_fastpath = false});
+    Engine fast = Engine::from_text(
+        rules, {},
+        EngineOptions{.use_fastpath = true, .prefilter_min_candidates = 0,
+                      .mode = MatchMode::Fastpath});
+
+    std::vector<Ipv4Address> hosts;
+    for (int i = 0; i < 6; ++i)
+      hosts.push_back(Ipv4Address(10, 0, 0, static_cast<uint8_t>(i + 1)));
+
+    size_t v6_packets = 0, with_ext = 0;
+    for (size_t i = 0; i < 2500; ++i) {
+      Ipv4Address src = hosts[rng.bounded(hosts.size())];
+      Ipv4Address dst = hosts[rng.bounded(hosts.size())];
+      uint16_t sp = static_cast<uint16_t>(20 + rng.bounded(140));
+      uint16_t dp = static_cast<uint16_t>(20 + rng.bounded(140));
+      SimTime now(static_cast<int64_t>(i) * 2000);
+      std::string payload = random_payload(rng);
+      bool v6 = rng.chance(0.5);
+      bool tcp = rng.chance(0.6);
+      PacketBox box;
+      if (v6) {
+        ++v6_packets;
+        packet::Ipv6Options ip = random_ext_chain(rng);
+        if (!ip.ext.empty()) ++with_ext;
+        box = tcp ? tcp6_pkt(common::map_v6(src), common::map_v6(dst), sp,
+                             dp, TcpFlags::kAck,
+                             static_cast<uint32_t>(rng.bounded(100000)), 1,
+                             payload, ip)
+                  : udp6_pkt(common::map_v6(src), common::map_v6(dst), sp,
+                             dp, payload, ip);
+      } else {
+        box = tcp ? tcp_pkt(src, dst, sp, dp, TcpFlags::kAck,
+                            static_cast<uint32_t>(rng.bounded(100000)), 1,
+                            payload)
+                  : udp_pkt(src, dst, sp, dp, payload);
+      }
+      Verdict vl = linear.process(now, box.decoded);
+      Verdict vf = fast.process(now, box.decoded);
+      expect_same_verdict(vl, vf, i);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+    expect_same_core_stats(linear, fast);
+    EXPECT_GT(v6_packets, 1000u);
+    EXPECT_GT(with_ext, 300u);  // ext chains really mixed into the sweep
+  }
+}
+
 }  // namespace
 }  // namespace sm::ids

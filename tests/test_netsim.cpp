@@ -143,8 +143,8 @@ TEST_F(TwoHosts, NoRouteDropsPacket) {
 
 TEST_F(TwoHosts, IngressFilterDropsSpoofed) {
   // Port 0 is host a's port; forbid any src that is not a's address.
-  r_->set_ingress_filter(0, [addr = a_->address()](Ipv4Address src) {
-    return src == addr;
+  r_->set_ingress_filter(0, [addr = a_->address()](const common::IpAddress& src) {
+    return src == common::IpAddress(addr);
   });
   // Spoofed packet from a claiming to be 10.0.0.77.
   a_->send(packet::make_udp(Ipv4Address(10, 0, 0, 77), b_->address(), 1,

@@ -201,5 +201,67 @@ TEST(Print, MalformedPacket) {
   EXPECT_EQ(summarize(junk), "<malformed packet>");
 }
 
+// --- IPv6 builders and normalization (thin units; depth in the fuzz) ---
+
+TEST(Ipv6, TcpBuilderDecodesWithExtChain) {
+  common::Ipv6Address src6 = common::map_v6(kSrc);
+  common::Ipv6Address dst6 = common::map_v6(kDst);
+  Ipv6Options opt;
+  opt.hop_limit = 33;
+  opt.ext.push_back({static_cast<uint8_t>(IpProto::HopByHop), {1, 2, 3}});
+  opt.ext.push_back({static_cast<uint8_t>(IpProto::DestOpts), {}});
+  Bytes payload = common::to_bytes("hello v6");
+  Packet p = make_tcp6(src6, dst6, 4000, 80, TcpFlags::kSyn, 7, 0, payload,
+                       opt);
+  auto d = decode(p);
+  ASSERT_TRUE(d && d->is_v6() && d->tcp);
+  EXPECT_EQ(d->ip6->src, src6);
+  EXPECT_EQ(d->ip6->dst, dst6);
+  EXPECT_EQ(d->ip6->hop_limit, 33);
+  EXPECT_EQ(d->ip6->ext_count, 2u);
+  EXPECT_EQ(d->l4_proto(), static_cast<uint8_t>(IpProto::Tcp));
+  EXPECT_EQ(common::to_string(d->l4_payload), "hello v6");
+  EXPECT_TRUE(verify_checksums(p.data()));
+  // Family-agnostic accessors agree with the v6 header.
+  EXPECT_EQ(d->src_addr(), common::IpAddress(src6));
+  EXPECT_EQ(d->ttl_hops(), 33);
+}
+
+TEST(Ipv6, RoutePeekMatchesDecodeDestination) {
+  Packet p = make_udp6(common::map_v6(kSrc), common::map_v6(kDst), 1, 2,
+                       common::to_bytes("x"));
+  auto peek = route_peek(p.data());
+  ASSERT_TRUE(peek);
+  EXPECT_EQ(*peek, common::IpAddress(common::map_v6(kDst)));
+}
+
+TEST(Ipv6, StripExtHeadersNormalizes) {
+  Ipv6Options opt;
+  opt.ext.push_back({static_cast<uint8_t>(IpProto::HopByHop), {}});
+  Packet with_ext = make_tcp6(common::map_v6(kSrc), common::map_v6(kDst),
+                              4000, 80, TcpFlags::kAck, 1, 1,
+                              common::to_bytes("falun"), opt);
+  Packet bare = make_tcp6(common::map_v6(kSrc), common::map_v6(kDst), 4000,
+                          80, TcpFlags::kAck, 1, 1,
+                          common::to_bytes("falun"));
+  ASSERT_TRUE(strip_ext_headers6(with_ext));
+  EXPECT_EQ(with_ext.data(), bare.data());
+  // Already-bare packets are untouched and report no rewrite.
+  EXPECT_FALSE(strip_ext_headers6(bare));
+}
+
+TEST(Ipv6, HopLimitDecrementAndSet) {
+  Packet p = make_icmp6(common::map_v6(kSrc), common::map_v6(kDst),
+                        IcmpHeader::kEchoRequest6, 0, 42);
+  ASSERT_TRUE(decrement_ttl(p.data()));
+  auto d = decode(p);
+  ASSERT_TRUE(d);
+  EXPECT_EQ(d->ip6->hop_limit, 63);
+  ASSERT_TRUE(set_ttl(p.data(), 5));
+  EXPECT_EQ(decode(p)->ip6->hop_limit, 5);
+  // v6 has no header checksum to fix; the ICMPv6 one must still verify.
+  EXPECT_TRUE(verify_checksums(p.data()));
+}
+
 }  // namespace
 }  // namespace sm::packet

@@ -166,6 +166,197 @@ TEST(PacketFuzz, TruncatedBuffersNeverCrashTheDecoder) {
   }
 }
 
+// --- IPv6: random extension chains, fixpoint, truncation lockstep ---
+
+common::Ipv6Address random_addr6(Rng& rng) {
+  return common::Ipv6Address(rng.next(), rng.next());
+}
+
+packet::Ipv6Options random_ip6_options(Rng& rng) {
+  packet::Ipv6Options ip;
+  ip.hop_limit = static_cast<uint8_t>(1 + rng.bounded(255));
+  ip.traffic_class = static_cast<uint8_t>(rng.bounded(256));
+  ip.flow_label = static_cast<uint32_t>(rng.bounded(1u << 20));
+  size_t chain = rng.bounded(4);  // 0..3 extension headers
+  for (size_t i = 0; i < chain; ++i) {
+    packet::Ipv6ExtSpec ext;
+    // RFC 8200 §4.1: hop-by-hop is only valid immediately after the
+    // fixed header, and decode() enforces it — so only offer it first.
+    if (i == 0 && rng.chance(0.4)) {
+      ext.type = static_cast<uint8_t>(packet::IpProto::HopByHop);
+    } else {
+      ext.type = rng.chance(0.5)
+                     ? static_cast<uint8_t>(packet::IpProto::Routing)
+                     : static_cast<uint8_t>(packet::IpProto::DestOpts);
+    }
+    ext.body = random_payload(rng, 24);
+    ip.ext.push_back(std::move(ext));
+  }
+  return ip;
+}
+
+/// Builds a random v6 packet of a random flavour (TCP/UDP/ICMPv6), with
+/// a random extension chain.
+packet::Packet random_packet6(Rng& rng) {
+  Bytes payload = random_payload(rng, 300);
+  packet::Ipv6Options ip = random_ip6_options(rng);
+  switch (rng.bounded(3)) {
+    case 0:
+      return packet::make_tcp6(
+          random_addr6(rng), random_addr6(rng),
+          static_cast<uint16_t>(rng.bounded(65536)),
+          static_cast<uint16_t>(rng.bounded(65536)),
+          static_cast<uint8_t>(rng.bounded(64)),
+          static_cast<uint32_t>(rng.next()),
+          static_cast<uint32_t>(rng.next()), payload, ip,
+          static_cast<uint16_t>(rng.bounded(65536)));
+    case 1:
+      return packet::make_udp6(random_addr6(rng), random_addr6(rng),
+                               static_cast<uint16_t>(rng.bounded(65536)),
+                               static_cast<uint16_t>(rng.bounded(65536)),
+                               payload, ip);
+    default:
+      return packet::make_icmp6(random_addr6(rng), random_addr6(rng),
+                                static_cast<uint8_t>(rng.bounded(256)),
+                                static_cast<uint8_t>(rng.bounded(256)),
+                                static_cast<uint32_t>(rng.next()), payload,
+                                ip);
+  }
+}
+
+TEST(PacketFuzz, Ipv6RoundTripPreservesEveryEncodedField) {
+  Rng rng(0x6F022);
+  for (int iter = 0; iter < 3000; ++iter) {
+    common::Ipv6Address src = random_addr6(rng), dst = random_addr6(rng);
+    uint16_t sport = static_cast<uint16_t>(rng.bounded(65536));
+    uint16_t dport = static_cast<uint16_t>(rng.bounded(65536));
+    Bytes payload = random_payload(rng, 300);
+    packet::Ipv6Options ip = random_ip6_options(rng);
+    int flavour = static_cast<int>(rng.bounded(3));
+    packet::Packet p;
+    if (flavour == 0) {
+      uint8_t flags = static_cast<uint8_t>(rng.bounded(64));
+      uint32_t seq = static_cast<uint32_t>(rng.next());
+      uint32_t ack = static_cast<uint32_t>(rng.next());
+      p = packet::make_tcp6(src, dst, sport, dport, flags, seq, ack,
+                            payload, ip);
+      auto d = packet::decode(p);
+      ASSERT_TRUE(d) << "iter " << iter;
+      ASSERT_TRUE(d->tcp);
+      EXPECT_EQ(d->tcp->src_port, sport);
+      EXPECT_EQ(d->tcp->dst_port, dport);
+      EXPECT_EQ(d->tcp->flags, flags);
+      EXPECT_EQ(d->tcp->seq, seq);
+      EXPECT_EQ(d->tcp->ack, ack);
+    } else if (flavour == 1) {
+      p = packet::make_udp6(src, dst, sport, dport, payload, ip);
+      auto d = packet::decode(p);
+      ASSERT_TRUE(d) << "iter " << iter;
+      ASSERT_TRUE(d->udp);
+      EXPECT_EQ(d->udp->src_port, sport);
+      EXPECT_EQ(d->udp->dst_port, dport);
+    } else {
+      uint8_t type = static_cast<uint8_t>(rng.bounded(256));
+      uint8_t code = static_cast<uint8_t>(rng.bounded(256));
+      uint32_t rest = static_cast<uint32_t>(rng.next());
+      p = packet::make_icmp6(src, dst, type, code, rest, payload, ip);
+      auto d = packet::decode(p);
+      ASSERT_TRUE(d) << "iter " << iter;
+      ASSERT_TRUE(d->icmp);
+      EXPECT_EQ(d->icmp->type, type);
+      EXPECT_EQ(d->icmp->code, code);
+      EXPECT_EQ(d->icmp->rest, rest);
+    }
+    auto d = packet::decode(p);
+    ASSERT_TRUE(d);
+    ASSERT_TRUE(d->is_v6());
+    EXPECT_EQ(d->ip6->src, src);
+    EXPECT_EQ(d->ip6->dst, dst);
+    EXPECT_EQ(d->ip6->hop_limit, ip.hop_limit);
+    EXPECT_EQ(d->ip6->traffic_class, ip.traffic_class);
+    EXPECT_EQ(d->ip6->flow_label, ip.flow_label);
+    ASSERT_EQ(d->ip6->ext_count, ip.ext.size()) << "iter " << iter;
+    for (size_t i = 0; i < ip.ext.size(); ++i)
+      EXPECT_EQ(d->ip6->ext_headers()[i].type, ip.ext[i].type);
+    ASSERT_EQ(d->l4_payload.size(), payload.size());
+    EXPECT_TRUE(std::equal(payload.begin(), payload.end(),
+                           d->l4_payload.begin()));
+    EXPECT_TRUE(packet::verify_checksums(
+        std::span<const uint8_t>(p.data())));
+  }
+}
+
+TEST(PacketFuzz, Ipv6DecodeReassembleReachesFixpoint) {
+  Rng rng(0x6F1C5);
+  for (int iter = 0; iter < 3000; ++iter) {
+    packet::Packet p = random_packet6(rng);
+    std::span<const uint8_t> wire(p.data());
+    auto d = packet::decode(wire);
+    ASSERT_TRUE(d && d->is_v6()) << "iter " << iter;
+    packet::Packet rebuilt = packet::reassemble6(
+        *d->ip6, wire.subspan(d->ip6->header_length()));
+    ASSERT_EQ(rebuilt.data().size(), wire.size()) << "iter " << iter;
+    EXPECT_TRUE(std::equal(rebuilt.data().begin(), rebuilt.data().end(),
+                           wire.begin()))
+        << "iter " << iter;
+  }
+}
+
+TEST(PacketFuzz, Ipv6TruncationAtEveryByteKeepsDecodeRoutePeekLockstep) {
+  // The sweep the dual-stack contract demands: for every prefix of every
+  // packet, decode() and route_peek() accept or reject the exact same
+  // bytes, and agree on the destination when both accept. Well past 10k
+  // cases (~150 packets x ~250 byte average length).
+  Rng rng(0x67A11);
+  size_t cases = 0;
+  for (int iter = 0; iter < 150; ++iter) {
+    packet::Packet p = random_packet6(rng);
+    const Bytes& wire = p.data();
+    for (size_t cut = 0; cut <= wire.size(); ++cut, ++cases) {
+      std::span<const uint8_t> trunc(wire.data(), cut);
+      auto d = packet::decode(trunc);
+      auto peek = packet::route_peek(trunc);
+      ASSERT_EQ(d.has_value(), peek.has_value())
+          << "iter " << iter << " cut " << cut;
+      if (d) {
+        EXPECT_EQ(*peek, d->dst_addr());
+        volatile uint8_t sink = 0;
+        for (uint8_t b : d->l4_payload) sink ^= b;
+        (void)sink;
+        EXPECT_LE(d->ip6->header_length(), cut);
+      }
+      (void)packet::verify_checksums(trunc);
+    }
+  }
+  EXPECT_GE(cases, 10000u);
+}
+
+TEST(PacketFuzz, Ipv6MutatedBuffersNeverCrashTheDecoder) {
+  Rng rng(0x6BADF00D);
+  for (int iter = 0; iter < 3000; ++iter) {
+    packet::Packet p = random_packet6(rng);
+    Bytes wire = p.data();
+    size_t flips = 1 + rng.bounded(8);
+    for (size_t f = 0; f < flips && !wire.empty(); ++f) {
+      wire[rng.bounded(wire.size())] ^=
+          static_cast<uint8_t>(1 + rng.bounded(255));
+    }
+    // Mutation may flip the version nibble or splice the ext chain; the
+    // decode/route_peek lockstep must survive arbitrary bytes.
+    auto d = packet::decode(std::span<const uint8_t>(wire));
+    auto peek = packet::route_peek(std::span<const uint8_t>(wire));
+    ASSERT_EQ(d.has_value(), peek.has_value()) << "iter " << iter;
+    if (d) {
+      EXPECT_EQ(*peek, d->dst_addr());
+      volatile uint8_t sink = 0;
+      for (uint8_t b : d->l4_payload) sink ^= b;
+      (void)sink;
+      EXPECT_LE(d->net_header_length(), wire.size());
+    }
+    (void)packet::verify_checksums(std::span<const uint8_t>(wire));
+  }
+}
+
 // --- DNS message codec ---
 
 proto::dns::Message random_dns_message(Rng& rng) {

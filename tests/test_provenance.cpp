@@ -20,8 +20,10 @@
 #include <string>
 
 #include "campaign/campaign.hpp"
+#include "censor/gfc.hpp"
 #include "core/mimicry.hpp"
 #include "core/overt.hpp"
+#include "core/ping.hpp"
 #include "core/probe.hpp"
 #include "core/risk.hpp"
 #include "core/synprobe.hpp"
@@ -398,6 +400,64 @@ TEST(ProvenanceCampaign, JsonlByteIdenticalAcrossThreadsAndShardModes) {
   }
 }
 
+TEST(ProvenanceCampaign, MixedFamilyJsonlByteIdenticalAcrossShardModes) {
+  // Dual-stack determinism: v4 and v6 trials interleaved in one campaign
+  // must serialize byte-identically across thread counts and shard
+  // modes, provenance graphs included.
+  core::TestbedAddresses addr;
+  core::TestbedConfig censored = prov_config();
+  censored.policy = censor::dropping_profile({addr.web_blocked});
+  censored.policy.blocked_ips6 = {common::map_v6(addr.web_blocked)};
+
+  std::vector<campaign::Trial> trials;
+  for (const auto& [cfg_name, cfg] :
+       {std::pair<std::string, core::TestbedConfig>{"clean", prov_config()},
+        {"censored", censored}}) {
+    for (bool v6 : {false, true}) {
+      trials.push_back(campaign::Trial{
+          .name = cfg_name + "/syn-reach" + (v6 ? "-v6" : "-v4"),
+          .config = cfg,
+          .factory = [v6](core::Testbed& tb) {
+            return std::make_unique<core::SynReachabilityProbe>(
+                tb, core::SynReachabilityOptions{
+                        .target = tb.addr().web_blocked,
+                        .port = 80,
+                        .ipv6 = v6});
+          }});
+      trials.push_back(campaign::Trial{
+          .name = cfg_name + "/ping" + (v6 ? "-v6" : "-v4"),
+          .config = cfg,
+          .factory = [v6](core::Testbed& tb) {
+            return std::make_unique<core::PingProbe>(
+                tb, core::PingOptions{.target = tb.addr().web_blocked,
+                                      .ipv6 = v6});
+          }});
+    }
+  }
+
+  campaign::CampaignOptions base;
+  base.threads = 1;
+  std::string reference = campaign::run(trials, base).to_jsonl();
+  // The matrix really contains both families and both outcomes.
+  EXPECT_NE(reference.find("syn-reach-v6"), std::string::npos);
+  EXPECT_NE(reference.find("\"verdict\":\"blocked-timeout\""),
+            std::string::npos);
+  EXPECT_NE(reference.find("\"verdict\":\"reachable\""), std::string::npos);
+
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    for (campaign::Shard shard :
+         {campaign::Shard::ByIndex, campaign::Shard::Dynamic}) {
+      campaign::CampaignOptions opts;
+      opts.threads = threads;
+      opts.shard = shard;
+      EXPECT_EQ(campaign::run(trials, opts).to_jsonl(), reference)
+          << "threads=" << threads
+          << " shard=" << (shard == campaign::Shard::ByIndex ? "ByIndex"
+                                                             : "Dynamic");
+    }
+  }
+}
+
 TEST(ProvenanceCampaign, TelemetryTracksWorkersAndPhases) {
   auto trials = provenance_trials();
   size_t heartbeats = 0;
@@ -451,4 +511,31 @@ TEST(ProvenanceGolden, CleanOvertHttp) {
   core::run_probe(tb, probe);
   tb.run_for(common::Duration::seconds(2));
   check_golden("provenance_clean.json", tb.provenance_json() + "\n");
+}
+
+TEST(ProvenanceGolden, CensoredV6SynReach) {
+  // The v6 censored chain: a dual-stack null route silently eats the v6
+  // SYNs, so the graph pins attempt → v6 packet → censor inline-drop →
+  // blocked-timeout verdict.
+  core::TestbedConfig cfg = prov_config();
+  core::TestbedAddresses addr;
+  cfg.policy = censor::dropping_profile({addr.web_blocked});
+  cfg.policy.blocked_ips6 = {common::map_v6(addr.web_blocked)};
+  core::Testbed tb(cfg);
+  core::SynReachabilityProbe probe(
+      tb, {.target = tb.addr().web_blocked, .port = 80, .ipv6 = true});
+  core::run_probe(tb, probe);
+  tb.run_for(common::Duration::seconds(2));
+  check_golden("provenance_censored_v6.json", tb.provenance_json() + "\n");
+}
+
+TEST(ProvenanceGolden, CleanV6SynReach) {
+  // The clean v6 chain: same probe, keyword-only default policy — the
+  // SYN-ACK comes back over v6 and the verdict roots in it.
+  core::Testbed tb(prov_config());
+  core::SynReachabilityProbe probe(
+      tb, {.target = tb.addr().web_blocked, .port = 80, .ipv6 = true});
+  core::run_probe(tb, probe);
+  tb.run_for(common::Duration::seconds(2));
+  check_golden("provenance_clean_v6.json", tb.provenance_json() + "\n");
 }
